@@ -1,0 +1,80 @@
+"""Experiment C7: edge bundling reduces drawn ink / clutter.
+
+Survey claim (§4): "other approaches adopt edge bundling techniques which
+aggregate graph edges to bundles [48, 63]". Workload: a community-
+structured graph laid out geometrically (clusters as blobs) — the setting
+hierarchical bundling [63] was designed for, where inter-cluster edges can
+share corridors. Printed series: bundling strength β vs ink ratio
+(distinct pixels drawn relative to straight edges).
+
+Expected shape: ink ratio decreases monotonically with β, reaching ~0.5 at
+β=0.95 — half the ink for the same connectivity information.
+"""
+
+import random
+
+import numpy as np
+
+from repro.graph import (
+    AbstractionPyramid,
+    PropertyGraph,
+    hierarchical_edge_bundling,
+    ink_ratio,
+)
+
+BETAS = [0.0, 0.5, 0.8, 0.95]
+CLUSTERS = 6
+PER_CLUSTER = 30
+
+
+def _clustered_workload() -> tuple[PropertyGraph, np.ndarray]:
+    """Six 30-node communities (dense inside, 120 sparse bridges) placed as
+    spatial blobs — the geometry a converged force layout produces."""
+    rng = random.Random(0)
+    graph = PropertyGraph()
+    centers = [(200 + 400 * (c % 3), 200 + 400 * (c // 3)) for c in range(CLUSTERS)]
+    for c in range(CLUSTERS):
+        for i in range(PER_CLUSTER):
+            graph.add_node(f"c{c}n{i}")
+    for c in range(CLUSTERS):
+        for i in range(PER_CLUSTER):
+            for j in range(i + 1, PER_CLUSTER):
+                if rng.random() < 0.15:
+                    graph.add_edge(f"c{c}n{i}", f"c{c}n{j}")
+    for _ in range(120):
+        a, b = rng.sample(range(CLUSTERS), 2)
+        graph.add_edge(
+            f"c{a}n{rng.randrange(PER_CLUSTER)}", f"c{b}n{rng.randrange(PER_CLUSTER)}"
+        )
+    positions = np.zeros((graph.node_count, 2))
+    nprng = np.random.default_rng(1)
+    for c in range(CLUSTERS):
+        for i in range(PER_CLUSTER):
+            index = graph.index_of(f"c{c}n{i}")
+            positions[index] = np.asarray(centers[c]) + nprng.normal(0, 40, 2)
+    return graph, positions
+
+
+def test_c7_ink_vs_bundling_strength(benchmark):
+    graph, positions = _clustered_workload()
+    pyramid = AbstractionPyramid(graph, seed=0)
+
+    print("\n\nC7: hierarchical edge bundling — drawn ink vs beta")
+    print(f"  workload: {graph.node_count} nodes, {graph.edge_count} edges, "
+          f"{pyramid.levels[1].node_count} detected communities")
+    print(f"{'beta':>5} | {'ink ratio':>9}")
+    ink_by_beta = {}
+    for beta in BETAS:
+        bundles = hierarchical_edge_bundling(graph, positions, pyramid, beta=beta)
+        ink = ink_ratio(bundles, graph, positions)
+        ink_by_beta[beta] = ink
+        print(f"{beta:>5.2f} | {ink:>9.3f}")
+
+    series = [ink_by_beta[b] for b in BETAS]
+    assert series == sorted(series, reverse=True)  # monotone decrease
+    assert ink_by_beta[0.0] > 0.95  # β=0 ≈ straight-line baseline
+    assert ink_by_beta[0.95] < 0.7  # strong bundling saves ≥30% ink
+
+    benchmark(
+        lambda: hierarchical_edge_bundling(graph, positions, pyramid, beta=0.85)
+    )

@@ -1,0 +1,90 @@
+"""Experiment C8: adaptive indexing (database cracking) for exploration.
+
+Survey claim (§2): the dynamic setting "prevents a preprocessing phase
+(e.g., traditional indexing)"; adaptive indexing [67] as used in [144]
+builds the index *as a side effect of the queries*. Printed series over a
+200-query drill-down session: cumulative work (elements touched) for
+cracking vs full-sort-first vs always-scan.
+
+Expected shape: cracking's first query costs one scan, then per-query cost
+collapses; total session work lands far below always-scan without the
+up-front sort cost.
+"""
+
+import numpy as np
+
+from repro.store import CrackedColumn, FullSortColumn, ScanColumn
+from repro.workload import drilldown_ranges, numeric_values
+
+N = 1_000_000
+QUERIES = 200
+
+
+def test_c8_session_work_cracking_vs_baselines(benchmark):
+    values = numeric_values(N, "uniform", seed=21)
+    session = drilldown_ranges(QUERIES, seed=4)
+
+    strategies = {
+        "cracking": CrackedColumn(values),
+        "full sort first": FullSortColumn(values),
+        "scan always": ScanColumn(values),
+    }
+    checkpoints = (1, 10, 50, 100, 200)
+    work_at: dict[str, list[int]] = {name: [] for name in strategies}
+    for name, column in strategies.items():
+        for index, (lo, hi) in enumerate(session, start=1):
+            expected = column.range_count(lo, hi)
+            if index in checkpoints:
+                work_at[name].append(column.work_counter)
+        # answers must agree across strategies
+    reference = ScanColumn(values)
+    crack_check = CrackedColumn(values)
+    for lo, hi in session[:10]:
+        assert crack_check.range_count(lo, hi) == reference.range_count(lo, hi)
+
+    print("\n\nC8: cumulative work (elements touched) over a drill-down session")
+    header = " | ".join(f"q={q:>4}" for q in checkpoints)
+    print(f"{'strategy':>16} | {header}")
+    for name, series in work_at.items():
+        cells = " | ".join(f"{w:>6}" if w < 1e6 else f"{w/1e6:>5.1f}M" for w in series)
+        print(f"{name:>16} | {cells}")
+
+    crack_total = work_at["cracking"][-1]
+    scan_total = work_at["scan always"][-1]
+    sort_total = work_at["full sort first"][-1]
+    print(f"\n  cracking total:  {crack_total / 1e6:.2f}M touched elements")
+    print(f"  full-sort total: {sort_total / 1e6:.2f}M")
+    print(f"  scan total:      {scan_total / 1e6:.2f}M")
+    assert crack_total < scan_total / 10  # converges to near-indexed cost
+    assert crack_total < sort_total  # without paying the sort up front
+
+    def cracked_session():
+        column = CrackedColumn(values)
+        for lo, hi in session[:50]:
+            column.range_count(lo, hi)
+        return column
+
+    benchmark(cracked_session)
+
+
+def test_c8_per_query_latency_trajectory(benchmark):
+    """Per-query work decays: the index converges along the user's path."""
+    values = numeric_values(N // 2, "uniform", seed=22)
+    session = drilldown_ranges(100, seed=5)
+    column = CrackedColumn(values)
+    per_query = []
+    previous = 0
+    for lo, hi in session:
+        column.range_count(lo, hi)
+        per_query.append(column.work_counter - previous)
+        previous = column.work_counter
+    first_ten = float(np.mean(per_query[:10]))
+    last_ten = float(np.mean(per_query[-10:]))
+    print(f"\n  mean work first 10 queries: {first_ten:,.0f}")
+    print(f"  mean work last 10 queries:  {last_ten:,.0f}")
+    assert last_ten < first_ten / 5
+
+    warm = CrackedColumn(values)
+    for lo, hi in session:
+        warm.range_count(lo, hi)
+    benchmark(lambda: warm.range_count(400.0, 600.0))

@@ -1,0 +1,65 @@
+"""Experiment C1: hierarchical aggregation scales, flat rendering does not.
+
+Survey claim (§2, §4): "squeeze a billion records into a million pixels"
+requires summaries — a HETree overview renders O(screen) items and answers
+range statistics in O(degree · height), while a flat approach touches all
+N objects for every view.
+
+Printed series: dataset size N vs (flat elements touched, HETree elements
+rendered, HETree range-query node visits). Expected shape: the HETree
+columns stay flat as N grows by 100×.
+"""
+
+import numpy as np
+
+from repro.hierarchy import HETreeC, auto_parameters
+from repro.workload import numeric_values
+
+SIZES = [10_000, 100_000, 1_000_000]
+SCREEN_SLOTS = 50
+
+
+def _flat_render(values: np.ndarray) -> int:
+    """What a no-aggregation system does: touch every object."""
+    return int((values < np.inf).sum())
+
+
+def test_c1_overview_cost_flat_vs_hetree(benchmark):
+    print("\n\nC1: flat rendering vs HETree multilevel exploration")
+    print(f"{'N':>10} | {'flat items':>10} | {'hetree items':>12} | {'range stats count':>18}")
+    trees = {}
+    for n in SIZES:
+        values = numeric_values(n, "normal", seed=1)
+        leaf_size, degree = auto_parameters(n, SCREEN_SLOTS)
+        tree = HETreeC(list(values), leaf_size=leaf_size, degree=degree)
+        trees[n] = tree
+        overview = tree.overview_level(SCREEN_SLOTS)
+        stats = tree.range_stats(450.0, 550.0)
+        print(
+            f"{n:>10} | {_flat_render(values):>10} | {len(overview):>12} | "
+            f"{stats.count:>18}"
+        )
+        assert len(overview) <= SCREEN_SLOTS
+
+    # the survey's claim: view cost is screen-bound, not data-bound
+    small = len(trees[SIZES[0]].overview_level(SCREEN_SLOTS))
+    large = len(trees[SIZES[-1]].overview_level(SCREEN_SLOTS))
+    assert large <= SCREEN_SLOTS and small <= SCREEN_SLOTS
+
+    tree = trees[SIZES[-1]]
+    benchmark(lambda: tree.overview_level(SCREEN_SLOTS))
+
+
+def test_c1_range_stats_vs_full_scan(benchmark):
+    """Range statistics from the hierarchy vs recomputing over raw data."""
+    n = 1_000_000
+    values = numeric_values(n, "normal", seed=2)
+    tree = HETreeC(list(values), leaf_size=1000, degree=8)
+
+    def hetree_range():
+        return tree.range_stats(400.0, 600.0)
+
+    scan_result = values[(values >= 400.0) & (values < 600.0)]
+    tree_result = benchmark(hetree_range)
+    assert tree_result.count == len(scan_result)
+    assert abs(tree_result.mean - scan_result.mean()) < 1e-6

@@ -1,0 +1,69 @@
+"""Experiment C2: incremental (ICO) construction vs full preprocessing.
+
+Survey claim (§2/§3.2): SynopsViz "incrementally constructs the hierarchy
+based on user's interaction", avoiding the preprocessing the dynamic
+setting forbids. An exploration session that drills down a handful of
+paths should materialize a small fraction of the nodes a bulk build pays
+for — and total session time should beat bulk-build-then-explore.
+"""
+
+import time
+
+import numpy as np
+
+from repro.hierarchy import HETreeC, IncrementalHETree
+from repro.workload import numeric_values
+
+N = 300_000
+LEAF_SIZE = 64
+DEGREE = 4
+DRILL_TARGETS = [5.0, 250.0, 500.0, 750.0, 995.0]
+
+
+def test_c2_ico_materializes_fraction(benchmark):
+    values = numeric_values(N, "uniform", seed=5)
+
+    def ico_session():
+        tree = IncrementalHETree(values, leaf_size=LEAF_SIZE, degree=DEGREE)
+        for target in DRILL_TARGETS:
+            tree.drill_path(target)
+        return tree
+
+    tree = benchmark(ico_session)
+    full_estimate = tree.full_tree_node_estimate
+    fraction = tree.materialized_nodes / full_estimate
+    print("\n\nC2: incremental construction (ICO) vs full build")
+    print(f"  dataset size:            {N}")
+    print(f"  drill-downs in session:  {len(DRILL_TARGETS)}")
+    print(f"  full tree nodes:         {full_estimate}")
+    print(f"  ICO materialized nodes:  {tree.materialized_nodes}")
+    print(f"  fraction materialized:   {fraction:.3%}")
+    assert fraction < 0.15  # the paper's point: most of the tree is never built
+
+
+def test_c2_session_time_ico_vs_bulk(benchmark):
+    values = numeric_values(N, "uniform", seed=6)
+    value_list = list(values)
+
+    start = time.perf_counter()
+    bulk = HETreeC(value_list, leaf_size=LEAF_SIZE, degree=DEGREE)
+    for target in DRILL_TARGETS:
+        bulk.range_stats(target - 1, target + 1)
+    bulk_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lazy = IncrementalHETree(values, leaf_size=LEAF_SIZE, degree=DEGREE)
+    for target in DRILL_TARGETS:
+        lazy.drill_path(target)
+    ico_seconds = time.perf_counter() - start
+
+    print("\n  bulk build + session: %.3fs" % bulk_seconds)
+    print("  ICO session:          %.3fs" % ico_seconds)
+    print("  speedup:              %.1fx" % (bulk_seconds / max(ico_seconds, 1e-9)))
+    assert ico_seconds < bulk_seconds
+
+    benchmark(
+        lambda: IncrementalHETree(values, leaf_size=LEAF_SIZE, degree=DEGREE).drill_path(
+            DRILL_TARGETS[0]
+        )
+    )

@@ -1,0 +1,52 @@
+"""Experiment C4: M4 pixel-perfect aggregation (VDDA [73, 74]).
+
+Survey claim (§2): query-based aggregation achieves order-of-magnitude
+data reduction while rendering the *same* image. Printed series: chart
+width vs tuples shipped (full / M4 / reduction factor) and pixel error
+(M4 vs a uniform downsample of equal size).
+
+Expected shape: reduction 100×+ at typical widths, M4 pixel error ~0,
+uniform downsampling visibly worse — the VDDA result.
+"""
+
+import numpy as np
+
+from repro.approx import m4_aggregate, pixel_error, rasterize_minmax, uniform_downsample
+from repro.workload import time_series
+
+N = 500_000
+WIDTHS = [100, 200, 400, 800, 1600]
+HEIGHT = 200
+
+
+def test_c4_reduction_and_pixel_error(benchmark):
+    values = time_series(N, seed=9, spike_probability=0.0005, spike_scale=80)
+    times = np.arange(N, dtype=float)
+    domains = dict(
+        t_domain=(0.0, float(N - 1)),
+        v_domain=(float(values.min()), float(values.max())),
+    )
+
+    print("\n\nC4: M4 vs uniform downsampling (N = 500,000 points)")
+    print(
+        f"{'width':>6} | {'M4 tuples':>9} | {'reduction':>9} | "
+        f"{'M4 px err':>9} | {'uniform px err':>14}"
+    )
+    for width in WIDTHS:
+        full = rasterize_minmax(times, values, width, HEIGHT, **domains)
+        mt, mv = m4_aggregate(times, values, width)
+        m4_raster = rasterize_minmax(mt, mv, width, HEIGHT, **domains)
+        ut, uv = uniform_downsample(times, values, len(mt))
+        uni_raster = rasterize_minmax(ut, uv, width, HEIGHT, **domains)
+        m4_err = pixel_error(full, m4_raster)
+        uni_err = pixel_error(full, uni_raster)
+        reduction = N / len(mt)
+        print(
+            f"{width:>6} | {len(mt):>9} | {reduction:>8.0f}x | "
+            f"{m4_err:>9.4f} | {uni_err:>14.4f}"
+        )
+        assert len(mt) <= 4 * width
+        assert m4_err <= uni_err
+        assert m4_err < 0.03  # near-pixel-perfect
+
+    benchmark(lambda: m4_aggregate(times, values, 800))

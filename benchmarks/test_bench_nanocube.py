@@ -1,0 +1,76 @@
+"""Experiment E2 (extension): spatio-temporal indexing (Nanocubes [96]).
+
+Survey §4: "data structures and indexes should be developed focusing on
+WoD tasks and data, such as Nanocubes [96] in the context of spatio-
+temporal data exploration". The bench compares region+time count queries
+through the quadtree/time index against per-event scans across dataset
+sizes.
+
+Expected shape: query latency roughly flat in event count for the index,
+linear for the scan; crossover immediately.
+"""
+
+import random
+import time
+
+from repro.graph import Rect
+from repro.hierarchy import Nanocube
+
+SIZES = [10_000, 50_000, 200_000]
+QUERIES = 50
+
+
+def _events(n: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(0, 10_000))
+        for _ in range(n)
+    ]
+
+
+def _queries(seed: int = 1):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(QUERIES):
+        x = rng.uniform(0, 800)
+        y = rng.uniform(0, 800)
+        t = rng.uniform(0, 8000)
+        out.append((Rect(x, y, x + 200, y + 200), t, t + 2000))
+    return out
+
+
+def test_e2_query_scaling(benchmark):
+    queries = _queries()
+    print("\n\nE2: Nanocube region+time counting vs per-event scan")
+    print(f"{'events':>8} | {'index q/s':>10} | {'scan q/s':>9} | {'speedup':>8}")
+    final_cube = None
+    for n in SIZES:
+        events = _events(n)
+        cube = Nanocube(events, max_depth=7, leaf_capacity=64)
+        final_cube = cube
+
+        start = time.perf_counter()
+        index_counts = [cube.count(r, t0, t1) for r, t0, t1 in queries]
+        index_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scan_counts = [
+            sum(
+                1 for x, y, t in events
+                if r.contains_point(x, y) and t0 <= t < t1
+            )
+            for r, t0, t1 in queries
+        ]
+        scan_seconds = time.perf_counter() - start
+
+        assert index_counts == scan_counts
+        speedup = scan_seconds / max(index_seconds, 1e-9)
+        print(
+            f"{n:>8} | {QUERIES / index_seconds:>10.0f} | "
+            f"{QUERIES / scan_seconds:>9.0f} | {speedup:>7.1f}x"
+        )
+        if n == SIZES[-1]:
+            assert speedup > 5.0
+
+    region, t0, t1 = queries[0]
+    benchmark(lambda: final_cube.count(region, t0, t1))

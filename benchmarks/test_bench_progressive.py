@@ -1,0 +1,64 @@
+"""Experiment C3: progressive approximate aggregation with bounded error.
+
+Survey claim (§2): "approximate answers are computed incrementally over
+progressively larger samples of the data [46, 2, 69]" — a bounded-error
+answer should arrive after a small fraction of the data, and the error
+bound should shrink like 1/sqrt(n).
+
+Printed series: sample fraction vs estimate error and CI half-width.
+"""
+
+import numpy as np
+
+from repro.approx import ProgressiveAggregator
+from repro.workload import numeric_values
+
+N = 1_000_000
+
+
+def test_c3_error_trajectory(benchmark):
+    values = numeric_values(N, "lognormal", seed=7)
+    true_mean = float(np.mean(values))
+
+    print("\n\nC3: progressive approximation convergence (N = 1,000,000)")
+    print(f"{'fraction':>9} | {'estimate':>10} | {'true error':>10} | {'95% CI ±':>10}")
+    agg = ProgressiveAggregator(values, seed=0)
+    checkpoints = []
+    for estimate in agg.run(chunk_size=N // 100):
+        if estimate.seen in (N // 100, N // 20, N // 10, N // 4, N // 2, N):
+            error = abs(estimate.mean - true_mean)
+            checkpoints.append((estimate.fraction, error, estimate.ci_halfwidth))
+            print(
+                f"{estimate.fraction:>9.2%} | {estimate.mean:>10.3f} | "
+                f"{error:>10.4f} | {estimate.ci_halfwidth:>10.4f}"
+            )
+    # CI shrinks monotonically along the checkpoints and covers the error
+    halfwidths = [c[2] for c in checkpoints]
+    assert halfwidths == sorted(halfwidths, reverse=True)
+    covered = sum(1 for _, error, hw in checkpoints if error <= hw or hw == 0.0)
+    assert covered >= len(checkpoints) - 1
+
+    def early_answer():
+        return ProgressiveAggregator(values, seed=1).run_until(
+            target_halfwidth=1.0, chunk_size=10_000
+        )
+
+    estimate = benchmark(early_answer)
+    fraction = estimate.seen / N
+    print(f"\n  bounded answer (±1.0) after seeing {fraction:.1%} of the data")
+    assert fraction < 0.5
+
+
+def test_c3_progressive_vs_exact_latency(benchmark):
+    """The early-answer cost is a fraction of the exact-aggregation cost."""
+    values = numeric_values(N, "normal", seed=8)
+
+    def bounded():
+        return ProgressiveAggregator(values, seed=2).run_until(
+            target_halfwidth=0.5, chunk_size=20_000
+        )
+
+    estimate = benchmark(bounded)
+    exact = float(np.mean(values))
+    assert abs(estimate.mean - exact) < 2.0
+    assert estimate.seen < N

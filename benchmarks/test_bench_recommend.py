@@ -1,0 +1,88 @@
+"""Experiment C11: visualization recommendation accuracy.
+
+Survey claim (§3.2/§4): recommenders "mainly recommend the most suitable
+visualization technique by considering the type of input data". A labelled
+scenario suite (result shapes → the chart a practitioner would pick) is
+scored for top-1 and top-3 accuracy.
+
+Expected shape: high top-1, near-perfect top-3 — type-driven rules are
+exactly how LinkDaViz/Vis Wizard behave on these canonical shapes.
+"""
+
+from repro.recommend import recommend
+from repro.viz import DataTable
+
+SCENARIOS = [
+    # (description, rows, acceptable top-1 charts)
+    (
+        "category + measure",
+        [{"country": c, "gdp": v} for c, v in
+         [("GR", 200.0), ("FR", 2700.0), ("DE", 3800.0), ("IT", 2000.0)]],
+        {"bar"},
+    ),
+    (
+        "year series",
+        [{"year": 2000 + i, "co2": 300.0 + i} for i in range(20)],
+        {"line"},
+    ),
+    (
+        "two measures",
+        [{"height": 150.0 + i, "weight": 50.0 + i * 0.7} for i in range(30)],
+        {"scatter"},
+    ),
+    (
+        "lat/long points",
+        [{"lat": 35.0 + i, "long": 20.0 + i, "population": 1000.0 * i}
+         for i in range(10)],
+        {"map"},
+    ),
+    (
+        "single numeric column",
+        [{"income": float(i * 997 % 91)} for i in range(200)],
+        {"histogram"},
+    ),
+    (
+        "three measures",
+        [{"x": float(i), "y": float(i % 7), "z": float(i % 13)} for i in range(40)],
+        {"scatter", "bubble"},
+    ),
+    (
+        "small part-of-whole",
+        [{"sector": s, "share": v} for s, v in
+         [("energy", 30.0), ("transport", 25.0), ("industry", 45.0)]],
+        {"bar", "pie"},
+    ),
+    (
+        "events with labels",
+        [{"battle": f"b{i}", "year": 1800 + i * 7} for i in range(12)],
+        {"timeline", "bar"},
+    ),
+]
+
+
+def test_c11_recommendation_accuracy(benchmark):
+    top1_hits = 0
+    top3_hits = 0
+    print("\n\nC11: recommendation accuracy over labelled scenarios")
+    print(f"{'scenario':>24} | {'expected':>18} | {'top-1':>10} | hit")
+    for description, rows, acceptable in SCENARIOS:
+        table = DataTable.from_rows(rows)
+        ranked = recommend(table, max_results=3)
+        top1 = ranked[0].chart if ranked else "(none)"
+        top3 = {r.chart for r in ranked}
+        hit1 = top1 in acceptable
+        hit3 = bool(top3 & acceptable)
+        top1_hits += hit1
+        top3_hits += hit3
+        print(
+            f"{description:>24} | {'/'.join(sorted(acceptable)):>18} | "
+            f"{top1:>10} | {'✓' if hit1 else '✗'}"
+        )
+    n = len(SCENARIOS)
+    print(f"\n  top-1 accuracy: {top1_hits}/{n} = {top1_hits / n:.0%}")
+    print(f"  top-3 accuracy: {top3_hits}/{n} = {top3_hits / n:.0%}")
+    assert top1_hits / n >= 0.7
+    assert top3_hits / n >= 0.9
+
+    table = DataTable.from_rows(SCENARIOS[0][1])
+    benchmark(lambda: recommend(table))

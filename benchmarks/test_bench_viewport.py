@@ -1,0 +1,111 @@
+"""Experiment C5: disk-backed viewport exploration (graphVizdb [22, 23]).
+
+Survey claim (§4): systems that "load the whole graph in main memory" are
+"restricted to handle small sized graphs"; graphVizdb keeps geometry on
+disk behind a spatial index and serves each interaction from the visible
+window. Printed comparison: resident bytes (disk store's pool vs the whole
+geometry) and per-interaction latency over a pan/zoom session.
+
+Expected shape: resident memory bounded by the tile pool (≪ full graph),
+window queries in interactive time.
+"""
+
+import time
+
+import numpy as np
+
+from repro.graph import DiskGraphStore, PropertyGraph, Rect
+from repro.rdf import Graph
+from repro.workload import EX, pan_zoom_trace, powerlaw_link_graph
+
+N_NODES = 20_000
+WORLD = 1000.0
+
+
+def _build_graph():
+    """A power-law graph with a *locality-preserving* placement.
+
+    Force-directed layouts put connected nodes near each other; running one
+    on 20k nodes is out of scope for a benchmark fixture, so we emulate the
+    property directly: each node lands near its earliest attachment target
+    plus Gaussian jitter (exactly the structure a converged layout shows).
+    """
+    graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(N_NODES, seed=11)))
+    rng = np.random.default_rng(0)
+    positions = np.zeros((N_NODES, 2))
+    indexes = [graph.index_of(EX[f"node{i}"]) for i in range(N_NODES)]
+    placed = {indexes[0]}
+    positions[indexes[0]] = (WORLD / 2, WORLD / 2)
+    for i in range(1, N_NODES):
+        index = indexes[i]
+        anchor = next(
+            (n for n in graph.neighbors(index) if n in placed), indexes[0]
+        )
+        positions[index] = np.clip(
+            positions[anchor] + rng.normal(0.0, WORLD / 30.0, size=2), 0.0, WORLD
+        )
+        placed.add(index)
+    return graph, positions
+
+
+def test_c5_resident_memory_and_latency(benchmark, tmp_path):
+    graph, positions = _build_graph()
+    full_geometry_bytes = positions.nbytes + graph.edge_count * 8
+
+    store = DiskGraphStore.build(
+        graph, positions, str(tmp_path / "disk"), tiles=16, cache_tiles=64
+    )
+    world = WORLD
+    # detail-exploration session: pans and zooms within a quarter of the map
+    trace = [
+        step
+        for step in pan_zoom_trace(90, world=world, start_view=world / 8, seed=3)
+        if step.width <= world / 4
+    ][:60]
+
+    latencies = []
+    fetched_nodes = 0
+    for step in trace:
+        x0, y0, x1, y1 = step.bounds
+        start = time.perf_counter()
+        nodes, edges = store.window_query(Rect(x0, y0, x1, y1))
+        latencies.append(time.perf_counter() - start)
+        fetched_nodes += len(nodes)
+
+    resident = store.resident_bytes
+    print("\n\nC5: disk-backed viewport exploration (graphVizdb architecture)")
+    print(f"  interactions replayed:          {len(trace)}")
+    print(f"  graph: {graph.node_count} nodes, {graph.edge_count} edges")
+    print(f"  full geometry if loaded in RAM: {full_geometry_bytes / 1024:.0f} KiB")
+    print(f"  resident after 60 interactions: {resident / 1024:.0f} KiB")
+    print(f"  memory ratio:                   {resident / full_geometry_bytes:.1%}")
+    print(f"  buffer pool hit rate:           {store.pool.stats.hit_rate:.1%}")
+    print(f"  mean interaction latency:       {np.mean(latencies) * 1000:.2f} ms")
+    print(f"  p95 interaction latency:        {np.percentile(latencies, 95) * 1000:.2f} ms")
+
+    assert resident < full_geometry_bytes * 0.8  # memory stays bounded
+    assert store.pool.stats.hit_rate > 0.2  # locality pays off
+
+    window = Rect(world * 0.4, world * 0.4, world * 0.6, world * 0.6)
+    benchmark(lambda: store.window_query(window))
+    store.close()
+
+
+def test_c5_window_query_selective_vs_full_scan(benchmark, tmp_path):
+    """The spatial index touches O(answer) geometry, not O(graph)."""
+    graph, positions = _build_graph()
+    store = DiskGraphStore.build(
+        graph, positions, str(tmp_path / "disk2"), tiles=16, cache_tiles=64
+    )
+    world = WORLD
+    small = Rect(0.0, 0.0, world / 16, world / 16)
+
+    nodes, _ = store.window_query(small)
+    expected = sum(
+        1 for x, y in positions if small.contains_point(float(x), float(y))
+    )
+    assert len(nodes) == expected
+    assert len(nodes) < graph.node_count / 50
+
+    benchmark(lambda: store.window_query(small))
+    store.close()

@@ -1,0 +1,87 @@
+"""Assisted exploration: explaining anomalies and steering by example.
+
+Survey §2's "Variety of Tasks & Users" pillar: beyond rendering, modern
+systems *assist* — they explain surprising aggregates (Scorpion [141]) and
+learn what the user is looking for from examples ([37]). Both on a sensor
+scenario:
+
+1. an hourly average-temperature bar chart shows two anomalous hours;
+   `explain_outliers` pinpoints the faulty sensor;
+2. the analyst marks a few readings as interesting; `ExampleSteering`
+   learns the numeric region and proposes what to inspect next.
+"""
+
+import random
+
+from repro.explain import ExampleSteering, explain_outliers
+from repro.viz import ChartConfig, DataTable, bar_chart
+
+
+def build_readings(seed: int = 0) -> list[dict]:
+    rng = random.Random(seed)
+    rows = []
+    for hour in range(8):
+        for sensor in ("s1", "s2", "s3", "s4"):
+            for _ in range(12):
+                temperature = rng.gauss(21.0, 0.7)
+                if sensor == "s2" and hour >= 6:  # the injected fault
+                    temperature += 35.0
+                rows.append(
+                    {
+                        "hour": hour,
+                        "sensor": sensor,
+                        "voltage": round(rng.gauss(3.3, 0.05), 3),
+                        "temperature": round(temperature, 2),
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    rows = build_readings()
+
+    # the aggregate view the user is looking at
+    hourly: dict[int, list[float]] = {}
+    for row in rows:
+        hourly.setdefault(row["hour"], []).append(row["temperature"])
+    table = DataTable.from_rows(
+        [{"hour": str(h), "avg_temp": sum(v) / len(v)} for h, v in sorted(hourly.items())]
+    )
+    svg = bar_chart(table, "hour", "avg_temp", ChartConfig(title="Avg temperature by hour"))
+    print("hourly averages:")
+    for row in table.rows:
+        marker = "  ← anomalous" if float(row["avg_temp"]) > 25 else ""
+        print(f"  hour {row['hour']}: {float(row['avg_temp']):5.1f}°C{marker}")
+
+    # 1. explain the anomaly
+    explanations = explain_outliers(
+        rows,
+        group_by="hour",
+        measure="temperature",
+        outlier_groups=[6, 7],
+        direction="high",
+    )
+    print("\nwhy are hours 6-7 hot? top explanations:")
+    for explanation in explanations[:3]:
+        print(f"  {explanation}")
+
+    # 2. steer by example toward the interesting readings
+    steering = ExampleSteering(["temperature", "voltage"])
+    hot = [r for r in rows if r["temperature"] > 40]
+    cold = [r for r in rows if r["temperature"] < 25]
+    for row in hot[:3]:
+        steering.label(row, relevant=True)
+    for row in cold[:3]:
+        steering.label(row, relevant=False)
+    region = steering.learn_region()
+    print(f"\nlearned interest region: {region.describe()}")
+    print(f"training accuracy: {steering.accuracy(region):.0%}")
+    candidates = steering.next_candidates(rows, k=3, region=region)
+    print("next readings to inspect:")
+    for row in candidates:
+        print(f"  sensor={row['sensor']} hour={row['hour']} temp={row['temperature']}")
+    print(f"\nas a SPARQL filter: FILTER ({region.to_sparql_filter({'temperature': 't'})})")
+
+
+if __name__ == "__main__":
+    main()

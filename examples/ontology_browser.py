@@ -1,0 +1,82 @@
+"""Ontology visualization: the three paradigms of survey §3.5.
+
+Extracts a class hierarchy from schema triples and renders it as
+
+* a node-link diagram (the VOWL / OntoGraf family),
+* nested CropCircles (geometric containment),
+* a NodeTrix hybrid over the instance graph (OntoTrix's idea),
+
+plus the JSON VOWL-like spec for external renderers.
+"""
+
+import json
+import os
+
+from repro.graph import layered_layout
+from repro.ontology import extract_ontology, ontology_graph, ontology_tree, vowl_spec
+from repro.rdf import Graph, parse_turtle
+from repro.viz import render_cropcircles, render_node_link
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+SCHEMA = """
+@prefix ex: <http://example.org/schema/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+ex:Thing a owl:Class ; rdfs:label "Thing" .
+ex:Agent rdfs:subClassOf ex:Thing ; rdfs:label "Agent" .
+ex:Person rdfs:subClassOf ex:Agent ; rdfs:label "Person" .
+ex:Artist rdfs:subClassOf ex:Person ; rdfs:label "Artist" .
+ex:Scientist rdfs:subClassOf ex:Person ; rdfs:label "Scientist" .
+ex:Organization rdfs:subClassOf ex:Agent ; rdfs:label "Organization" .
+ex:University rdfs:subClassOf ex:Organization ; rdfs:label "University" .
+ex:Place rdfs:subClassOf ex:Thing ; rdfs:label "Place" .
+ex:City rdfs:subClassOf ex:Place ; rdfs:label "City" .
+ex:Work rdfs:subClassOf ex:Thing ; rdfs:label "Work" .
+
+ex:affiliatedWith a rdf:Property ; rdfs:domain ex:Person ; rdfs:range ex:Organization .
+ex:bornIn a rdf:Property ; rdfs:domain ex:Person ; rdfs:range ex:City .
+ex:created a rdf:Property ; rdfs:domain ex:Artist ; rdfs:range ex:Work .
+
+ex:einstein a ex:Scientist . ex:curie a ex:Scientist .
+ex:picasso a ex:Artist . ex:dali a ex:Artist . ex:kahlo a ex:Artist .
+ex:mit a ex:University . ex:eth a ex:University .
+ex:paris a ex:City . ex:guernica a ex:Work .
+"""
+
+
+def main() -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    store = Graph(parse_turtle(SCHEMA))
+    summary = extract_ontology(store)
+    print(f"ontology: {summary.class_count} classes, depth {summary.depth()}, "
+          f"{len(summary.properties)} properties")
+    for root in summary.roots:
+        print(f"  root {summary.classes[root].label}: "
+              f"{summary.subtree_instances(root)} instances in subtree")
+
+    # node-link (layered) view
+    graph = ontology_graph(summary)
+    positions = layered_layout(graph)
+    node_link_path = os.path.join(OUTPUT_DIR, "ontology_nodelink.svg")
+    with open(node_link_path, "w", encoding="utf-8") as fh:
+        fh.write(render_node_link(graph, positions, labels=True, width=900, height=500))
+    print(f"node-link view → {node_link_path}")
+
+    # CropCircles containment view
+    crop_path = os.path.join(OUTPUT_DIR, "ontology_cropcircles.svg")
+    with open(crop_path, "w", encoding="utf-8") as fh:
+        fh.write(render_cropcircles(ontology_tree(summary)))
+    print(f"CropCircles view → {crop_path}")
+
+    # VOWL-like spec for external renderers
+    spec_path = os.path.join(OUTPUT_DIR, "ontology_vowl.json")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        json.dump(vowl_spec(summary), fh, indent=2)
+    print(f"VOWL-like spec → {spec_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: load Linked Data, query it, get a recommended chart.
+
+The five-minute tour of the toolkit's core loop — the loop every system in
+the survey implements some part of:
+
+    RDF in → SPARQL → typed table → recommended visualization → SVG out
+"""
+
+import os
+
+from repro.rdf import Graph, parse_turtle
+from repro.recommend import auto_visualize, recommend
+from repro.sparql import query
+from repro.viz import DataTable
+
+TURTLE = """
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:athens   rdfs:label "Athens" ;   ex:population 664046 ;  ex:country "Greece" .
+ex:lisbon   rdfs:label "Lisbon" ;   ex:population 544851 ;  ex:country "Portugal" .
+ex:bordeaux rdfs:label "Bordeaux" ; ex:population 257068 ;  ex:country "France" .
+ex:helsinki rdfs:label "Helsinki" ; ex:population 658864 ;  ex:country "Finland" .
+ex:zagreb   rdfs:label "Zagreb" ;   ex:population 790017 ;  ex:country "Croatia" .
+"""
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def main() -> None:
+    # 1. Parse Turtle into an indexed in-memory graph.
+    graph = Graph(parse_turtle(TURTLE))
+    print(f"loaded {len(graph)} triples")
+
+    # 2. Ask it questions with SPARQL.
+    result = query(
+        graph,
+        """
+        PREFIX ex: <http://example.org/>
+        PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+        SELECT ?name ?population WHERE {
+            ?city rdfs:label ?name ; ex:population ?population .
+        } ORDER BY DESC(?population)
+        """,
+    )
+    print("\nquery result:")
+    print(result.to_table())
+
+    # 3. Let the recommender propose visualizations for the result shape.
+    table = DataTable.from_rows(result.to_dicts())
+    print("\nrecommendations:")
+    for rec in recommend(table, max_results=3):
+        print(f"  {rec.chart:<8} score={rec.score:.2f}  ({rec.explanation})")
+
+    # 4. Or do it all in one call: query → profile → recommend → render.
+    svg, choice = auto_visualize(
+        graph,
+        """
+        PREFIX ex: <http://example.org/>
+        PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+        SELECT ?name ?population WHERE {
+            ?city rdfs:label ?name ; ex:population ?population .
+        }
+        """,
+    )
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, "quickstart.svg")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    print(f"\nrendered a {choice.chart} chart → {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Statistical Linked Data: browsing an RDF Data Cube (survey §3.3).
+
+The CubeViz / OpenCube workflow: discover ``qb:DataSet``s, inspect the
+structure, pivot to a two-dimensional table, slice, and chart.
+"""
+
+import os
+
+from repro.cube import (
+    DataCube,
+    cube_bar_chart,
+    cube_line_chart,
+    discover_datasets,
+    pivot_table,
+    rollup,
+    slice_cube,
+)
+from repro.rdf import Graph
+from repro.workload import statistical_cube
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def main() -> None:
+    store = Graph(
+        statistical_cube(
+            {
+                "year": [str(y) for y in range(2006, 2014)],
+                "region": ["north", "south", "east", "west"],
+                "sex": ["male", "female"],
+            },
+            measures=("population",),
+            seed=3,
+        )
+    )
+    (dataset,) = discover_datasets(store)
+    cube = DataCube.from_store(store, dataset)
+    print(f"dataset '{cube.label}': {len(cube)} observations")
+    print(f"dimensions: {cube.dimension_keys}")
+    print(f"measures:   {cube.measure_keys}")
+
+    # -- pivot table (the OpenCube Browser view) -----------------------------
+    rows, cols, matrix = pivot_table(
+        cube, "dim-year", "dim-region", "measure-population"
+    )
+    print("\npopulation by year × region (sum over sex):")
+    header = " | ".join(f"{c:>8}" for c in cols)
+    print(f"{'year':>6} | {header}")
+    for year, line in zip(rows, matrix):
+        cells = " | ".join(f"{v:>8,.0f}" for v in line)
+        print(f"{year:>6} | {cells}")
+
+    # -- slice & roll-up ---------------------------------------------------------
+    north = slice_cube(cube, "dim-region", "north")
+    print(f"\nslice region=north: {len(north)} observations")
+    by_year = rollup(north, keep=["dim-year"], aggregate="sum")
+    for row in by_year[:3]:
+        print(f"  {row['dim-year']}: {row['measure-population']:,.0f}")
+
+    # -- charts ---------------------------------------------------------------------
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    bar_path = os.path.join(OUTPUT_DIR, "cube_regions.svg")
+    with open(bar_path, "w", encoding="utf-8") as fh:
+        fh.write(cube_bar_chart(cube, "dim-region", "measure-population"))
+    line_path = os.path.join(OUTPUT_DIR, "cube_trend.svg")
+    with open(line_path, "w", encoding="utf-8") as fh:
+        fh.write(cube_line_chart(cube, "dim-year", "measure-population"))
+    print(f"\nbar chart  → {bar_path}")
+    print(f"line chart → {line_path}")
+
+
+if __name__ == "__main__":
+    main()

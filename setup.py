@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work on
+environments without the ``wheel`` package (PEP 660 editable installs need
+it, ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

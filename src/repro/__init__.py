@@ -1,0 +1,27 @@
+"""repro — scalable exploration and visualization for the Web of Big Linked Data.
+
+A from-scratch reproduction of the system landscape surveyed by Bikakis &
+Sellis, "Exploration and Visualization in the Web of Big Linked Data: A
+Survey of the State of the Art" (LWDM @ EDBT 2016).
+
+Subpackages
+-----------
+``repro.rdf``        RDF terms, graphs, parsers, vocabularies.
+``repro.store``      Indexed, dictionary-encoded, and disk-backed triple stores.
+``repro.sparql``     SPARQL-subset query engine.
+``repro.hierarchy``  HETree hierarchical aggregation (SynopsViz model).
+``repro.approx``     Sampling, binning, M4, progressive approximation.
+``repro.graph``      Graph layouts, clustering, abstraction, bundling, viewports.
+``repro.viz``        LDVM pipeline, chart/treemap/map/timeline models, SVG.
+``repro.recommend``  Visualization recommendation.
+``repro.explore``    Faceted browsing, keyword search, sessions, preferences.
+``repro.cube``       RDF Data Cube (QB) analytics.
+``repro.ontology``   Ontology extraction and visualization views.
+``repro.cache``      Result caches and tile prefetching.
+``repro.catalog``    The survey's systems catalog and feature matrices.
+``repro.workload``   Synthetic LOD workload generators.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

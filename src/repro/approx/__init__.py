@@ -1,0 +1,43 @@
+"""Approximation (data reduction) techniques — survey Section 2.
+
+Sampling/filtering (:mod:`repro.approx.sampling`), aggregation/binning
+(:mod:`repro.approx.binning`), pixel-perfect time-series reduction
+(:mod:`repro.approx.m4`), and progressive approximate aggregation with
+confidence intervals (:mod:`repro.approx.progressive`).
+"""
+
+from .diversify import diversity_score, euclidean, maxmin_diversify
+from .binning import Bin, equi_depth_bins, equi_width_bins, grid_bins_2d
+from .m4 import m4_aggregate, pixel_error, rasterize_minmax, uniform_downsample
+from .progressive import ProgressiveAggregator, ProgressiveEstimate
+from .streaming import StreamingExtremes, StreamingHistogram
+from .sampling import (
+    reservoir_sample,
+    stratified_sample,
+    uniform_sample,
+    visualization_aware_sample,
+    weighted_sample,
+)
+
+__all__ = [
+    "Bin",
+    "ProgressiveAggregator",
+    "ProgressiveEstimate",
+    "StreamingExtremes",
+    "StreamingHistogram",
+    "diversity_score",
+    "equi_depth_bins",
+    "equi_width_bins",
+    "grid_bins_2d",
+    "euclidean",
+    "m4_aggregate",
+    "maxmin_diversify",
+    "pixel_error",
+    "rasterize_minmax",
+    "reservoir_sample",
+    "stratified_sample",
+    "uniform_downsample",
+    "uniform_sample",
+    "visualization_aware_sample",
+    "weighted_sample",
+]

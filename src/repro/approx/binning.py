@@ -1,0 +1,121 @@
+"""Aggregation-based data reduction: binning.
+
+The survey's second approximation family (Section 2): "(2) aggregation
+(e.g., binning, clustering) [42, 25, 74, 73, 97, 138, ...]". One-dimensional
+equi-width and equi-depth binning feed histograms and bar charts; the 2-D
+grid binning is the imMens [97] / bin-summarise-smooth [138] primitive
+behind heatmaps that render millions of points as a fixed pixel lattice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..hierarchy.stats import NodeStats
+
+__all__ = ["Bin", "equi_width_bins", "equi_depth_bins", "grid_bins_2d"]
+
+
+@dataclass(frozen=True)
+class Bin:
+    """One histogram bucket: interval, count, and summary statistics."""
+
+    low: float
+    high: float
+    count: int
+    stats: NodeStats
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def equi_width_bins(
+    values: Sequence[float] | np.ndarray,
+    n_bins: int,
+    domain: tuple[float, float] | None = None,
+) -> list[Bin]:
+    """``n_bins`` equal-width buckets (the histogram default).
+
+    The final bucket is closed on the right so the domain maximum lands in
+    a bin.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    array = np.asarray(values, dtype=np.float64)
+    if domain is not None:
+        low, high = domain
+    elif len(array):
+        low, high = float(array.min()), float(array.max())
+    else:
+        low, high = 0.0, 1.0
+    if high <= low:
+        high = low + 1.0
+    edges = np.linspace(low, high, n_bins + 1)
+    indices = np.clip(((array - low) / (high - low) * n_bins).astype(int), 0, n_bins - 1)
+    bins: list[Bin] = []
+    for b in range(n_bins):
+        members = array[indices == b]
+        bins.append(
+            Bin(float(edges[b]), float(edges[b + 1]), int(len(members)), NodeStats.of(members))
+        )
+    return bins
+
+
+def equi_depth_bins(values: Sequence[float] | np.ndarray, n_bins: int) -> list[Bin]:
+    """``n_bins`` buckets holding ~equal numbers of values (quantile bins).
+
+    Robust to skew: a Zipfian attribute gets narrow buckets where the mass
+    is and wide ones in the tail, keeping every bar readable.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    array = np.sort(np.asarray(values, dtype=np.float64))
+    if not len(array):
+        return []
+    boundaries = [int(round(i * len(array) / n_bins)) for i in range(n_bins + 1)]
+    bins: list[Bin] = []
+    for b in range(n_bins):
+        start, end = boundaries[b], boundaries[b + 1]
+        members = array[start:end]
+        if not len(members):
+            continue
+        low = float(members[0])
+        # The next bin's first value is the exclusive upper edge when there
+        # is one, so bin intervals tile the domain without gaps.
+        high = float(array[end]) if end < len(array) else float(members[-1])
+        bins.append(Bin(low, high, int(len(members)), NodeStats.of(members)))
+    return bins
+
+
+def grid_bins_2d(
+    points: Sequence[tuple[float, float]] | np.ndarray,
+    nx: int,
+    ny: int,
+    domain: tuple[float, float, float, float] | None = None,
+) -> np.ndarray:
+    """Count matrix of shape ``(ny, nx)`` over the bounding box.
+
+    The heatmap primitive: output size is fixed by the *display*, not the
+    data, which is precisely the survey's visual-scalability requirement.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be positive")
+    array = np.asarray(points, dtype=np.float64)
+    counts = np.zeros((ny, nx), dtype=np.int64)
+    if array.size == 0:
+        return counts
+    if domain is not None:
+        x0, y0, x1, y1 = domain
+    else:
+        x0, y0 = array[:, 0].min(), array[:, 1].min()
+        x1, y1 = array[:, 0].max(), array[:, 1].max()
+    dx = (x1 - x0) or 1.0
+    dy = (y1 - y0) or 1.0
+    ix = np.clip(((array[:, 0] - x0) / dx * nx).astype(int), 0, nx - 1)
+    iy = np.clip(((array[:, 1] - y0) / dy * ny).astype(int), 0, ny - 1)
+    np.add.at(counts, (iy, ix), 1)
+    return counts

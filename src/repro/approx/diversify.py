@@ -1,0 +1,70 @@
+"""Result diversification for exploration (DivIDE, Khan et al. [83]).
+
+Survey §4 lists diversification among the techniques for interactive
+exploration: when only ``k`` of many matching results can be shown, pick a
+subset that *covers the result space* instead of the first page of
+near-duplicates. Implements the classic greedy max-min (``MaxMin``)
+heuristic, a 2-approximation of the optimal diverse subset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["maxmin_diversify", "euclidean", "diversity_score"]
+
+T = TypeVar("T")
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Plain Euclidean distance over equal-length numeric vectors."""
+    return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+
+
+def maxmin_diversify(
+    items: Sequence[T],
+    k: int,
+    distance: Callable[[T, T], float] = euclidean,
+    first: int = 0,
+) -> list[T]:
+    """Greedy max-min: repeatedly add the item farthest from the chosen set.
+
+    Deterministic given ``first`` (index of the seed item). Returns all
+    items when ``k >= len(items)``.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    items = list(items)
+    if k == 0:
+        return []
+    if k >= len(items):
+        return items
+    if not 0 <= first < len(items):
+        raise ValueError("first must index into items")
+    chosen = [items[first]]
+    remaining = [item for i, item in enumerate(items) if i != first]
+    # track each candidate's distance to its nearest chosen item
+    nearest = [distance(item, chosen[0]) for item in remaining]
+    while len(chosen) < k:
+        best = max(range(len(remaining)), key=lambda i: nearest[i])
+        picked = remaining.pop(best)
+        nearest.pop(best)
+        chosen.append(picked)
+        for i, item in enumerate(remaining):
+            d = distance(item, picked)
+            if d < nearest[i]:
+                nearest[i] = d
+    return chosen
+
+
+def diversity_score(
+    items: Sequence[T], distance: Callable[[T, T], float] = euclidean
+) -> float:
+    """The min pairwise distance — what max-min diversification maximizes."""
+    if len(items) < 2:
+        return 0.0
+    best = float("inf")
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            best = min(best, distance(a, b))
+    return best

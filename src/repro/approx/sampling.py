@@ -1,0 +1,180 @@
+"""Sampling-based data reduction.
+
+The first of the survey's two approximation families (Section 2):
+"most [approaches] are based on (1) sampling and filtering [46, 105, 2, 69,
+17]". Provided here:
+
+* classic uniform and streaming (reservoir) sampling;
+* stratified sampling — per-group uniform sampling that keeps small groups
+  represented (the BlinkDB [2] strategy);
+* **visualization-aware sampling** in the spirit of VAS [105]: the sample
+  must *look like* the full scatter plot, so points are chosen for spatial
+  coverage and extremes are always retained, rather than i.i.d.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "uniform_sample",
+    "reservoir_sample",
+    "stratified_sample",
+    "weighted_sample",
+    "visualization_aware_sample",
+]
+
+T = TypeVar("T")
+
+
+def uniform_sample(items: Sequence[T], k: int, seed: int = 0) -> list[T]:
+    """``k`` items drawn uniformly without replacement (all if ``k >= n``)."""
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    if k >= len(items):
+        return list(items)
+    return random.Random(seed).sample(list(items), k)
+
+
+def reservoir_sample(stream: Iterable[T], k: int, seed: int = 0) -> list[T]:
+    """Algorithm R over a stream of unknown length: one pass, O(k) memory.
+
+    This is the sampling primitive compatible with the survey's *dynamic*
+    setting — data arriving from an endpoint cannot be sampled by index.
+    """
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    if k == 0:
+        return []
+    rng = random.Random(seed)
+    reservoir: list[T] = []
+    for index, item in enumerate(stream):
+        if index < k:
+            reservoir.append(item)
+        else:
+            j = rng.randint(0, index)
+            if j < k:
+                reservoir[j] = item
+    return reservoir
+
+
+def stratified_sample(
+    items: Sequence[T],
+    key: Callable[[T], Hashable],
+    k: int,
+    seed: int = 0,
+    min_per_stratum: int = 1,
+) -> list[T]:
+    """Sample ~``k`` items, guaranteeing every stratum keeps representation.
+
+    Strata are allocated proportionally to size but never below
+    ``min_per_stratum`` — the property that keeps rare classes visible in
+    group-by views (BlinkDB's motivation).
+    """
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    strata: dict[Hashable, list[T]] = defaultdict(list)
+    for item in items:
+        strata[key(item)].append(item)
+    if not strata:
+        return []
+    total = len(items)
+    rng = random.Random(seed)
+    result: list[T] = []
+    for stratum_key in sorted(strata, key=str):
+        members = strata[stratum_key]
+        share = max(min_per_stratum, round(k * len(members) / total))
+        share = min(share, len(members))
+        result.extend(rng.sample(members, share))
+    return result
+
+
+def weighted_sample(
+    items: Sequence[T], weights: Sequence[float], k: int, seed: int = 0
+) -> list[T]:
+    """``k`` items without replacement, probability ∝ weight (Efraimidis–
+    Spirakis exponential-jump-free variant)."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    if k >= len(items):
+        return list(items)
+    rng = random.Random(seed)
+    keyed = []
+    for item, weight in zip(items, weights):
+        if weight == 0:
+            continue
+        keyed.append((rng.random() ** (1.0 / weight), item))
+    keyed.sort(reverse=True, key=lambda pair: pair[0])
+    return [item for _, item in keyed[:k]]
+
+
+def visualization_aware_sample(
+    points: Sequence[tuple[float, float]],
+    k: int,
+    seed: int = 0,
+    grid: int | None = None,
+) -> list[tuple[float, float]]:
+    """A sample whose scatter plot resembles the full data's (VAS [105]).
+
+    Strategy: overlay a ``grid × grid`` lattice over the bounding box, keep
+    at most one point per occupied cell round-robin until the budget is
+    filled (spatial coverage), and always include the four axis extremes
+    (outliers are visually load-bearing). Falls back to uniform when the
+    budget exceeds the number of occupied cells.
+    """
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    points = list(points)
+    if k >= len(points):
+        return points
+    if k == 0:
+        return []
+    rng = random.Random(seed)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if grid is None:
+        grid = max(2, int(math.sqrt(k) * 2))
+    dx = (x1 - x0) or 1.0
+    dy = (y1 - y0) or 1.0
+
+    cells: dict[tuple[int, int], list[tuple[float, float]]] = defaultdict(list)
+    for point in points:
+        cx = min(int((point[0] - x0) / dx * grid), grid - 1)
+        cy = min(int((point[1] - y0) / dy * grid), grid - 1)
+        cells[(cx, cy)].append(point)
+
+    # Axis extremes first: they define the visual envelope.
+    chosen: list[tuple[float, float]] = []
+    seen: set[tuple[float, float]] = set()
+    for extreme in (
+        min(points, key=lambda p: p[0]),
+        max(points, key=lambda p: p[0]),
+        min(points, key=lambda p: p[1]),
+        max(points, key=lambda p: p[1]),
+    ):
+        if extreme not in seen and len(chosen) < k:
+            chosen.append(extreme)
+            seen.add(extreme)
+
+    # Round-robin across occupied cells for even coverage.
+    buckets = [rng.sample(members, len(members)) for _, members in sorted(cells.items())]
+    index = 0
+    while len(chosen) < k and buckets:
+        bucket = buckets[index % len(buckets)]
+        while bucket and bucket[-1] in seen:
+            bucket.pop()
+        if bucket:
+            point = bucket.pop()
+            chosen.append(point)
+            seen.add(point)
+            index += 1
+        else:
+            buckets.pop(index % len(buckets))
+    return chosen

@@ -1,0 +1,169 @@
+"""Streaming (one-pass, bounded-memory) summaries for dynamic data.
+
+Survey §2: "in other cases ... data is received in a stream fashion",
+which "prevents a preprocessing phase". Summaries must then be maintained
+online in bounded memory:
+
+* :class:`StreamingHistogram` — a fixed-budget histogram that adapts its
+  bins as the value domain grows (nearest-pair bin merging, the
+  Ben-Haim & Tom-Tov streaming histogram used by decision-tree learners);
+* :class:`StreamingExtremes` — running min/max/top-k without storage.
+
+Together with :func:`repro.approx.sampling.reservoir_sample` and the
+Welford statistics in :class:`repro.hierarchy.stats.NodeStats`, these cover
+the summaries a live endpoint view needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+
+__all__ = ["StreamingHistogram", "StreamingExtremes"]
+
+
+class StreamingHistogram:
+    """Fixed-budget online histogram (Ben-Haim & Tom-Tov).
+
+    Maintains at most ``max_bins`` (centroid, count) pairs; inserting a new
+    value adds a unit bin and, on overflow, merges the two closest
+    centroids. ``counts_between`` interpolates like the original paper.
+    """
+
+    def __init__(self, max_bins: int = 64) -> None:
+        if max_bins < 2:
+            raise ValueError("max_bins must be >= 2")
+        self.max_bins = max_bins
+        self._bins: list[list[float]] = []  # sorted [centroid, count]
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.total += 1
+        index = bisect_left(self._bins, [value, float("-inf")])
+        if index < len(self._bins) and self._bins[index][0] == value:
+            self._bins[index][1] += 1
+        else:
+            insort(self._bins, [value, 1.0])
+            if len(self._bins) > self.max_bins:
+                self._merge_closest()
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    def _merge_closest(self) -> None:
+        gaps = [
+            (self._bins[i + 1][0] - self._bins[i][0], i)
+            for i in range(len(self._bins) - 1)
+        ]
+        _, i = min(gaps)
+        a, b = self._bins[i], self._bins[i + 1]
+        merged_count = a[1] + b[1]
+        centroid = (a[0] * a[1] + b[0] * b[1]) / merged_count
+        self._bins[i] = [centroid, merged_count]
+        del self._bins[i + 1]
+
+    @property
+    def bins(self) -> list[tuple[float, float]]:
+        """Sorted (centroid, count) pairs."""
+        return [(c, n) for c, n in self._bins]
+
+    def count_below(self, value: float) -> float:
+        """Estimated number of seen values ≤ ``value`` (interpolated)."""
+        if not self._bins:
+            return 0.0
+        if value < self._bins[0][0]:
+            return 0.0
+        if value >= self._bins[-1][0]:
+            return float(self.total)
+        total = 0.0
+        for i in range(len(self._bins) - 1):
+            c0, n0 = self._bins[i]
+            c1, n1 = self._bins[i + 1]
+            if value < c0:
+                break
+            if value >= c1:
+                total += n0
+                continue
+            # inside the trapezoid between centroids: linear interpolation
+            fraction = (value - c0) / (c1 - c0)
+            total += n0 / 2.0 + (n0 / 2.0 + n1 / 2.0 * fraction) * fraction
+            break
+        return min(total + self._bins[0][1] / 2.0, float(self.total))
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile via inverse interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._bins:
+            raise ValueError("empty histogram")
+        target = q * self.total
+        lo = self._bins[0][0]
+        hi = self._bins[-1][0]
+        if hi == lo:
+            return lo
+        for _ in range(40):  # bisection on the CDF estimate
+            mid = (lo + hi) / 2.0
+            if self.count_below(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    def to_chart_bins(self):
+        """Adapter to :class:`repro.approx.binning.Bin` for the histogram
+        renderer (approximate counts, exact budget)."""
+        from ..hierarchy.stats import NodeStats
+        from .binning import Bin
+
+        result = []
+        for i, (centroid, count) in enumerate(self._bins):
+            low = centroid if i == 0 else (self._bins[i - 1][0] + centroid) / 2.0
+            high = centroid if i == len(self._bins) - 1 else (
+                centroid + self._bins[i + 1][0]
+            ) / 2.0
+            stats = NodeStats()
+            stats.count = int(round(count))
+            stats.minimum = low
+            stats.maximum = high
+            stats.mean = centroid
+            result.append(Bin(low, high, int(round(count)), stats))
+        return result
+
+    def __len__(self) -> int:
+        return len(self._bins)
+
+
+class StreamingExtremes:
+    """Running min / max / top-k over a stream, O(k) memory."""
+
+    def __init__(self, k: int = 10) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._top: list[float] = []  # min-heap of the k largest
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._top) < self.k:
+            heapq.heappush(self._top, value)
+        elif value > self._top[0]:
+            heapq.heapreplace(self._top, value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def top_k(self) -> list[float]:
+        """The k largest values seen, descending."""
+        return sorted(self._top, reverse=True)

@@ -1,0 +1,13 @@
+"""Caching & prefetching (survey §4's latency-hiding recommendation)."""
+
+from .prefetch import TilePrefetcher
+from .semantic_windows import RegionCache, RegionQueryStats
+from .result_cache import CacheStats, ResultCache
+
+__all__ = [
+    "CacheStats",
+    "RegionCache",
+    "RegionQueryStats",
+    "ResultCache",
+    "TilePrefetcher",
+]

@@ -1,0 +1,103 @@
+"""Result caching with LRU / LFU policies.
+
+Survey Section 4: "also caching and prefetching techniques may be
+exploited; e.g., [128, 76, 70, 16, 33, 83, 39]". :class:`ResultCache` is
+the generic keyed cache the exploration layers put in front of expensive
+operations (window queries, facet counts, SPARQL results); its statistics
+feed benchmark C9.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+__all__ = ["CacheStats", "ResultCache"]
+
+V = TypeVar("V")
+
+_SENTINEL = object()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ResultCache:
+    """Bounded keyed cache; eviction policy ``"lru"`` or ``"lfu"``."""
+
+    def __init__(self, capacity: int, policy: str = "lru") -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        if policy not in ("lru", "lfu"):
+            raise ValueError("policy must be 'lru' or 'lfu'")
+        self.capacity = capacity
+        self.policy = policy
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._frequency: dict[Hashable, int] = {}
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        value = self._data.get(key, _SENTINEL)
+        if value is _SENTINEL:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._touch(key)
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if key not in self._data and len(self._data) >= self.capacity:
+            self._evict()
+        self._data[key] = value
+        self._touch(key)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
+        """The memoization workhorse: one lookup, one fill on miss."""
+        value = self._data.get(key, _SENTINEL)
+        if value is not _SENTINEL:
+            self.stats.hits += 1
+            self._touch(key)
+            return value  # type: ignore[return-value]
+        self.stats.misses += 1
+        computed = compute()
+        if len(self._data) >= self.capacity:
+            self._evict()
+        self._data[key] = computed
+        self._touch(key)
+        return computed
+
+    def _touch(self, key: Hashable) -> None:
+        self._data.move_to_end(key)
+        self._frequency[key] = self._frequency.get(key, 0) + 1
+
+    def _evict(self) -> None:
+        if self.policy == "lru":
+            victim, _ = self._data.popitem(last=False)
+        else:  # lfu: least frequent, ties broken by recency (oldest first)
+            victim = min(self._data, key=lambda k: (self._frequency[k],))
+            del self._data[victim]
+        self._frequency.pop(victim, None)
+        self.stats.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._frequency.clear()

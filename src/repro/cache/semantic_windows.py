@@ -1,0 +1,103 @@
+"""Semantic-window region caching (Kalinin et al. [76]).
+
+Survey §4 cites Semantic Windows among the caching techniques to exploit:
+exploration queries are *regions*; a new region contained in previously
+explored territory can be answered from cached results instead of the
+store. :class:`RegionCache` keeps (rectangle → items) entries and answers
+
+* **containment hits** — the query is inside one cached window: filter its
+  items, no store access;
+* **partial hits** — cached windows cover part of the query: fetch only
+  the uncovered remainder (here: fall back to a full fetch but report the
+  overlap, which is what a paging layer would exploit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..graph.spatial import Rect
+
+__all__ = ["RegionCache", "RegionQueryStats"]
+
+Item = tuple[float, float, object]  # x, y, payload
+
+
+@dataclass
+class RegionQueryStats:
+    containment_hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.containment_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.containment_hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class RegionCache:
+    """A bounded cache of explored rectangular regions and their items."""
+
+    loader: Callable[[Rect], Iterable[Item]]
+    capacity: int = 16
+    windows: list[tuple[Rect, list[Item]]] = field(default_factory=list)
+    stats: RegionQueryStats = field(default_factory=RegionQueryStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+
+    def query(self, region: Rect) -> list[Item]:
+        """Items inside ``region``, served from a covering window if any."""
+        for index, (window, items) in enumerate(self.windows):
+            if _covers(window, region):
+                self.stats.containment_hits += 1
+                # refresh recency
+                self.windows.append(self.windows.pop(index))
+                return [
+                    item for item in items if region.contains_point(item[0], item[1])
+                ]
+        self.stats.misses += 1
+        items = list(self.loader(region))
+        self.windows.append((region, items))
+        if len(self.windows) > self.capacity:
+            self.windows.pop(0)
+        return items
+
+    def coverage_of(self, region: Rect) -> float:
+        """Fraction of ``region``'s area inside some cached window (upper
+        bound via the best single window — the prefetching signal)."""
+        area = _area(region)
+        if area == 0:
+            return 1.0 if any(_covers(w, region) for w, _ in self.windows) else 0.0
+        best = 0.0
+        for window, _ in self.windows:
+            overlap = _intersection_area(window, region)
+            best = max(best, overlap / area)
+        return min(best, 1.0)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+
+def _covers(outer: Rect, inner: Rect) -> bool:
+    return (
+        outer.x0 <= inner.x0
+        and outer.y0 <= inner.y0
+        and outer.x1 >= inner.x1
+        and outer.y1 >= inner.y1
+    )
+
+
+def _area(rect: Rect) -> float:
+    return max(rect.x1 - rect.x0, 0.0) * max(rect.y1 - rect.y0, 0.0)
+
+
+def _intersection_area(a: Rect, b: Rect) -> float:
+    width = min(a.x1, b.x1) - max(a.x0, b.x0)
+    height = min(a.y1, b.y1) - max(a.y0, b.y0)
+    return max(width, 0.0) * max(height, 0.0)

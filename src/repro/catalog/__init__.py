@@ -1,0 +1,33 @@
+"""The survey's systems catalog and feature matrices (Tables 1 & 2)."""
+
+from .data import ALL_SYSTEMS, OTHER_SYSTEMS, TABLE1_SYSTEMS, TABLE2_SYSTEMS
+from .matrix import (
+    approximation_gap,
+    category_counts,
+    feature_adoption,
+    render_matrix,
+    render_table1,
+    render_table2,
+    systems_with_feature,
+)
+from .model import AppType, Category, DataType, Feature, SystemRecord, VisType
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "AppType",
+    "Category",
+    "DataType",
+    "Feature",
+    "OTHER_SYSTEMS",
+    "SystemRecord",
+    "TABLE1_SYSTEMS",
+    "TABLE2_SYSTEMS",
+    "VisType",
+    "approximation_gap",
+    "category_counts",
+    "feature_adoption",
+    "render_matrix",
+    "render_table1",
+    "render_table2",
+    "systems_with_feature",
+]

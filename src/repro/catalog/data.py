@@ -1,0 +1,200 @@
+"""The catalog: every system the survey classifies.
+
+Tables 1 and 2 are transcribed row-for-row (``TABLE1_SYSTEMS`` and
+``TABLE2_SYSTEMS`` preserve the paper's row order); the prose-only systems
+of Sections 3.1, 3.3, 3.5, and 3.6 are catalogued with their category so
+the taxonomy queries cover the whole survey.
+"""
+
+from __future__ import annotations
+
+from .model import AppType, Category, DataType, Feature, SystemRecord, VisType
+
+__all__ = ["TABLE1_SYSTEMS", "TABLE2_SYSTEMS", "OTHER_SYSTEMS", "ALL_SYSTEMS"]
+
+_N = DataType.NUMERIC
+_T = DataType.TEMPORAL
+_S = DataType.SPATIAL
+_H = DataType.HIERARCHICAL
+_G = DataType.GRAPH
+
+_B = VisType.BUBBLE
+_C = VisType.CHART
+_CI = VisType.CIRCLES
+_VG = VisType.GRAPH
+_M = VisType.MAP
+_P = VisType.PIE
+_PC = VisType.PARALLEL_COORDINATES
+_SC = VisType.SCATTER
+_SG = VisType.STREAMGRAPH
+_TM = VisType.TREEMAP
+_TL = VisType.TIMELINE
+_TR = VisType.TREE
+
+_REC = Feature.RECOMMENDATION
+_PREF = Feature.PREFERENCES
+_STAT = Feature.STATISTICS
+_SAMP = Feature.SAMPLING
+_AGG = Feature.AGGREGATION
+_INCR = Feature.INCREMENTAL
+_DISK = Feature.DISK
+_KEY = Feature.KEYWORD
+_FIL = Feature.FILTER
+
+
+def _generic(name, year, refs, data_types, vis_types, features=()):
+    return SystemRecord(
+        name=name,
+        year=year,
+        category=Category.GENERIC,
+        references=tuple(refs),
+        data_types=frozenset(data_types),
+        vis_types=frozenset(vis_types),
+        features=frozenset(features),
+        domain="generic",
+        app_type=AppType.WEB,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 1: Generic Visualization Systems (11 rows, paper order)
+# --------------------------------------------------------------------------- #
+
+TABLE1_SYSTEMS: tuple[SystemRecord, ...] = (
+    _generic("Rhizomer", 2006, ["30"], [_N, _T, _S, _H, _G], [_C, _M, _TM, _TL], [_REC]),
+    _generic("VizBoard", 2009, ["135", "136", "109"], [_N, _H], [_C, _SC, _TM],
+             [_REC, _PREF, _SAMP]),
+    _generic("LODWheel", 2011, ["126"], [_N, _S, _G], [_C, _VG, _M, _P]),
+    _generic("SemLens", 2011, ["59"], [_N], [_SC], [_PREF]),
+    _generic("LDVM", 2013, ["29"], [_S, _H, _G], [_B, _M, _TM, _TR], [_REC]),
+    _generic("Payola", 2013, ["84"], [_N, _T, _S, _H, _G],
+             [_C, _CI, _VG, _M, _TM, _TL, _TR]),
+    _generic("LDVizWiz", 2014, ["11"], [_S, _H, _G], [_M, _P, _TR], [_REC]),
+    _generic("SynopsViz", 2014, ["26", "25"], [_N, _T, _H], [_C, _P, _TM, _TL],
+             [_REC, _PREF, _STAT, _AGG, _INCR, _DISK]),
+    _generic("Vis Wizard", 2014, ["131"], [_N, _T, _S], [_B, _C, _M, _P, _PC, _SG],
+             [_REC, _PREF]),
+    _generic("LinkDaViz", 2015, ["129"], [_N, _T, _S], [_B, _C, _SC, _M, _P],
+             [_REC, _PREF]),
+    _generic("ViCoMap", 2015, ["112"], [_N, _T, _S], [_M], [_STAT]),
+)
+
+
+def _graph_system(name, year, refs, features, domain="generic", app=AppType.DESKTOP):
+    return SystemRecord(
+        name=name,
+        year=year,
+        category=Category.ONTOLOGY if domain == "ontology" else Category.GRAPH,
+        references=tuple(refs),
+        data_types=frozenset([_G]),
+        vis_types=frozenset([_VG]),
+        features=frozenset(features),
+        domain=domain,
+        app_type=app,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: Graph-based Visualization Systems (21 rows, paper order)
+# --------------------------------------------------------------------------- #
+
+TABLE2_SYSTEMS: tuple[SystemRecord, ...] = (
+    _graph_system("RDF-Gravity", 2003, ["9n"], [_KEY, _FIL]),
+    _graph_system("IsaViz", 2003, ["108"], [_KEY, _FIL]),
+    _graph_system("RDF graph visualizer", 2004, ["115"], [_KEY]),
+    _graph_system("GrOWL", 2007, ["89"], [_KEY, _FIL, _SAMP], domain="ontology"),
+    _graph_system("NodeTrix", 2007, ["61"], [_AGG], domain="ontology"),
+    _graph_system("PGV", 2007, ["36"], [_INCR, _DISK]),
+    _graph_system("Fenfire", 2008, ["54"], []),
+    _graph_system("Gephi", 2009, ["15"], [_FIL, _SAMP, _AGG]),
+    _graph_system("Trisolda", 2010, ["38"], [_SAMP, _AGG, _INCR]),
+    _graph_system("Cytospace", 2010, ["127"], [_KEY, _FIL, _SAMP, _AGG, _DISK]),
+    _graph_system("FlexViz", 2010, ["45"], [_KEY, _FIL], domain="ontology", app=AppType.WEB),
+    _graph_system("RelFinder", 2010, ["58"], [], app=AppType.WEB),
+    _graph_system("ZoomRDF", 2010, ["142"], [_SAMP, _AGG, _INCR]),
+    _graph_system("KC-Viz", 2011, ["104"], [_SAMP], domain="ontology"),
+    _graph_system("LODWheel", 2011, ["126"], [_FIL, _AGG], app=AppType.WEB),
+    _graph_system("GLOW", 2012, ["64"], [_SAMP, _AGG], domain="ontology"),
+    _graph_system("Lodlive", 2012, ["31"], [_KEY], app=AppType.WEB),
+    _graph_system("OntoTrix", 2013, ["14"], [_SAMP, _AGG], domain="ontology"),
+    _graph_system("LODeX", 2014, ["19"], [_SAMP, _AGG], app=AppType.WEB),
+    _graph_system("VOWL 2", 2014, ["100", "99"], [], domain="ontology", app=AppType.WEB),
+    _graph_system("graphVizdb", 2015, ["23", "22"], [_KEY, _FIL, _SAMP, _DISK], app=AppType.WEB),
+)
+
+
+def _other(name, year, refs, category, domain="generic", app=AppType.WEB, notes=""):
+    return SystemRecord(
+        name=name,
+        year=year,
+        category=category,
+        references=tuple(refs),
+        domain=domain,
+        app_type=app,
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Prose-only systems (Sections 3.1, 3.3, 3.5, 3.6)
+# --------------------------------------------------------------------------- #
+
+OTHER_SYSTEMS: tuple[SystemRecord, ...] = (
+    # §3.1 browsers & exploratory systems
+    _other("Haystack", 2004, ["111"], Category.BROWSER, notes="stylesheet-based presentation"),
+    _other("Disco", 2007, ["6n"], Category.BROWSER, notes="property-value HTML tables"),
+    _other("Noadster", 2005, ["113"], Category.BROWSER, notes="property-based clustering"),
+    _other("Piggy Bank", 2005, ["66"], Category.BROWSER, notes="browser plug-in, HTML→RDF"),
+    _other("LESS", 2010, ["13"], Category.BROWSER, notes="user-defined templates"),
+    _other("Tabulator", 2006, ["21"], Category.BROWSER, notes="maps and timelines too"),
+    _other("LENA", 2008, ["87"], Category.BROWSER, notes="SPARQL-expressed view criteria"),
+    _other("Visor", 2011, ["110"], Category.BROWSER, notes="multi-pivot exploration"),
+    _other("/facet", 2006, ["62"], Category.BROWSER, notes="faceted navigation"),
+    _other("Humboldt", 2008, ["86"], Category.BROWSER, notes="faceted navigation"),
+    _other("gFacet", 2010, ["57"], Category.BROWSER, notes="graph-shaped facets"),
+    _other("Explorator", 2009, ["7"], Category.BROWSER, notes="search + facets"),
+    _other("VisiNav", 2010, ["53"], Category.BROWSER,
+           notes="keyword search, object focus, path traversal, facets"),
+    _other("Information Workbench", 2011, ["52"], Category.BROWSER,
+           notes="self-service Linked Data platform"),
+    _other("Marbles", 2009, ["7n"], Category.BROWSER, notes="Fresnel-based formatting"),
+    _other("URI Burner", 2010, ["8n"], Category.BROWSER, app=AppType.SERVICE,
+           notes="on-demand resource descriptions"),
+    _other("Balloon Synopsis", 2014, ["117"], Category.GENERIC,
+           notes="node-centric tile design, federated enhancement"),
+    # §3.3 domain / vocabulary / device-specific
+    _other("Map4rdf", 2012, ["92"], Category.DOMAIN, domain="geo-spatial"),
+    _other("Facete", 2014, ["122"], Category.DOMAIN, domain="geo-spatial"),
+    _other("SexTant", 2013, ["20"], Category.DOMAIN, domain="time-evolving geo-spatial"),
+    _other("Spacetime", 2014, ["133"], Category.DOMAIN, domain="time-evolving geo-spatial"),
+    _other("LinkedGeoData Browser", 2012, ["121"], Category.DOMAIN, domain="geo-spatial"),
+    _other("DBpedia Atlas", 2015, ["132"], Category.DOMAIN, domain="geo-spatial"),
+    _other("VISU", 2013, ["6"], Category.DOMAIN, domain="linked university data"),
+    _other("CubeViz", 2013, ["43", "114"], Category.DOMAIN, domain="statistical (QB)"),
+    _other("Payola Data Cube", 2014, ["60"], Category.DOMAIN, domain="statistical (QB)"),
+    _other("OpenCube Toolkit", 2014, ["75"], Category.DOMAIN, domain="statistical (QB)"),
+    _other("LDCE", 2014, ["79"], Category.DOMAIN, domain="statistical (QB)"),
+    _other("Linked Statistical Maps", 2014, ["106"], Category.DOMAIN, domain="statistical (QB)"),
+    _other("DBpedia Mobile", 2009, ["18"], Category.DOMAIN, domain="location-aware",
+           app=AppType.MOBILE),
+    _other("Who's Who", 2011, ["32"], Category.DOMAIN, domain="mobile exploration",
+           app=AppType.MOBILE),
+    # §3.5 ontology systems not in Table 2
+    _other("CropCircles", 2006, ["137"], Category.ONTOLOGY, domain="ontology",
+           app=AppType.DESKTOP, notes="geometric containment"),
+    _other("Knoocks", 2008, ["88"], Category.ONTOLOGY, domain="ontology",
+           app=AppType.DESKTOP, notes="containment + node-link hybrid"),
+    _other("OntoGraf", 2010, ["10n"], Category.ONTOLOGY, domain="ontology",
+           app=AppType.DESKTOP),
+    _other("OWLViz", 2010, ["11n"], Category.ONTOLOGY, domain="ontology",
+           app=AppType.DESKTOP),
+    # §3.6 libraries
+    _other("Sgvizler", 2012, ["120"], Category.LIBRARY, app=AppType.LIBRARY,
+           notes="SPARQL SELECT in HTML attributes, Google Charts output"),
+    _other("Visualbox", 2013, ["50"], Category.LIBRARY, app=AppType.LIBRARY,
+           notes="SPARQL debugging + 14 visualization templates"),
+)
+
+# Table 2 re-lists LODWheel (it appears in both tables in the paper), so the
+# combined catalog dedups by (name, category).
+ALL_SYSTEMS: tuple[SystemRecord, ...] = TABLE1_SYSTEMS + TABLE2_SYSTEMS + OTHER_SYSTEMS

@@ -1,0 +1,18 @@
+"""Statistical Linked Data: the RDF Data Cube stack (survey §3.3)."""
+
+from .bindings import cube_bar_chart, cube_line_chart, cube_pie_chart, cube_to_table
+from .model import DataCube, discover_datasets
+from .ops import dice_cube, pivot_table, rollup, slice_cube
+
+__all__ = [
+    "DataCube",
+    "cube_bar_chart",
+    "cube_line_chart",
+    "cube_pie_chart",
+    "cube_to_table",
+    "dice_cube",
+    "discover_datasets",
+    "pivot_table",
+    "rollup",
+    "slice_cube",
+]

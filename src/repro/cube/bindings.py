@@ -1,0 +1,60 @@
+"""Cube → visualization bindings (CubeViz's chart panel).
+
+CubeViz "provides data visualizations using different types of charts
+(line, bar, column, area and pie)" over a selected slice. These helpers
+turn rolled-up cube data into :class:`~repro.viz.datamodel.DataTable`s and
+render the corresponding charts.
+"""
+
+from __future__ import annotations
+
+from ..viz.charts import ChartConfig, bar_chart, line_chart, pie_chart
+from ..viz.datamodel import DataTable
+from .model import DataCube
+from .ops import rollup
+
+__all__ = ["cube_to_table", "cube_bar_chart", "cube_pie_chart", "cube_line_chart"]
+
+
+def cube_to_table(cube: DataCube) -> DataTable:
+    """All observations as a typed table (for the recommender)."""
+    return DataTable.from_rows(cube.observations)
+
+
+def _grouped_table(cube: DataCube, dimension: str, measure: str, aggregate: str) -> DataTable:
+    if measure not in cube.measure_keys:
+        raise KeyError(f"unknown measure {measure!r}")
+    grouped = rollup(cube, keep=[dimension], aggregate=aggregate)
+    return DataTable.from_rows(grouped)
+
+
+def cube_bar_chart(
+    cube: DataCube, dimension: str, measure: str,
+    aggregate: str = "sum", config: ChartConfig | None = None,
+) -> str:
+    """One bar per member of ``dimension``, ``measure`` aggregated."""
+    table = _grouped_table(cube, dimension, measure, aggregate)
+    return bar_chart(table, dimension, measure, config or ChartConfig(title=cube.label))
+
+
+def cube_pie_chart(
+    cube: DataCube, dimension: str, measure: str,
+    aggregate: str = "sum", config: ChartConfig | None = None,
+) -> str:
+    table = _grouped_table(cube, dimension, measure, aggregate)
+    return pie_chart(table, dimension, measure, config or ChartConfig(title=cube.label))
+
+
+def cube_line_chart(
+    cube: DataCube, dimension: str, measure: str,
+    aggregate: str = "sum", config: ChartConfig | None = None,
+) -> str:
+    """Measure over an ordered (e.g. year) dimension."""
+    grouped = rollup(cube, keep=[dimension], aggregate=aggregate)
+    # coerce dimension members to numbers when they look numeric (years)
+    for row in grouped:
+        value = row.get(dimension)
+        if isinstance(value, str) and value.replace(".", "", 1).isdigit():
+            row[dimension] = float(value)
+    table = DataTable.from_rows(grouped)
+    return line_chart(table, dimension, measure, config or ChartConfig(title=cube.label))

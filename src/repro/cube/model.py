@@ -1,0 +1,111 @@
+"""RDF Data Cube model (W3C QB vocabulary) — survey Section 3.3.
+
+CubeViz [43], the OpenCube Toolkit [75], LDCE [79], and the Payola cube
+plugin [60] all browse statistical WoD published as ``qb:DataSet``s.
+:class:`DataCube` parses the structure definition (dimensions + measures)
+and the observations into a tabular form the OLAP operations in
+:mod:`repro.cube.ops` and the chart bindings consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import IRI, Literal, Subject
+from ..rdf.vocab import QB, RDFS
+from ..store.base import TripleSource
+
+__all__ = ["DataCube", "discover_datasets"]
+
+
+def discover_datasets(store: TripleSource) -> list[Subject]:
+    """All ``qb:DataSet`` resources in the store."""
+    return sorted(
+        (s for s, _, _ in store.triples((None, None, QB.DataSet))
+         if _is_type_triple(store, s)),
+        key=str,
+    )
+
+
+def _is_type_triple(store: TripleSource, subject: Subject) -> bool:
+    from ..rdf.vocab import RDF
+
+    return any(True for _ in store.triples((subject, RDF.type, QB.DataSet)))
+
+
+@dataclass
+class DataCube:
+    """One parsed QB dataset."""
+
+    dataset: Subject
+    label: str
+    dimensions: list[IRI] = field(default_factory=list)
+    measures: list[IRI] = field(default_factory=list)
+    observations: list[dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_store(cls, store: TripleSource, dataset: Subject) -> "DataCube":
+        """Parse structure (via the DSD's component specs) and observations."""
+        from ..rdf.vocab import RDF
+
+        label = str(dataset)
+        for _, _, o in store.triples((dataset, RDFS.label, None)):
+            if isinstance(o, Literal):
+                label = o.lexical
+        dsd = None
+        for _, _, o in store.triples((dataset, QB.structure, None)):
+            dsd = o
+        dimensions: list[IRI] = []
+        measures: list[IRI] = []
+        if dsd is not None:
+            for _, _, component in store.triples((dsd, QB.component, None)):
+                for _, _, dim in store.triples((component, QB.dimension, None)):
+                    if isinstance(dim, IRI):
+                        dimensions.append(dim)
+                for _, _, measure in store.triples((component, QB.measure, None)):
+                    if isinstance(measure, IRI):
+                        measures.append(measure)
+        dimensions.sort()
+        measures.sort()
+
+        observations: list[dict[str, object]] = []
+        for obs, _, _ in store.triples((None, QB.dataSet, dataset)):
+            row: dict[str, object] = {}
+            for _, p, o in store.triples((obs, None, None)):
+                if p in (RDF.type, QB.dataSet):
+                    continue
+                key = _component_key(p)
+                row[key] = o.value if isinstance(o, Literal) else str(o)
+            if row:
+                observations.append(row)
+        observations.sort(key=lambda r: tuple(str(r.get(_component_key(d))) for d in dimensions))
+        return cls(
+            dataset=dataset,
+            label=label,
+            dimensions=dimensions,
+            measures=measures,
+            observations=observations,
+        )
+
+    @property
+    def dimension_keys(self) -> list[str]:
+        return [_component_key(d) for d in self.dimensions]
+
+    @property
+    def measure_keys(self) -> list[str]:
+        return [_component_key(m) for m in self.measures]
+
+    def dimension_members(self, dimension: str) -> list[object]:
+        """Distinct values of one dimension (by key or full IRI)."""
+        key = _component_key(IRI(dimension)) if dimension.startswith("http") else dimension
+        if key not in self.dimension_keys:
+            raise KeyError(f"unknown dimension {dimension!r}")
+        return sorted({row.get(key) for row in self.observations if key in row}, key=str)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+
+def _component_key(predicate: IRI) -> str:
+    """Short column key for a component property IRI."""
+    return predicate.local_name or str(predicate)

@@ -1,0 +1,111 @@
+"""OLAP-style operations over parsed data cubes.
+
+The OpenCube Browser shows cubes as two-dimensional slices; LDCE "allows
+users to explore and analyse statistical datasets" — which means slice,
+dice, roll-up, and pivot. All operations return plain data (new observation
+lists or matrices); chart bindings live in :mod:`repro.cube.bindings`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from .model import DataCube
+
+__all__ = ["slice_cube", "dice_cube", "rollup", "pivot_table"]
+
+_AGGREGATORS: dict[str, Callable[[list[float]], float]] = {
+    "sum": sum,
+    "avg": lambda values: sum(values) / len(values),
+    "min": min,
+    "max": max,
+    "count": len,
+}
+
+
+def slice_cube(cube: DataCube, dimension: str, member: object) -> DataCube:
+    """Fix one dimension to one member; the result drops that dimension."""
+    if dimension not in cube.dimension_keys:
+        raise KeyError(f"unknown dimension {dimension!r}")
+    rows = [
+        {k: v for k, v in row.items() if k != dimension}
+        for row in cube.observations
+        if row.get(dimension) == member
+    ]
+    remaining = [d for d in cube.dimensions if d.local_name != dimension]
+    return replace(cube, dimensions=remaining, observations=rows)
+
+
+def dice_cube(cube: DataCube, selections: dict[str, Sequence[object]]) -> DataCube:
+    """Keep observations whose dimension values fall in the given subsets."""
+    for dimension in selections:
+        if dimension not in cube.dimension_keys:
+            raise KeyError(f"unknown dimension {dimension!r}")
+    allowed = {d: set(members) for d, members in selections.items()}
+    rows = [
+        row
+        for row in cube.observations
+        if all(row.get(d) in members for d, members in allowed.items())
+    ]
+    return replace(cube, observations=rows)
+
+
+def rollup(
+    cube: DataCube, keep: Sequence[str], aggregate: str = "sum"
+) -> list[dict[str, object]]:
+    """Aggregate measures over all dimensions not in ``keep``.
+
+    Returns plain grouped rows: one per distinct combination of the kept
+    dimensions, measures aggregated with ``sum``/``avg``/``min``/``max``/
+    ``count``.
+    """
+    if aggregate not in _AGGREGATORS:
+        raise ValueError(f"unknown aggregator {aggregate!r}; use {sorted(_AGGREGATORS)}")
+    for dimension in keep:
+        if dimension not in cube.dimension_keys:
+            raise KeyError(f"unknown dimension {dimension!r}")
+    aggregator = _AGGREGATORS[aggregate]
+    groups: dict[tuple, list[dict[str, object]]] = defaultdict(list)
+    for row in cube.observations:
+        key = tuple(row.get(d) for d in keep)
+        groups[key].append(row)
+    result = []
+    for key, members in sorted(groups.items(), key=lambda kv: tuple(map(str, kv[0]))):
+        out: dict[str, object] = dict(zip(keep, key))
+        for measure in cube.measure_keys:
+            values = [
+                float(m[measure]) for m in members
+                if isinstance(m.get(measure), (int, float))
+            ]
+            if values:
+                out[measure] = aggregator(values)
+        result.append(out)
+    return result
+
+
+def pivot_table(
+    cube: DataCube,
+    row_dim: str,
+    col_dim: str,
+    measure: str,
+    aggregate: str = "sum",
+) -> tuple[list[object], list[object], list[list[float | None]]]:
+    """The OpenCube Browser's 2-D table: rows × columns of one measure.
+
+    Returns ``(row_members, col_members, matrix)`` with ``None`` where no
+    observation exists.
+    """
+    if measure not in cube.measure_keys:
+        raise KeyError(f"unknown measure {measure!r}")
+    rows = cube.dimension_members(row_dim)
+    cols = cube.dimension_members(col_dim)
+    grouped = rollup(cube, keep=[row_dim, col_dim], aggregate=aggregate)
+    lookup = {
+        (entry[row_dim], entry[col_dim]): entry.get(measure) for entry in grouped
+    }
+    matrix: list[list[float | None]] = [
+        [lookup.get((r, c)) for c in cols] for r in rows
+    ]
+    return rows, cols, matrix

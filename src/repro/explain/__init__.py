@@ -1,0 +1,15 @@
+"""User-assistance analytics (survey §2, "Variety of Tasks & Users"):
+outlier explanation (Scorpion [141]) and explore-by-example query
+steering ([37])."""
+
+from .influence import Explanation, Predicate, explain_outliers
+from .steering import ExampleSteering, LabeledExample, RegionPredicate
+
+__all__ = [
+    "ExampleSteering",
+    "Explanation",
+    "LabeledExample",
+    "Predicate",
+    "RegionPredicate",
+    "explain_outliers",
+]

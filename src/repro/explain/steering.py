@@ -1,0 +1,136 @@
+"""Explore-by-example query steering (Dimitriadou et al. [37]).
+
+Survey §2, assisting users: "other approaches help users to discover
+interest areas in the dataset; by capturing user interests, they guide her
+to interesting data parts; e.g., [37]". The interaction: the user labels a
+few result objects relevant / irrelevant; the system learns a predicate
+region and proposes the next query.
+
+:class:`ExampleSteering` implements the classic greedy box learner over
+numeric attributes: the relevant region is the bounding box of positive
+examples per attribute, shrunk on the attributes that best exclude
+negatives (information-gain-style attribute selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LabeledExample", "RegionPredicate", "ExampleSteering"]
+
+Row = dict[str, object]
+
+
+@dataclass(frozen=True)
+class LabeledExample:
+    row: Row
+    relevant: bool
+
+
+@dataclass
+class RegionPredicate:
+    """A conjunctive numeric box: attribute → [low, high]."""
+
+    bounds: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def matches(self, row: Row) -> bool:
+        for attribute, (low, high) in self.bounds.items():
+            value = row.get(attribute)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return False
+            if not low <= float(value) <= high:
+                return False
+        return True
+
+    def describe(self) -> str:
+        if not self.bounds:
+            return "(everything)"
+        return " AND ".join(
+            f"{low:g} <= {attribute} <= {high:g}"
+            for attribute, (low, high) in sorted(self.bounds.items())
+        )
+
+    def to_sparql_filter(self, variable_of: dict[str, str]) -> str:
+        """Render as a SPARQL FILTER body (attribute → ?var mapping)."""
+        clauses = [
+            f"?{variable_of[attribute]} >= {low:g} && ?{variable_of[attribute]} <= {high:g}"
+            for attribute, (low, high) in sorted(self.bounds.items())
+            if attribute in variable_of
+        ]
+        return " && ".join(clauses)
+
+
+class ExampleSteering:
+    """Accumulates labels, learns a region, scores candidate objects."""
+
+    def __init__(self, attributes: list[str]) -> None:
+        if not attributes:
+            raise ValueError("need at least one steering attribute")
+        self.attributes = list(attributes)
+        self.examples: list[LabeledExample] = []
+
+    def label(self, row: Row, relevant: bool) -> None:
+        self.examples.append(LabeledExample(dict(row), relevant))
+
+    @property
+    def positives(self) -> list[Row]:
+        return [e.row for e in self.examples if e.relevant]
+
+    @property
+    def negatives(self) -> list[Row]:
+        return [e.row for e in self.examples if not e.relevant]
+
+    def learn_region(self) -> RegionPredicate:
+        """The positives' bounding box, restricted to attributes that also
+        separate at least one negative (uninformative bounds are dropped)."""
+        positives = self.positives
+        if not positives:
+            raise ValueError("need at least one relevant example")
+        region = RegionPredicate()
+        for attribute in self.attributes:
+            values = [
+                float(row[attribute])
+                for row in positives
+                if isinstance(row.get(attribute), (int, float))
+                and not isinstance(row.get(attribute), bool)
+            ]
+            if not values:
+                continue
+            region.bounds[attribute] = (min(values), max(values))
+        if not self.negatives:
+            return region
+        # keep only bounds that exclude at least one negative — the others
+        # add no information and over-constrain future queries
+        informative: dict[str, tuple[float, float]] = {}
+        for attribute, (low, high) in region.bounds.items():
+            excludes = any(
+                isinstance(row.get(attribute), (int, float))
+                and not isinstance(row.get(attribute), bool)
+                and not low <= float(row[attribute]) <= high
+                for row in self.negatives
+            )
+            if excludes:
+                informative[attribute] = (low, high)
+        region.bounds = informative or region.bounds
+        return region
+
+    def accuracy(self, region: RegionPredicate | None = None) -> float:
+        """Training accuracy of the learned region over the labels."""
+        if not self.examples:
+            return 0.0
+        region = region or self.learn_region()
+        correct = sum(
+            1 for e in self.examples if region.matches(e.row) == e.relevant
+        )
+        return correct / len(self.examples)
+
+    def next_candidates(
+        self, pool: list[Row], k: int = 5, region: RegionPredicate | None = None
+    ) -> list[Row]:
+        """Unlabeled rows inside the region — what the system shows next."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        region = region or self.learn_region()
+        labeled = [e.row for e in self.examples]
+        fresh = [row for row in pool if row not in labeled and region.matches(row)]
+        return fresh[:k]

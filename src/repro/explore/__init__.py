@@ -1,0 +1,36 @@
+"""Exploratory access layer: facets, keyword search, browsing, sessions,
+and user preferences (survey §3.1 and the §2 task/user-variety pillar)."""
+
+from .browser import LinkNavigator, PropertyRow, ResourceBrowser, ResourceView
+from .expansion import NeighborhoodExplorer
+from .facets import Facet, FacetValue, FacetedBrowser
+from .keyword import KeywordIndex, tokenize_label
+from .relfinder import RelationPath, RelationStep, find_relationships, relationship_graph
+from .preferences import InterestModel, UserPreferences
+from .void_stats import DatasetStatistics, compute_statistics
+from .session import ExplorationSession, MantraStage, Operation, OperationKind
+
+__all__ = [
+    "DatasetStatistics",
+    "ExplorationSession",
+    "Facet",
+    "FacetValue",
+    "FacetedBrowser",
+    "InterestModel",
+    "KeywordIndex",
+    "LinkNavigator",
+    "MantraStage",
+    "NeighborhoodExplorer",
+    "Operation",
+    "OperationKind",
+    "PropertyRow",
+    "RelationPath",
+    "RelationStep",
+    "ResourceBrowser",
+    "ResourceView",
+    "UserPreferences",
+    "tokenize_label",
+    "compute_statistics",
+    "find_relationships",
+    "relationship_graph",
+]

@@ -1,0 +1,152 @@
+"""Resource browsing and link navigation (survey §3.1).
+
+The original WoD browsers (Haystack, Disco, Tabulator, Marbles) render one
+resource at a time as a property-value table with clickable links.
+:class:`ResourceBrowser` produces that view from any triple source;
+:class:`LinkNavigator` adds the browser chrome: history, back/forward, and
+a breadcrumb trail — the "link navigation" exploration primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import IRI, BNode, Literal, Subject, Term
+from ..rdf.vocab import RDF, RDFS
+from ..store.base import TripleSource
+
+__all__ = ["PropertyRow", "ResourceView", "ResourceBrowser", "LinkNavigator"]
+
+
+@dataclass(frozen=True)
+class PropertyRow:
+    """One property with all its values (the Disco table row)."""
+
+    predicate: IRI
+    values: tuple[Term, ...]
+
+
+@dataclass
+class ResourceView:
+    """Everything a browser page shows for one resource."""
+
+    resource: Subject
+    label: str
+    types: list[IRI]
+    outgoing: list[PropertyRow]
+    incoming: list[tuple[Subject, IRI]]  # (source, predicate) backlinks
+
+    @property
+    def linked_resources(self) -> list[Subject]:
+        """Clickable forward links, in view order."""
+        links: list[Subject] = []
+        for row in self.outgoing:
+            for value in row.values:
+                if isinstance(value, (IRI, BNode)) and value not in links:
+                    links.append(value)
+        return links
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the property table."""
+        lines = [f"{self.label}  <{self.resource}>"]
+        if self.types:
+            lines.append("  a " + ", ".join(t.local_name for t in self.types))
+        for row in self.outgoing:
+            rendered = ", ".join(
+                v.lexical if isinstance(v, Literal) else str(v) for v in row.values
+            )
+            lines.append(f"  {row.predicate.local_name}: {rendered}")
+        if self.incoming:
+            lines.append(f"  ({len(self.incoming)} incoming links)")
+        return "\n".join(lines)
+
+
+class ResourceBrowser:
+    """Builds :class:`ResourceView` pages from a triple source."""
+
+    def __init__(self, store: TripleSource, max_incoming: int = 50) -> None:
+        self.store = store
+        self.max_incoming = max_incoming
+
+    def label(self, resource: Subject) -> str:
+        for _, _, o in self.store.triples((resource, RDFS.label, None)):
+            if isinstance(o, Literal):
+                return o.lexical
+        if isinstance(resource, IRI):
+            return resource.local_name or str(resource)
+        return str(resource)
+
+    def describe(self, resource: Subject) -> ResourceView:
+        """The property-value page for ``resource``."""
+        by_predicate: dict[IRI, list[Term]] = {}
+        types: list[IRI] = []
+        for _, p, o in self.store.triples((resource, None, None)):
+            if p == RDF.type and isinstance(o, IRI):
+                types.append(o)
+            else:
+                by_predicate.setdefault(p, []).append(o)
+        outgoing = [
+            PropertyRow(p, tuple(sorted(values, key=lambda t: t.n3())))
+            for p, values in sorted(by_predicate.items())
+        ]
+        incoming: list[tuple[Subject, IRI]] = []
+        for s, p, _ in self.store.triples((None, None, resource)):
+            incoming.append((s, p))
+            if len(incoming) >= self.max_incoming:
+                break
+        return ResourceView(
+            resource=resource,
+            label=self.label(resource),
+            types=sorted(types),
+            outgoing=outgoing,
+            incoming=incoming,
+        )
+
+
+@dataclass
+class LinkNavigator:
+    """Back/forward navigation over ResourceBrowser pages."""
+
+    browser: ResourceBrowser
+    _history: list[Subject] = field(default_factory=list)
+    _position: int = -1
+
+    @property
+    def current(self) -> Subject | None:
+        if 0 <= self._position < len(self._history):
+            return self._history[self._position]
+        return None
+
+    def visit(self, resource: Subject) -> ResourceView:
+        """Navigate to ``resource`` (truncates any forward history)."""
+        view = self.browser.describe(resource)
+        self._history = self._history[: self._position + 1]
+        self._history.append(resource)
+        self._position += 1
+        return view
+
+    def follow(self, view: ResourceView, index: int) -> ResourceView:
+        """Click the ``index``-th forward link of a page."""
+        links = view.linked_resources
+        if not 0 <= index < len(links):
+            raise IndexError(f"page has {len(links)} links, asked for {index}")
+        return self.visit(links[index])
+
+    def back(self) -> ResourceView:
+        if self._position <= 0:
+            raise IndexError("no earlier page")
+        self._position -= 1
+        return self.browser.describe(self._history[self._position])
+
+    def forward(self) -> ResourceView:
+        if self._position >= len(self._history) - 1:
+            raise IndexError("no later page")
+        self._position += 1
+        return self.browser.describe(self._history[self._position])
+
+    @property
+    def breadcrumbs(self) -> list[str]:
+        return [
+            self.browser.label(resource)
+            for resource in self._history[: self._position + 1]
+        ]

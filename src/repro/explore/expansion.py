@@ -1,0 +1,99 @@
+"""Interactive neighborhood expansion (Lodlive [31] / Fenfire [54] style).
+
+Survey §3.4: "starting from a given URI, the user can explore WoD by
+following the links". Rather than loading the whole graph, the view grows
+one expansion at a time: ``NeighborhoodExplorer`` maintains the currently
+visible subgraph and adds the RDF neighborhood of a node on demand — the
+incremental loading pattern of PGV/Trisolda (the *Incr.* column of
+Table 2).
+"""
+
+from __future__ import annotations
+
+from ..graph.model import PropertyGraph
+from ..rdf.terms import IRI, BNode, Literal, Subject
+from ..store.base import TripleSource
+
+__all__ = ["NeighborhoodExplorer"]
+
+
+class NeighborhoodExplorer:
+    """A growing subgraph view over a (possibly huge) triple source."""
+
+    def __init__(self, store: TripleSource, max_neighbors: int = 50) -> None:
+        if max_neighbors < 1:
+            raise ValueError("max_neighbors must be positive")
+        self.store = store
+        self.max_neighbors = max_neighbors
+        self.view = PropertyGraph()
+        self.expanded: set[Subject] = set()
+        self.triples_fetched = 0
+
+    def start(self, resource: Subject) -> PropertyGraph:
+        """Seed the view with one resource and its neighborhood."""
+        self.view = PropertyGraph()
+        self.expanded = set()
+        self.triples_fetched = 0
+        return self.expand(resource)
+
+    def expand(self, resource: Subject) -> PropertyGraph:
+        """Add ``resource``'s outgoing and incoming links to the view.
+
+        Literal-valued properties become node attributes; at most
+        ``max_neighbors`` new edges are added per expansion (Lodlive's cap
+        against hub explosions). Re-expanding is a no-op.
+        """
+        if resource in self.expanded:
+            return self.view
+        self.expanded.add(resource)
+        self.view.add_node(resource)
+        added = 0
+        for s, p, o in self.store.triples((resource, None, None)):
+            self.triples_fetched += 1
+            if isinstance(o, Literal):
+                self.view.set_attribute(s, str(p), o.value)
+                continue
+            if added >= self.max_neighbors:
+                continue
+            self.view.add_edge(s, o, label=str(p))
+            added += 1
+        for s, p, _ in self.store.triples((None, None, resource)):
+            self.triples_fetched += 1
+            if added >= self.max_neighbors:
+                break
+            if isinstance(s, (IRI, BNode)):
+                self.view.add_edge(s, resource, label=str(p))
+                added += 1
+        return self.view
+
+    def collapse(self, resource: Subject) -> PropertyGraph:
+        """Remove a previously expanded node's exclusive neighbors.
+
+        Neighbors that are themselves expanded (or reachable from another
+        expanded node) stay; leaf neighbors brought in only by ``resource``
+        are dropped — the Lodlive "close bubble" behaviour.
+        """
+        if resource not in self.expanded:
+            return self.view
+        self.expanded.discard(resource)
+        keep: set[int] = set()
+        for anchor in self.expanded:
+            if anchor in self.view:
+                index = self.view.index_of(anchor)
+                keep.add(index)
+                keep.update(self.view.neighbors(index))
+        if resource in self.view and self.expanded:
+            # the collapsed node stays if still linked from a kept anchor
+            index = self.view.index_of(resource)
+            if index not in keep:
+                keep.discard(index)
+        self.view = self.view.subgraph(keep)
+        return self.view
+
+    @property
+    def frontier(self) -> list[Subject]:
+        """Visible nodes not yet expanded — the clickable bubbles."""
+        return sorted(
+            (node for node in self.view.nodes() if node not in self.expanded),
+            key=str,
+        )

@@ -1,0 +1,187 @@
+"""Faceted browsing over Linked Data (survey §3.1: /facet, gFacet, Visor,
+Explorator, Facete, CubeViz's browser, ...).
+
+The faceted paradigm: the current *focus set* of resources is summarized by
+its properties (facets), each with value counts; selecting values filters
+the focus conjunctively; *pivoting* re-focuses on the linked objects of a
+property (the multi-pivot exploration of Visor [110] / gFacet [57]).
+Counts come straight from the store's POS index — no scan of the focus set
+per facet value.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..rdf.terms import IRI, BNode, Literal, Subject, Term
+from ..rdf.vocab import RDF
+from ..store.base import TripleSource
+
+__all__ = ["FacetValue", "Facet", "FacetedBrowser"]
+
+
+@dataclass(frozen=True)
+class FacetValue:
+    """One selectable value with its count in the current focus."""
+
+    value: Term
+    count: int
+
+    @property
+    def label(self) -> str:
+        if isinstance(self.value, Literal):
+            return self.value.lexical
+        if isinstance(self.value, IRI):
+            return self.value.local_name or str(self.value)
+        return str(self.value)
+
+
+@dataclass
+class Facet:
+    """One property with its value distribution."""
+
+    predicate: IRI
+    values: list[FacetValue] = field(default_factory=list)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+
+class FacetedBrowser:
+    """Conjunctive faceted navigation with pivoting.
+
+    >>> browser = FacetedBrowser(store)          # focus = all subjects
+    >>> browser.select(RDF.type, person_class)   # narrow
+    >>> browser.facets()                         # value counts update
+    >>> browser.pivot(knows)                     # focus = linked objects
+    """
+
+    def __init__(self, store: TripleSource, focus: set[Subject] | None = None) -> None:
+        self.store = store
+        if focus is None:
+            focus = {s for s, _, _ in store.triples((None, None, None))}
+        self._initial_focus = set(focus)
+        self.focus: set[Subject] = set(focus)
+        self.constraints: list[tuple[IRI, Term]] = []
+
+    # -- summarization -----------------------------------------------------
+
+    def facets(self, max_values: int = 25, min_count: int = 1) -> list[Facet]:
+        """Facets of the current focus, most-discriminating first.
+
+        Facet order: by number of focus resources covered (descending) —
+        the usual "most useful filters on top" heuristic.
+        """
+        per_predicate: dict[IRI, Counter] = {}
+        coverage: Counter = Counter()
+        for subject in self.focus:
+            seen_predicates = set()
+            for _, p, o in self.store.triples((subject, None, None)):
+                per_predicate.setdefault(p, Counter())[o] += 1
+                seen_predicates.add(p)
+            for p in seen_predicates:
+                coverage[p] += 1
+        facets = []
+        for predicate, values in per_predicate.items():
+            top = [
+                FacetValue(value, count)
+                for value, count in values.most_common(max_values)
+                if count >= min_count
+            ]
+            if top:
+                facets.append(Facet(predicate, top))
+        facets.sort(key=lambda f: (-coverage[f.predicate], str(f.predicate)))
+        return facets
+
+    def facet(self, predicate: IRI, max_values: int = 25) -> Facet:
+        """One facet's value counts via the store's POS index.
+
+        Cost is proportional to the *predicate's* triples, not the whole
+        dataset — the reason index-backed browsers refresh facets
+        interactively (benchmark C12's subject).
+        """
+        counts: Counter = Counter()
+        for s, _, o in self.store.triples((None, predicate, None)):
+            if s in self.focus:
+                counts[o] += 1
+        return Facet(
+            predicate,
+            [FacetValue(v, c) for v, c in counts.most_common(max_values)],
+        )
+
+    def class_facet(self) -> Facet:
+        """The rdf:type facet (the root of most faceted UIs)."""
+        counts: Counter = Counter()
+        for subject in self.focus:
+            for _, _, o in self.store.triples((subject, RDF.type, None)):
+                counts[o] += 1
+        return Facet(
+            RDF.type,
+            [FacetValue(v, c) for v, c in counts.most_common()],
+        )
+
+    # -- refinement -----------------------------------------------------------
+
+    def select(self, predicate: IRI, value: Term) -> int:
+        """Add the constraint ``predicate = value``; returns new focus size."""
+        matching = {
+            s for s, _, _ in self.store.triples((None, predicate, value))
+        }
+        self.focus &= matching
+        self.constraints.append((predicate, value))
+        return len(self.focus)
+
+    def select_range(self, predicate: IRI, low: float, high: float) -> int:
+        """Numeric range constraint ``low <= value < high`` (SynopsViz-style
+        interval facets for numeric properties)."""
+        matching: set[Subject] = set()
+        for s, _, o in self.store.triples((None, predicate, None)):
+            if isinstance(o, Literal):
+                value = o.value
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    if low <= float(value) < high:
+                        matching.add(s)
+        self.focus &= matching
+        self.constraints.append((predicate, Literal(f"[{low}, {high})")))
+        return len(self.focus)
+
+    def deselect_last(self) -> int:
+        """Undo the most recent constraint (recomputes from scratch)."""
+        if not self.constraints:
+            return len(self.focus)
+        remaining = self.constraints[:-1]
+        self.reset()
+        for predicate, value in remaining:
+            if isinstance(value, Literal) and value.lexical.startswith("["):
+                # re-apply recorded range constraints
+                body = value.lexical.strip("[)")
+                low_text, high_text = body.split(",")
+                self.select_range(predicate, float(low_text), float(high_text))
+            else:
+                self.select(predicate, value)
+        return len(self.focus)
+
+    def reset(self) -> None:
+        """Clear all constraints; focus returns to the initial set."""
+        self.focus = set(self._initial_focus)
+        self.constraints = []
+
+    # -- pivoting ---------------------------------------------------------------
+
+    def pivot(self, predicate: IRI) -> "FacetedBrowser":
+        """Re-focus on the objects linked from the focus via ``predicate``.
+
+        Returns a *new* browser (multi-pivot exploration keeps the old one
+        alive, as in Visor).
+        """
+        targets: set[Subject] = set()
+        for subject in self.focus:
+            for _, _, o in self.store.triples((subject, predicate, None)):
+                if isinstance(o, (IRI, BNode)):
+                    targets.add(o)
+        return FacetedBrowser(self.store, focus=targets)
+
+    def __len__(self) -> int:
+        return len(self.focus)

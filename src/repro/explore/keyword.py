@@ -1,0 +1,110 @@
+"""Keyword search over resource labels (Table 2's Keyword column).
+
+VisiNav, Lodlive, RDF-Gravity, and graphVizdb all enter graphs through
+keyword search: the user types a few words, the system returns matching
+resources to start navigating from. Implemented as a classic in-memory
+inverted index with TF-IDF ranking over label-bearing predicates.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+
+from ..rdf.terms import IRI, Literal, Subject
+from ..rdf.vocab import FOAF, RDFS, SKOS
+from ..store.base import TripleSource
+
+__all__ = ["KeywordIndex", "tokenize_label"]
+
+_LABEL_PREDICATES = (RDFS.label, FOAF.name, SKOS.prefLabel, IRI(str(SKOS) + "altLabel"))
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_label(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens, camelCase split."""
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    return _TOKEN_RE.findall(spaced.lower())
+
+
+class KeywordIndex:
+    """TF-IDF inverted index over resource labels.
+
+    Indexes ``rdfs:label``, ``foaf:name``, SKOS labels, and (as fallback)
+    IRI local names, so label-poor datasets remain searchable.
+    """
+
+    def __init__(self, store: TripleSource | None = None) -> None:
+        self._postings: dict[str, dict[Subject, int]] = defaultdict(dict)
+        self._doc_lengths: dict[Subject, int] = {}
+        self._labels: dict[Subject, str] = {}
+        if store is not None:
+            self.index_store(store)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, resource: Subject, text: str) -> None:
+        """Index ``text`` for ``resource`` (repeat calls accumulate)."""
+        tokens = tokenize_label(text)
+        if not tokens:
+            return
+        counts = Counter(tokens)
+        for token, count in counts.items():
+            self._postings[token][resource] = (
+                self._postings[token].get(resource, 0) + count
+            )
+        self._doc_lengths[resource] = self._doc_lengths.get(resource, 0) + len(tokens)
+        self._labels.setdefault(resource, text)
+
+    def index_store(self, store: TripleSource) -> int:
+        """Index all label predicates plus IRI local names; returns the
+        number of resources indexed."""
+        indexed: set[Subject] = set()
+        for predicate in _LABEL_PREDICATES:
+            for s, _, o in store.triples((None, predicate, None)):
+                if isinstance(o, Literal):
+                    self.add(s, o.lexical)
+                    indexed.add(s)
+        for s, _, _ in store.triples((None, None, None)):
+            if s not in indexed and isinstance(s, IRI):
+                local = s.local_name
+                if local:
+                    self.add(s, local)
+                    indexed.add(s)
+        return len(indexed)
+
+    # -- search --------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    def search(self, query: str, limit: int = 10) -> list[tuple[Subject, float]]:
+        """Resources ranked by TF-IDF cosine-ish score (AND-ish semantics:
+        matching more query terms dominates)."""
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        tokens = tokenize_label(query)
+        if not tokens or not self._doc_lengths:
+            return []
+        n = self.document_count
+        scores: dict[Subject, float] = defaultdict(float)
+        matches: dict[Subject, int] = defaultdict(int)
+        for token in tokens:
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            idf = math.log(1.0 + n / len(postings))
+            for resource, tf in postings.items():
+                scores[resource] += (tf / self._doc_lengths[resource]) * idf
+                matches[resource] += 1
+        ranked = sorted(
+            scores.items(),
+            key=lambda item: (-matches[item[0]], -item[1], str(item[0])),
+        )
+        return [(resource, score) for resource, score in ranked[:limit]]
+
+    def label_of(self, resource: Subject) -> str:
+        return self._labels.get(resource, str(resource))

@@ -1,0 +1,80 @@
+"""User preference profiles and lightweight interest learning.
+
+Survey Section 2, "Variety of Tasks & Users": systems should let users
+customize the exploration (abstraction level, sampling rates, preferred
+organizations) and should *capture user interests* to guide them toward
+interesting regions [37]. :class:`UserPreferences` holds the explicit
+knobs; :class:`InterestModel` learns soft weights from the session log.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .session import ExplorationSession, OperationKind
+
+__all__ = ["UserPreferences", "InterestModel"]
+
+
+@dataclass
+class UserPreferences:
+    """Explicit, user-set exploration parameters."""
+
+    preferred_charts: list[str] = field(default_factory=list)
+    abstraction_level: int = 0  # 0 = auto; higher = coarser views
+    sampling_rate: float = 1.0  # 1.0 = exact; < 1 enables approximation
+    max_visual_items: int = 50  # screen budget for overview levels
+    confidence: float = 0.95  # for progressive estimates
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise ValueError("sampling_rate must be in (0, 1]")
+        if self.max_visual_items < 1:
+            raise ValueError("max_visual_items must be positive")
+        if self.abstraction_level < 0:
+            raise ValueError("abstraction_level must be >= 0")
+
+    @property
+    def wants_approximation(self) -> bool:
+        return self.sampling_rate < 1.0
+
+    def tree_degree(self, default: int = 4) -> int:
+        """Map the abstraction level onto a HETree degree: coarser views
+        want higher fan-out (fewer levels, bigger groups)."""
+        return default * (2 ** self.abstraction_level)
+
+
+@dataclass
+class InterestModel:
+    """Frequency-based interest weights over exploration targets.
+
+    Every operation's target accumulates weight (details views count
+    extra — reaching details signals real interest, per [37]'s
+    explore-by-example intuition). ``top_targets`` drives "you may also
+    want to look at" hints and recommender boosts.
+    """
+
+    weights: Counter = field(default_factory=Counter)
+    detail_bonus: float = 2.0
+
+    def observe(self, session: ExplorationSession) -> None:
+        for operation in session.operations:
+            if not operation.target:
+                continue
+            weight = 1.0
+            if operation.kind is OperationKind.DETAILS:
+                weight += self.detail_bonus
+            self.weights[operation.target] += weight
+
+    def top_targets(self, k: int = 5) -> list[tuple[str, float]]:
+        if k < 1:
+            raise ValueError("k must be positive")
+        return [(t, float(w)) for t, w in self.weights.most_common(k)]
+
+    def interest_in(self, target: str) -> float:
+        """Normalized interest in [0, 1]."""
+        if not self.weights:
+            return 0.0
+        top = self.weights.most_common(1)[0][1]
+        return self.weights.get(target, 0.0) / top if top else 0.0

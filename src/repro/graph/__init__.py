@@ -1,0 +1,69 @@
+"""Graph-based exploration and visualization substrate (survey §3.4, §4).
+
+Property-graph extraction from RDF, layouts, modularity clustering,
+hierarchical abstraction pyramids, edge bundling, graph sampling, spatial
+viewport indexes (in-memory and disk-tiled), and structural metrics.
+"""
+
+from .abstraction import AbstractionPyramid, Supernode, SupernodeView, build_supergraph
+from .bundling import (
+    force_directed_edge_bundling,
+    hierarchical_edge_bundling,
+    ink_ratio,
+    mean_edge_dispersion,
+    polyline_length,
+)
+from .fisheye import fisheye, magnification_at
+from .cluster import label_propagation, louvain_communities, modularity
+from .lod import MultiScaleView
+from .layout import (
+    circular_layout,
+    fruchterman_reingold,
+    grid_layout,
+    layered_layout,
+    layout_bounds,
+)
+from .metrics import (
+    average_clustering_coefficient,
+    degree_histogram,
+    pagerank,
+    powerlaw_tail_ratio,
+)
+from .model import PropertyGraph
+from .sampling import forest_fire_sample, random_edge_sample, random_node_sample
+from .spatial import DiskGraphStore, Rect, RTree, ViewportGraphView
+
+__all__ = [
+    "AbstractionPyramid",
+    "DiskGraphStore",
+    "PropertyGraph",
+    "RTree",
+    "Rect",
+    "Supernode",
+    "SupernodeView",
+    "MultiScaleView",
+    "ViewportGraphView",
+    "average_clustering_coefficient",
+    "build_supergraph",
+    "circular_layout",
+    "degree_histogram",
+    "fisheye",
+    "force_directed_edge_bundling",
+    "forest_fire_sample",
+    "fruchterman_reingold",
+    "grid_layout",
+    "hierarchical_edge_bundling",
+    "ink_ratio",
+    "label_propagation",
+    "layered_layout",
+    "layout_bounds",
+    "louvain_communities",
+    "magnification_at",
+    "mean_edge_dispersion",
+    "modularity",
+    "pagerank",
+    "polyline_length",
+    "powerlaw_tail_ratio",
+    "random_edge_sample",
+    "random_node_sample",
+]

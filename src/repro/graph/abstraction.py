@@ -1,0 +1,162 @@
+"""Hierarchical graph abstraction (the ASK-GraphView / GMine / Grouse family).
+
+Survey Section 4: large graphs are explored through "a hierarchy of
+abstraction layers" — each layer a *super-graph* whose nodes are clusters
+of the layer below. The user sees O(#clusters) elements, expands the
+cluster under the cursor, and never renders the raw graph at once.
+
+:class:`AbstractionPyramid` builds the layer stack by repeated clustering;
+:class:`SupernodeView` is the interactive expand/collapse state over it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .cluster import louvain_communities
+from .model import PropertyGraph
+
+__all__ = ["Supernode", "AbstractionPyramid", "SupernodeView", "build_supergraph"]
+
+
+def build_supergraph(
+    graph: PropertyGraph, communities: list[int]
+) -> tuple[PropertyGraph, dict[int, list[int]]]:
+    """Collapse each community into one super-node.
+
+    Returns the super-graph (edge weights = summed inter-community weights)
+    and the membership map ``community → [node indexes]``.
+    """
+    members: dict[int, list[int]] = defaultdict(list)
+    for node, community in enumerate(communities):
+        members[community].append(node)
+    supergraph = PropertyGraph()
+    for community in sorted(members):
+        supergraph.add_node(community)
+        supergraph.set_attribute(community, "size", len(members[community]))
+    for u, v, weight in graph.edges():
+        cu, cv = communities[u], communities[v]
+        if cu != cv:
+            supergraph.add_edge(cu, cv, weight)
+    return supergraph, dict(members)
+
+
+@dataclass
+class Supernode:
+    """One cluster in the pyramid: its members and its child clusters."""
+
+    level: int
+    identifier: int
+    member_nodes: list[int]  # base-graph node indexes
+    children: list["Supernode"] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.member_nodes)
+
+
+class AbstractionPyramid:
+    """A stack of coarser and coarser super-graphs over a base graph.
+
+    ``levels[0]`` is the base graph; each higher level is the Louvain
+    super-graph of the one below, until the graph stops shrinking or
+    ``max_levels`` is hit.
+    """
+
+    def __init__(
+        self,
+        base: PropertyGraph,
+        max_levels: int = 5,
+        min_nodes: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.base = base
+        self.levels: list[PropertyGraph] = [base]
+        # membership[level][super_id] = list of level-0 node indexes
+        self.membership: list[dict[int, list[int]]] = [
+            {v: [v] for v in range(base.node_count)}
+        ]
+        current = base
+        for level in range(1, max_levels + 1):
+            if current.node_count <= min_nodes:
+                break
+            communities = louvain_communities(current, seed=seed + level)
+            if max(communities, default=0) + 1 >= current.node_count:
+                break  # clustering found nothing to merge
+            supergraph, members = build_supergraph(current, communities)
+            # express membership in base-node terms
+            previous = self.membership[-1]
+            flattened = {
+                community: [base_node for child in children for base_node in previous[child]]
+                for community, children in members.items()
+            }
+            self.levels.append(supergraph)
+            self.membership.append(flattened)
+            current = supergraph
+
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+    def rendered_elements(self, level: int) -> int:
+        """Nodes + edges a view of ``level`` draws (the C6 metric)."""
+        g = self.levels[level]
+        return g.node_count + g.edge_count
+
+    def members_at(self, level: int, super_id: int) -> list[int]:
+        """Base-graph node indexes inside one super-node."""
+        return list(self.membership[level][super_id])
+
+
+class SupernodeView:
+    """Interactive expand/collapse state over a 2-level abstraction.
+
+    Starts fully collapsed (every cluster is one super-node). ``expand``
+    replaces a super-node with its member base nodes; the rendered element
+    count is what the survey's hierarchical systems keep within screen
+    budget.
+    """
+
+    def __init__(self, pyramid: AbstractionPyramid, level: int = 1) -> None:
+        if level < 1 or level >= pyramid.height:
+            raise ValueError(f"level must be in [1, {pyramid.height - 1}]")
+        self.pyramid = pyramid
+        self.level = level
+        self.expanded: set[int] = set()
+
+    def expand(self, super_id: int) -> None:
+        if super_id not in self.pyramid.membership[self.level]:
+            raise KeyError(f"unknown super-node {super_id}")
+        self.expanded.add(super_id)
+
+    def collapse(self, super_id: int) -> None:
+        self.expanded.discard(super_id)
+
+    def visible_elements(self) -> tuple[list[tuple[str, int]], int]:
+        """Current node list and the count of edges to draw.
+
+        Nodes are tagged ``("super", id)`` or ``("node", base_index)``.
+        Edges between two visible base nodes are drawn individually; all
+        others collapse onto their super-endpoints.
+        """
+        membership = self.pyramid.membership[self.level]
+        node_to_super: dict[int, int] = {}
+        for super_id, nodes in membership.items():
+            for node in nodes:
+                node_to_super[node] = super_id
+        visible: list[tuple[str, int]] = []
+        for super_id in sorted(membership):
+            if super_id in self.expanded:
+                visible.extend(("node", v) for v in membership[super_id])
+            else:
+                visible.append(("super", super_id))
+
+        edge_keys: set[tuple] = set()
+        for u, v, _ in self.pyramid.base.edges():
+            su, sv = node_to_super[u], node_to_super[v]
+            eu = ("node", u) if su in self.expanded else ("super", su)
+            ev = ("node", v) if sv in self.expanded else ("super", sv)
+            if eu != ev:
+                edge_keys.add((min(eu, ev), max(eu, ev)))
+        return visible, len(edge_keys)

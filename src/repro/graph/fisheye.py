@@ -1,0 +1,75 @@
+"""Fisheye (focus+context) distortion — the ZoomRDF approach [142].
+
+Survey §3.4: "ZoomRDF employs a space-optimized visualization algorithm in
+order to increase the number of resources which are displayed" via semantic
+fisheye zooming: the region under the cursor is magnified, the periphery
+compressed, and *everything stays on screen* — the alternative to cropping
+when a graph exceeds the viewport.
+
+Implements Sarkar & Brown's graphical fisheye transform over layout
+position arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fisheye", "magnification_at"]
+
+
+def fisheye(
+    positions: np.ndarray,
+    focus: tuple[float, float],
+    distortion: float = 3.0,
+    radius: float | None = None,
+) -> np.ndarray:
+    """Apply a radial fisheye around ``focus``.
+
+    Points at the focus stay put; points within ``radius`` are pushed
+    outward (magnifying the focus region); points beyond ``radius`` are
+    unchanged. ``distortion`` ≥ 0, with 0 = identity. Returns a new array.
+    """
+    if distortion < 0:
+        raise ValueError("distortion must be >= 0")
+    points = np.asarray(positions, dtype=float)
+    if points.size == 0 or distortion == 0:
+        return points.copy()
+    centre = np.asarray(focus, dtype=float)
+    offsets = points - centre
+    distances = np.linalg.norm(offsets, axis=1)
+    if radius is None:
+        radius = float(distances.max()) or 1.0
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        normalized = np.clip(distances / radius, 0.0, 1.0)
+        # Sarkar-Brown: f(x) = (d+1)x / (dx + 1), monotone [0,1] -> [0,1]
+        warped = (distortion + 1.0) * normalized / (distortion * normalized + 1.0)
+        scale = np.where(
+            (distances > 0) & (distances < radius),
+            warped * radius / np.maximum(distances, 1e-12),
+            1.0,
+        )
+    return centre + offsets * scale[:, None]
+
+
+def magnification_at(
+    positions: np.ndarray,
+    transformed: np.ndarray,
+    focus: tuple[float, float],
+    k_nearest: int = 8,
+) -> float:
+    """Mean expansion factor of the ``k_nearest`` points around the focus —
+    the quantity a fisheye is supposed to make > 1 (and the periphery < 1
+    correspondingly)."""
+    if len(positions) == 0:
+        return 1.0
+    centre = np.asarray(focus, dtype=float)
+    distances = np.linalg.norm(np.asarray(positions) - centre, axis=1)
+    order = np.argsort(distances)[: max(k_nearest, 1)]
+    before = distances[order]
+    after = np.linalg.norm(np.asarray(transformed)[order] - centre, axis=1)
+    mask = before > 1e-9
+    if not mask.any():
+        return 1.0
+    return float(np.mean(after[mask] / before[mask]))

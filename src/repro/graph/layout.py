@@ -1,0 +1,183 @@
+"""Graph layout algorithms.
+
+The node-link systems of survey Table 2 all need node positions; the
+survey's Section 4 observes that "the large memory requirements of graph
+layout algorithms" are what restricts WoD tools to small graphs. The
+layouts here are array-based (O(n) memory beyond the graph itself):
+
+* :func:`fruchterman_reingold` — the classic force-directed layout;
+* :func:`circular_layout` — O(n), the cheap fallback for huge graphs;
+* :func:`layered_layout` — BFS layers with barycenter ordering, the
+  Sugiyama-style view ontology browsers use for hierarchies;
+* :func:`grid_layout` — deterministic filler for tiling experiments.
+
+All return ``positions: np.ndarray (n, 2)`` indexed by dense node index.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from .model import PropertyGraph
+
+__all__ = [
+    "fruchterman_reingold",
+    "circular_layout",
+    "layered_layout",
+    "grid_layout",
+    "layout_bounds",
+]
+
+
+def fruchterman_reingold(
+    graph: PropertyGraph,
+    iterations: int = 50,
+    size: float = 1000.0,
+    seed: int = 0,
+    initial: np.ndarray | None = None,
+) -> np.ndarray:
+    """Force-directed layout (Fruchterman–Reingold, grid-accelerated cooling).
+
+    Repulsion is computed pairwise with numpy broadcasting in O(n²) per
+    iteration — fine for the ≤ ~5k-node views a node-link rendering is
+    legible at; bigger graphs should be abstracted first
+    (:mod:`repro.graph.abstraction`), which is the survey's own point.
+    """
+    n = graph.node_count
+    if n == 0:
+        return np.zeros((0, 2))
+    rng = np.random.default_rng(seed)
+    pos = initial.copy() if initial is not None else rng.uniform(0, size, size=(n, 2))
+    if n == 1:
+        return pos
+    k = size / math.sqrt(n)  # ideal edge length
+    edges = np.array([(u, v) for u, v, _ in graph.edges()], dtype=int)
+    temperature = size / 10.0
+    cooling = temperature / (iterations + 1)
+
+    for _ in range(iterations):
+        delta = pos[:, None, :] - pos[None, :, :]  # (n, n, 2)
+        distance = np.linalg.norm(delta, axis=-1)
+        np.fill_diagonal(distance, 1.0)
+        distance = np.maximum(distance, 1e-6)
+        # repulsive forces: k^2 / d
+        repulse = (k * k) / distance
+        displacement = (delta / distance[..., None] * repulse[..., None]).sum(axis=1)
+        # attractive forces along edges: d^2 / k
+        if len(edges):
+            edge_delta = pos[edges[:, 0]] - pos[edges[:, 1]]
+            edge_dist = np.maximum(np.linalg.norm(edge_delta, axis=-1), 1e-6)
+            attract = (edge_dist * edge_dist / k)[:, None] * (edge_delta / edge_dist[:, None])
+            np.add.at(displacement, edges[:, 0], -attract)
+            np.add.at(displacement, edges[:, 1], attract)
+        length = np.maximum(np.linalg.norm(displacement, axis=-1), 1e-6)
+        capped = np.minimum(length, temperature)
+        pos += displacement / length[:, None] * capped[:, None]
+        pos = np.clip(pos, 0.0, size)
+        temperature = max(temperature - cooling, 0.01)
+    return pos
+
+
+def circular_layout(graph: PropertyGraph, radius: float = 500.0) -> np.ndarray:
+    """Nodes evenly spaced on a circle — O(n), layout of last resort."""
+    n = graph.node_count
+    if n == 0:
+        return np.zeros((0, 2))
+    angles = np.linspace(0, 2 * math.pi, n, endpoint=False)
+    return np.stack(
+        [radius + radius * np.cos(angles), radius + radius * np.sin(angles)], axis=1
+    )
+
+
+def layered_layout(
+    graph: PropertyGraph,
+    roots: list[int] | None = None,
+    layer_gap: float = 100.0,
+    node_gap: float = 60.0,
+    barycenter_sweeps: int = 2,
+) -> np.ndarray:
+    """BFS-layered (Sugiyama-style) layout with barycenter crossing reduction.
+
+    Used by the ontology views (Section 3.5): class hierarchies read
+    top-down. ``roots`` default to the minimum-in-degree nodes of each
+    component.
+    """
+    n = graph.node_count
+    if n == 0:
+        return np.zeros((0, 2))
+    layer = np.full(n, -1, dtype=int)
+    queue: deque[int] = deque()
+    if roots:
+        for root in roots:
+            layer[root] = 0
+            queue.append(root)
+    for component in graph.connected_components():
+        if all(layer[v] == -1 for v in component):
+            root = min(component, key=lambda v: graph.degree(v))
+            layer[root] = 0
+            queue.append(root)
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if layer[neighbor] == -1:
+                layer[neighbor] = layer[node] + 1
+                queue.append(neighbor)
+    layer[layer == -1] = 0
+
+    layers: dict[int, list[int]] = {}
+    for node in range(n):
+        layers.setdefault(int(layer[node]), []).append(node)
+    order: dict[int, float] = {}
+    for depth in sorted(layers):
+        for slot, node in enumerate(layers[depth]):
+            order[node] = float(slot)
+    for _ in range(barycenter_sweeps):
+        for depth in sorted(layers):
+            members = layers[depth]
+            def barycenter(node: int) -> float:
+                neighbor_orders = [
+                    order[m] for m in graph.neighbors(node) if layer[m] == depth - 1
+                ]
+                return (
+                    sum(neighbor_orders) / len(neighbor_orders)
+                    if neighbor_orders
+                    else order[node]
+                )
+            members.sort(key=barycenter)
+            for slot, node in enumerate(members):
+                order[node] = float(slot)
+
+    pos = np.zeros((n, 2))
+    for depth, members in layers.items():
+        width = (len(members) - 1) * node_gap
+        for slot, node in enumerate(members):
+            pos[node] = (slot * node_gap - width / 2.0, depth * layer_gap)
+    pos[:, 0] -= pos[:, 0].min() if n else 0.0
+    return pos
+
+
+def grid_layout(graph: PropertyGraph, cell: float = 50.0) -> np.ndarray:
+    """Row-major grid — deterministic positions for tiling/spatial tests."""
+    n = graph.node_count
+    if n == 0:
+        return np.zeros((0, 2))
+    side = math.ceil(math.sqrt(n))
+    pos = np.zeros((n, 2))
+    for index in range(n):
+        pos[index] = ((index % side) * cell, (index // side) * cell)
+    return pos
+
+
+def layout_bounds(positions: np.ndarray) -> tuple[float, float, float, float]:
+    """``(x0, y0, x1, y1)`` bounding box of a layout."""
+    if len(positions) == 0:
+        return (0.0, 0.0, 0.0, 0.0)
+    return (
+        float(positions[:, 0].min()),
+        float(positions[:, 1].min()),
+        float(positions[:, 0].max()),
+        float(positions[:, 1].max()),
+    )

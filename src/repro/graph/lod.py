@@ -1,0 +1,83 @@
+"""Multi-scale (level-of-detail) graph views.
+
+The survey's §4 prescription is a *combination*: hierarchical abstraction
+(ASK-GraphView [1], GMine [71]) **and** spatial, viewport-driven access
+(graphVizdb [22]). :class:`MultiScaleView` is that combination: every
+pyramid level gets its own layout and R-tree, and an interaction
+``(window, zoom)`` is answered from the level whose element density fits
+the screen budget — zoomed out you see super-nodes, zoomed in you see the
+real neighborhood, and nothing ever renders more than the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .abstraction import AbstractionPyramid
+from .layout import fruchterman_reingold
+from .model import PropertyGraph
+from .spatial import Rect, ViewportGraphView
+
+__all__ = ["MultiScaleView"]
+
+
+class MultiScaleView:
+    """Zoom-dependent window queries over an abstraction pyramid."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        max_elements_per_view: int = 500,
+        seed: int = 0,
+        layout_iterations: int = 30,
+        world: float = 1000.0,
+    ) -> None:
+        if max_elements_per_view < 1:
+            raise ValueError("max_elements_per_view must be positive")
+        self.pyramid = AbstractionPyramid(graph, seed=seed)
+        self.max_elements = max_elements_per_view
+        self.world = world
+        self.layouts: list[np.ndarray] = []
+        self.views: list[ViewportGraphView] = []
+        for level_graph in self.pyramid.levels:
+            positions = fruchterman_reingold(
+                level_graph,
+                iterations=layout_iterations if level_graph.node_count <= 3000 else 5,
+                size=world,
+                seed=seed,
+            )
+            self.layouts.append(positions)
+            self.views.append(ViewportGraphView(level_graph, positions))
+
+    @property
+    def height(self) -> int:
+        return self.pyramid.height
+
+    def level_for(self, window: Rect) -> int:
+        """The most detailed level whose window content fits the budget.
+
+        Levels are probed finest-first; the first one whose visible node +
+        edge count is within ``max_elements`` wins, falling back to the
+        coarsest level.
+        """
+        for level in range(self.height):
+            nodes, edges = self.views[level].window_query(window)
+            if len(nodes) + len(edges) <= self.max_elements:
+                return level
+        return self.height - 1
+
+    def window_query(
+        self, window: Rect
+    ) -> tuple[int, list[int], list[tuple[int, int]]]:
+        """``(level, node indexes, edges)`` for one viewport interaction."""
+        level = self.level_for(window)
+        nodes, edges = self.views[level].window_query(window)
+        return level, nodes, edges
+
+    def rendered_elements(self, window: Rect) -> int:
+        _, nodes, edges = self.window_query(window)
+        return len(nodes) + len(edges)
+
+    def members_of(self, level: int, super_id: int) -> list[int]:
+        """Base-graph members of a super-node (for expand interactions)."""
+        return self.pyramid.members_at(level, super_id)

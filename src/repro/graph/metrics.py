@@ -1,0 +1,99 @@
+"""Structural graph analytics.
+
+The statistics the surveyed tools surface next to graph views (LODeX's
+"statistical and structural information", Gephi's metrics panel): degree
+distributions, PageRank, clustering coefficients, and a power-law tail
+check used by the workload tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .model import PropertyGraph
+
+__all__ = [
+    "degree_histogram",
+    "pagerank",
+    "average_clustering_coefficient",
+    "powerlaw_tail_ratio",
+]
+
+
+def degree_histogram(graph: PropertyGraph) -> dict[int, int]:
+    """``degree → number of nodes`` map."""
+    return dict(Counter(graph.degree(v) for v in range(graph.node_count)))
+
+
+def pagerank(
+    graph: PropertyGraph,
+    damping: float = 0.85,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """Power-iteration PageRank over the undirected adjacency.
+
+    Isolated nodes receive the teleport mass only. Returns a probability
+    vector indexed by node index.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    n = graph.node_count
+    if n == 0:
+        return np.zeros(0)
+    rank = np.full(n, 1.0 / n)
+    degrees = np.array([graph.weighted_degree(v) for v in range(n)])
+    for _ in range(max_iterations):
+        nxt = np.full(n, (1.0 - damping) / n)
+        dangling = rank[degrees == 0].sum()
+        nxt += damping * dangling / n
+        for v in range(n):
+            if degrees[v] == 0:
+                continue
+            share = damping * rank[v] / degrees[v]
+            for neighbor, weight in graph.neighbors(v).items():
+                nxt[neighbor] += share * weight
+        if np.abs(nxt - rank).sum() < tolerance:
+            rank = nxt
+            break
+        rank = nxt
+    return rank / rank.sum()
+
+
+def average_clustering_coefficient(graph: PropertyGraph, sample: int | None = None, seed: int = 0) -> float:
+    """Mean local clustering coefficient (optionally over a node sample)."""
+    import random
+
+    n = graph.node_count
+    if n == 0:
+        return 0.0
+    nodes = range(n)
+    if sample is not None and sample < n:
+        nodes = random.Random(seed).sample(range(n), sample)
+    total = 0.0
+    counted = 0
+    for v in nodes:
+        neighbors = list(graph.neighbors(v))
+        k = len(neighbors)
+        counted += 1
+        if k < 2:
+            continue
+        links = 0
+        neighbor_set = set(neighbors)
+        for u in neighbors:
+            links += len(neighbor_set & set(graph.neighbors(u)))
+        links //= 2
+        total += 2.0 * links / (k * (k - 1))
+    return total / counted if counted else 0.0
+
+
+def powerlaw_tail_ratio(graph: PropertyGraph) -> float:
+    """max degree / median degree — a quick heavy-tail indicator (≫ 1 for
+    scale-free graphs, ≈ 1 for regular ones)."""
+    degrees = sorted(graph.degree(v) for v in range(graph.node_count))
+    if not degrees:
+        return 0.0
+    median = degrees[len(degrees) // 2] or 1
+    return degrees[-1] / median

@@ -1,0 +1,191 @@
+"""Property-graph view over RDF data.
+
+Section 3.4 of the survey: "a large number of systems visualize WoD
+datasets adopting a graph-based (a.k.a. node-link) approach", natural
+because RDF *is* a graph. :class:`PropertyGraph` extracts the
+resource-to-resource structure (literal-valued triples become node
+attributes, not edges) into an integer-indexed adjacency form the layout,
+clustering, and abstraction algorithms can process efficiently.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, Iterator
+
+from ..rdf.terms import IRI, BNode, Literal, Triple
+from ..store.base import TripleSource
+
+__all__ = ["PropertyGraph"]
+
+
+class PropertyGraph:
+    """An undirected-by-default multigraph with node attributes.
+
+    Nodes are arbitrary hashables (RDF resources in practice); internally
+    they are assigned dense integer indexes so numeric kernels can operate
+    on arrays.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[Hashable, int] = {}
+        self._nodes: list[Hashable] = []
+        self._adjacency: list[dict[int, float]] = []  # neighbor -> weight
+        self._edge_labels: dict[tuple[int, int], list[str]] = defaultdict(list)
+        self._attributes: dict[int, dict[str, object]] = defaultdict(dict)
+        self._edge_count = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> int:
+        """Ensure ``node`` exists; returns its dense index."""
+        index = self._index.get(node)
+        if index is None:
+            index = len(self._nodes)
+            self._index[node] = index
+            self._nodes.append(node)
+            self._adjacency.append({})
+        return index
+
+    def add_edge(self, u: Hashable, v: Hashable, weight: float = 1.0, label: str = "") -> None:
+        """Add/strengthen the undirected edge ``{u, v}`` (self-loops ignored)."""
+        iu, iv = self.add_node(u), self.add_node(v)
+        if iu == iv:
+            return
+        is_new = iv not in self._adjacency[iu]
+        self._adjacency[iu][iv] = self._adjacency[iu].get(iv, 0.0) + weight
+        self._adjacency[iv][iu] = self._adjacency[iv].get(iu, 0.0) + weight
+        if is_new:
+            self._edge_count += 1
+        if label:
+            key = (min(iu, iv), max(iu, iv))
+            self._edge_labels[key].append(label)
+
+    def set_attribute(self, node: Hashable, key: str, value: object) -> None:
+        self._attributes[self.add_node(node)][key] = value
+
+    @classmethod
+    def from_store(
+        cls,
+        store: TripleSource,
+        edge_predicates: Iterable[IRI] | None = None,
+        attribute_predicates: Iterable[IRI] | None = None,
+    ) -> "PropertyGraph":
+        """Build from a triple source.
+
+        Resource-object triples become edges (optionally restricted to
+        ``edge_predicates``); literal-object triples become node attributes
+        (optionally restricted to ``attribute_predicates``).
+        """
+        graph = cls()
+        wanted_edges = set(edge_predicates) if edge_predicates is not None else None
+        wanted_attrs = (
+            set(attribute_predicates) if attribute_predicates is not None else None
+        )
+        for s, p, o in store.triples((None, None, None)):
+            if isinstance(o, Literal):
+                if wanted_attrs is None or p in wanted_attrs:
+                    graph.set_attribute(s, str(p), o.value)
+                continue
+            if wanted_edges is not None and p not in wanted_edges:
+                continue
+            graph.add_edge(s, o, label=str(p))
+        return graph
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "PropertyGraph":
+        graph = cls()
+        for s, p, o in triples:
+            if isinstance(o, (IRI, BNode)):
+                graph.add_edge(s, o, label=str(p))
+            else:
+                graph.set_attribute(s, str(p), o.value)
+        return graph
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> list[Hashable]:
+        return list(self._nodes)
+
+    def node_at(self, index: int) -> Hashable:
+        return self._nodes[index]
+
+    def index_of(self, node: Hashable) -> int:
+        return self._index[node]
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._index
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(u_index, v_index, weight)`` once per undirected edge."""
+        for u, neighbors in enumerate(self._adjacency):
+            for v, weight in neighbors.items():
+                if u < v:
+                    yield (u, v, weight)
+
+    def neighbors(self, index: int) -> dict[int, float]:
+        return self._adjacency[index]
+
+    def degree(self, index: int) -> int:
+        return len(self._adjacency[index])
+
+    def weighted_degree(self, index: int) -> float:
+        return sum(self._adjacency[index].values())
+
+    def total_weight(self) -> float:
+        return sum(w for _, _, w in self.edges())
+
+    def attributes(self, node: Hashable) -> dict[str, object]:
+        index = self._index.get(node)
+        return dict(self._attributes.get(index, {})) if index is not None else {}
+
+    def edge_labels(self, u: int, v: int) -> list[str]:
+        return list(self._edge_labels.get((min(u, v), max(u, v)), []))
+
+    # -- derived graphs ------------------------------------------------------
+
+    def subgraph(self, node_indexes: Iterable[int]) -> "PropertyGraph":
+        """The induced subgraph on the given node indexes."""
+        wanted = set(node_indexes)
+        result = PropertyGraph()
+        for index in sorted(wanted):
+            node = self._nodes[index]
+            result.add_node(node)
+            for key, value in self._attributes.get(index, {}).items():
+                result.set_attribute(node, key, value)
+        for u, v, weight in self.edges():
+            if u in wanted and v in wanted:
+                result.add_edge(self._nodes[u], self._nodes[v], weight)
+        return result
+
+    def connected_components(self) -> list[list[int]]:
+        """Node-index components, largest first."""
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in range(self.node_count):
+            if start in seen:
+                continue
+            component = []
+            stack = [start]
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            components.append(sorted(component))
+        components.sort(key=len, reverse=True)
+        return components
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PropertyGraph {self.node_count} nodes, {self.edge_count} edges>"

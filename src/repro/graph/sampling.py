@@ -1,0 +1,84 @@
+"""Graph sampling (the approach of Sundara et al. [127] and Gephi [15]).
+
+Table 2's *Sampling* column: when even the abstracted graph is too big,
+show a structurally representative subgraph. Three standard methods with
+different preservation profiles:
+
+* :func:`random_node_sample` — uniform nodes + induced edges (cheap, but
+  thins the connectivity);
+* :func:`random_edge_sample` — uniform edges (biases toward hubs, keeps
+  more structure per node);
+* :func:`forest_fire_sample` — recursive burn from random seeds; preserves
+  community structure and degree skew best (Leskovec & Faloutsos).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .model import PropertyGraph
+
+__all__ = ["random_node_sample", "random_edge_sample", "forest_fire_sample"]
+
+
+def random_node_sample(graph: PropertyGraph, k: int, seed: int = 0) -> PropertyGraph:
+    """Induced subgraph on ``k`` uniformly chosen nodes."""
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    n = graph.node_count
+    if k >= n:
+        return graph.subgraph(range(n))
+    rng = random.Random(seed)
+    return graph.subgraph(rng.sample(range(n), k))
+
+
+def random_edge_sample(graph: PropertyGraph, k_edges: int, seed: int = 0) -> PropertyGraph:
+    """Subgraph of ``k_edges`` uniformly chosen edges and their endpoints."""
+    if k_edges < 0:
+        raise ValueError("sample size must be non-negative")
+    edges = list(graph.edges())
+    rng = random.Random(seed)
+    chosen = edges if k_edges >= len(edges) else rng.sample(edges, k_edges)
+    result = PropertyGraph()
+    for u, v, weight in chosen:
+        result.add_edge(graph.node_at(u), graph.node_at(v), weight)
+    return result
+
+
+def forest_fire_sample(
+    graph: PropertyGraph,
+    k: int,
+    seed: int = 0,
+    forward_probability: float = 0.4,
+) -> PropertyGraph:
+    """Burn outward from random seeds until ``k`` nodes are collected.
+
+    At each burned node a geometric number of unburned neighbors (mean
+    ``p / (1 - p)``) catches fire; dead fires restart from a fresh seed.
+    """
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    if not 0.0 < forward_probability < 1.0:
+        raise ValueError("forward_probability must be in (0, 1)")
+    n = graph.node_count
+    if k >= n:
+        return graph.subgraph(range(n))
+    rng = random.Random(seed)
+    burned: set[int] = set()
+    while len(burned) < k:
+        fresh = [v for v in range(n) if v not in burned]
+        frontier = [rng.choice(fresh)]
+        burned.add(frontier[0])
+        while frontier and len(burned) < k:
+            node = frontier.pop()
+            unburned = [v for v in graph.neighbors(node) if v not in burned]
+            rng.shuffle(unburned)
+            burn_count = 0
+            while rng.random() < forward_probability:
+                burn_count += 1
+            for neighbor in unburned[:burn_count]:
+                if len(burned) >= k:
+                    break
+                burned.add(neighbor)
+                frontier.append(neighbor)
+    return graph.subgraph(burned)

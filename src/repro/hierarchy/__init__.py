@@ -1,0 +1,37 @@
+"""HETree hierarchical aggregation (the SynopsViz model [25, 26]).
+
+Multilevel exploration of numeric/temporal properties: equi-depth
+(:class:`HETreeC`) and equi-width (:class:`HETreeR`) hierarchies with
+mergeable per-node statistics, incremental construction
+(:class:`IncrementalHETree`, the ICO strategy), preference adaptation
+(:func:`adapt_degree`), and screen-driven parameter selection
+(:func:`auto_parameters`).
+"""
+
+from .adaptation import adapt_degree, merge_leaf_pairs
+from .hetree import HETreeBase, HETreeC, HETreeNode, HETreeR, auto_parameters
+from .nanocube import Nanocube
+from .incremental import IncrementalHETree, IncrementalNode
+from .rdf_binding import (
+    hetree_for_property,
+    incremental_hetree_for_property,
+    property_items,
+)
+from .stats import NodeStats
+
+__all__ = [
+    "HETreeBase",
+    "HETreeC",
+    "HETreeNode",
+    "HETreeR",
+    "IncrementalHETree",
+    "Nanocube",
+    "IncrementalNode",
+    "NodeStats",
+    "adapt_degree",
+    "auto_parameters",
+    "hetree_for_property",
+    "incremental_hetree_for_property",
+    "merge_leaf_pairs",
+    "property_items",
+]

@@ -1,0 +1,57 @@
+"""ADA: adapting an existing HETree to new user preferences.
+
+SynopsViz's second scalability mechanism (Section 3.2 of the survey): when
+the user changes the tree degree — "organize data into different ways,
+according to ... the level of detail she wishes to explore" — the hierarchy
+is *adapted* rather than rebuilt: existing leaves (and their already-
+computed statistics) are regrouped under a new internal structure. The raw
+values are never touched again, so adaptation costs O(#leaves), not O(n).
+"""
+
+from __future__ import annotations
+
+from .hetree import HETreeBase, HETreeNode, _build_from_leaves
+
+__all__ = ["adapt_degree", "merge_leaf_pairs"]
+
+
+def adapt_degree(tree: HETreeBase, new_degree: int) -> HETreeBase:
+    """Rebuild internal levels with ``new_degree``, reusing the leaves.
+
+    The returned tree shares leaf nodes (and therefore leaf statistics and
+    items) with the input; only internal nodes are newly allocated.
+    """
+    if new_degree < 2:
+        raise ValueError("tree degree must be >= 2")
+    leaves = tree.leaves()
+    for leaf in leaves:
+        leaf.children = []
+    root = _build_from_leaves(leaves, new_degree)
+    adapted = HETreeBase(root)
+    adapted.degree = new_degree  # type: ignore[attr-defined]
+    return adapted
+
+
+def merge_leaf_pairs(tree: HETreeBase) -> HETreeBase:
+    """Coarsen one level: merge adjacent leaf pairs into new leaves.
+
+    A cheap "increase abstraction" preference operation: each new leaf
+    concatenates two old ones, statistics merged in O(1) each.
+    """
+    old_leaves = tree.leaves()
+    if len(old_leaves) < 2:
+        return tree
+    merged: list[HETreeNode] = []
+    for i in range(0, len(old_leaves), 2):
+        pair = old_leaves[i : i + 2]
+        node = HETreeNode(pair[0].low, pair[-1].high, depth=0)
+        node.items = [item for leaf in pair for item in leaf.items]
+        node.stats = pair[0].stats.copy() if len(pair) == 1 else pair[0].stats.merge(
+            pair[1].stats
+        )
+        merged.append(node)
+    degree = getattr(tree, "degree", 4)
+    root = _build_from_leaves(merged, degree)
+    coarser = HETreeBase(root)
+    coarser.degree = degree  # type: ignore[attr-defined]
+    return coarser

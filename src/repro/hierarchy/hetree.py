@@ -1,0 +1,314 @@
+"""HETree: the hierarchical aggregation model of SynopsViz [25, 26].
+
+The survey's own answer (Section 4) to "squeeze a billion records into a
+million pixels" for numeric and temporal data: organize the values of one
+property into a balanced tree whose nodes are *intervals with aggregate
+statistics*. Exploration then proceeds level by level — overview first at
+the root's children, zoom by drilling into a node, details on demand at the
+leaves — and every view renders O(degree) items regardless of dataset size.
+
+Two construction flavours, as in the paper:
+
+* :class:`HETreeC` (content-based): leaves hold ~equal **numbers of
+  objects** — an equi-depth layout that adapts to skew;
+* :class:`HETreeR` (range-based): leaves cover equal-width **subranges** —
+  an equi-width layout with uniform interval semantics.
+
+Both share the node type and the query API (:meth:`HETreeBase.level`,
+:meth:`HETreeBase.range_stats`, :meth:`HETreeBase.overview_level`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence
+
+from .stats import NodeStats
+
+__all__ = ["HETreeNode", "HETreeBase", "HETreeC", "HETreeR", "auto_parameters"]
+
+Item = tuple[float, object]  # (numeric value, payload — e.g. the RDF subject)
+
+
+class HETreeNode:
+    """One interval of the hierarchy with its aggregate statistics."""
+
+    __slots__ = ("low", "high", "children", "items", "stats", "depth", "parent")
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        depth: int,
+        parent: "HETreeNode | None" = None,
+    ) -> None:
+        self.low = low
+        self.high = high
+        self.depth = depth
+        self.parent = parent
+        self.children: list[HETreeNode] = []
+        self.items: list[Item] = []  # non-empty only at leaves
+        self.stats = NodeStats()
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
+        return f"<HETreeNode [{self.low:g}, {self.high:g}) {kind} n={self.stats.count}>"
+
+
+class HETreeBase:
+    """Shared query interface over a fully built hierarchy."""
+
+    def __init__(self, root: HETreeNode) -> None:
+        self.root = root
+
+    # -- navigation --------------------------------------------------------
+
+    def level(self, depth: int) -> list[HETreeNode]:
+        """All nodes at ``depth`` (0 = root), left to right."""
+        current = [self.root]
+        for _ in range(depth):
+            nxt: list[HETreeNode] = []
+            for node in current:
+                nxt.extend(node.children)
+            if not nxt:
+                return []
+            current = nxt
+        return current
+
+    @property
+    def height(self) -> int:
+        node = self.root
+        height = 0
+        while node.children:
+            node = node.children[0]
+            height += 1
+        return height
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def leaf_count(self) -> int:
+        return sum(1 for node in self.iter_nodes() if node.is_leaf)
+
+    def iter_nodes(self) -> Iterator[HETreeNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> list[HETreeNode]:
+        return [node for node in self.iter_nodes() if node.is_leaf]
+
+    # -- the mantra: overview first ------------------------------------------
+
+    def overview_level(self, max_items: int) -> list[HETreeNode]:
+        """The deepest level that still fits in ``max_items`` rendered nodes.
+
+        This is the survey's "overview first" entry point: the caller passes
+        its visual budget (bars that fit on screen) and receives the most
+        detailed summary that respects it.
+        """
+        if max_items < 1:
+            raise ValueError("max_items must be positive")
+        best = [self.root]
+        depth = 0
+        while True:
+            depth += 1
+            candidate = self.level(depth)
+            if not candidate or len(candidate) > max_items:
+                return best
+            best = candidate
+
+    # -- range queries ---------------------------------------------------------
+
+    def range_stats(self, low: float, high: float) -> NodeStats:
+        """Statistics of all items with ``low <= value < high``.
+
+        Assembled from maximal fully-covered nodes, recursing only along
+        the two boundary paths — O(degree · height) node visits plus the
+        partially-covered leaves.
+        """
+        if high < low:
+            raise ValueError("range_stats requires low <= high")
+        return self._range_stats(self.root, low, high)
+
+    def _range_stats(self, node: HETreeNode, low: float, high: float) -> NodeStats:
+        if node.stats.count == 0 or high <= node.low or low > node.high:
+            return NodeStats()
+        covered = low <= node.low and node.high < high
+        if covered and not node.is_leaf:
+            return node.stats.copy()
+        if node.is_leaf:
+            return NodeStats.of(v for v, _ in node.items if low <= v < high)
+        result = NodeStats()
+        for child in node.children:
+            if child.low >= high:
+                break
+            result = result.merge(self._range_stats(child, low, high))
+        return result
+
+    def items_in_range(self, low: float, high: float) -> list[Item]:
+        """The raw (value, payload) pairs inside ``[low, high)``."""
+        out: list[Item] = []
+
+        def visit(node: HETreeNode) -> None:
+            if high <= node.low or low > node.high:
+                return
+            if node.is_leaf:
+                out.extend((v, p) for v, p in node.items if low <= v < high)
+                return
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        return out
+
+
+def _build_from_leaves(leaves: list[HETreeNode], degree: int) -> HETreeNode:
+    """Bottom-up construction of internal levels over prepared leaves."""
+    if not leaves:
+        return HETreeNode(0.0, 0.0, depth=0)
+    level = leaves
+    while len(level) > 1:
+        parents: list[HETreeNode] = []
+        for start in range(0, len(level), degree):
+            group = level[start : start + degree]
+            parent = HETreeNode(group[0].low, group[-1].high, depth=0)
+            parent.children = group
+            parent.stats = NodeStats.merge_all(child.stats for child in group)
+            for child in group:
+                child.parent = parent
+            parents.append(parent)
+        level = parents
+    root = level[0]
+    _assign_depths(root, 0)
+    return root
+
+
+def _assign_depths(node: HETreeNode, depth: int) -> None:
+    node.depth = depth
+    for child in node.children:
+        _assign_depths(child, depth + 1)
+
+
+class HETreeC(HETreeBase):
+    """Content-based HETree: equi-depth leaves over the sorted values."""
+
+    def __init__(
+        self,
+        items: Sequence[Item] | Sequence[float],
+        leaf_size: int | None = None,
+        degree: int = 4,
+        key: Callable[[object], float] | None = None,
+    ) -> None:
+        if degree < 2:
+            raise ValueError("tree degree must be >= 2")
+        normalized = _normalize_items(items, key)
+        normalized.sort(key=lambda pair: pair[0])
+        if leaf_size is None:
+            leaf_size = max(1, int(math.sqrt(len(normalized))) or 1)
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
+        self.degree = degree
+        self.leaf_size = leaf_size
+        leaves: list[HETreeNode] = []
+        for start in range(0, len(normalized), leaf_size):
+            chunk = normalized[start : start + leaf_size]
+            low = chunk[0][0]
+            # half-open upper bound: next chunk's first value, or +eps at end
+            end = start + leaf_size
+            high = normalized[end][0] if end < len(normalized) else chunk[-1][0]
+            leaf = HETreeNode(low, high, depth=0)
+            leaf.items = chunk
+            leaf.stats = NodeStats.of(v for v, _ in chunk)
+            leaves.append(leaf)
+        super().__init__(_build_from_leaves(leaves, degree))
+
+
+class HETreeR(HETreeBase):
+    """Range-based HETree: equi-width leaf intervals over the domain."""
+
+    def __init__(
+        self,
+        items: Sequence[Item] | Sequence[float],
+        n_leaves: int | None = None,
+        degree: int = 4,
+        domain: tuple[float, float] | None = None,
+        key: Callable[[object], float] | None = None,
+    ) -> None:
+        if degree < 2:
+            raise ValueError("tree degree must be >= 2")
+        normalized = _normalize_items(items, key)
+        if not normalized:
+            super().__init__(HETreeNode(0.0, 0.0, depth=0))
+            self.degree = degree
+            self.n_leaves = 0
+            return
+        if domain is None:
+            low = min(v for v, _ in normalized)
+            high = max(v for v, _ in normalized)
+        else:
+            low, high = domain
+        if n_leaves is None:
+            n_leaves = max(1, int(math.sqrt(len(normalized))) or 1)
+        if n_leaves < 1:
+            raise ValueError("n_leaves must be positive")
+        self.degree = degree
+        self.n_leaves = n_leaves
+        width = (high - low) / n_leaves if high > low else 1.0
+        leaves = [
+            HETreeNode(low + i * width, low + (i + 1) * width, depth=0)
+            for i in range(n_leaves)
+        ]
+        for value, payload in normalized:
+            index = min(int((value - low) / width), n_leaves - 1) if width else 0
+            leaf = leaves[index]
+            leaf.items.append((value, payload))
+            leaf.stats.add(value)
+        for leaf in leaves:
+            leaf.items.sort(key=lambda pair: pair[0])
+        super().__init__(_build_from_leaves(leaves, degree))
+
+
+def _normalize_items(
+    items: Sequence[Item] | Sequence[float], key: Callable[[object], float] | None
+) -> list[Item]:
+    normalized: list[Item] = []
+    for entry in items:
+        if key is not None:
+            normalized.append((float(key(entry)), entry))
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            normalized.append((float(entry[0]), entry[1]))
+        else:
+            normalized.append((float(entry), None))
+    return normalized
+
+
+def auto_parameters(
+    n_items: int, screen_slots: int, degree_bounds: tuple[int, int] = (2, 16)
+) -> tuple[int, int]:
+    """Pick ``(leaf_size, degree)`` from the environment, as SynopsViz does.
+
+    ``screen_slots`` is how many visual items (bars/points) one view can
+    show. The degree is chosen so that each drill-down fills the view
+    (degree ≈ screen_slots, clamped to ``degree_bounds``), and the leaf size
+    so that leaves are the finest useful resolution (≈ items per slot at
+    full depth).
+    """
+    if n_items < 1 or screen_slots < 1:
+        raise ValueError("n_items and screen_slots must be positive")
+    low, high = degree_bounds
+    degree = max(low, min(high, screen_slots))
+    leaf_size = max(1, math.ceil(n_items / max(screen_slots**2, 1)))
+    return leaf_size, degree

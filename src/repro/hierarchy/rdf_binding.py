@@ -1,0 +1,61 @@
+"""Binding HETrees to RDF properties.
+
+SynopsViz explores *one numeric or temporal property at a time* ("facet"
+over ``ex:population``, ``ex:founded``, ...). This module extracts the
+(value, subject) pairs of a property from any triple source and hands them
+to the hierarchy constructors, covering temporal literals via their native
+values (gYear/date → year number).
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import IRI, Literal
+from ..store.base import TripleSource
+from .hetree import HETreeC, HETreeR, Item
+from .incremental import IncrementalHETree
+
+__all__ = ["property_items", "hetree_for_property", "incremental_hetree_for_property"]
+
+
+def property_items(store: TripleSource, predicate: IRI) -> list[Item]:
+    """All ``(numeric value, subject)`` pairs of one property.
+
+    Non-numeric objects are skipped (a property may be mixed-type in LOD);
+    temporal literals contribute their year/number coercion.
+    """
+    items: list[Item] = []
+    for s, _, o in store.triples((None, predicate, None)):
+        if not isinstance(o, Literal):
+            continue
+        value = o.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        items.append((float(value), s))
+    return items
+
+
+def hetree_for_property(
+    store: TripleSource,
+    predicate: IRI,
+    kind: str = "content",
+    leaf_size: int | None = None,
+    n_leaves: int | None = None,
+    degree: int = 4,
+):
+    """Build a bulk HETree over one property (``kind``: content | range)."""
+    items = property_items(store, predicate)
+    if kind == "content":
+        return HETreeC(items, leaf_size=leaf_size, degree=degree)
+    if kind == "range":
+        return HETreeR(items, n_leaves=n_leaves, degree=degree)
+    raise ValueError(f"unknown HETree kind {kind!r} (use 'content' or 'range')")
+
+
+def incremental_hetree_for_property(
+    store: TripleSource,
+    predicate: IRI,
+    leaf_size: int | None = None,
+    degree: int = 4,
+) -> IncrementalHETree:
+    """Build an ICO (lazily materialized) HETree over one property."""
+    return IncrementalHETree(property_items(store, predicate), leaf_size, degree)

@@ -1,0 +1,94 @@
+"""Mergeable aggregate statistics for hierarchy nodes.
+
+Every HETree node carries the summary statistics SynopsViz [25, 26] shows
+next to each hierarchy level (the *Statistics* column of survey Table 1):
+count, min, max, sum, mean, and variance. The representation is chosen to
+be **mergeable** (count/mean/M2 in the Chan et al. parallel-variance form),
+so a parent's statistics are combined from its children in O(1) without
+revisiting raw data — the property that makes multilevel exploration cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["NodeStats"]
+
+
+@dataclass
+class NodeStats:
+    """Streaming/mergeable summary of a multiset of numbers."""
+
+    count: int = 0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations from the mean
+
+    @classmethod
+    def of(cls, values: Sequence[float] | Iterable[float]) -> "NodeStats":
+        stats = cls()
+        for value in values:
+            stats.add(float(value))
+        return stats
+
+    def add(self, value: float) -> None:
+        """Welford single-value update."""
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def merge(self, other: "NodeStats") -> "NodeStats":
+        """Combine two disjoint summaries (Chan et al.)."""
+        if other.count == 0:
+            return self.copy()
+        if self.count == 0:
+            return other.copy()
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / count
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / count
+        return NodeStats(
+            count=count,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            mean=mean,
+            m2=m2,
+        )
+
+    @classmethod
+    def merge_all(cls, parts: Iterable["NodeStats"]) -> "NodeStats":
+        result = cls()
+        for part in parts:
+            result = result.merge(part)
+        return result
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 values)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return self.variance ** 0.5
+
+    def copy(self) -> "NodeStats":
+        return NodeStats(self.count, self.minimum, self.maximum, self.mean, self.m2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.count == 0:
+            return "NodeStats(empty)"
+        return (
+            f"NodeStats(n={self.count}, range=[{self.minimum:g}, {self.maximum:g}], "
+            f"mean={self.mean:g}, sd={self.stddev:g})"
+        )

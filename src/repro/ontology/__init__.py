@@ -1,0 +1,16 @@
+"""Ontology extraction and visualization views (survey §3.5)."""
+
+from .extract import ClassInfo, OntologySummary, extract_ontology
+from .keyconcepts import key_concepts, summary_subhierarchy
+from .views import ontology_graph, ontology_tree, vowl_spec
+
+__all__ = [
+    "ClassInfo",
+    "OntologySummary",
+    "extract_ontology",
+    "key_concepts",
+    "summary_subhierarchy",
+    "ontology_graph",
+    "ontology_tree",
+    "vowl_spec",
+]

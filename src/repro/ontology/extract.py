@@ -1,0 +1,146 @@
+"""Ontology extraction from RDF schema triples (survey §3.5).
+
+The ontology visualization systems (VOWL, KC-Viz, CropCircles, Knoocks,
+OntoTrix, ...) all start from the same skeleton: the ``rdfs:subClassOf``
+class hierarchy annotated with instance counts, plus property
+domain/range links. This module pulls that skeleton out of any triple
+source, tolerating the messiness of real LOD (multiple roots, cycles,
+classes that are never declared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.terms import IRI, Subject
+from ..rdf.vocab import OWL, RDF, RDFS
+from ..store.base import TripleSource
+
+__all__ = ["ClassInfo", "OntologySummary", "extract_ontology"]
+
+
+@dataclass
+class ClassInfo:
+    """One class: its place in the hierarchy and its instance count."""
+
+    iri: IRI
+    label: str
+    parents: list[IRI] = field(default_factory=list)
+    children: list[IRI] = field(default_factory=list)
+    instance_count: int = 0
+
+
+@dataclass
+class OntologySummary:
+    """The extracted schema skeleton."""
+
+    classes: dict[IRI, ClassInfo]
+    roots: list[IRI]
+    properties: list[tuple[IRI, IRI | None, IRI | None]]  # (property, domain, range)
+
+    @property
+    def class_count(self) -> int:
+        return len(self.classes)
+
+    def depth(self) -> int:
+        """Longest root→leaf path (cycle-safe)."""
+        best = 0
+        for root in self.roots:
+            stack = [(root, 1, frozenset({root}))]
+            while stack:
+                node, depth, seen = stack.pop()
+                best = max(best, depth)
+                for child in self.classes[node].children:
+                    if child not in seen:
+                        stack.append((child, depth + 1, seen | {child}))
+        return best
+
+    def subtree_instances(self, cls: IRI) -> int:
+        """Instances of ``cls`` and all (transitive) subclasses."""
+        total = 0
+        stack = [cls]
+        seen: set[IRI] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen or node not in self.classes:
+                continue
+            seen.add(node)
+            total += self.classes[node].instance_count
+            stack.extend(self.classes[node].children)
+        return total
+
+
+def extract_ontology(store: TripleSource) -> OntologySummary:
+    """Build the class hierarchy + property summary from schema triples.
+
+    Classes are discovered from ``rdfs:subClassOf`` edges, explicit
+    ``rdf:type rdfs:Class / owl:Class`` declarations, and usage as an
+    ``rdf:type`` object. Multiple roots are preserved (views add a
+    synthetic root if they need a tree).
+    """
+    classes: dict[IRI, ClassInfo] = {}
+
+    def ensure(cls: Subject) -> ClassInfo | None:
+        if not isinstance(cls, IRI):
+            return None
+        info = classes.get(cls)
+        if info is None:
+            info = ClassInfo(iri=cls, label=cls.local_name or str(cls))
+            classes[cls] = info
+        return info
+
+    for s, _, o in store.triples((None, RDFS.subClassOf, None)):
+        child = ensure(s)
+        parent = ensure(o)
+        if child is None or parent is None or child is parent:
+            continue
+        if parent.iri not in child.parents:
+            child.parents.append(parent.iri)
+        if child.iri not in parent.children:
+            parent.children.append(child.iri)
+
+    for class_type in (RDFS.Class, OWL.Class):
+        for s, _, _ in store.triples((None, RDF.type, class_type)):
+            ensure(s)
+
+    for _, _, o in store.triples((None, RDF.type, None)):
+        if isinstance(o, IRI) and o not in (RDFS.Class, OWL.Class):
+            info = ensure(o)
+            if info is not None:
+                info.instance_count += 1
+
+    for info in classes.values():
+        label = None
+        for _, _, o in store.triples((info.iri, RDFS.label, None)):
+            from ..rdf.terms import Literal
+
+            if isinstance(o, Literal):
+                label = o.lexical
+                break
+        if label:
+            info.label = label
+        info.parents.sort()
+        info.children.sort()
+
+    roots = sorted(iri for iri, info in classes.items() if not info.parents)
+
+    properties: list[tuple[IRI, IRI | None, IRI | None]] = []
+    declared: set[IRI] = set()
+    for property_type in (RDF.Property, OWL.ObjectProperty, OWL.DatatypeProperty):
+        for s, _, _ in store.triples((None, RDF.type, property_type)):
+            if isinstance(s, IRI):
+                declared.add(s)
+    for prop in sorted(declared):
+        domain = None
+        range_ = None
+        for _, _, o in store.triples((prop, RDFS.domain, None)):
+            if isinstance(o, IRI):
+                domain = o
+                break
+        for _, _, o in store.triples((prop, RDFS.range, None)):
+            if isinstance(o, IRI):
+                range_ = o
+                break
+        properties.append((prop, domain, range_))
+
+    return OntologySummary(classes=classes, roots=roots, properties=properties)

@@ -1,0 +1,107 @@
+"""Key-concept extraction for ontology summarization (KC-Viz [104]).
+
+Survey §3.5: KC-Viz offers "a novel approach to visualizing and navigating
+ontologies" built on *key concept extraction* — show the ~N most
+informative classes first, instead of the whole hierarchy. The published
+criteria blend popularity and structural importance; this implementation
+scores each class by
+
+* **coverage** — instances in its subtree (popularity),
+* **density** — direct children (structural richness),
+* **depth centrality** — middle layers beat the trivial root/leaves.
+
+Scores are normalized and mixed; the top-k induce the summary view.
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import IRI
+from .extract import OntologySummary
+
+__all__ = ["key_concepts", "summary_subhierarchy"]
+
+
+def key_concepts(
+    summary: OntologySummary,
+    k: int = 8,
+    coverage_weight: float = 0.5,
+    density_weight: float = 0.3,
+    depth_weight: float = 0.2,
+) -> list[tuple[IRI, float]]:
+    """The ``k`` highest-scoring classes with their scores, descending."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    classes = summary.classes
+    if not classes:
+        return []
+
+    depths: dict[IRI, int] = {}
+    for root in summary.roots:
+        stack = [(root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node in depths and depths[node] <= depth:
+                continue
+            depths[node] = depth
+            for child in classes[node].children:
+                stack.append((child, depth + 1))
+    max_depth = max(depths.values(), default=0) or 1
+
+    coverages = {iri: summary.subtree_instances(iri) for iri in classes}
+    max_coverage = max(coverages.values(), default=0) or 1
+    max_density = max((len(info.children) for info in classes.values()), default=0) or 1
+
+    scored: list[tuple[IRI, float]] = []
+    for iri, info in classes.items():
+        coverage = coverages[iri] / max_coverage
+        density = len(info.children) / max_density
+        # middle-depth bonus: 1 at the centre, 0 at root and deepest leaves
+        depth = depths.get(iri, 0)
+        centrality = 1.0 - abs(depth / max_depth - 0.5) * 2.0 if max_depth else 0.0
+        score = (
+            coverage_weight * coverage
+            + density_weight * density
+            + depth_weight * centrality
+        )
+        scored.append((iri, score))
+    scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    return scored[:k]
+
+
+def summary_subhierarchy(
+    summary: OntologySummary, concepts: list[IRI]
+) -> dict[IRI, list[IRI]]:
+    """Parent→children map over the chosen concepts only.
+
+    A concept's summary-parent is its nearest ancestor that is also a key
+    concept (KC-Viz's "flattening" of skipped levels); orphans map from the
+    synthetic key ``None``-like root (omitted — they appear as keys with no
+    parent entry).
+    """
+    chosen = set(concepts)
+    children_of: dict[IRI, list[IRI]] = {iri: [] for iri in concepts}
+    for iri in concepts:
+        ancestor = None
+        frontier = list(summary.classes[iri].parents)
+        seen: set[IRI] = set()
+        while frontier:
+            candidate = frontier.pop(0)
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if candidate in chosen:
+                ancestor = candidate
+                break
+            frontier.extend(summary.classes.get(candidate, _EMPTY).parents)
+        if ancestor is not None:
+            children_of[ancestor].append(iri)
+    for members in children_of.values():
+        members.sort()
+    return children_of
+
+
+class _Empty:
+    parents: list[IRI] = []
+
+
+_EMPTY = _Empty()

@@ -1,0 +1,73 @@
+"""RDF substrate: terms, graphs, namespaces, parsers, and vocabularies.
+
+Everything in the toolkit — storage (:mod:`repro.store`), querying
+(:mod:`repro.sparql`), and the exploration/visualization layers — is built
+over the small data model defined here.
+"""
+
+from .graph import Graph, TriplePattern
+from .namespace import Namespace, NamespaceManager, split_iri
+from .ntriples import NTriplesError, parse_ntriples, serialize_ntriples
+from .terms import (
+    BNode,
+    IRI,
+    Literal,
+    Predicate,
+    RDFObject,
+    Subject,
+    Term,
+    Triple,
+    Variable,
+    term_sort_key,
+)
+from .turtle import TurtleError, parse_turtle, serialize_turtle
+from .vocab import (
+    DCTERMS,
+    DEFAULT_PREFIXES,
+    FOAF,
+    GEO,
+    OWL,
+    QB,
+    RDF,
+    RDFS,
+    SKOS,
+    VOID,
+    XSD,
+    default_namespace_manager,
+)
+
+__all__ = [
+    "BNode",
+    "DCTERMS",
+    "DEFAULT_PREFIXES",
+    "FOAF",
+    "GEO",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "NamespaceManager",
+    "NTriplesError",
+    "OWL",
+    "Predicate",
+    "QB",
+    "RDF",
+    "RDFObject",
+    "RDFS",
+    "SKOS",
+    "Subject",
+    "Term",
+    "Triple",
+    "TriplePattern",
+    "TurtleError",
+    "VOID",
+    "Variable",
+    "XSD",
+    "default_namespace_manager",
+    "parse_ntriples",
+    "parse_turtle",
+    "serialize_ntriples",
+    "serialize_turtle",
+    "split_iri",
+    "term_sort_key",
+]

@@ -1,0 +1,120 @@
+"""Namespaces and prefixed-name management.
+
+Linked Data vocabularies are identified by IRI namespaces; human-facing
+tools (browsers, facet panels, chart legends — Sections 3.1-3.2 of the
+survey) display *prefixed names* such as ``foaf:name`` instead of full IRIs.
+This module provides the ``Namespace`` factory and a ``NamespaceManager``
+that performs the two-way mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .terms import IRI
+
+__all__ = ["Namespace", "NamespaceManager", "split_iri"]
+
+
+class Namespace(str):
+    """An IRI prefix that mints member IRIs via attribute or item access.
+
+    >>> FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+    >>> FOAF.name
+    IRI('http://xmlns.com/foaf/0.1/name')
+    >>> FOAF["first-name"]
+    IRI('http://xmlns.com/foaf/0.1/first-name')
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("__"):  # keep pickling & introspection sane
+            raise AttributeError(name)
+        return IRI(str(self) + name)
+
+    def __getitem__(self, name: str) -> IRI:  # type: ignore[override]
+        return IRI(str(self) + name)
+
+    def term(self, name: str) -> IRI:
+        """Explicit member constructor (for names shadowed by str methods)."""
+        return IRI(str(self) + name)
+
+    def __contains__(self, item: object) -> bool:  # type: ignore[override]
+        return isinstance(item, str) and item.startswith(str(self))
+
+
+def split_iri(iri: str) -> tuple[str, str]:
+    """Split an IRI into ``(namespace, local name)`` at ``#`` or last ``/``.
+
+    Falls back to ``(iri, "")`` when no separator is present.
+    """
+    if "#" in iri:
+        ns, _, local = iri.rpartition("#")
+        return ns + "#", local
+    if "/" in iri:
+        ns, _, local = iri.rpartition("/")
+        return ns + "/", local
+    if ":" in iri:  # URN-style identifiers
+        ns, _, local = iri.rpartition(":")
+        return ns + ":", local
+    return iri, ""
+
+
+class NamespaceManager:
+    """Bidirectional prefix registry used by serializers and UIs."""
+
+    def __init__(self) -> None:
+        self._prefix_to_ns: dict[str, str] = {}
+        self._ns_to_prefix: dict[str, str] = {}
+
+    def bind(self, prefix: str, namespace: str, replace: bool = True) -> None:
+        """Register ``prefix`` for ``namespace``.
+
+        With ``replace=False`` an existing binding for either side is kept.
+        """
+        namespace = str(namespace)
+        if not replace and (prefix in self._prefix_to_ns or namespace in self._ns_to_prefix):
+            return
+        old_ns = self._prefix_to_ns.get(prefix)
+        if old_ns is not None:
+            self._ns_to_prefix.pop(old_ns, None)
+        old_prefix = self._ns_to_prefix.get(namespace)
+        if old_prefix is not None:
+            self._prefix_to_ns.pop(old_prefix, None)
+        self._prefix_to_ns[prefix] = namespace
+        self._ns_to_prefix[namespace] = prefix
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a prefixed name (``foaf:name``) to a full IRI."""
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise ValueError(f"not a prefixed name: {qname!r}")
+        try:
+            return IRI(self._prefix_to_ns[prefix] + local)
+        except KeyError:
+            raise KeyError(f"unbound prefix {prefix!r}") from None
+
+    def qname(self, iri: str) -> str:
+        """Compact an IRI to a prefixed name; returns ``<iri>`` if unbound."""
+        ns, local = split_iri(iri)
+        prefix = self._ns_to_prefix.get(ns)
+        if prefix is not None and local:
+            return f"{prefix}:{local}"
+        return f"<{iri}>"
+
+    def namespaces(self) -> Iterator[tuple[str, str]]:
+        """Yield ``(prefix, namespace)`` pairs, sorted by prefix."""
+        yield from sorted(self._prefix_to_ns.items())
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_ns)
+
+    def copy(self) -> "NamespaceManager":
+        clone = NamespaceManager()
+        clone._prefix_to_ns = dict(self._prefix_to_ns)
+        clone._ns_to_prefix = dict(self._ns_to_prefix)
+        return clone

@@ -1,0 +1,58 @@
+"""Well-known vocabularies used across the Web of Data.
+
+The survey's systems operate over data described with a small set of core
+vocabularies: RDF/RDFS/OWL for structure and ontologies (Section 3.5), the
+W3C Data Cube vocabulary for statistical data (Section 3.3), WGS84 Geo for
+spatial data (Section 3.3), FOAF/DCTERMS/SKOS for typical LOD payloads.
+"""
+
+from __future__ import annotations
+
+from .namespace import Namespace, NamespaceManager
+
+__all__ = [
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "FOAF",
+    "DCTERMS",
+    "SKOS",
+    "QB",
+    "GEO",
+    "VOID",
+    "DEFAULT_PREFIXES",
+    "default_namespace_manager",
+]
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+QB = Namespace("http://purl.org/linked-data/cube#")
+GEO = Namespace("http://www.w3.org/2003/01/geo/wgs84_pos#")
+VOID = Namespace("http://rdfs.org/ns/void#")
+
+DEFAULT_PREFIXES: dict[str, str] = {
+    "rdf": str(RDF),
+    "rdfs": str(RDFS),
+    "owl": str(OWL),
+    "xsd": str(XSD),
+    "foaf": str(FOAF),
+    "dcterms": str(DCTERMS),
+    "skos": str(SKOS),
+    "qb": str(QB),
+    "geo": str(GEO),
+    "void": str(VOID),
+}
+
+
+def default_namespace_manager() -> NamespaceManager:
+    """A NamespaceManager pre-loaded with the standard prefixes above."""
+    manager = NamespaceManager()
+    for prefix, namespace in DEFAULT_PREFIXES.items():
+        manager.bind(prefix, namespace)
+    return manager

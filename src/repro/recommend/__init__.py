@@ -1,0 +1,10 @@
+"""Visualization recommendation (survey §3.2's Recomm. column).
+
+Rule-based chart proposal and ranking in the style of LinkDaViz [129],
+Vis Wizard [131], and LDVizWiz [11].
+"""
+
+from .recommender import auto_visualize, recommend
+from .rules import RULES, Recommendation, apply_rules
+
+__all__ = ["RULES", "Recommendation", "apply_rules", "auto_visualize", "recommend"]

@@ -1,0 +1,81 @@
+"""The recommendation engine: rank rule proposals, render the winner.
+
+Combines the LinkDaViz-style rules with optional user-preference boosts
+(survey Section 2: systems "should provide the user with the ability to
+customize the exploration experience"), and offers the LDVizWiz-style
+one-shot path: SPARQL in → recommended SVG out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sparql.eval import QueryEngine
+from ..store.base import TripleSource
+from ..viz.datamodel import DataTable
+from ..viz.ldvm import CHART_RENDERERS, LDVMPipeline, VisualizationAbstraction
+from .rules import Recommendation, apply_rules
+
+__all__ = ["recommend", "auto_visualize"]
+
+
+def recommend(
+    table: DataTable,
+    max_results: int = 5,
+    preferred_charts: Sequence[str] = (),
+    preference_boost: float = 0.15,
+) -> list[Recommendation]:
+    """Ranked chart recommendations for a typed table.
+
+    ``preferred_charts`` (from a user profile) receive an additive boost,
+    capped at score 1.0; ties break alphabetically for determinism.
+    """
+    if max_results < 1:
+        raise ValueError("max_results must be positive")
+    proposals = apply_rules(table)
+    preferred = set(preferred_charts)
+    boosted = [
+        Recommendation(
+            chart=p.chart,
+            bindings=p.bindings,
+            score=min(p.score + (preference_boost if p.chart in preferred else 0.0), 1.0),
+            explanation=p.explanation,
+        )
+        for p in proposals
+    ]
+    # keep only the best proposal per (chart, bindings signature)
+    best: dict[tuple, Recommendation] = {}
+    for proposal in boosted:
+        key = (proposal.chart, tuple(sorted(proposal.bindings.items())))
+        if key not in best or proposal.score > best[key].score:
+            best[key] = proposal
+    return sorted(best.values())[:max_results]
+
+
+def auto_visualize(
+    store: TripleSource,
+    sparql: str,
+    preferred_charts: Sequence[str] = (),
+) -> tuple[str, Recommendation]:
+    """LDVizWiz's "semi-automatic production of possible visualizations":
+    query, profile, recommend, and render the top *renderable* proposal.
+
+    Returns ``(svg, recommendation)``. Raises ``ValueError`` when no rule
+    matches the result shape (caller should fall back to a table view).
+    """
+    engine = QueryEngine(store)
+    result = engine.query(sparql)
+    table = DataTable.from_rows(result.to_dicts())
+    ranked = recommend(table, max_results=10, preferred_charts=preferred_charts)
+    renderable = [r for r in ranked if r.chart in CHART_RENDERERS]
+    if not renderable:
+        raise ValueError(
+            "no renderable recommendation for this result shape; "
+            f"proposals were {[r.chart for r in ranked]}"
+        )
+    choice = renderable[0]
+    pipeline = LDVMPipeline(store)
+    svg = pipeline.view(
+        table, VisualizationAbstraction(choice.chart, dict(choice.bindings))
+    )
+    return svg, choice

@@ -1,0 +1,234 @@
+"""Visualization recommendation rules (LinkDaViz [129] / Vis Wizard [131]).
+
+The *Recomm.* column of survey Table 1: "these systems mainly recommend the
+most suitable visualization technique by considering the type of input
+data". Each rule inspects the typed field profile of a
+:class:`~repro.viz.datamodel.DataTable` and proposes a chart with concrete
+channel bindings, a suitability score in [0, 1], and a human-readable
+explanation — the heuristic-data-analysis + binding model LinkDaViz
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..viz.datamodel import DataField, DataTable, FieldType
+
+__all__ = ["Recommendation", "RULES", "apply_rules"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One scored chart proposal."""
+
+    chart: str
+    bindings: dict[str, str] = field(default_factory=dict, hash=False)
+    score: float = 0.0
+    explanation: str = ""
+
+    def __lt__(self, other: "Recommendation") -> bool:  # stable ranking
+        return (-self.score, self.chart) < (-other.score, other.chart)
+
+
+_LOW_CARDINALITY = 12
+_PIE_CARDINALITY = 7
+
+
+def _nominals(table: DataTable) -> list[DataField]:
+    return [f for f in table.fields if f.field_type is FieldType.NOMINAL]
+
+
+def _quantitatives(table: DataTable) -> list[DataField]:
+    return [f for f in table.fields if f.field_type is FieldType.QUANTITATIVE]
+
+
+def _temporals(table: DataTable) -> list[DataField]:
+    return [f for f in table.fields if f.field_type is FieldType.TEMPORAL]
+
+
+def _spatials(table: DataTable) -> list[DataField]:
+    return [f for f in table.fields if f.field_type is FieldType.SPATIAL]
+
+
+def _rule_bar(table: DataTable) -> list[Recommendation]:
+    out = []
+    for nominal in _nominals(table):
+        if nominal.cardinality > _LOW_CARDINALITY * 4:
+            continue
+        for quantitative in _quantitatives(table):
+            fit = 0.9 if nominal.cardinality <= _LOW_CARDINALITY else 0.55
+            out.append(
+                Recommendation(
+                    "bar",
+                    {"category": nominal.name, "value": quantitative.name},
+                    fit * quantitative.coverage,
+                    f"{nominal.cardinality} categories of '{nominal.name}' "
+                    f"against numeric '{quantitative.name}'",
+                )
+            )
+    return out
+
+
+def _rule_pie(table: DataTable) -> list[Recommendation]:
+    out = []
+    for nominal in _nominals(table):
+        if nominal.cardinality > _PIE_CARDINALITY:
+            continue
+        for quantitative in _quantitatives(table):
+            if quantitative.minimum is not None and quantitative.minimum < 0:
+                continue  # negative shares are meaningless
+            out.append(
+                Recommendation(
+                    "pie",
+                    {"category": nominal.name, "value": quantitative.name},
+                    0.6 * quantitative.coverage,
+                    f"part-of-whole of '{quantitative.name}' over "
+                    f"{nominal.cardinality} values of '{nominal.name}'",
+                )
+            )
+    return out
+
+
+def _rule_line(table: DataTable) -> list[Recommendation]:
+    out = []
+    for temporal in _temporals(table):
+        for quantitative in _quantitatives(table):
+            out.append(
+                Recommendation(
+                    "line",
+                    {"x_field": temporal.name, "y_field": quantitative.name},
+                    0.95 * min(temporal.coverage, quantitative.coverage),
+                    f"'{quantitative.name}' over time axis '{temporal.name}'",
+                )
+            )
+            out.append(
+                Recommendation(
+                    "area",
+                    {"x_field": temporal.name, "y_field": quantitative.name},
+                    0.7 * min(temporal.coverage, quantitative.coverage),
+                    f"filled trend of '{quantitative.name}' over '{temporal.name}'",
+                )
+            )
+    return out
+
+
+def _rule_scatter(table: DataTable) -> list[Recommendation]:
+    out = []
+    quantitatives = _quantitatives(table)
+    for i, x in enumerate(quantitatives):
+        for y in quantitatives[i + 1 :]:
+            bindings = {"x_field": x.name, "y_field": y.name}
+            score = 0.85 * min(x.coverage, y.coverage)
+            nominal = next(
+                (f for f in _nominals(table) if f.cardinality <= 10), None
+            )
+            if nominal is not None:
+                bindings["color_field"] = nominal.name
+                score += 0.05
+            out.append(
+                Recommendation(
+                    "scatter", bindings, score,
+                    f"correlation of '{x.name}' vs '{y.name}'",
+                )
+            )
+    return out
+
+
+def _rule_bubble(table: DataTable) -> list[Recommendation]:
+    quantitatives = _quantitatives(table)
+    out = []
+    if len(quantitatives) >= 3:
+        x, y, size = quantitatives[:3]
+        out.append(
+            Recommendation(
+                "bubble",
+                {"x_field": x.name, "y_field": y.name, "size_field": size.name},
+                0.65,
+                f"3 numeric fields: '{size.name}' as bubble size",
+            )
+        )
+    return out
+
+
+def _rule_parallel(table: DataTable) -> list[Recommendation]:
+    quantitatives = _quantitatives(table)
+    if len(quantitatives) < 3:
+        return []
+    return [
+        Recommendation(
+            "parallel_coordinates",
+            {"fields": ",".join(f.name for f in quantitatives[:6])},
+            0.5,
+            f"{len(quantitatives)} numeric dimensions compared in parallel",
+        )
+    ]
+
+
+def _rule_map(table: DataTable) -> list[Recommendation]:
+    spatials = _spatials(table)
+    lat = next((f for f in spatials if "lat" in f.name.lower()), None)
+    lon = next((f for f in spatials if f is not lat), None)
+    if lat is None or lon is None:
+        return []
+    score = 0.9 * min(lat.coverage, lon.coverage)
+    bindings = {"latitude": lat.name, "longitude": lon.name}
+    quantitative = next(iter(_quantitatives(table)), None)
+    if quantitative is not None:
+        bindings["value"] = quantitative.name
+    return [
+        Recommendation(
+            "map", bindings, score,
+            f"coordinate pair ('{lat.name}', '{lon.name}')",
+        )
+    ]
+
+
+def _rule_histogram(table: DataTable) -> list[Recommendation]:
+    out = []
+    if len(table.fields) == 1 and table.fields[0].is_measure:
+        quantitative = table.fields[0]
+        out.append(
+            Recommendation(
+                "histogram", {"field": quantitative.name}, 0.8,
+                f"distribution of single numeric field '{quantitative.name}'",
+            )
+        )
+    return out
+
+
+def _rule_timeline(table: DataTable) -> list[Recommendation]:
+    out = []
+    nominals = _nominals(table)
+    for temporal in _temporals(table):
+        if nominals:
+            out.append(
+                Recommendation(
+                    "timeline",
+                    {"time": temporal.name, "label": nominals[0].name},
+                    0.6 * temporal.coverage,
+                    f"events of '{nominals[0].name}' on time axis '{temporal.name}'",
+                )
+            )
+    return out
+
+
+RULES = [
+    _rule_bar,
+    _rule_pie,
+    _rule_line,
+    _rule_scatter,
+    _rule_bubble,
+    _rule_parallel,
+    _rule_map,
+    _rule_histogram,
+    _rule_timeline,
+]
+
+
+def apply_rules(table: DataTable) -> list[Recommendation]:
+    """Run every rule; returns unsorted raw proposals."""
+    proposals: list[Recommendation] = []
+    for rule in RULES:
+        proposals.extend(rule(table))
+    return proposals

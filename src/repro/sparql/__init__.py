@@ -1,0 +1,48 @@
+"""SPARQL-subset query engine.
+
+The WoD's query endpoint language (survey Section 2): parse with
+:func:`parse_query`, evaluate with :class:`QueryEngine` or the one-shot
+:func:`query` helper against any triple source.
+
+>>> from repro.rdf import Graph, parse_turtle
+>>> from repro.sparql import query
+>>> g = Graph(parse_turtle('''
+...     @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+...     <http://ex.org/a> foaf:name "Alice" ; foaf:age 30 .
+... '''))
+>>> result = query(g, 'SELECT ?name WHERE { ?s foaf:name ?name }')
+>>> result.values("name")
+['Alice']
+"""
+
+from .cached import CachedQueryEngine
+from .eval import EvalStats, QueryEngine, query
+from .lexer import SparqlSyntaxError, tokenize
+from .nodes import (
+    AskQuery,
+    ConstructQuery,
+    DescribeQuery,
+    Query,
+    SelectQuery,
+)
+from .optimizer import estimate_cardinality, order_patterns
+from .parser import parse_query
+from .results import SelectResult
+
+__all__ = [
+    "AskQuery",
+    "CachedQueryEngine",
+    "ConstructQuery",
+    "DescribeQuery",
+    "EvalStats",
+    "Query",
+    "QueryEngine",
+    "SelectQuery",
+    "SelectResult",
+    "SparqlSyntaxError",
+    "estimate_cardinality",
+    "order_patterns",
+    "parse_query",
+    "query",
+    "tokenize",
+]

@@ -1,0 +1,139 @@
+"""Translation of parsed graph patterns into an algebra tree.
+
+Follows the SPARQL 1.1 semantics for group graph patterns: adjacent basic
+patterns merge into one BGP, OPTIONAL becomes a left join against the group
+built so far, sibling FILTERs scope over the whole group, BIND extends the
+running group. The algebra is deliberately small — it is what the
+evaluator (:mod:`repro.sparql.eval`) walks and the optimizer
+(:mod:`repro.sparql.optimizer`) rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .nodes import (
+    BindPattern,
+    Expression,
+    FilterPattern,
+    GroupGraphPattern,
+    OptionalPattern,
+    TriplePatternNode,
+    UnionPattern,
+    ValuesPattern,
+)
+
+__all__ = [
+    "AlgebraNode",
+    "BGP",
+    "Join",
+    "LeftJoin",
+    "Union",
+    "Filter",
+    "Extend",
+    "Values",
+    "translate_group",
+]
+
+
+class AlgebraNode:
+    """Marker base class for algebra operators."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BGP(AlgebraNode):
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: tuple[TriplePatternNode, ...]
+
+
+@dataclass(frozen=True)
+class Join(AlgebraNode):
+    left: AlgebraNode
+    right: AlgebraNode
+
+
+@dataclass(frozen=True)
+class LeftJoin(AlgebraNode):
+    """OPTIONAL: keep every left solution, extend when right matches."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+
+
+@dataclass(frozen=True)
+class Union(AlgebraNode):
+    branches: tuple[AlgebraNode, ...]
+
+
+@dataclass(frozen=True)
+class Filter(AlgebraNode):
+    expression: Expression
+    input: AlgebraNode
+
+
+@dataclass(frozen=True)
+class Extend(AlgebraNode):
+    """BIND(expr AS ?var) over the input solutions."""
+
+    input: AlgebraNode
+    variable: object  # Variable; object to avoid import cycle in dataclass repr
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class Values(AlgebraNode):
+    """Inline data: solutions joined against the group."""
+
+    pattern: ValuesPattern
+
+
+_EMPTY_BGP = BGP(())
+
+
+def translate_group(group: GroupGraphPattern) -> AlgebraNode:
+    """Translate one ``{ ... }`` group into algebra."""
+    current: AlgebraNode = _EMPTY_BGP
+    pending_triples: list[TriplePatternNode] = []
+    filters: list[Expression] = []
+
+    def flush_triples() -> None:
+        nonlocal current
+        if not pending_triples:
+            return
+        bgp = BGP(tuple(pending_triples))
+        pending_triples.clear()
+        current = bgp if current == _EMPTY_BGP else Join(current, bgp)
+
+    for element in group.elements:
+        if isinstance(element, TriplePatternNode):
+            pending_triples.append(element)
+        elif isinstance(element, FilterPattern):
+            filters.append(element.expression)
+        elif isinstance(element, OptionalPattern):
+            flush_triples()
+            current = LeftJoin(current, translate_group(element.pattern))
+        elif isinstance(element, UnionPattern):
+            flush_triples()
+            union = Union(tuple(translate_group(g) for g in element.alternatives))
+            current = union if current == _EMPTY_BGP else Join(current, union)
+        elif isinstance(element, BindPattern):
+            flush_triples()
+            current = Extend(current, element.variable, element.expression)
+        elif isinstance(element, ValuesPattern):
+            flush_triples()
+            values = Values(element)
+            current = values if current == _EMPTY_BGP else Join(current, values)
+        elif isinstance(element, GroupGraphPattern):
+            flush_triples()
+            sub = translate_group(element)
+            current = sub if current == _EMPTY_BGP else Join(current, sub)
+        else:  # pragma: no cover - parser only emits the kinds above
+            raise TypeError(f"unknown group element: {element!r}")
+
+    flush_triples()
+    for expression in filters:
+        current = Filter(expression, current)
+    return current

@@ -1,0 +1,52 @@
+"""Query-result caching (survey §4: "caching ... may be exploited").
+
+Exploration sessions re-issue queries constantly — every back-navigation,
+facet deselection, or dashboard refresh repeats earlier work.
+:class:`CachedQueryEngine` wraps :class:`~repro.sparql.eval.QueryEngine`
+with a bounded :class:`~repro.cache.result_cache.ResultCache` keyed on the
+query text, with explicit invalidation for when the store changes.
+"""
+
+from __future__ import annotations
+
+from ..cache.result_cache import ResultCache
+from ..store.base import TripleSource
+from .eval import QueryEngine
+
+__all__ = ["CachedQueryEngine"]
+
+
+class CachedQueryEngine:
+    """A QueryEngine with memoized results.
+
+    Only string-form queries are cached (parsed Query objects are assumed
+    to be programmatic one-offs). SELECT results are cached as-is — they
+    are immutable by convention; callers must not mutate ``rows``.
+    """
+
+    def __init__(
+        self,
+        store: TripleSource,
+        capacity: int = 128,
+        policy: str = "lru",
+        optimize: bool = True,
+    ) -> None:
+        self.engine = QueryEngine(store, optimize=optimize)
+        self.cache = ResultCache(capacity, policy=policy)
+
+    def query(self, text: str):
+        if not isinstance(text, str):
+            return self.engine.query(text)
+        return self.cache.get_or_compute(text, lambda: self.engine.query(text))
+
+    def invalidate(self) -> None:
+        """Drop all cached results (call after mutating the store)."""
+        self.cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.stats.hit_rate
+
+    @property
+    def stats(self):
+        return self.cache.stats

@@ -1,0 +1,96 @@
+"""SELECT result representation.
+
+A :class:`SelectResult` is an ordered table of solution rows — the object
+every downstream layer consumes: the facet browser counts over it, the
+recommendation engine profiles its columns, the LDVM pipeline binds it to
+visual channels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..rdf.terms import Literal, Term, Variable
+
+__all__ = ["SelectResult"]
+
+
+class SelectResult:
+    """An immutable table of SPARQL solutions."""
+
+    def __init__(self, variables: list[Variable], rows: list[dict[Variable, Term]]) -> None:
+        self.variables: list[Variable] = list(variables)
+        self.rows: list[dict[Variable, Term]] = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[Variable, Term]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __getitem__(self, index: int) -> dict[Variable, Term]:
+        return self.rows[index]
+
+    def column(self, variable: str | Variable) -> list[Term | None]:
+        """All values of one variable, ``None`` where unbound."""
+        key = Variable(variable) if not isinstance(variable, Variable) else variable
+        return [row.get(key) for row in self.rows]
+
+    def values(self, variable: str | Variable) -> list[object]:
+        """Native Python values of one variable (skips unbound rows)."""
+        out: list[object] = []
+        for term in self.column(variable):
+            if term is None:
+                continue
+            out.append(term.value if isinstance(term, Literal) else term)
+        return out
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as plain dicts with string keys and native values."""
+        result = []
+        for row in self.rows:
+            entry: dict[str, object] = {}
+            for variable in self.variables:
+                term = row.get(variable)
+                if term is None:
+                    entry[str(variable)] = None
+                elif isinstance(term, Literal):
+                    entry[str(variable)] = term.value
+                else:
+                    entry[str(variable)] = str(term)
+            result.append(entry)
+        return result
+
+    def to_table(self, max_rows: int | None = 20) -> str:
+        """ASCII table rendering (the classic endpoint result view)."""
+        headers = [f"?{v}" for v in self.variables]
+        body_rows = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [
+            [_render(row.get(v)) for v in self.variables]
+            for row in body_rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+            for i in range(len(headers))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SelectResult {len(self.rows)} rows x {len(self.variables)} vars>"
+
+
+def _render(term: Term | None) -> str:
+    if term is None:
+        return ""
+    if isinstance(term, Literal):
+        return term.lexical
+    return str(term)

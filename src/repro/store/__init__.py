@@ -1,0 +1,35 @@
+"""Storage layer: dictionary encoding, indexed memory store, disk paging,
+and adaptive (cracking) indexes.
+
+Pick the store that matches the scale:
+
+* :class:`~repro.rdf.graph.Graph` — small graphs, maximal convenience.
+* :class:`MemoryStore` — dictionary-encoded indexes, several× smaller.
+* :class:`PagedTripleStore` — disk-resident with an LRU buffer pool;
+  resident memory is O(pool), the survey's Section 4 recommendation.
+* :class:`CrackedColumn` — adaptive numeric index for exploration sessions
+  with no preprocessing window (Section 2's dynamic setting).
+"""
+
+from .base import TripleSource
+from .cracking import CrackedColumn, FullSortColumn, ScanColumn
+from .dictionary import TermDictionary, decode_term, encode_term
+from .federated import FederatedStore, SourceStats
+from .memory import MemoryStore
+from .paged import BufferPoolStats, LRUBufferPool, PagedTripleStore
+
+__all__ = [
+    "BufferPoolStats",
+    "CrackedColumn",
+    "FederatedStore",
+    "FullSortColumn",
+    "LRUBufferPool",
+    "MemoryStore",
+    "PagedTripleStore",
+    "ScanColumn",
+    "SourceStats",
+    "TermDictionary",
+    "TripleSource",
+    "decode_term",
+    "encode_term",
+]

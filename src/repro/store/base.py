@@ -1,0 +1,33 @@
+"""The triple-source protocol shared by every store implementation.
+
+Higher layers (SPARQL, facets, hierarchies, graph views) are written against
+this minimal protocol, so an in-memory :class:`~repro.rdf.graph.Graph`, a
+dictionary-encoded :class:`~repro.store.memory.MemoryStore`, and a
+disk-backed :class:`~repro.store.paged.PagedTripleStore` are interchangeable
+— the survey's "dynamic, billion-object" requirement (Section 2) is then a
+matter of choosing the store, not rewriting the exploration stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+from ..rdf.graph import TriplePattern
+from ..rdf.terms import Triple
+
+__all__ = ["TripleSource"]
+
+
+@runtime_checkable
+class TripleSource(Protocol):
+    """Anything that can answer triple-pattern queries."""
+
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        """Yield every triple matching ``pattern`` (``None`` = wildcard)."""
+        ...
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        """Number of triples matching ``pattern``."""
+        ...
+
+    def __len__(self) -> int: ...

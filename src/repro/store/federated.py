@@ -1,0 +1,82 @@
+"""Federated triple access over multiple sources (Balloon Fusion [116]).
+
+Survey §3.2: Balloon Synopsis "supports automatic information enhancement
+of the local RDF data by accessing either remote SPARQL endpoints or
+performing federated queries over endpoints". :class:`FederatedStore`
+presents several :class:`~repro.store.base.TripleSource`s as one — pattern
+queries fan out to every member, results are deduplicated, and per-source
+statistics record where answers came from (the provenance panel such tools
+show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..rdf.graph import TriplePattern
+from ..rdf.terms import Triple
+from .base import TripleSource
+
+__all__ = ["FederatedStore", "SourceStats"]
+
+
+@dataclass
+class SourceStats:
+    name: str
+    queries: int = 0
+    triples_returned: int = 0
+
+
+class FederatedStore:
+    """A deduplicating union view over named triple sources."""
+
+    def __init__(self, sources: Sequence[tuple[str, TripleSource]]) -> None:
+        if not sources:
+            raise ValueError("need at least one source")
+        names = [name for name, _ in sources]
+        if len(set(names)) != len(names):
+            raise ValueError("source names must be unique")
+        self._sources = list(sources)
+        self.stats: dict[str, SourceStats] = {
+            name: SourceStats(name) for name, _ in sources
+        }
+
+    # -- TripleSource protocol -------------------------------------------------
+
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        seen: set[Triple] = set()
+        for name, source in self._sources:
+            stats = self.stats[name]
+            stats.queries += 1
+            for triple in source.triples(pattern):
+                stats.triples_returned += 1
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        return sum(1 for _ in self.triples(pattern))
+
+    def __len__(self) -> int:
+        return self.count()
+
+    # -- provenance ------------------------------------------------------------
+
+    def sources_of(self, triple: Triple) -> list[str]:
+        """Which sources assert ``triple`` (the provenance question)."""
+        found = []
+        for name, source in self._sources:
+            if any(True for _ in source.triples((triple[0], triple[1], triple[2]))):
+                found.append(name)
+        return found
+
+    def source_names(self) -> list[str]:
+        return [name for name, _ in self._sources]
+
+    def add_source(self, name: str, source: TripleSource) -> None:
+        """Attach another endpoint at runtime (the 'enhancement' step)."""
+        if name in self.stats:
+            raise ValueError(f"source {name!r} already registered")
+        self._sources.append((name, source))
+        self.stats[name] = SourceStats(name)

@@ -1,0 +1,172 @@
+"""Dictionary-encoded in-memory triple store.
+
+A step up from :class:`repro.rdf.graph.Graph`: terms are interned once in a
+:class:`~repro.store.dictionary.TermDictionary` and the three access-path
+indexes hold integer ids only. This makes large graphs several times
+smaller and pattern matching allocation-free until decode time, which is
+what the survey's "limited resources (e.g., laptops)" requirement
+(Section 2) asks of an exploration substrate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from ..rdf.graph import TriplePattern
+from ..rdf.terms import Triple
+from .dictionary import TermDictionary
+
+__all__ = ["MemoryStore"]
+
+_IdTriple = tuple[int, int, int]
+
+
+class MemoryStore:
+    """Indexed id-triple store implementing the TripleSource protocol."""
+
+    def __init__(self, triples: Iterable[Triple] | None = None) -> None:
+        self.dictionary = TermDictionary()
+        self._spo: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns True if the store changed."""
+        s, p, o = self.dictionary.encode_triple(triple)
+        objects = self._spo[s][p]
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Bulk insert (streaming-friendly); returns number added."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, pattern: TriplePattern) -> int:
+        """Remove all triples matching ``pattern``; returns removal count."""
+        victims = list(self._match_ids(*self._encode_pattern(pattern)))
+        for s, p, o in victims:
+            self._spo[s][p].discard(o)
+            self._pos[p][o].discard(s)
+            self._osp[o][s].discard(p)
+        self._size -= len(victims)
+        return len(victims)
+
+    # -- pattern matching ---------------------------------------------------
+
+    def _encode_pattern(
+        self, pattern: TriplePattern
+    ) -> tuple[int | None, int | None, int | None] | None:
+        """Translate a term pattern into an id pattern.
+
+        Returns ``None`` when a bound term is not in the dictionary — the
+        answer is then provably empty without touching any index.
+        """
+        ids: list[int | None] = []
+        for term in pattern:
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self.dictionary.lookup(term)
+                if term_id is None:
+                    return None
+                ids.append(term_id)
+        return ids[0], ids[1], ids[2]
+
+    def _match_ids(
+        self, s: int | None, p: int | None, o: int | None
+    ) -> Iterator[_IdTriple]:
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if not by_pred:
+                return
+            preds = (p,) if p is not None else tuple(by_pred)
+            for pred in preds:
+                objects = by_pred.get(pred)
+                if not objects:
+                    continue
+                if o is not None:
+                    if o in objects:
+                        yield (s, pred, o)
+                else:
+                    for obj in objects:
+                        yield (s, pred, obj)
+            return
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if not by_obj:
+                return
+            objs = (o,) if o is not None else tuple(by_obj)
+            for obj in objs:
+                for subj in by_obj.get(obj, ()):
+                    yield (subj, p, obj)
+            return
+        if o is not None:
+            by_subj = self._osp.get(o)
+            if not by_subj:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        for subj, by_pred in self._spo.items():
+            for pred, objects in by_pred.items():
+                for obj in objects:
+                    yield (subj, pred, obj)
+
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        """Yield matching triples, decoding ids lazily."""
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return
+        decode = self.dictionary.decode_triple
+        for ids in self._match_ids(*encoded):
+            yield decode(ids)
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return 0
+        s, p, o = encoded
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is None and o is None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None and s is None and o is None:
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        if o is not None and s is None and p is None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return sum(1 for _ in self._match_ids(s, p, o))
+
+    def __contains__(self, triple: Triple) -> bool:
+        encoded = self._encode_pattern((triple[0], triple[1], triple[2]))
+        if encoded is None:
+            return False
+        s, p, o = encoded
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    # -- statistics (used by the SPARQL optimizer) ---------------------------
+
+    def predicate_cardinality(self, predicate_id: int) -> int:
+        """Number of triples with the given predicate id."""
+        return sum(len(subjs) for subjs in self._pos.get(predicate_id, {}).values())
+
+    def id_triples(self) -> Iterator[_IdTriple]:
+        """Raw id triples (for bulk exports to the paged store)."""
+        return self._match_ids(None, None, None)

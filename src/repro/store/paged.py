@@ -1,0 +1,340 @@
+"""Disk-backed, paged triple store with an LRU buffer pool.
+
+The survey's Discussion (Section 4) singles out the lack of disk-based
+implementations as the key scalability failure of WoD tools: "most of the
+existing systems ... initially load all the examined objects in main
+memory". Systems like graphVizdb [22, 23] instead keep data on disk and
+fetch only what an interaction needs. This module provides that substrate:
+
+* triples are dictionary-encoded and stored **sorted** in three
+  permutations (SPO, POS, OSP) as fixed-size binary pages;
+* a small in-memory *fence index* (first key of every page) routes a
+  triple-pattern prefix scan to the right page run;
+* pages are fetched through an :class:`LRUBufferPool` of bounded size, so
+  resident memory is O(pool + answer), never O(dataset).
+
+The store is build-once / read-many, which matches the exploration setting:
+one bulk load (or import from a :class:`~repro.store.memory.MemoryStore`),
+then an interactive read workload.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..rdf.graph import TriplePattern
+from ..rdf.terms import Triple
+from .dictionary import TermDictionary
+
+__all__ = ["PagedTripleStore", "LRUBufferPool", "BufferPoolStats"]
+
+_TRIPLE = struct.Struct("<III")
+_PERMUTATIONS = ("spo", "pos", "osp")
+_MAX_ID = 2**32 - 1
+
+# (s, p, o) -> key order per permutation, and its inverse.
+_PERMUTE = {
+    "spo": lambda s, p, o: (s, p, o),
+    "pos": lambda s, p, o: (p, o, s),
+    "osp": lambda s, p, o: (o, s, p),
+}
+_UNPERMUTE = {
+    "spo": lambda a, b, c: (a, b, c),
+    "pos": lambda a, b, c: (c, a, b),
+    "osp": lambda a, b, c: (b, c, a),
+}
+
+
+@dataclass
+class BufferPoolStats:
+    """Counters exposed for the C5/C9 benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class LRUBufferPool:
+    """A fixed-capacity page cache with least-recently-used eviction."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs capacity >= 1 page")
+        self.capacity = capacity_pages
+        self._pages: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self.stats = BufferPoolStats()
+
+    def get(self, key: tuple[str, int]) -> bytes | None:
+        page = self._pages.get(key)
+        if page is not None:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return page
+
+    def put(self, key: tuple[str, int], page: bytes) -> None:
+        self._pages[key] = page
+        self._pages.move_to_end(key)
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(len(p) for p in self._pages.values())
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+
+@dataclass
+class _Permutation:
+    """One sorted on-disk run plus its in-memory fence keys."""
+
+    name: str
+    path: str
+    fences: list[tuple[int, int, int]] = field(default_factory=list)
+    page_count: int = 0
+
+
+class PagedTripleStore:
+    """Read-optimized disk triple store (graphVizdb-style substrate).
+
+    Use :meth:`build` to create the files, :meth:`open` to attach to them.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        dictionary: TermDictionary,
+        permutations: dict[str, _Permutation],
+        size: int,
+        page_size: int,
+        cache_pages: int = 64,
+    ) -> None:
+        self.directory = directory
+        self.dictionary = dictionary
+        self._perms = permutations
+        self._size = size
+        self.page_size = page_size
+        self.triples_per_page = page_size // _TRIPLE.size
+        self.pool = LRUBufferPool(cache_pages)
+        self._files = {
+            name: open(perm.path, "rb") for name, perm in permutations.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        triples: Iterable[Triple],
+        directory: str,
+        page_size: int = 4096,
+        cache_pages: int = 64,
+    ) -> "PagedTripleStore":
+        """Bulk-load ``triples`` into ``directory`` and open the result."""
+        if page_size < _TRIPLE.size:
+            raise ValueError("page size smaller than one triple record")
+        os.makedirs(directory, exist_ok=True)
+        dictionary = TermDictionary()
+        id_triples: set[tuple[int, int, int]] = set()
+        for triple in triples:
+            id_triples.add(dictionary.encode_triple(triple))
+
+        per_page = page_size // _TRIPLE.size
+        permutations: dict[str, _Permutation] = {}
+        for name in _PERMUTATIONS:
+            permute = _PERMUTE[name]
+            keys = sorted(permute(s, p, o) for s, p, o in id_triples)
+            path = os.path.join(directory, f"{name}.dat")
+            perm = _Permutation(name=name, path=path)
+            with open(path, "wb") as fh:
+                for start in range(0, len(keys), per_page):
+                    page_keys = keys[start : start + per_page]
+                    perm.fences.append(page_keys[0])
+                    payload = b"".join(_TRIPLE.pack(*k) for k in page_keys)
+                    fh.write(payload.ljust(page_size, b"\xff"))
+                    perm.page_count += 1
+            permutations[name] = perm
+
+        with open(os.path.join(directory, "terms.dict"), "wb") as fh:
+            dictionary.dump(fh)
+        with open(os.path.join(directory, "meta.bin"), "wb") as fh:
+            fh.write(struct.pack("<II", page_size, len(id_triples)))
+            for name in _PERMUTATIONS:
+                perm = permutations[name]
+                fh.write(struct.pack("<I", perm.page_count))
+                for fence in perm.fences:
+                    fh.write(_TRIPLE.pack(*fence))
+
+        return cls(
+            directory,
+            dictionary,
+            permutations,
+            size=len(id_triples),
+            page_size=page_size,
+            cache_pages=cache_pages,
+        )
+
+    @classmethod
+    def open(cls, directory: str, cache_pages: int = 64) -> "PagedTripleStore":
+        """Attach to a store previously created by :meth:`build`."""
+        with open(os.path.join(directory, "terms.dict"), "rb") as fh:
+            dictionary = TermDictionary.load(fh)
+        with open(os.path.join(directory, "meta.bin"), "rb") as fh:
+            page_size, size = struct.unpack("<II", fh.read(8))
+            permutations: dict[str, _Permutation] = {}
+            for name in _PERMUTATIONS:
+                (page_count,) = struct.unpack("<I", fh.read(4))
+                fences = [
+                    _TRIPLE.unpack(fh.read(_TRIPLE.size)) for _ in range(page_count)
+                ]
+                permutations[name] = _Permutation(
+                    name=name,
+                    path=os.path.join(directory, f"{name}.dat"),
+                    fences=fences,
+                    page_count=page_count,
+                )
+        return cls(
+            directory,
+            dictionary,
+            permutations,
+            size=size,
+            page_size=page_size,
+            cache_pages=cache_pages,
+        )
+
+    def close(self) -> None:
+        for fh in self._files.values():
+            fh.close()
+        self._files.clear()
+
+    def __enter__(self) -> "PagedTripleStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Page access
+    # ------------------------------------------------------------------ #
+
+    def _read_page(self, perm_name: str, page_no: int) -> bytes:
+        key = (perm_name, page_no)
+        page = self.pool.get(key)
+        if page is None:
+            fh = self._files[perm_name]
+            fh.seek(page_no * self.page_size)
+            page = fh.read(self.page_size)
+            self.pool.put(key, page)
+        return page
+
+    def _page_keys(self, perm_name: str, page_no: int) -> Iterator[tuple[int, int, int]]:
+        page = self._read_page(perm_name, page_no)
+        for offset in range(0, len(page), _TRIPLE.size):
+            record = page[offset : offset + _TRIPLE.size]
+            if len(record) < _TRIPLE.size:
+                break
+            key = _TRIPLE.unpack(record)
+            if key[0] == _MAX_ID:  # page padding
+                break
+            yield key
+
+    def _scan_prefix(
+        self, perm_name: str, prefix: tuple[int, ...]
+    ) -> Iterator[tuple[int, int, int]]:
+        """Yield all permuted keys whose leading components equal ``prefix``."""
+        perm = self._perms[perm_name]
+        if perm.page_count == 0:
+            return
+        low = prefix + (-1,) * (3 - len(prefix))
+        high = prefix + (_MAX_ID + 1,) * (3 - len(prefix))
+        start_page = max(0, bisect_right(perm.fences, low) - 1)
+        for page_no in range(start_page, perm.page_count):
+            if perm.fences[page_no] > high:
+                break
+            for key in self._page_keys(perm_name, page_no):
+                if key < low:
+                    continue
+                if key > high:
+                    return
+                yield key
+
+    # ------------------------------------------------------------------ #
+    # TripleSource protocol
+    # ------------------------------------------------------------------ #
+
+    def _plan(self, s: int | None, p: int | None, o: int | None) -> tuple[str, tuple[int, ...]]:
+        """Choose the permutation whose sort order matches the bound prefix."""
+        if s is not None:
+            if p is not None:
+                if o is not None:
+                    return "spo", (s, p, o)
+                return "spo", (s, p)
+            if o is not None:
+                return "osp", (o, s)
+            return "spo", (s,)
+        if p is not None:
+            if o is not None:
+                return "pos", (p, o)
+            return "pos", (p,)
+        if o is not None:
+            return "osp", (o,)
+        return "spo", ()
+
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        ids: list[int | None] = []
+        for term in pattern:
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self.dictionary.lookup(term)
+                if term_id is None:
+                    return
+                ids.append(term_id)
+        perm_name, prefix = self._plan(*ids)
+        unpermute = _UNPERMUTE[perm_name]
+        decode = self.dictionary.decode_triple
+        for key in self._scan_prefix(perm_name, prefix):
+            yield decode(unpermute(*key))
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        if pattern == (None, None, None):
+            return self._size
+        return sum(1 for _ in self.triples(pattern))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of triple data currently held in memory (the pool only)."""
+        return self.pool.resident_bytes
+
+    @property
+    def disk_bytes(self) -> int:
+        """Total size of the three permutation files on disk."""
+        return sum(os.path.getsize(perm.path) for perm in self._perms.values())

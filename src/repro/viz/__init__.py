@@ -1,0 +1,96 @@
+"""Visualization layer: LDVM pipeline, charts, and specialized views.
+
+Covers the Vis. Types of survey Table 1 (charts, treemap, timeline, map,
+parallel coordinates) plus the ontology/graph hybrids of Sections 3.4-3.5
+(node-link rendering, CropCircles containment, NodeTrix matrices), all
+rendered to standalone SVG via :class:`SVGCanvas`.
+"""
+
+from .charts import (
+    PALETTE,
+    ChartConfig,
+    area_chart,
+    bar_chart,
+    bubble_chart,
+    histogram,
+    line_chart,
+    parallel_coordinates,
+    pie_chart,
+    scatter_plot,
+)
+from .cropcircles import (
+    CircleLayout,
+    HierarchyNode,
+    layout_cropcircles,
+    render_cropcircles,
+)
+from .dashboard import Panel, compose_dashboard
+from .datamodel import DataField, DataTable, FieldType, infer_field_type
+from .graphview import render_node_link
+from .heatmap import render_heatmap, sequential_color
+from .ldvm import CHART_RENDERERS, LDVMPipeline, VisualizationAbstraction
+from .maps import (
+    GeoPoint,
+    equirectangular,
+    extract_geo_points,
+    render_density_map,
+    render_point_map,
+)
+from .nodetrix import MatrixBlock, NodeTrixLayout, nodetrix_layout, render_nodetrix
+from .scales import BandScale, LinearScale, nice_ticks
+from .streamgraph import stack_series, streamgraph
+from .svg import SVGCanvas
+from .timeline import TimelineEvent, assign_lanes, render_timeline
+from .treemap import TreemapItem, TreemapRect, hetree_treemap, render_treemap, squarify
+
+__all__ = [
+    "BandScale",
+    "CHART_RENDERERS",
+    "ChartConfig",
+    "CircleLayout",
+    "DataField",
+    "DataTable",
+    "FieldType",
+    "GeoPoint",
+    "HierarchyNode",
+    "LDVMPipeline",
+    "LinearScale",
+    "MatrixBlock",
+    "NodeTrixLayout",
+    "PALETTE",
+    "Panel",
+    "SVGCanvas",
+    "TimelineEvent",
+    "TreemapItem",
+    "TreemapRect",
+    "VisualizationAbstraction",
+    "area_chart",
+    "assign_lanes",
+    "bar_chart",
+    "bubble_chart",
+    "equirectangular",
+    "extract_geo_points",
+    "hetree_treemap",
+    "histogram",
+    "infer_field_type",
+    "layout_cropcircles",
+    "line_chart",
+    "nice_ticks",
+    "nodetrix_layout",
+    "parallel_coordinates",
+    "pie_chart",
+    "render_cropcircles",
+    "render_density_map",
+    "render_heatmap",
+    "render_node_link",
+    "render_nodetrix",
+    "render_point_map",
+    "render_timeline",
+    "render_treemap",
+    "scatter_plot",
+    "sequential_color",
+    "squarify",
+    "stack_series",
+    "streamgraph",
+    "compose_dashboard",
+]

@@ -1,0 +1,326 @@
+"""Chart renderers — the Vis. Types column of survey Table 1.
+
+Each chart takes a :class:`~repro.viz.datamodel.DataTable` plus field
+bindings and renders to a standalone SVG string. The set covers what the
+generic WoD systems expose: bar/column (B, C), line & area (C), pie (P),
+scatter (S), bubble (B), parallel coordinates (PC), and histogram over
+:class:`~repro.approx.binning.Bin` lists.
+
+Charts are deliberately *bounded-output*: the number of SVG elements is a
+function of the binding (categories, bins, pixels), never of the raw row
+count — callers reduce first (sample/bin/aggregate per Section 2), then
+chart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..approx.binning import Bin
+from .datamodel import DataTable
+from .scales import BandScale, LinearScale, nice_ticks
+from .svg import SVGCanvas
+
+__all__ = [
+    "ChartConfig",
+    "bar_chart",
+    "line_chart",
+    "area_chart",
+    "pie_chart",
+    "scatter_plot",
+    "bubble_chart",
+    "parallel_coordinates",
+    "histogram",
+    "PALETTE",
+]
+
+PALETTE = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+@dataclass(frozen=True)
+class ChartConfig:
+    """Shared rendering parameters."""
+
+    width: float = 640.0
+    height: float = 400.0
+    margin: float = 48.0
+    title: str = ""
+    color: str = PALETTE[0]
+
+    @property
+    def plot_width(self) -> float:
+        return self.width - 2 * self.margin
+
+    @property
+    def plot_height(self) -> float:
+        return self.height - 2 * self.margin
+
+    def canvas(self) -> SVGCanvas:
+        canvas = SVGCanvas(self.width, self.height, background="white")
+        if self.title:
+            canvas.text(
+                self.width / 2, self.margin / 2, self.title, size=14, anchor="middle"
+            )
+        return canvas
+
+
+def _axes(canvas: SVGCanvas, config: ChartConfig) -> None:
+    x0, y0 = config.margin, config.height - config.margin
+    canvas.line(x0, y0, config.width - config.margin, y0, stroke="#333")
+    canvas.line(x0, config.margin, x0, y0, stroke="#333")
+
+
+def _y_axis_ticks(
+    canvas: SVGCanvas, config: ChartConfig, scale: LinearScale
+) -> None:
+    for tick in nice_ticks(scale.domain[0], scale.domain[1]):
+        y = scale(tick)
+        canvas.line(config.margin - 4, y, config.margin, y, stroke="#333")
+        canvas.text(config.margin - 8, y + 4, f"{tick:g}", size=10, anchor="end")
+
+
+def bar_chart(
+    table: DataTable, category: str, value: str, config: ChartConfig | None = None
+) -> str:
+    """One bar per category (values pre-aggregated by the caller)."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    categories = [str(row.get(category)) for row in table.rows]
+    values = [float(row.get(value) or 0.0) for row in table.rows]
+    x = BandScale(categories, (config.margin, config.width - config.margin))
+    y = LinearScale(
+        (min(values, default=0.0), max(values, default=1.0)),
+        (config.height - config.margin, config.margin),
+        include_zero=True,
+    )
+    _axes(canvas, config)
+    _y_axis_ticks(canvas, config, y)
+    zero = y(0.0)
+    for cat, val in zip(categories, values):
+        top = y(val)
+        canvas.rect(
+            x(cat), min(top, zero), x.bandwidth, abs(zero - top),
+            fill=config.color, title=f"{cat}: {val:g}",
+        )
+        canvas.text(
+            x.center(cat), config.height - config.margin + 14, cat,
+            size=10, anchor="middle",
+        )
+    return canvas.to_string()
+
+
+def line_chart(
+    table: DataTable, x_field: str, y_field: str, config: ChartConfig | None = None
+) -> str:
+    """A time/number series as a polyline."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    points = sorted(
+        (
+            (float(row[x_field]), float(row[y_field]))
+            for row in table.rows
+            if row.get(x_field) is not None and row.get(y_field) is not None
+        ),
+    )
+    if not points:
+        return canvas.to_string()
+    xs, ys = [p[0] for p in points], [p[1] for p in points]
+    x = LinearScale((min(xs), max(xs)), (config.margin, config.width - config.margin))
+    y = LinearScale((min(ys), max(ys)), (config.height - config.margin, config.margin))
+    _axes(canvas, config)
+    _y_axis_ticks(canvas, config, y)
+    canvas.polyline(
+        [(x(px), y(py)) for px, py in points], stroke=config.color, width=1.5
+    )
+    return canvas.to_string()
+
+
+def area_chart(
+    table: DataTable, x_field: str, y_field: str, config: ChartConfig | None = None
+) -> str:
+    """Line chart with the area to the baseline filled."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    points = sorted(
+        (
+            (float(row[x_field]), float(row[y_field]))
+            for row in table.rows
+            if row.get(x_field) is not None and row.get(y_field) is not None
+        ),
+    )
+    if not points:
+        return canvas.to_string()
+    xs, ys = [p[0] for p in points], [p[1] for p in points]
+    x = LinearScale((min(xs), max(xs)), (config.margin, config.width - config.margin))
+    y = LinearScale(
+        (min(ys), max(ys)), (config.height - config.margin, config.margin),
+        include_zero=True,
+    )
+    _axes(canvas, config)
+    _y_axis_ticks(canvas, config, y)
+    baseline = y(0.0)
+    polygon = (
+        [(x(points[0][0]), baseline)]
+        + [(x(px), y(py)) for px, py in points]
+        + [(x(points[-1][0]), baseline)]
+    )
+    canvas.polygon(polygon, fill=config.color)
+    return canvas.to_string()
+
+
+def pie_chart(
+    table: DataTable, category: str, value: str, config: ChartConfig | None = None
+) -> str:
+    """Proportions as circle sectors (≤ ~10 categories stay legible)."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    entries = [
+        (str(row.get(category)), max(float(row.get(value) or 0.0), 0.0))
+        for row in table.rows
+    ]
+    total = sum(v for _, v in entries)
+    if total <= 0:
+        return canvas.to_string()
+    cx, cy = config.width / 2, config.height / 2
+    radius = min(config.plot_width, config.plot_height) / 2
+    angle = -math.pi / 2
+    for index, (cat, val) in enumerate(entries):
+        sweep = 2 * math.pi * val / total
+        end = angle + sweep
+        large = 1 if sweep > math.pi else 0
+        x1, y1 = cx + radius * math.cos(angle), cy + radius * math.sin(angle)
+        x2, y2 = cx + radius * math.cos(end), cy + radius * math.sin(end)
+        d = (
+            f"M {cx:.2f} {cy:.2f} L {x1:.2f} {y1:.2f} "
+            f"A {radius:.2f} {radius:.2f} 0 {large} 1 {x2:.2f} {y2:.2f} Z"
+        )
+        canvas.path(d, fill=PALETTE[index % len(PALETTE)], stroke="white")
+        mid = angle + sweep / 2
+        canvas.text(
+            cx + radius * 1.1 * math.cos(mid),
+            cy + radius * 1.1 * math.sin(mid),
+            cat, size=10,
+            anchor="middle",
+        )
+        angle = end
+    return canvas.to_string()
+
+
+def scatter_plot(
+    table: DataTable, x_field: str, y_field: str,
+    color_field: str | None = None, config: ChartConfig | None = None,
+) -> str:
+    """Points in two quantitative dimensions (SemLens's substrate)."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    rows = [
+        row for row in table.rows
+        if row.get(x_field) is not None and row.get(y_field) is not None
+    ]
+    if not rows:
+        return canvas.to_string()
+    xs = [float(r[x_field]) for r in rows]
+    ys = [float(r[y_field]) for r in rows]
+    x = LinearScale((min(xs), max(xs)), (config.margin, config.width - config.margin))
+    y = LinearScale((min(ys), max(ys)), (config.height - config.margin, config.margin))
+    _axes(canvas, config)
+    _y_axis_ticks(canvas, config, y)
+    categories: dict[str, str] = {}
+    for row, px, py in zip(rows, xs, ys):
+        fill = config.color
+        if color_field is not None:
+            key = str(row.get(color_field))
+            if key not in categories:
+                categories[key] = PALETTE[len(categories) % len(PALETTE)]
+            fill = categories[key]
+        canvas.circle(x(px), y(py), 3.0, fill=fill, opacity=0.7)
+    return canvas.to_string()
+
+
+def bubble_chart(
+    table: DataTable, x_field: str, y_field: str, size_field: str,
+    config: ChartConfig | None = None,
+) -> str:
+    """Scatter plot with a third quantitative channel on area."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    rows = [
+        row for row in table.rows
+        if all(row.get(f) is not None for f in (x_field, y_field, size_field))
+    ]
+    if not rows:
+        return canvas.to_string()
+    xs = [float(r[x_field]) for r in rows]
+    ys = [float(r[y_field]) for r in rows]
+    sizes = [max(float(r[size_field]), 0.0) for r in rows]
+    max_size = max(sizes) or 1.0
+    x = LinearScale((min(xs), max(xs)), (config.margin, config.width - config.margin))
+    y = LinearScale((min(ys), max(ys)), (config.height - config.margin, config.margin))
+    _axes(canvas, config)
+    for px, py, s in zip(xs, ys, sizes):
+        canvas.circle(
+            x(px), y(py), 2.0 + 14.0 * math.sqrt(s / max_size),
+            fill=config.color, opacity=0.5,
+        )
+    return canvas.to_string()
+
+
+def parallel_coordinates(
+    table: DataTable, fields: Sequence[str], config: ChartConfig | None = None
+) -> str:
+    """One vertical axis per field, one polyline per row (Vis Wizard)."""
+    if len(fields) < 2:
+        raise ValueError("parallel coordinates need at least 2 fields")
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    scales: dict[str, LinearScale] = {}
+    for name in fields:
+        values = table.numeric_column(name)
+        lo, hi = (min(values), max(values)) if values else (0.0, 1.0)
+        scales[name] = LinearScale(
+            (lo, hi), (config.height - config.margin, config.margin)
+        )
+    x = BandScale(list(fields), (config.margin, config.width - config.margin), padding=0.0)
+    for name in fields:
+        axis_x = x.center(name)
+        canvas.line(axis_x, config.margin, axis_x, config.height - config.margin, stroke="#333")
+        canvas.text(axis_x, config.height - config.margin + 14, name, size=10, anchor="middle")
+    for row in table.rows:
+        points = []
+        for name in fields:
+            value = row.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                break
+            points.append((x.center(name), scales[name](float(value))))
+        if len(points) == len(fields):
+            canvas.polyline(points, stroke=config.color, width=0.8, opacity=0.35)
+    return canvas.to_string()
+
+
+def histogram(bins: Sequence[Bin], config: ChartConfig | None = None) -> str:
+    """Render pre-computed bins (the aggregation-first discipline: the
+    chart never sees raw values)."""
+    config = config or ChartConfig()
+    canvas = config.canvas()
+    if not bins:
+        return canvas.to_string()
+    lo = bins[0].low
+    hi = bins[-1].high
+    x = LinearScale((lo, hi), (config.margin, config.width - config.margin))
+    max_count = max(b.count for b in bins) or 1
+    y = LinearScale((0.0, float(max_count)), (config.height - config.margin, config.margin))
+    _axes(canvas, config)
+    _y_axis_ticks(canvas, config, y)
+    for b in bins:
+        canvas.rect(
+            x(b.low), y(b.count), max(x(b.high) - x(b.low) - 1.0, 0.5),
+            (config.height - config.margin) - y(b.count),
+            fill=config.color,
+            title=f"[{b.low:g}, {b.high:g}): {b.count}",
+        )
+    return canvas.to_string()

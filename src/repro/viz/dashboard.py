@@ -1,0 +1,96 @@
+"""Dashboard composition (VizBoard's "dashboard-like, composite,
+interactive visualization" [135, 136]).
+
+Multiple rendered SVG views are arranged into one grid document. Panels
+keep their own coordinate systems via nested ``<svg>`` elements, so any
+renderer in :mod:`repro.viz` can contribute a tile.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+__all__ = ["Panel", "compose_dashboard"]
+
+_SVG_OPEN_RE = re.compile(r"<svg\b[^>]*>")
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One dashboard tile: a rendered SVG plus its caption."""
+
+    svg: str
+    title: str = ""
+
+    def body(self) -> str:
+        """The SVG with its root tag stripped of the xmlns (for nesting)."""
+        return self.svg
+
+
+def compose_dashboard(
+    panels: list[Panel],
+    columns: int | None = None,
+    panel_width: float = 420.0,
+    panel_height: float = 300.0,
+    gutter: float = 16.0,
+    title: str = "",
+) -> str:
+    """Arrange panels in a grid; returns one standalone SVG document."""
+    if not panels:
+        raise ValueError("a dashboard needs at least one panel")
+    if columns is None:
+        columns = max(1, math.ceil(math.sqrt(len(panels))))
+    if columns < 1:
+        raise ValueError("columns must be positive")
+    rows = math.ceil(len(panels) / columns)
+    header = 36.0 if title else 0.0
+    caption = 20.0
+    width = columns * panel_width + (columns + 1) * gutter
+    height = header + rows * (panel_height + caption) + (rows + 1) * gutter
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:g}" '
+        f'height="{height:g}" viewBox="0 0 {width:g} {height:g}">',
+        f'<rect x="0" y="0" width="{width:g}" height="{height:g}" fill="#fafafa"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:g}" y="24" font-size="18" text-anchor="middle" '
+            f'font-family="sans-serif">{escape(title)}</text>'
+        )
+    for index, panel in enumerate(panels):
+        col = index % columns
+        row = index // columns
+        px = gutter + col * (panel_width + gutter)
+        py = header + gutter + row * (panel_height + caption + gutter)
+        if panel.title:
+            parts.append(
+                f'<text x="{px + panel_width / 2:g}" y="{py + 14:g}" font-size="12" '
+                f'text-anchor="middle" font-family="sans-serif">'
+                f"{escape(panel.title)}</text>"
+            )
+        inner = _SVG_OPEN_RE.sub(
+            f'<svg x="{px:g}" y="{py + caption:g}" width="{panel_width:g}" '
+            f'height="{panel_height:g}" preserveAspectRatio="xMidYMid meet" '
+            + _viewbox_of(panel.svg)
+            + ">",
+            panel.svg,
+            count=1,
+        )
+        parts.append(inner)
+        parts.append(
+            f'<rect x="{px:g}" y="{py + caption:g}" width="{panel_width:g}" '
+            f'height="{panel_height:g}" fill="none" stroke="#ddd"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _viewbox_of(svg: str) -> str:
+    match = re.search(r'viewBox="([^"]+)"', svg)
+    if match:
+        return f'viewBox="{match.group(1)}"'
+    return ""

@@ -1,0 +1,162 @@
+"""The analytical-abstraction data model of the LDVM pipeline.
+
+LDVM [29] stage 2 ("Analytical abstraction"): raw RDF/SPARQL results are
+lifted into a typed table. The visualization recommenders of Section 3.2
+(LinkDaViz, Vis Wizard, LDVizWiz) all start from exactly this: per-column
+data types (the N/T/S/H/G taxonomy of survey Table 1) plus simple profile
+statistics (cardinality, coverage, value ranges).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from ..rdf.terms import IRI, BNode, Literal
+
+__all__ = ["FieldType", "DataField", "DataTable", "infer_field_type"]
+
+
+class FieldType(Enum):
+    """The survey's data-type taxonomy (Table 1's Data Types column)."""
+
+    QUANTITATIVE = "quantitative"  # N: numeric
+    TEMPORAL = "temporal"  # T
+    SPATIAL = "spatial"  # S (lat/long pairs or place names)
+    NOMINAL = "nominal"  # categorical strings / small-cardinality values
+    RESOURCE = "resource"  # IRIs — graph-shaped (G) when linked
+    BOOLEAN = "boolean"
+
+
+_TEMPORAL_HINTS = ("year", "date", "time", "founded", "birth", "created", "modified")
+# matched against whole name tokens ("lat" must not fire inside "population")
+_SPATIAL_HINTS = frozenset({"lat", "long", "lng", "latitude", "longitude", "geo"})
+
+
+def infer_field_type(name: str, values: Sequence[object]) -> FieldType:
+    """Heuristic column typing over observed values + the column name."""
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return FieldType.NOMINAL
+    lowered = name.lower()
+    if all(isinstance(v, bool) for v in non_null):
+        return FieldType.BOOLEAN
+    if all(isinstance(v, (IRI, BNode)) or (isinstance(v, str) and v.startswith("http")) for v in non_null):
+        return FieldType.RESOURCE
+    numeric = all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in non_null
+    )
+    if numeric:
+        tokens = set(re.split(r"[^a-z]+", lowered))
+        if tokens & _SPATIAL_HINTS:
+            return FieldType.SPATIAL
+        if any(hint in lowered for hint in _TEMPORAL_HINTS) and all(
+            isinstance(v, int) or float(v).is_integer() for v in non_null
+        ):
+            return FieldType.TEMPORAL
+        return FieldType.QUANTITATIVE
+    if any(hint in lowered for hint in _TEMPORAL_HINTS):
+        return FieldType.TEMPORAL
+    return FieldType.NOMINAL
+
+
+@dataclass
+class DataField:
+    """One typed column with profile statistics."""
+
+    name: str
+    field_type: FieldType
+    cardinality: int  # distinct non-null values
+    coverage: float  # fraction of rows with a value
+    minimum: float | None = None
+    maximum: float | None = None
+
+    @property
+    def is_measure(self) -> bool:
+        return self.field_type is FieldType.QUANTITATIVE
+
+    @property
+    def is_dimension(self) -> bool:
+        return self.field_type in (
+            FieldType.NOMINAL,
+            FieldType.TEMPORAL,
+            FieldType.RESOURCE,
+            FieldType.BOOLEAN,
+        )
+
+
+@dataclass
+class DataTable:
+    """A typed table: the hand-off between query results and charts."""
+
+    fields: list[DataField]
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[dict[str, object]]) -> "DataTable":
+        """Profile plain dict rows (e.g. ``SelectResult.to_dicts()``)."""
+        rows = [dict(r) for r in rows]
+        names: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        fields: list[DataField] = []
+        for name in names:
+            values = [_native(row.get(name)) for row in rows]
+            non_null = [v for v in values if v is not None]
+            field_type = infer_field_type(name, values)
+            numeric_values = [
+                float(v) for v in non_null
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            fields.append(
+                DataField(
+                    name=name,
+                    field_type=field_type,
+                    cardinality=len({str(v) for v in non_null}),
+                    coverage=len(non_null) / len(rows) if rows else 0.0,
+                    minimum=min(numeric_values) if numeric_values else None,
+                    maximum=max(numeric_values) if numeric_values else None,
+                )
+            )
+        normalized = [
+            {name: _native(row.get(name)) for name in names} for row in rows
+        ]
+        return cls(fields=fields, rows=normalized)
+
+    def field(self, name: str) -> DataField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"no field named {name!r}")
+
+    def column(self, name: str) -> list[object]:
+        return [row.get(name) for row in self.rows]
+
+    def numeric_column(self, name: str) -> list[float]:
+        return [
+            float(v) for v in self.column(name)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def measures(self) -> list[DataField]:
+        return [f for f in self.fields if f.is_measure]
+
+    def dimensions(self) -> list[DataField]:
+        return [f for f in self.fields if f.is_dimension]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _native(value: object) -> object:
+    if isinstance(value, Literal):
+        return value.value
+    return value

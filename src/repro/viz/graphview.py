@@ -1,0 +1,71 @@
+"""Node-link SVG rendering (the view stage for survey Table 2 systems)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.model import PropertyGraph
+from .charts import PALETTE
+from .svg import SVGCanvas
+
+__all__ = ["render_node_link"]
+
+
+def render_node_link(
+    graph: PropertyGraph,
+    positions: np.ndarray,
+    communities: list[int] | None = None,
+    bundles: list[np.ndarray] | None = None,
+    width: float = 800.0,
+    height: float = 800.0,
+    labels: bool = False,
+) -> str:
+    """Render a laid-out graph: edges (straight or bundled), then nodes.
+
+    ``communities`` colors nodes; ``bundles`` replaces straight edges with
+    polylines from :mod:`repro.graph.bundling`.
+    """
+    if len(positions) != graph.node_count:
+        raise ValueError("positions must cover every node")
+    canvas = SVGCanvas(width, height, background="white")
+    if len(positions) == 0:
+        return canvas.to_string()
+    # normalize layout into the canvas with a margin
+    margin = 20.0
+    mins = positions.min(axis=0)
+    maxs = positions.max(axis=0)
+    span = np.maximum(maxs - mins, 1e-9)
+    scaled = (positions - mins) / span * (
+        np.array([width, height]) - 2 * margin
+    ) + margin
+
+    if bundles is not None:
+        for line in bundles:
+            norm = (line - mins) / span * (np.array([width, height]) - 2 * margin) + margin
+            canvas.polyline(
+                [(float(x), float(y)) for x, y in norm], stroke="#888", width=0.6,
+                opacity=0.5,
+            )
+    else:
+        for u, v, _ in graph.edges():
+            canvas.line(
+                float(scaled[u][0]), float(scaled[u][1]),
+                float(scaled[v][0]), float(scaled[v][1]),
+                stroke="#bbb", width=0.6, opacity=0.8,
+            )
+    max_degree = max((graph.degree(v) for v in range(graph.node_count)), default=1) or 1
+    for index in range(graph.node_count):
+        color = PALETTE[0]
+        if communities is not None:
+            color = PALETTE[communities[index] % len(PALETTE)]
+        radius = 2.0 + 4.0 * (graph.degree(index) / max_degree) ** 0.5
+        canvas.circle(
+            float(scaled[index][0]), float(scaled[index][1]), radius,
+            fill=color, title=str(graph.node_at(index)),
+        )
+        if labels:
+            canvas.text(
+                float(scaled[index][0]) + 5, float(scaled[index][1]) - 5,
+                str(graph.node_at(index))[-16:], size=8,
+            )
+    return canvas.to_string()

@@ -1,0 +1,80 @@
+"""Heatmap rendering over binned grids (imMens [97], bin-summarise [138]).
+
+Survey §2's aggregation family: millions of points become a fixed count
+lattice (:func:`repro.approx.binning.grid_bins_2d`) and the heatmap draws
+the lattice — output size is display-bound, never data-bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .svg import SVGCanvas
+
+__all__ = ["render_heatmap", "sequential_color"]
+
+
+def sequential_color(value: float) -> str:
+    """A white→blue→dark sequential ramp for normalized ``value`` ∈ [0, 1]."""
+    value = min(max(value, 0.0), 1.0)
+    # interpolate white (255,255,255) → steel blue (70,120,180) → navy (20,30,80)
+    if value < 0.5:
+        t = value * 2.0
+        r = int(255 + (70 - 255) * t)
+        g = int(255 + (120 - 255) * t)
+        b = int(255 + (180 - 255) * t)
+    else:
+        t = (value - 0.5) * 2.0
+        r = int(70 + (20 - 70) * t)
+        g = int(120 + (30 - 120) * t)
+        b = int(180 + (80 - 180) * t)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def render_heatmap(
+    counts: np.ndarray,
+    width: float = 640.0,
+    height: float = 420.0,
+    log_scale: bool = True,
+    legend: bool = True,
+) -> str:
+    """Render a count matrix (rows × cols) as an SVG heatmap.
+
+    ``log_scale`` compresses heavy-tailed counts (the norm for LOD event
+    data) so structure stays visible next to hot cells.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValueError("counts must be a 2-D matrix")
+    canvas = SVGCanvas(width, height, background="white")
+    ny, nx = counts.shape
+    if nx == 0 or ny == 0:
+        return canvas.to_string()
+    plot_width = width - (70.0 if legend else 10.0)
+    cell_w = plot_width / nx
+    cell_h = height / ny
+    values = np.log1p(counts) if log_scale else counts
+    top = values.max() or 1.0
+    for iy in range(ny):
+        for ix in range(nx):
+            if counts[iy, ix] <= 0:
+                continue
+            canvas.rect(
+                ix * cell_w,
+                (ny - 1 - iy) * cell_h,  # matrix row 0 at the bottom
+                cell_w,
+                cell_h,
+                fill=sequential_color(values[iy, ix] / top),
+                title=f"{int(counts[iy, ix])}",
+            )
+    if legend:
+        steps = 6
+        swatch = height / (steps * 2)
+        for i in range(steps):
+            canvas.rect(
+                width - 50, 10 + i * swatch, 14, swatch,
+                fill=sequential_color(1.0 - i / (steps - 1)),
+            )
+        canvas.text(width - 32, 18, f"{int(counts.max())}", size=9)
+        canvas.text(width - 32, 10 + steps * swatch, "0", size=9)
+    return canvas.to_string()

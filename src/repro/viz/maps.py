@@ -1,0 +1,122 @@
+"""Map views for geo-spatial Linked Data (survey Section 3.3).
+
+Map4rdf, Facete, SexTant, the OpenCube Map View, and DBpedia Atlas all plot
+WGS84-coordinated resources. Without a basemap service offline, the view
+here is a projected point/choropleth layer over a graticule — the same
+visual abstraction, self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..approx.binning import grid_bins_2d
+from ..rdf.terms import IRI, Literal
+from ..rdf.vocab import GEO
+from ..store.base import TripleSource
+from .svg import SVGCanvas
+
+__all__ = ["GeoPoint", "equirectangular", "extract_geo_points", "render_point_map", "render_density_map"]
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """One positioned resource."""
+
+    latitude: float
+    longitude: float
+    label: str = ""
+    value: float = 1.0
+
+
+def equirectangular(
+    latitude: float, longitude: float, width: float, height: float
+) -> tuple[float, float]:
+    """Plate carrée projection onto a ``width × height`` canvas."""
+    x = (longitude + 180.0) / 360.0 * width
+    y = (90.0 - latitude) / 180.0 * height
+    return x, y
+
+
+def extract_geo_points(store: TripleSource, value_predicate: IRI | None = None) -> list[GeoPoint]:
+    """Collect ``geo:lat``/``geo:long`` pairs (and an optional magnitude).
+
+    Resources missing either coordinate are skipped — LOD is ragged and a
+    map layer must tolerate that (the Facete experience).
+    """
+    latitudes: dict[object, float] = {}
+    longitudes: dict[object, float] = {}
+    for s, _, o in store.triples((None, GEO.lat, None)):
+        if isinstance(o, Literal) and isinstance(o.value, (int, float)):
+            latitudes[s] = float(o.value)
+    for s, _, o in store.triples((None, GEO.long, None)):
+        if isinstance(o, Literal) and isinstance(o.value, (int, float)):
+            longitudes[s] = float(o.value)
+    points: list[GeoPoint] = []
+    for subject in latitudes.keys() & longitudes.keys():
+        value = 1.0
+        if value_predicate is not None:
+            for _, _, o in store.triples((subject, value_predicate, None)):
+                if isinstance(o, Literal) and isinstance(o.value, (int, float)):
+                    value = float(o.value)
+                    break
+        label = subject.local_name if isinstance(subject, IRI) else str(subject)
+        points.append(GeoPoint(latitudes[subject], longitudes[subject], label, value))
+    points.sort(key=lambda p: (p.latitude, p.longitude, p.label))
+    return points
+
+
+def _graticule(canvas: SVGCanvas, width: float, height: float) -> None:
+    for lon in range(-180, 181, 30):
+        x, _ = equirectangular(0, lon, width, height)
+        canvas.line(x, 0, x, height, stroke="#ddd", width=0.5)
+    for lat in range(-90, 91, 30):
+        _, y = equirectangular(lat, 0, width, height)
+        canvas.line(0, y, width, y, stroke="#ddd", width=0.5)
+
+
+def render_point_map(
+    points: Sequence[GeoPoint], width: float = 720.0, height: float = 360.0
+) -> str:
+    """Proportional-symbol map: radius ∝ sqrt(value)."""
+    canvas = SVGCanvas(width, height, background="white")
+    _graticule(canvas, width, height)
+    max_value = max((p.value for p in points), default=1.0) or 1.0
+    for point in points:
+        x, y = equirectangular(point.latitude, point.longitude, width, height)
+        radius = 2.0 + 8.0 * (point.value / max_value) ** 0.5
+        canvas.circle(x, y, radius, fill="#e15759", opacity=0.6, title=point.label)
+    return canvas.to_string()
+
+
+def render_density_map(
+    points: Sequence[GeoPoint],
+    width: float = 720.0,
+    height: float = 360.0,
+    cells: int = 36,
+) -> str:
+    """Binned density map: fixed cell lattice regardless of point count —
+    the visual-scalability answer for dense spatial data (Section 2)."""
+    canvas = SVGCanvas(width, height, background="white")
+    _graticule(canvas, width, height)
+    if points:
+        xy = np.asarray(
+            [equirectangular(p.latitude, p.longitude, width, height) for p in points]
+        )
+        nx, ny = cells, max(cells // 2, 1)
+        counts = grid_bins_2d(xy, nx, ny, domain=(0, 0, width, height))
+        top = counts.max() or 1
+        cell_w, cell_h = width / nx, height / ny
+        for iy in range(ny):
+            for ix in range(nx):
+                count = counts[iy, ix]
+                if count:
+                    canvas.rect(
+                        ix * cell_w, iy * cell_h, cell_w, cell_h,
+                        fill="#4e79a7", opacity=0.15 + 0.75 * count / top,
+                        title=f"{count} resources",
+                    )
+    return canvas.to_string()

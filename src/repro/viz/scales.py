@@ -1,0 +1,103 @@
+"""Scales: data domain → pixel range mappings for the chart renderers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["LinearScale", "BandScale", "nice_ticks"]
+
+
+class LinearScale:
+    """Continuous affine mapping with optional zero-inclusion."""
+
+    def __init__(
+        self,
+        domain: tuple[float, float],
+        range_: tuple[float, float],
+        include_zero: bool = False,
+    ) -> None:
+        lo, hi = domain
+        if include_zero:
+            lo, hi = min(lo, 0.0), max(hi, 0.0)
+        if hi == lo:
+            hi = lo + 1.0
+        self.domain = (lo, hi)
+        self.range = range_
+
+    def __call__(self, value: float) -> float:
+        lo, hi = self.domain
+        r0, r1 = self.range
+        return r0 + (value - lo) / (hi - lo) * (r1 - r0)
+
+    def invert(self, position: float) -> float:
+        lo, hi = self.domain
+        r0, r1 = self.range
+        if r1 == r0:
+            return lo
+        return lo + (position - r0) / (r1 - r0) * (hi - lo)
+
+
+class BandScale:
+    """Categorical mapping: each category gets an equal-width band."""
+
+    def __init__(
+        self,
+        categories: Sequence[str],
+        range_: tuple[float, float],
+        padding: float = 0.1,
+    ) -> None:
+        if not 0.0 <= padding < 1.0:
+            raise ValueError("padding must be in [0, 1)")
+        self.categories = list(categories)
+        self.range = range_
+        n = max(len(self.categories), 1)
+        total = range_[1] - range_[0]
+        self.step = total / n
+        self.bandwidth = self.step * (1.0 - padding)
+        self._index = {c: i for i, c in enumerate(self.categories)}
+
+    def __call__(self, category: str) -> float:
+        """Left edge of the category's band."""
+        index = self._index[category]
+        pad = (self.step - self.bandwidth) / 2.0
+        return self.range[0] + index * self.step + pad
+
+    def center(self, category: str) -> float:
+        return self(category) + self.bandwidth / 2.0
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._index
+
+
+def nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """~``count`` round tick values covering ``[low, high]``."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    if high <= low:
+        return [low]
+    span = high - low
+    raw_step = span / count
+    magnitude = 10 ** _floor_log10(raw_step)
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if span / step <= count:
+            break
+    first = _ceil_div(low, step) * step
+    ticks = []
+    value = first
+    while value <= high + step * 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _floor_log10(x: float) -> int:
+    import math
+
+    return math.floor(math.log10(abs(x))) if x else 0
+
+
+def _ceil_div(a: float, b: float) -> float:
+    import math
+
+    return math.ceil(a / b - 1e-12)

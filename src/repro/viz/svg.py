@@ -1,0 +1,157 @@
+"""A minimal, dependency-free SVG canvas.
+
+The surveyed Web tools render through the browser; this toolkit's "view"
+stage emits standalone SVG documents instead — the same visual abstraction,
+serialized. Only the primitives the chart/graph/treemap renderers need.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SVGCanvas"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting (no trailing zeros)."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SVGCanvas:
+    """An append-only SVG document builder."""
+
+    def __init__(self, width: float, height: float, background: str | None = None) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background)
+
+    # -- primitives --------------------------------------------------------
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "steelblue",
+        stroke: str | None = None,
+        opacity: float | None = None,
+        title: str | None = None,
+    ) -> None:
+        attrs = {
+            "x": _fmt(x), "y": _fmt(y), "width": _fmt(max(width, 0)),
+            "height": _fmt(max(height, 0)), "fill": fill,
+        }
+        if stroke:
+            attrs["stroke"] = stroke
+        if opacity is not None:
+            attrs["opacity"] = _fmt(opacity)
+        self._emit("rect", attrs, title)
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "steelblue",
+        stroke: str | None = None,
+        opacity: float | None = None,
+        title: str | None = None,
+    ) -> None:
+        attrs = {"cx": _fmt(cx), "cy": _fmt(cy), "r": _fmt(max(r, 0)), "fill": fill}
+        if stroke:
+            attrs["stroke"] = stroke
+            attrs["fill"] = attrs["fill"] or "none"
+        if opacity is not None:
+            attrs["opacity"] = _fmt(opacity)
+        self._emit("circle", attrs, title)
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "black", width: float = 1.0, opacity: float | None = None,
+    ) -> None:
+        attrs = {
+            "x1": _fmt(x1), "y1": _fmt(y1), "x2": _fmt(x2), "y2": _fmt(y2),
+            "stroke": stroke, "stroke-width": _fmt(width),
+        }
+        if opacity is not None:
+            attrs["opacity"] = _fmt(opacity)
+        self._emit("line", attrs)
+
+    def polyline(
+        self, points: list[tuple[float, float]],
+        stroke: str = "black", width: float = 1.0,
+        fill: str = "none", opacity: float | None = None,
+    ) -> None:
+        attrs = {
+            "points": " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points),
+            "stroke": stroke, "stroke-width": _fmt(width), "fill": fill,
+        }
+        if opacity is not None:
+            attrs["opacity"] = _fmt(opacity)
+        self._emit("polyline", attrs)
+
+    def polygon(
+        self, points: list[tuple[float, float]],
+        fill: str = "steelblue", stroke: str | None = None,
+    ) -> None:
+        attrs = {
+            "points": " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points),
+            "fill": fill,
+        }
+        if stroke:
+            attrs["stroke"] = stroke
+        self._emit("polygon", attrs)
+
+    def path(self, d: str, fill: str = "none", stroke: str = "black", width: float = 1.0) -> None:
+        self._emit("path", {"d": d, "fill": fill, "stroke": stroke, "stroke-width": _fmt(width)})
+
+    def text(
+        self, x: float, y: float, content: str,
+        size: float = 12.0, fill: str = "black",
+        anchor: str = "start", rotate: float | None = None,
+    ) -> None:
+        attrs = {
+            "x": _fmt(x), "y": _fmt(y), "font-size": _fmt(size),
+            "fill": fill, "text-anchor": anchor,
+            "font-family": "sans-serif",
+        }
+        if rotate is not None:
+            attrs["transform"] = f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"
+        parts = " ".join(f"{k}={quoteattr(v)}" for k, v in attrs.items())
+        self._elements.append(f"<text {parts}>{escape(content)}</text>")
+
+    def _emit(self, tag: str, attrs: dict[str, str], title: str | None = None) -> None:
+        parts = " ".join(f"{k}={quoteattr(v)}" for k, v in attrs.items())
+        if title:
+            self._elements.append(
+                f"<{tag} {parts}><title>{escape(title)}</title></{tag}>"
+            )
+        else:
+            self._elements.append(f"<{tag} {parts}/>")
+
+    # -- output --------------------------------------------------------------
+
+    @property
+    def element_count(self) -> int:
+        """How many SVG elements have been drawn (the visual-scalability
+        budget the survey's 'million pixels' argument is about)."""
+        return len(self._elements)
+
+    def to_string(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n'
+            f"{body}\n</svg>"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_string())

@@ -1,0 +1,84 @@
+"""Timeline view for temporal Linked Data (TL in survey Table 1).
+
+Tabulator, Rhizomer, SynopsViz, and Payola offer timelines. Events are
+placed on a time axis and stacked into *lanes* so overlapping labels never
+collide — the classic greedy interval-scheduling layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .scales import LinearScale, nice_ticks
+from .svg import SVGCanvas
+from .charts import PALETTE
+
+__all__ = ["TimelineEvent", "assign_lanes", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """A labelled (possibly zero-length) time interval."""
+
+    start: float
+    end: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("event end must be >= start")
+
+
+def assign_lanes(events: Sequence[TimelineEvent], min_gap: float = 0.0) -> list[int]:
+    """Greedy first-fit lane assignment: overlapping events get distinct
+    lanes; returns one lane index per event (input order preserved)."""
+    order = sorted(range(len(events)), key=lambda i: (events[i].start, events[i].end))
+    lane_ends: list[float] = []
+    lanes = [0] * len(events)
+    for index in order:
+        event = events[index]
+        for lane, end in enumerate(lane_ends):
+            if event.start >= end + min_gap:
+                lanes[index] = lane
+                lane_ends[lane] = event.end
+                break
+        else:
+            lanes[index] = len(lane_ends)
+            lane_ends.append(event.end)
+    return lanes
+
+
+def render_timeline(
+    events: Sequence[TimelineEvent],
+    width: float = 800.0,
+    lane_height: float = 26.0,
+    margin: float = 40.0,
+) -> str:
+    """Render events into SVG with a labelled time axis."""
+    if not events:
+        return SVGCanvas(width, lane_height + 2 * margin, background="white").to_string()
+    lanes = assign_lanes(events)
+    n_lanes = max(lanes) + 1
+    height = 2 * margin + n_lanes * lane_height
+    canvas = SVGCanvas(width, height, background="white")
+    t0 = min(e.start for e in events)
+    t1 = max(e.end for e in events)
+    x = LinearScale((t0, t1), (margin, width - margin))
+    axis_y = height - margin / 2
+    canvas.line(margin, axis_y, width - margin, axis_y, stroke="#333")
+    for tick in nice_ticks(t0, t1, 8):
+        canvas.line(x(tick), axis_y - 3, x(tick), axis_y + 3, stroke="#333")
+        canvas.text(x(tick), axis_y + 14, f"{tick:g}", size=9, anchor="middle")
+    for event, lane in zip(events, lanes):
+        y = margin + lane * lane_height
+        x0, x1 = x(event.start), x(event.end)
+        if x1 - x0 < 4.0:  # point event
+            canvas.circle((x0 + x1) / 2, y + lane_height / 2, 4.0, fill=PALETTE[lane % len(PALETTE)], title=event.label)
+        else:
+            canvas.rect(
+                x0, y + 4, x1 - x0, lane_height - 8,
+                fill=PALETTE[lane % len(PALETTE)], opacity=0.8, title=event.label,
+            )
+        canvas.text(min(x0 + 4, width - margin), y + lane_height / 2 + 3, event.label[:24], size=9)
+    return canvas.to_string()

@@ -1,0 +1,167 @@
+"""Squarified treemap layout (the T column of survey Table 1).
+
+Rhizomer, SynopsViz, Payola, and LDVM all expose treemaps for hierarchical
+WoD (class trees, HETree levels). The layout is Bruls et al.'s *squarified*
+algorithm: siblings are packed into rows that keep aspect ratios near 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .svg import SVGCanvas
+from .charts import PALETTE
+
+__all__ = ["TreemapItem", "TreemapRect", "squarify", "render_treemap", "hetree_treemap"]
+
+
+@dataclass
+class TreemapItem:
+    """An input node: a weight, a label, and optional children."""
+
+    label: str
+    weight: float
+    children: list["TreemapItem"] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TreemapRect:
+    """An output rectangle with its source item and nesting depth."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    label: str
+    weight: float
+    depth: int
+
+    @property
+    def aspect(self) -> float:
+        if self.height == 0 or self.width == 0:
+            return float("inf")
+        return max(self.width / self.height, self.height / self.width)
+
+
+def _worst_aspect(row: list[float], side: float, total: float, area: float) -> float:
+    """Worst aspect ratio if `row` weights share a strip along `side`."""
+    if not row or side == 0:
+        return float("inf")
+    row_area = sum(row) / total * area
+    if row_area == 0:
+        return float("inf")
+    thickness = row_area / side
+    worst = 0.0
+    for weight in row:
+        length = (weight / total * area) / thickness if thickness else 0.0
+        if length == 0 or thickness == 0:
+            return float("inf")
+        worst = max(worst, max(length / thickness, thickness / length))
+    return worst
+
+
+def squarify(
+    items: Sequence[TreemapItem],
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+    depth: int = 0,
+) -> list[TreemapRect]:
+    """Layout ``items`` (and recursively their children) into the rectangle.
+
+    Zero-weight items are skipped; children are laid out inside their
+    parent's rectangle with a small inset so nesting reads visually.
+    """
+    weighted = sorted(
+        (i for i in items if i.weight > 0), key=lambda i: i.weight, reverse=True
+    )
+    results: list[TreemapRect] = []
+    if not weighted or width <= 0 or height <= 0:
+        return results
+    total = sum(i.weight for i in weighted)
+    area = width * height
+
+    queue = list(weighted)
+    cx, cy, cw, ch = x, y, width, height
+    while queue:
+        side = min(cw, ch)
+        row: list[TreemapItem] = [queue.pop(0)]
+        while queue:
+            current = _worst_aspect([i.weight for i in row], side, total, area)
+            candidate = _worst_aspect(
+                [i.weight for i in row] + [queue[0].weight], side, total, area
+            )
+            if candidate <= current:
+                row.append(queue.pop(0))
+            else:
+                break
+        row_area = sum(i.weight for i in row) / total * area
+        horizontal = cw >= ch  # lay the row along the shorter side
+        thickness = row_area / ch if horizontal else row_area / cw
+        offset = 0.0
+        for item in row:
+            item_area = item.weight / total * area
+            if horizontal:
+                length = item_area / thickness if thickness else 0.0
+                rect = TreemapRect(cx, cy + offset, thickness, length, item.label, item.weight, depth)
+            else:
+                length = item_area / thickness if thickness else 0.0
+                rect = TreemapRect(cx + offset, cy, length, thickness, item.label, item.weight, depth)
+            results.append(rect)
+            offset += length
+            if item.children:
+                inset = min(rect.width, rect.height) * 0.06
+                results.extend(
+                    squarify(
+                        item.children,
+                        rect.x + inset,
+                        rect.y + inset,
+                        rect.width - 2 * inset,
+                        rect.height - 2 * inset,
+                        depth + 1,
+                    )
+                )
+        if horizontal:
+            cx += thickness
+            cw -= thickness
+        else:
+            cy += thickness
+            ch -= thickness
+    return results
+
+
+def render_treemap(
+    items: Sequence[TreemapItem], width: float = 640.0, height: float = 420.0
+) -> str:
+    """Layout + SVG rendering with depth-shaded colors and labels."""
+    rects = squarify(items, 0, 0, width, height)
+    canvas = SVGCanvas(width, height, background="white")
+    for rect in rects:
+        canvas.rect(
+            rect.x, rect.y, rect.width, rect.height,
+            fill=PALETTE[rect.depth % len(PALETTE)],
+            stroke="white",
+            opacity=0.85 if rect.depth == 0 else 0.65,
+            title=f"{rect.label}: {rect.weight:g}",
+        )
+        if rect.width > 40 and rect.height > 14:
+            canvas.text(rect.x + 4, rect.y + 12, rect.label[:18], size=9)
+    return canvas.to_string()
+
+
+def hetree_treemap(tree, max_depth: int = 2) -> list[TreemapItem]:
+    """Convert the top levels of a HETree into treemap items (SynopsViz's
+    multilevel view: node weight = object count)."""
+
+    def convert(node, depth: int) -> TreemapItem:
+        label = f"[{node.low:g}, {node.high:g})"
+        children = (
+            [convert(child, depth + 1) for child in node.children]
+            if depth < max_depth
+            else []
+        )
+        return TreemapItem(label=label, weight=float(node.stats.count), children=children)
+
+    return [convert(child, 1) for child in tree.root.children] or [convert(tree.root, 0)]

@@ -1,0 +1,29 @@
+"""Synthetic LOD workload generators (the paper's evaluation substrate).
+
+Real WoD sources (DBpedia, LinkedGeoData, ...) are unavailable offline; the
+generators here reproduce the structural properties the surveyed techniques
+are sensitive to. See DESIGN.md's substitution table.
+"""
+
+from .cubes import CUBE, statistical_cube
+from .properties import DISTRIBUTIONS, numeric_values, temporal_values, time_series
+from .rdf_graphs import EX, lod_dataset, powerlaw_link_graph, social_graph, typed_entities
+from .sessions import PanZoomStep, drilldown_ranges, pan_zoom_trace, tile_requests
+
+__all__ = [
+    "CUBE",
+    "DISTRIBUTIONS",
+    "EX",
+    "PanZoomStep",
+    "drilldown_ranges",
+    "lod_dataset",
+    "numeric_values",
+    "pan_zoom_trace",
+    "powerlaw_link_graph",
+    "social_graph",
+    "statistical_cube",
+    "temporal_values",
+    "tile_requests",
+    "time_series",
+    "typed_entities",
+]

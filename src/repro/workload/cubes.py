@@ -1,0 +1,83 @@
+"""RDF Data Cube (QB vocabulary) workload generator.
+
+Produces statistical datasets shaped like the ones the survey's Section 3.3
+systems (CubeViz, OpenCube, LDCE) browse: a data structure definition with
+dimensions/measures, plus observations over the dimension cross product.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from ..rdf.namespace import Namespace
+from ..rdf.terms import IRI, Literal, Triple
+from ..rdf.vocab import QB, RDF, RDFS
+
+__all__ = ["statistical_cube", "CUBE"]
+
+CUBE = Namespace("http://example.org/cube/")
+
+
+def statistical_cube(
+    dimensions: dict[str, Sequence[str]] | None = None,
+    measures: Sequence[str] = ("population",),
+    seed: int = 0,
+    dataset_name: str = "demographics",
+) -> Iterator[Triple]:
+    """Generate a full QB dataset: DSD, component specs, and observations.
+
+    ``dimensions`` maps dimension name → list of member labels, e.g.
+    ``{"year": ["2010", "2011"], "region": ["north", "south"]}``; one
+    observation is emitted per member combination with a random value per
+    measure.
+    """
+    if dimensions is None:
+        dimensions = {
+            "year": [str(y) for y in range(2008, 2014)],
+            "region": ["north", "south", "east", "west"],
+            "sex": ["male", "female"],
+        }
+    rng = random.Random(seed)
+    dataset = CUBE[dataset_name]
+    dsd = CUBE[f"{dataset_name}-dsd"]
+
+    yield Triple(dataset, RDF.type, QB.DataSet)
+    yield Triple(dataset, RDFS.label, Literal(dataset_name))
+    yield Triple(dataset, QB.structure, dsd)
+    yield Triple(dsd, RDF.type, QB.DataStructureDefinition)
+
+    dimension_iris: dict[str, IRI] = {}
+    for name in dimensions:
+        dim = CUBE[f"dim-{name}"]
+        dimension_iris[name] = dim
+        component = CUBE[f"{dataset_name}-comp-{name}"]
+        yield Triple(dsd, QB.component, component)
+        yield Triple(component, QB.dimension, dim)
+        yield Triple(dim, RDF.type, QB.DimensionProperty)
+        yield Triple(dim, RDFS.label, Literal(name))
+
+    measure_iris: dict[str, IRI] = {}
+    for name in measures:
+        measure = CUBE[f"measure-{name}"]
+        measure_iris[name] = measure
+        component = CUBE[f"{dataset_name}-comp-{name}"]
+        yield Triple(dsd, QB.component, component)
+        yield Triple(component, QB.measure, measure)
+        yield Triple(measure, RDF.type, QB.MeasureProperty)
+        yield Triple(measure, RDFS.label, Literal(name))
+
+    # Observations over the dimension cross product.
+    names = list(dimensions)
+    combos: list[tuple[str, ...]] = [()]
+    for name in names:
+        combos = [prior + (member,) for prior in combos for member in dimensions[name]]
+    for index, combo in enumerate(combos):
+        observation = CUBE[f"{dataset_name}-obs{index}"]
+        yield Triple(observation, RDF.type, QB.Observation)
+        yield Triple(observation, QB.dataSet, dataset)
+        for name, member in zip(names, combo):
+            yield Triple(observation, dimension_iris[name], Literal(member))
+        for name in measures:
+            value = round(rng.lognormvariate(8, 0.8), 1)
+            yield Triple(observation, measure_iris[name], Literal(value))

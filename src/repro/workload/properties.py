@@ -1,0 +1,110 @@
+"""Numeric, temporal, and time-series value generators.
+
+The approximation stack (:mod:`repro.approx`) and the HETree
+(:mod:`repro.hierarchy`) are exercised over controlled value distributions:
+skew is what separates equi-width from equi-depth binning, and burstiness is
+what separates M4 from uniform downsampling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "numeric_values",
+    "temporal_values",
+    "time_series",
+    "DISTRIBUTIONS",
+]
+
+
+def _uniform(rng: random.Random, n: int) -> list[float]:
+    return [rng.uniform(0, 1000) for _ in range(n)]
+
+
+def _normal(rng: random.Random, n: int) -> list[float]:
+    return [rng.gauss(500, 100) for _ in range(n)]
+
+
+def _lognormal(rng: random.Random, n: int) -> list[float]:
+    return [rng.lognormvariate(5, 1.0) for _ in range(n)]
+
+
+def _zipf_like(rng: random.Random, n: int) -> list[float]:
+    # Pareto tail: heavily skewed, many small values, few huge ones.
+    return [rng.paretovariate(1.5) * 10 for _ in range(n)]
+
+
+def _bimodal(rng: random.Random, n: int) -> list[float]:
+    return [
+        rng.gauss(200, 30) if rng.random() < 0.5 else rng.gauss(800, 30)
+        for _ in range(n)
+    ]
+
+
+DISTRIBUTIONS: dict[str, Callable[[random.Random, int], list[float]]] = {
+    "uniform": _uniform,
+    "normal": _normal,
+    "lognormal": _lognormal,
+    "zipf": _zipf_like,
+    "bimodal": _bimodal,
+}
+
+
+def numeric_values(n: int, distribution: str = "uniform", seed: int = 0) -> np.ndarray:
+    """``n`` floats from a named distribution (see :data:`DISTRIBUTIONS`)."""
+    try:
+        generator = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"choose from {sorted(DISTRIBUTIONS)}"
+        ) from None
+    return np.asarray(generator(random.Random(seed), n))
+
+
+def temporal_values(
+    n: int,
+    start_year: int = 1900,
+    end_year: int = 2020,
+    seed: int = 0,
+    recency_bias: float = 2.0,
+) -> list[int]:
+    """``n`` years, skewed toward recent dates (as LOD timestamps are).
+
+    ``recency_bias > 1`` concentrates mass near ``end_year``; ``1.0`` is
+    uniform.
+    """
+    rng = random.Random(seed)
+    span = end_year - start_year
+    return [
+        start_year + int(span * (rng.random() ** (1.0 / recency_bias)))
+        for _ in range(n)
+    ]
+
+
+def time_series(
+    n: int,
+    seed: int = 0,
+    trend: float = 0.01,
+    noise: float = 1.0,
+    spike_probability: float = 0.001,
+    spike_scale: float = 40.0,
+) -> np.ndarray:
+    """A random-walk series with occasional spikes.
+
+    Spikes are the features a *visually faithful* downsampling (M4, C4
+    benchmark) must preserve and a uniform downsampling tends to miss.
+    """
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(loc=trend, scale=noise, size=n)
+    series = np.cumsum(steps)
+    spikes = rng.random(n) < spike_probability
+    series[spikes] += rng.choice([-1.0, 1.0], size=int(spikes.sum())) * spike_scale
+    # gentle seasonality so zoomed-in windows have structure too
+    series += 5.0 * np.sin(np.arange(n) * (2 * math.pi / max(n // 8, 1)))
+    return series

@@ -1,0 +1,115 @@
+"""Exploration-session trace generators.
+
+Section 2 defines the exploration scenario: "users perform a sequence of
+operations, in which the result of each operation determines the
+formulation of the next operation". The caching (C9), cracking (C8), and
+viewport (C5) benchmarks need exactly such sequences — with *locality*,
+because real pan/zoom/drill interactions move between neighbouring regions,
+not random ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["PanZoomStep", "pan_zoom_trace", "drilldown_ranges", "tile_requests"]
+
+
+@dataclass(frozen=True)
+class PanZoomStep:
+    """One viewport interaction: the visible world-space window."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    zoom_level: int
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        return (self.x, self.y, self.x + self.width, self.y + self.height)
+
+
+def pan_zoom_trace(
+    n_steps: int,
+    world: float = 1000.0,
+    start_view: float = 250.0,
+    seed: int = 0,
+    pan_fraction: float = 0.25,
+) -> list[PanZoomStep]:
+    """A session of pans (75%) and zooms (25%) with spatial locality.
+
+    Pans move the window by ``pan_fraction`` of its size in a random
+    direction; zooms halve or double the window around its centre. The
+    window is clamped to the ``[0, world]²`` extent.
+    """
+    rng = random.Random(seed)
+    x, y = (world - start_view) / 2, (world - start_view) / 2
+    size = start_view
+    zoom = 0
+    steps: list[PanZoomStep] = [PanZoomStep(x, y, size, size, zoom)]
+    for _ in range(n_steps - 1):
+        if rng.random() < 0.25:  # zoom
+            if rng.random() < 0.5 and size > world / 64:
+                size, zoom = size / 2, zoom + 1
+                x += size / 2
+                y += size / 2
+            elif size < world / 2:
+                x -= size / 2
+                y -= size / 2
+                size, zoom = size * 2, zoom - 1
+        else:  # pan
+            dx = rng.choice([-1, 0, 1]) * size * pan_fraction
+            dy = rng.choice([-1, 0, 1]) * size * pan_fraction
+            x += dx
+            y += dy
+        x = min(max(x, 0.0), world - size)
+        y = min(max(y, 0.0), world - size)
+        steps.append(PanZoomStep(x, y, size, size, zoom))
+    return steps
+
+
+def tile_requests(
+    trace: list[PanZoomStep], tile_size: float = 125.0
+) -> list[list[tuple[int, int]]]:
+    """Translate a pan/zoom trace into per-step lists of needed tile ids."""
+    requests: list[list[tuple[int, int]]] = []
+    for step in trace:
+        x0, y0, x1, y1 = step.bounds
+        tiles = [
+            (tx, ty)
+            for tx in range(int(x0 // tile_size), int(x1 // tile_size) + 1)
+            for ty in range(int(y0 // tile_size), int(y1 // tile_size) + 1)
+        ]
+        requests.append(tiles)
+    return requests
+
+
+def drilldown_ranges(
+    n_queries: int,
+    low: float = 0.0,
+    high: float = 1000.0,
+    seed: int = 0,
+    focus_factor: float = 0.6,
+    refocus_probability: float = 0.15,
+) -> list[tuple[float, float]]:
+    """A drill-down range-query session (the cracking workload of [144]).
+
+    Each query narrows the previous range by ``focus_factor`` around a
+    random point inside it; occasionally the user re-focuses on a fresh
+    region (``refocus_probability``), restarting the drill-down.
+    """
+    rng = random.Random(seed)
+    queries: list[tuple[float, float]] = []
+    lo, hi = low, high
+    for _ in range(n_queries):
+        if hi - lo < (high - low) / 1e4 or rng.random() < refocus_probability:
+            centre = rng.uniform(low, high)
+            half = (high - low) * rng.uniform(0.1, 0.3)
+            lo, hi = max(low, centre - half), min(high, centre + half)
+        span = (hi - lo) * focus_factor
+        anchor = rng.uniform(lo, hi - span) if span < hi - lo else lo
+        lo, hi = anchor, anchor + span
+        queries.append((lo, hi))
+    return queries

@@ -1,0 +1,109 @@
+"""Unit tests for binning-based aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.approx import equi_depth_bins, equi_width_bins, grid_bins_2d
+from repro.workload import numeric_values
+
+
+@pytest.fixture
+def uniform():
+    return numeric_values(1000, "uniform", seed=0)
+
+
+@pytest.fixture
+def skewed():
+    return numeric_values(1000, "zipf", seed=0)
+
+
+class TestEquiWidth:
+    def test_counts_sum_to_n(self, uniform):
+        bins = equi_width_bins(uniform, 10)
+        assert sum(b.count for b in bins) == len(uniform)
+
+    def test_equal_widths(self, uniform):
+        bins = equi_width_bins(uniform, 8)
+        widths = [b.width for b in bins]
+        assert max(widths) == pytest.approx(min(widths))
+
+    def test_edges_tile_domain(self, uniform):
+        bins = equi_width_bins(uniform, 5)
+        for a, b in zip(bins, bins[1:]):
+            assert a.high == pytest.approx(b.low)
+        assert bins[0].low == pytest.approx(float(np.min(uniform)))
+        assert bins[-1].high == pytest.approx(float(np.max(uniform)))
+
+    def test_explicit_domain(self):
+        bins = equi_width_bins([5.0], 4, domain=(0.0, 8.0))
+        assert bins[0].low == 0.0 and bins[-1].high == 8.0
+        assert bins[2].count == 1  # 5.0 falls in [4, 6)
+
+    def test_stats_per_bin(self, uniform):
+        bins = equi_width_bins(uniform, 4)
+        for b in bins:
+            if b.count:
+                assert b.low - 1e9 <= b.stats.minimum <= b.stats.maximum <= b.high + 1e-9
+
+    def test_empty_values(self):
+        bins = equi_width_bins([], 3)
+        assert len(bins) == 3
+        assert all(b.count == 0 for b in bins)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            equi_width_bins([1.0], 0)
+
+    def test_skew_concentrates_mass(self, skewed):
+        bins = equi_width_bins(skewed, 10)
+        assert bins[0].count > 0.8 * len(skewed)
+
+
+class TestEquiDepth:
+    def test_balanced_counts(self, skewed):
+        bins = equi_depth_bins(skewed, 10)
+        counts = [b.count for b in bins]
+        assert max(counts) - min(counts) <= len(skewed) // 10 * 0.5 + 2
+
+    def test_counts_sum_to_n(self, uniform):
+        bins = equi_depth_bins(uniform, 7)
+        assert sum(b.count for b in bins) == len(uniform)
+
+    def test_edges_monotone(self, uniform):
+        bins = equi_depth_bins(uniform, 6)
+        for a, b in zip(bins, bins[1:]):
+            assert a.high <= b.low + 1e-9
+
+    def test_empty(self):
+        assert equi_depth_bins([], 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            equi_depth_bins([1.0], 0)
+
+
+class TestGrid2D:
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 10, size=(500, 2))
+        counts = grid_bins_2d(pts, 8, 6)
+        assert counts.shape == (6, 8)
+        assert counts.sum() == 500
+
+    def test_fixed_output_size_independent_of_data(self):
+        small = grid_bins_2d([(0.0, 0.0), (1.0, 1.0)], 16, 16)
+        rng = np.random.default_rng(1)
+        big = grid_bins_2d(rng.uniform(size=(100_000, 2)), 16, 16)
+        assert small.shape == big.shape == (16, 16)
+
+    def test_point_lands_in_right_cell(self):
+        counts = grid_bins_2d([(0.1, 0.1), (9.9, 9.9)], 10, 10, domain=(0, 0, 10, 10))
+        assert counts[0, 0] == 1
+        assert counts[9, 9] == 1
+
+    def test_empty(self):
+        assert grid_bins_2d([], 4, 4).sum() == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_bins_2d([(0.0, 0.0)], 0, 4)

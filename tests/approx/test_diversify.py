@@ -1,0 +1,97 @@
+"""Unit tests for max-min result diversification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import diversity_score, euclidean, maxmin_diversify
+
+
+class TestEuclidean:
+    def test_distance(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_zero(self):
+        assert euclidean((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+
+class TestMaxMinDiversify:
+    def test_picks_k(self):
+        points = [(float(i), 0.0) for i in range(10)]
+        assert len(maxmin_diversify(points, 4)) == 4
+
+    def test_k_zero(self):
+        assert maxmin_diversify([(0.0, 0.0)], 0) == []
+
+    def test_k_exceeds_n(self):
+        points = [(0.0, 0.0), (1.0, 1.0)]
+        assert maxmin_diversify(points, 10) == points
+
+    def test_spreads_over_clusters(self):
+        rng = random.Random(0)
+        clusters = [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)]
+        points = [
+            (cx + rng.gauss(0, 1), cy + rng.gauss(0, 1))
+            for cx, cy in clusters
+            for _ in range(25)
+        ]
+        chosen = maxmin_diversify(points, 4)
+        # one representative per cluster
+        hit_clusters = set()
+        for x, y in chosen:
+            hit_clusters.add((round(x, -2), round(y, -2)))
+        assert len(hit_clusters) == 4
+
+    def test_beats_first_page(self):
+        points = [(float(i) / 100.0, 0.0) for i in range(100)] + [(500.0, 0.0)]
+        diverse = maxmin_diversify(points, 5)
+        first_page = points[:5]
+        assert diversity_score(diverse) > diversity_score(first_page)
+
+    def test_deterministic(self):
+        points = [(float(i % 7), float(i % 11)) for i in range(50)]
+        assert maxmin_diversify(points, 6) == maxmin_diversify(points, 6)
+
+    def test_custom_distance(self):
+        items = ["a", "bb", "cccc", "dddddddd"]
+        chosen = maxmin_diversify(
+            items, 2, distance=lambda a, b: abs(len(a) - len(b))
+        )
+        assert chosen == ["a", "dddddddd"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            maxmin_diversify([(0.0, 0.0)], -1)
+        with pytest.raises(ValueError):
+            maxmin_diversify([(0.0, 0.0), (1.0, 1.0)], 1, first=5)
+
+
+class TestDiversityScore:
+    def test_small_sets(self):
+        assert diversity_score([]) == 0.0
+        assert diversity_score([(0.0, 0.0)]) == 0.0
+
+    def test_min_pairwise(self):
+        points = [(0.0, 0.0), (3.0, 4.0), (100.0, 0.0)]
+        assert diversity_score(points) == 5.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(-100, 100, allow_nan=False), st.floats(-100, 100, allow_nan=False)),
+        min_size=1,
+        max_size=40,
+        unique=True,
+    ),
+    k=st.integers(1, 10),
+)
+def test_maxmin_subset_and_greedy_quality_property(points, k):
+    chosen = maxmin_diversify(points, k)
+    assert len(chosen) == min(k, len(points))
+    assert all(c in points for c in chosen)
+    if len(points) > k:
+        # greedy max-min is a 2-approximation of the optimum, so it is at
+        # least half as diverse as ANY same-size subset (e.g. the first page)
+        assert diversity_score(chosen) >= diversity_score(points[:k]) / 2 - 1e-9

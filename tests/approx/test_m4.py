@@ -1,0 +1,127 @@
+"""Unit tests for M4 aggregation and the pixel-error metric."""
+
+import numpy as np
+import pytest
+
+from repro.approx import m4_aggregate, pixel_error, rasterize_minmax, uniform_downsample
+from repro.workload import time_series
+
+
+@pytest.fixture
+def series():
+    values = time_series(20_000, seed=2, spike_probability=0.002, spike_scale=60)
+    times = np.arange(len(values), dtype=float)
+    return times, values
+
+
+class TestM4:
+    def test_output_bounded_by_4w(self, series):
+        t, v = series
+        mt, mv = m4_aggregate(t, v, width=100)
+        assert len(mt) <= 4 * 100
+        assert len(mt) == len(mv)
+
+    def test_preserves_global_extremes(self, series):
+        t, v = series
+        _, mv = m4_aggregate(t, v, width=50)
+        assert mv.max() == v.max()
+        assert mv.min() == v.min()
+
+    def test_preserves_endpoints(self, series):
+        t, v = series
+        mt, mv = m4_aggregate(t, v, width=50)
+        assert mt[0] == t[0] and mt[-1] == t[-1]
+        assert mv[0] == v[0] and mv[-1] == v[-1]
+
+    def test_per_column_min_max_kept(self, series):
+        t, v = series
+        width = 20
+        mt, mv = m4_aggregate(t, v, width=width)
+        span = t[-1] - t[0]
+        for c in range(width):
+            mask = np.clip(((t - t[0]) / span * width).astype(int), 0, width - 1) == c
+            mmask = np.clip(((mt - t[0]) / span * width).astype(int), 0, width - 1) == c
+            if mask.any():
+                assert mv[mmask].max() == v[mask].max()
+                assert mv[mmask].min() == v[mask].min()
+
+    def test_output_sorted_by_time(self, series):
+        t, v = series
+        mt, _ = m4_aggregate(t, v, width=64)
+        assert np.all(np.diff(mt) >= 0)
+
+    def test_small_series_passthrough(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([1.0, 5.0, 2.0])
+        mt, mv = m4_aggregate(t, v, width=10)
+        assert set(mt) == {0.0, 1.0, 2.0}
+
+    def test_empty(self):
+        mt, mv = m4_aggregate([], [], width=10)
+        assert len(mt) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            m4_aggregate([0.0], [1.0], width=0)
+        with pytest.raises(ValueError):
+            m4_aggregate([0.0, 1.0], [1.0], width=5)
+
+
+class TestUniformDownsample:
+    def test_size(self, series):
+        t, v = series
+        dt, dv = uniform_downsample(t, v, 100)
+        assert len(dt) <= 100
+        assert len(dt) == len(dv)
+
+    def test_short_input_passthrough(self):
+        dt, dv = uniform_downsample([0.0, 1.0], [1.0, 2.0], 10)
+        assert list(dt) == [0.0, 1.0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_downsample([0.0], [1.0], 0)
+
+
+class TestRasterAndError:
+    def test_identical_series_zero_error(self, series):
+        t, v = series
+        a = rasterize_minmax(t, v, 100, 50)
+        b = rasterize_minmax(t, v, 100, 50)
+        assert pixel_error(a, b) == 0.0
+
+    def test_m4_renders_nearly_identically(self, series):
+        """The core VDDA claim: the M4 reduction draws (almost) the same
+        pixels as the full series at the target width."""
+        t, v = series
+        width, height = 200, 100
+        full = rasterize_minmax(t, v, width, height)
+        mt, mv = m4_aggregate(t, v, width=width)
+        reduced = rasterize_minmax(
+            mt, mv, width, height,
+            t_domain=(float(t[0]), float(t[-1])),
+            v_domain=(float(v.min()), float(v.max())),
+        )
+        assert pixel_error(full, reduced) < 0.02
+
+    def test_uniform_downsample_is_visibly_worse(self, series):
+        t, v = series
+        width, height = 200, 100
+        full = rasterize_minmax(t, v, width, height)
+        mt, mv = m4_aggregate(t, v, width=width)
+        ut, uv = uniform_downsample(t, v, len(mt))
+        domains = dict(
+            t_domain=(float(t[0]), float(t[-1])),
+            v_domain=(float(v.min()), float(v.max())),
+        )
+        m4_err = pixel_error(full, rasterize_minmax(mt, mv, width, height, **domains))
+        uni_err = pixel_error(full, rasterize_minmax(ut, uv, width, height, **domains))
+        assert m4_err < uni_err
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pixel_error(np.zeros((2, 2), bool), np.zeros((3, 3), bool))
+
+    def test_invalid_raster_dims(self):
+        with pytest.raises(ValueError):
+            rasterize_minmax(np.array([0.0]), np.array([0.0]), 0, 10)

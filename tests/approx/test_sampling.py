@@ -1,0 +1,176 @@
+"""Unit and property tests for the sampling suite."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (
+    reservoir_sample,
+    stratified_sample,
+    uniform_sample,
+    visualization_aware_sample,
+    weighted_sample,
+)
+
+
+class TestUniformSample:
+    def test_size(self):
+        assert len(uniform_sample(list(range(100)), 10, seed=0)) == 10
+
+    def test_subset(self):
+        population = list(range(100))
+        assert set(uniform_sample(population, 10, seed=0)) <= set(population)
+
+    def test_k_exceeds_n_returns_all(self):
+        assert sorted(uniform_sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_deterministic(self):
+        assert uniform_sample(list(range(50)), 5, 7) == uniform_sample(list(range(50)), 5, 7)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            uniform_sample([1], -1)
+
+
+class TestReservoirSample:
+    def test_size(self):
+        assert len(reservoir_sample(iter(range(1000)), 25, seed=1)) == 25
+
+    def test_short_stream_returns_all(self):
+        assert sorted(reservoir_sample(iter(range(5)), 10)) == [0, 1, 2, 3, 4]
+
+    def test_k_zero(self):
+        assert reservoir_sample(iter(range(10)), 0) == []
+
+    def test_single_pass_over_generator(self):
+        calls = []
+
+        def stream():
+            for i in range(100):
+                calls.append(i)
+                yield i
+
+        reservoir_sample(stream(), 10, seed=0)
+        assert len(calls) == 100
+
+    def test_approximately_uniform(self):
+        # every element should be picked with probability k/n over many runs
+        counts = Counter()
+        for seed in range(400):
+            for value in reservoir_sample(iter(range(20)), 5, seed=seed):
+                counts[value] += 1
+        expected = 400 * 5 / 20
+        for value in range(20):
+            assert abs(counts[value] - expected) < expected * 0.5
+
+
+class TestStratifiedSample:
+    def test_small_strata_kept(self):
+        items = ["a"] * 990 + ["b"] * 10
+        sample = stratified_sample(items, key=lambda x: x, k=50, seed=0)
+        assert "b" in sample
+
+    def test_proportional_allocation(self):
+        items = ["a"] * 600 + ["b"] * 400
+        sample = stratified_sample(items, key=lambda x: x, k=100, seed=0)
+        counts = Counter(sample)
+        assert 50 <= counts["a"] <= 70
+        assert 30 <= counts["b"] <= 50
+
+    def test_empty_input(self):
+        assert stratified_sample([], key=lambda x: x, k=10) == []
+
+    def test_min_per_stratum(self):
+        items = ["a"] * 100 + ["b"] * 1 + ["c"] * 1
+        sample = stratified_sample(items, key=lambda x: x, k=10, min_per_stratum=1)
+        assert {"b", "c"} <= set(sample)
+
+
+class TestWeightedSample:
+    def test_high_weight_dominates(self):
+        items = ["heavy", "light"]
+        picks = Counter(
+            weighted_sample(items, [100.0, 1.0], 1, seed=s)[0] for s in range(200)
+        )
+        assert picks["heavy"] > 150
+
+    def test_zero_weight_never_chosen(self):
+        sample = weighted_sample(["a", "b"], [0.0, 1.0], 1, seed=0)
+        assert sample == ["b"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_sample([1, 2], [1.0], 1)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            weighted_sample([1], [-1.0], 1)
+
+    def test_k_exceeds_n(self):
+        assert sorted(weighted_sample([1, 2], [1.0, 1.0], 5)) == [1, 2]
+
+
+class TestVisualizationAwareSample:
+    @pytest.fixture
+    def cloud(self):
+        import random
+
+        rng = random.Random(0)
+        points = [(rng.gauss(0, 1), rng.gauss(0, 1)) for _ in range(2000)]
+        points.append((10.0, 0.0))  # an outlier that must survive sampling
+        return points
+
+    def test_size(self, cloud):
+        assert len(visualization_aware_sample(cloud, 100, seed=0)) == 100
+
+    def test_outlier_retained(self, cloud):
+        sample = visualization_aware_sample(cloud, 50, seed=0)
+        assert (10.0, 0.0) in sample
+
+    def test_extremes_retained(self, cloud):
+        sample = set(visualization_aware_sample(cloud, 30, seed=0))
+        assert min(cloud, key=lambda p: p[1]) in sample
+        assert max(cloud, key=lambda p: p[1]) in sample
+
+    def test_coverage_beats_uniform(self, cloud):
+        """VAS spreads points: its occupied-cell count is at least that of
+        a same-size uniform sample (usually far more for clustered data)."""
+
+        def occupied_cells(points, grid=12):
+            xs = [p[0] for p in cloud]
+            ys = [p[1] for p in cloud]
+            x0, x1, y0, y1 = min(xs), max(xs), min(ys), max(ys)
+            cells = set()
+            for x, y in points:
+                cx = min(int((x - x0) / (x1 - x0) * grid), grid - 1)
+                cy = min(int((y - y0) / (y1 - y0) * grid), grid - 1)
+                cells.add((cx, cy))
+            return len(cells)
+
+        vas = visualization_aware_sample(cloud, 80, seed=1)
+        uni = uniform_sample(cloud, 80, seed=1)
+        assert occupied_cells(vas) >= occupied_cells(uni)
+
+    def test_k_zero_and_oversize(self, cloud):
+        assert visualization_aware_sample(cloud, 0) == []
+        assert len(visualization_aware_sample(cloud[:5], 100)) == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(0, 200),
+    k=st.integers(0, 50),
+    seed=st.integers(0, 10_000),
+)
+def test_sampling_invariants_property(n, k, seed):
+    """All samplers return ≤ k unique-by-position items drawn from the input."""
+    population = list(range(n))
+    for sample in (
+        uniform_sample(population, k, seed),
+        reservoir_sample(iter(population), k, seed),
+    ):
+        assert len(sample) == min(k, n)
+        assert set(sample) <= set(population)
+        assert len(set(sample)) == len(sample)

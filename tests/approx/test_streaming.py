@@ -1,0 +1,105 @@
+"""Unit tests for streaming summaries (histogram, extremes)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import StreamingExtremes, StreamingHistogram
+from repro.workload import numeric_values
+
+
+class TestStreamingHistogram:
+    def test_bounded_memory(self):
+        histogram = StreamingHistogram(max_bins=32)
+        histogram.extend(numeric_values(10_000, "normal", seed=1))
+        assert len(histogram) <= 32
+        assert histogram.total == 10_000
+
+    def test_exact_for_few_distinct_values(self):
+        histogram = StreamingHistogram(max_bins=16)
+        histogram.extend([1.0] * 5 + [2.0] * 3 + [9.0] * 2)
+        assert histogram.bins == [(1.0, 5.0), (2.0, 3.0), (9.0, 2.0)]
+
+    def test_count_below_bounds(self):
+        histogram = StreamingHistogram(max_bins=32)
+        values = numeric_values(5_000, "uniform", seed=2)
+        histogram.extend(values)
+        assert histogram.count_below(float(values.min()) - 1) == 0.0
+        assert histogram.count_below(float(values.max()) + 1) == 5_000
+
+    def test_count_below_approximates_cdf(self):
+        histogram = StreamingHistogram(max_bins=64)
+        values = numeric_values(20_000, "uniform", seed=3)
+        histogram.extend(values)
+        for probe in (200.0, 500.0, 800.0):
+            exact = float((values <= probe).sum())
+            estimate = histogram.count_below(probe)
+            assert abs(estimate - exact) < 0.05 * len(values)
+
+    def test_quantile_approximation(self):
+        histogram = StreamingHistogram(max_bins=64)
+        values = numeric_values(20_000, "normal", seed=4)
+        histogram.extend(values)
+        for q in (0.1, 0.5, 0.9):
+            exact = float(np.quantile(values, q))
+            estimate = histogram.quantile(q)
+            spread = float(values.max() - values.min())
+            assert abs(estimate - exact) < 0.05 * spread
+
+    def test_quantile_validation(self):
+        histogram = StreamingHistogram()
+        with pytest.raises(ValueError):
+            histogram.quantile(0.5)  # empty
+        histogram.add(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_to_chart_bins(self):
+        histogram = StreamingHistogram(max_bins=8)
+        histogram.extend(numeric_values(1000, "uniform", seed=5))
+        bins = histogram.to_chart_bins()
+        assert len(bins) <= 8
+        assert sum(b.count for b in bins) == pytest.approx(1000, abs=8)
+
+    def test_renders_with_histogram_chart(self):
+        from repro.viz import histogram as render_histogram
+
+        stream = StreamingHistogram(max_bins=12)
+        stream.extend(numeric_values(2000, "bimodal", seed=6))
+        svg = render_histogram(stream.to_chart_bins())
+        assert "<svg" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(max_bins=1)
+
+    def test_order_insensitive_totals(self):
+        a = StreamingHistogram(max_bins=16)
+        b = StreamingHistogram(max_bins=16)
+        values = list(numeric_values(500, "lognormal", seed=7))
+        a.extend(values)
+        b.extend(reversed(values))
+        assert a.total == b.total
+        assert abs(a.quantile(0.5) - b.quantile(0.5)) < 0.1 * (max(values) - min(values))
+
+
+class TestStreamingExtremes:
+    def test_min_max(self):
+        extremes = StreamingExtremes(k=3)
+        extremes.extend([5.0, -2.0, 9.0, 1.0])
+        assert extremes.minimum == -2.0
+        assert extremes.maximum == 9.0
+        assert extremes.count == 4
+
+    def test_top_k(self):
+        extremes = StreamingExtremes(k=3)
+        extremes.extend(range(100))
+        assert extremes.top_k == [99.0, 98.0, 97.0]
+
+    def test_top_k_shorter_stream(self):
+        extremes = StreamingExtremes(k=5)
+        extremes.extend([2.0, 1.0])
+        assert extremes.top_k == [2.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingExtremes(k=0)

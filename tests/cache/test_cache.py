@@ -1,0 +1,140 @@
+"""Unit tests for result caching and tile prefetching."""
+
+import pytest
+
+from repro.cache import ResultCache, TilePrefetcher
+from repro.workload import pan_zoom_trace, tile_requests
+
+
+class TestResultCache:
+    def test_put_get(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_returns_default(self):
+        cache = ResultCache(4)
+        assert cache.get("missing", default="fallback") == "fallback"
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2, policy="lru")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_lfu_eviction_order(self):
+        cache = ResultCache(2, policy="lfu")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" in cache  # frequently used survives
+        assert "b" not in cache
+
+    def test_get_or_compute_caches(self):
+        cache = ResultCache(4)
+        calls = []
+
+        def expensive():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("k", expensive) == 42
+        assert cache.get_or_compute("k", expensive) == 42
+        assert len(calls) == 1
+
+    def test_capacity_bound(self):
+        cache = ResultCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_update_existing_no_eviction(self):
+        cache = ResultCache(1)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.stats.evictions == 0
+
+    def test_clear(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+        with pytest.raises(ValueError):
+            ResultCache(2, policy="random")
+
+    def test_hit_rate(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestTilePrefetcher:
+    def loader(self, tile):
+        return f"tile{tile}"
+
+    def test_serves_correct_tiles(self):
+        prefetcher = TilePrefetcher(self.loader, cache_capacity=32)
+        results = prefetcher.request([(0, 0), (0, 1)])
+        assert results == ["tile(0, 0)", "tile(0, 1)"]
+
+    def test_momentum_prefetch_hits_on_pan(self):
+        """Panning steadily right: after warm-up, each viewport's new tiles
+        were already prefetched."""
+        prefetcher = TilePrefetcher(self.loader, cache_capacity=128, momentum_depth=2)
+        for step in range(10):
+            tiles = [(step + dx, 0) for dx in range(3)]
+            prefetcher.request(tiles)
+        assert prefetcher.demand_hit_rate > 0.6
+
+    def test_prefetch_beats_plain_cache_on_directional_pan(self):
+        def run(momentum, neighborhood):
+            p = TilePrefetcher(
+                self.loader, cache_capacity=64,
+                momentum_depth=momentum, neighborhood=neighborhood,
+            )
+            for step in range(15):
+                p.request([(step, 0), (step + 1, 0)])
+            return p.demand_hit_rate
+
+        with_prefetch = run(momentum=2, neighborhood=True)
+        without = run(momentum=0, neighborhood=False)
+        assert with_prefetch > without
+
+    def test_realistic_session_hit_rate(self):
+        trace = pan_zoom_trace(60, seed=4)
+        requests = tile_requests(trace, tile_size=125)
+        prefetcher = TilePrefetcher(self.loader, cache_capacity=256)
+        for tiles in requests:
+            prefetcher.request(tiles)
+        assert prefetcher.demand_hit_rate > 0.5
+
+    def test_speculative_loads_counted(self):
+        prefetcher = TilePrefetcher(self.loader, cache_capacity=64)
+        prefetcher.request([(5, 5)])
+        assert prefetcher.prefetch_loads > 0
+        assert prefetcher.loads >= prefetcher.prefetch_loads
+
+    def test_negative_tiles_not_prefetched(self):
+        prefetcher = TilePrefetcher(self.loader, cache_capacity=64)
+        prefetcher.request([(0, 0)])
+        for key in list(prefetcher.cache._data):
+            assert key[0] >= 0 and key[1] >= 0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            TilePrefetcher(self.loader, momentum_depth=-1)

@@ -1,0 +1,98 @@
+"""Unit tests for the semantic-window region cache."""
+
+import random
+
+import pytest
+
+from repro.cache import RegionCache
+from repro.graph import Rect
+
+
+def make_points(n: int = 500, seed: int = 0):
+    rng = random.Random(seed)
+    return [(rng.uniform(0, 100), rng.uniform(0, 100), f"p{i}") for i in range(n)]
+
+
+@pytest.fixture
+def cache():
+    points = make_points()
+
+    def loader(region: Rect):
+        return [p for p in points if region.contains_point(p[0], p[1])]
+
+    return RegionCache(loader=loader, capacity=4), points
+
+
+class TestRegionCache:
+    def test_first_query_misses(self, cache):
+        region_cache, points = cache
+        items = region_cache.query(Rect(0, 0, 50, 50))
+        assert region_cache.stats.misses == 1
+        expected = {p[2] for p in points if p[0] <= 50 and p[1] <= 50}
+        assert {i[2] for i in items} == expected
+
+    def test_contained_query_hits(self, cache):
+        region_cache, points = cache
+        region_cache.query(Rect(0, 0, 60, 60))
+        items = region_cache.query(Rect(10, 10, 30, 30))
+        assert region_cache.stats.containment_hits == 1
+        expected = {
+            p[2] for p in points if 10 <= p[0] <= 30 and 10 <= p[1] <= 30
+        }
+        assert {i[2] for i in items} == expected
+
+    def test_identical_query_hits(self, cache):
+        region_cache, _ = cache
+        region = Rect(5, 5, 25, 25)
+        first = region_cache.query(region)
+        second = region_cache.query(region)
+        assert {i[2] for i in first} == {i[2] for i in second}
+        assert region_cache.stats.containment_hits == 1
+
+    def test_disjoint_query_misses(self, cache):
+        region_cache, _ = cache
+        region_cache.query(Rect(0, 0, 20, 20))
+        region_cache.query(Rect(60, 60, 90, 90))
+        assert region_cache.stats.misses == 2
+
+    def test_capacity_evicts_oldest(self, cache):
+        region_cache, _ = cache
+        for i in range(6):
+            region_cache.query(Rect(i * 10, 0, i * 10 + 5, 5))
+        assert len(region_cache) == 4
+        # the first window is gone: querying inside it misses again
+        region_cache.query(Rect(1, 1, 2, 2))
+        assert region_cache.stats.misses == 7
+
+    def test_hit_refreshes_recency(self, cache):
+        region_cache, _ = cache
+        a = Rect(0, 0, 10, 10)
+        region_cache.query(a)
+        for i in range(3):
+            region_cache.query(Rect(20 + i * 10, 0, 25 + i * 10, 5))
+        region_cache.query(Rect(2, 2, 4, 4))  # hit refreshes window a
+        region_cache.query(Rect(60, 60, 65, 65))  # evicts something else
+        region_cache.query(Rect(3, 3, 5, 5))
+        assert region_cache.stats.containment_hits == 2
+
+    def test_coverage_of(self, cache):
+        region_cache, _ = cache
+        region_cache.query(Rect(0, 0, 50, 50))
+        assert region_cache.coverage_of(Rect(0, 0, 50, 50)) == pytest.approx(1.0)
+        assert region_cache.coverage_of(Rect(0, 0, 100, 50)) == pytest.approx(0.5)
+        assert region_cache.coverage_of(Rect(60, 60, 90, 90)) == 0.0
+
+    def test_coverage_of_degenerate_region(self, cache):
+        region_cache, _ = cache
+        region_cache.query(Rect(0, 0, 50, 50))
+        assert region_cache.coverage_of(Rect(10, 10, 10, 10)) == 1.0
+
+    def test_validation(self, cache):
+        with pytest.raises(ValueError):
+            RegionCache(loader=lambda r: [], capacity=0)
+
+    def test_hit_rate(self, cache):
+        region_cache, _ = cache
+        region_cache.query(Rect(0, 0, 50, 50))
+        region_cache.query(Rect(10, 10, 20, 20))
+        assert region_cache.stats.hit_rate == 0.5

@@ -1,0 +1,188 @@
+"""Tests asserting the catalog reproduces Tables 1 and 2 cell-for-cell."""
+
+import pytest
+
+from repro.catalog import (
+    ALL_SYSTEMS,
+    AppType,
+    Category,
+    DataType,
+    Feature,
+    TABLE1_SYSTEMS,
+    TABLE2_SYSTEMS,
+    approximation_gap,
+    category_counts,
+    feature_adoption,
+    render_table1,
+    render_table2,
+    systems_with_feature,
+)
+
+
+def t1(name: str):
+    return next(s for s in TABLE1_SYSTEMS if s.name == name)
+
+
+def t2(name: str):
+    return next(s for s in TABLE2_SYSTEMS if s.name == name)
+
+
+class TestTable1Contents:
+    def test_row_count_and_order(self):
+        names = [s.name for s in TABLE1_SYSTEMS]
+        assert names == [
+            "Rhizomer", "VizBoard", "LODWheel", "SemLens", "LDVM", "Payola",
+            "LDVizWiz", "SynopsViz", "Vis Wizard", "LinkDaViz", "ViCoMap",
+        ]
+
+    def test_years(self):
+        assert [s.year for s in TABLE1_SYSTEMS] == [
+            2006, 2009, 2011, 2011, 2013, 2013, 2014, 2014, 2014, 2015, 2015,
+        ]
+
+    def test_rhizomer_row(self):
+        s = t1("Rhizomer")
+        assert s.data_type_code == "N, T, S, H, G"
+        assert s.vis_type_code == "C, M, T, TL"
+        assert s.has(Feature.RECOMMENDATION)
+        assert not s.has(Feature.PREFERENCES)
+
+    def test_synopsviz_row_is_the_full_house(self):
+        s = t1("SynopsViz")
+        assert s.data_type_code == "N, T, H"
+        assert s.vis_type_code == "C, P, T, TL"
+        for feature in (
+            Feature.RECOMMENDATION, Feature.PREFERENCES, Feature.STATISTICS,
+            Feature.AGGREGATION, Feature.INCREMENTAL, Feature.DISK,
+        ):
+            assert s.has(feature), feature
+        assert not s.has(Feature.SAMPLING)
+
+    def test_vizboard_sampling(self):
+        assert t1("VizBoard").has(Feature.SAMPLING)
+
+    def test_payola_vis_types(self):
+        assert t1("Payola").vis_type_code == "C, CI, G, M, T, TL, TR"
+
+    def test_vis_wizard_row(self):
+        s = t1("Vis Wizard")
+        assert s.data_type_code == "N, T, S"
+        assert s.vis_type_code == "B, C, M, P, PC, SG"
+
+    def test_vicomap_only_statistics(self):
+        s = t1("ViCoMap")
+        assert s.features == frozenset({Feature.STATISTICS})
+        assert s.vis_type_code == "M"
+
+    def test_all_generic_web(self):
+        for s in TABLE1_SYSTEMS:
+            assert s.domain == "generic"
+            assert s.app_type is AppType.WEB
+
+    def test_semlens_scatter_only(self):
+        assert t1("SemLens").vis_type_code == "S"
+
+
+class TestTable2Contents:
+    def test_row_count_and_order(self):
+        names = [s.name for s in TABLE2_SYSTEMS]
+        assert len(names) == 21
+        assert names[0] == "RDF-Gravity"
+        assert names[-1] == "graphVizdb"
+
+    def test_ontology_rows(self):
+        ontology = {s.name for s in TABLE2_SYSTEMS if s.domain == "ontology"}
+        assert ontology == {
+            "GrOWL", "NodeTrix", "FlexViz", "KC-Viz", "GLOW", "OntoTrix", "VOWL 2",
+        }
+
+    def test_graphvizdb_row(self):
+        s = t2("graphVizdb")
+        assert s.year == 2015
+        assert s.app_type is AppType.WEB
+        for feature in (Feature.KEYWORD, Feature.FILTER, Feature.SAMPLING, Feature.DISK):
+            assert s.has(feature)
+        assert not s.has(Feature.AGGREGATION)
+
+    def test_disk_systems(self):
+        disk = {s.name for s in TABLE2_SYSTEMS if s.has(Feature.DISK)}
+        assert disk == {"PGV", "Cytospace", "graphVizdb"}
+
+    def test_incremental_systems(self):
+        incremental = {s.name for s in TABLE2_SYSTEMS if s.has(Feature.INCREMENTAL)}
+        assert incremental == {"PGV", "Trisolda", "ZoomRDF"}
+
+    def test_fenfire_and_relfinder_featureless(self):
+        assert t2("Fenfire").features == frozenset()
+        assert t2("RelFinder").features == frozenset()
+
+    def test_web_rows(self):
+        web = {s.name for s in TABLE2_SYSTEMS if s.app_type is AppType.WEB}
+        assert web == {
+            "FlexViz", "RelFinder", "LODWheel", "Lodlive", "LODeX", "VOWL 2",
+            "graphVizdb",
+        }
+
+    def test_gephi_row(self):
+        s = t2("Gephi")
+        assert s.features == frozenset({Feature.FILTER, Feature.SAMPLING, Feature.AGGREGATION})
+
+
+class TestRenderedTables:
+    def test_table1_renders_all_rows(self):
+        text = render_table1()
+        for s in TABLE1_SYSTEMS:
+            assert s.name in text
+        assert "Recomm." in text and "Disk" in text
+
+    def test_table1_check_cells(self):
+        lines = render_table1().splitlines()
+        synopsviz = next(l for l in lines if l.startswith("SynopsViz"))
+        assert synopsviz.count("x") >= 6
+
+    def test_table2_renders_all_rows(self):
+        text = render_table2()
+        assert text.count("\n") >= 22  # header + separator + 21 rows
+        for s in TABLE2_SYSTEMS:
+            assert s.name in text
+
+    def test_tables_are_deterministic(self):
+        assert render_table1() == render_table1()
+        assert render_table2() == render_table2()
+
+
+class TestTaxonomy:
+    def test_category_counts_cover_all_six(self):
+        counts = category_counts()
+        assert set(counts) == set(Category)
+        assert counts[Category.GENERIC] >= 11
+        assert counts[Category.GRAPH] == 14  # Table 2 minus ontology rows
+        assert counts[Category.BROWSER] >= 15
+
+    def test_systems_with_feature(self):
+        recommenders = {s.name for s in systems_with_feature(Feature.RECOMMENDATION)}
+        assert {"Rhizomer", "VizBoard", "LDVM", "LDVizWiz", "SynopsViz",
+                "Vis Wizard", "LinkDaViz"} <= recommenders
+
+    def test_feature_adoption_fractions(self):
+        adoption = feature_adoption(TABLE1_SYSTEMS, [Feature.RECOMMENDATION])
+        assert adoption[Feature.RECOMMENDATION] == pytest.approx(7 / 11)
+
+    def test_discussion_claim_approximation_gap(self):
+        """Section 4: 'none of the systems, with the exceptions of SynopsViz
+        and VizBoard cases, adopt approximation techniques'."""
+        gap = approximation_gap()
+        assert gap["approximation"] == ["SynopsViz", "VizBoard"]
+        assert gap["incremental"] == ["SynopsViz"]
+        assert gap["disk"] == ["SynopsViz"]
+        assert gap["graph_systems_with_memory_independence"] == [
+            "PGV", "Cytospace", "graphVizdb",
+        ]
+
+    def test_catalog_size(self):
+        assert len(ALL_SYSTEMS) >= 60
+
+    def test_all_records_have_years_and_references(self):
+        for s in ALL_SYSTEMS:
+            assert 2000 <= s.year <= 2016
+            assert s.references or s.notes  # every entry is traceable

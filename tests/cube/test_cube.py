@@ -1,0 +1,134 @@
+"""Unit tests for the RDF Data Cube stack."""
+
+import pytest
+
+from repro.cube import (
+    DataCube,
+    cube_bar_chart,
+    cube_line_chart,
+    cube_pie_chart,
+    cube_to_table,
+    dice_cube,
+    discover_datasets,
+    pivot_table,
+    rollup,
+    slice_cube,
+)
+from repro.rdf import Graph
+from repro.workload import statistical_cube
+
+
+@pytest.fixture
+def store():
+    return Graph(
+        statistical_cube(
+            {"year": ["2010", "2011", "2012"], "region": ["north", "south"]},
+            measures=("population", "gdp"),
+            seed=1,
+        )
+    )
+
+
+@pytest.fixture
+def cube(store):
+    (dataset,) = discover_datasets(store)
+    return DataCube.from_store(store, dataset)
+
+
+class TestParsing:
+    def test_discovery(self, store):
+        assert len(discover_datasets(store)) == 1
+
+    def test_structure(self, cube):
+        assert cube.dimension_keys == ["dim-region", "dim-year"]
+        assert cube.measure_keys == ["measure-gdp", "measure-population"]
+
+    def test_observation_count(self, cube):
+        assert len(cube) == 6
+
+    def test_observations_carry_all_components(self, cube):
+        for row in cube.observations:
+            assert set(row) == {
+                "dim-year", "dim-region", "measure-population", "measure-gdp",
+            }
+
+    def test_dimension_members(self, cube):
+        assert cube.dimension_members("dim-year") == ["2010", "2011", "2012"]
+        assert cube.dimension_members("dim-region") == ["north", "south"]
+
+    def test_unknown_dimension_raises(self, cube):
+        with pytest.raises(KeyError):
+            cube.dimension_members("nope")
+
+    def test_label(self, cube):
+        assert cube.label == "demographics"
+
+
+class TestOps:
+    def test_slice_drops_dimension(self, cube):
+        sliced = slice_cube(cube, "dim-year", "2010")
+        assert len(sliced) == 2
+        assert "dim-year" not in sliced.dimension_keys
+
+    def test_slice_unknown_dimension(self, cube):
+        with pytest.raises(KeyError):
+            slice_cube(cube, "nope", "x")
+
+    def test_dice_filters(self, cube):
+        diced = dice_cube(cube, {"dim-year": ["2010", "2011"]})
+        assert len(diced) == 4
+
+    def test_rollup_sum(self, cube):
+        rows = rollup(cube, keep=["dim-region"], aggregate="sum")
+        assert len(rows) == 2
+        total = sum(r["measure-population"] for r in rows)
+        exact = sum(r["measure-population"] for r in cube.observations)
+        assert total == pytest.approx(exact)
+
+    def test_rollup_avg(self, cube):
+        rows = rollup(cube, keep=["dim-year"], aggregate="avg")
+        assert len(rows) == 3
+
+    def test_rollup_count(self, cube):
+        rows = rollup(cube, keep=["dim-year"], aggregate="count")
+        assert all(r["measure-gdp"] == 2 for r in rows)
+
+    def test_rollup_unknown_aggregate(self, cube):
+        with pytest.raises(ValueError):
+            rollup(cube, keep=["dim-year"], aggregate="median")
+
+    def test_pivot_table_shape(self, cube):
+        rows, cols, matrix = pivot_table(
+            cube, "dim-year", "dim-region", "measure-population"
+        )
+        assert rows == ["2010", "2011", "2012"]
+        assert cols == ["north", "south"]
+        assert len(matrix) == 3 and len(matrix[0]) == 2
+        assert all(v is not None for line in matrix for v in line)
+
+    def test_pivot_unknown_measure(self, cube):
+        with pytest.raises(KeyError):
+            pivot_table(cube, "dim-year", "dim-region", "nope")
+
+
+class TestBindings:
+    def test_cube_to_table_typed(self, cube):
+        table = cube_to_table(cube)
+        assert len(table) == 6
+        assert table.field("measure-population").is_measure
+
+    def test_bar_chart(self, cube):
+        svg = cube_bar_chart(cube, "dim-region", "measure-population")
+        assert "<svg" in svg and "north" in svg
+
+    def test_pie_chart(self, cube):
+        svg = cube_pie_chart(cube, "dim-region", "measure-gdp")
+        assert svg.count("<path") == 2
+
+    def test_line_chart_over_years(self, cube):
+        svg = cube_line_chart(cube, "dim-year", "measure-population")
+        assert "<polyline" in svg
+
+    def test_unknown_measure_raises(self, cube):
+        with pytest.raises(KeyError):
+            cube_bar_chart(cube, "dim-region", "nope")

@@ -1,0 +1,189 @@
+"""Unit tests for outlier explanation and explore-by-example steering."""
+
+import random
+
+import pytest
+
+from repro.explain import (
+    ExampleSteering,
+    Predicate,
+    RegionPredicate,
+    explain_outliers,
+)
+
+
+def sensor_rows(seed: int = 0) -> list[dict]:
+    """The Scorpion paper's canonical scenario: per-hour average temperature
+    is anomalously high because one sensor misbehaves in those hours."""
+    rng = random.Random(seed)
+    rows = []
+    for hour in range(6):
+        for sensor in ("s1", "s2", "s3", "s4"):
+            for _ in range(10):
+                temperature = rng.gauss(20.0, 0.5)
+                if sensor == "s3" and hour >= 4:  # faulty sensor, later hours
+                    temperature += 40.0
+                rows.append(
+                    {
+                        "hour": hour,
+                        "sensor": sensor,
+                        "voltage": rng.gauss(3.3, 0.05),
+                        "temperature": temperature,
+                    }
+                )
+    return rows
+
+
+class TestPredicate:
+    def test_equality_match(self):
+        p = Predicate("sensor", "=", value="s3")
+        assert p.matches({"sensor": "s3"})
+        assert not p.matches({"sensor": "s1"})
+        assert not p.matches({})
+
+    def test_range_match(self):
+        p = Predicate("v", "in_range", low=0.0, high=10.0)
+        assert p.matches({"v": 5})
+        assert not p.matches({"v": 10.0})  # half-open
+        assert not p.matches({"v": "text"})
+
+    def test_describe(self):
+        assert Predicate("sensor", "=", value="s3").describe() == "sensor = 's3'"
+        assert "<=" in Predicate("v", "in_range", low=1, high=2).describe()
+
+
+class TestExplainOutliers:
+    def test_finds_faulty_sensor(self):
+        rows = sensor_rows()
+        explanations = explain_outliers(
+            rows,
+            group_by="hour",
+            measure="temperature",
+            outlier_groups=[4, 5],
+            direction="high",
+        )
+        assert explanations
+        top = explanations[0]
+        assert top.predicate.attribute == "sensor"
+        assert top.predicate.value == "s3"
+        assert top.outlier_shift > 5.0
+
+    def test_holdout_penalty_prefers_specific_predicates(self):
+        rows = sensor_rows()
+        explanations = explain_outliers(
+            rows, "hour", "temperature", outlier_groups=[4, 5]
+        )
+        # removing everything measured by any sensor evenly would shift the
+        # holdout too; the winner must barely move normal hours
+        assert explanations[0].holdout_shift < explanations[0].outlier_shift / 2
+
+    def test_direction_low(self):
+        rows = sensor_rows()
+        for row in rows:
+            if row["sensor"] == "s2" and row["hour"] <= 1:
+                row["temperature"] -= 30.0
+        explanations = explain_outliers(
+            rows, "hour", "temperature", outlier_groups=[0, 1], direction="low"
+        )
+        assert explanations[0].predicate.value == "s2"
+
+    def test_numeric_range_candidates(self):
+        rows = [
+            {"g": "a", "m": 10.0 + (100.0 if i > 70 else 0.0), "x": float(i)}
+            for i in range(100)
+        ]
+        rows += [{"g": "b", "m": 10.0, "x": float(i)} for i in range(100)]
+        explanations = explain_outliers(
+            rows, "g", "m", outlier_groups=["a"], attributes=["x"]
+        )
+        assert explanations
+        top = explanations[0].predicate
+        assert top.operator == "in_range"
+        assert top.low >= 50.0  # the high-x range is the culprit
+
+    def test_validation(self):
+        rows = sensor_rows()
+        with pytest.raises(ValueError):
+            explain_outliers(rows, "hour", "temperature", outlier_groups=[])
+        with pytest.raises(ValueError):
+            explain_outliers(rows, "hour", "temperature", [4], direction="sideways")
+        with pytest.raises(ValueError):
+            explain_outliers(rows, "hour", "temperature", [4], top_k=0)
+
+    def test_top_k_respected(self):
+        rows = sensor_rows()
+        assert len(explain_outliers(rows, "hour", "temperature", [4, 5], top_k=2)) <= 2
+
+    def test_no_explanation_when_nothing_helps(self):
+        rows = [{"g": k, "m": 5.0, "a": "same"} for k in ("x", "y") for _ in range(5)]
+        assert explain_outliers(rows, "g", "m", outlier_groups=["x"]) == []
+
+
+class TestRegionPredicate:
+    def test_matches_box(self):
+        region = RegionPredicate({"x": (0.0, 10.0), "y": (5.0, 6.0)})
+        assert region.matches({"x": 5, "y": 5.5})
+        assert not region.matches({"x": 11, "y": 5.5})
+        assert not region.matches({"x": 5})
+
+    def test_describe_and_sparql(self):
+        region = RegionPredicate({"pop": (10.0, 20.0)})
+        assert region.describe() == "10 <= pop <= 20"
+        body = region.to_sparql_filter({"pop": "p"})
+        assert body == "?p >= 10 && ?p <= 20"
+
+    def test_empty_region_matches_everything(self):
+        assert RegionPredicate().matches({"anything": 1})
+
+
+class TestExampleSteering:
+    def make_steering(self):
+        steering = ExampleSteering(["population", "founded"])
+        steering.label({"population": 100.0, "founded": 1900}, relevant=True)
+        steering.label({"population": 200.0, "founded": 1950}, relevant=True)
+        steering.label({"population": 900.0, "founded": 1920}, relevant=False)
+        return steering
+
+    def test_learned_region_covers_positives(self):
+        steering = self.make_steering()
+        region = steering.learn_region()
+        for row in steering.positives:
+            assert region.matches(row)
+
+    def test_learned_region_excludes_negative(self):
+        steering = self.make_steering()
+        region = steering.learn_region()
+        assert not region.matches({"population": 900.0, "founded": 1920})
+
+    def test_uninformative_bounds_dropped(self):
+        steering = self.make_steering()
+        region = steering.learn_region()
+        # 'founded' cannot separate the negative (1920 is inside 1900-1950)
+        assert "founded" not in region.bounds
+        assert "population" in region.bounds
+
+    def test_accuracy(self):
+        steering = self.make_steering()
+        assert steering.accuracy() == 1.0
+
+    def test_next_candidates_filtered(self):
+        steering = self.make_steering()
+        pool = [
+            {"population": 150.0, "founded": 1930},   # inside
+            {"population": 850.0, "founded": 1930},   # outside
+        ]
+        candidates = steering.next_candidates(pool, k=5)
+        assert candidates == [pool[0]]
+
+    def test_needs_positive_example(self):
+        steering = ExampleSteering(["x"])
+        steering.label({"x": 1.0}, relevant=False)
+        with pytest.raises(ValueError):
+            steering.learn_region()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExampleSteering([])
+        steering = self.make_steering()
+        with pytest.raises(ValueError):
+            steering.next_candidates([], k=0)

@@ -1,0 +1,221 @@
+"""Unit tests for resource browsing, navigation, sessions, and preferences."""
+
+import pytest
+
+from repro.explore import (
+    ExplorationSession,
+    InterestModel,
+    LinkNavigator,
+    MantraStage,
+    OperationKind,
+    ResourceBrowser,
+    UserPreferences,
+)
+from repro.rdf import Graph, IRI, parse_turtle
+
+EX = "http://example.org/"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:alice a ex:Person ; rdfs:label "Alice" ; ex:knows ex:bob ; ex:age 30 .
+ex:bob a ex:Person ; rdfs:label "Bob" ; ex:knows ex:carol .
+ex:carol a ex:Person ; rdfs:label "Carol" .
+"""
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def browser():
+    return ResourceBrowser(Graph(parse_turtle(DATA)))
+
+
+class TestResourceBrowser:
+    def test_describe_outgoing(self, browser):
+        view = browser.describe(ex("alice"))
+        predicates = {str(row.predicate) for row in view.outgoing}
+        assert EX + "knows" in predicates
+        assert EX + "age" in predicates
+
+    def test_types_separated(self, browser):
+        view = browser.describe(ex("alice"))
+        assert view.types == [ex("Person")]
+
+    def test_label(self, browser):
+        assert browser.describe(ex("alice")).label == "Alice"
+
+    def test_incoming_links(self, browser):
+        view = browser.describe(ex("bob"))
+        assert (ex("alice"), ex("knows")) in view.incoming
+
+    def test_linked_resources(self, browser):
+        view = browser.describe(ex("alice"))
+        assert ex("bob") in view.linked_resources
+
+    def test_to_text(self, browser):
+        text = browser.describe(ex("alice")).to_text()
+        assert "Alice" in text and "knows" in text
+
+    def test_unknown_resource_empty_page(self, browser):
+        view = browser.describe(ex("ghost"))
+        assert view.outgoing == [] and view.incoming == []
+
+
+class TestLinkNavigator:
+    def test_visit_and_breadcrumbs(self, browser):
+        nav = LinkNavigator(browser)
+        nav.visit(ex("alice"))
+        nav.visit(ex("bob"))
+        assert nav.breadcrumbs == ["Alice", "Bob"]
+        assert nav.current == ex("bob")
+
+    def test_follow_link(self, browser):
+        nav = LinkNavigator(browser)
+        view = nav.visit(ex("alice"))
+        index = view.linked_resources.index(ex("bob"))
+        next_view = nav.follow(view, index)
+        assert next_view.resource == ex("bob")
+
+    def test_back_forward(self, browser):
+        nav = LinkNavigator(browser)
+        nav.visit(ex("alice"))
+        nav.visit(ex("bob"))
+        assert nav.back().resource == ex("alice")
+        assert nav.forward().resource == ex("bob")
+
+    def test_visit_truncates_forward(self, browser):
+        nav = LinkNavigator(browser)
+        nav.visit(ex("alice"))
+        nav.visit(ex("bob"))
+        nav.back()
+        nav.visit(ex("carol"))
+        with pytest.raises(IndexError):
+            nav.forward()
+            nav.forward()
+
+    def test_back_at_start_raises(self, browser):
+        nav = LinkNavigator(browser)
+        nav.visit(ex("alice"))
+        with pytest.raises(IndexError):
+            nav.back()
+
+    def test_follow_bad_index(self, browser):
+        nav = LinkNavigator(browser)
+        view = nav.visit(ex("carol"))
+        with pytest.raises(IndexError):
+            nav.follow(view, 99)
+
+
+class TestExplorationSession:
+    def test_record_sequence(self):
+        session = ExplorationSession()
+        session.record(OperationKind.OVERVIEW, "population")
+        session.record(OperationKind.DRILL_DOWN, "population[0-100]")
+        assert len(session) == 2
+        assert session.operations[1].sequence == 1
+
+    def test_stage_tracking(self):
+        session = ExplorationSession()
+        assert session.stage is MantraStage.OVERVIEW
+        session.record(OperationKind.ZOOM)
+        assert session.stage is MantraStage.ZOOM_FILTER
+        session.record(OperationKind.DETAILS)
+        assert session.stage is MantraStage.DETAILS
+
+    def test_follows_mantra_good(self):
+        session = ExplorationSession()
+        session.record(OperationKind.OVERVIEW)
+        session.record(OperationKind.FILTER)
+        session.record(OperationKind.DETAILS)
+        assert session.follows_mantra()
+
+    def test_follows_mantra_violation(self):
+        session = ExplorationSession()
+        session.record(OperationKind.DETAILS)
+        assert not session.follows_mantra()
+
+    def test_undo_redo(self):
+        session = ExplorationSession()
+        session.record(OperationKind.ZOOM)
+        session.record(OperationKind.FILTER)
+        undone = session.undo()
+        assert undone.kind is OperationKind.FILTER
+        assert len(session) == 1
+        session.redo()
+        assert len(session) == 2
+
+    def test_record_clears_redo(self):
+        session = ExplorationSession()
+        session.record(OperationKind.ZOOM)
+        session.undo()
+        session.record(OperationKind.PAN)
+        with pytest.raises(IndexError):
+            session.redo()
+
+    def test_undo_empty_raises(self):
+        with pytest.raises(IndexError):
+            ExplorationSession().undo()
+
+    def test_counts_and_replay(self):
+        session = ExplorationSession()
+        for _ in range(3):
+            session.record(OperationKind.PAN)
+        session.record(OperationKind.ZOOM)
+        assert session.counts_by_kind()[OperationKind.PAN] == 3
+        seen = []
+        assert session.replay(seen.append) == 4
+        assert len(seen) == 4
+
+
+class TestPreferences:
+    def test_defaults_valid(self):
+        prefs = UserPreferences()
+        assert not prefs.wants_approximation
+        assert prefs.tree_degree() == 4
+
+    def test_abstraction_scales_degree(self):
+        prefs = UserPreferences(abstraction_level=2)
+        assert prefs.tree_degree() == 16
+
+    def test_sampling_flag(self):
+        assert UserPreferences(sampling_rate=0.1).wants_approximation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserPreferences(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            UserPreferences(max_visual_items=0)
+        with pytest.raises(ValueError):
+            UserPreferences(abstraction_level=-1)
+
+
+class TestInterestModel:
+    def test_observe_accumulates(self):
+        session = ExplorationSession()
+        session.record(OperationKind.ZOOM, target="population")
+        session.record(OperationKind.ZOOM, target="population")
+        session.record(OperationKind.PAN, target="founded")
+        model = InterestModel()
+        model.observe(session)
+        assert model.top_targets(1)[0][0] == "population"
+
+    def test_details_weighted_higher(self):
+        session = ExplorationSession()
+        session.record(OperationKind.DETAILS, target="rare")
+        session.record(OperationKind.PAN, target="common")
+        session.record(OperationKind.PAN, target="common")
+        model = InterestModel()
+        model.observe(session)
+        assert model.interest_in("rare") == 1.0
+
+    def test_interest_normalized(self):
+        model = InterestModel()
+        assert model.interest_in("anything") == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            InterestModel().top_targets(0)

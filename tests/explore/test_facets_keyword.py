@@ -1,0 +1,174 @@
+"""Unit tests for faceted browsing and keyword search."""
+
+import pytest
+
+from repro.explore import FacetedBrowser, KeywordIndex, tokenize_label
+from repro.rdf import Graph, IRI, Literal, RDF, RDFS, parse_turtle
+
+EX = "http://example.org/"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:athens a ex:City ; rdfs:label "Athens" ; ex:country "Greece" ; ex:population 650000 .
+ex:patras a ex:City ; rdfs:label "Patras" ; ex:country "Greece" ; ex:population 170000 .
+ex:lyon a ex:City ; rdfs:label "Lyon" ; ex:country "France" ; ex:population 510000 .
+ex:paris a ex:City ; rdfs:label "Paris" ; ex:country "France" ; ex:population 2100000 .
+ex:greece a ex:Country ; rdfs:label "Greece" .
+ex:athens ex:locatedIn ex:greece .
+ex:patras ex:locatedIn ex:greece .
+"""
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def store():
+    return Graph(parse_turtle(DATA))
+
+
+class TestFacetedBrowser:
+    def test_initial_focus_is_all_subjects(self, store):
+        browser = FacetedBrowser(store)
+        assert len(browser) == 5
+
+    def test_class_facet_counts(self, store):
+        browser = FacetedBrowser(store)
+        facet = browser.class_facet()
+        counts = {fv.value: fv.count for fv in facet.values}
+        assert counts[ex("City")] == 4
+        assert counts[ex("Country")] == 1
+
+    def test_select_narrows_focus(self, store):
+        browser = FacetedBrowser(store)
+        size = browser.select(RDF.type, ex("City"))
+        assert size == 4
+        size = browser.select(ex("country"), Literal("Greece"))
+        assert size == 2
+        assert browser.focus == {ex("athens"), ex("patras")}
+
+    def test_facet_counts_reflect_focus(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(ex("country"), Literal("France"))
+        facets = {str(f.predicate): f for f in browser.facets()}
+        country_values = {fv.label for fv in facets[EX + "country"].values}
+        assert country_values == {"France"}
+
+    def test_select_range(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(RDF.type, ex("City"))
+        size = browser.select_range(ex("population"), 400_000, 1_000_000)
+        assert size == 2
+        assert browser.focus == {ex("athens"), ex("lyon")}
+
+    def test_deselect_last(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(RDF.type, ex("City"))
+        browser.select(ex("country"), Literal("Greece"))
+        assert len(browser) == 2
+        assert browser.deselect_last() == 4
+
+    def test_deselect_last_replays_ranges(self, store):
+        browser = FacetedBrowser(store)
+        browser.select_range(ex("population"), 0, 1_000_000)
+        browser.select(ex("country"), Literal("France"))
+        assert browser.deselect_last() == 3  # range survives the undo
+
+    def test_reset(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(RDF.type, ex("Country"))
+        browser.reset()
+        assert len(browser) == 5
+        assert browser.constraints == []
+
+    def test_pivot(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(RDF.type, ex("City"))
+        pivoted = browser.pivot(ex("locatedIn"))
+        assert pivoted.focus == {ex("greece")}
+        # the original browser is untouched (multi-pivot)
+        assert len(browser) == 4
+
+    def test_single_facet_via_index(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(RDF.type, ex("City"))
+        facet = browser.facet(ex("country"))
+        counts = {fv.label: fv.count for fv in facet.values}
+        assert counts == {"Greece": 2, "France": 2}
+
+    def test_single_facet_respects_focus(self, store):
+        browser = FacetedBrowser(store)
+        browser.select(ex("country"), Literal("Greece"))
+        facet = browser.facet(ex("population"))
+        assert sum(fv.count for fv in facet.values) == 2
+
+    def test_facets_sorted_by_coverage(self, store):
+        browser = FacetedBrowser(store)
+        facets = browser.facets()
+        assert str(facets[0].predicate) in (str(RDF.type), str(RDFS.label))
+
+    def test_explicit_focus(self, store):
+        browser = FacetedBrowser(store, focus={ex("athens")})
+        assert len(browser) == 1
+
+    def test_empty_selection(self, store):
+        browser = FacetedBrowser(store)
+        assert browser.select(ex("country"), Literal("Atlantis")) == 0
+        assert browser.facets() == []
+
+
+class TestTokenize:
+    def test_lowercase_split(self):
+        assert tokenize_label("Hello World") == ["hello", "world"]
+
+    def test_camel_case(self):
+        assert tokenize_label("populationDensity") == ["population", "density"]
+
+    def test_punctuation(self):
+        assert tokenize_label("New-York_City!") == ["new", "york", "city"]
+
+    def test_empty(self):
+        assert tokenize_label("...") == []
+
+
+class TestKeywordIndex:
+    def test_exact_label_match_first(self, store):
+        index = KeywordIndex(store)
+        results = index.search("Athens")
+        assert results[0][0] == ex("athens")
+
+    def test_multi_term_match_ranks_higher(self, store):
+        index = KeywordIndex()
+        index.add(ex("a"), "green city park")
+        index.add(ex("b"), "green field")
+        results = index.search("green city")
+        assert results[0][0] == ex("a")
+
+    def test_no_match(self, store):
+        index = KeywordIndex(store)
+        assert index.search("zzzz") == []
+
+    def test_limit(self, store):
+        index = KeywordIndex(store)
+        assert len(index.search("a", limit=2)) <= 2
+
+    def test_invalid_limit(self, store):
+        with pytest.raises(ValueError):
+            KeywordIndex(store).search("x", limit=0)
+
+    def test_local_name_fallback(self):
+        g = Graph(parse_turtle(f"<{EX}unlabelledThing> <{EX}p> 1 ."))
+        index = KeywordIndex(g)
+        results = index.search("unlabelled thing")
+        assert results and results[0][0] == ex("unlabelledThing")
+
+    def test_document_count(self, store):
+        index = KeywordIndex(store)
+        assert index.document_count == 5
+
+    def test_label_of(self, store):
+        index = KeywordIndex(store)
+        assert index.label_of(ex("athens")) == "Athens"

@@ -1,0 +1,120 @@
+"""Unit tests for RelFinder-style relationship discovery."""
+
+import pytest
+
+from repro.explore.relfinder import find_relationships, relationship_graph
+from repro.rdf import Graph, IRI, parse_turtle
+from repro.workload import social_graph
+
+EX = "http://example.org/"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+ex:alice ex:worksAt ex:acme .
+ex:bob ex:worksAt ex:acme .
+ex:alice ex:livesIn ex:athens .
+ex:carol ex:livesIn ex:athens .
+ex:carol ex:knows ex:bob .
+ex:alice ex:age 30 .
+"""
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def store():
+    return Graph(parse_turtle(DATA))
+
+
+class TestFindRelationships:
+    def test_finds_shared_employer(self, store):
+        paths = find_relationships(store, ex("alice"), ex("bob"))
+        assert paths
+        shortest = paths[0]
+        assert shortest.length == 2
+        assert shortest.nodes == [ex("alice"), ex("acme"), ex("bob")]
+
+    def test_direction_flags(self, store):
+        paths = find_relationships(store, ex("alice"), ex("bob"))
+        first, second = paths[0].steps
+        assert first.inverse is False  # alice --worksAt--> acme
+        assert second.inverse is True  # acme <--worksAt-- bob
+
+    def test_multiple_paths_shortest_first(self, store):
+        paths = find_relationships(store, ex("alice"), ex("bob"), max_length=4)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+        assert len(paths) >= 2  # via acme and via athens/carol
+
+    def test_max_length_limits(self, store):
+        short = find_relationships(store, ex("alice"), ex("bob"), max_length=1)
+        assert short == []
+
+    def test_max_paths_limits(self, store):
+        paths = find_relationships(store, ex("alice"), ex("bob"), max_paths=1)
+        assert len(paths) == 1
+
+    def test_no_connection(self, store):
+        isolated = Graph(parse_turtle(f"<{EX}x> <{EX}p> <{EX}y> ."))
+        merged = store | isolated
+        assert find_relationships(merged, ex("alice"), ex("x")) == []
+
+    def test_same_node(self, store):
+        assert find_relationships(store, ex("alice"), ex("alice")) == []
+
+    def test_literals_never_traversed(self, store):
+        for path in find_relationships(store, ex("alice"), ex("carol")):
+            for node in path.nodes:
+                assert isinstance(node, IRI)
+
+    def test_paths_have_no_cycles(self, store):
+        for path in find_relationships(store, ex("alice"), ex("bob"), max_length=4):
+            assert len(path.nodes) == len(set(path.nodes))
+
+    def test_describe(self, store):
+        paths = find_relationships(store, ex("alice"), ex("bob"))
+        text = paths[0].describe()
+        assert "worksAt" in text and "alice" in text
+
+    def test_deterministic(self, store):
+        a = find_relationships(store, ex("alice"), ex("bob"))
+        b = find_relationships(store, ex("alice"), ex("bob"))
+        assert a == b
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            find_relationships(store, ex("a"), ex("b"), max_length=0)
+        with pytest.raises(ValueError):
+            find_relationships(store, ex("a"), ex("b"), max_paths=0)
+
+    def test_on_social_graph(self):
+        store = Graph(social_graph(50, seed=3))
+        a = IRI(EX + "data/person10")
+        b = IRI(EX + "data/person20")
+        paths = find_relationships(store, a, b, max_length=4, max_paths=3)
+        assert paths  # preferential attachment keeps the graph connected
+        for path in paths:
+            assert path.nodes[0] == a and path.nodes[-1] == b
+
+
+class TestRelationshipGraph:
+    def test_union_subgraph(self, store):
+        paths = find_relationships(store, ex("alice"), ex("bob"), max_length=4)
+        graph = relationship_graph(paths)
+        assert ex("alice") in graph and ex("bob") in graph
+        assert graph.edge_count >= 2
+
+    def test_renders(self, store):
+        from repro.graph import fruchterman_reingold
+        from repro.viz import render_node_link
+
+        paths = find_relationships(store, ex("alice"), ex("bob"))
+        graph = relationship_graph(paths)
+        positions = fruchterman_reingold(graph, iterations=5, seed=0)
+        assert "<svg" in render_node_link(graph, positions, labels=True)
+
+    def test_empty(self):
+        graph = relationship_graph([])
+        assert graph.node_count == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the fisheye (focus+context) distortion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import fisheye, magnification_at
+
+
+@pytest.fixture
+def grid():
+    xs, ys = np.meshgrid(np.linspace(0, 100, 11), np.linspace(0, 100, 11))
+    return np.stack([xs.ravel(), ys.ravel()], axis=1)
+
+
+class TestFisheye:
+    def test_identity_at_zero_distortion(self, grid):
+        out = fisheye(grid, focus=(50, 50), distortion=0.0)
+        assert np.array_equal(out, grid)
+
+    def test_focus_point_fixed(self, grid):
+        out = fisheye(grid, focus=(50, 50), distortion=3.0)
+        centre_index = int(np.argmin(np.linalg.norm(grid - [50, 50], axis=1)))
+        assert np.allclose(out[centre_index], grid[centre_index])
+
+    def test_magnifies_focus_region(self, grid):
+        out = fisheye(grid, focus=(50, 50), distortion=3.0)
+        assert magnification_at(grid, out, (50, 50)) > 1.5
+
+    def test_boundary_points_fixed(self, grid):
+        radius = 30.0
+        out = fisheye(grid, focus=(50, 50), distortion=3.0, radius=radius)
+        distances = np.linalg.norm(grid - [50, 50], axis=1)
+        outside = distances >= radius
+        assert np.allclose(out[outside], grid[outside])
+
+    def test_monotone_in_radius(self, grid):
+        """Ordering by distance from focus is preserved (no fold-overs)."""
+        out = fisheye(grid, focus=(50, 50), distortion=4.0)
+        before = np.linalg.norm(grid - [50, 50], axis=1)
+        after = np.linalg.norm(out - [50, 50], axis=1)
+        order_before = np.argsort(before, kind="stable")
+        assert np.all(np.diff(after[order_before]) >= -1e-9)
+
+    def test_does_not_mutate_input(self, grid):
+        original = grid.copy()
+        fisheye(grid, focus=(50, 50), distortion=2.0)
+        assert np.array_equal(grid, original)
+
+    def test_empty(self):
+        assert fisheye(np.zeros((0, 2)), focus=(0, 0)).shape == (0, 2)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            fisheye(grid, focus=(0, 0), distortion=-1.0)
+        with pytest.raises(ValueError):
+            fisheye(grid, focus=(0, 0), radius=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    ),
+    fx=st.floats(0, 100, allow_nan=False),
+    fy=st.floats(0, 100, allow_nan=False),
+    distortion=st.floats(0, 10, allow_nan=False),
+)
+def test_fisheye_stays_within_radius_property(points, fx, fy, distortion):
+    """Transformed points never leave the distortion disk."""
+    array = np.asarray(points, dtype=float)
+    out = fisheye(array, focus=(fx, fy), distortion=distortion, radius=50.0)
+    before = np.linalg.norm(array - [fx, fy], axis=1)
+    after = np.linalg.norm(out - [fx, fy], axis=1)
+    inside = before < 50.0
+    assert np.all(after[inside] <= 50.0 + 1e-6)
+    assert np.allclose(out[~inside], array[~inside])

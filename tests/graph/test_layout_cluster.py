@@ -1,0 +1,225 @@
+"""Unit tests for layouts, clustering, abstraction, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    AbstractionPyramid,
+    PropertyGraph,
+    SupernodeView,
+    average_clustering_coefficient,
+    build_supergraph,
+    circular_layout,
+    degree_histogram,
+    fruchterman_reingold,
+    grid_layout,
+    label_propagation,
+    layered_layout,
+    layout_bounds,
+    louvain_communities,
+    modularity,
+    pagerank,
+    powerlaw_tail_ratio,
+)
+from repro.rdf import Graph
+from repro.workload import powerlaw_link_graph
+
+
+def two_cliques(size: int = 6, bridges: int = 1) -> PropertyGraph:
+    """Two dense cliques joined by a thin bridge: the canonical community
+    structure every clustering method must recover."""
+    g = PropertyGraph()
+    for c in range(2):
+        members = [f"c{c}n{i}" for i in range(size)]
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                g.add_edge(u, v)
+    for b in range(bridges):
+        g.add_edge(f"c0n{b}", f"c1n{b}")
+    return g
+
+
+@pytest.fixture
+def powerlaw() -> PropertyGraph:
+    return PropertyGraph.from_store(Graph(powerlaw_link_graph(200, seed=0)))
+
+
+class TestLayouts:
+    def test_fr_shape_and_determinism(self, powerlaw):
+        a = fruchterman_reingold(powerlaw, iterations=10, seed=5)
+        b = fruchterman_reingold(powerlaw, iterations=10, seed=5)
+        assert a.shape == (powerlaw.node_count, 2)
+        assert np.array_equal(a, b)
+
+    def test_fr_respects_bounds(self, powerlaw):
+        pos = fruchterman_reingold(powerlaw, iterations=15, size=500.0, seed=0)
+        assert pos.min() >= 0.0 and pos.max() <= 500.0
+
+    def test_fr_pulls_neighbors_closer_than_random(self):
+        g = two_cliques()
+        pos = fruchterman_reingold(g, iterations=60, seed=1)
+        edge_dists = [
+            np.linalg.norm(pos[u] - pos[v]) for u, v, _ in g.edges()
+        ]
+        n = g.node_count
+        all_dists = [
+            np.linalg.norm(pos[i] - pos[j]) for i in range(n) for j in range(i + 1, n)
+        ]
+        assert np.mean(edge_dists) < np.mean(all_dists)
+
+    def test_fr_empty_and_single(self):
+        assert fruchterman_reingold(PropertyGraph()).shape == (0, 2)
+        g = PropertyGraph()
+        g.add_node("only")
+        assert fruchterman_reingold(g).shape == (1, 2)
+
+    def test_circular_even_spacing(self, powerlaw):
+        pos = circular_layout(powerlaw, radius=100.0)
+        center = pos.mean(axis=0)
+        radii = np.linalg.norm(pos - center, axis=1)
+        assert radii.std() < 1.0
+
+    def test_layered_layers_by_bfs_depth(self):
+        g = PropertyGraph()
+        g.add_edge("root", "a")
+        g.add_edge("root", "b")
+        g.add_edge("a", "leaf")
+        pos = layered_layout(g, roots=[g.index_of("root")])
+        assert pos[g.index_of("root")][1] < pos[g.index_of("a")][1]
+        assert pos[g.index_of("a")][1] < pos[g.index_of("leaf")][1]
+
+    def test_grid_layout_distinct_positions(self, powerlaw):
+        pos = grid_layout(powerlaw)
+        assert len({tuple(p) for p in pos}) == powerlaw.node_count
+
+    def test_layout_bounds(self):
+        bounds = layout_bounds(np.array([[0.0, 1.0], [2.0, 5.0]]))
+        assert bounds == (0.0, 1.0, 2.0, 5.0)
+        assert layout_bounds(np.zeros((0, 2))) == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestClustering:
+    def test_louvain_recovers_cliques(self):
+        g = two_cliques()
+        communities = louvain_communities(g, seed=0)
+        first = {communities[g.index_of(f"c0n{i}")] for i in range(6)}
+        second = {communities[g.index_of(f"c1n{i}")] for i in range(6)}
+        assert len(first) == 1 and len(second) == 1
+        assert first != second
+
+    def test_label_propagation_recovers_cliques(self):
+        g = two_cliques(size=8)
+        communities = label_propagation(g, seed=1)
+        first = {communities[g.index_of(f"c0n{i}")] for i in range(8)}
+        second = {communities[g.index_of(f"c1n{i}")] for i in range(8)}
+        assert len(first) == 1 and len(second) == 1
+
+    def test_modularity_positive_for_good_split(self):
+        g = two_cliques()
+        communities = louvain_communities(g, seed=0)
+        assert modularity(g, communities) > 0.3
+
+    def test_modularity_zero_for_single_community(self):
+        g = two_cliques()
+        assert modularity(g, [0] * g.node_count) == pytest.approx(0.0)
+
+    def test_louvain_beats_trivial_assignment(self, powerlaw):
+        communities = louvain_communities(powerlaw, seed=0)
+        assert modularity(powerlaw, communities) > modularity(
+            powerlaw, list(range(powerlaw.node_count))
+        )
+
+    def test_deterministic(self, powerlaw):
+        assert louvain_communities(powerlaw, seed=3) == louvain_communities(powerlaw, seed=3)
+
+    def test_empty_graph(self):
+        assert louvain_communities(PropertyGraph()) == []
+
+
+class TestAbstraction:
+    def test_supergraph_collapses(self):
+        g = two_cliques()
+        communities = louvain_communities(g, seed=0)
+        supergraph, members = build_supergraph(g, communities)
+        assert supergraph.node_count == max(communities) + 1
+        assert sum(len(m) for m in members.values()) == g.node_count
+
+    def test_pyramid_levels_shrink(self, powerlaw):
+        pyramid = AbstractionPyramid(powerlaw, seed=0)
+        sizes = [level.node_count for level in pyramid.levels]
+        assert sizes[0] == powerlaw.node_count
+        for a, b in zip(sizes, sizes[1:]):
+            assert b < a
+
+    def test_rendered_elements_drop(self, powerlaw):
+        pyramid = AbstractionPyramid(powerlaw, seed=0)
+        assert pyramid.rendered_elements(pyramid.height - 1) < pyramid.rendered_elements(0)
+
+    def test_membership_partitions_base(self, powerlaw):
+        pyramid = AbstractionPyramid(powerlaw, seed=0)
+        for level in range(pyramid.height):
+            all_members = sorted(
+                v for nodes in pyramid.membership[level].values() for v in nodes
+            )
+            assert all_members == list(range(powerlaw.node_count))
+
+    def test_supernode_view_expand_collapse(self, powerlaw):
+        pyramid = AbstractionPyramid(powerlaw, seed=0)
+        view = SupernodeView(pyramid, level=1)
+        collapsed_nodes, collapsed_edges = view.visible_elements()
+        first_super = next(
+            identifier for kind, identifier in collapsed_nodes if kind == "super"
+        )
+        view.expand(first_super)
+        expanded_nodes, _ = view.visible_elements()
+        assert len(expanded_nodes) > len(collapsed_nodes)
+        view.collapse(first_super)
+        again, _ = view.visible_elements()
+        assert len(again) == len(collapsed_nodes)
+
+    def test_view_invalid_level(self, powerlaw):
+        pyramid = AbstractionPyramid(powerlaw, seed=0)
+        with pytest.raises(ValueError):
+            SupernodeView(pyramid, level=0)
+
+    def test_expand_unknown_raises(self, powerlaw):
+        pyramid = AbstractionPyramid(powerlaw, seed=0)
+        view = SupernodeView(pyramid, level=1)
+        with pytest.raises(KeyError):
+            view.expand(10_000)
+
+
+class TestMetrics:
+    def test_degree_histogram_totals(self, powerlaw):
+        histogram = degree_histogram(powerlaw)
+        assert sum(histogram.values()) == powerlaw.node_count
+
+    def test_pagerank_sums_to_one(self, powerlaw):
+        ranks = pagerank(powerlaw)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert (ranks >= 0).all()
+
+    def test_pagerank_hub_ranks_high(self, powerlaw):
+        ranks = pagerank(powerlaw)
+        hub = max(range(powerlaw.node_count), key=powerlaw.degree)
+        assert ranks[hub] == ranks.max()
+
+    def test_pagerank_invalid_damping(self, powerlaw):
+        with pytest.raises(ValueError):
+            pagerank(powerlaw, damping=1.5)
+
+    def test_clustering_coefficient_triangle(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert average_clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_star(self):
+        g = PropertyGraph()
+        for leaf in "bcd":
+            g.add_edge("a", leaf)
+        assert average_clustering_coefficient(g) == pytest.approx(0.0)
+
+    def test_powerlaw_tail_detects_skew(self, powerlaw):
+        assert powerlaw_tail_ratio(powerlaw) > 3.0

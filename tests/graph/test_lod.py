@@ -1,0 +1,55 @@
+"""Unit tests for the multi-scale (level-of-detail) graph view."""
+
+import pytest
+
+from repro.graph import MultiScaleView, PropertyGraph, Rect
+from repro.rdf import Graph
+from repro.workload import powerlaw_link_graph
+
+
+@pytest.fixture(scope="module")
+def view():
+    graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(1200, seed=21)))
+    return MultiScaleView(graph, max_elements_per_view=150, seed=0, layout_iterations=8)
+
+
+class TestMultiScaleView:
+    def test_has_multiple_levels(self, view):
+        assert view.height >= 2
+
+    def test_full_window_uses_coarse_level(self, view):
+        level, nodes, edges = view.window_query(Rect(0, 0, 1000, 1000))
+        assert level >= 1  # the base graph exceeds the budget
+        assert len(nodes) + len(edges) <= 150 or level == view.height - 1
+
+    def test_budget_respected_when_satisfiable(self, view):
+        for window in (
+            Rect(0, 0, 1000, 1000),
+            Rect(100, 100, 500, 500),
+            Rect(400, 400, 460, 460),
+        ):
+            level, nodes, edges = view.window_query(window)
+            if level < view.height - 1:
+                assert len(nodes) + len(edges) <= 150
+
+    def test_small_window_uses_finer_level(self, view):
+        coarse_level, _, _ = view.window_query(Rect(0, 0, 1000, 1000))
+        fine_level, _, _ = view.window_query(Rect(490, 490, 505, 505))
+        assert fine_level <= coarse_level
+
+    def test_members_of_supernode(self, view):
+        if view.height > 1:
+            level1 = view.pyramid.levels[1]
+            members = view.members_of(1, 0)
+            assert members
+            total = sum(len(view.members_of(1, c)) for c in range(level1.node_count))
+            assert total == view.pyramid.base.node_count
+
+    def test_rendered_elements(self, view):
+        count = view.rendered_elements(Rect(0, 0, 1000, 1000))
+        assert count > 0
+
+    def test_validation(self):
+        graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(20, seed=1)))
+        with pytest.raises(ValueError):
+            MultiScaleView(graph, max_elements_per_view=0)

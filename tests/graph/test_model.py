@@ -1,0 +1,138 @@
+"""Unit tests for the PropertyGraph model."""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.rdf import Graph, IRI, Literal, RDF, parse_turtle
+from repro.workload import social_graph
+
+EX = "http://example.org/"
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def triangle() -> PropertyGraph:
+    g = PropertyGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    return g
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        g = PropertyGraph()
+        assert g.add_node("x") == g.add_node("x") == 0
+        assert g.node_count == 1
+
+    def test_add_edge_creates_nodes(self, triangle):
+        assert triangle.node_count == 3
+        assert triangle.edge_count == 3
+
+    def test_self_loops_ignored(self):
+        g = PropertyGraph()
+        g.add_edge("a", "a")
+        assert g.edge_count == 0
+
+    def test_parallel_edges_accumulate_weight(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("a", "b", weight=2.0)
+        assert g.edge_count == 1
+        ia, ib = g.index_of("a"), g.index_of("b")
+        assert g.neighbors(ia)[ib] == 3.0
+
+    def test_undirected_symmetry(self, triangle):
+        ia, ib = triangle.index_of("a"), triangle.index_of("b")
+        assert ib in triangle.neighbors(ia)
+        assert ia in triangle.neighbors(ib)
+
+    def test_attributes(self):
+        g = PropertyGraph()
+        g.set_attribute("a", "label", "Alpha")
+        assert g.attributes("a") == {"label": "Alpha"}
+        assert g.attributes("missing") == {}
+
+    def test_edge_labels(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", label="knows")
+        assert g.edge_labels(g.index_of("a"), g.index_of("b")) == ["knows"]
+
+
+class TestFromRdf:
+    def test_literals_become_attributes(self):
+        data = f'<{EX}a> <{EX}links> <{EX}b> . <{EX}a> <{EX}age> 30 .'
+        rdf = Graph(parse_turtle(data))
+        g = PropertyGraph.from_store(rdf)
+        assert g.node_count == 2
+        assert g.edge_count == 1
+        assert g.attributes(ex("a")) == {f"{EX}age": 30}
+
+    def test_edge_predicate_filter(self):
+        data = (
+            f"<{EX}a> <{EX}knows> <{EX}b> . "
+            f"<{EX}a> <{EX}type> <{EX}Person> ."
+        )
+        rdf = Graph(parse_turtle(data))
+        g = PropertyGraph.from_store(rdf, edge_predicates=[ex("knows")])
+        assert g.edge_count == 1
+        assert ex("Person") not in g
+
+    def test_from_triples(self):
+        g = PropertyGraph.from_triples(parse_turtle(f"<{EX}a> <{EX}p> <{EX}b> ."))
+        assert g.edge_count == 1
+
+    def test_social_graph_import(self):
+        g = PropertyGraph.from_store(Graph(social_graph(30, seed=0)))
+        assert g.node_count >= 30
+        assert g.edge_count > 0
+
+
+class TestAccess:
+    def test_edges_yielded_once(self, triangle):
+        assert len(list(triangle.edges())) == 3
+
+    def test_degree(self, triangle):
+        assert triangle.degree(triangle.index_of("a")) == 2
+
+    def test_weighted_degree(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", weight=2.5)
+        g.add_edge("a", "c", weight=1.5)
+        assert g.weighted_degree(g.index_of("a")) == 4.0
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == 3.0
+
+    def test_node_round_trip(self, triangle):
+        for node in triangle.nodes():
+            assert triangle.node_at(triangle.index_of(node)) == node
+
+
+class TestDerived:
+    def test_subgraph_induced(self, triangle):
+        sub = triangle.subgraph([triangle.index_of("a"), triangle.index_of("b")])
+        assert sub.node_count == 2
+        assert sub.edge_count == 1
+
+    def test_subgraph_keeps_attributes(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b")
+        g.set_attribute("a", "k", 1)
+        sub = g.subgraph([g.index_of("a")])
+        assert sub.attributes("a") == {"k": 1}
+
+    def test_connected_components(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        g.add_edge("d", "e")
+        g.add_node("isolated")
+        components = g.connected_components()
+        assert [len(c) for c in components] == [3, 2, 1]
+
+    def test_single_component(self, triangle):
+        assert len(triangle.connected_components()) == 1

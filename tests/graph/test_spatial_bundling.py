@@ -1,0 +1,255 @@
+"""Unit tests for spatial indexing, disk tiles, bundling, and graph sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    AbstractionPyramid,
+    DiskGraphStore,
+    PropertyGraph,
+    Rect,
+    RTree,
+    ViewportGraphView,
+    force_directed_edge_bundling,
+    forest_fire_sample,
+    fruchterman_reingold,
+    hierarchical_edge_bundling,
+    ink_ratio,
+    mean_edge_dispersion,
+    polyline_length,
+    random_edge_sample,
+    random_node_sample,
+)
+from repro.rdf import Graph
+from repro.workload import powerlaw_link_graph
+
+
+@pytest.fixture
+def laid_out():
+    graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(150, seed=1)))
+    positions = fruchterman_reingold(graph, iterations=10, size=1000.0, seed=0)
+    return graph, positions
+
+
+class TestRect:
+    def test_intersects(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(5, 5, 15, 15))
+        assert not Rect(0, 0, 10, 10).intersects(Rect(11, 11, 20, 20))
+
+    def test_touching_counts_as_intersecting(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(10, 10, 20, 20))
+
+    def test_contains_point(self):
+        assert Rect(0, 0, 10, 10).contains_point(5, 5)
+        assert not Rect(0, 0, 10, 10).contains_point(11, 5)
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+
+class TestRTree:
+    def test_query_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        rects = [
+            Rect(x, y, x + w, y + h)
+            for x, y, w, h in rng.uniform(0, 100, size=(300, 4))
+        ]
+        tree = RTree((r, i) for i, r in enumerate(rects))
+        window = Rect(20, 20, 60, 60)
+        expected = {i for i, r in enumerate(rects) if window.intersects(r)}
+        assert set(tree.query(window)) == expected
+
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert tree.query(Rect(0, 0, 100, 100)) == []
+
+    def test_visits_fraction_of_nodes_on_small_windows(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1000, size=(2000, 2))
+        tree = RTree(
+            ((Rect(x, y, x, y), i) for i, (x, y) in enumerate(points)), capacity=16
+        )
+        tree.query(Rect(0, 0, 50, 50))
+        small_visits = tree.nodes_visited
+        tree.query(Rect(0, 0, 1000, 1000))
+        full_visits = tree.nodes_visited
+        assert small_visits < full_visits * 0.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RTree([], capacity=1)
+
+
+class TestViewportGraphView:
+    def test_matches_brute_force(self, laid_out):
+        graph, positions = laid_out
+        view = ViewportGraphView(graph, positions)
+        window = Rect(200, 200, 600, 600)
+        nodes, edges = view.window_query(window)
+        expected_nodes = sorted(
+            i
+            for i, (x, y) in enumerate(positions)
+            if window.contains_point(float(x), float(y))
+        )
+        assert nodes == expected_nodes
+        for u, v in edges:
+            edge_rect = Rect(
+                float(min(positions[u][0], positions[v][0])),
+                float(min(positions[u][1], positions[v][1])),
+                float(max(positions[u][0], positions[v][0])),
+                float(max(positions[u][1], positions[v][1])),
+            )
+            assert window.intersects(edge_rect)
+
+    def test_position_count_validation(self, laid_out):
+        graph, positions = laid_out
+        with pytest.raises(ValueError):
+            ViewportGraphView(graph, positions[:-1])
+
+
+class TestDiskGraphStore:
+    def test_window_query_finds_contained_nodes(self, laid_out, tmp_path):
+        graph, positions = laid_out
+        store = DiskGraphStore.build(graph, positions, str(tmp_path / "g"), tiles=6)
+        window = Rect(100, 100, 700, 700)
+        nodes, edges = store.window_query(window)
+        got = {index for index, _, _ in nodes}
+        expected = {
+            i
+            for i, (x, y) in enumerate(positions)
+            if window.contains_point(float(x), float(y))
+        }
+        assert got == expected
+        assert edges  # some edges overlap a window this size
+        store.close()
+
+    def test_resident_memory_bounded(self, laid_out, tmp_path):
+        graph, positions = laid_out
+        store = DiskGraphStore.build(
+            graph, positions, str(tmp_path / "g"), tiles=8, cache_tiles=4
+        )
+        store.window_query(Rect(0, 0, 200, 200))
+        assert store.resident_bytes < store.disk_bytes
+        store.close()
+
+    def test_repeat_queries_hit_cache(self, laid_out, tmp_path):
+        graph, positions = laid_out
+        store = DiskGraphStore.build(graph, positions, str(tmp_path / "g"), tiles=4)
+        for _ in range(5):
+            store.window_query(Rect(100, 100, 300, 300))
+        assert store.pool.stats.hit_rate > 0.5
+        store.close()
+
+    def test_invalid_tiles(self, laid_out, tmp_path):
+        graph, positions = laid_out
+        with pytest.raises(ValueError):
+            DiskGraphStore.build(graph, positions, str(tmp_path / "g"), tiles=0)
+
+    def test_context_manager(self, laid_out, tmp_path):
+        graph, positions = laid_out
+        with DiskGraphStore.build(graph, positions, str(tmp_path / "g")) as store:
+            store.window_query(Rect(0, 0, 1000, 1000))
+
+
+class TestBundling:
+    def test_heb_straight_when_beta_zero(self, laid_out):
+        graph, positions = laid_out
+        pyramid = AbstractionPyramid(graph, seed=0)
+        bundles = hierarchical_edge_bundling(graph, positions, pyramid, beta=0.0)
+        for line, (u, v, _) in zip(bundles, graph.edges()):
+            assert polyline_length(line) == pytest.approx(
+                float(np.linalg.norm(positions[u] - positions[v])), rel=1e-6
+            )
+
+    def test_heb_preserves_endpoints(self, laid_out):
+        graph, positions = laid_out
+        pyramid = AbstractionPyramid(graph, seed=0)
+        bundles = hierarchical_edge_bundling(graph, positions, pyramid, beta=0.9)
+        for line, (u, v, _) in zip(bundles, graph.edges()):
+            assert np.allclose(line[0], positions[u])
+            assert np.allclose(line[-1], positions[v])
+
+    def test_heb_reduces_ink(self, laid_out):
+        graph, positions = laid_out
+        pyramid = AbstractionPyramid(graph, seed=0)
+        bundled = hierarchical_edge_bundling(graph, positions, pyramid, beta=0.95)
+        straight = hierarchical_edge_bundling(graph, positions, pyramid, beta=0.0)
+        assert ink_ratio(straight, graph, positions) == pytest.approx(1.0, abs=0.05)
+        assert ink_ratio(bundled, graph, positions) < 1.0
+        # bundled edges converge: their midpoints disperse less
+        assert mean_edge_dispersion(bundled) < mean_edge_dispersion(straight)
+
+    def test_heb_invalid_beta(self, laid_out):
+        graph, positions = laid_out
+        pyramid = AbstractionPyramid(graph, seed=0)
+        with pytest.raises(ValueError):
+            hierarchical_edge_bundling(graph, positions, pyramid, beta=1.5)
+
+    def test_fdeb_preserves_endpoints(self):
+        g = PropertyGraph()
+        for i in range(6):
+            g.add_edge(f"l{i}", f"r{i}")
+        positions = np.array(
+            [[0.0, float(i * 10)] if n.startswith("l") else [100.0, float(i * 10)]
+             for i, n in enumerate(g.nodes())]
+        )
+        # positions aligned with node indexes
+        positions = np.zeros((g.node_count, 2))
+        for i in range(6):
+            positions[g.index_of(f"l{i}")] = (0.0, i * 10.0)
+            positions[g.index_of(f"r{i}")] = (100.0, i * 10.0)
+        lines = force_directed_edge_bundling(g, positions, cycles=2)
+        for line, (u, v, _) in zip(lines, g.edges()):
+            assert np.allclose(line[0], positions[u])
+            assert np.allclose(line[-1], positions[v])
+
+    def test_fdeb_bundles_parallel_edges(self):
+        g = PropertyGraph()
+        for i in range(6):
+            g.add_edge(f"l{i}", f"r{i}")
+        positions = np.zeros((g.node_count, 2))
+        for i in range(6):
+            positions[g.index_of(f"l{i}")] = (0.0, i * 10.0)
+            positions[g.index_of(f"r{i}")] = (100.0, i * 10.0)
+        lines = force_directed_edge_bundling(g, positions, cycles=3)
+        midpoint_spread = np.std([line[len(line) // 2][1] for line in lines])
+        straight_spread = np.std([(positions[u][1] + positions[v][1]) / 2 for u, v, _ in g.edges()])
+        assert midpoint_spread < straight_spread
+
+    def test_fdeb_empty(self):
+        assert force_directed_edge_bundling(PropertyGraph(), np.zeros((0, 2))) == []
+
+
+class TestGraphSampling:
+    @pytest.fixture
+    def graph(self):
+        return PropertyGraph.from_store(Graph(powerlaw_link_graph(300, seed=2)))
+
+    def test_node_sample_size(self, graph):
+        sample = random_node_sample(graph, 50, seed=0)
+        assert sample.node_count == 50
+
+    def test_edge_sample_size(self, graph):
+        sample = random_edge_sample(graph, 40, seed=0)
+        assert sample.edge_count == 40
+
+    def test_forest_fire_size_and_connectivity(self, graph):
+        sample = forest_fire_sample(graph, 60, seed=0)
+        assert sample.node_count == 60
+        components = sample.connected_components()
+        assert len(components[0]) > 10  # burns contiguous regions
+
+    def test_forest_fire_preserves_skew_better_than_node_sampling(self, graph):
+        from repro.graph import powerlaw_tail_ratio
+
+        fire = forest_fire_sample(graph, 80, seed=1)
+        assert powerlaw_tail_ratio(fire) >= 2.0
+
+    def test_oversized_requests_return_whole_graph(self, graph):
+        assert random_node_sample(graph, 10_000).node_count == graph.node_count
+
+    def test_invalid_sizes(self, graph):
+        with pytest.raises(ValueError):
+            random_node_sample(graph, -1)
+        with pytest.raises(ValueError):
+            forest_fire_sample(graph, 10, forward_probability=1.5)

@@ -1,0 +1,221 @@
+"""Unit and property tests for bulk HETree construction and queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hierarchy import HETreeC, HETreeR, auto_parameters
+from repro.workload import numeric_values
+
+
+@pytest.fixture
+def values():
+    return list(numeric_values(500, "normal", seed=1))
+
+
+class TestHETreeC:
+    def test_leaf_sizes_balanced(self, values):
+        tree = HETreeC(values, leaf_size=20, degree=4)
+        sizes = [len(leaf.items) for leaf in tree.leaves()]
+        assert all(size == 20 for size in sizes[:-1])
+        assert 0 < sizes[-1] <= 20
+
+    def test_total_count_preserved(self, values):
+        tree = HETreeC(values, leaf_size=16, degree=4)
+        assert tree.root.stats.count == len(values)
+
+    def test_leaves_ordered_and_disjoint(self, values):
+        tree = HETreeC(values, leaf_size=25, degree=3)
+        leaves = tree.leaves()
+        for a, b in zip(leaves, leaves[1:]):
+            assert a.low <= a.high <= b.low <= b.high
+
+    def test_root_stats_match_numpy(self, values):
+        tree = HETreeC(values, leaf_size=10, degree=4)
+        assert tree.root.stats.mean == pytest.approx(np.mean(values))
+        assert tree.root.stats.variance == pytest.approx(np.var(values), rel=1e-6)
+        assert tree.root.stats.minimum == min(values)
+        assert tree.root.stats.maximum == max(values)
+
+    def test_parent_stats_are_child_merge(self, values):
+        tree = HETreeC(values, leaf_size=10, degree=4)
+        for node in tree.iter_nodes():
+            if node.children:
+                assert node.stats.count == sum(c.stats.count for c in node.children)
+
+    def test_degree_respected(self, values):
+        tree = HETreeC(values, leaf_size=10, degree=3)
+        for node in tree.iter_nodes():
+            assert len(node.children) <= 3
+
+    def test_payloads_carried(self):
+        items = [(float(i), f"subject{i}") for i in range(30)]
+        tree = HETreeC(items, leaf_size=5, degree=2)
+        found = tree.items_in_range(10, 15)
+        assert sorted(p for _, p in found) == [f"subject{i}" for i in range(10, 15)]
+
+    def test_default_leaf_size_sqrt(self, values):
+        tree = HETreeC(values)
+        assert tree.leaf_size == int(np.sqrt(len(values)))
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            HETreeC([1.0], degree=1)
+
+    def test_empty_input(self):
+        tree = HETreeC([])
+        assert tree.root.stats.count == 0
+        assert tree.leaves() == [tree.root]
+
+
+class TestHETreeR:
+    def test_equal_width_leaves(self, values):
+        tree = HETreeR(values, n_leaves=16, degree=4)
+        leaves = tree.leaves()
+        widths = [leaf.high - leaf.low for leaf in leaves]
+        assert len(leaves) == 16
+        assert max(widths) == pytest.approx(min(widths))
+
+    def test_total_count_preserved(self, values):
+        tree = HETreeR(values, n_leaves=10, degree=4)
+        assert tree.root.stats.count == len(values)
+
+    def test_items_fall_inside_leaf_ranges(self, values):
+        tree = HETreeR(values, n_leaves=8, degree=2)
+        for leaf in tree.leaves():
+            for v, _ in leaf.items:
+                # last leaf also holds the domain max
+                assert leaf.low <= v <= leaf.high + 1e-9
+
+    def test_explicit_domain(self):
+        tree = HETreeR([5.0, 6.0], n_leaves=4, degree=2, domain=(0.0, 100.0))
+        leaves = tree.leaves()
+        assert leaves[0].low == 0.0
+        assert leaves[-1].high == 100.0
+
+    def test_skew_leaves_unbalanced_counts(self):
+        skewed = numeric_values(1000, "zipf", seed=0)
+        tree = HETreeR(skewed, n_leaves=10, degree=2)
+        counts = [leaf.stats.count for leaf in tree.leaves()]
+        assert max(counts) > 5 * (min(c for c in counts if c >= 0) + 1)
+
+    def test_empty_input(self):
+        tree = HETreeR([])
+        assert tree.root.stats.count == 0
+
+
+class TestNavigation:
+    def test_level_zero_is_root(self, values):
+        tree = HETreeC(values, leaf_size=10, degree=4)
+        assert tree.level(0) == [tree.root]
+
+    def test_level_sizes_grow_by_degree(self, values):
+        tree = HETreeC(values, leaf_size=5, degree=4)
+        for depth in range(tree.height):
+            level = tree.level(depth)
+            nxt = tree.level(depth + 1)
+            if nxt:
+                assert len(nxt) <= len(level) * 4
+
+    def test_beyond_height_empty(self, values):
+        tree = HETreeC(values, leaf_size=50, degree=4)
+        assert tree.level(tree.height + 1) == []
+
+    def test_overview_level_respects_budget(self, values):
+        tree = HETreeC(values, leaf_size=5, degree=4)
+        for budget in (1, 4, 16, 64):
+            level = tree.overview_level(budget)
+            assert 1 <= len(level) <= budget
+
+    def test_overview_level_is_deepest_fitting(self, values):
+        tree = HETreeC(values, leaf_size=5, degree=4)
+        level = tree.overview_level(16)
+        depth = level[0].depth
+        deeper = tree.level(depth + 1)
+        assert not deeper or len(deeper) > 16
+
+    def test_overview_invalid_budget(self, values):
+        tree = HETreeC(values, leaf_size=10)
+        with pytest.raises(ValueError):
+            tree.overview_level(0)
+
+    def test_node_and_leaf_counts(self, values):
+        tree = HETreeC(values, leaf_size=10, degree=4)
+        assert tree.leaf_count == len(tree.leaves())
+        assert tree.node_count >= tree.leaf_count
+
+
+class TestRangeStats:
+    def test_matches_direct_computation(self, values):
+        tree = HETreeC(values, leaf_size=10, degree=4)
+        arr = np.asarray(values)
+        for lo, hi in [(400, 600), (0, 1000), (490, 510), (505.5, 505.6)]:
+            expected = arr[(arr >= lo) & (arr < hi)]
+            got = tree.range_stats(lo, hi)
+            assert got.count == len(expected)
+            if len(expected):
+                assert got.mean == pytest.approx(expected.mean())
+                assert got.minimum == expected.min()
+                assert got.maximum == expected.max()
+
+    def test_range_stats_on_hetree_r(self, values):
+        tree = HETreeR(values, n_leaves=20, degree=4)
+        arr = np.asarray(values)
+        got = tree.range_stats(450, 550)
+        expected = arr[(arr >= 450) & (arr < 550)]
+        assert got.count == len(expected)
+        assert got.mean == pytest.approx(expected.mean())
+
+    def test_empty_range(self, values):
+        tree = HETreeC(values, leaf_size=10)
+        assert tree.range_stats(10_000, 20_000).count == 0
+
+    def test_invalid_range(self, values):
+        tree = HETreeC(values, leaf_size=10)
+        with pytest.raises(ValueError):
+            tree.range_stats(10, 5)
+
+    def test_items_in_range_matches(self, values):
+        tree = HETreeC(values, leaf_size=10)
+        arr = np.asarray(values)
+        items = tree.items_in_range(480, 520)
+        assert len(items) == int(((arr >= 480) & (arr < 520)).sum())
+
+
+class TestAutoParameters:
+    def test_reasonable_defaults(self):
+        leaf_size, degree = auto_parameters(1_000_000, screen_slots=50)
+        assert 2 <= degree <= 16
+        assert leaf_size >= 1
+        assert leaf_size * 50**2 >= 1_000_000
+
+    def test_small_dataset(self):
+        leaf_size, degree = auto_parameters(10, screen_slots=20)
+        assert leaf_size == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            auto_parameters(0, 10)
+        with pytest.raises(ValueError):
+            auto_parameters(10, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=300),
+    leaf_size=st.integers(1, 30),
+    degree=st.integers(2, 8),
+    lo=st.floats(-1e4, 1e4, allow_nan=False),
+    hi=st.floats(-1e4, 1e4, allow_nan=False),
+)
+def test_hetree_range_stats_property(values, leaf_size, degree, lo, hi):
+    """range_stats over any tree equals the brute-force answer."""
+    lo, hi = min(lo, hi), max(lo, hi)
+    tree = HETreeC(values, leaf_size=leaf_size, degree=degree)
+    expected = [v for v in values if lo <= v < hi]
+    got = tree.range_stats(lo, hi)
+    assert got.count == len(expected)
+    if expected:
+        assert got.minimum == min(expected)
+        assert got.maximum == max(expected)
+        assert abs(got.mean - float(np.mean(expected))) < 1e-6 + abs(got.mean) * 1e-9

@@ -1,0 +1,128 @@
+"""Unit tests for incremental (ICO) HETree construction and ADA adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy import (
+    HETreeC,
+    IncrementalHETree,
+    adapt_degree,
+    merge_leaf_pairs,
+)
+from repro.workload import numeric_values
+
+
+@pytest.fixture
+def values():
+    return numeric_values(1000, "uniform", seed=3)
+
+
+class TestIncrementalHETree:
+    def test_starts_with_only_root(self, values):
+        tree = IncrementalHETree(values, leaf_size=10, degree=4)
+        assert tree.materialized_nodes == 1
+        assert not tree.root.is_expanded
+
+    def test_expand_materializes_children_once(self, values):
+        tree = IncrementalHETree(values, leaf_size=10, degree=4)
+        children = tree.root.expand()
+        assert 2 <= len(children) <= 4
+        count_after = tree.materialized_nodes
+        tree.root.expand()
+        assert tree.materialized_nodes == count_after
+
+    def test_children_partition_parent(self, values):
+        tree = IncrementalHETree(values, leaf_size=10, degree=4)
+        children = tree.root.expand()
+        assert children[0].start == 0
+        assert children[-1].end == len(values)
+        for a, b in zip(children, children[1:]):
+            assert a.end == b.start
+
+    def test_stats_lazy_and_correct(self, values):
+        tree = IncrementalHETree(values, leaf_size=10, degree=4)
+        assert tree.stats_computations == 0
+        stats = tree.root.stats
+        assert tree.stats_computations == 1
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)))
+        assert stats.variance == pytest.approx(float(np.var(values)), rel=1e-6)
+
+    def test_child_stats_match_bulk_tree(self, values):
+        lazy = IncrementalHETree(values, leaf_size=10, degree=4)
+        children = lazy.root.expand()
+        total = sum(c.stats.count for c in children)
+        assert total == len(values)
+
+    def test_drill_path_touches_logarithmic_nodes(self, values):
+        tree = IncrementalHETree(values, leaf_size=4, degree=4)
+        path = tree.drill_path(float(np.median(values)))
+        assert path[0] is tree.root
+        assert path[-1].is_leaf
+        # A full build would materialize hundreds of nodes; a single drill
+        # must stay well below 10% of that.
+        assert tree.materialized_nodes < tree.full_tree_node_estimate * 0.1
+
+    def test_drill_path_leaf_contains_value(self, values):
+        tree = IncrementalHETree(values, leaf_size=8, degree=4)
+        target = float(np.percentile(values, 30))
+        leaf = tree.drill_path(target)[-1]
+        assert leaf.low <= target <= leaf.high or leaf.count == 0
+
+    def test_items_details_on_demand(self):
+        items = [(float(i), f"s{i}") for i in range(40)]
+        tree = IncrementalHETree(items, leaf_size=5, degree=2)
+        leaf = tree.drill_path(12.0)[-1]
+        payloads = [p for _, p in leaf.items()]
+        assert payloads  # the leaf carries its subjects
+        assert all(p.startswith("s") for p in payloads)
+
+    def test_full_estimate_reasonable(self, values):
+        tree = IncrementalHETree(values, leaf_size=10, degree=4)
+        n_leaves = int(np.ceil(len(values) / 10))
+        assert tree.full_tree_node_estimate >= n_leaves
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IncrementalHETree([1.0], degree=1)
+        with pytest.raises(ValueError):
+            IncrementalHETree([1.0], leaf_size=0)
+
+
+class TestAdaptation:
+    def test_adapt_degree_preserves_leaves_and_count(self, values):
+        tree = HETreeC(list(values), leaf_size=10, degree=4)
+        original_leaves = tree.leaves()
+        adapted = adapt_degree(tree, 8)
+        assert adapted.root.stats.count == len(values)
+        assert adapted.leaves() == original_leaves  # same objects reused
+
+    def test_adapt_degree_changes_structure(self, values):
+        tree = HETreeC(list(values), leaf_size=10, degree=2)
+        adapted = adapt_degree(tree, 8)
+        assert adapted.height < tree.height
+
+    def test_adapt_invalid_degree(self, values):
+        tree = HETreeC(list(values), leaf_size=10)
+        with pytest.raises(ValueError):
+            adapt_degree(tree, 1)
+
+    def test_adapted_range_stats_still_correct(self, values):
+        tree = HETreeC(list(values), leaf_size=10, degree=4)
+        adapted = adapt_degree(tree, 6)
+        arr = np.asarray(values)
+        expected = arr[(arr >= 200) & (arr < 500)]
+        got = adapted.range_stats(200, 500)
+        assert got.count == len(expected)
+        assert got.mean == pytest.approx(expected.mean())
+
+    def test_merge_leaf_pairs_halves_leaves(self, values):
+        tree = HETreeC(list(values), leaf_size=10, degree=4)
+        before = tree.leaf_count
+        coarser = merge_leaf_pairs(tree)
+        assert coarser.leaf_count == (before + 1) // 2
+        assert coarser.root.stats.count == len(values)
+
+    def test_merge_leaf_pairs_single_leaf_noop(self):
+        tree = HETreeC([1.0, 2.0], leaf_size=10)
+        assert merge_leaf_pairs(tree) is tree

@@ -1,0 +1,123 @@
+"""Unit and property tests for the Nanocube spatio-temporal index."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Rect
+from repro.hierarchy import Nanocube
+
+
+def make_events(n: int, seed: int = 0) -> list[tuple[float, float, float]]:
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 1000))
+        for _ in range(n)
+    ]
+
+
+def brute_count(events, region: Rect, t0=float("-inf"), t1=float("inf")) -> int:
+    return sum(
+        1
+        for x, y, t in events
+        if region.contains_point(x, y) and t0 <= t < t1
+    )
+
+
+@pytest.fixture
+def events():
+    return make_events(3000, seed=1)
+
+
+@pytest.fixture
+def cube(events):
+    return Nanocube(events, max_depth=6, leaf_capacity=16)
+
+
+class TestCounting:
+    def test_total(self, cube, events):
+        assert cube.count(Rect(0, 0, 100, 100)) == len(events)
+
+    def test_spatial_only(self, cube, events):
+        region = Rect(10, 10, 40, 60)
+        assert cube.count(region) == brute_count(events, region)
+
+    def test_spatio_temporal(self, cube, events):
+        region = Rect(25, 25, 75, 75)
+        assert cube.count(region, 100.0, 500.0) == brute_count(events, region, 100.0, 500.0)
+
+    def test_empty_region(self, cube):
+        assert cube.count(Rect(200, 200, 300, 300)) == 0
+
+    def test_empty_time_range(self, cube):
+        assert cube.count(Rect(0, 0, 100, 100), 500.0, 500.0) == 0
+
+    def test_invalid_time_range(self, cube):
+        with pytest.raises(ValueError):
+            cube.count(Rect(0, 0, 1, 1), 5.0, 1.0)
+
+    def test_query_visits_sublinear_nodes(self, cube):
+        cube.count(Rect(0, 0, 10, 10))
+        small = cube.nodes_visited
+        assert small < cube.node_count / 3
+
+    def test_empty_cube(self):
+        cube = Nanocube([])
+        assert cube.count(Rect(0, 0, 1, 1)) == 0
+        assert len(cube) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nanocube([], max_depth=0)
+        with pytest.raises(ValueError):
+            Nanocube([], leaf_capacity=0)
+
+
+class TestViews:
+    def test_time_histogram_sums_to_region_count(self, cube, events):
+        region = Rect(0, 0, 50, 100)
+        edges = list(np.linspace(0, 1000, 11)) + [1000.0 + 1e-9]
+        histogram = cube.time_histogram(region, edges)
+        assert sum(histogram) == brute_count(events, region)
+
+    def test_time_histogram_validation(self, cube):
+        with pytest.raises(ValueError):
+            cube.time_histogram(Rect(0, 0, 1, 1), [0.0])
+
+    def test_density_grid_total(self, cube, events):
+        grid = cube.density_grid(4, 4)
+        assert grid.shape == (4, 4)
+        assert int(grid.sum()) == len(events)
+
+    def test_density_grid_validation(self, cube):
+        with pytest.raises(ValueError):
+            cube.density_grid(0, 4)
+
+    def test_clustered_data_shows_up_in_grid(self):
+        events = [(10.0 + i * 0.01, 10.0, float(i)) for i in range(100)]
+        events += [(90.0, 90.0, float(i)) for i in range(5)]
+        cube = Nanocube(events, max_depth=5)
+        grid = cube.density_grid(3, 3)
+        assert grid[0, 0] == 100
+        assert grid[2, 2] == 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(0, 150),
+    seed=st.integers(0, 1000),
+    qx0=st.floats(0, 100, allow_nan=False),
+    qx1=st.floats(0, 100, allow_nan=False),
+    qy0=st.floats(0, 100, allow_nan=False),
+    qy1=st.floats(0, 100, allow_nan=False),
+    t0=st.floats(0, 1000, allow_nan=False),
+    t1=st.floats(0, 1000, allow_nan=False),
+)
+def test_nanocube_matches_brute_force_property(n, seed, qx0, qx1, qy0, qy1, t0, t1):
+    events = make_events(n, seed=seed)
+    cube = Nanocube(events, max_depth=4, leaf_capacity=8)
+    region = Rect(min(qx0, qx1), min(qy0, qy1), max(qx0, qx1), max(qy0, qy1))
+    lo, hi = min(t0, t1), max(t0, t1)
+    assert cube.count(region, lo, hi) == brute_count(events, region, lo, hi)

@@ -1,0 +1,73 @@
+"""Unit tests for binding HETrees to RDF properties."""
+
+import pytest
+
+from repro.hierarchy import (
+    hetree_for_property,
+    incremental_hetree_for_property,
+    property_items,
+)
+from repro.rdf import Graph, IRI, Literal, parse_turtle
+from repro.workload import EX, lod_dataset
+
+DATA = """
+@prefix ex: <http://example.org/> .
+ex:a ex:value 10 . ex:b ex:value 20 . ex:c ex:value 30 .
+ex:d ex:value "not numeric" .
+ex:e ex:value ex:resource .
+ex:f ex:value true .
+"""
+
+
+@pytest.fixture
+def store():
+    return Graph(parse_turtle(DATA))
+
+
+class TestPropertyItems:
+    def test_extracts_numeric_with_subjects(self, store):
+        items = property_items(store, IRI("http://example.org/value"))
+        values = sorted(v for v, _ in items)
+        assert values == [10.0, 20.0, 30.0]
+        subjects = {str(s) for _, s in items}
+        assert "http://example.org/a" in subjects
+
+    def test_skips_non_numeric_and_booleans(self, store):
+        items = property_items(store, IRI("http://example.org/value"))
+        assert len(items) == 3  # string, resource, and boolean skipped
+
+    def test_missing_property_empty(self, store):
+        assert property_items(store, IRI("http://example.org/nope")) == []
+
+
+class TestHetreeForProperty:
+    def test_content_kind(self):
+        store = Graph(lod_dataset(100, seed=1))
+        tree = hetree_for_property(store, EX.population, kind="content", degree=4)
+        assert tree.root.stats.count == 100
+
+    def test_range_kind(self):
+        store = Graph(lod_dataset(100, seed=1))
+        tree = hetree_for_property(store, EX.population, kind="range", n_leaves=8)
+        assert tree.root.stats.count == 100
+        assert tree.leaf_count == 8
+
+    def test_unknown_kind(self, store):
+        with pytest.raises(ValueError, match="unknown HETree kind"):
+            hetree_for_property(store, IRI("http://example.org/value"), kind="magic")
+
+    def test_payloads_are_subjects(self, store):
+        tree = hetree_for_property(
+            store, IRI("http://example.org/value"), kind="content", leaf_size=2
+        )
+        items = tree.items_in_range(0, 100)
+        assert {str(s) for _, s in items} == {
+            "http://example.org/a", "http://example.org/b", "http://example.org/c",
+        }
+
+    def test_incremental_variant(self):
+        store = Graph(lod_dataset(80, seed=2))
+        tree = incremental_hetree_for_property(store, EX.population, degree=4)
+        assert len(tree) == 80
+        path = tree.drill_path(float(tree.values[len(tree.values) // 2]))
+        assert path[-1].is_leaf

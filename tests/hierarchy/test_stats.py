@@ -1,0 +1,85 @@
+"""Unit and property tests for mergeable NodeStats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hierarchy import NodeStats
+
+
+class TestNodeStats:
+    def test_of_basic(self):
+        stats = NodeStats.of([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.total == pytest.approx(10.0)
+        assert stats.variance == pytest.approx(np.var([1, 2, 3, 4]))
+
+    def test_empty(self):
+        stats = NodeStats()
+        assert stats.count == 0
+        assert stats.variance == 0.0
+
+    def test_single_value_zero_variance(self):
+        stats = NodeStats.of([5.0])
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+
+    def test_merge_matches_bulk(self):
+        left = NodeStats.of([1.0, 2.0, 3.0])
+        right = NodeStats.of([10.0, 20.0])
+        merged = left.merge(right)
+        bulk = NodeStats.of([1.0, 2.0, 3.0, 10.0, 20.0])
+        assert merged.count == bulk.count
+        assert merged.mean == pytest.approx(bulk.mean)
+        assert merged.variance == pytest.approx(bulk.variance)
+        assert merged.minimum == bulk.minimum
+        assert merged.maximum == bulk.maximum
+
+    def test_merge_with_empty_is_identity(self):
+        stats = NodeStats.of([1.0, 2.0])
+        merged = stats.merge(NodeStats())
+        assert merged.mean == stats.mean
+        assert merged.count == stats.count
+        assert NodeStats().merge(stats).count == stats.count
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = NodeStats.of([1.0])
+        right = NodeStats.of([3.0])
+        left.merge(right)
+        assert left.count == 1
+        assert right.count == 1
+
+    def test_merge_all(self):
+        parts = [NodeStats.of([float(i)]) for i in range(10)]
+        merged = NodeStats.merge_all(parts)
+        assert merged.count == 10
+        assert merged.mean == pytest.approx(4.5)
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=60),
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=60),
+)
+def test_merge_equals_concatenation_property(left_values, right_values):
+    """merge(of(A), of(B)) == of(A + B) for count/min/max/mean/variance."""
+    merged = NodeStats.of(left_values).merge(NodeStats.of(right_values))
+    bulk = NodeStats.of(left_values + right_values)
+    assert merged.count == bulk.count
+    assert merged.minimum == bulk.minimum
+    assert merged.maximum == bulk.maximum
+    assert math.isclose(merged.mean, bulk.mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(merged.variance, bulk.variance, rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(st.lists(st.floats(-1e5, 1e5, allow_nan=False), min_size=2, max_size=100))
+def test_welford_matches_numpy_property(values):
+    stats = NodeStats.of(values)
+    assert math.isclose(stats.mean, float(np.mean(values)), rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(
+        stats.variance, float(np.var(values)), rel_tol=1e-6, abs_tol=1e-3
+    )

@@ -1,0 +1,250 @@
+"""Integration tests: full pipelines across subsystem boundaries.
+
+Each test exercises a realistic workflow of one surveyed system family,
+crossing at least three subpackages — the seams unit tests don't cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cube import DataCube, cube_bar_chart, discover_datasets, pivot_table
+from repro.explore import FacetedBrowser, KeywordIndex, LinkNavigator, ResourceBrowser
+from repro.graph import (
+    AbstractionPyramid,
+    DiskGraphStore,
+    PropertyGraph,
+    Rect,
+    fruchterman_reingold,
+    louvain_communities,
+)
+from repro.hierarchy import hetree_for_property, incremental_hetree_for_property
+from repro.ontology import extract_ontology, ontology_tree
+from repro.rdf import (
+    Graph,
+    IRI,
+    Literal,
+    RDF,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.recommend import auto_visualize
+from repro.sparql import QueryEngine, query
+from repro.store import MemoryStore, PagedTripleStore
+from repro.viz import DataTable, LDVMPipeline, VisualizationAbstraction, render_cropcircles
+from repro.workload import EX, lod_dataset, social_graph, statistical_cube, typed_entities
+
+
+class TestStoreInterchangeability:
+    """The TripleSource protocol: same answers from all three stores."""
+
+    QUERY = (
+        "PREFIX ex: <http://example.org/data/> "
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+        "SELECT ?name WHERE { ?p foaf:knows ?q . ?q foaf:name ?name . "
+        "?p foaf:age ?a FILTER (?a > 60) } ORDER BY ?name"
+    )
+
+    def test_same_sparql_answers_everywhere(self, tmp_path):
+        triples = list(social_graph(60, seed=2))
+        graph = Graph(triples)
+        memory = MemoryStore(triples)
+        paged = PagedTripleStore.build(triples, str(tmp_path / "db"))
+        answers = [query(s, self.QUERY).values("name") for s in (graph, memory, paged)]
+        paged.close()
+        assert answers[0] == answers[1] == answers[2]
+        assert answers[0]  # non-trivial result
+
+    def test_serialization_round_trips_between_stores(self, tmp_path):
+        original = list(typed_entities(50, seed=3))
+        nt = serialize_ntriples(original, sort=True)
+        reloaded = MemoryStore(parse_ntriples(nt))
+        assert len(reloaded) == len(set(original))
+        ttl = serialize_turtle(original)
+        reparsed = Graph(parse_turtle(ttl))
+        assert set(reparsed) == set(original)
+
+
+class TestSynopsVizWorkflow:
+    """lod dataset → HETree over a property → treemap + stats (SynopsViz)."""
+
+    def test_bulk_and_incremental_agree(self):
+        store = Graph(lod_dataset(200, seed=5))
+        bulk = hetree_for_property(store, EX.population, kind="content", degree=4)
+        lazy = incremental_hetree_for_property(store, EX.population, degree=4)
+        assert bulk.root.stats.count == len(lazy) == 200
+        assert bulk.root.stats.mean == pytest.approx(lazy.root.stats.mean)
+
+    def test_range_facet_equals_sparql_filter(self):
+        store = Graph(lod_dataset(150, seed=6))
+        tree = hetree_for_property(store, EX.population, kind="range", n_leaves=16)
+        lo, hi = 20000.0, 80000.0
+        tree_count = tree.range_stats(lo, hi).count
+        result = query(
+            store,
+            "PREFIX ex: <http://example.org/data/> "
+            f"SELECT ?c WHERE {{ ?c ex:population ?p FILTER (?p >= {int(lo)} && ?p < {int(hi)}) }}",
+        )
+        assert tree_count == len(result)
+
+
+class TestFacetedBrowsingWorkflow:
+    """keyword → facets → browse → navigate (the §3.1 browser loop)."""
+
+    def test_full_browser_loop(self):
+        store = Graph(lod_dataset(80, seed=7))
+        index = KeywordIndex(store)
+        hits = index.search("athens", limit=5)
+        assert hits
+        entry_point = hits[0][0]
+
+        browser = FacetedBrowser(store)
+        browser.select(RDF.type, EX.City)
+        assert entry_point in browser.focus
+
+        facet = browser.facet(EX.population, max_values=5)
+        assert facet.values
+
+        pages = ResourceBrowser(store)
+        navigator = LinkNavigator(pages)
+        view = navigator.visit(entry_point)
+        assert view.outgoing
+        if view.linked_resources:
+            navigator.follow(view, 0)
+            assert navigator.back().resource == entry_point
+
+    def test_facet_counts_match_sparql_group_by(self):
+        store = MemoryStore(typed_entities(300, seed=8))
+        browser = FacetedBrowser(store)
+        facet = browser.facet(IRI(str(EX) + "category0"))
+        facet_counts = {fv.value: fv.count for fv in facet.values}
+        result = query(
+            store,
+            "PREFIX ex: <http://example.org/data/> "
+            "SELECT ?v (COUNT(?s) AS ?n) WHERE { ?s ex:category0 ?v } GROUP BY ?v",
+        )
+        sparql_counts = {row["v"]: row["n"].value for row in result}
+        assert facet_counts == sparql_counts
+
+
+class TestLDVMRecommendationWorkflow:
+    """query → typed table → recommendation → rendered view (LDVizWiz)."""
+
+    def test_auto_visualization_over_paged_store(self, tmp_path):
+        triples = list(lod_dataset(60, seed=9))
+        store = PagedTripleStore.build(triples, str(tmp_path / "db"))
+        svg, choice = auto_visualize(
+            store,
+            "PREFIX ex: <http://example.org/data/> "
+            "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+            "SELECT ?label ?population WHERE { ?c rdfs:label ?label ; "
+            "ex:population ?population } LIMIT 8",
+        )
+        store.close()
+        assert "<svg" in svg
+        assert choice.chart in ("bar", "pie")
+
+    def test_manual_pipeline_stages(self):
+        store = Graph(lod_dataset(40, seed=10))
+        pipeline = LDVMPipeline(store)
+        table = pipeline.analytical_abstraction(
+            "PREFIX ex: <http://example.org/data/> "
+            "SELECT ?founded ?population WHERE { ?c ex:founded ?founded ; "
+            "ex:population ?population }"
+        )
+        assert table.field("founded").field_type.value == "temporal"
+        svg = pipeline.view(
+            table,
+            VisualizationAbstraction("scatter", {"x_field": "founded", "y_field": "population"}),
+        )
+        assert svg.count("<circle") == len(table)
+
+
+class TestCubeWorkflow:
+    """workload cube → qb parsing → pivot → chart (CubeViz/OpenCube)."""
+
+    def test_generated_cube_parses_and_charts(self):
+        store = Graph(statistical_cube(seed=11))
+        (dataset,) = discover_datasets(store)
+        cube = DataCube.from_store(store, dataset)
+        assert len(cube) == 6 * 4 * 2  # year × region × sex
+        rows, cols, matrix = pivot_table(
+            cube, "dim-year", "dim-region", "measure-population"
+        )
+        assert len(rows) == 6 and len(cols) == 4
+        svg = cube_bar_chart(cube, "dim-region", "measure-population")
+        assert "<svg" in svg
+
+    def test_cube_observation_totals_match_sparql(self):
+        store = Graph(statistical_cube({"year": ["2010", "2011"]}, seed=12))
+        (dataset,) = discover_datasets(store)
+        cube = DataCube.from_store(store, dataset)
+        cube_total = sum(
+            row["measure-population"]
+            for row in cube.observations
+        )
+        result = query(
+            store,
+            "PREFIX cube: <http://example.org/cube/> "
+            "SELECT (SUM(?v) AS ?total) WHERE { ?o cube:measure-population ?v }",
+        )
+        assert result.values("total")[0] == pytest.approx(cube_total)
+
+
+class TestGraphVizdbWorkflow:
+    """RDF graph → layout → disk tiles → window queries ≡ in-memory view."""
+
+    def test_disk_and_memory_views_agree(self, tmp_path):
+        store = Graph(social_graph(120, seed=13))
+        graph = PropertyGraph.from_store(store)
+        positions = fruchterman_reingold(graph, iterations=10, size=800.0, seed=0)
+        disk = DiskGraphStore.build(graph, positions, str(tmp_path / "g"), tiles=6)
+        window = Rect(200.0, 200.0, 600.0, 600.0)
+        disk_nodes, _ = disk.window_query(window)
+        disk.close()
+        expected = {
+            i for i, (x, y) in enumerate(positions)
+            if window.contains_point(float(x), float(y))
+        }
+        assert {i for i, _, _ in disk_nodes} == expected
+
+    def test_abstraction_pyramid_over_rdf_links(self):
+        store = Graph(social_graph(150, seed=14))
+        foaf_knows = IRI("http://xmlns.com/foaf/0.1/knows")
+        graph = PropertyGraph.from_store(store, edge_predicates=[foaf_knows])
+        pyramid = AbstractionPyramid(graph, seed=0)
+        assert pyramid.height >= 2
+        communities = louvain_communities(graph, seed=0)
+        assert len(set(communities)) > 1
+
+
+class TestOntologyWorkflow:
+    """schema triples → extraction → containment view (VOWL/CropCircles)."""
+
+    def test_lod_dataset_hierarchy_renders(self):
+        store = Graph(lod_dataset(30, seed=15))
+        summary = extract_ontology(store)
+        assert IRI(str(EX) + "City") in summary.classes
+        assert summary.subtree_instances(IRI(str(EX) + "Place")) == 30
+        svg = render_cropcircles(ontology_tree(summary))
+        assert "<svg" in svg
+
+
+class TestValuesDrivenExploration:
+    """VALUES + DataTable: pinning a user selection through the pipeline."""
+
+    def test_selection_to_chart(self):
+        store = Graph(lod_dataset(50, seed=16))
+        engine = QueryEngine(store)
+        cities = [str(s) for s in list(store.instances_of(EX.City))[:3]]
+        values_clause = " ".join(f"<{c}>" for c in cities)
+        result = engine.query(
+            "PREFIX ex: <http://example.org/data/> "
+            "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+            f"SELECT ?label ?population WHERE {{ VALUES ?c {{ {values_clause} }} "
+            "?c rdfs:label ?label ; ex:population ?population }"
+        )
+        assert len(result) == 3
+        table = DataTable.from_rows(result.to_dicts())
+        assert table.field("population").is_measure

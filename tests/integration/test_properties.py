@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import equi_depth_bins, equi_width_bins, m4_aggregate
+from repro.explore import tokenize_label
+from repro.graph import Rect, RTree
+from repro.hierarchy import HETreeR
+from repro.viz import TimelineEvent, TreemapItem, assign_lanes, squarify
+
+
+# --------------------------------------------------------------------------- #
+# R-tree ≡ brute force
+# --------------------------------------------------------------------------- #
+
+_coords = st.floats(0, 1000, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _rects(draw):
+    x0, x1 = sorted((draw(_coords), draw(_coords)))
+    y0, y1 = sorted((draw(_coords), draw(_coords)))
+    return Rect(x0, y0, x1, y1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rects=st.lists(_rects(), max_size=80), window=_rects())
+def test_rtree_query_equals_brute_force(rects, window):
+    tree = RTree(((r, i) for i, r in enumerate(rects)), capacity=4)
+    expected = {i for i, r in enumerate(rects) if window.intersects(r)}
+    assert set(tree.query(window)) == expected
+
+
+# --------------------------------------------------------------------------- #
+# Binning conservation laws
+# --------------------------------------------------------------------------- #
+
+_values = st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=300)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=_values, n_bins=st.integers(1, 20))
+def test_binning_conserves_count(values, n_bins):
+    for bins in (equi_width_bins(values, n_bins), equi_depth_bins(values, n_bins)):
+        assert sum(b.count for b in bins) == len(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=_values, n_bins=st.integers(1, 20))
+def test_binning_conserves_sum(values, n_bins):
+    total = float(np.sum(values)) if values else 0.0
+    for bins in (equi_width_bins(values, n_bins), equi_depth_bins(values, n_bins)):
+        binned_total = sum(b.stats.total for b in bins if b.count)
+        assert abs(binned_total - total) <= 1e-6 * max(1.0, abs(total))
+
+
+# --------------------------------------------------------------------------- #
+# M4 invariants
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=300),
+    width=st.integers(1, 50),
+)
+def test_m4_bounds_and_extremes(values, width):
+    times = np.arange(len(values), dtype=float)
+    mt, mv = m4_aggregate(times, np.asarray(values), width)
+    assert len(mt) <= 4 * width
+    assert set(mv) <= set(values)
+    assert float(mv.max()) == max(values)
+    assert float(mv.min()) == min(values)
+    assert np.all(np.diff(mt) >= 0)
+
+
+# --------------------------------------------------------------------------- #
+# HETree-R covers every item exactly once
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=200),
+    n_leaves=st.integers(1, 20),
+    degree=st.integers(2, 6),
+)
+def test_hetree_r_partitions_items(values, n_leaves, degree):
+    tree = HETreeR(values, n_leaves=n_leaves, degree=degree)
+    leaf_total = sum(leaf.stats.count for leaf in tree.leaves())
+    assert leaf_total == len(values)
+    assert tree.root.stats.count == len(values)
+
+
+# --------------------------------------------------------------------------- #
+# Treemap conservation & containment
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(weights=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=30))
+def test_treemap_area_proportional(weights):
+    items = [TreemapItem(f"i{k}", w) for k, w in enumerate(weights)]
+    rects = squarify(items, 0, 0, 400, 300)
+    total_weight = sum(weights)
+    for rect, weight in zip(rects, sorted(weights, reverse=True)):
+        expected_area = weight / total_weight * 400 * 300
+        assert abs(rect.width * rect.height - expected_area) < 1e-6 * 400 * 300 + 1e-6
+        assert -1e-9 <= rect.x <= 400 + 1e-9
+        assert -1e-9 <= rect.y <= 300 + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Timeline lanes never overlap
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def _events(draw):
+    start = draw(st.floats(0, 1000, allow_nan=False))
+    duration = draw(st.floats(0, 100, allow_nan=False))
+    return TimelineEvent(start, start + duration, "e")
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=st.lists(_events(), max_size=40))
+def test_timeline_lanes_non_overlapping(events):
+    lanes = assign_lanes(events)
+    assert len(lanes) == len(events)
+    by_lane: dict[int, list[TimelineEvent]] = {}
+    for event, lane in zip(events, lanes):
+        by_lane.setdefault(lane, []).append(event)
+    for members in by_lane.values():
+        members.sort(key=lambda e: (e.start, e.end))
+        for a, b in zip(members, members[1:]):
+            assert a.end <= b.start  # same lane ⇒ disjoint (touching allowed)
+
+
+# --------------------------------------------------------------------------- #
+# Tokenizer sanity
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=st.text(max_size=60))
+def test_tokenizer_output_normalized(text):
+    for token in tokenize_label(text):
+        assert token == token.lower()
+        assert token.isalnum()

@@ -1,0 +1,89 @@
+"""Unit tests for KC-Viz-style key concept extraction."""
+
+import pytest
+
+from repro.ontology import extract_ontology, key_concepts, summary_subhierarchy
+from repro.rdf import Graph, IRI, parse_turtle
+
+EX = "http://example.org/"
+
+SCHEMA = """
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+
+ex:Thing a owl:Class .
+ex:Agent rdfs:subClassOf ex:Thing .
+ex:Person rdfs:subClassOf ex:Agent .
+ex:Artist rdfs:subClassOf ex:Person .
+ex:Scientist rdfs:subClassOf ex:Person .
+ex:Organization rdfs:subClassOf ex:Agent .
+ex:Place rdfs:subClassOf ex:Thing .
+ex:Rare rdfs:subClassOf ex:Place .
+
+ex:p1 a ex:Person . ex:p2 a ex:Person . ex:p3 a ex:Person .
+ex:p4 a ex:Artist . ex:p5 a ex:Artist . ex:p6 a ex:Scientist .
+ex:o1 a ex:Organization .
+ex:c1 a ex:Place .
+"""
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def summary():
+    return extract_ontology(Graph(parse_turtle(SCHEMA)))
+
+
+class TestKeyConcepts:
+    def test_returns_k_concepts(self, summary):
+        assert len(key_concepts(summary, k=3)) == 3
+
+    def test_person_outranks_rare(self, summary):
+        ranked = [iri for iri, _ in key_concepts(summary, k=len(summary.classes))]
+        assert ranked.index(ex("Person")) < ranked.index(ex("Rare"))
+
+    def test_scores_descending(self, summary):
+        scores = [s for _, s in key_concepts(summary, k=8)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_coverage_dominates_with_weight(self, summary):
+        ranked = key_concepts(
+            summary, k=1, coverage_weight=1.0, density_weight=0.0, depth_weight=0.0
+        )
+        # everything is under Thing/Agent; max subtree coverage wins
+        assert ranked[0][0] in (ex("Thing"), ex("Agent"))
+
+    def test_deterministic(self, summary):
+        assert key_concepts(summary, k=5) == key_concepts(summary, k=5)
+
+    def test_k_validation(self, summary):
+        with pytest.raises(ValueError):
+            key_concepts(summary, k=0)
+
+    def test_empty_summary(self):
+        empty = extract_ontology(Graph())
+        assert key_concepts(empty, k=3) == []
+
+
+class TestSummarySubhierarchy:
+    def test_skipped_levels_flattened(self, summary):
+        concepts = [ex("Thing"), ex("Person"), ex("Artist")]
+        tree = summary_subhierarchy(summary, concepts)
+        # Agent is skipped, so Person's summary-parent is Thing
+        assert ex("Person") in tree[ex("Thing")]
+        assert ex("Artist") in tree[ex("Person")]
+
+    def test_orphans_have_no_parent_entry(self, summary):
+        concepts = [ex("Person"), ex("Place")]
+        tree = summary_subhierarchy(summary, concepts)
+        assert tree[ex("Person")] == []
+        assert tree[ex("Place")] == []
+        assert all(ex("Place") not in children for children in tree.values())
+
+    def test_all_concepts_present_as_keys(self, summary):
+        concepts = [iri for iri, _ in key_concepts(summary, k=4)]
+        tree = summary_subhierarchy(summary, concepts)
+        assert set(tree) == set(concepts)

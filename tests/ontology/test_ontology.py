@@ -1,0 +1,121 @@
+"""Unit tests for ontology extraction and views."""
+
+import pytest
+
+from repro.graph import layered_layout
+from repro.ontology import extract_ontology, ontology_graph, ontology_tree, vowl_spec
+from repro.rdf import Graph, IRI, parse_turtle
+from repro.viz import render_cropcircles
+
+EX = "http://example.org/"
+
+SCHEMA = """
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+ex:Agent a owl:Class ; rdfs:label "Agent" .
+ex:Person rdfs:subClassOf ex:Agent ; rdfs:label "Person" .
+ex:Organization rdfs:subClassOf ex:Agent .
+ex:Employee rdfs:subClassOf ex:Person .
+ex:Place a owl:Class .
+
+ex:worksFor a rdf:Property ; rdfs:domain ex:Person ; rdfs:range ex:Organization .
+
+ex:a a ex:Person . ex:b a ex:Person . ex:c a ex:Employee .
+ex:acme a ex:Organization .
+"""
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def summary():
+    return extract_ontology(Graph(parse_turtle(SCHEMA)))
+
+
+class TestExtraction:
+    def test_classes_found(self, summary):
+        assert ex("Agent") in summary.classes
+        assert ex("Employee") in summary.classes
+        assert ex("Place") in summary.classes
+
+    def test_hierarchy_edges(self, summary):
+        assert ex("Agent") in summary.classes[ex("Person")].parents
+        assert ex("Person") in summary.classes[ex("Agent")].children
+
+    def test_roots(self, summary):
+        assert ex("Agent") in summary.roots
+        assert ex("Place") in summary.roots
+        assert ex("Person") not in summary.roots
+
+    def test_instance_counts(self, summary):
+        assert summary.classes[ex("Person")].instance_count == 2
+        assert summary.classes[ex("Employee")].instance_count == 1
+
+    def test_subtree_instances(self, summary):
+        assert summary.subtree_instances(ex("Person")) == 3
+        assert summary.subtree_instances(ex("Agent")) == 4
+
+    def test_depth(self, summary):
+        assert summary.depth() == 3  # Agent > Person > Employee
+
+    def test_labels(self, summary):
+        assert summary.classes[ex("Person")].label == "Person"
+        assert summary.classes[ex("Organization")].label == "Organization"
+
+    def test_properties_with_domain_range(self, summary):
+        assert (ex("worksFor"), ex("Person"), ex("Organization")) in summary.properties
+
+    def test_cycle_safe_depth(self):
+        doc = (
+            f"<{EX}A> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <{EX}B> . "
+            f"<{EX}B> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <{EX}A> ."
+        )
+        summary = extract_ontology(Graph(parse_turtle(doc)))
+        assert summary.depth() >= 0  # terminates
+
+
+class TestViews:
+    def test_node_link_graph(self, summary):
+        graph = ontology_graph(summary)
+        assert graph.node_count == summary.class_count
+        iu = graph.index_of(ex("Person"))
+        iv = graph.index_of(ex("Agent"))
+        assert iv in graph.neighbors(iu)
+        # property link Person—Organization
+        io = graph.index_of(ex("Organization"))
+        assert io in graph.neighbors(iu)
+
+    def test_graph_lays_out(self, summary):
+        graph = ontology_graph(summary)
+        positions = layered_layout(graph)
+        assert positions.shape == (graph.node_count, 2)
+
+    def test_tree_with_synthetic_root(self, summary):
+        tree = ontology_tree(summary)
+        assert tree.label == "Ontology"  # two roots → synthetic parent
+        labels = {child.label for child in tree.children}
+        assert "Agent" in labels and "Place" in labels
+
+    def test_tree_renders_cropcircles(self, summary):
+        svg = render_cropcircles(ontology_tree(summary))
+        assert "<svg" in svg and svg.count("<circle") >= 5
+
+    def test_single_root_no_synthetic(self):
+        doc = f"<{EX}B> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <{EX}A> ."
+        summary = extract_ontology(Graph(parse_turtle(doc)))
+        tree = ontology_tree(summary)
+        assert tree.label == "A"
+
+    def test_vowl_spec_serializable(self, summary):
+        import json
+
+        spec = vowl_spec(summary)
+        text = json.dumps(spec)
+        assert "subclass_edges" in spec
+        assert "Person" in text
+        assert len(spec["classes"]) == summary.class_count

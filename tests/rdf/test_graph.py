@@ -1,0 +1,172 @@
+"""Unit tests for Graph pattern matching and set algebra."""
+
+import pytest
+
+from repro.rdf import BNode, Graph, IRI, Literal, RDF, RDFS, Triple
+
+EX = "http://example.org/"
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def graph() -> Graph:
+    g = Graph()
+    g.add((ex("alice"), RDF.type, ex("Person")))
+    g.add((ex("bob"), RDF.type, ex("Person")))
+    g.add((ex("alice"), ex("knows"), ex("bob")))
+    g.add((ex("alice"), ex("age"), Literal(30)))
+    g.add((ex("bob"), ex("age"), Literal(25)))
+    g.add((ex("alice"), RDFS.label, Literal("Alice")))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_on_change(self, graph):
+        assert graph.add((ex("carol"), RDF.type, ex("Person")))
+
+    def test_add_duplicate_returns_false(self, graph):
+        assert not graph.add((ex("alice"), RDF.type, ex("Person")))
+        assert len(graph) == 6
+
+    def test_add_all_counts_new_only(self, graph):
+        added = graph.add_all(
+            [
+                (ex("alice"), RDF.type, ex("Person")),  # duplicate
+                (ex("dave"), RDF.type, ex("Person")),
+            ]
+        )
+        assert added == 1
+
+    def test_remove_exact(self, graph):
+        assert graph.remove((ex("alice"), ex("age"), Literal(30))) == 1
+        assert (ex("alice"), ex("age"), Literal(30)) not in graph
+
+    def test_remove_pattern(self, graph):
+        removed = graph.remove((None, RDF.type, ex("Person")))
+        assert removed == 2
+        assert graph.count((None, RDF.type, None)) == 0
+
+    def test_remove_updates_all_indexes(self, graph):
+        graph.remove((ex("alice"), None, None))
+        assert list(graph.subjects()) == [ex("bob")]
+        assert ex("alice") not in set(graph.objects())
+
+    def test_type_validation(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((Literal("x"), RDF.type, ex("Person")))
+        with pytest.raises(TypeError):
+            g.add((ex("s"), BNode(), ex("o")))
+        with pytest.raises(TypeError):
+            g.add((ex("s"), RDF.type, "bare-string"))
+
+
+class TestPatternMatching:
+    def test_fully_bound_hit(self, graph):
+        assert (ex("alice"), ex("knows"), ex("bob")) in graph
+
+    def test_fully_bound_miss(self, graph):
+        assert (ex("bob"), ex("knows"), ex("alice")) not in graph
+
+    def test_wildcard_all(self, graph):
+        assert len(list(graph.triples())) == 6
+
+    def test_subject_bound(self, graph):
+        triples = set(graph.triples((ex("bob"), None, None)))
+        assert triples == {
+            Triple(ex("bob"), RDF.type, ex("Person")),
+            Triple(ex("bob"), ex("age"), Literal(25)),
+        }
+
+    def test_predicate_bound(self, graph):
+        assert graph.count((None, ex("age"), None)) == 2
+
+    def test_object_bound(self, graph):
+        subjects = {s for s, _, _ in graph.triples((None, None, ex("Person")))}
+        assert subjects == {ex("alice"), ex("bob")}
+
+    def test_subject_predicate_bound(self, graph):
+        objs = [o for _, _, o in graph.triples((ex("alice"), ex("age"), None))]
+        assert objs == [Literal(30)]
+
+    def test_predicate_object_bound(self, graph):
+        subjects = {s for s, _, _ in graph.triples((None, RDF.type, ex("Person")))}
+        assert subjects == {ex("alice"), ex("bob")}
+
+    def test_subject_object_bound(self, graph):
+        preds = [p for _, p, _ in graph.triples((ex("alice"), None, ex("bob")))]
+        assert preds == [ex("knows")]
+
+    def test_missing_subject_yields_nothing(self, graph):
+        assert list(graph.triples((ex("nobody"), None, None))) == []
+
+    def test_count_matches_materialized(self, graph):
+        for pattern in [
+            (None, None, None),
+            (ex("alice"), None, None),
+            (None, RDF.type, None),
+            (None, None, ex("Person")),
+            (ex("alice"), RDF.type, None),
+        ]:
+            assert graph.count(pattern) == len(list(graph.triples(pattern)))
+
+
+class TestAccessors:
+    def test_subjects_unique(self, graph):
+        assert sorted(graph.subjects()) == [ex("alice"), ex("bob")]
+
+    def test_predicates_of_subject(self, graph):
+        preds = set(graph.predicates(subject=ex("bob")))
+        assert preds == {RDF.type, ex("age")}
+
+    def test_objects_of_subject_predicate(self, graph):
+        assert set(graph.objects(ex("alice"), ex("knows"))) == {ex("bob")}
+
+    def test_value_returns_single(self, graph):
+        assert graph.value(ex("alice"), ex("age")) == Literal(30)
+
+    def test_value_missing_returns_none(self, graph):
+        assert graph.value(ex("alice"), ex("salary")) is None
+
+    def test_label_prefers_rdfs_label(self, graph):
+        assert graph.label(ex("alice")) == "Alice"
+
+    def test_label_falls_back_to_local_name(self, graph):
+        assert graph.label(ex("bob")) == "bob"
+
+    def test_types_of(self, graph):
+        assert graph.types_of(ex("alice")) == {ex("Person")}
+
+    def test_instances_of(self, graph):
+        assert set(graph.instances_of(ex("Person"))) == {ex("alice"), ex("bob")}
+
+
+class TestSetOperations:
+    def test_union(self, graph):
+        other = Graph([(ex("carol"), RDF.type, ex("Person"))])
+        merged = graph | other
+        assert len(merged) == 7
+
+    def test_intersection(self, graph):
+        other = Graph([(ex("alice"), ex("knows"), ex("bob")), (ex("x"), ex("y"), ex("z"))])
+        common = graph & other
+        assert set(common) == {Triple(ex("alice"), ex("knows"), ex("bob"))}
+
+    def test_difference(self, graph):
+        other = Graph([(ex("alice"), ex("knows"), ex("bob"))])
+        rest = graph - other
+        assert len(rest) == 5
+        assert (ex("alice"), ex("knows"), ex("bob")) not in rest
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add((ex("new"), RDF.type, ex("Person")))
+        assert len(graph) == 6
+        assert len(clone) == 7
+
+    def test_bool(self):
+        assert not Graph()
+        assert Graph([(ex("s"), ex("p"), ex("o"))])

@@ -1,0 +1,105 @@
+"""Unit tests for namespaces and prefix management."""
+
+import pytest
+
+from repro.rdf import (
+    FOAF,
+    IRI,
+    Namespace,
+    NamespaceManager,
+    default_namespace_manager,
+    split_iri,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.Person == IRI("http://example.org/ns#Person")
+
+    def test_item_access_for_awkward_names(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns["first-name"] == IRI("http://example.org/ns#first-name")
+
+    def test_term_for_str_shadowed_names(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.term("title") == IRI("http://example.org/ns#title")
+
+    def test_contains(self):
+        assert "http://xmlns.com/foaf/0.1/name" in FOAF
+        assert "http://other.org/x" not in FOAF
+
+    def test_dunder_access_raises(self):
+        with pytest.raises(AttributeError):
+            getattr(Namespace("http://example.org/"), "__wrapped__")
+
+
+class TestSplitIri:
+    def test_hash_split(self):
+        assert split_iri("http://x.org/ns#Person") == ("http://x.org/ns#", "Person")
+
+    def test_slash_split(self):
+        assert split_iri("http://x.org/people/alice") == ("http://x.org/people/", "alice")
+
+    def test_no_separator(self):
+        assert split_iri("urn:x") == ("urn:", "x")
+
+
+class TestNamespaceManager:
+    def test_bind_and_expand(self):
+        m = NamespaceManager()
+        m.bind("ex", "http://example.org/")
+        assert m.expand("ex:thing") == IRI("http://example.org/thing")
+
+    def test_expand_unbound_raises(self):
+        with pytest.raises(KeyError):
+            NamespaceManager().expand("nope:x")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().expand("plain")
+
+    def test_qname_round_trip(self):
+        m = NamespaceManager()
+        m.bind("ex", "http://example.org/ns#")
+        assert m.qname("http://example.org/ns#Person") == "ex:Person"
+
+    def test_qname_unbound_falls_back_to_angle_brackets(self):
+        assert NamespaceManager().qname("http://other.org/x") == "<http://other.org/x>"
+
+    def test_rebind_replaces_both_directions(self):
+        m = NamespaceManager()
+        m.bind("ex", "http://one.org/")
+        m.bind("ex", "http://two.org/")
+        assert m.expand("ex:a") == IRI("http://two.org/a")
+        assert m.qname("http://one.org/a") == "<http://one.org/a>"
+
+    def test_bind_no_replace_keeps_existing(self):
+        m = NamespaceManager()
+        m.bind("ex", "http://one.org/")
+        m.bind("ex", "http://two.org/", replace=False)
+        assert m.expand("ex:a") == IRI("http://one.org/a")
+
+    def test_default_manager_has_standard_prefixes(self):
+        m = default_namespace_manager()
+        assert "rdf" in m
+        assert m.qname("http://xmlns.com/foaf/0.1/name") == "foaf:name"
+
+    def test_copy_is_independent(self):
+        m = default_namespace_manager()
+        clone = m.copy()
+        clone.bind("ex", "http://example.org/")
+        assert "ex" in clone
+        assert "ex" not in m
+
+    def test_namespaces_sorted(self):
+        m = NamespaceManager()
+        m.bind("z", "http://z.org/")
+        m.bind("a", "http://a.org/")
+        assert [p for p, _ in m.namespaces()] == ["a", "z"]
+
+    def test_len(self):
+        m = NamespaceManager()
+        assert len(m) == 0
+        m.bind("a", "http://a.org/")
+        assert len(m) == 1

@@ -1,0 +1,194 @@
+"""Unit tests for the Turtle parser and serializer."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    NamespaceManager,
+    RDF,
+    Triple,
+    TurtleError,
+    XSD,
+    parse_turtle,
+    serialize_turtle,
+)
+
+FOAF = "http://xmlns.com/foaf/0.1/"
+EX = "http://example.org/"
+
+
+class TestDirectives:
+    def test_prefix_declaration(self):
+        doc = f"@prefix foaf: <{FOAF}> .\n<{EX}a> foaf:name \"Alice\" ."
+        (t,) = parse_turtle(doc)
+        assert t.predicate == IRI(FOAF + "name")
+
+    def test_sparql_style_prefix(self):
+        doc = f"PREFIX foaf: <{FOAF}>\n<{EX}a> foaf:name \"Alice\" ."
+        (t,) = parse_turtle(doc)
+        assert t.predicate == IRI(FOAF + "name")
+
+    def test_base_resolution(self):
+        doc = f"@base <{EX}> .\n<alice> <knows> <bob> ."
+        (t,) = parse_turtle(doc)
+        assert t.subject == IRI(EX + "alice")
+        assert t.object == IRI(EX + "bob")
+
+    def test_fragment_base_resolution(self):
+        doc = "@base <http://example.org/doc> .\n<#me> <#knows> <#you> ."
+        (t,) = parse_turtle(doc)
+        assert t.subject == IRI("http://example.org/doc#me")
+
+    def test_unbound_prefix_raises(self):
+        with pytest.raises(TurtleError, match="unbound prefix"):
+            list(parse_turtle('<http://x.org/s> nope:name "x" .'))
+
+    def test_namespace_manager_receives_prefixes(self):
+        manager = NamespaceManager()
+        doc = f"@prefix foaf: <{FOAF}> .\n<{EX}a> foaf:name \"A\" ."
+        list(parse_turtle(doc, namespace_manager=manager))
+        assert manager.expand("foaf:name") == IRI(FOAF + "name")
+
+
+class TestAbbreviations:
+    def test_a_keyword(self):
+        (t,) = parse_turtle(f"<{EX}x> a <{EX}Person> .")
+        assert t.predicate == RDF.type
+
+    def test_semicolon_predicate_list(self):
+        doc = f'<{EX}x> a <{EX}Person> ; <{EX}age> 30 .'
+        triples = list(parse_turtle(doc))
+        assert len(triples) == 2
+        assert {t.subject for t in triples} == {IRI(EX + "x")}
+
+    def test_comma_object_list(self):
+        doc = f"<{EX}x> <{EX}knows> <{EX}a>, <{EX}b>, <{EX}c> ."
+        triples = list(parse_turtle(doc))
+        assert len(triples) == 3
+        assert {t.object for t in triples} == {IRI(EX + "a"), IRI(EX + "b"), IRI(EX + "c")}
+
+    def test_trailing_semicolon_tolerated(self):
+        doc = f"<{EX}x> <{EX}p> 1 ; ."
+        assert len(list(parse_turtle(doc))) == 1
+
+
+class TestLiterals:
+    def test_integer_shorthand(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}age> 42 .")
+        assert t.object == Literal("42", datatype=str(XSD.integer))
+
+    def test_decimal_shorthand(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}v> 3.14 .")
+        assert t.object.datatype == str(XSD.decimal)
+        assert t.object.value == pytest.approx(3.14)
+
+    def test_double_shorthand(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}v> 1.0e3 .")
+        assert t.object.datatype == str(XSD.double)
+        assert t.object.value == 1000.0
+
+    def test_negative_integer(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}v> -7 .")
+        assert t.object.value == -7
+
+    def test_boolean_shorthand(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}flag> true .")
+        assert t.object.value is True
+
+    def test_lang_tagged(self):
+        (t,) = parse_turtle(f'<{EX}x> <{EX}label> "chat"@fr .')
+        assert t.object.lang == "fr"
+
+    def test_typed_with_qname_datatype(self):
+        doc = (
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            f'<{EX}x> <{EX}v> "5"^^xsd:integer .'
+        )
+        (t,) = parse_turtle(doc)
+        assert t.object.value == 5
+
+    def test_long_string(self):
+        doc = f'<{EX}x> <{EX}note> """line one\nline two""" .'
+        (t,) = parse_turtle(doc)
+        assert t.object.lexical == "line one\nline two"
+
+
+class TestBlankNodesAndCollections:
+    def test_labelled_bnode(self):
+        (t,) = parse_turtle(f"_:x <{EX}p> _:y .")
+        assert t.subject == BNode("x")
+
+    def test_anonymous_bnode_object(self):
+        doc = f'<{EX}x> <{EX}address> [ <{EX}city> "Athens" ] .'
+        triples = list(parse_turtle(doc))
+        assert len(triples) == 2
+        link = next(t for t in triples if t.subject == IRI(EX + "x"))
+        nested = next(t for t in triples if t.predicate == IRI(EX + "city"))
+        assert link.object == nested.subject
+        assert isinstance(link.object, BNode)
+
+    def test_empty_bnode(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}p> [] .")
+        assert isinstance(t.object, BNode)
+
+    def test_collection_expands_to_rdf_list(self):
+        doc = f"<{EX}x> <{EX}items> (1 2) ."
+        g = Graph(parse_turtle(doc))
+        head = g.value(IRI(EX + "x"), IRI(EX + "items"))
+        assert g.value(head, RDF.first) == Literal("1", datatype=str(XSD.integer))
+        rest = g.value(head, RDF.rest)
+        assert g.value(rest, RDF.first) == Literal("2", datatype=str(XSD.integer))
+        assert g.value(rest, RDF.rest) == RDF.nil
+
+    def test_empty_collection_is_nil(self):
+        (t,) = parse_turtle(f"<{EX}x> <{EX}items> () .")
+        assert t.object == RDF.nil
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(TurtleError):
+            list(parse_turtle(f"<{EX}x> <{EX}p> <{EX}o>"))
+
+    def test_garbage_raises_with_line(self):
+        with pytest.raises(TurtleError, match="line 2"):
+            list(parse_turtle(f"<{EX}x> <{EX}p> <{EX}o> .\n&&&"))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TurtleError):
+            list(parse_turtle(f'"x" <{EX}p> <{EX}o> .'))
+
+
+class TestSerializer:
+    def test_round_trip_through_graph(self):
+        doc = (
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            f"<{EX}alice> a foaf:Person ;\n"
+            f'    foaf:name "Alice" ;\n'
+            f"    foaf:knows <{EX}bob> .\n"
+            f'<{EX}bob> foaf:name "Bob"@en .'
+        )
+        original = Graph(parse_turtle(doc))
+        serialized = serialize_turtle(original)
+        reparsed = Graph(parse_turtle(serialized))
+        assert set(original) == set(reparsed)
+
+    def test_uses_a_for_rdf_type(self):
+        g = Graph([(IRI(EX + "x"), RDF.type, IRI(EX + "Thing"))])
+        assert " a " in serialize_turtle(g)
+
+    def test_deterministic(self):
+        triples = [
+            Triple(IRI(EX + "b"), IRI(EX + "p"), Literal("1")),
+            Triple(IRI(EX + "a"), IRI(EX + "p"), Literal("2")),
+        ]
+        assert serialize_turtle(triples) == serialize_turtle(list(reversed(triples)))
+
+    def test_only_used_prefixes_declared(self):
+        g = Graph([(IRI(FOAF + "x"), RDF.type, IRI(FOAF + "Person"))])
+        text = serialize_turtle(g)
+        assert "@prefix foaf:" in text
+        assert "@prefix qb:" not in text

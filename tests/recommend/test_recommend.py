@@ -1,0 +1,132 @@
+"""Unit tests for the visualization recommendation engine."""
+
+import pytest
+
+from repro.rdf import Graph, parse_turtle
+from repro.recommend import Recommendation, apply_rules, auto_visualize, recommend
+from repro.viz import DataTable
+
+CITY_ROWS = [
+    {"city": "Athens", "population": 650_000, "founded": 1834,
+     "lat": 37.98, "long": 23.73, "area": 39.0},
+    {"city": "Bordeaux", "population": 250_000, "founded": 1450,
+     "lat": 44.84, "long": -0.58, "area": 49.4},
+    {"city": "Cairo", "population": 9_500_000, "founded": 969,
+     "lat": 30.04, "long": 31.24, "area": 606.0},
+]
+
+
+@pytest.fixture
+def table():
+    return DataTable.from_rows(CITY_ROWS)
+
+
+class TestRules:
+    def test_bar_for_nominal_plus_quantitative(self, table):
+        charts = {r.chart for r in apply_rules(table)}
+        assert "bar" in charts
+
+    def test_line_for_temporal_plus_quantitative(self, table):
+        recs = [r for r in apply_rules(table) if r.chart == "line"]
+        assert recs
+        assert recs[0].bindings["x_field"] == "founded"
+
+    def test_scatter_for_two_quantitatives(self, table):
+        assert any(r.chart == "scatter" for r in apply_rules(table))
+
+    def test_map_for_lat_long_pair(self, table):
+        maps = [r for r in apply_rules(table) if r.chart == "map"]
+        assert maps
+        assert maps[0].bindings["latitude"] == "lat"
+        assert maps[0].bindings["longitude"] == "long"
+
+    def test_pie_skipped_for_negative_values(self):
+        table = DataTable.from_rows(
+            [{"g": "a", "delta": -5.0}, {"g": "b", "delta": 3.0}]
+        )
+        assert not any(r.chart == "pie" for r in apply_rules(table))
+
+    def test_pie_skipped_for_high_cardinality(self):
+        rows = [{"g": f"g{i}", "v": float(i)} for i in range(30)]
+        table = DataTable.from_rows(rows)
+        assert not any(r.chart == "pie" for r in apply_rules(table))
+
+    def test_histogram_for_single_numeric_column(self):
+        table = DataTable.from_rows([{"v": float(i)} for i in range(50)])
+        assert any(r.chart == "histogram" for r in apply_rules(table))
+
+    def test_bubble_for_three_quantitatives(self):
+        rows = [
+            {"population": 1.0, "area": 2.0, "density": 0.5},
+            {"population": 3.0, "area": 1.0, "density": 3.0},
+        ]
+        table = DataTable.from_rows(rows)
+        assert any(r.chart == "bubble" for r in apply_rules(table))
+
+    def test_explanations_present(self, table):
+        for rec in apply_rules(table):
+            assert rec.explanation
+
+
+class TestRecommend:
+    def test_ranked_descending(self, table):
+        recs = recommend(table, max_results=8)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_results_respected(self, table):
+        assert len(recommend(table, max_results=2)) == 2
+
+    def test_temporal_series_prefers_line(self, table):
+        top = recommend(table, max_results=1)[0]
+        assert top.chart in ("line", "bar", "map")  # all strong candidates
+        # line must outrank area
+        recs = recommend(table, max_results=10)
+        charts = [r.chart for r in recs]
+        assert charts.index("line") < charts.index("area")
+
+    def test_preference_boost_changes_ranking(self, table):
+        plain = recommend(table, max_results=10)
+        boosted = recommend(table, max_results=10, preferred_charts=["pie"])
+        plain_rank = [r.chart for r in plain].index("pie")
+        boosted_rank = [r.chart for r in boosted].index("pie")
+        assert boosted_rank <= plain_rank
+
+    def test_deterministic(self, table):
+        assert recommend(table) == recommend(table)
+
+    def test_invalid_max_results(self, table):
+        with pytest.raises(ValueError):
+            recommend(table, max_results=0)
+
+    def test_empty_table_no_recommendations(self):
+        assert recommend(DataTable.from_rows([]), max_results=3) == []
+
+
+class TestAutoVisualize:
+    @pytest.fixture
+    def store(self):
+        doc = """
+        @prefix ex: <http://example.org/> .
+        ex:a ex:name "A" ; ex:value 10 .
+        ex:b ex:name "B" ; ex:value 30 .
+        ex:c ex:name "C" ; ex:value 20 .
+        """
+        return Graph(parse_turtle(doc))
+
+    def test_end_to_end(self, store):
+        svg, choice = auto_visualize(
+            store,
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?name ?value WHERE { ?s ex:name ?name . ?s ex:value ?value }",
+        )
+        assert "<svg" in svg
+        assert isinstance(choice, Recommendation)
+        assert choice.chart == "bar"
+
+    def test_unrecommendable_shape_raises(self, store):
+        with pytest.raises(ValueError, match="no renderable recommendation"):
+            auto_visualize(
+                store,
+                "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:name ?n }",
+            )

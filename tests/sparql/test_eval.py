@@ -1,0 +1,274 @@
+"""Unit tests for SPARQL evaluation: query forms, joins, filters, aggregates."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, parse_turtle
+from repro.sparql import QueryEngine, query
+from repro.store import MemoryStore
+
+EX = "http://example.org/"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+ex:alice a foaf:Person ; foaf:name "Alice" ; foaf:age 30 ;
+    foaf:knows ex:bob, ex:carol .
+ex:bob a foaf:Person ; foaf:name "Bob" ; foaf:age 25 ;
+    foaf:knows ex:carol .
+ex:carol a foaf:Person ; foaf:name "Carol" ; foaf:age 35 .
+ex:acme a ex:Company ; foaf:name "Acme Corp" .
+ex:dave a foaf:Person ; foaf:name "Dave"@en .
+"""
+
+
+@pytest.fixture(params=["graph", "memory"])
+def store(request):
+    triples = list(parse_turtle(DATA))
+    if request.param == "graph":
+        return Graph(triples)
+    return MemoryStore(triples)
+
+
+PREFIX = "PREFIX ex: <http://example.org/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+
+
+class TestSelect:
+    def test_single_pattern(self, store):
+        result = query(store, PREFIX + "SELECT ?n WHERE { ex:alice foaf:name ?n }")
+        assert result.values("n") == ["Alice"]
+
+    def test_join_over_shared_variable(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?n WHERE { ex:alice foaf:knows ?x . ?x foaf:name ?n }",
+        )
+        assert sorted(result.values("n")) == ["Bob", "Carol"]
+
+    def test_select_star_collects_all_vars(self, store):
+        result = query(store, PREFIX + "SELECT * WHERE { ?s foaf:age ?age }")
+        assert set(map(str, result.variables)) == {"s", "age"}
+        assert len(result) == 3
+
+    def test_filter_numeric(self, store):
+        result = query(
+            store, PREFIX + "SELECT ?s WHERE { ?s foaf:age ?a FILTER (?a > 28) }"
+        )
+        assert sorted(result.values("s")) == [EX + "alice", EX + "carol"]
+
+    def test_filter_string_functions(self, store):
+        result = query(
+            store,
+            PREFIX + 'SELECT ?s WHERE { ?s foaf:name ?n FILTER (STRSTARTS(?n, "A")) }',
+        )
+        assert sorted(result.values("s")) == [EX + "acme", EX + "alice"]
+
+    def test_filter_regex_case_insensitive(self, store):
+        result = query(
+            store,
+            PREFIX + 'SELECT ?n WHERE { ?s foaf:name ?n FILTER (REGEX(?n, "^al", "i")) }',
+        )
+        assert result.values("n") == ["Alice"]
+
+    def test_filter_logical_operators(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?s WHERE { ?s foaf:age ?a FILTER (?a > 26 && ?a < 33) }",
+        )
+        assert result.values("s") == [EX + "alice"]
+
+    def test_filter_in(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?s WHERE { ?s foaf:age ?a FILTER (?a IN (25, 35)) }",
+        )
+        assert sorted(result.values("s")) == [EX + "bob", EX + "carol"]
+
+    def test_optional_binds_when_present(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?s ?a WHERE { ?s a foaf:Person OPTIONAL { ?s foaf:age ?a } }",
+        )
+        by_subject = {str(r.get("s")): r.get("a") for r in result}
+        assert by_subject[EX + "dave"] is None
+        assert by_subject[EX + "alice"] == Literal(30)
+
+    def test_optional_with_filter_via_bound(self, store):
+        result = query(
+            store,
+            PREFIX
+            + "SELECT ?s WHERE { ?s a foaf:Person OPTIONAL { ?s foaf:age ?a } "
+            + "FILTER (!BOUND(?a)) }",
+        )
+        assert result.values("s") == [EX + "dave"]
+
+    def test_union(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?s WHERE { { ?s a foaf:Person } UNION { ?s a ex:Company } }",
+        )
+        assert len(result) == 5
+
+    def test_bind(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?d WHERE { ex:alice foaf:age ?a BIND (?a * 2 AS ?d) }",
+        )
+        assert result.values("d") == [60]
+
+    def test_order_by_ascending(self, store):
+        result = query(
+            store, PREFIX + "SELECT ?a WHERE { ?s foaf:age ?a } ORDER BY ?a"
+        )
+        assert result.values("a") == [25, 30, 35]
+
+    def test_order_by_descending(self, store):
+        result = query(
+            store, PREFIX + "SELECT ?a WHERE { ?s foaf:age ?a } ORDER BY DESC(?a)"
+        )
+        assert result.values("a") == [35, 30, 25]
+
+    def test_limit_offset(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?a WHERE { ?s foaf:age ?a } ORDER BY ?a LIMIT 1 OFFSET 1",
+        )
+        assert result.values("a") == [30]
+
+    def test_distinct(self, store):
+        result = query(
+            store, PREFIX + "SELECT DISTINCT ?t WHERE { ?s a ?t }"
+        )
+        assert len(result) == 2
+
+    def test_projection_expression(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT (STRLEN(?n) AS ?len) WHERE { ex:alice foaf:name ?n }",
+        )
+        assert result.values("len") == [5]
+
+    def test_lang_filter(self, store):
+        result = query(
+            store, PREFIX + 'SELECT ?n WHERE { ?s foaf:name ?n FILTER (LANG(?n) = "en") }'
+        )
+        assert result.values("n") == ["Dave"]
+
+    def test_empty_result(self, store):
+        result = query(store, PREFIX + "SELECT ?s WHERE { ?s foaf:age 99 }")
+        assert len(result) == 0
+
+
+class TestAggregates:
+    def test_count_star_group_by(self, store):
+        result = query(
+            store, PREFIX + "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s a ?t } GROUP BY ?t"
+        )
+        counts = {str(r["t"]): r["n"].value for r in result}
+        assert counts == {"http://xmlns.com/foaf/0.1/Person": 4, EX + "Company": 1}
+
+    def test_global_aggregate_without_group(self, store):
+        result = query(store, PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?s a ?t }")
+        assert result.values("n") == [5]
+
+    def test_sum_avg_min_max(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?m) (MIN(?a) AS ?lo) "
+            "(MAX(?a) AS ?hi) WHERE { ?x foaf:age ?a }",
+        )
+        row = result.to_dicts()[0]
+        assert row["s"] == 90
+        assert row["m"] == 30
+        assert row["lo"] == 25
+        assert row["hi"] == 35
+
+    def test_count_distinct(self, store):
+        result = query(
+            store, PREFIX + "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }"
+        )
+        assert result.values("n") == [2]
+
+    def test_group_concat(self, store):
+        result = query(
+            store,
+            PREFIX + 'SELECT (GROUP_CONCAT(?n; SEPARATOR="|") AS ?all) '
+            "WHERE { ?s foaf:age ?x . ?s foaf:name ?n }",
+        )
+        assert sorted(result.values("all")[0].split("|")) == ["Alice", "Bob", "Carol"]
+
+    def test_having(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?t WHERE { ?s a ?t } GROUP BY ?t HAVING (COUNT(?s) > 1)",
+        )
+        assert result.values("t") == ["http://xmlns.com/foaf/0.1/Person"]
+
+    def test_count_empty_is_zero(self, store):
+        result = query(
+            store, PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?s foaf:age 99 }"
+        )
+        assert result.values("n") == [0]
+
+
+class TestOtherForms:
+    def test_ask_true(self, store):
+        assert query(store, PREFIX + "ASK { ex:alice foaf:knows ex:bob }") is True
+
+    def test_ask_false(self, store):
+        assert query(store, PREFIX + "ASK { ex:bob foaf:knows ex:alice }") is False
+
+    def test_construct(self, store):
+        graph = query(
+            store,
+            PREFIX + "CONSTRUCT { ?s ex:named ?n } WHERE { ?s foaf:name ?n }",
+        )
+        assert isinstance(graph, Graph)
+        assert len(graph) == 5
+        assert graph.count((None, IRI(EX + "named"), None)) == 5
+
+    def test_describe(self, store):
+        graph = query(store, PREFIX + "DESCRIBE ex:alice")
+        assert graph.count((IRI(EX + "alice"), None, None)) == 5
+        # inbound links included
+        assert (IRI(EX + "alice"), None, None) is not None
+
+    def test_describe_variable(self, store):
+        graph = query(
+            store, PREFIX + "DESCRIBE ?s WHERE { ?s foaf:age 30 }"
+        )
+        assert graph.count((IRI(EX + "alice"), None, None)) == 5
+
+
+class TestEngineBehaviour:
+    def test_optimizer_reduces_intermediates(self):
+        triples = list(parse_turtle(DATA))
+        # add noise so that pattern order matters
+        noise = Graph(triples)
+        for i in range(300):
+            noise.add((IRI(f"{EX}n{i}"), IRI(f"{EX}p"), Literal(i)))
+        q = (
+            PREFIX
+            + "SELECT DISTINCT ?n WHERE { ?s ?p ?o . ?s foaf:name ?n . ?s foaf:age 30 }"
+        )
+        fast = QueryEngine(noise, optimize=True)
+        slow = QueryEngine(noise, optimize=False)
+        assert fast.query(q).values("n") == slow.query(q).values("n") == ["Alice"]
+        assert fast.stats.intermediate_bindings < slow.stats.intermediate_bindings
+
+    def test_engine_accepts_parsed_query(self, store):
+        from repro.sparql import parse_query
+
+        parsed = parse_query(PREFIX + "SELECT ?s WHERE { ?s a ex:Company }")
+        engine = QueryEngine(store)
+        assert engine.query(parsed).values("s") == [EX + "acme"]
+
+    def test_result_table_rendering(self, store):
+        result = query(store, PREFIX + "SELECT ?a WHERE { ?s foaf:age ?a } ORDER BY ?a")
+        table = result.to_table()
+        assert "?a" in table and "25" in table
+
+    def test_to_dicts(self, store):
+        result = query(store, PREFIX + "SELECT ?s ?a WHERE { ?s foaf:age ?a } ORDER BY ?a")
+        first = result.to_dicts()[0]
+        assert first == {"s": EX + "bob", "a": 25}

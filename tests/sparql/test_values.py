@@ -1,0 +1,108 @@
+"""Unit tests for the VALUES inline-data clause."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, parse_turtle
+from repro.sparql import SparqlSyntaxError, parse_query, query
+
+EX = "http://example.org/"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+ex:alice foaf:name "Alice" ; foaf:age 30 .
+ex:bob foaf:name "Bob" ; foaf:age 25 .
+ex:carol foaf:name "Carol" ; foaf:age 35 .
+"""
+
+PREFIX = "PREFIX ex: <http://example.org/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+
+
+@pytest.fixture
+def store():
+    return Graph(parse_turtle(DATA))
+
+
+class TestParsing:
+    def test_single_variable_form(self):
+        q = parse_query(PREFIX + "SELECT ?n WHERE { VALUES ?s { ex:alice ex:bob } ?s foaf:name ?n }")
+        from repro.sparql.nodes import ValuesPattern
+
+        values = [e for e in q.where.elements if isinstance(e, ValuesPattern)]
+        assert len(values) == 1
+        assert len(values[0].rows) == 2
+
+    def test_parenthesized_form(self):
+        q = parse_query(
+            PREFIX + 'SELECT * WHERE { VALUES (?s ?n) { (ex:alice "Alice") (ex:bob "Bob") } }'
+        )
+        from repro.sparql.nodes import ValuesPattern
+
+        values = next(e for e in q.where.elements if isinstance(e, ValuesPattern))
+        assert [str(v) for v in values.variables] == ["s", "n"]
+
+    def test_undef(self):
+        q = parse_query(
+            PREFIX + "SELECT * WHERE { VALUES (?s ?x) { (ex:alice UNDEF) } }"
+        )
+        from repro.sparql.nodes import ValuesPattern
+
+        values = next(e for e in q.where.elements if isinstance(e, ValuesPattern))
+        assert values.rows[0][1] is None
+
+    def test_empty_variable_list_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(PREFIX + "SELECT * WHERE { VALUES () { } }")
+
+
+class TestEvaluation:
+    def test_values_restricts_solutions(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?n WHERE { VALUES ?s { ex:alice ex:bob } ?s foaf:name ?n }",
+        )
+        assert sorted(result.values("n")) == ["Alice", "Bob"]
+
+    def test_values_after_pattern_joins(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?n WHERE { ?s foaf:name ?n VALUES ?s { ex:carol } }",
+        )
+        assert result.values("n") == ["Carol"]
+
+    def test_values_binds_fresh_variables(self, store):
+        result = query(
+            store,
+            PREFIX + 'SELECT ?s ?tag WHERE { ?s foaf:age 30 VALUES ?tag { "vip" } }',
+        )
+        assert result.to_dicts() == [{"s": EX + "alice", "tag": "vip"}]
+
+    def test_multi_column_rows(self, store):
+        result = query(
+            store,
+            PREFIX + 'SELECT ?s WHERE { VALUES (?s ?n) { (ex:alice "Alice") (ex:bob "Wrong") } '
+            "?s foaf:name ?n }",
+        )
+        assert result.values("s") == [EX + "alice"]
+
+    def test_undef_leaves_variable_free(self, store):
+        result = query(
+            store,
+            PREFIX + "SELECT ?s ?n WHERE { VALUES (?s ?n) { (ex:alice UNDEF) } "
+            "?s foaf:name ?n }",
+        )
+        assert result.to_dicts() == [{"s": EX + "alice", "n": "Alice"}]
+
+    def test_values_only_query(self, store):
+        result = query(
+            store, PREFIX + "SELECT ?x WHERE { VALUES ?x { 1 2 3 } }"
+        )
+        assert sorted(result.values("x")) == [1, 2, 3]
+
+    def test_literal_values(self, store):
+        result = query(
+            store,
+            PREFIX + 'SELECT ?s WHERE { VALUES ?n { "Alice" "Carol" } ?s foaf:name ?n }',
+        )
+        assert sorted(result.values("s")) == [EX + "alice", EX + "carol"]

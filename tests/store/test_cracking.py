@@ -1,0 +1,121 @@
+"""Unit and property tests for adaptive (cracking) indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store import CrackedColumn, FullSortColumn, ScanColumn
+
+
+@pytest.fixture
+def values():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0, 1000, size=2000)
+
+
+class TestCrackedColumn:
+    def test_range_query_correct(self, values):
+        column = CrackedColumn(values)
+        expected = np.sort(values[(values >= 100) & (values < 300)])
+        got = np.sort(column.range_query(100, 300))
+        assert np.array_equal(got, expected)
+
+    def test_repeated_queries_stay_correct(self, values):
+        column = CrackedColumn(values)
+        bounds = [(0, 50), (900, 1000), (200, 700), (400, 450), (0, 1000), (50, 60)]
+        for lo, hi in bounds:
+            expected = np.sort(values[(values >= lo) & (values < hi)])
+            assert np.array_equal(np.sort(column.range_query(lo, hi)), expected)
+            column.check_invariants()
+
+    def test_multiset_preserved(self, values):
+        column = CrackedColumn(values)
+        for lo, hi in [(10, 20), (500, 800), (0, 999)]:
+            column.range_query(lo, hi)
+        assert np.array_equal(np.sort(column.values), np.sort(values))
+
+    def test_pieces_grow_with_queries(self, values):
+        column = CrackedColumn(values)
+        assert column.piece_count == 1
+        column.range_query(100, 200)
+        assert column.piece_count == 3
+
+    def test_duplicate_bounds_do_not_recrack(self, values):
+        column = CrackedColumn(values)
+        column.range_query(100, 200)
+        work_before = column.work_counter
+        column.range_query(100, 200)
+        assert column.work_counter == work_before
+
+    def test_work_decreases_as_column_converges(self, values):
+        column = CrackedColumn(values)
+        column.range_query(100, 900)
+        first_work = column.work_counter
+        column.range_query(150, 850)
+        second_work = column.work_counter - first_work
+        assert second_work < first_work
+
+    def test_range_count_and_sum(self, values):
+        column = CrackedColumn(values)
+        mask = (values >= 250) & (values < 260)
+        assert column.range_count(250, 260) == int(mask.sum())
+        assert column.range_sum(250, 260) == pytest.approx(values[mask].sum())
+
+    def test_invalid_range_raises(self, values):
+        with pytest.raises(ValueError):
+            CrackedColumn(values).range_query(10, 5)
+
+    def test_empty_column(self):
+        column = CrackedColumn([])
+        assert len(column.range_query(0, 10)) == 0
+
+    def test_input_not_mutated(self, values):
+        original = values.copy()
+        CrackedColumn(values).range_query(0, 500)
+        assert np.array_equal(values, original)
+
+
+class TestReferenceStrategies:
+    def test_full_sort_agrees_with_scan(self, values):
+        full = FullSortColumn(values)
+        scan = ScanColumn(values)
+        for lo, hi in [(0, 100), (432, 433), (999, 1000)]:
+            assert np.array_equal(
+                np.sort(full.range_query(lo, hi)), np.sort(scan.range_query(lo, hi))
+            )
+
+    def test_full_sort_charges_upfront_work(self, values):
+        assert FullSortColumn(values).work_counter > 0
+
+    def test_scan_charges_per_query(self, values):
+        scan = ScanColumn(values)
+        scan.range_query(0, 1)
+        scan.range_query(0, 1)
+        assert scan.work_counter == 2 * len(values)
+
+    def test_invalid_range_raises(self, values):
+        with pytest.raises(ValueError):
+            FullSortColumn(values).range_query(2, 1)
+        with pytest.raises(ValueError):
+            ScanColumn(values).range_query(2, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(st.floats(0, 100, allow_nan=False), min_size=0, max_size=200),
+    queries=st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+        max_size=10,
+    ),
+)
+def test_cracking_matches_scan_property(data, queries):
+    """Cracking answers every range exactly like a naive scan, and its
+    partition invariants survive any query sequence."""
+    column = CrackedColumn(data)
+    scan = ScanColumn(data)
+    for lo, hi in queries:
+        lo, hi = min(lo, hi), max(lo, hi)
+        assert np.array_equal(
+            np.sort(column.range_query(lo, hi)), np.sort(scan.range_query(lo, hi))
+        )
+        column.check_invariants()

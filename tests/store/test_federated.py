@@ -1,0 +1,110 @@
+"""Unit tests for the federated store and heatmap rendering."""
+
+import numpy as np
+import pytest
+
+from repro.approx import grid_bins_2d
+from repro.rdf import Graph, IRI, Literal, Triple, parse_turtle
+from repro.sparql import query
+from repro.store import FederatedStore, MemoryStore
+from repro.viz import render_heatmap, sequential_color
+
+EX = "http://example.org/"
+
+
+def ex(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def federation():
+    local = Graph(parse_turtle(f'<{EX}a> <{EX}name> "Alice" .'))
+    remote1 = MemoryStore([Triple(ex("a"), ex("age"), Literal(30))])
+    remote2 = MemoryStore(
+        [
+            Triple(ex("a"), ex("name"), Literal("Alice")),  # duplicate of local
+            Triple(ex("b"), ex("name"), Literal("Bob")),
+        ]
+    )
+    return FederatedStore([("local", local), ("r1", remote1), ("r2", remote2)])
+
+
+class TestFederatedStore:
+    def test_union_deduplicates(self, federation):
+        assert len(federation) == 3  # duplicate collapsed
+
+    def test_pattern_fan_out(self, federation):
+        names = {o.lexical for _, _, o in federation.triples((None, ex("name"), None))}
+        assert names == {"Alice", "Bob"}
+
+    def test_sparql_over_federation(self, federation):
+        result = query(
+            federation,
+            f"SELECT ?n WHERE {{ <{EX}a> <{EX}name> ?n . <{EX}a> <{EX}age> ?age }}",
+        )
+        assert result.values("n") == ["Alice"]
+
+    def test_stats_track_sources(self, federation):
+        list(federation.triples((None, None, None)))
+        assert federation.stats["local"].queries == 1
+        assert federation.stats["r2"].triples_returned == 2
+
+    def test_provenance(self, federation):
+        triple = Triple(ex("a"), ex("name"), Literal("Alice"))
+        assert federation.sources_of(triple) == ["local", "r2"]
+
+    def test_add_source(self, federation):
+        extra = MemoryStore([Triple(ex("c"), ex("name"), Literal("Carol"))])
+        federation.add_source("r3", extra)
+        assert len(federation) == 4
+        with pytest.raises(ValueError):
+            federation.add_source("r3", extra)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FederatedStore([])
+        store = MemoryStore([])
+        with pytest.raises(ValueError):
+            FederatedStore([("a", store), ("a", store)])
+
+
+class TestHeatmap:
+    def test_renders_cells(self):
+        counts = np.array([[0, 5], [10, 0]])
+        svg = render_heatmap(counts, legend=False)
+        # background + 2 non-zero cells
+        assert svg.count("<rect") == 3
+
+    def test_legend(self):
+        counts = np.array([[1, 2], [3, 4]])
+        svg = render_heatmap(counts, legend=True)
+        assert svg.count("<rect") > 5
+
+    def test_pipeline_from_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(loc=50, scale=10, size=(5000, 2))
+        counts = grid_bins_2d(points, 20, 20)
+        svg = render_heatmap(counts)
+        assert "<svg" in svg
+        # output bounded by grid, not by the 5000 points
+        assert svg.count("<rect") < 20 * 20 + 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(3))
+
+    def test_empty(self):
+        assert "<svg" in render_heatmap(np.zeros((0, 0)), legend=False)
+
+
+class TestSequentialColor:
+    def test_endpoints(self):
+        assert sequential_color(0.0) == "#ffffff"
+        assert sequential_color(1.0) == "#141e50"
+
+    def test_midpoint(self):
+        assert sequential_color(0.5) == "#4678b4"
+
+    def test_clamping(self):
+        assert sequential_color(-5.0) == sequential_color(0.0)
+        assert sequential_color(5.0) == sequential_color(1.0)

@@ -1,0 +1,188 @@
+"""Unit tests for the data model, chart renderers, and LDVM pipeline."""
+
+import pytest
+
+from repro.approx import equi_width_bins
+from repro.rdf import Graph, parse_turtle
+from repro.viz import (
+    ChartConfig,
+    DataTable,
+    FieldType,
+    LDVMPipeline,
+    VisualizationAbstraction,
+    area_chart,
+    bar_chart,
+    bubble_chart,
+    histogram,
+    infer_field_type,
+    line_chart,
+    parallel_coordinates,
+    pie_chart,
+    scatter_plot,
+)
+
+ROWS = [
+    {"city": "Athens", "population": 650_000, "founded": 1834, "lat": 37.98},
+    {"city": "Bordeaux", "population": 250_000, "founded": 1450, "lat": 44.84},
+    {"city": "Cairo", "population": 9_500_000, "founded": 969, "lat": 30.04},
+]
+
+
+class TestTypeInference:
+    def test_numeric(self):
+        assert infer_field_type("population", [1, 2.5, 3]) is FieldType.QUANTITATIVE
+
+    def test_temporal_by_name(self):
+        assert infer_field_type("founded", [1834, 1450]) is FieldType.TEMPORAL
+
+    def test_spatial_by_name(self):
+        assert infer_field_type("lat", [37.98, 44.84]) is FieldType.SPATIAL
+
+    def test_nominal(self):
+        assert infer_field_type("city", ["Athens", "Cairo"]) is FieldType.NOMINAL
+
+    def test_boolean(self):
+        assert infer_field_type("active", [True, False]) is FieldType.BOOLEAN
+
+    def test_resource(self):
+        assert infer_field_type("link", ["http://x.org/a"]) is FieldType.RESOURCE
+
+    def test_all_null_defaults_nominal(self):
+        assert infer_field_type("x", [None, None]) is FieldType.NOMINAL
+
+
+class TestDataTable:
+    def test_profile_fields(self):
+        table = DataTable.from_rows(ROWS)
+        assert table.field("population").field_type is FieldType.QUANTITATIVE
+        assert table.field("population").minimum == 250_000
+        assert table.field("city").cardinality == 3
+
+    def test_coverage(self):
+        rows = [{"a": 1}, {"a": None}, {"a": 2}]
+        table = DataTable.from_rows(rows)
+        assert table.field("a").coverage == pytest.approx(2 / 3)
+
+    def test_measures_and_dimensions(self):
+        table = DataTable.from_rows(ROWS)
+        assert "population" in [f.name for f in table.measures()]
+        assert "city" in [f.name for f in table.dimensions()]
+
+    def test_column_access(self):
+        table = DataTable.from_rows(ROWS)
+        assert table.column("city") == ["Athens", "Bordeaux", "Cairo"]
+        assert table.numeric_column("population") == [650_000, 250_000, 9_500_000]
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            DataTable.from_rows(ROWS).field("nope")
+
+    def test_empty(self):
+        table = DataTable.from_rows([])
+        assert len(table) == 0
+        assert table.fields == []
+
+
+class TestCharts:
+    @pytest.fixture
+    def table(self):
+        return DataTable.from_rows(ROWS)
+
+    def test_bar_chart_one_rect_per_category(self, table):
+        svg = bar_chart(table, "city", "population")
+        assert svg.count("<rect") >= 3 + 1  # 3 bars + background
+        assert "Athens" in svg
+
+    def test_line_chart(self, table):
+        svg = line_chart(table, "founded", "population")
+        assert "<polyline" in svg
+
+    def test_area_chart(self, table):
+        svg = area_chart(table, "founded", "population")
+        assert "<polygon" in svg
+
+    def test_pie_chart_sectors(self, table):
+        svg = pie_chart(table, "city", "population")
+        assert svg.count("<path") == 3
+
+    def test_scatter_plot(self, table):
+        svg = scatter_plot(table, "founded", "population")
+        assert svg.count("<circle") == 3
+
+    def test_scatter_color_field(self, table):
+        svg = scatter_plot(table, "founded", "population", color_field="city")
+        assert svg.count("<circle") == 3
+
+    def test_bubble_chart(self, table):
+        svg = bubble_chart(table, "founded", "lat", "population")
+        assert svg.count("<circle") == 3
+
+    def test_parallel_coordinates(self, table):
+        svg = parallel_coordinates(table, ["population", "founded", "lat"])
+        assert svg.count("<polyline") == 3
+
+    def test_parallel_needs_two_fields(self, table):
+        with pytest.raises(ValueError):
+            parallel_coordinates(table, ["population"])
+
+    def test_histogram_from_bins(self):
+        bins = equi_width_bins([1.0, 2.0, 2.5, 9.0], 3)
+        svg = histogram(bins)
+        assert svg.count("<rect") >= 3
+
+    def test_title_rendered(self, table):
+        svg = bar_chart(table, "city", "population", ChartConfig(title="Cities"))
+        assert "Cities" in svg
+
+    def test_empty_table_safe(self):
+        empty = DataTable.from_rows([])
+        assert "<svg" in line_chart(empty, "x", "y")
+        assert "<svg" in pie_chart(empty, "c", "v")
+
+    def test_chart_output_bounded_by_categories_not_rows(self):
+        rows = [{"g": f"g{i % 4}", "v": i} for i in range(1000)]
+        # caller responsibility: aggregate first
+        aggregated = {}
+        for row in rows:
+            aggregated[row["g"]] = aggregated.get(row["g"], 0) + row["v"]
+        table = DataTable.from_rows(
+            [{"g": g, "v": v} for g, v in aggregated.items()]
+        )
+        svg = bar_chart(table, "g", "v")
+        assert svg.count("<rect") < 20
+
+
+class TestLDVM:
+    @pytest.fixture
+    def store(self):
+        data = """
+        @prefix ex: <http://example.org/> .
+        ex:a ex:name "A" ; ex:value 10 .
+        ex:b ex:name "B" ; ex:value 30 .
+        ex:c ex:name "C" ; ex:value 20 .
+        """
+        return Graph(parse_turtle(data))
+
+    def test_four_stage_run(self, store):
+        pipeline = LDVMPipeline(store)
+        svg = pipeline.run(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?name ?value WHERE { ?s ex:name ?name . ?s ex:value ?value }",
+            VisualizationAbstraction("bar", {"category": "name", "value": "value"}),
+        )
+        assert "<svg" in svg
+        assert pipeline.record.abstraction_rows == 3
+        assert pipeline.record.chart == "bar"
+        assert pipeline.record.view_bytes == len(svg)
+
+    def test_abstraction_stage_typed(self, store):
+        pipeline = LDVMPipeline(store)
+        table = pipeline.analytical_abstraction(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?name ?value WHERE { ?s ex:name ?name . ?s ex:value ?value }"
+        )
+        assert table.field("value").field_type is FieldType.QUANTITATIVE
+
+    def test_unknown_chart_rejected(self):
+        with pytest.raises(ValueError, match="unknown chart"):
+            VisualizationAbstraction("hologram")

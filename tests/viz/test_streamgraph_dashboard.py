@@ -1,0 +1,108 @@
+"""Unit tests for streamgraph stacking and dashboard composition."""
+
+import pytest
+
+from repro.viz import (
+    ChartConfig,
+    DataTable,
+    Panel,
+    bar_chart,
+    compose_dashboard,
+    line_chart,
+    stack_series,
+    streamgraph,
+)
+
+
+class TestStackSeries:
+    def test_band_thickness_equals_value(self):
+        bands = stack_series({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert [hi - lo for lo, hi in bands["a"]] == [1.0, 2.0]
+        assert [hi - lo for lo, hi in bands["b"]] == [3.0, 4.0]
+
+    def test_symmetric_centering(self):
+        bands = stack_series({"a": [2.0], "b": [2.0]}, symmetric=True)
+        assert bands["a"][0] == (-2.0, 0.0)
+        assert bands["b"][0] == (0.0, 2.0)
+
+    def test_stacked_from_zero(self):
+        bands = stack_series({"a": [2.0], "b": [3.0]}, symmetric=False)
+        assert bands["a"][0] == (0.0, 2.0)
+        assert bands["b"][0] == (2.0, 5.0)
+
+    def test_bands_tile_without_gaps(self):
+        bands = stack_series({"a": [1.0, 5.0], "b": [2.0, 1.0], "c": [3.0, 2.0]})
+        for index in range(2):
+            assert bands["a"][index][1] == bands["b"][index][0]
+            assert bands["b"][index][1] == bands["c"][index][0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stack_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stack_series({"a": [-1.0]})
+
+    def test_empty(self):
+        assert stack_series({}) == {}
+
+
+class TestStreamgraph:
+    def test_renders_one_polygon_per_series(self):
+        svg = streamgraph(
+            [0.0, 1.0, 2.0],
+            {"a": [1.0, 2.0, 1.0], "b": [2.0, 1.0, 2.0]},
+        )
+        assert svg.count("<polygon") == 2
+
+    def test_series_labels_present(self):
+        svg = streamgraph([0.0, 1.0], {"energy": [5.0, 6.0]})
+        assert "energy" in svg
+
+    def test_empty_safe(self):
+        assert "<svg" in streamgraph([], {})
+
+
+def _sample_panels() -> list[Panel]:
+    table = DataTable.from_rows(
+        [{"g": "a", "v": 1.0}, {"g": "b", "v": 2.0}]
+    )
+    config = ChartConfig(width=300, height=200)
+    return [
+        Panel(bar_chart(table, "g", "v", config), title="Bars"),
+        Panel(line_chart(table, "v", "v", config), title="Line"),
+        Panel(bar_chart(table, "g", "v", config), title="More bars"),
+    ]
+
+
+class TestDashboard:
+    def test_composes_all_panels(self):
+        svg = compose_dashboard(_sample_panels(), title="Demo")
+        assert svg.count("<svg") == 1 + 3  # outer + one nested per panel
+        assert "Demo" in svg
+        assert "Bars" in svg and "Line" in svg
+
+    def test_grid_defaults_to_square(self):
+        svg = compose_dashboard(_sample_panels())
+        # 3 panels → 2 columns → outer width 2*420 + 3 gutters of 16
+        assert 'width="888"' in svg
+
+    def test_explicit_columns(self):
+        svg = compose_dashboard(_sample_panels(), columns=3)
+        assert 'width="1324"' in svg
+
+    def test_panel_title_escaped(self):
+        table = DataTable.from_rows([{"g": "a", "v": 1.0}])
+        panel = Panel(bar_chart(table, "g", "v"), title="<&>")
+        assert "&lt;&amp;&gt;" in compose_dashboard([panel])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compose_dashboard([])
+        with pytest.raises(ValueError):
+            compose_dashboard(_sample_panels(), columns=0)
+
+    def test_nested_viewboxes_preserved(self):
+        svg = compose_dashboard(_sample_panels())
+        assert svg.count('viewBox="0 0 300 200"') == 3

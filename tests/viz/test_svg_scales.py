@@ -1,0 +1,133 @@
+"""Unit tests for the SVG canvas and scales."""
+
+import pytest
+
+from repro.viz import BandScale, LinearScale, SVGCanvas, nice_ticks
+
+
+class TestSVGCanvas:
+    def test_document_structure(self):
+        canvas = SVGCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10)
+        text = canvas.to_string()
+        assert text.startswith("<svg")
+        assert 'width="100"' in text
+        assert "<rect" in text
+        assert text.endswith("</svg>")
+
+    def test_text_escaping(self):
+        canvas = SVGCanvas(100, 100)
+        canvas.text(0, 0, "<b> & 'quotes'")
+        assert "&lt;b&gt; &amp;" in canvas.to_string()
+
+    def test_title_tooltip(self):
+        canvas = SVGCanvas(100, 100)
+        canvas.rect(0, 0, 5, 5, title="hover <me>")
+        assert "<title>hover &lt;me&gt;</title>" in canvas.to_string()
+
+    def test_negative_sizes_clamped(self):
+        canvas = SVGCanvas(100, 100)
+        canvas.rect(0, 0, -5, -5)
+        assert 'width="0"' in canvas.to_string()
+
+    def test_element_count(self):
+        canvas = SVGCanvas(100, 100)
+        canvas.circle(1, 1, 1)
+        canvas.line(0, 0, 1, 1)
+        assert canvas.element_count == 2
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SVGCanvas(0, 10)
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas(10, 10)
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_background(self):
+        canvas = SVGCanvas(10, 10, background="white")
+        assert canvas.element_count == 1
+
+    def test_polyline_points(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.polyline([(0, 0), (5, 5)])
+        assert 'points="0,0 5,5"' in canvas.to_string()
+
+    def test_rotated_text(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.text(5, 5, "x", rotate=45)
+        assert "rotate(45" in canvas.to_string()
+
+
+class TestLinearScale:
+    def test_forward(self):
+        scale = LinearScale((0, 10), (0, 100))
+        assert scale(5) == 50.0
+
+    def test_inverted_range(self):
+        scale = LinearScale((0, 10), (100, 0))
+        assert scale(0) == 100.0
+        assert scale(10) == 0.0
+
+    def test_include_zero(self):
+        scale = LinearScale((5, 10), (0, 100), include_zero=True)
+        assert scale.domain[0] == 0.0
+
+    def test_degenerate_domain(self):
+        scale = LinearScale((5, 5), (0, 100))
+        assert scale.domain[1] > scale.domain[0]
+
+    def test_invert_round_trip(self):
+        scale = LinearScale((2, 8), (10, 90))
+        assert scale.invert(scale(4.5)) == pytest.approx(4.5)
+
+
+class TestBandScale:
+    def test_bands_cover_range(self):
+        scale = BandScale(["a", "b", "c"], (0, 300), padding=0.0)
+        assert scale("a") == 0.0
+        assert scale("c") == pytest.approx(200.0)
+        assert scale.bandwidth == pytest.approx(100.0)
+
+    def test_padding_shrinks_bands(self):
+        scale = BandScale(["a", "b"], (0, 100), padding=0.2)
+        assert scale.bandwidth == pytest.approx(40.0)
+
+    def test_center(self):
+        scale = BandScale(["a", "b"], (0, 100), padding=0.0)
+        assert scale.center("a") == pytest.approx(25.0)
+
+    def test_contains(self):
+        scale = BandScale(["a"], (0, 10))
+        assert "a" in scale and "z" not in scale
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            BandScale(["a"], (0, 10))("z")
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            BandScale(["a"], (0, 10), padding=1.0)
+
+
+class TestNiceTicks:
+    def test_round_values(self):
+        ticks = nice_ticks(0, 100, 5)
+        assert ticks == [0, 20, 40, 60, 80, 100]
+
+    def test_covers_interval(self):
+        ticks = nice_ticks(3, 97, 5)
+        assert ticks[0] >= 3 and ticks[-1] <= 97
+
+    def test_small_range(self):
+        ticks = nice_ticks(0.0, 0.9, 5)
+        assert len(ticks) >= 2
+
+    def test_degenerate(self):
+        assert nice_ticks(5, 5) == [5]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            nice_ticks(0, 1, 0)

@@ -1,0 +1,236 @@
+"""Unit tests for treemap, timeline, maps, CropCircles, NodeTrix, node-link."""
+
+import numpy as np
+import pytest
+
+from repro.graph import PropertyGraph, fruchterman_reingold, louvain_communities
+from repro.hierarchy import HETreeC
+from repro.rdf import Graph
+from repro.viz import (
+    GeoPoint,
+    HierarchyNode,
+    TimelineEvent,
+    TreemapItem,
+    assign_lanes,
+    equirectangular,
+    extract_geo_points,
+    hetree_treemap,
+    layout_cropcircles,
+    nodetrix_layout,
+    render_cropcircles,
+    render_density_map,
+    render_node_link,
+    render_nodetrix,
+    render_point_map,
+    render_timeline,
+    render_treemap,
+    squarify,
+)
+from repro.workload import lod_dataset, numeric_values, powerlaw_link_graph
+
+
+class TestTreemap:
+    def test_areas_proportional_to_weights(self):
+        items = [TreemapItem("a", 3.0), TreemapItem("b", 1.0)]
+        rects = squarify(items, 0, 0, 100, 100)
+        areas = {r.label: r.width * r.height for r in rects}
+        assert areas["a"] == pytest.approx(7500.0, rel=1e-6)
+        assert areas["b"] == pytest.approx(2500.0, rel=1e-6)
+
+    def test_rects_inside_bounds(self):
+        items = [TreemapItem(f"i{k}", float(k + 1)) for k in range(12)]
+        for rect in squarify(items, 0, 0, 200, 100):
+            assert 0 <= rect.x <= 200 and 0 <= rect.y <= 100
+            assert rect.x + rect.width <= 200 + 1e-6
+            assert rect.y + rect.height <= 100 + 1e-6
+
+    def test_total_area_preserved(self):
+        items = [TreemapItem(f"i{k}", float(k + 1)) for k in range(7)]
+        rects = [r for r in squarify(items, 0, 0, 120, 80) if r.depth == 0]
+        assert sum(r.width * r.height for r in rects) == pytest.approx(120 * 80, rel=1e-6)
+
+    def test_squarified_aspect_reasonable(self):
+        items = [TreemapItem(f"i{k}", 1.0) for k in range(16)]
+        rects = squarify(items, 0, 0, 400, 300)
+        assert max(r.aspect for r in rects) < 4.0
+
+    def test_nesting(self):
+        items = [TreemapItem("p", 4.0, children=[TreemapItem("c", 4.0)])]
+        rects = squarify(items, 0, 0, 100, 100)
+        parent = next(r for r in rects if r.label == "p")
+        child = next(r for r in rects if r.label == "c")
+        assert child.depth == 1
+        assert child.x >= parent.x and child.y >= parent.y
+
+    def test_zero_weights_skipped(self):
+        rects = squarify([TreemapItem("z", 0.0), TreemapItem("a", 1.0)], 0, 0, 10, 10)
+        assert [r.label for r in rects] == ["a"]
+
+    def test_render(self):
+        svg = render_treemap([TreemapItem("a", 2.0), TreemapItem("b", 1.0)])
+        assert "<svg" in svg and svg.count("<rect") >= 3
+
+    def test_hetree_conversion(self):
+        tree = HETreeC(list(numeric_values(200, "uniform", seed=0)), leaf_size=20, degree=4)
+        items = hetree_treemap(tree)
+        assert sum(i.weight for i in items) == 200
+
+
+class TestTimeline:
+    def test_non_overlapping_share_lane(self):
+        events = [TimelineEvent(0, 1, "a"), TimelineEvent(2, 3, "b")]
+        assert assign_lanes(events) == [0, 0]
+
+    def test_overlapping_get_distinct_lanes(self):
+        events = [TimelineEvent(0, 5, "a"), TimelineEvent(2, 7, "b"), TimelineEvent(3, 4, "c")]
+        lanes = assign_lanes(events)
+        assert len({lanes[0], lanes[1], lanes[2]}) == 3
+
+    def test_lane_reuse(self):
+        events = [TimelineEvent(0, 2, "a"), TimelineEvent(1, 3, "b"), TimelineEvent(4, 5, "c")]
+        lanes = assign_lanes(events)
+        assert lanes[2] == 0
+
+    def test_invalid_event(self):
+        with pytest.raises(ValueError):
+            TimelineEvent(5, 1, "bad")
+
+    def test_render(self):
+        events = [TimelineEvent(1900, 1950, "first"), TimelineEvent(1940, 2000, "second")]
+        svg = render_timeline(events)
+        assert "<svg" in svg and "first" in svg
+
+    def test_render_empty(self):
+        assert "<svg" in render_timeline([])
+
+    def test_point_events_render_as_circles(self):
+        svg = render_timeline([TimelineEvent(2000, 2000, "point")])
+        assert "<circle" in svg
+
+
+class TestMaps:
+    def test_projection_corners(self):
+        assert equirectangular(90, -180, 360, 180) == (0.0, 0.0)
+        assert equirectangular(-90, 180, 360, 180) == (360.0, 180.0)
+
+    def test_projection_center(self):
+        assert equirectangular(0, 0, 360, 180) == (180.0, 90.0)
+
+    def test_extract_from_lod_dataset(self):
+        store = Graph(lod_dataset(40, seed=0))
+        points = extract_geo_points(store)
+        assert len(points) == 40
+        for p in points:
+            assert -90 <= p.latitude <= 90
+            assert -180 <= p.longitude <= 180
+
+    def test_extract_with_value_predicate(self):
+        from repro.workload import EX
+
+        store = Graph(lod_dataset(10, seed=0))
+        points = extract_geo_points(store, value_predicate=EX.population)
+        assert any(p.value > 1.0 for p in points)
+
+    def test_point_map_renders_all(self):
+        points = [GeoPoint(10, 20, "x"), GeoPoint(-30, 100, "y")]
+        svg = render_point_map(points)
+        assert svg.count('fill="#e15759"') == 2
+
+    def test_density_map_fixed_cells(self):
+        import random
+
+        rng = random.Random(0)
+        many = [GeoPoint(rng.uniform(-90, 90), rng.uniform(-180, 180)) for _ in range(5000)]
+        few = [GeoPoint(0, 0)]
+        svg_many = render_density_map(many, cells=18)
+        svg_few = render_density_map(few, cells=18)
+        # cell count bounded regardless of data size
+        assert svg_many.count("<rect") <= 18 * 9 + 1
+        assert "<svg" in svg_few
+
+
+class TestCropCircles:
+    @pytest.fixture
+    def hierarchy(self):
+        return HierarchyNode(
+            "Thing",
+            [
+                HierarchyNode("Agent", [HierarchyNode("Person"), HierarchyNode("Org")]),
+                HierarchyNode("Place"),
+            ],
+        )
+
+    def test_subtree_size(self, hierarchy):
+        assert hierarchy.subtree_size == 5
+
+    def test_children_inside_parent(self, hierarchy):
+        circles = layout_cropcircles(hierarchy, size=600)
+        by_label = {c.label: c for c in circles}
+        root = by_label["Thing"]
+        for label in ("Agent", "Place"):
+            child = by_label[label]
+            d = ((child.cx - root.cx) ** 2 + (child.cy - root.cy) ** 2) ** 0.5
+            assert d + child.radius <= root.radius + 1e-6
+
+    def test_bigger_subtree_bigger_circle(self, hierarchy):
+        circles = {c.label: c for c in layout_cropcircles(hierarchy)}
+        assert circles["Agent"].radius > circles["Place"].radius * 0.8
+
+    def test_depths(self, hierarchy):
+        circles = {c.label: c for c in layout_cropcircles(hierarchy)}
+        assert circles["Thing"].depth == 0
+        assert circles["Person"].depth == 2
+
+    def test_render(self, hierarchy):
+        svg = render_cropcircles(hierarchy)
+        assert svg.count("<circle") == 5
+
+
+class TestNodeTrix:
+    @pytest.fixture
+    def graph(self):
+        return PropertyGraph.from_store(Graph(powerlaw_link_graph(80, seed=3)))
+
+    def test_blocks_cover_all_nodes(self, graph):
+        communities = louvain_communities(graph, seed=0)
+        layout = nodetrix_layout(graph, communities)
+        covered = sorted(v for block in layout.blocks for v in block.members)
+        assert covered == list(range(graph.node_count))
+
+    def test_links_are_intercommunity(self, graph):
+        communities = louvain_communities(graph, seed=0)
+        layout = nodetrix_layout(graph, communities)
+        for a, b, _ in layout.links:
+            assert a != b
+
+    def test_render(self, graph):
+        svg = render_nodetrix(graph, seed=0)
+        assert "<svg" in svg and "<rect" in svg
+
+    def test_empty_graph(self):
+        layout = nodetrix_layout(PropertyGraph())
+        assert layout.blocks == [] and layout.links == []
+
+
+class TestNodeLink:
+    def test_renders_nodes_and_edges(self):
+        graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(40, seed=1)))
+        positions = fruchterman_reingold(graph, iterations=5, seed=0)
+        svg = render_node_link(graph, positions)
+        assert svg.count("<circle") == graph.node_count
+        assert svg.count("<line") == graph.edge_count
+
+    def test_communities_color_nodes(self):
+        graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(40, seed=1)))
+        positions = fruchterman_reingold(graph, iterations=5, seed=0)
+        communities = louvain_communities(graph, seed=0)
+        svg = render_node_link(graph, positions, communities=communities)
+        assert "<svg" in svg
+
+    def test_position_mismatch_rejected(self):
+        graph = PropertyGraph.from_store(Graph(powerlaw_link_graph(10, seed=1)))
+        with pytest.raises(ValueError):
+            render_node_link(graph, np.zeros((3, 2)))
+
+    def test_empty_graph(self):
+        assert "<svg" in render_node_link(PropertyGraph(), np.zeros((0, 2)))

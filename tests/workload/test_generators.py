@@ -1,0 +1,195 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.rdf import Graph, QB, RDF, RDFS, FOAF
+from repro.workload import (
+    DISTRIBUTIONS,
+    drilldown_ranges,
+    lod_dataset,
+    numeric_values,
+    pan_zoom_trace,
+    powerlaw_link_graph,
+    social_graph,
+    statistical_cube,
+    temporal_values,
+    tile_requests,
+    time_series,
+    typed_entities,
+)
+
+
+class TestPowerlawGraph:
+    def test_deterministic(self):
+        a = list(powerlaw_link_graph(50, seed=3))
+        b = list(powerlaw_link_graph(50, seed=3))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert list(powerlaw_link_graph(50, seed=1)) != list(powerlaw_link_graph(50, seed=2))
+
+    def test_edge_count(self):
+        triples = list(powerlaw_link_graph(100, edges_per_node=2, seed=0))
+        # node 1 attaches with m=1, rest with m=2
+        assert len(triples) == 1 + 2 * 98
+
+    def test_heavy_tail(self):
+        g = Graph(powerlaw_link_graph(400, edges_per_node=2, seed=0))
+        degrees = {}
+        for s, _, o in g:
+            degrees[s] = degrees.get(s, 0) + 1
+            degrees[o] = degrees.get(o, 0) + 1
+        values = sorted(degrees.values(), reverse=True)
+        # scale-free: the top node dominates the median by a wide margin
+        assert values[0] >= 5 * values[len(values) // 2]
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            list(powerlaw_link_graph(1))
+
+
+class TestSocialGraph:
+    def test_people_have_names_and_ages(self):
+        g = Graph(social_graph(20, seed=0))
+        people = list(g.instances_of(FOAF.Person))
+        assert len(people) == 20
+        for person in people:
+            assert g.value(person, FOAF.name) is not None
+            assert g.value(person, FOAF.age) is not None
+
+    def test_knows_links_are_between_people(self):
+        g = Graph(social_graph(20, seed=0))
+        people = set(g.instances_of(FOAF.Person))
+        for s, _, o in g.triples((None, FOAF.knows, None)):
+            assert s in people and o in people
+
+
+class TestTypedEntities:
+    def test_class_skew(self):
+        g = Graph(typed_entities(500, n_classes=4, seed=0))
+        counts = sorted(
+            (g.count((None, RDF.type, cls)) for cls in set(g.objects(None, RDF.type))),
+            reverse=True,
+        )
+        assert counts[0] > counts[-1]
+
+    def test_properties_present(self):
+        g = Graph(typed_entities(50, numeric_properties=2, categorical_properties=1, seed=0))
+        from repro.workload import EX
+
+        assert g.count((None, EX.numeric0, None)) == 50
+        assert g.count((None, EX.category0, None)) == 50
+
+
+class TestLodDataset:
+    def test_covers_all_table1_data_types(self):
+        g = Graph(lod_dataset(50, seed=0))
+        from repro.rdf import GEO
+        from repro.workload import EX
+
+        assert g.count((None, EX.population, None)) == 50  # numeric
+        assert g.count((None, EX.founded, None)) == 50  # temporal
+        assert g.count((None, GEO.lat, None)) == 50  # spatial
+        assert g.count((None, RDFS.subClassOf, None)) == 2  # hierarchy
+        assert g.count((None, EX.twinnedWith, None)) > 0  # graph
+
+    def test_optional_parts_can_be_disabled(self):
+        g = Graph(lod_dataset(10, with_spatial=False, with_temporal=False))
+        from repro.workload import EX
+
+        assert g.count((None, EX.founded, None)) == 0
+
+
+class TestNumericValues:
+    def test_all_distributions_produce_n(self):
+        for name in DISTRIBUTIONS:
+            assert len(numeric_values(100, name, seed=0)) == 100
+
+    def test_unknown_distribution_raises(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            numeric_values(10, "cauchy")
+
+    def test_deterministic(self):
+        assert np.array_equal(numeric_values(50, "zipf", 1), numeric_values(50, "zipf", 1))
+
+    def test_zipf_is_skewed(self):
+        values = numeric_values(2000, "zipf", seed=0)
+        assert np.mean(values) > np.median(values) * 1.5
+
+    def test_bimodal_has_two_modes(self):
+        values = numeric_values(2000, "bimodal", seed=0)
+        mid = (values > 400) & (values < 600)
+        assert mid.sum() < 100  # valley between the modes
+
+
+class TestTemporalValues:
+    def test_range_respected(self):
+        years = temporal_values(500, start_year=1950, end_year=2000, seed=0)
+        assert min(years) >= 1950 and max(years) <= 2000
+
+    def test_recency_bias(self):
+        years = temporal_values(2000, 1900, 2020, seed=0, recency_bias=3.0)
+        assert np.median(years) > 1960
+
+
+class TestTimeSeries:
+    def test_length_and_determinism(self):
+        a = time_series(1000, seed=5)
+        assert len(a) == 1000
+        assert np.array_equal(a, time_series(1000, seed=5))
+
+    def test_spikes_present(self):
+        series = time_series(20000, seed=1, spike_probability=0.01, spike_scale=100)
+        diffs = np.abs(np.diff(series))
+        assert diffs.max() > 50
+
+
+class TestSessions:
+    def test_pan_zoom_stays_in_world(self):
+        for step in pan_zoom_trace(200, world=1000, seed=2):
+            x0, y0, x1, y1 = step.bounds
+            assert 0 <= x0 <= x1 <= 1000
+            assert 0 <= y0 <= y1 <= 1000
+
+    def test_trace_has_locality(self):
+        trace = pan_zoom_trace(100, seed=0)
+        jumps = [
+            abs(b.x - a.x) + abs(b.y - a.y)
+            for a, b in zip(trace, trace[1:])
+        ]
+        assert max(jumps) <= 1000 * 0.75  # never teleports across the world
+
+    def test_tile_requests_cover_view(self):
+        trace = pan_zoom_trace(10, seed=0)
+        requests = tile_requests(trace, tile_size=125)
+        assert len(requests) == 10
+        assert all(requests)
+
+    def test_drilldown_ranges_narrow(self):
+        ranges = drilldown_ranges(50, seed=0, refocus_probability=0.0)
+        widths = [hi - lo for lo, hi in ranges]
+        assert widths[5] < widths[0]
+        for lo, hi in ranges:
+            assert 0 <= lo <= hi <= 1000
+
+    def test_drilldown_deterministic(self):
+        assert drilldown_ranges(20, seed=4) == drilldown_ranges(20, seed=4)
+
+
+class TestStatisticalCube:
+    def test_observation_count_is_cross_product(self):
+        g = Graph(statistical_cube({"a": ["1", "2"], "b": ["x", "y", "z"]}, seed=0))
+        assert g.count((None, RDF.type, QB.Observation)) == 6
+
+    def test_structure_declared(self):
+        g = Graph(statistical_cube({"a": ["1"]}, measures=("pop", "gdp"), seed=0))
+        assert g.count((None, RDF.type, QB.DataSet)) == 1
+        assert g.count((None, RDF.type, QB.DimensionProperty)) == 1
+        assert g.count((None, RDF.type, QB.MeasureProperty)) == 2
+
+    def test_observations_carry_all_components(self):
+        g = Graph(statistical_cube({"a": ["1", "2"]}, measures=("pop",), seed=0))
+        for obs in g.instances_of(QB.Observation):
+            assert g.value(obs, QB.dataSet) is not None
+            assert len(list(g.triples((obs, None, None)))) == 4  # type+ds+dim+measure
