@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 from ..rdf.terms import IRI, BNode, Literal, Subject, Term
 from ..rdf.vocab import RDF, RDFS
+from ..sparql.eval import QueryEngine
+from ..sparql.nodes import DescribeQuery
 from ..store.base import TripleSource
 
 __all__ = ["PropertyRow", "ResourceView", "ResourceBrowser", "LinkNavigator"]
@@ -64,9 +66,15 @@ class ResourceView:
 class ResourceBrowser:
     """Builds :class:`ResourceView` pages from a triple source."""
 
-    def __init__(self, store: TripleSource, max_incoming: int = 50) -> None:
+    def __init__(
+        self,
+        store: TripleSource,
+        max_incoming: int = 50,
+        engine: QueryEngine | None = None,
+    ) -> None:
         self.store = store
         self.max_incoming = max_incoming
+        self.engine = engine if engine is not None else QueryEngine(store)
 
     def label(self, resource: Subject) -> str:
         for _, _, o in self.store.triples((resource, RDFS.label, None)):
@@ -77,10 +85,16 @@ class ResourceBrowser:
         return str(resource)
 
     def describe(self, resource: Subject) -> ResourceView:
-        """The property-value page for ``resource``."""
+        """The property-value page for ``resource``.
+
+        A browser page *is* a DESCRIBE query — the engine returns the
+        resource's concise description graph (outgoing plus incoming
+        triples), and the view is shaped from that graph.
+        """
+        description = self.engine.query(DescribeQuery(resources=(resource,)))
         by_predicate: dict[IRI, list[Term]] = {}
         types: list[IRI] = []
-        for _, p, o in self.store.triples((resource, None, None)):
+        for _, p, o in description.triples((resource, None, None)):
             if p == RDF.type and isinstance(o, IRI):
                 types.append(o)
             else:
@@ -90,7 +104,7 @@ class ResourceBrowser:
             for p, values in sorted(by_predicate.items())
         ]
         incoming: list[tuple[Subject, IRI]] = []
-        for s, p, _ in self.store.triples((None, None, resource)):
+        for s, p, _ in description.triples((None, None, resource)):
             incoming.append((s, p))
             if len(incoming) >= self.max_incoming:
                 break

@@ -14,8 +14,21 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from ..rdf.terms import IRI, BNode, Literal, Subject, Term
+from ..rdf.terms import IRI, BNode, Literal, Subject, Term, Variable
 from ..rdf.vocab import RDF
+from ..sparql.eval import QueryEngine
+from ..sparql.nodes import (
+    BinaryExpr,
+    FilterPattern,
+    FunctionCall,
+    GroupGraphPattern,
+    Projection,
+    SelectQuery,
+    TermExpr,
+    TriplePatternNode,
+    ValuesPattern,
+    VariableExpr,
+)
 from ..store.base import TripleSource
 
 __all__ = ["FacetValue", "Facet", "FacetedBrowser"]
@@ -58,8 +71,14 @@ class FacetedBrowser:
     >>> browser.pivot(knows)                     # focus = linked objects
     """
 
-    def __init__(self, store: TripleSource, focus: set[Subject] | None = None) -> None:
+    def __init__(
+        self,
+        store: TripleSource,
+        focus: set[Subject] | None = None,
+        engine: QueryEngine | None = None,
+    ) -> None:
         self.store = store
+        self.engine = engine if engine is not None else QueryEngine(store)
         if focus is None:
             focus = {s for s, _, _ in store.triples((None, None, None))}
         self._initial_focus = set(focus)
@@ -125,25 +144,49 @@ class FacetedBrowser:
     # -- refinement -----------------------------------------------------------
 
     def select(self, predicate: IRI, value: Term) -> int:
-        """Add the constraint ``predicate = value``; returns new focus size."""
-        matching = {
-            s for s, _, _ in self.store.triples((None, predicate, value))
-        }
-        self.focus &= matching
+        """Add the constraint ``predicate = value``; returns new focus size.
+
+        Refinements are queries: the constraint runs through the engine's
+        plan pipeline as ``SELECT ?s WHERE { ?s <predicate> value }``.
+        """
+        subject = Variable("s")
+        result = self.engine.query(
+            SelectQuery(
+                projections=(Projection(subject),),
+                where=GroupGraphPattern((TriplePatternNode(subject, predicate, value),)),
+            )
+        )
+        self.focus &= {row[subject] for row in result.rows if subject in row}
         self.constraints.append((predicate, value))
         return len(self.focus)
 
     def select_range(self, predicate: IRI, low: float, high: float) -> int:
         """Numeric range constraint ``low <= value < high`` (SynopsViz-style
-        interval facets for numeric properties)."""
-        matching: set[Subject] = set()
-        for s, _, o in self.store.triples((None, predicate, None)):
-            if isinstance(o, Literal):
-                value = o.value
-                if isinstance(value, (int, float)) and not isinstance(value, bool):
-                    if low <= float(value) < high:
-                        matching.add(s)
-        self.focus &= matching
+        interval facets for numeric properties), evaluated as a FILTER
+        query through the engine."""
+        subject, value_var = Variable("s"), Variable("v")
+        window = BinaryExpr(
+            "&&",
+            BinaryExpr(">=", VariableExpr(value_var), TermExpr(Literal(float(low)))),
+            BinaryExpr("<", VariableExpr(value_var), TermExpr(Literal(float(high)))),
+        )
+        # ISNUMERIC guard: comparisons fall back to string order for
+        # non-numeric literals, but a range facet only matches numbers.
+        condition = BinaryExpr(
+            "&&", FunctionCall("ISNUMERIC", (VariableExpr(value_var),)), window
+        )
+        result = self.engine.query(
+            SelectQuery(
+                projections=(Projection(subject),),
+                where=GroupGraphPattern(
+                    (
+                        TriplePatternNode(subject, predicate, value_var),
+                        FilterPattern(condition),
+                    )
+                ),
+            )
+        )
+        self.focus &= {row[subject] for row in result.rows if subject in row}
         self.constraints.append((predicate, Literal(f"[{low}, {high})")))
         return len(self.focus)
 
@@ -174,14 +217,30 @@ class FacetedBrowser:
         """Re-focus on the objects linked from the focus via ``predicate``.
 
         Returns a *new* browser (multi-pivot exploration keeps the old one
-        alive, as in Visor).
+        alive, as in Visor). The link traversal runs through the engine as
+        ``SELECT ?o WHERE { VALUES ?s { <focus...> } ?s <predicate> ?o }``.
         """
-        targets: set[Subject] = set()
-        for subject in self.focus:
-            for _, _, o in self.store.triples((subject, predicate, None)):
-                if isinstance(o, (IRI, BNode)):
-                    targets.add(o)
-        return FacetedBrowser(self.store, focus=targets)
+        subject, target = Variable("s"), Variable("o")
+        result = self.engine.query(
+            SelectQuery(
+                projections=(Projection(target),),
+                where=GroupGraphPattern(
+                    (
+                        ValuesPattern(
+                            (subject,),
+                            tuple((s,) for s in sorted(self.focus, key=str)),
+                        ),
+                        TriplePatternNode(subject, predicate, target),
+                    )
+                ),
+            )
+        )
+        targets: set[Subject] = {
+            row[target]
+            for row in result.rows
+            if target in row and isinstance(row[target], (IRI, BNode))
+        }
+        return FacetedBrowser(self.store, focus=targets, engine=self.engine)
 
     def __len__(self) -> int:
         return len(self.focus)

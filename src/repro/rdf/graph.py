@@ -49,6 +49,7 @@ class Graph:
             lambda: defaultdict(set)
         )
         self._size = 0
+        self._stats = None  # cached StatisticsSnapshot, dropped on mutation
         self.namespace_manager = namespace_manager or default_namespace_manager()
         if triples is not None:
             for triple in triples:
@@ -69,6 +70,7 @@ class Graph:
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        self._stats = None
         return True
 
     def add_all(self, triples: Iterable[Triple | tuple]) -> int:
@@ -95,6 +97,8 @@ class Graph:
                 if not self._osp[o]:
                     del self._osp[o]
         self._size -= len(victims)
+        if victims:
+            self._stats = None
         return len(victims)
 
     # ------------------------------------------------------------------ #
@@ -169,6 +173,27 @@ class Graph:
         if o is not None and s is None and p is None:
             return sum(len(preds) for preds in self._osp.get(o, {}).values())
         return sum(1 for _ in self.triples(pattern))
+
+    def statistics(self):
+        """Cached store statistics (the SPARQL optimizer's cost input).
+
+        Returns a :class:`repro.store.base.StatisticsSnapshot`; imported
+        lazily because :mod:`repro.store` depends on this module.
+        """
+        if self._stats is None:
+            from ..store.base import StatisticsSnapshot
+
+            self._stats = StatisticsSnapshot(
+                triple_count=self._size,
+                distinct_subjects=len(self._spo),
+                distinct_predicates=len(self._pos),
+                distinct_objects=len(self._osp),
+                predicate_cardinalities={
+                    p: sum(len(subjs) for subjs in by_obj.values())
+                    for p, by_obj in self._pos.items()
+                },
+            )
+        return self._stats
 
     def __contains__(self, triple: Triple | tuple) -> bool:
         s, p, o = triple

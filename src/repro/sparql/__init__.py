@@ -16,7 +16,7 @@ The WoD's query endpoint language (survey Section 2): parse with
 """
 
 from .cached import CachedQueryEngine
-from .eval import EvalStats, QueryEngine, query
+from .eval import EvalStats, ExplainNode, QueryEngine, query
 from .lexer import SparqlSyntaxError, tokenize
 from .nodes import (
     AskQuery,
@@ -25,24 +25,30 @@ from .nodes import (
     Query,
     SelectQuery,
 )
-from .optimizer import estimate_cardinality, order_patterns
+from .optimizer import CardinalityEstimator, estimate_cardinality, order_patterns
 from .parser import parse_query
+from .plan import optimize_plan, plan_digest, query_digest
 from .results import SelectResult
 
 __all__ = [
     "AskQuery",
     "CachedQueryEngine",
+    "CardinalityEstimator",
     "ConstructQuery",
     "DescribeQuery",
     "EvalStats",
+    "ExplainNode",
     "Query",
     "QueryEngine",
     "SelectQuery",
     "SelectResult",
     "SparqlSyntaxError",
     "estimate_cardinality",
+    "optimize_plan",
     "order_patterns",
     "parse_query",
+    "plan_digest",
     "query",
+    "query_digest",
     "tokenize",
 ]

@@ -4,7 +4,10 @@ Exploration sessions re-issue queries constantly — every back-navigation,
 facet deselection, or dashboard refresh repeats earlier work.
 :class:`CachedQueryEngine` wraps :class:`~repro.sparql.eval.QueryEngine`
 with a bounded :class:`~repro.cache.result_cache.ResultCache` keyed on the
-query text, with explicit invalidation for when the store changes.
+digest of the *optimized logical plan*, with explicit invalidation for when
+the store changes. Plan-keying means syntactically different but
+plan-equivalent queries (whitespace, prefix renaming, reordered constant
+filters) share one cache entry.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ class CachedQueryEngine:
     def query(self, text: str):
         if not isinstance(text, str):
             return self.engine.query(text)
-        return self.cache.get_or_compute(text, lambda: self.engine.query(text))
+        key = self.engine.plan_digest(text)
+        return self.cache.get_or_compute(key, lambda: self.engine.query(text))
 
     def invalidate(self) -> None:
         """Drop all cached results (call after mutating the store)."""

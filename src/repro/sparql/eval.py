@@ -1,81 +1,62 @@
-"""SPARQL evaluation over any :class:`~repro.store.base.TripleSource`.
+"""SPARQL query engine: orchestration over the plan pipeline.
 
-The evaluator is pull-based (generators all the way down): solutions stream
-out of index lookups one at a time, so LIMIT-ed exploratory queries — the
-dominant shape in the survey's interactive setting — touch only as much of
-the store as they need.
+Evaluation is a three-stage pipeline (survey §2/§4: efficient evaluation is
+a precondition for interactive exploration)::
+
+    parse → logical plan (:mod:`repro.sparql.plan`, cost-independent
+    rewrites) → cost-based ordering (:mod:`repro.sparql.optimizer`,
+    statistics-backed) → streaming physical operators
+    (:mod:`repro.sparql.physical`)
+
+:class:`QueryEngine` only dispatches on the query form, builds the operator
+tree, and shapes results; all value semantics live in
+:mod:`repro.sparql.expr` and all execution in the operators. Stores that
+publish a :class:`~repro.store.base.StatisticsSnapshot` are planned without
+a single index access; :meth:`QueryEngine.explain` exposes the chosen plan
+with estimated and actual cardinalities per operator.
 """
 
 from __future__ import annotations
 
-import math
-import re
 from dataclasses import dataclass, field
-from typing import Iterator
 
 from ..rdf.graph import Graph
-from ..rdf.terms import BNode, IRI, Literal, Term, Triple, Variable, term_sort_key
+from ..rdf.terms import BNode, IRI, Term, Variable
 from ..store.base import TripleSource
-from .algebra import (
-    BGP,
-    AlgebraNode,
-    Extend,
-    Filter,
-    Join,
-    LeftJoin,
-    Union,
-    Values,
-    translate_group,
-)
+from .expr import instantiate
 from .nodes import (
-    AggregateExpr,
     AskQuery,
-    BinaryExpr,
     ConstructQuery,
     DescribeQuery,
-    Expression,
-    FunctionCall,
-    Projection,
     Query,
     SelectQuery,
-    TermExpr,
-    TriplePatternNode,
-    UnaryExpr,
-    VariableExpr,
 )
-from .optimizer import order_patterns
+from .optimizer import CardinalityEstimator
 from .parser import parse_query
+from .physical import EvalStats, ExplainNode, PhysicalOperator, build_plan
+from .plan import (
+    LogicalNode,
+    LogicalSlice,
+    build_pattern_plan,
+    build_select_plan,
+    optimize_plan,
+    query_digest,
+)
 from .results import SelectResult
 
-__all__ = ["QueryEngine", "EvalStats", "query"]
-
-Binding = dict[Variable, Term]
-
-
-class _ExprError(Exception):
-    """SPARQL expression error (type error, unbound variable, ...)."""
-
-
-@dataclass
-class EvalStats:
-    """Counters used by the C10 optimizer benchmark."""
-
-    store_lookups: int = 0
-    intermediate_bindings: int = 0
-    solutions: int = 0
-
-    def reset(self) -> None:
-        self.store_lookups = 0
-        self.intermediate_bindings = 0
-        self.solutions = 0
+__all__ = ["EvalStats", "ExplainNode", "QueryEngine", "query"]
 
 
 @dataclass
 class QueryEngine:
     """Evaluates parsed queries against a triple source.
 
-    ``optimize=False`` disables join reordering (evaluates BGPs in textual
-    order) — the baseline the C10 benchmark compares against.
+    ``optimize=False`` disables every plan rewrite and evaluates BGPs in
+    textual order — the baseline the C10 benchmark compares against.
+
+    ``stats`` accumulates across queries until :meth:`EvalStats.reset` is
+    called on it; each :class:`SelectResult` additionally carries the
+    per-query counters of the run that produced it.
     """
 
     store: TripleSource
@@ -93,87 +74,127 @@ class QueryEngine:
         CONSTRUCT/DESCRIBE → :class:`~repro.rdf.graph.Graph`.
         """
         parsed = parse_query(text) if isinstance(text, str) else text
+        per_query = EvalStats()
         if isinstance(parsed, SelectQuery):
-            return self._eval_select(parsed)
-        if isinstance(parsed, AskQuery):
-            return self._eval_ask(parsed)
-        if isinstance(parsed, ConstructQuery):
-            return self._eval_construct(parsed)
-        if isinstance(parsed, DescribeQuery):
-            return self._eval_describe(parsed)
-        raise TypeError(f"unsupported query type: {type(parsed).__name__}")
+            result = self._eval_select(parsed, per_query)
+        elif isinstance(parsed, AskQuery):
+            result = self._eval_ask(parsed, per_query)
+        elif isinstance(parsed, ConstructQuery):
+            result = self._eval_construct(parsed, per_query)
+        elif isinstance(parsed, DescribeQuery):
+            result = self._eval_describe(parsed, per_query)
+        else:
+            raise TypeError(f"unsupported query type: {type(parsed).__name__}")
+        self.stats.merge(per_query)
+        return result
+
+    def explain(self, text: str | Query, analyze: bool = True) -> ExplainNode:
+        """The physical plan as an :class:`ExplainNode` tree.
+
+        With ``analyze=True`` (the default) the plan is executed first, so
+        every node reports its actual row count next to the planner's
+        estimate; with ``analyze=False`` only estimates are filled in and
+        the store is not touched.
+        """
+        parsed = parse_query(text) if isinstance(text, str) else text
+        per_query = EvalStats()
+        root = self._build_root(parsed, per_query)
+        if root is None:  # DESCRIBE without a WHERE clause has no plan
+            detail = ", ".join(r.n3() for r in parsed.resources)
+            return ExplainNode("Describe", detail, None, None, ())
+        if analyze:
+            for _ in root.execute({}):
+                pass
+            self.stats.merge(per_query)
+        return root.explain()
+
+    def plan_digest(self, text: str | Query) -> str:
+        """Stable digest of the optimized logical plan (result-cache key)."""
+        parsed = parse_query(text) if isinstance(text, str) else text
+        return query_digest(parsed, optimize=self.optimize)
+
+    # ------------------------------------------------------------------ #
+    # Pipeline assembly
+    # ------------------------------------------------------------------ #
+
+    def _estimator(self) -> CardinalityEstimator | None:
+        # The unoptimized baseline plans nothing, so it also estimates
+        # nothing — zero store access beyond execution itself.
+        if not self.optimize:
+            return None
+        return CardinalityEstimator.for_store(self.store)
+
+    def _logical(self, parsed: Query) -> LogicalNode | None:
+        if isinstance(parsed, SelectQuery):
+            node: LogicalNode = build_select_plan(parsed)
+        elif isinstance(parsed, AskQuery):
+            node = build_pattern_plan(parsed.where)
+        elif isinstance(parsed, ConstructQuery):
+            node = build_pattern_plan(parsed.where)
+            if parsed.limit is not None or parsed.offset:
+                node = LogicalSlice(node, parsed.limit, parsed.offset)
+        elif isinstance(parsed, DescribeQuery):
+            if parsed.where is None:
+                return None
+            node = build_pattern_plan(parsed.where)
+        else:
+            raise TypeError(f"unsupported query type: {type(parsed).__name__}")
+        if self.optimize:
+            node = optimize_plan(node)
+        return node
+
+    def _build_root(
+        self, parsed: Query, per_query: EvalStats
+    ) -> PhysicalOperator | None:
+        logical = self._logical(parsed)
+        if logical is None:
+            return None
+        return build_plan(
+            logical, self.store, per_query, self._estimator(), optimize=self.optimize
+        )
 
     # ------------------------------------------------------------------ #
     # Query forms
     # ------------------------------------------------------------------ #
 
-    def _eval_select(self, q: SelectQuery) -> SelectResult:
-        solutions = list(self._eval_node(translate_group(q.where), {}))
-        has_aggregates = bool(q.group_by) or any(
-            p.expression is not None and _contains_aggregate(p.expression)
-            for p in q.projections
-        )
-        if has_aggregates:
-            rows = self._aggregate_rows(q, solutions)
-        else:
-            rows = []
-            for binding in solutions:
-                row: Binding = {}
-                if q.select_all:
-                    row = dict(binding)
-                else:
-                    for projection in q.projections:
-                        value = self._project_value(projection, binding)
-                        if value is not None:
-                            row[projection.variable] = value
-                rows.append(row)
-
-        if q.order_by:
-            rows = self._order_rows(rows, q)
-        if q.distinct:
-            rows = _distinct_rows(rows)
-        if q.offset:
-            rows = rows[q.offset :]
-        if q.limit is not None:
-            rows = rows[: q.limit]
-
+    def _eval_select(self, q: SelectQuery, per_query: EvalStats) -> SelectResult:
+        root = self._build_root(q, per_query)
+        rows = list(root.execute({}))
         if q.select_all:
             variables = sorted({v for row in rows for v in row}, key=str)
         else:
             variables = [p.variable for p in q.projections]
-        self.stats.solutions += len(rows)
-        return SelectResult(variables, rows)
+        per_query.solutions += len(rows)
+        return SelectResult(variables, rows, stats=per_query, plan=root.explain())
 
-    def _eval_ask(self, q: AskQuery) -> bool:
-        for _ in self._eval_node(translate_group(q.where), {}):
+    def _eval_ask(self, q: AskQuery, per_query: EvalStats) -> bool:
+        root = self._build_root(q, per_query)
+        for _ in root.execute({}):
             return True
         return False
 
-    def _eval_construct(self, q: ConstructQuery) -> Graph:
+    def _eval_construct(self, q: ConstructQuery, per_query: EvalStats) -> Graph:
+        root = self._build_root(q, per_query)
         graph = Graph()
-        produced = 0
-        skipped = q.offset
-        for binding in self._eval_node(translate_group(q.where), {}):
-            if skipped:
-                skipped -= 1
-                continue
+        for binding in root.execute({}):
             for template in q.template:
-                triple = _instantiate(template, binding)
+                triple = instantiate(template, binding)
                 if triple is not None:
                     graph.add(triple)
-            produced += 1
-            if q.limit is not None and produced >= q.limit:
-                break
         return graph
 
-    def _eval_describe(self, q: DescribeQuery) -> Graph:
+    def _eval_describe(self, q: DescribeQuery, per_query: EvalStats) -> Graph:
         graph = Graph()
         resources: set[Term] = set()
+        bindings: list | None = None
         for resource in q.resources:
             if isinstance(resource, Variable):
                 if q.where is None:
                     raise ValueError("DESCRIBE with variables needs a WHERE clause")
-                for binding in self._eval_node(translate_group(q.where), {}):
+                if bindings is None:
+                    root = self._build_root(q, per_query)
+                    bindings = list(root.execute({}))
+                for binding in bindings:
                     if resource in binding:
                         resources.add(binding[resource])
             else:
@@ -185,596 +206,6 @@ class QueryEngine:
             for triple in self.store.triples((None, None, resource)):
                 graph.add(triple)
         return graph
-
-    # ------------------------------------------------------------------ #
-    # Algebra evaluation
-    # ------------------------------------------------------------------ #
-
-    def _eval_node(self, node: AlgebraNode, binding: Binding) -> Iterator[Binding]:
-        if isinstance(node, BGP):
-            yield from self._eval_bgp(node.patterns, binding)
-        elif isinstance(node, Join):
-            for left in self._eval_node(node.left, binding):
-                yield from self._eval_node(node.right, left)
-        elif isinstance(node, LeftJoin):
-            for left in self._eval_node(node.left, binding):
-                matched = False
-                for joined in self._eval_node(node.right, left):
-                    matched = True
-                    yield joined
-                if not matched:
-                    yield left
-        elif isinstance(node, Union):
-            for branch in node.branches:
-                yield from self._eval_node(branch, binding)
-        elif isinstance(node, Values):
-            for row in node.pattern.rows:
-                extended = dict(binding)
-                compatible = True
-                for variable, term in zip(node.pattern.variables, row):
-                    if term is None:  # UNDEF constrains nothing
-                        continue
-                    bound = extended.get(variable)
-                    if bound is None:
-                        extended[variable] = term
-                    elif bound != term:
-                        compatible = False
-                        break
-                if compatible:
-                    yield extended
-        elif isinstance(node, Filter):
-            for solution in self._eval_node(node.input, binding):
-                try:
-                    if _ebv(self._eval_expr(node.expression, solution)):
-                        yield solution
-                except _ExprError:
-                    continue
-        elif isinstance(node, Extend):
-            for solution in self._eval_node(node.input, binding):
-                try:
-                    value = _to_term(self._eval_expr(node.expression, solution))
-                except _ExprError:
-                    yield solution
-                    continue
-                if node.variable in solution:
-                    continue  # BIND on a bound variable: no solution
-                extended = dict(solution)
-                extended[node.variable] = value
-                yield extended
-        else:  # pragma: no cover
-            raise TypeError(f"unknown algebra node: {node!r}")
-
-    def _eval_bgp(
-        self, patterns: tuple[TriplePatternNode, ...], binding: Binding
-    ) -> Iterator[Binding]:
-        if not patterns:
-            yield dict(binding)
-            return
-        ordered = (
-            order_patterns(self.store, patterns) if self.optimize else list(patterns)
-        )
-
-        def recurse(index: int, current: Binding) -> Iterator[Binding]:
-            if index == len(ordered):
-                yield current
-                return
-            pattern = ordered[index]
-            lookup = tuple(
-                _resolve(term, current) for term in (
-                    pattern.subject, pattern.predicate, pattern.object
-                )
-            )
-            store_pattern = tuple(
-                None if isinstance(t, Variable) else t for t in lookup
-            )
-            self.stats.store_lookups += 1
-            for triple in self.store.triples(store_pattern):
-                extended = _unify(lookup, triple, current)
-                if extended is not None:
-                    self.stats.intermediate_bindings += 1
-                    yield from recurse(index + 1, extended)
-
-        yield from recurse(0, dict(binding))
-
-    # ------------------------------------------------------------------ #
-    # Aggregation
-    # ------------------------------------------------------------------ #
-
-    def _aggregate_rows(self, q: SelectQuery, solutions: list[Binding]) -> list[Binding]:
-        groups: dict[tuple, list[Binding]] = {}
-        if q.group_by:
-            for solution in solutions:
-                key = tuple(
-                    _group_key(self._try_expr(expr, solution)) for expr in q.group_by
-                )
-                groups.setdefault(key, []).append(solution)
-        else:
-            groups[()] = solutions  # implicit single group (may be empty)
-
-        rows: list[Binding] = []
-        for _, members in sorted(groups.items(), key=lambda kv: str(kv[0])):
-            representative = members[0] if members else {}
-            row: Binding = {}
-            ok = True
-            for projection in q.projections:
-                if projection.expression is None:
-                    value = representative.get(projection.variable)
-                else:
-                    try:
-                        value = _to_term(
-                            self._eval_group_expr(projection.expression, members, representative)
-                        )
-                    except _ExprError:
-                        value = None
-                if value is not None:
-                    row[projection.variable] = value
-            if q.having is not None:
-                try:
-                    ok = _ebv(self._eval_group_expr(q.having, members, representative))
-                except _ExprError:
-                    ok = False
-            if ok:
-                rows.append(row)
-        return rows
-
-    def _eval_group_expr(
-        self, expression: Expression, members: list[Binding], representative: Binding
-    ):
-        if isinstance(expression, AggregateExpr):
-            return self._eval_aggregate(expression, members)
-        if isinstance(expression, BinaryExpr):
-            return _apply_binary(
-                expression.operator,
-                lambda: self._eval_group_expr(expression.left, members, representative),
-                lambda: self._eval_group_expr(expression.right, members, representative),
-            )
-        if isinstance(expression, UnaryExpr):
-            return _apply_unary(
-                expression.operator,
-                self._eval_group_expr(expression.operand, members, representative),
-            )
-        if isinstance(expression, FunctionCall):
-            args = [
-                self._eval_group_expr(arg, members, representative)
-                for arg in expression.args
-            ]
-            return _apply_function(expression.name, args, expression, representative)
-        return self._eval_expr(expression, representative)
-
-    def _eval_aggregate(self, agg: AggregateExpr, members: list[Binding]):
-        if agg.name == "COUNT" and agg.argument is None:
-            return len(members)
-        values = []
-        for member in members:
-            value = self._try_expr(agg.argument, member)
-            if value is not None:
-                values.append(value)
-        if agg.distinct:
-            seen = set()
-            unique = []
-            for value in values:
-                key = _group_key(value)
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(value)
-            values = unique
-        if agg.name == "COUNT":
-            return len(values)
-        if agg.name == "SAMPLE":
-            if not values:
-                raise _ExprError("SAMPLE over empty group")
-            return values[0]
-        if agg.name == "GROUP_CONCAT":
-            return agg.separator.join(_string_value(v) for v in values)
-        numbers = [_numeric(v) for v in values]
-        if not numbers:
-            if agg.name == "SUM":
-                return 0
-            raise _ExprError(f"{agg.name} over empty group")
-        if agg.name == "SUM":
-            return sum(numbers)
-        if agg.name == "AVG":
-            return sum(numbers) / len(numbers)
-        if agg.name == "MIN":
-            return min(numbers)
-        if agg.name == "MAX":
-            return max(numbers)
-        raise _ExprError(f"unknown aggregate {agg.name}")
-
-    # ------------------------------------------------------------------ #
-    # Expression helpers
-    # ------------------------------------------------------------------ #
-
-    def _project_value(self, projection: Projection, binding: Binding) -> Term | None:
-        if projection.expression is None:
-            return binding.get(projection.variable)
-        try:
-            return _to_term(self._eval_expr(projection.expression, binding))
-        except _ExprError:
-            return None
-
-    def _try_expr(self, expression: Expression | None, binding: Binding):
-        if expression is None:
-            return None
-        try:
-            return self._eval_expr(expression, binding)
-        except _ExprError:
-            return None
-
-    def _eval_expr(self, expression: Expression, binding: Binding):
-        if isinstance(expression, VariableExpr):
-            value = binding.get(expression.variable)
-            if value is None:
-                raise _ExprError(f"unbound variable ?{expression.variable}")
-            return value
-        if isinstance(expression, TermExpr):
-            return expression.term
-        if isinstance(expression, UnaryExpr):
-            if expression.operator == "!":
-                # '!' needs EBV, not a raw value
-                return not _ebv(self._eval_expr(expression.operand, binding))
-            return _apply_unary(
-                expression.operator, self._eval_expr(expression.operand, binding)
-            )
-        if isinstance(expression, BinaryExpr):
-            return _apply_binary(
-                expression.operator,
-                lambda: self._eval_expr(expression.left, binding),
-                lambda: self._eval_expr(expression.right, binding),
-            )
-        if isinstance(expression, FunctionCall):
-            if expression.name == "BOUND":
-                arg = expression.args[0]
-                if not isinstance(arg, VariableExpr):
-                    raise _ExprError("BOUND needs a variable")
-                return arg.variable in binding
-            if expression.name == "COALESCE":
-                for arg in expression.args:
-                    try:
-                        return self._eval_expr(arg, binding)
-                    except _ExprError:
-                        continue
-                raise _ExprError("COALESCE: all arguments errored")
-            if expression.name == "IF":
-                condition = _ebv(self._eval_expr(expression.args[0], binding))
-                chosen = expression.args[1] if condition else expression.args[2]
-                return self._eval_expr(chosen, binding)
-            args = [self._eval_expr(arg, binding) for arg in expression.args]
-            return _apply_function(expression.name, args, expression, binding)
-        if isinstance(expression, AggregateExpr):
-            raise _ExprError("aggregate outside GROUP BY context")
-        raise _ExprError(f"unknown expression {expression!r}")
-
-    def _order_rows(self, rows: list[Binding], q: SelectQuery) -> list[Binding]:
-        def key(row: Binding):
-            parts = []
-            for condition in q.order_by:
-                try:
-                    value = self._eval_expr(condition.expression, row)
-                except _ExprError:
-                    parts.append((0,))  # unbound sorts first
-                    continue
-                term = _to_term(value)
-                sort_key = term_sort_key(term)
-                if condition.descending:
-                    parts.append(_Reversed(sort_key))
-                else:
-                    parts.append(sort_key)
-            return tuple(parts)
-
-        return sorted(rows, key=key)
-
-
-class _Reversed:
-    """Inverts comparison for DESC sort keys."""
-
-    __slots__ = ("key",)
-
-    def __init__(self, key: object) -> None:
-        self.key = key
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.key < self.key
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Reversed) and self.key == other.key
-
-
-# --------------------------------------------------------------------------- #
-# Pure helpers
-# --------------------------------------------------------------------------- #
-
-
-def _resolve(term, binding: Binding):
-    if isinstance(term, Variable):
-        return binding.get(term, term)
-    return term
-
-
-def _unify(lookup: tuple, triple: Triple, binding: Binding) -> Binding | None:
-    """Bind the variables of ``lookup`` against a concrete triple."""
-    result = binding
-    copied = False
-    for pattern_term, value in zip(lookup, triple):
-        if isinstance(pattern_term, Variable):
-            bound = result.get(pattern_term)
-            if bound is None:
-                if not copied:
-                    result = dict(result)
-                    copied = True
-                result[pattern_term] = value
-            elif bound != value:
-                return None
-    return result if copied else dict(result)
-
-
-def _instantiate(template: TriplePatternNode, binding: Binding) -> Triple | None:
-    s = _resolve(template.subject, binding)
-    p = _resolve(template.predicate, binding)
-    o = _resolve(template.object, binding)
-    if isinstance(s, Variable) or isinstance(p, Variable) or isinstance(o, Variable):
-        return None
-    if not isinstance(s, (IRI, BNode)) or not isinstance(p, IRI):
-        return None
-    if not isinstance(o, (IRI, BNode, Literal)):
-        return None
-    return Triple(s, p, o)
-
-
-def _contains_aggregate(expression: Expression) -> bool:
-    if isinstance(expression, AggregateExpr):
-        return True
-    if isinstance(expression, UnaryExpr):
-        return _contains_aggregate(expression.operand)
-    if isinstance(expression, BinaryExpr):
-        return _contains_aggregate(expression.left) or _contains_aggregate(expression.right)
-    if isinstance(expression, FunctionCall):
-        return any(_contains_aggregate(arg) for arg in expression.args)
-    return False
-
-
-def _ebv(value) -> bool:
-    """SPARQL effective boolean value."""
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, (int, float)):
-        return value != 0 and not (isinstance(value, float) and math.isnan(value))
-    if isinstance(value, str) and not isinstance(value, (IRI, BNode)):
-        return len(value) > 0
-    if isinstance(value, Literal):
-        native = value.value
-        if isinstance(native, bool):
-            return native
-        if isinstance(native, (int, float)):
-            return _ebv(native)
-        return len(value.lexical) > 0
-    raise _ExprError(f"no effective boolean value for {value!r}")
-
-
-def _numeric(value) -> float | int:
-    if isinstance(value, bool):
-        raise _ExprError("boolean is not numeric")
-    if isinstance(value, (int, float)):
-        return value
-    if isinstance(value, Literal):
-        native = value.value
-        if isinstance(native, (int, float)) and not isinstance(native, bool):
-            return native
-    raise _ExprError(f"not a number: {value!r}")
-
-
-def _string_value(value) -> str:
-    if isinstance(value, Literal):
-        return value.lexical
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, (int, float)):
-        return str(value)
-    return str(value)
-
-
-def _to_term(value) -> Term:
-    if isinstance(value, (IRI, BNode, Literal)):
-        return value
-    if isinstance(value, bool):
-        return Literal(value)
-    if isinstance(value, int):
-        return Literal(value)
-    if isinstance(value, float):
-        return Literal(value)
-    if isinstance(value, str):
-        return Literal(value)
-    raise _ExprError(f"cannot convert {value!r} to an RDF term")
-
-
-def _group_key(value):
-    if isinstance(value, Literal):
-        return ("lit", value.lexical, value.datatype, value.lang)
-    if isinstance(value, (IRI, BNode)):
-        return (type(value).__name__, str(value))
-    return ("py", value)
-
-
-def _values_equal(a, b) -> bool:
-    try:
-        return _numeric(a) == _numeric(b)
-    except _ExprError:
-        pass
-    if isinstance(a, Literal) and isinstance(b, Literal):
-        return a == b
-    if isinstance(a, Literal) or isinstance(b, Literal):
-        lit, other = (a, b) if isinstance(a, Literal) else (b, a)
-        if isinstance(other, (IRI, BNode)):
-            return False
-        if isinstance(other, bool):
-            return lit.value is other
-        if isinstance(other, str):
-            return lit.lang is None and lit.lexical == other
-        return False
-    # IRI and BNode subclass str, so require matching kinds before comparing.
-    if isinstance(a, (IRI, BNode)) or isinstance(b, (IRI, BNode)):
-        return type(a) is type(b) and str(a) == str(b)
-    return a == b
-
-
-def _compare(op: str, a, b) -> bool:
-    if op == "=":
-        return _values_equal(a, b)
-    if op == "!=":
-        return not _values_equal(a, b)
-    try:
-        left, right = _numeric(a), _numeric(b)
-    except _ExprError:
-        left, right = _string_value(a), _string_value(b)
-        if isinstance(a, (IRI, BNode)) != isinstance(b, (IRI, BNode)):
-            raise _ExprError(f"incomparable values {a!r} and {b!r}") from None
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == ">":
-        return left > right
-    if op == ">=":
-        return left >= right
-    raise _ExprError(f"unknown comparison {op}")
-
-
-def _apply_unary(op: str, value):
-    if op == "!":
-        return not _ebv(value)
-    if op == "-":
-        return -_numeric(value)
-    if op == "+":
-        return _numeric(value)
-    raise _ExprError(f"unknown unary operator {op}")
-
-
-def _apply_binary(op: str, left_thunk, right_thunk):
-    if op == "&&":
-        return _ebv(left_thunk()) and _ebv(right_thunk())
-    if op == "||":
-        try:
-            if _ebv(left_thunk()):
-                return True
-        except _ExprError:
-            return _ebv(right_thunk()) or _raise(_ExprError("|| left errored, right false"))
-        return _ebv(right_thunk())
-    left = left_thunk()
-    right = right_thunk()
-    if op in ("=", "!=", "<", "<=", ">", ">="):
-        return _compare(op, left, right)
-    if op == "IN":
-        if not (isinstance(right, tuple)):
-            raise _ExprError("IN needs a list")
-        return any(_values_equal(left, item) for item in right)
-    a, b = _numeric(left), _numeric(right)
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        if b == 0:
-            raise _ExprError("division by zero")
-        return a / b
-    raise _ExprError(f"unknown operator {op}")
-
-
-def _raise(exc: Exception):
-    raise exc
-
-
-_DATE_RE = re.compile(r"^(-?\d{4,})-(\d{2})-(\d{2})")
-
-
-def _apply_function(name: str, args: list, expression: FunctionCall, binding: Binding):
-    if name == "_LIST":
-        return tuple(args)
-    if name == "STR":
-        return _string_value(args[0]) if not isinstance(args[0], IRI) else str(args[0])
-    if name in ("IRI", "URI"):
-        return IRI(_string_value(args[0]))
-    if name == "LANG":
-        if isinstance(args[0], Literal):
-            return args[0].lang or ""
-        raise _ExprError("LANG needs a literal")
-    if name == "LANGMATCHES":
-        tag = _string_value(args[0]).lower()
-        pattern = _string_value(args[1]).lower()
-        if pattern == "*":
-            return bool(tag)
-        return tag == pattern or tag.startswith(pattern + "-")
-    if name == "DATATYPE":
-        if isinstance(args[0], Literal):
-            return IRI(args[0].datatype)
-        raise _ExprError("DATATYPE needs a literal")
-    if name in ("ISIRI", "ISURI"):
-        return isinstance(args[0], IRI)
-    if name == "ISBLANK":
-        return isinstance(args[0], BNode)
-    if name == "ISLITERAL":
-        return isinstance(args[0], Literal)
-    if name == "ISNUMERIC":
-        try:
-            _numeric(args[0])
-            return True
-        except _ExprError:
-            return False
-    if name == "REGEX":
-        flags = re.IGNORECASE if len(args) > 2 and "i" in _string_value(args[2]) else 0
-        return re.search(_string_value(args[1]), _string_value(args[0]), flags) is not None
-    if name == "STRSTARTS":
-        return _string_value(args[0]).startswith(_string_value(args[1]))
-    if name == "STRENDS":
-        return _string_value(args[0]).endswith(_string_value(args[1]))
-    if name == "CONTAINS":
-        return _string_value(args[1]) in _string_value(args[0])
-    if name == "STRLEN":
-        return len(_string_value(args[0]))
-    if name == "UCASE":
-        return _string_value(args[0]).upper()
-    if name == "LCASE":
-        return _string_value(args[0]).lower()
-    if name == "CONCAT":
-        return "".join(_string_value(a) for a in args)
-    if name == "SUBSTR":
-        text = _string_value(args[0])
-        start = int(_numeric(args[1])) - 1  # SPARQL is 1-based
-        if len(args) > 2:
-            return text[start : start + int(_numeric(args[2]))]
-        return text[start:]
-    if name == "REPLACE":
-        return re.sub(_string_value(args[1]), _string_value(args[2]), _string_value(args[0]))
-    if name == "ABS":
-        return abs(_numeric(args[0]))
-    if name == "CEIL":
-        return math.ceil(_numeric(args[0]))
-    if name == "FLOOR":
-        return math.floor(_numeric(args[0]))
-    if name == "ROUND":
-        return round(_numeric(args[0]))
-    if name in ("YEAR", "MONTH", "DAY"):
-        lexical = _string_value(args[0])
-        match = _DATE_RE.match(lexical)
-        if match is None:
-            if name == "YEAR" and re.match(r"^-?\d{4,}$", lexical):
-                return int(lexical)
-            raise _ExprError(f"{name}: not a date literal: {lexical!r}")
-        index = {"YEAR": 1, "MONTH": 2, "DAY": 3}[name]
-        return int(match.group(index))
-    raise _ExprError(f"unknown function {name}")
-
-
-def _distinct_rows(rows: list[Binding]) -> list[Binding]:
-    seen: set[tuple] = set()
-    unique: list[Binding] = []
-    for row in rows:
-        key = tuple(sorted((str(k), _group_key(v)) for k, v in row.items()))
-        if key not in seen:
-            seen.add(key)
-            unique.append(row)
-    return unique
 
 
 def query(store: TripleSource, text: str, optimize: bool = True):

@@ -1,4 +1,4 @@
-"""Selectivity-based join ordering for basic graph patterns.
+"""Cost-based join ordering for basic graph patterns.
 
 Section 2 of the survey demands *efficient* evaluation over large datasets
 during exploration. For BGPs the dominant cost factor is the order in which
@@ -7,9 +7,12 @@ always picking a pattern connected to the variables already bound keeps
 intermediate results small (the classic greedy heuristic used by practical
 RDF engines).
 
-Cardinalities are estimated by asking the store to count the pattern with
-every variable wildcarded — exact for 0/1 bound positions on the indexed
-stores, and a good upper bound otherwise.
+:class:`CardinalityEstimator` is the planner's costing oracle. When the
+store publishes a :class:`~repro.store.base.StatisticsSnapshot` (triple
+count, distinct S/P/O, per-predicate cardinalities) every estimate is
+answered from that cached summary — planning touches no index and issues
+no store calls. Stores without statistics fall back to live
+``store.count`` probes, the pre-statistics behaviour.
 """
 
 from __future__ import annotations
@@ -17,10 +20,10 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..rdf.terms import Variable
-from ..store.base import TripleSource
+from ..store.base import StatisticsSnapshot, StoreStatistics, TripleSource
 from .nodes import TriplePatternNode
 
-__all__ = ["estimate_cardinality", "order_patterns"]
+__all__ = ["CardinalityEstimator", "estimate_cardinality", "order_patterns"]
 
 
 def _to_store_pattern(pattern: TriplePatternNode) -> tuple:
@@ -31,40 +34,111 @@ def _to_store_pattern(pattern: TriplePatternNode) -> tuple:
 
 
 def estimate_cardinality(store: TripleSource, pattern: TriplePatternNode) -> int:
-    """Estimated number of matches for ``pattern`` in ``store``."""
+    """Estimated number of matches for ``pattern`` in ``store`` (live counts).
+
+    Exact for 0 or 3 bound positions — a fully bound pattern matches the
+    one triple it names or nothing at all, so the estimate is ``store.count``
+    (0 or 1), never a blanket 1.
+    """
     s, p, o = _to_store_pattern(pattern)
     bound = sum(term is not None for term in (s, p, o))
     if bound == 0:
         return len(store)
-    if bound == 3:
-        return 1
     return store.count((s, p, o))
+
+
+class CardinalityEstimator:
+    """Plan-time cardinality estimates for triple patterns.
+
+    Built from a :class:`StatisticsSnapshot` when available (zero store
+    access at plan time) or from a live store handle otherwise. Use
+    :meth:`for_store` to pick automatically.
+    """
+
+    __slots__ = ("snapshot", "store")
+
+    def __init__(
+        self,
+        snapshot: StatisticsSnapshot | None = None,
+        store: TripleSource | None = None,
+    ) -> None:
+        if snapshot is None and store is None:
+            raise ValueError("need a statistics snapshot or a store")
+        self.snapshot = snapshot
+        self.store = store
+
+    @classmethod
+    def for_store(cls, store: TripleSource) -> "CardinalityEstimator":
+        if isinstance(store, StoreStatistics):
+            return cls(snapshot=store.statistics())
+        return cls(store=store)
+
+    @property
+    def uses_statistics(self) -> bool:
+        return self.snapshot is not None
+
+    def total_triples(self) -> float:
+        if self.snapshot is not None:
+            return float(self.snapshot.triple_count)
+        return float(len(self.store))
+
+    def pattern_cardinality(self, pattern: TriplePatternNode) -> float:
+        """Estimated matches for one triple pattern."""
+        if self.snapshot is None:
+            return float(estimate_cardinality(self.store, pattern))
+        s, p, o = _to_store_pattern(pattern)
+        stats = self.snapshot
+        n = float(stats.triple_count)
+        if s is None and p is None and o is None:
+            return n
+        if s is not None and p is not None and o is not None:
+            return 1.0 if n else 0.0
+        if p is not None:
+            predicate_total = float(stats.predicate_count(p))
+            if predicate_total == 0.0:
+                return 0.0  # exact: the per-predicate histogram is complete
+            if s is None and o is None:
+                return predicate_total
+            if s is not None:
+                return max(1.0, predicate_total / max(stats.distinct_subjects, 1))
+            return max(1.0, predicate_total / max(stats.distinct_objects, 1))
+        if s is not None and o is not None:
+            denominator = max(stats.distinct_subjects * stats.distinct_objects, 1)
+            return max(1.0, n / denominator)
+        if s is not None:
+            return stats.avg_subject_degree
+        return stats.avg_object_degree
+
+    def order(self, patterns: Iterable[TriplePatternNode]) -> list[TriplePatternNode]:
+        """Greedy selectivity ordering.
+
+        Pick the cheapest pattern first; thereafter prefer patterns that
+        share a variable with the set already chosen (so every join is an
+        index lookup, not a cartesian product), breaking ties by estimated
+        cardinality, then by a stable textual key.
+        """
+        remaining = list(patterns)
+        if len(remaining) <= 1:
+            return remaining
+        costs = {id(p): self.pattern_cardinality(p) for p in remaining}
+        ordered: list[TriplePatternNode] = []
+        bound_vars: set[Variable] = set()
+
+        while remaining:
+            connected = [p for p in remaining if ordered and (p.variables() & bound_vars)]
+            candidates = connected or remaining
+            best = min(candidates, key=lambda p: (costs[id(p)], _pattern_key(p)))
+            ordered.append(best)
+            remaining.remove(best)
+            bound_vars |= best.variables()
+        return ordered
 
 
 def order_patterns(
     store: TripleSource, patterns: Iterable[TriplePatternNode]
 ) -> list[TriplePatternNode]:
-    """Greedy selectivity ordering.
-
-    Pick the cheapest pattern first; thereafter prefer patterns that share a
-    variable with the set already chosen (so every join is an index lookup,
-    not a cartesian product), breaking ties by estimated cardinality.
-    """
-    remaining = list(patterns)
-    if len(remaining) <= 1:
-        return remaining
-    costs = {id(p): estimate_cardinality(store, p) for p in remaining}
-    ordered: list[TriplePatternNode] = []
-    bound_vars: set[Variable] = set()
-
-    while remaining:
-        connected = [p for p in remaining if ordered and (p.variables() & bound_vars)]
-        candidates = connected or remaining
-        best = min(candidates, key=lambda p: (costs[id(p)], _pattern_key(p)))
-        ordered.append(best)
-        remaining.remove(best)
-        bound_vars |= best.variables()
-    return ordered
+    """Greedy selectivity ordering against a store (statistics preferred)."""
+    return CardinalityEstimator.for_store(store).order(patterns)
 
 
 def _pattern_key(pattern: TriplePatternNode) -> str:

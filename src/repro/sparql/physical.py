@@ -1,0 +1,902 @@
+"""Streaming physical operators: the execution stage of the query pipeline.
+
+Every operator is pull-based — ``execute(binding)`` yields solution rows one
+at a time, so LIMIT-ed exploratory queries (the dominant shape in the
+survey's interactive setting) touch only as much of the store as they need.
+Each operator carries its planner *estimate* and counts the rows it
+*actually* produced; :meth:`PhysicalOperator.explain` exposes both as an
+:class:`ExplainNode` tree, the EXPLAIN/EXPLAIN ANALYZE surface.
+
+Join strategy:
+
+* :class:`NestedLoopJoin` — correlated: the right side re-executes once per
+  left row with that row as the ambient binding, so every shared variable
+  becomes a bound index lookup.
+* :class:`HashJoin` — for variable-disjoint subplans (cartesian components
+  of a BGP): the right side is materialized once per distinct ambient
+  context instead of once per left row.
+
+:func:`build_plan` lowers a logical plan (:mod:`repro.sparql.plan`) into an
+operator tree, ordering BGP patterns with a
+:class:`~repro.sparql.optimizer.CardinalityEstimator` and applying
+pushed-down filters at the earliest point their variables are covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..rdf.terms import Term, Variable, term_sort_key
+from ..store.base import TripleSource
+from .expr import (
+    Binding,
+    ExprError,
+    ReversedKey,
+    ebv,
+    eval_group_expr,
+    evaluate,
+    expression_variables,
+    group_key,
+    resolve,
+    to_term,
+    try_evaluate,
+    unify,
+)
+from .nodes import (
+    Expression,
+    OrderCondition,
+    Projection,
+    TriplePatternNode,
+    ValuesPattern,
+)
+from .optimizer import CardinalityEstimator
+from .plan import (
+    LogicalAggregate,
+    LogicalBGP,
+    LogicalDistinct,
+    LogicalExtend,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLeftJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalPrune,
+    LogicalSlice,
+    LogicalSort,
+    LogicalUnion,
+    LogicalValues,
+    _canonical_expression,
+    possible_variables,
+)
+
+__all__ = ["EvalStats", "ExplainNode", "PhysicalOperator", "build_plan"]
+
+
+@dataclass
+class EvalStats:
+    """Execution counters, accumulated per query and mergeable across queries.
+
+    The engine keeps one long-lived instance (totals since construction or
+    the last :meth:`reset`) and additionally attaches a fresh per-query
+    instance to each :class:`~repro.sparql.results.SelectResult`.
+
+    Contract of :meth:`reset`: all counters return to zero and the
+    ``operator_rows`` mapping is emptied *in place* — existing references
+    to the stats object (and to ``operator_rows``) stay valid.
+    """
+
+    store_lookups: int = 0
+    intermediate_bindings: int = 0
+    solutions: int = 0
+    operator_rows: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.store_lookups = 0
+        self.intermediate_bindings = 0
+        self.solutions = 0
+        self.operator_rows.clear()
+
+    def record_rows(self, operator: str, count: int = 1) -> None:
+        self.operator_rows[operator] = self.operator_rows.get(operator, 0) + count
+
+    def merge(self, other: "EvalStats") -> None:
+        """Fold another stats object (e.g. a per-query one) into this one."""
+        self.store_lookups += other.store_lookups
+        self.intermediate_bindings += other.intermediate_bindings
+        self.solutions += other.solutions
+        for operator, count in other.operator_rows.items():
+            self.record_rows(operator, count)
+
+
+@dataclass(frozen=True)
+class ExplainNode:
+    """One node of an EXPLAIN (ANALYZE) tree."""
+
+    operator: str
+    detail: str
+    estimated_rows: float | None
+    actual_rows: int | None
+    children: tuple["ExplainNode", ...] = ()
+
+    def render(self, indent: int = 0) -> str:
+        estimated = (
+            "?" if self.estimated_rows is None else f"{self.estimated_rows:.1f}"
+        )
+        actual = "-" if self.actual_rows is None else str(self.actual_rows)
+        detail = f" {self.detail}" if self.detail else ""
+        line = f"{'  ' * indent}{self.operator}{detail}  (est={estimated} actual={actual})"
+        return "\n".join([line] + [c.render(indent + 1) for c in self.children])
+
+    def walk(self) -> Iterator["ExplainNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, operator: str) -> list["ExplainNode"]:
+        return [node for node in self.walk() if node.operator == operator]
+
+
+class PhysicalOperator:
+    """Base class: wraps ``_run`` with actual-row accounting."""
+
+    name = "Operator"
+
+    def __init__(
+        self,
+        stats: EvalStats,
+        estimate: float | None,
+        children: tuple["PhysicalOperator", ...] = (),
+    ) -> None:
+        self.stats = stats
+        self.estimated_rows = estimate
+        self.actual_rows = 0
+        self.executions = 0
+        self.children = children
+
+    def execute(self, binding: Binding) -> Iterator[Binding]:
+        self.executions += 1
+        for row in self._run(binding):
+            self.actual_rows += 1
+            self.stats.record_rows(self.name)
+            yield row
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        return ""
+
+    def explain(self) -> ExplainNode:
+        return ExplainNode(
+            self.name,
+            self.detail(),
+            self.estimated_rows,
+            self.actual_rows if self.executions else None,
+            tuple(child.explain() for child in self.children),
+        )
+
+
+class Singleton(PhysicalOperator):
+    """The empty BGP: one solution, the ambient binding itself."""
+
+    name = "Singleton"
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        yield dict(binding)
+
+
+class IndexScan(PhysicalOperator):
+    """One triple-pattern lookup against the store, unified into bindings."""
+
+    name = "IndexScan"
+
+    def __init__(
+        self,
+        store: TripleSource,
+        pattern: TriplePatternNode,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate)
+        self.store = store
+        self.pattern = pattern
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        lookup = tuple(
+            resolve(term, binding)
+            for term in (self.pattern.subject, self.pattern.predicate, self.pattern.object)
+        )
+        store_pattern = tuple(None if isinstance(t, Variable) else t for t in lookup)
+        self.stats.store_lookups += 1
+        for triple in self.store.triples(store_pattern):
+            extended = unify(lookup, triple, binding)
+            if extended is not None:
+                self.stats.intermediate_bindings += 1
+                yield extended
+
+    def detail(self) -> str:
+        return " ".join(
+            t.n3() for t in (self.pattern.subject, self.pattern.predicate, self.pattern.object)
+        )
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Correlated join: right side re-executes under each left row."""
+
+    name = "NestedLoopJoin"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (left, right))
+        self.left = left
+        self.right = right
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for left_row in self.left.execute(binding):
+            yield from self.right.execute(left_row)
+
+
+class HashJoin(PhysicalOperator):
+    """Join of variable-disjoint subplans: materialize right once, reuse.
+
+    The right side only depends on the ambient binding through
+    ``right_variables`` (the variables its patterns mention), so its rows
+    are cached per distinct restriction of the binding to those variables.
+    The right side executes with exactly that restriction, never the full
+    ambient row, so cached rows can be merged under any compatible context.
+    """
+
+    name = "HashJoin"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        right_variables: frozenset[Variable],
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (left, right))
+        self.left = left
+        self.right = right
+        self.right_variables = right_variables
+        self._materialized: dict[tuple, list[Binding]] = {}
+
+    def _right_rows(self, binding: Binding) -> list[Binding]:
+        restricted = {v: binding[v] for v in self.right_variables if v in binding}
+        key = tuple(sorted((str(v), group_key(t)) for v, t in restricted.items()))
+        rows = self._materialized.get(key)
+        if rows is None:
+            rows = list(self.right.execute(restricted))
+            self._materialized[key] = rows
+        return rows
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        right_rows = self._right_rows(binding)
+        if not right_rows:
+            return
+        for left_row in self.left.execute(binding):
+            for right_row in right_rows:
+                merged = dict(left_row)
+                compatible = True
+                for variable, term in right_row.items():
+                    bound = merged.get(variable)
+                    if bound is None:
+                        merged[variable] = term
+                    elif bound != term:
+                        compatible = False
+                        break
+                if compatible:
+                    yield merged
+
+    def detail(self) -> str:
+        return "disjoint" if not self.right_variables else ""
+
+
+class LeftJoinOp(PhysicalOperator):
+    """OPTIONAL: left rows extended by the right side when it matches."""
+
+    name = "LeftJoin"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (left, right))
+        self.left = left
+        self.right = right
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for left_row in self.left.execute(binding):
+            matched = False
+            for joined in self.right.execute(left_row):
+                matched = True
+                yield joined
+            if not matched:
+                yield left_row
+
+
+class UnionOp(PhysicalOperator):
+    name = "Union"
+
+    def __init__(
+        self,
+        branches: tuple[PhysicalOperator, ...],
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, branches)
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for branch in self.children:
+            yield from branch.execute(binding)
+
+
+class ValuesOp(PhysicalOperator):
+    name = "Values"
+
+    def __init__(
+        self, pattern: ValuesPattern, stats: EvalStats, estimate: float | None
+    ) -> None:
+        super().__init__(stats, estimate)
+        self.pattern = pattern
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for row in self.pattern.rows:
+            extended = dict(binding)
+            compatible = True
+            for variable, term in zip(self.pattern.variables, row):
+                if term is None:  # UNDEF constrains nothing
+                    continue
+                bound = extended.get(variable)
+                if bound is None:
+                    extended[variable] = term
+                elif bound != term:
+                    compatible = False
+                    break
+            if compatible:
+                yield extended
+
+    def detail(self) -> str:
+        return f"{len(self.pattern.rows)} rows"
+
+
+class FilterOp(PhysicalOperator):
+    """Drops rows whose expression errors or is not effectively true."""
+
+    name = "Filter"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        expression: Expression,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.expression = expression
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for row in self.child.execute(binding):
+            try:
+                if ebv(evaluate(self.expression, row)):
+                    yield row
+            except ExprError:
+                continue
+
+    def detail(self) -> str:
+        return _canonical_expression(self.expression)
+
+
+class ExtendOp(PhysicalOperator):
+    """BIND: evaluation errors leave the row unchanged, rebinding drops it."""
+
+    name = "Extend"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: Variable,
+        expression: Expression,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.variable = variable
+        self.expression = expression
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for row in self.child.execute(binding):
+            try:
+                value = to_term(evaluate(self.expression, row))
+            except ExprError:
+                yield row
+                continue
+            if self.variable in row:
+                continue  # BIND on a bound variable: no solution
+            extended = dict(row)
+            extended[self.variable] = value
+            yield extended
+
+    def detail(self) -> str:
+        return f"?{self.variable} := {_canonical_expression(self.expression)}"
+
+
+class ProjectOp(PhysicalOperator):
+    name = "Project"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        projections: tuple[Projection, ...],
+        select_all: bool,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.projections = projections
+        self.select_all = select_all
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for row in self.child.execute(binding):
+            if self.select_all:
+                yield dict(row)
+                continue
+            projected: Binding = {}
+            for projection in self.projections:
+                if projection.expression is None:
+                    value: Term | None = row.get(projection.variable)
+                else:
+                    try:
+                        value = to_term(evaluate(projection.expression, row))
+                    except ExprError:
+                        value = None
+                if value is not None:
+                    projected[projection.variable] = value
+            yield projected
+
+    def detail(self) -> str:
+        if self.select_all:
+            return "*"
+        return ", ".join(f"?{p.variable}" for p in self.projections)
+
+
+class PruneOp(PhysicalOperator):
+    """Projection pruning: trim rows to the observable variables."""
+
+    name = "Prune"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variables: frozenset[Variable],
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.variables = variables
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        for row in self.child.execute(binding):
+            yield {v: t for v, t in row.items() if v in self.variables}
+
+    def detail(self) -> str:
+        return ", ".join(sorted(f"?{v}" for v in self.variables))
+
+
+class SortOp(PhysicalOperator):
+    """Blocking: materializes its input, sorts by the ORDER BY keys."""
+
+    name = "Sort"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        conditions: tuple[OrderCondition, ...],
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.conditions = conditions
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        def key(row: Binding):
+            parts = []
+            for condition in self.conditions:
+                try:
+                    value = evaluate(condition.expression, row)
+                except ExprError:
+                    parts.append((0,))  # unbound sorts first
+                    continue
+                sort_key = term_sort_key(to_term(value))
+                parts.append(ReversedKey(sort_key) if condition.descending else sort_key)
+            return tuple(parts)
+
+        yield from sorted(self.child.execute(binding), key=key)
+
+    def detail(self) -> str:
+        return ", ".join(
+            ("DESC " if c.descending else "") + _canonical_expression(c.expression)
+            for c in self.conditions
+        )
+
+
+class DistinctOp(PhysicalOperator):
+    """Streaming dedup, first occurrence wins (keeps sorted order intact)."""
+
+    name = "Distinct"
+
+    def __init__(
+        self, child: PhysicalOperator, stats: EvalStats, estimate: float | None
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        seen: set[tuple] = set()
+        for row in self.child.execute(binding):
+            key = tuple(sorted((str(k), group_key(v)) for k, v in row.items()))
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+class SliceOp(PhysicalOperator):
+    """OFFSET/LIMIT window; stops pulling as soon as the window is full."""
+
+    name = "Slice"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        limit: int | None,
+        offset: int,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        if self.limit == 0:
+            return
+        produced = 0
+        skipped = 0
+        for row in self.child.execute(binding):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            yield row
+            produced += 1
+            if self.limit is not None and produced >= self.limit:
+                return
+
+    def detail(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        if self.offset:
+            parts.append(f"offset={self.offset}")
+        return " ".join(parts)
+
+
+class AggregateOp(PhysicalOperator):
+    """Blocking: GROUP BY / aggregate projection / HAVING."""
+
+    name = "Aggregate"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        projections: tuple[Projection, ...],
+        group_by: tuple[Expression, ...],
+        having: Expression | None,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate, (child,))
+        self.child = child
+        self.projections = projections
+        self.group_by = group_by
+        self.having = having
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        solutions = list(self.child.execute(binding))
+        groups: dict[tuple, list[Binding]] = {}
+        if self.group_by:
+            for solution in solutions:
+                key = tuple(
+                    group_key(try_evaluate(expr, solution)) for expr in self.group_by
+                )
+                groups.setdefault(key, []).append(solution)
+        else:
+            groups[()] = solutions  # implicit single group (may be empty)
+
+        for _, members in sorted(groups.items(), key=lambda kv: str(kv[0])):
+            representative = members[0] if members else {}
+            row: Binding = {}
+            for projection in self.projections:
+                if projection.expression is None:
+                    value = representative.get(projection.variable)
+                else:
+                    try:
+                        value = to_term(
+                            eval_group_expr(projection.expression, members, representative)
+                        )
+                    except ExprError:
+                        value = None
+                if value is not None:
+                    row[projection.variable] = value
+            if self.having is not None:
+                try:
+                    if not ebv(eval_group_expr(self.having, members, representative)):
+                        continue
+                except ExprError:
+                    continue
+            yield row
+
+    def detail(self) -> str:
+        if not self.group_by:
+            return "implicit group"
+        return "group by " + ", ".join(
+            _canonical_expression(e) for e in self.group_by
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Logical → physical lowering
+# --------------------------------------------------------------------------- #
+
+
+def build_plan(
+    node: LogicalNode,
+    store: TripleSource,
+    stats: EvalStats,
+    estimator: CardinalityEstimator | None = None,
+    optimize: bool = True,
+) -> PhysicalOperator:
+    """Lower a logical plan into an executable operator tree.
+
+    ``estimator`` drives both greedy BGP ordering and the per-operator
+    ``estimated_rows`` annotations; pass ``None`` to skip estimation
+    entirely (no store access, no estimates in EXPLAIN).
+    ``optimize=False`` keeps BGP patterns in textual order and joins them
+    with plain nested loops — the baseline the C10 benchmark compares
+    against.
+    """
+    builder = _Builder(store, stats, estimator, optimize)
+    return builder.build(node)
+
+
+class _Builder:
+    def __init__(
+        self,
+        store: TripleSource,
+        stats: EvalStats,
+        estimator: CardinalityEstimator | None,
+        optimize: bool,
+    ) -> None:
+        self.store = store
+        self.stats = stats
+        self.estimator = estimator
+        self.optimize = optimize
+        self._total = estimator.total_triples() if estimator is not None else None
+
+    # -- estimate arithmetic (None-propagating) ----------------------------
+
+    def _join_estimate(
+        self, left: float | None, right: float | None, shared: bool
+    ) -> float | None:
+        if left is None or right is None:
+            return None
+        product = left * right
+        if shared and self._total:
+            return product / self._total
+        return product
+
+    @staticmethod
+    def _filter_estimate(child: float | None) -> float | None:
+        if child is None:
+            return None
+        return child / 3.0
+
+    # -- dispatch -----------------------------------------------------------
+
+    def build(self, node: LogicalNode) -> PhysicalOperator:
+        if isinstance(node, LogicalBGP):
+            return self._build_bgp(node)
+        if isinstance(node, LogicalJoin):
+            left = self.build(node.left)
+            right = self.build(node.right)
+            shared = bool(
+                possible_variables(node.left) & possible_variables(node.right)
+            )
+            estimate = self._join_estimate(
+                left.estimated_rows, right.estimated_rows, shared
+            )
+            return NestedLoopJoin(left, right, self.stats, estimate)
+        if isinstance(node, LogicalLeftJoin):
+            left = self.build(node.left)
+            right = self.build(node.right)
+            estimate = self._join_estimate(left.estimated_rows, right.estimated_rows, True)
+            if estimate is not None and left.estimated_rows is not None:
+                estimate = max(estimate, left.estimated_rows)
+            return LeftJoinOp(left, right, self.stats, estimate)
+        if isinstance(node, LogicalUnion):
+            branches = tuple(self.build(b) for b in node.branches)
+            estimates = [b.estimated_rows for b in branches]
+            estimate = None if any(e is None for e in estimates) else sum(estimates)
+            return UnionOp(branches, self.stats, estimate)
+        if isinstance(node, LogicalFilter):
+            child = self.build(node.input)
+            return FilterOp(
+                child,
+                node.expression,
+                self.stats,
+                self._filter_estimate(child.estimated_rows),
+            )
+        if isinstance(node, LogicalExtend):
+            child = self.build(node.input)
+            return ExtendOp(
+                child, node.variable, node.expression, self.stats, child.estimated_rows
+            )
+        if isinstance(node, LogicalValues):
+            estimate = float(len(node.pattern.rows)) if self.estimator else None
+            return ValuesOp(node.pattern, self.stats, estimate)
+        if isinstance(node, LogicalProject):
+            child = self.build(node.input)
+            return ProjectOp(
+                child, node.projections, node.select_all, self.stats, child.estimated_rows
+            )
+        if isinstance(node, LogicalPrune):
+            child = self.build(node.input)
+            return PruneOp(child, node.variables, self.stats, child.estimated_rows)
+        if isinstance(node, LogicalAggregate):
+            child = self.build(node.input)
+            estimate = child.estimated_rows
+            if not node.group_by:
+                estimate = 1.0 if self.estimator else None
+            return AggregateOp(
+                child, node.projections, node.group_by, node.having, self.stats, estimate
+            )
+        if isinstance(node, LogicalDistinct):
+            child = self.build(node.input)
+            return DistinctOp(child, self.stats, child.estimated_rows)
+        if isinstance(node, LogicalSort):
+            child = self.build(node.input)
+            return SortOp(child, node.conditions, self.stats, child.estimated_rows)
+        if isinstance(node, LogicalSlice):
+            child = self.build(node.input)
+            estimate = child.estimated_rows
+            if estimate is not None:
+                estimate = max(0.0, estimate - node.offset)
+                if node.limit is not None:
+                    estimate = min(estimate, float(node.limit))
+            return SliceOp(child, node.limit, node.offset, self.stats, estimate)
+        raise TypeError(f"unknown logical node: {node!r}")
+
+    # -- BGP lowering --------------------------------------------------------
+
+    def _build_bgp(self, node: LogicalBGP) -> PhysicalOperator:
+        if not node.patterns:
+            op: PhysicalOperator = Singleton(self.stats, 1.0 if self.estimator else None)
+            for expression in node.filters:
+                op = FilterOp(
+                    op, expression, self.stats, self._filter_estimate(op.estimated_rows)
+                )
+            return op
+
+        if self.optimize and self.estimator is not None:
+            ordered = self.estimator.order(node.patterns)
+        else:
+            ordered = list(node.patterns)
+
+        remaining = list(node.filters)
+
+        def absorb(op: PhysicalOperator, covered: set[Variable]) -> PhysicalOperator:
+            still = []
+            for expression in remaining:
+                if expression_variables(expression) <= covered:
+                    op = FilterOp(
+                        op,
+                        expression,
+                        self.stats,
+                        self._filter_estimate(op.estimated_rows),
+                    )
+                else:
+                    still.append(expression)
+            remaining[:] = still
+            return op
+
+        if self.optimize:
+            components = self._segment(ordered)
+        else:
+            components = [ordered]
+
+        combined: PhysicalOperator | None = None
+        covered: set[Variable] = set()
+        for component in components:
+            component_vars: set[Variable] = set()
+            chain: PhysicalOperator | None = None
+            for pattern in component:
+                estimate = (
+                    self.estimator.pattern_cardinality(pattern)
+                    if self.estimator is not None
+                    else None
+                )
+                scan = IndexScan(self.store, pattern, self.stats, estimate)
+                if chain is None:
+                    chain = scan
+                else:
+                    chain = NestedLoopJoin(
+                        chain,
+                        scan,
+                        self.stats,
+                        self._join_estimate(chain.estimated_rows, estimate, True),
+                    )
+                component_vars |= pattern.variables()
+                # Filters confined to this component apply mid-chain, as
+                # early as their variables are covered.
+                chain = absorb(chain, component_vars)
+            if combined is None:
+                combined = chain
+            else:
+                combined = HashJoin(
+                    combined,
+                    chain,
+                    frozenset(component_vars),
+                    self.stats,
+                    self._join_estimate(
+                        combined.estimated_rows, chain.estimated_rows, False
+                    ),
+                )
+            covered |= component_vars
+            if combined is not None and len(components) > 1:
+                # Cross-component filters attach above the join that first
+                # covers their variables.
+                combined = absorb(combined, covered)
+
+        assert combined is not None
+        for expression in remaining:  # safety net: apply anything left on top
+            combined = FilterOp(
+                combined,
+                expression,
+                self.stats,
+                self._filter_estimate(combined.estimated_rows),
+            )
+        return combined
+
+    @staticmethod
+    def _segment(ordered: list[TriplePatternNode]) -> list[list[TriplePatternNode]]:
+        """Split greedily ordered patterns into variable-disjoint components.
+
+        The greedy ordering always prefers connected patterns, so a pattern
+        sharing no variable with everything chosen so far starts a component
+        that stays disjoint from all earlier ones.
+        """
+        components: list[list[TriplePatternNode]] = []
+        seen_vars: set[Variable] = set()
+        for pattern in ordered:
+            pattern_vars = pattern.variables()
+            if not components or (pattern_vars and not (pattern_vars & seen_vars)):
+                components.append([pattern])
+            else:
+                components[-1].append(pattern)
+            seen_vars |= pattern_vars
+        return components

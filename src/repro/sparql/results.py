@@ -8,19 +8,35 @@ visual channels.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..rdf.terms import Literal, Term, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .physical import EvalStats, ExplainNode
 
 __all__ = ["SelectResult"]
 
 
 class SelectResult:
-    """An immutable table of SPARQL solutions."""
+    """An immutable table of SPARQL solutions.
 
-    def __init__(self, variables: list[Variable], rows: list[dict[Variable, Term]]) -> None:
+    ``stats`` holds the per-query execution counters and ``plan`` the
+    EXPLAIN ANALYZE tree of the run that produced this result (both
+    ``None`` for results built by hand).
+    """
+
+    def __init__(
+        self,
+        variables: list[Variable],
+        rows: list[dict[Variable, Term]],
+        stats: "EvalStats | None" = None,
+        plan: "ExplainNode | None" = None,
+    ) -> None:
         self.variables: list[Variable] = list(variables)
         self.rows: list[dict[Variable, Term]] = rows
+        self.stats = stats
+        self.plan = plan
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -11,7 +11,12 @@ Pick the store that matches the scale:
   with no preprocessing window (Section 2's dynamic setting).
 """
 
-from .base import TripleSource
+from .base import (
+    StatisticsSnapshot,
+    StoreStatistics,
+    TripleSource,
+    compute_statistics,
+)
 from .cracking import CrackedColumn, FullSortColumn, ScanColumn
 from .dictionary import TermDictionary, decode_term, encode_term
 from .federated import FederatedStore, SourceStats
@@ -28,8 +33,11 @@ __all__ = [
     "PagedTripleStore",
     "ScanColumn",
     "SourceStats",
+    "StatisticsSnapshot",
+    "StoreStatistics",
     "TermDictionary",
     "TripleSource",
+    "compute_statistics",
     "decode_term",
     "encode_term",
 ]

@@ -10,12 +10,19 @@ matter of choosing the store, not rewriting the exploration stack.
 
 from __future__ import annotations
 
-from typing import Iterator, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping, Protocol, runtime_checkable
 
 from ..rdf.graph import TriplePattern
-from ..rdf.terms import Triple
+from ..rdf.terms import Predicate, Triple
 
-__all__ = ["TripleSource"]
+__all__ = [
+    "TripleSource",
+    "StoreStatistics",
+    "StatisticsSnapshot",
+    "compute_statistics",
+]
 
 
 @runtime_checkable
@@ -31,3 +38,61 @@ class TripleSource(Protocol):
         ...
 
     def __len__(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class StatisticsSnapshot:
+    """Precomputed store statistics for plan-time cardinality estimation.
+
+    A snapshot is cheap to read (plain attribute access, no index scans), so
+    the SPARQL optimizer can cost every candidate join order without issuing
+    a single ``count()``/``triples()`` call against the store — the design
+    the survey's Section 4 asks of interactive-speed engines.
+    """
+
+    triple_count: int
+    distinct_subjects: int
+    distinct_predicates: int
+    distinct_objects: int
+    predicate_cardinalities: Mapping[Predicate, int] = field(default_factory=dict)
+
+    def predicate_count(self, predicate: Predicate) -> int:
+        """Triples with this predicate (0 if the predicate is unknown)."""
+        return self.predicate_cardinalities.get(predicate, 0)
+
+    @property
+    def avg_subject_degree(self) -> float:
+        return self.triple_count / self.distinct_subjects if self.distinct_subjects else 0.0
+
+    @property
+    def avg_object_degree(self) -> float:
+        return self.triple_count / self.distinct_objects if self.distinct_objects else 0.0
+
+
+@runtime_checkable
+class StoreStatistics(Protocol):
+    """Stores that can summarize themselves without per-query index scans."""
+
+    def statistics(self) -> StatisticsSnapshot:
+        """Return (possibly cached) statistics about the store's contents."""
+        ...
+
+
+def compute_statistics(source: TripleSource) -> StatisticsSnapshot:
+    """Build a snapshot with one full scan (fallback for plain sources)."""
+    subjects: set = set()
+    predicates: dict = {}
+    objects: set = set()
+    total = 0
+    for s, p, o in source.triples((None, None, None)):
+        total += 1
+        subjects.add(s)
+        objects.add(o)
+        predicates[p] = predicates.get(p, 0) + 1
+    return StatisticsSnapshot(
+        triple_count=total,
+        distinct_subjects=len(subjects),
+        distinct_predicates=len(predicates),
+        distinct_objects=len(objects),
+        predicate_cardinalities=MappingProxyType(predicates),
+    )

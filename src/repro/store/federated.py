@@ -16,7 +16,7 @@ from typing import Iterator, Sequence
 
 from ..rdf.graph import TriplePattern
 from ..rdf.terms import Triple
-from .base import TripleSource
+from .base import StatisticsSnapshot, StoreStatistics, TripleSource, compute_statistics
 
 __all__ = ["FederatedStore", "SourceStats"]
 
@@ -38,6 +38,7 @@ class FederatedStore:
         if len(set(names)) != len(names):
             raise ValueError("source names must be unique")
         self._sources = list(sources)
+        self._statistics: StatisticsSnapshot | None = None
         self.stats: dict[str, SourceStats] = {
             name: SourceStats(name) for name, _ in sources
         }
@@ -61,6 +62,33 @@ class FederatedStore:
     def __len__(self) -> int:
         return self.count()
 
+    def statistics(self) -> StatisticsSnapshot:
+        """Merged member statistics (an upper bound: overlap is not deduped).
+
+        Members implementing :class:`StoreStatistics` contribute their cached
+        snapshot; others are scanned once. The merge is cached until
+        :meth:`add_source` changes the membership.
+        """
+        if self._statistics is None:
+            snapshots = [
+                source.statistics()
+                if isinstance(source, StoreStatistics)
+                else compute_statistics(source)
+                for _, source in self._sources
+            ]
+            predicate_cards: dict = {}
+            for snapshot in snapshots:
+                for predicate, card in snapshot.predicate_cardinalities.items():
+                    predicate_cards[predicate] = predicate_cards.get(predicate, 0) + card
+            self._statistics = StatisticsSnapshot(
+                triple_count=sum(s.triple_count for s in snapshots),
+                distinct_subjects=sum(s.distinct_subjects for s in snapshots),
+                distinct_predicates=len(predicate_cards),
+                distinct_objects=sum(s.distinct_objects for s in snapshots),
+                predicate_cardinalities=predicate_cards,
+            )
+        return self._statistics
+
     # -- provenance ------------------------------------------------------------
 
     def sources_of(self, triple: Triple) -> list[str]:
@@ -79,4 +107,5 @@ class FederatedStore:
         if name in self.stats:
             raise ValueError(f"source {name!r} already registered")
         self._sources.append((name, source))
+        self._statistics = None
         self.stats[name] = SourceStats(name)

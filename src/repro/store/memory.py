@@ -13,8 +13,11 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from types import MappingProxyType
+
 from ..rdf.graph import TriplePattern
 from ..rdf.terms import Triple
+from .base import StatisticsSnapshot
 from .dictionary import TermDictionary
 
 __all__ = ["MemoryStore"]
@@ -31,6 +34,7 @@ class MemoryStore:
         self._pos: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
         self._osp: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
         self._size = 0
+        self._stats: StatisticsSnapshot | None = None
         if triples is not None:
             self.add_all(triples)
 
@@ -46,6 +50,7 @@ class MemoryStore:
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        self._stats = None
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -60,6 +65,8 @@ class MemoryStore:
             self._pos[p][o].discard(s)
             self._osp[o][s].discard(p)
         self._size -= len(victims)
+        if victims:
+            self._stats = None
         return len(victims)
 
     # -- pattern matching ---------------------------------------------------
@@ -166,6 +173,36 @@ class MemoryStore:
     def predicate_cardinality(self, predicate_id: int) -> int:
         """Number of triples with the given predicate id."""
         return sum(len(subjs) for subjs in self._pos.get(predicate_id, {}).values())
+
+    def statistics(self) -> StatisticsSnapshot:
+        """Cached :class:`StatisticsSnapshot`; recomputed after mutations.
+
+        Computed straight from the id indexes (empty index entries left
+        behind by :meth:`remove` are skipped), decoded once per predicate.
+        """
+        if self._stats is None:
+            decode = self.dictionary.decode
+            predicate_cards = {
+                decode(pid): card
+                for pid, by_obj in self._pos.items()
+                if (card := sum(len(subjs) for subjs in by_obj.values()))
+            }
+            self._stats = StatisticsSnapshot(
+                triple_count=self._size,
+                distinct_subjects=sum(
+                    1
+                    for by_pred in self._spo.values()
+                    if any(objs for objs in by_pred.values())
+                ),
+                distinct_predicates=len(predicate_cards),
+                distinct_objects=sum(
+                    1
+                    for by_subj in self._osp.values()
+                    if any(preds for preds in by_subj.values())
+                ),
+                predicate_cardinalities=MappingProxyType(predicate_cards),
+            )
+        return self._stats
 
     def id_triples(self) -> Iterator[_IdTriple]:
         """Raw id triples (for bulk exports to the paged store)."""

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 
 from ..rdf.graph import TriplePattern
 from ..rdf.terms import Triple
+from .base import StatisticsSnapshot, compute_statistics
 from .dictionary import TermDictionary
 
 __all__ = ["PagedTripleStore", "LRUBufferPool", "BufferPoolStats"]
@@ -36,6 +37,10 @@ __all__ = ["PagedTripleStore", "LRUBufferPool", "BufferPoolStats"]
 _TRIPLE = struct.Struct("<III")
 _PERMUTATIONS = ("spo", "pos", "osp")
 _MAX_ID = 2**32 - 1
+
+# meta.bin v2 starts with this magic; files without it are the legacy
+# (pre-statistics) layout and get their statistics recomputed on demand.
+_META_MAGIC = b"RPG2"
 
 # (s, p, o) -> key order per permutation, and its inverse.
 _PERMUTE = {
@@ -128,6 +133,7 @@ class PagedTripleStore:
         size: int,
         page_size: int,
         cache_pages: int = 64,
+        raw_statistics: tuple[int, int, int, dict[int, int]] | None = None,
     ) -> None:
         self.directory = directory
         self.dictionary = dictionary
@@ -136,6 +142,9 @@ class PagedTripleStore:
         self.page_size = page_size
         self.triples_per_page = page_size // _TRIPLE.size
         self.pool = LRUBufferPool(cache_pages)
+        # (distinct_s, distinct_p, distinct_o, {predicate_id: count})
+        self._raw_statistics = raw_statistics
+        self._stats: StatisticsSnapshot | None = None
         self._files = {
             name: open(perm.path, "rb") for name, perm in permutations.items()
         }
@@ -177,10 +186,26 @@ class PagedTripleStore:
                     perm.page_count += 1
             permutations[name] = perm
 
+        # Store statistics, computed once at build time and persisted in the
+        # meta header so re-opened stores can plan queries without scanning.
+        subjects: set[int] = set()
+        objects: set[int] = set()
+        predicate_counts: dict[int, int] = {}
+        for s, p, o in id_triples:
+            subjects.add(s)
+            objects.add(o)
+            predicate_counts[p] = predicate_counts.get(p, 0) + 1
+        raw_statistics = (len(subjects), len(predicate_counts), len(objects), predicate_counts)
+
         with open(os.path.join(directory, "terms.dict"), "wb") as fh:
             dictionary.dump(fh)
         with open(os.path.join(directory, "meta.bin"), "wb") as fh:
+            fh.write(_META_MAGIC)
             fh.write(struct.pack("<II", page_size, len(id_triples)))
+            fh.write(struct.pack("<III", *raw_statistics[:3]))
+            fh.write(struct.pack("<I", len(predicate_counts)))
+            for pid in sorted(predicate_counts):
+                fh.write(struct.pack("<II", pid, predicate_counts[pid]))
             for name in _PERMUTATIONS:
                 perm = permutations[name]
                 fh.write(struct.pack("<I", perm.page_count))
@@ -194,6 +219,7 @@ class PagedTripleStore:
             size=len(id_triples),
             page_size=page_size,
             cache_pages=cache_pages,
+            raw_statistics=raw_statistics,
         )
 
     @classmethod
@@ -202,7 +228,20 @@ class PagedTripleStore:
         with open(os.path.join(directory, "terms.dict"), "rb") as fh:
             dictionary = TermDictionary.load(fh)
         with open(os.path.join(directory, "meta.bin"), "rb") as fh:
-            page_size, size = struct.unpack("<II", fh.read(8))
+            raw_statistics = None
+            magic = fh.read(4)
+            if magic == _META_MAGIC:
+                page_size, size = struct.unpack("<II", fh.read(8))
+                distinct_s, distinct_p, distinct_o = struct.unpack("<III", fh.read(12))
+                (n_predicates,) = struct.unpack("<I", fh.read(4))
+                predicate_counts: dict[int, int] = {}
+                for _ in range(n_predicates):
+                    pid, card = struct.unpack("<II", fh.read(8))
+                    predicate_counts[pid] = card
+                raw_statistics = (distinct_s, distinct_p, distinct_o, predicate_counts)
+            else:  # legacy header without the statistics block
+                fh.seek(0)
+                page_size, size = struct.unpack("<II", fh.read(8))
             permutations: dict[str, _Permutation] = {}
             for name in _PERMUTATIONS:
                 (page_count,) = struct.unpack("<I", fh.read(4))
@@ -222,6 +261,7 @@ class PagedTripleStore:
             size=size,
             page_size=page_size,
             cache_pages=cache_pages,
+            raw_statistics=raw_statistics,
         )
 
     def close(self) -> None:
@@ -328,6 +368,30 @@ class PagedTripleStore:
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
+
+    def statistics(self) -> StatisticsSnapshot:
+        """Statistics persisted in the meta header at :meth:`build` time.
+
+        Opening a legacy (pre-statistics) store falls back to one full scan,
+        after which the snapshot is cached for the lifetime of the handle —
+        the store is read-only, so it can never go stale.
+        """
+        if self._stats is None:
+            if self._raw_statistics is None:
+                self._stats = compute_statistics(self)
+            else:
+                distinct_s, distinct_p, distinct_o, predicate_counts = self._raw_statistics
+                decode = self.dictionary.decode
+                self._stats = StatisticsSnapshot(
+                    triple_count=self._size,
+                    distinct_subjects=distinct_s,
+                    distinct_predicates=distinct_p,
+                    distinct_objects=distinct_o,
+                    predicate_cardinalities={
+                        decode(pid): card for pid, card in predicate_counts.items()
+                    },
+                )
+        return self._stats
 
     @property
     def resident_bytes(self) -> int:

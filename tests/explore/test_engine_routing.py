@@ -1,0 +1,128 @@
+"""Exploration layers route their data access through the query engine."""
+
+from repro.rdf import Graph
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.rdf.vocab import RDF, RDFS
+from repro.sparql import QueryEngine
+from repro.explore.browser import ResourceBrowser
+from repro.explore.facets import FacetedBrowser
+from repro.workload.rdf_graphs import typed_entities
+
+EX = Namespace("http://example.org/data/")
+
+
+class CountingEngine(QueryEngine):
+    """QueryEngine that counts how many queries were dispatched to it."""
+
+    calls = 0
+
+    def query(self, text, **kwargs):
+        self.calls += 1
+        return super().query(text, **kwargs)
+
+
+def browser_fixture():
+    store = Graph(typed_entities(40, seed=9))
+    engine = CountingEngine(store)
+    return store, engine, FacetedBrowser(store, engine=engine)
+
+
+def brute_force_select(store, focus, predicate, value):
+    return {s for s in focus if store.count((s, predicate, value))}
+
+
+class TestFacetedBrowserRouting:
+    def test_select_matches_brute_force_and_uses_engine(self):
+        store, engine, browser = browser_fixture()
+        expected = brute_force_select(store, browser.focus, RDF.type, EX.Class0)
+        before = engine.calls
+        count = browser.select(RDF.type, EX.Class0)
+        assert engine.calls == before + 1
+        assert count == len(expected)
+        assert browser.focus == expected
+
+    def test_chained_selects_intersect(self):
+        store, engine, browser = browser_fixture()
+        browser.select(RDF.type, EX.Class0)
+        first = set(browser.focus)
+        values = {
+            o for s in first for _, _, o in store.triples((s, EX.category0, None))
+        }
+        value = sorted(values, key=str)[0]
+        browser.select(EX.category0, value)
+        assert browser.focus == brute_force_select(store, first, EX.category0, value)
+
+    def test_select_range_matches_numeric_semantics(self):
+        store, engine, browser = browser_fixture()
+        expected = set()
+        for s in browser.focus:
+            for _, _, o in store.triples((s, EX.numeric0, None)):
+                v = o.value if isinstance(o, Literal) else None
+                if isinstance(v, (int, float)) and not isinstance(v, bool) and (
+                    40 <= v < 60
+                ):
+                    expected.add(s)
+        before = engine.calls
+        count = browser.select_range(EX.numeric0, 40, 60)
+        assert engine.calls == before + 1
+        assert count == len(expected)
+        assert browser.focus == expected
+
+    def test_select_range_ignores_non_numeric_values(self):
+        store = Graph(
+            [
+                Triple(EX.x, EX.score, Literal(50)),
+                Triple(EX.y, EX.score, Literal("50")),  # plain string literal
+            ]
+        )
+        browser = FacetedBrowser(store)
+        browser.select_range(EX.score, 0, 100)
+        assert browser.focus == {EX.x}
+
+    def test_pivot_follows_links_via_engine(self):
+        store = Graph(
+            [
+                Triple(EX.a, EX.knows, EX.b),
+                Triple(EX.a, EX.knows, EX.c),
+                Triple(EX.b, EX.knows, EX.c),
+                Triple(EX.c, RDFS.label, Literal("c")),
+            ]
+        )
+        engine = CountingEngine(store)
+        browser = FacetedBrowser(store, focus={EX.a, EX.b}, engine=engine)
+        before = engine.calls
+        pivoted = browser.pivot(EX.knows)
+        assert engine.calls == before + 1
+        assert pivoted.focus == {EX.b, EX.c}
+        # The pivoted browser keeps the same engine (and its statistics).
+        assert pivoted.engine is engine
+
+
+class TestResourceBrowserRouting:
+    def test_describe_routes_through_engine(self):
+        store = Graph(typed_entities(10, seed=9))
+        engine = CountingEngine(store)
+        browser = ResourceBrowser(store, engine=engine)
+        resource = EX.entity0
+        before = engine.calls
+        view = browser.describe(resource)
+        assert engine.calls == before + 1
+        assert view.resource == resource
+        assert view.types  # rdf:type triples become the "a ..." header
+        direct = {
+            (p, o)
+            for _, p, o in store.triples((resource, None, None))
+            if p != RDF.type
+        }
+        shaped = {
+            (row.predicate, value) for row in view.outgoing for value in row.values
+        }
+        assert shaped == direct
+
+    def test_incoming_links_respect_cap(self):
+        triples = [Triple(EX[f"s{i}"], EX.links, EX.target) for i in range(20)]
+        browser = ResourceBrowser(Graph(triples), max_incoming=5)
+        view = browser.describe(EX.target)
+        assert len(view.incoming) == 5
+        assert all(p == EX.links for _, p in view.incoming)

@@ -1,0 +1,462 @@
+"""The plan pipeline: logical rewrites, cost-based ordering, physical
+operators, EXPLAIN, statistics-only planning, digests, and EvalStats.
+
+The centerpiece is the plan-equivalence suite: for a corpus of queries over
+the :mod:`repro.workload.rdf_graphs` generators, the optimized pipeline,
+the unoptimized pipeline, and every store backend must produce identical
+row multisets.
+"""
+
+import pytest
+
+from repro.rdf import Graph, parse_turtle
+from repro.rdf.terms import Literal, Triple, Variable
+from repro.sparql import (
+    CardinalityEstimator,
+    EvalStats,
+    QueryEngine,
+    estimate_cardinality,
+    parse_query,
+    query,
+)
+from repro.sparql.nodes import TriplePatternNode
+from repro.store import MemoryStore, PagedTripleStore
+from repro.workload.rdf_graphs import lod_dataset, social_graph, typed_entities
+
+FOAF = "http://xmlns.com/foaf/0.1/"
+
+PREFIXES = (
+    "PREFIX ex: <http://example.org/data/> "
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+)
+
+CORPUS_TRIPLES = {
+    "social": list(social_graph(40, seed=11)),
+    "typed": list(typed_entities(60, seed=12)),
+    "lod": list(lod_dataset(30, seed=13)),
+}
+
+CORPUS_QUERIES = {
+    "social": [
+        "SELECT ?n WHERE { ?p foaf:name ?n }",
+        "SELECT ?p ?a WHERE { ?p a foaf:Person . ?p foaf:age ?a "
+        "FILTER(?a > 30 && ?a < 70) }",
+        "SELECT ?p ?f WHERE { ?p a foaf:Person OPTIONAL { ?p foaf:knows ?f } }",
+        "SELECT ?p WHERE { ?p a foaf:Person OPTIONAL { ?p foaf:knows ?f } "
+        "FILTER(!BOUND(?f)) }",
+        "SELECT ?x WHERE { { ?x foaf:knows ?y } UNION { ?y foaf:knows ?x } }",
+        "SELECT DISTINCT ?a WHERE { ?p foaf:age ?a } ORDER BY DESC(?a) "
+        "LIMIT 7 OFFSET 2",
+        "SELECT ?a (COUNT(?p) AS ?c) WHERE { ?p foaf:age ?a } GROUP BY ?a "
+        "HAVING (COUNT(?p) >= 2)",
+        "SELECT ?p ?d WHERE { ?p foaf:age ?a BIND(?a * 2 AS ?d) }",
+        # Cartesian product of two small filtered sets (HashJoin territory).
+        "SELECT ?a ?b WHERE { ?a foaf:age ?x FILTER(?x > 80) . "
+        "?b foaf:age ?y FILTER(?y < 25) }",
+        # Constant-foldable filters: one vacuous, one contradictory.
+        "SELECT ?n WHERE { ?p foaf:name ?n FILTER(1 + 1 = 2) }",
+        "SELECT ?n WHERE { ?p foaf:name ?n FILTER(1 > 2) }",
+        "SELECT (?a + 1 AS ?next) WHERE { ?p foaf:age ?a } ORDER BY ?p LIMIT 5",
+        "SELECT ?p ?n WHERE { VALUES ?p { ex:person0 ex:person3 } "
+        "?p foaf:name ?n }",
+    ],
+    "typed": [
+        "SELECT ?e WHERE { ?e a ex:Class0 }",
+        "SELECT ?e ?v WHERE { ?e a ex:Class1 . ?e ex:numeric0 ?v "
+        "FILTER(?v >= 40) }",
+        "SELECT ?c (COUNT(?e) AS ?n) WHERE { ?e a ?c } GROUP BY ?c",
+        'SELECT ?e WHERE { ?e rdfs:label ?l FILTER(REGEX(?l, "1$")) }',
+        "SELECT DISTINCT ?v WHERE { ?e ex:category0 ?v } ORDER BY ?v",
+        "SELECT ?e ?l WHERE { ?e a ex:Class2 . ?e rdfs:label ?l . "
+        "?e ex:numeric1 ?v FILTER(?v < 100) } ORDER BY ?e LIMIT 10",
+    ],
+    "lod": [
+        "SELECT ?c ?s WHERE { ?c rdfs:subClassOf ?s }",
+        "SELECT ?a ?c WHERE { ?a rdfs:subClassOf ?b . ?b rdfs:subClassOf ?c }",
+        "SELECT ?city ?pop WHERE { ?city a ex:City . ?city ex:population ?pop } "
+        "ORDER BY DESC(?pop) ?city LIMIT 8",
+        "SELECT ?a ?b WHERE { ?a ex:twinnedWith ?b . ?b ex:twinnedWith ?c }",
+        'SELECT ?city WHERE { ?city ex:founded ?f FILTER(YEAR(?f) > 1500) }',
+        "ASK { ?c rdfs:subClassOf ex:Place }",
+    ],
+}
+
+EQUIVALENCE_CASES = [
+    pytest.param(name, text, id=f"{name}-{index}")
+    for name, texts in CORPUS_QUERIES.items()
+    for index, text in enumerate(texts)
+]
+
+
+def row_multiset(result):
+    return sorted(
+        tuple(sorted((str(var), term.n3()) for var, term in row.items()))
+        for row in result.rows
+    )
+
+
+@pytest.fixture(scope="module")
+def paged_corpus(tmp_path_factory):
+    stores = {
+        name: PagedTripleStore.build(triples, str(tmp_path_factory.mktemp(name)))
+        for name, triples in CORPUS_TRIPLES.items()
+    }
+    yield stores
+    for store in stores.values():
+        store.close()
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("name,text", EQUIVALENCE_CASES)
+    def test_identical_rows_across_stores_and_pipelines(self, name, text, paged_corpus):
+        triples = CORPUS_TRIPLES[name]
+        full = PREFIXES + text
+        baseline = QueryEngine(Graph(triples), optimize=False).query(full)
+        stores = [Graph(triples), MemoryStore(triples), paged_corpus[name]]
+        if isinstance(baseline, bool):  # ASK
+            for store in stores:
+                for optimize in (True, False):
+                    assert QueryEngine(store, optimize=optimize).query(full) == baseline
+            return
+        expected = row_multiset(baseline)
+        for store in stores:
+            for optimize in (True, False):
+                result = QueryEngine(store, optimize=optimize).query(full)
+                assert row_multiset(result) == expected, (
+                    f"{name} store={type(store).__name__} optimize={optimize}"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Cardinality estimation
+# --------------------------------------------------------------------------- #
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+ex:alice a foaf:Person ; foaf:name "Alice" ; foaf:age 30 ; foaf:knows ex:bob .
+ex:bob a foaf:Person ; foaf:name "Bob" ; foaf:age 25 .
+"""
+
+
+def small_graph():
+    return Graph(parse_turtle(DATA))
+
+
+class TestEstimateCardinality:
+    def test_fully_bound_present_pattern_estimates_one(self):
+        g = small_graph()
+        pattern = parse_query(
+            "PREFIX ex: <http://example.org/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+            "SELECT * WHERE { ex:alice foaf:knows ex:bob }"
+        ).where.elements[0]
+        assert estimate_cardinality(g, pattern) == 1
+
+    def test_fully_bound_absent_pattern_estimates_zero(self):
+        # Regression: this used to be hardcoded to 1 regardless of the store.
+        g = small_graph()
+        pattern = parse_query(
+            "PREFIX ex: <http://example.org/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+            "SELECT * WHERE { ex:bob foaf:knows ex:alice }"
+        ).where.elements[0]
+        assert estimate_cardinality(g, pattern) == 0
+
+    def test_unbound_pattern_estimates_store_size(self):
+        g = small_graph()
+        pattern = TriplePatternNode(Variable("s"), Variable("p"), Variable("o"))
+        assert estimate_cardinality(g, pattern) == len(g)
+
+    def test_snapshot_estimator_uses_predicate_histogram(self):
+        g = small_graph()
+        estimator = CardinalityEstimator.for_store(g)
+        assert estimator.uses_statistics
+        from repro.rdf.namespace import Namespace
+
+        foaf = Namespace(FOAF)
+        knows = TriplePatternNode(Variable("s"), foaf.knows, Variable("o"))
+        assert estimator.pattern_cardinality(knows) == 1.0
+        absent = TriplePatternNode(Variable("s"), foaf.mbox, Variable("o"))
+        assert estimator.pattern_cardinality(absent) == 0.0
+
+
+class TestStatisticsOnlyPlanning:
+    def test_no_live_store_calls_at_plan_time(self):
+        inner = Graph(social_graph(30, seed=7))
+
+        class SpyStore:
+            def __init__(self):
+                self.count_calls = 0
+                self.triples_calls = 0
+
+            def triples(self, pattern=(None, None, None)):
+                self.triples_calls += 1
+                return inner.triples(pattern)
+
+            def count(self, pattern=(None, None, None)):
+                self.count_calls += 1
+                return inner.count(pattern)
+
+            def __len__(self):
+                return len(inner)
+
+            def statistics(self):
+                return inner.statistics()
+
+        spy = SpyStore()
+        engine = QueryEngine(spy)
+        text = (
+            PREFIXES + "SELECT ?p ?n ?a WHERE { ?p a foaf:Person . "
+            "?p foaf:name ?n . ?p foaf:age ?a FILTER(?a > 21) }"
+        )
+        engine.explain(text, analyze=False)
+        assert spy.count_calls == 0
+        assert spy.triples_calls == 0
+        # Execution (not planning) is what touches the store.
+        engine.query(text)
+        assert spy.triples_calls > 0
+        assert spy.count_calls == 0
+
+    def test_store_without_statistics_still_plans(self):
+        inner = Graph(social_graph(10, seed=7))
+
+        class BareStore:
+            def triples(self, pattern=(None, None, None)):
+                return inner.triples(pattern)
+
+            def count(self, pattern=(None, None, None)):
+                return inner.count(pattern)
+
+            def __len__(self):
+                return len(inner)
+
+        engine = QueryEngine(BareStore())
+        result = engine.query(PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }")
+        assert len(result.rows) == 10
+
+
+# --------------------------------------------------------------------------- #
+# EXPLAIN
+# --------------------------------------------------------------------------- #
+
+
+class TestExplain:
+    def _engine(self):
+        return QueryEngine(Graph(typed_entities(50, seed=4)))
+
+    def test_analyze_reports_estimates_and_actuals(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?e ?v WHERE { ?e a ex:Class0 . ?e ex:numeric0 ?v } "
+            "ORDER BY ?v LIMIT 3"
+        )
+        operators = [n.operator for n in node.walk()]
+        assert operators[0] == "Slice"
+        assert "Sort" in operators
+        assert "Project" in operators
+        assert "IndexScan" in operators
+        scans = node.find("IndexScan")
+        assert all(scan.estimated_rows is not None for scan in scans)
+        executed = [n for n in node.walk() if n.actual_rows is not None]
+        assert executed, "analyze must fill actual row counts"
+        assert node.actual_rows == 3  # the LIMIT window
+
+    def test_without_analyze_store_is_untouched_and_actuals_empty(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?e WHERE { ?e a ex:Class0 }", analyze=False
+        )
+        assert all(n.actual_rows is None for n in node.walk())
+        assert node.find("IndexScan")[0].estimated_rows > 0
+
+    def test_filter_pushdown_places_filter_below_join(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?e WHERE { ?e a ex:Class0 . ?e ex:numeric0 ?v "
+            "FILTER(?v > 0) . ?e ex:category0 ?c }",
+            analyze=False,
+        )
+        # The filter must sit inside the BGP (below the top join), not at
+        # the plan root.
+        assert node.operator != "Filter"
+        filters = node.find("Filter")
+        assert filters, "pushed filter should still exist in the tree"
+
+    def test_disjoint_components_use_hash_join(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?a ?b WHERE { ?a ex:numeric0 ?x . ?b ex:numeric1 ?y }",
+            analyze=False,
+        )
+        assert node.find("HashJoin"), "cartesian components should hash-join"
+
+    def test_limit_pushdown_slices_below_projection(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?e WHERE { ?e a ex:Class0 } LIMIT 2", analyze=False
+        )
+        assert node.operator == "Project"
+        assert node.children[0].operator == "Slice"
+
+    def test_sort_blocks_limit_pushdown(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?e WHERE { ?e a ex:Class0 } ORDER BY ?e LIMIT 2",
+            analyze=False,
+        )
+        assert node.operator == "Slice"
+
+    def test_render_is_printable(self):
+        engine = self._engine()
+        text = engine.explain(
+            PREFIXES + "SELECT ?e WHERE { ?e a ex:Class0 }"
+        ).render()
+        assert "IndexScan" in text
+        assert "est=" in text and "actual=" in text
+
+    def test_constant_true_filter_is_folded_away(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "SELECT ?e WHERE { ?e a ex:Class0 FILTER(1 + 1 = 2) }",
+            analyze=False,
+        )
+        assert not node.find("Filter")
+
+    def test_describe_without_where_has_trivial_plan(self):
+        engine = self._engine()
+        node = engine.explain(
+            PREFIXES + "DESCRIBE ex:entity0", analyze=False
+        )
+        assert node.operator == "Describe"
+
+
+# --------------------------------------------------------------------------- #
+# EvalStats contract
+# --------------------------------------------------------------------------- #
+
+
+class TestEvalStats:
+    def test_engine_stats_accumulate_across_queries(self):
+        engine = QueryEngine(small_graph())
+        text = PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }"
+        engine.query(text)
+        after_one = engine.stats.store_lookups
+        engine.query(text)
+        assert engine.stats.store_lookups == 2 * after_one
+
+    def test_result_carries_per_query_stats(self):
+        engine = QueryEngine(small_graph())
+        text = PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }"
+        first = engine.query(text)
+        second = engine.query(text)
+        assert first.stats is not second.stats
+        assert first.stats.solutions == 2
+        assert second.stats.solutions == 2
+        assert first.stats.store_lookups == second.stats.store_lookups
+        assert first.stats.operator_rows["IndexScan"] == 2
+
+    def test_reset_zeroes_in_place(self):
+        stats = EvalStats()
+        stats.store_lookups = 3
+        stats.intermediate_bindings = 5
+        stats.solutions = 2
+        stats.record_rows("IndexScan", 4)
+        rows_ref = stats.operator_rows
+        stats.reset()
+        assert stats.store_lookups == 0
+        assert stats.intermediate_bindings == 0
+        assert stats.solutions == 0
+        assert stats.operator_rows == {}
+        assert stats.operator_rows is rows_ref  # cleared in place, not rebound
+
+    def test_engine_stats_reset_contract(self):
+        engine = QueryEngine(small_graph())
+        held = engine.stats
+        engine.query(PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }")
+        assert held.solutions > 0
+        engine.stats.reset()
+        assert engine.stats is held
+        assert held.solutions == 0
+        engine.query(PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }")
+        assert held.solutions == 2
+
+    def test_merge_adds_counters(self):
+        a = EvalStats(store_lookups=1, intermediate_bindings=2, solutions=3)
+        a.record_rows("Filter", 4)
+        b = EvalStats(store_lookups=10, intermediate_bindings=20, solutions=30)
+        b.record_rows("Filter", 1)
+        b.record_rows("Sort", 2)
+        a.merge(b)
+        assert a.store_lookups == 11
+        assert a.intermediate_bindings == 22
+        assert a.solutions == 33
+        assert a.operator_rows == {"Filter": 5, "Sort": 2}
+
+
+# --------------------------------------------------------------------------- #
+# Plan digests
+# --------------------------------------------------------------------------- #
+
+
+class TestPlanDigest:
+    def test_whitespace_and_prefix_variants_share_a_digest(self):
+        engine = QueryEngine(small_graph())
+        a = engine.plan_digest(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+            "SELECT ?n WHERE { ?p foaf:name ?n }"
+        )
+        b = engine.plan_digest(
+            "PREFIX f: <http://xmlns.com/foaf/0.1/>\n"
+            "SELECT ?n\nWHERE {\n  ?p f:name ?n\n}"
+        )
+        assert a == b
+
+    def test_different_limits_have_different_digests(self):
+        engine = QueryEngine(small_graph())
+        base = PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }"
+        assert engine.plan_digest(base + " LIMIT 1") != engine.plan_digest(
+            base + " LIMIT 2"
+        )
+
+    def test_constant_folded_filters_share_a_digest(self):
+        engine = QueryEngine(small_graph())
+        plain = engine.plan_digest(PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n }")
+        folded = engine.plan_digest(
+            PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n FILTER(1 + 1 = 2) }"
+        )
+        assert plain == folded
+
+    def test_forms_are_distinguished(self):
+        engine = QueryEngine(small_graph())
+        select = engine.plan_digest(PREFIXES + "SELECT * WHERE { ?s foaf:name ?n }")
+        ask = engine.plan_digest(PREFIXES + "ASK { ?s foaf:name ?n }")
+        assert select != ask
+
+
+# --------------------------------------------------------------------------- #
+# Misc orchestration behaviour preserved from the monolithic evaluator
+# --------------------------------------------------------------------------- #
+
+
+class TestOrchestration:
+    def test_construct_respects_limit_and_offset(self):
+        g = small_graph()
+        built = query(
+            g,
+            PREFIXES + "CONSTRUCT { ?p foaf:name ?n } WHERE { ?p foaf:name ?n } LIMIT 1",
+        )
+        assert len(built) == 1
+
+    def test_ask_stops_at_first_solution(self):
+        g = Graph(social_graph(40, seed=2))
+        engine = QueryEngine(g)
+        assert engine.query(PREFIXES + "ASK { ?p a foaf:Person }") is True
+        # Streaming: one lookup, one binding — not the whole class extension.
+        assert engine.stats.intermediate_bindings == 1
+
+    def test_limit_streams_instead_of_materializing(self):
+        g = Graph(social_graph(60, seed=2))
+        engine = QueryEngine(g)
+        engine.query(PREFIXES + "SELECT ?p WHERE { ?p a foaf:Person } LIMIT 3")
+        assert engine.stats.intermediate_bindings <= 4
