@@ -1,0 +1,178 @@
+"""Experiment C14: telemetry overhead on a canary query.
+
+The obs layer (``repro.obs``) promises that disabled telemetry costs a
+single attribute check per instrumented call site. This experiment puts a
+number on that promise for the SPARQL hot path:
+
+* the canary query is timed with tracing **disabled** (the default) and
+  **enabled** (spans + operator timers + counters);
+* the disabled-mode cost versus a hypothetical *no-telemetry* build is
+  estimated by microbenchmarking the guard check itself and multiplying by
+  the number of guard evaluations the canary performs — the instrumentation
+  adds nothing else on the disabled path;
+* every exporter (span tree, JSON lines, metrics payload, bench merge) is
+  exercised against the spans the enabled run recorded.
+
+Results are persisted to ``BENCH_obs.json`` at the repo root. Set
+``REPRO_BENCH_QUICK=1`` for a smoke-sized run (CI's telemetry job).
+"""
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.obs import OBS, render_span_tree, spans_to_jsonl, telemetry_payload
+from repro.obs.export import merge_into_bench
+from repro.sparql import QueryEngine
+from repro.store import MemoryStore
+from repro.workload import typed_entities
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+ENTITIES = 400 if QUICK else 2_000
+REPEATS = 5 if QUICK else 25
+
+CANARY = (
+    "PREFIX ex: <http://example.org/data/> "
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+    """SELECT ?label ?v WHERE {
+        ?e rdfs:label ?label .
+        ?e ex:numeric0 ?v .
+        ?e a ex:Class1 .
+    }"""
+)
+
+
+def _store() -> MemoryStore:
+    return MemoryStore(
+        typed_entities(ENTITIES, n_classes=4, numeric_properties=1,
+                       categorical_properties=1, seed=7)
+    )
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+class _Guarded:
+    """Stand-in for an instrumented object: one slot, checked per call."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self) -> None:
+        self.tracer = None
+
+
+def _guard_check_ns() -> float:
+    """Cost of one ``x.tracer is None`` check, the disabled-path tax."""
+    probe = _Guarded()
+    n = 200_000
+    sink = 0
+
+    def guarded() -> None:
+        nonlocal sink
+        for _ in range(n):
+            if probe.tracer is None:
+                sink += 1
+
+    def bare() -> None:
+        nonlocal sink
+        for _ in range(n):
+            sink += 1
+
+    guarded_s = min(_median_seconds(guarded, 5), _median_seconds(guarded, 5))
+    bare_s = min(_median_seconds(bare, 5), _median_seconds(bare, 5))
+    return max(0.0, (guarded_s - bare_s) / n * 1e9)
+
+
+def _operator_executions(engine: QueryEngine) -> int:
+    """Guard evaluations of the last query: one per operator execute()."""
+    total = 0
+    stack = [engine._last_root]
+    while stack:
+        op = stack.pop()
+        total += op.executions
+        stack.extend(op.children)
+    return total
+
+
+def test_c14_telemetry_overhead(benchmark):
+    store = _store()
+    engine = QueryEngine(store)
+
+    prior_enabled = OBS.enabled
+    OBS.reset()
+    OBS.configure(enabled=False)
+    try:
+        disabled_s = _median_seconds(lambda: engine.query(CANARY), REPEATS)
+        # One guard per operator execute() plus the engine's OBS.enabled
+        # check; counted off the operator tree of the run just timed.
+        guard_evals = _operator_executions(engine) + 1
+
+        OBS.configure(enabled=True, sample_rate=1.0)
+        enabled_s = _median_seconds(lambda: engine.query(CANARY), REPEATS)
+
+        # Exporters must work against real recorded spans (CI smoke gate).
+        spans = OBS.tracer.recorder.spans()
+        assert spans, "enabled run recorded no spans"
+        tree = render_span_tree(spans[-1])
+        assert "sparql.query" in tree and "op." in tree
+        jsonl = spans_to_jsonl(spans)
+        assert all(json.loads(line)["name"] for line in jsonl.splitlines())
+        payload = telemetry_payload(OBS.metrics, OBS.tracer)
+        assert payload["spans"]["sparql.query"]["count"] >= REPEATS
+    finally:
+        OBS.reset()
+        OBS.configure(enabled=prior_enabled)
+
+    guard_ns = _guard_check_ns()
+    # Disabled-mode regression vs a no-telemetry build: only the guard
+    # checks remain, so their total cost bounds the slowdown.
+    estimated_overhead = (guard_ns * guard_evals * 1e-9) / max(disabled_s, 1e-12)
+    enabled_ratio = enabled_s / max(disabled_s, 1e-12)
+
+    print(f"\n\nC14: telemetry overhead ({ENTITIES} entities, {REPEATS} runs)")
+    print(f"  canary disabled: {disabled_s * 1e3:8.2f} ms")
+    print(f"  canary enabled:  {enabled_s * 1e3:8.2f} ms  ({enabled_ratio:.2f}x)")
+    print(f"  guard check: {guard_ns:.1f} ns x {guard_evals} evals "
+          f"-> {estimated_overhead:.4%} of disabled runtime")
+
+    # Acceptance criterion: disabled tracing within 2% of no-telemetry.
+    assert estimated_overhead < 0.02
+
+    RESULTS_PATH.write_text(json.dumps({
+        "experiment": "C14 telemetry overhead on canary query",
+        "entities": ENTITIES,
+        "repeats": REPEATS,
+        "canary_disabled_ms": round(disabled_s * 1e3, 4),
+        "canary_enabled_ms": round(enabled_s * 1e3, 4),
+        "enabled_over_disabled_ratio": round(enabled_ratio, 3),
+        "guard_check_ns": round(guard_ns, 2),
+        "guard_evals_per_query": guard_evals,
+        "estimated_disabled_overhead_vs_no_telemetry": round(
+            estimated_overhead, 6
+        ),
+        "quick_mode": QUICK,
+    }, indent=2) + "\n")
+
+    # Exercise the bench-merge exporter against the file just written.
+    OBS.configure(enabled=True)
+    try:
+        engine.query(CANARY)
+        merge_into_bench(RESULTS_PATH, OBS.metrics, OBS.tracer)
+    finally:
+        OBS.reset()
+        OBS.configure(enabled=prior_enabled)
+    merged = json.loads(RESULTS_PATH.read_text())
+    assert "telemetry" in merged and merged["telemetry"]["spans"]
+    print(f"  results written to {RESULTS_PATH.name}")
+
+    benchmark(lambda: engine.query(CANARY))

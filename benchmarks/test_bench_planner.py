@@ -112,6 +112,14 @@ def test_c13_stats_vs_live_count_planning(benchmark):
     live_seconds = _time_planner(live_estimator, pattern_lists)
     plans = PLAN_REPEATS * len(pattern_lists)
 
+    # Cache effectiveness: every estimate of the snapshot planner should be
+    # answered from the cached statistics, none from the store.
+    total_estimates = (
+        snapshot_estimator.snapshot_estimates + snapshot_estimator.live_estimates
+    )
+    assert snapshot_estimator.snapshot_hit_rate == 1.0
+    assert live_estimator.snapshot_hit_rate == 0.0
+
     print("\n\nC13: planning cost, statistics snapshot vs live counts "
           f"({len(store)} triples, {plans} plans)")
     print(f"{'planner':>12} | {'total':>9} | {'per plan':>10}")
@@ -120,6 +128,8 @@ def test_c13_stats_vs_live_count_planning(benchmark):
     speedup = live_seconds / max(stats_seconds, 1e-9)
     print(f"  planning speedup from statistics: {speedup:.1f}x")
     print(f"  intermediate-binding ratio (snapshot/live plans): {quality_ratio:.2f}")
+    print(f"  snapshot hit rate: {snapshot_estimator.snapshot_hit_rate:.0%} "
+          f"over {total_estimates} estimates")
     assert stats_seconds < live_seconds
 
     # End-to-end: EXPLAIN (plan only, no execution) through the engine.
@@ -140,6 +150,9 @@ def test_c13_stats_vs_live_count_planning(benchmark):
             explain_seconds / PLAN_REPEATS, 6
         ),
         "intermediate_binding_ratio_snapshot_vs_live": round(quality_ratio, 3),
+        "estimates_per_planner": total_estimates,
+        "snapshot_estimator_hit_rate": round(snapshot_estimator.snapshot_hit_rate, 3),
+        "live_estimator_hit_rate": round(live_estimator.snapshot_hit_rate, 3),
     }, indent=2) + "\n")
     print(f"  results written to {RESULTS_PATH.name}")
 

@@ -21,6 +21,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..obs import OBS, ProgressEmitter
+
 __all__ = ["ProgressiveEstimate", "ProgressiveAggregator"]
 
 # two-sided normal quantiles for common confidence levels
@@ -121,13 +123,32 @@ class ProgressiveAggregator:
             confidence=self.confidence,
         )
 
-    def run(self, chunk_size: int = 1000) -> Iterator[ProgressiveEstimate]:
-        """Yield an estimate after each chunk until the data is exhausted."""
+    def run(
+        self, chunk_size: int = 1000, emitter: ProgressEmitter | None = None
+    ) -> Iterator[ProgressiveEstimate]:
+        """Yield an estimate after each chunk until the data is exhausted.
+
+        Each chunk also lands on the progress-event stream (``emitter``,
+        defaulting to the global :data:`repro.obs.OBS` emitter) so a UI can
+        watch the estimate tighten without consuming this iterator itself.
+        """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if emitter is None:
+            emitter = OBS.progress
         for start in range(0, len(self._values), chunk_size):
             self._consume(self._values[start : start + chunk_size])
-            yield self._snapshot()
+            estimate = self._snapshot()
+            if emitter.has_subscribers:
+                emitter.emit(
+                    "approx.progressive",
+                    completed=estimate.seen,
+                    total=estimate.population,
+                    mean=estimate.mean,
+                    ci_halfwidth=estimate.ci_halfwidth,
+                    confidence=estimate.confidence,
+                )
+            yield estimate
 
     def run_until(
         self, target_halfwidth: float, chunk_size: int = 1000

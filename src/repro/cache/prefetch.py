@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ..obs import OBS, record_error
 from .result_cache import ResultCache
 
 __all__ = ["TilePrefetcher"]
@@ -26,7 +27,14 @@ Tile = tuple[int, int]
 
 
 class TilePrefetcher:
-    """Predictive tile fetching over a bounded cache."""
+    """Predictive tile fetching over a bounded cache.
+
+    Speculative loads are best-effort: a loader failure during prefetch
+    must never break the demand request that triggered it, so it is caught
+    and accounted in the ``obs.errors`` telemetry counter (labelled with
+    the exception type) instead of propagating — or being silently
+    swallowed. Demand loads still raise to the caller.
+    """
 
     def __init__(
         self,
@@ -38,13 +46,14 @@ class TilePrefetcher:
         if momentum_depth < 0:
             raise ValueError("momentum_depth must be >= 0")
         self.loader = loader
-        self.cache = ResultCache(cache_capacity, policy="lru")
+        self.cache = ResultCache(cache_capacity, policy="lru", name="tile.prefetch")
         self.momentum_depth = momentum_depth
         self.neighborhood = neighborhood
         self._previous_request: set[Tile] | None = None
         self._direction: tuple[int, int] = (0, 0)
         self.loads = 0  # actual loader invocations
         self.prefetch_loads = 0  # loader invocations done speculatively
+        self.prefetch_errors = 0  # speculative loads that raised
 
     # -- serving ------------------------------------------------------------
 
@@ -98,9 +107,22 @@ class TilePrefetcher:
         return unique
 
     def _prefetch(self, current: set[Tile]) -> None:
+        speculated = 0
         for tile in self._predict(current):
             if tile not in self.cache:
-                self._fetch(tile, speculative=True)
+                try:
+                    self._fetch(tile, speculative=True)
+                except Exception as exc:
+                    # Speculative work is disposable: count the failure in
+                    # telemetry, keep serving the user's actual request.
+                    self.prefetch_errors += 1
+                    record_error("cache.prefetch", exc)
+                    continue
+                speculated += 1
+        if speculated and OBS.enabled:
+            OBS.metrics.counter(
+                "cache.prefetch.speculative_loads", cache=self.cache.name
+            ).inc(speculated)
 
     # -- reporting ---------------------------------------------------------------
 

@@ -13,6 +13,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, TypeVar
 
+from ..obs import OBS
+
 __all__ = ["CacheStats", "ResultCache"]
 
 V = TypeVar("V")
@@ -36,25 +38,40 @@ class CacheStats:
 
 
 class ResultCache:
-    """Bounded keyed cache; eviction policy ``"lru"`` or ``"lfu"``."""
+    """Bounded keyed cache; eviction policy ``"lru"`` or ``"lfu"``.
 
-    def __init__(self, capacity: int, policy: str = "lru") -> None:
+    ``name`` labels the cache in the telemetry registry: when global
+    tracing is on, hits/misses/evictions are mirrored into the
+    ``cache.hits`` / ``cache.misses`` / ``cache.evictions`` counters with
+    ``cache=<name>``, alongside the always-on local :class:`CacheStats`.
+    """
+
+    def __init__(self, capacity: int, policy: str = "lru",
+                 name: str = "result") -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         if policy not in ("lru", "lfu"):
             raise ValueError("policy must be 'lru' or 'lfu'")
         self.capacity = capacity
         self.policy = policy
+        self.name = name
         self._data: OrderedDict[Hashable, object] = OrderedDict()
         self._frequency: dict[Hashable, int] = {}
         self.stats = CacheStats()
+
+    def _record(self, outcome: str) -> None:
+        OBS.metrics.counter(f"cache.{outcome}", cache=self.name).inc()
 
     def get(self, key: Hashable, default: object = None) -> object:
         value = self._data.get(key, _SENTINEL)
         if value is _SENTINEL:
             self.stats.misses += 1
+            if OBS.enabled:
+                self._record("misses")
             return default
         self.stats.hits += 1
+        if OBS.enabled:
+            self._record("hits")
         self._touch(key)
         return value
 
@@ -69,9 +86,13 @@ class ResultCache:
         value = self._data.get(key, _SENTINEL)
         if value is not _SENTINEL:
             self.stats.hits += 1
+            if OBS.enabled:
+                self._record("hits")
             self._touch(key)
             return value  # type: ignore[return-value]
         self.stats.misses += 1
+        if OBS.enabled:
+            self._record("misses")
         computed = compute()
         if len(self._data) >= self.capacity:
             self._evict()
@@ -91,6 +112,8 @@ class ResultCache:
             del self._data[victim]
         self._frequency.pop(victim, None)
         self.stats.evictions += 1
+        if OBS.enabled:
+            self._record("evictions")
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data

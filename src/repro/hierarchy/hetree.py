@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterator, Sequence
 
+from ..obs import OBS
 from .stats import NodeStats
 
 __all__ = ["HETreeNode", "HETreeBase", "HETreeC", "HETreeR", "auto_parameters"]
@@ -214,26 +215,30 @@ class HETreeC(HETreeBase):
     ) -> None:
         if degree < 2:
             raise ValueError("tree degree must be >= 2")
-        normalized = _normalize_items(items, key)
-        normalized.sort(key=lambda pair: pair[0])
-        if leaf_size is None:
-            leaf_size = max(1, int(math.sqrt(len(normalized))) or 1)
-        if leaf_size < 1:
-            raise ValueError("leaf_size must be positive")
-        self.degree = degree
-        self.leaf_size = leaf_size
-        leaves: list[HETreeNode] = []
-        for start in range(0, len(normalized), leaf_size):
-            chunk = normalized[start : start + leaf_size]
-            low = chunk[0][0]
-            # half-open upper bound: next chunk's first value, or +eps at end
-            end = start + leaf_size
-            high = normalized[end][0] if end < len(normalized) else chunk[-1][0]
-            leaf = HETreeNode(low, high, depth=0)
-            leaf.items = chunk
-            leaf.stats = NodeStats.of(v for v, _ in chunk)
-            leaves.append(leaf)
-        super().__init__(_build_from_leaves(leaves, degree))
+        with OBS.tracer.span("hierarchy.hetree.build", flavour="content") as span:
+            normalized = _normalize_items(items, key)
+            normalized.sort(key=lambda pair: pair[0])
+            if leaf_size is None:
+                leaf_size = max(1, int(math.sqrt(len(normalized))) or 1)
+            if leaf_size < 1:
+                raise ValueError("leaf_size must be positive")
+            self.degree = degree
+            self.leaf_size = leaf_size
+            leaves: list[HETreeNode] = []
+            for start in range(0, len(normalized), leaf_size):
+                chunk = normalized[start : start + leaf_size]
+                low = chunk[0][0]
+                # half-open upper bound: next chunk's first value, or +eps at end
+                end = start + leaf_size
+                high = normalized[end][0] if end < len(normalized) else chunk[-1][0]
+                leaf = HETreeNode(low, high, depth=0)
+                leaf.items = chunk
+                leaf.stats = NodeStats.of(v for v, _ in chunk)
+                leaves.append(leaf)
+            super().__init__(_build_from_leaves(leaves, degree))
+            span.set_attribute("items", len(normalized))
+            span.set_attribute("leaves", len(leaves))
+            _record_build(span, "content")
 
 
 class HETreeR(HETreeBase):
@@ -249,36 +254,48 @@ class HETreeR(HETreeBase):
     ) -> None:
         if degree < 2:
             raise ValueError("tree degree must be >= 2")
-        normalized = _normalize_items(items, key)
-        if not normalized:
-            super().__init__(HETreeNode(0.0, 0.0, depth=0))
+        with OBS.tracer.span("hierarchy.hetree.build", flavour="range") as span:
+            normalized = _normalize_items(items, key)
+            if not normalized:
+                super().__init__(HETreeNode(0.0, 0.0, depth=0))
+                self.degree = degree
+                self.n_leaves = 0
+                return
+            if domain is None:
+                low = min(v for v, _ in normalized)
+                high = max(v for v, _ in normalized)
+            else:
+                low, high = domain
+            if n_leaves is None:
+                n_leaves = max(1, int(math.sqrt(len(normalized))) or 1)
+            if n_leaves < 1:
+                raise ValueError("n_leaves must be positive")
             self.degree = degree
-            self.n_leaves = 0
-            return
-        if domain is None:
-            low = min(v for v, _ in normalized)
-            high = max(v for v, _ in normalized)
-        else:
-            low, high = domain
-        if n_leaves is None:
-            n_leaves = max(1, int(math.sqrt(len(normalized))) or 1)
-        if n_leaves < 1:
-            raise ValueError("n_leaves must be positive")
-        self.degree = degree
-        self.n_leaves = n_leaves
-        width = (high - low) / n_leaves if high > low else 1.0
-        leaves = [
-            HETreeNode(low + i * width, low + (i + 1) * width, depth=0)
-            for i in range(n_leaves)
-        ]
-        for value, payload in normalized:
-            index = min(int((value - low) / width), n_leaves - 1) if width else 0
-            leaf = leaves[index]
-            leaf.items.append((value, payload))
-            leaf.stats.add(value)
-        for leaf in leaves:
-            leaf.items.sort(key=lambda pair: pair[0])
-        super().__init__(_build_from_leaves(leaves, degree))
+            self.n_leaves = n_leaves
+            width = (high - low) / n_leaves if high > low else 1.0
+            leaves = [
+                HETreeNode(low + i * width, low + (i + 1) * width, depth=0)
+                for i in range(n_leaves)
+            ]
+            for value, payload in normalized:
+                index = min(int((value - low) / width), n_leaves - 1) if width else 0
+                leaf = leaves[index]
+                leaf.items.append((value, payload))
+                leaf.stats.add(value)
+            for leaf in leaves:
+                leaf.items.sort(key=lambda pair: pair[0])
+            super().__init__(_build_from_leaves(leaves, degree))
+            span.set_attribute("items", len(normalized))
+            span.set_attribute("leaves", len(leaves))
+            _record_build(span, "range")
+
+
+def _record_build(span, flavour: str) -> None:
+    """Mirror one construction span into the build-time histogram."""
+    if OBS.enabled:
+        OBS.metrics.histogram(
+            "hierarchy.hetree.build_ms", flavour=flavour
+        ).record(span.duration_ms)
 
 
 def _normalize_items(

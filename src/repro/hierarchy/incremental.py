@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import OBS
 from .hetree import Item
 from .stats import NodeStats
 
@@ -108,6 +109,16 @@ class IncrementalNode:
             offset += span
         self._children = children
         self.tree.materialized_nodes += len(children)
+        # Progress stream: how much of the would-be full tree has been
+        # materialized by the session so far (no listeners → one check).
+        if OBS.progress.has_subscribers:
+            OBS.progress.emit(
+                "hierarchy.incremental.materialize",
+                completed=self.tree.materialized_nodes,
+                total=self.tree.full_tree_node_estimate,
+                depth=self.depth + 1,
+                expanded_children=len(children),
+            )
         return children
 
     def items(self) -> list[Item]:

@@ -1,0 +1,170 @@
+"""repro.obs — unified telemetry: spans, metrics, and progress events.
+
+One process-wide :class:`Observability` handle (``OBS``) owns the tracer,
+the metrics registry, and the progress emitter. Hot call sites across the
+query/store/cache stack guard on a single attribute check::
+
+    from repro.obs import OBS
+    ...
+    if OBS.enabled:
+        OBS.metrics.counter("store.paged.page_miss").inc()
+
+Tracing starts disabled; enable it with :func:`configure`, the
+:envvar:`REPRO_TRACE` environment variable, or the :func:`trace_query`
+convenience context manager::
+
+    from repro.obs import trace_query, render_span_tree
+
+    with trace_query("dashboard refresh") as span:
+        engine.query(text)
+    print(render_span_tree(span))
+
+Error accounting is always on (exceptions are rare, visibility is cheap):
+:func:`record_error` bumps the ``obs.errors`` counter labelled with the
+site and exception type, replacing silent ``except: pass`` swallowing.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from .export import (
+    merge_into_bench,
+    render_span_tree,
+    span_to_dicts,
+    spans_to_jsonl,
+    telemetry_payload,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .progress import ProgressEmitter, ProgressEvent
+from .trace import (
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    SpanRecorder,
+    Tracer,
+    traced_iter,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "configure",
+    "record_error",
+    "trace_query",
+    # trace
+    "Span",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "SpanRecorder",
+    "Tracer",
+    "traced_iter",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    # progress
+    "ProgressEmitter",
+    "ProgressEvent",
+    # export
+    "span_to_dicts",
+    "spans_to_jsonl",
+    "render_span_tree",
+    "telemetry_payload",
+    "merge_into_bench",
+]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "").strip() not in ("", "0", "false")
+
+
+class Observability:
+    """The process-wide telemetry handle: tracer + metrics + progress.
+
+    ``enabled`` is the one flag hot paths check; it mirrors
+    ``tracer.enabled`` so both spellings stay consistent.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics", "progress")
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        if enabled is None:
+            enabled = _env_enabled()
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry()
+        self.progress = ProgressEmitter(error_counter=self._count_error)
+
+    def _count_error(self, site: str, exc: BaseException) -> None:
+        self.metrics.counter(
+            "obs.errors", site=site, exception=type(exc).__name__
+        ).inc()
+
+    def configure(
+        self,
+        enabled: bool | None = None,
+        sample_rate: float | None = None,
+        max_spans: int | None = None,
+    ) -> "Observability":
+        if sample_rate is not None:
+            if not (0.0 <= sample_rate <= 1.0):
+                raise ValueError("sample_rate must be in [0, 1]")
+            self.tracer.sample_rate = sample_rate
+        if max_spans is not None:
+            self.tracer.recorder.max_spans = max_spans
+        if enabled is not None:
+            self.enabled = enabled
+            self.tracer.enabled = enabled
+        return self
+
+    def reset(self) -> None:
+        """Clear recorded spans, metrics, and progress state (tests)."""
+        self.tracer.reset()
+        self.metrics.reset()
+        self.progress.reset()
+
+
+OBS = Observability()
+
+
+def configure(
+    enabled: bool | None = None,
+    sample_rate: float | None = None,
+    max_spans: int | None = None,
+) -> Observability:
+    """Configure the global telemetry handle; returns it for chaining."""
+    return OBS.configure(enabled=enabled, sample_rate=sample_rate,
+                         max_spans=max_spans)
+
+
+def record_error(site: str, exc: BaseException) -> None:
+    """Count an exception in the ``obs.errors`` metric (always on)."""
+    OBS._count_error(site, exc)
+
+
+@contextmanager
+def trace_query(label: str = "query", **attributes: object) -> Iterator[Span]:
+    """Trace one logical operation, enabling the tracer for its duration.
+
+    The span is yielded so callers can attach attributes or render it;
+    tracing is restored to its previous state on exit.
+    """
+    previous = OBS.enabled
+    OBS.configure(enabled=True)
+    span = OBS.tracer.span(label, **attributes)
+    try:
+        with span:
+            yield span
+    finally:
+        OBS.configure(enabled=previous)

@@ -1,0 +1,137 @@
+"""Telemetry exporters: JSON-lines, text span trees, and BENCH_*.json merge.
+
+Three consumers, three formats:
+
+* :func:`spans_to_jsonl` — flat one-object-per-line dump (span ids +
+  parent ids) for offline analysis;
+* :func:`render_span_tree` — the human-readable tree the README quickstart
+  shows, durations annotated per node;
+* :func:`merge_into_bench` — folds a metrics/span summary into the
+  ``BENCH_*.json`` files the benchmark suite writes, so perf PRs can diff
+  telemetry alongside timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable
+
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = [
+    "span_to_dicts",
+    "spans_to_jsonl",
+    "render_span_tree",
+    "telemetry_payload",
+    "merge_into_bench",
+]
+
+
+def span_to_dicts(span: Span, _parent_id: int | None = None,
+                  _counter: list[int] | None = None) -> list[dict]:
+    """Flatten one span tree into dicts with ``id``/``parent_id`` links."""
+    counter = _counter if _counter is not None else [0]
+    counter[0] += 1
+    span_id = counter[0]
+    record = {
+        "id": span_id,
+        "parent_id": _parent_id,
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "duration_ms": round(span.duration_ms, 6),
+    }
+    if span.attributes:
+        record["attributes"] = dict(span.attributes)
+    if span.error is not None:
+        record["error"] = span.error
+    records = [record]
+    for child in span.children:
+        records.extend(span_to_dicts(child, span_id, counter))
+    return records
+
+
+def spans_to_jsonl(spans: Iterable[Span], fh: IO[str] | None = None) -> str:
+    """Serialize span trees as JSON lines; writes to ``fh`` when given."""
+    lines = []
+    counter = [0]
+    for span in spans:
+        for record in span_to_dicts(span, None, counter):
+            lines.append(json.dumps(record, default=str, sort_keys=True))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if fh is not None:
+        fh.write(text)
+    return text
+
+
+def render_span_tree(span: Span, indent: int = 0) -> str:
+    """Indented text rendering of one span tree with durations."""
+    attrs = ""
+    if span.attributes:
+        rendered = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+        attrs = f"  [{rendered}]"
+    error = f"  !{span.error}" if span.error else ""
+    line = f"{'  ' * indent}{span.name}  {span.duration_ms:.3f}ms{attrs}{error}"
+    parts = [line]
+    parts.extend(render_span_tree(child, indent + 1) for child in span.children)
+    return "\n".join(parts)
+
+
+def telemetry_payload(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> dict:
+    """The merged telemetry block: metrics snapshot + per-span-name rollup."""
+    payload: dict[str, object] = {}
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if tracer is not None:
+        rollup: dict[str, dict[str, float]] = {}
+        for root in tracer.recorder.spans():
+            for span in root.walk():
+                entry = rollup.setdefault(
+                    span.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+                )
+                entry["count"] += 1
+                entry["total_ms"] += span.duration_ms
+                entry["max_ms"] = max(entry["max_ms"], span.duration_ms)
+        payload["spans"] = {
+            name: {
+                "count": entry["count"],
+                "total_ms": round(entry["total_ms"], 6),
+                "max_ms": round(entry["max_ms"], 6),
+            }
+            for name, entry in sorted(rollup.items())
+        }
+        if tracer.recorder.dropped:
+            payload["spans_dropped"] = tracer.recorder.dropped
+    return payload
+
+
+def merge_into_bench(
+    path: str | os.PathLike,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    key: str = "telemetry",
+) -> dict:
+    """Fold a telemetry payload into an existing ``BENCH_*.json`` file.
+
+    Creates the file (as ``{key: payload}``) if missing; otherwise reads
+    the benchmark results dict, sets ``result[key]``, and writes it back.
+    Returns the merged document.
+    """
+    payload = telemetry_payload(registry, tracer)
+    document: dict = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        if not isinstance(loaded, dict):
+            raise ValueError(f"{path} does not hold a JSON object")
+        document = loaded
+    document[key] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, default=str)
+        fh.write("\n")
+    return document

@@ -1,0 +1,151 @@
+"""Progress-event streams for long-running operators.
+
+Incremental and progressive computation (survey Section 2: "approximate
+answers are computed incrementally over progressively larger samples") is
+only useful if the UI can *watch* it happen. :class:`ProgressEmitter` is
+the channel: long-running operators — progressive aggregation, incremental
+HETree materialization, bulk store builds — emit :class:`ProgressEvent`
+records, and any number of subscribers (a UI, a logger, a test) observe
+them without the operator knowing who is listening.
+
+Emission is a no-op costing one attribute check when nobody subscribes.
+Subscriber exceptions never propagate into the operator; they are routed
+to the telemetry error counter (``obs.errors`` with the exception type as
+a label) so failures are visible instead of silently swallowed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ProgressEvent", "ProgressEmitter"]
+
+Subscriber = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observation of a long-running operation's advancement."""
+
+    operation: str
+    completed: int
+    total: int | None = None
+    monotonic_ns: int = field(default_factory=time.perf_counter_ns)
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> float | None:
+        """Completion in [0, 1], or ``None`` when the total is unknown."""
+        if self.total is None or self.total <= 0:
+            return None
+        return min(1.0, self.completed / self.total)
+
+    @property
+    def done(self) -> bool:
+        return self.total is not None and self.completed >= self.total
+
+    def __str__(self) -> str:
+        if self.fraction is None:
+            return f"{self.operation}: {self.completed} done"
+        return f"{self.operation}: {self.completed}/{self.total} ({self.fraction:.0%})"
+
+
+class ProgressEmitter:
+    """Fan-out of progress events to registered subscribers.
+
+    ``error_counter`` is a callable ``(operation, exception) -> None`` used
+    to account subscriber failures; the package wires it to the metrics
+    registry's ``obs.errors`` counter.
+    """
+
+    def __init__(
+        self,
+        history: int = 256,
+        error_counter: Callable[[str, BaseException], None] | None = None,
+    ) -> None:
+        if history < 0:
+            raise ValueError("history must be >= 0")
+        self._lock = threading.Lock()
+        self._subscribers: list[Subscriber] = []
+        self._history_size = history
+        self._history: list[ProgressEvent] = []
+        self._latest: dict[str, ProgressEvent] = {}
+        self._error_counter = error_counter
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register; returns an unsubscribe callable."""
+        with self._lock:
+            self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._subscribers.remove(subscriber)
+                except ValueError:
+                    pass  # already unsubscribed — idempotent by contract
+
+        return unsubscribe
+
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscribers)
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(
+        self,
+        operation: str,
+        completed: int,
+        total: int | None = None,
+        **attributes: object,
+    ) -> ProgressEvent | None:
+        """Build and fan out one event; returns it (None if nobody listens).
+
+        The no-listener path is the disabled fast path: one truthiness
+        check, no allocation. History and ``latest`` are therefore only
+        maintained while at least one subscriber is registered.
+        """
+        if not self._subscribers:
+            return None
+        event = ProgressEvent(operation, completed, total, attributes=attributes)
+        self.publish(event)
+        return event
+
+    def publish(self, event: ProgressEvent) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+            if self._history_size:
+                self._history.append(event)
+                if len(self._history) > self._history_size:
+                    del self._history[: len(self._history) - self._history_size]
+            self._latest[event.operation] = event
+        for subscriber in subscribers:
+            try:
+                subscriber(event)
+            except Exception as exc:
+                if self._error_counter is not None:
+                    self._error_counter(f"progress.{event.operation}", exc)
+
+    # -- observation -------------------------------------------------------
+
+    def latest(self, operation: str) -> ProgressEvent | None:
+        """Most recent event for ``operation`` (polling interface)."""
+        with self._lock:
+            return self._latest.get(operation)
+
+    def history(self, operation: str | None = None) -> list[ProgressEvent]:
+        with self._lock:
+            if operation is None:
+                return list(self._history)
+            return [e for e in self._history if e.operation == operation]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._subscribers.clear()
+            self._history.clear()
+            self._latest.clear()

@@ -1,0 +1,421 @@
+"""Hierarchical span tracing with a no-op fast path.
+
+The survey's efficiency requirements (Section 2) are claims about *where
+time goes* — caching, incremental computation, progressive approximation
+all trade one kind of work for another. This module is the measuring
+instrument: a dependency-free tracer whose spans nest (query → operator →
+store access), survive generator suspension (pull-based operators yield
+mid-span), and cost a single attribute check per call site when disabled.
+
+Design points:
+
+* **Monotonic clocks** — all durations come from ``time.perf_counter_ns``;
+  wall-clock timestamps are never compared.
+* **Suspension-aware durations** — :meth:`Span.pause` / :meth:`Span.resume`
+  accumulate *active* nanoseconds, so a generator that yields mid-span is
+  charged only for the time it actually ran. :func:`traced_iter` wraps any
+  iterator with that bookkeeping.
+* **Thread safety** — the ambient span stack is thread-local; the recorder
+  of finished root spans takes a lock only when a root span closes.
+* **Sampling** — a deterministic error-accumulation sampler keeps exactly
+  ``sample_rate`` of root spans in the long run (children follow their
+  root's fate, so traces are never torn).
+* **Disabled fast path** — :meth:`Tracer.span` returns one shared
+  :class:`NoopSpan` singleton when tracing is off: no allocation, no
+  clock read, no stack mutation.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Span",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "SpanRecorder",
+    "Tracer",
+    "traced_iter",
+]
+
+_clock = time.perf_counter_ns
+
+
+class Span:
+    """One timed region with attributes and child spans.
+
+    Duration is *active* time: the sum of run segments between
+    ``start``/``resume`` and ``pause``/``end``. For spans that never pause
+    this equals wall time; for generator-backed spans it excludes the time
+    the generator sat suspended in its consumer.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "start_ns",
+        "end_ns",
+        "_active_ns",
+        "_resumed_at",
+        "error",
+    )
+
+    def __init__(self, name: str, **attributes: object) -> None:
+        self.name = name
+        self.attributes: dict[str, object] = dict(attributes)
+        self.children: list[Span] = []
+        self.start_ns = _clock()
+        self.end_ns: int | None = None
+        self._active_ns = 0
+        self._resumed_at: int | None = self.start_ns
+        self.error: str | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def manual(
+        cls, name: str, duration_ns: int, **attributes: object
+    ) -> "Span":
+        """A pre-measured span (e.g. built post-hoc from operator timers)."""
+        span = cls(name, **attributes)
+        span._resumed_at = None
+        span._active_ns = int(duration_ns)
+        span.end_ns = span.start_ns + int(duration_ns)
+        return span
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop charging time to this span (generator about to yield)."""
+        if self._resumed_at is not None:
+            self._active_ns += _clock() - self._resumed_at
+            self._resumed_at = None
+
+    def resume(self) -> None:
+        """Start charging time again (generator resumed)."""
+        if self._resumed_at is None:
+            self._resumed_at = _clock()
+
+    def end(self) -> None:
+        if self.end_ns is not None:
+            return
+        now = _clock()
+        if self._resumed_at is not None:
+            self._active_ns += now - self._resumed_at
+            self._resumed_at = None
+        self.end_ns = now
+
+    # -- data --------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        """Active nanoseconds so far (final once :meth:`end` has run)."""
+        active = self._active_ns
+        if self._resumed_at is not None:
+            active += _clock() - self._resumed_at
+        return active
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    @property
+    def wall_ns(self) -> int:
+        """Start-to-end nanoseconds, suspensions included."""
+        end = self.end_ns if self.end_ns is not None else _clock()
+        return end - self.start_ns
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def add_child(self, child: "Span") -> None:
+        self.children.append(child)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        # The tracer that opened this span closes it (pops the stack);
+        # manual use (Span(...) as plain context manager) just ends it.
+        self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end_ns is None else f"{self.duration_ms:.3f}ms"
+        return f"<Span {self.name!r} {state} children={len(self.children)}>"
+
+
+class NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled.
+
+    Every method is a no-op and every instance-producing call returns the
+    singleton itself, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    attributes: dict[str, object] = {}
+    children: tuple = ()
+    duration_ns = 0
+    duration_ms = 0.0
+    wall_ns = 0
+    finished = True
+    error = None
+
+    def pause(self) -> None:
+        pass
+
+    def resume(self) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_child(self, child: object) -> None:
+        pass
+
+    def walk(self) -> Iterator["NoopSpan"]:
+        return iter(())
+
+    def find(self, name: str) -> list:
+        return []
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class SpanRecorder:
+    """Thread-safe sink of finished root spans, bounded by ``max_spans``."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def drain(self) -> list[Span]:
+        """Return and remove everything recorded so far."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+            return spans
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class _SpanStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+
+
+class Tracer:
+    """Creates and nests spans; owns the recorder and the sampler.
+
+    ``enabled`` is the one attribute hot call sites check. When False,
+    :meth:`span` returns :data:`NOOP_SPAN` immediately.
+    """
+
+    def __init__(self, enabled: bool = False, sample_rate: float = 1.0,
+                 max_spans: int = 10_000) -> None:
+        if not (0.0 <= sample_rate <= 1.0):
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.enabled = enabled
+        self.sample_rate = sample_rate
+        self.recorder = SpanRecorder(max_spans)
+        self._local = _SpanStack()
+        self._sample_lock = threading.Lock()
+        self._sample_error = 0.0
+
+    # -- sampling ----------------------------------------------------------
+
+    def _sample(self) -> bool:
+        """Deterministic error-diffusion sampling of root spans."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        with self._sample_lock:
+            self._sample_error += self.sample_rate
+            if self._sample_error >= 1.0:
+                self._sample_error -= 1.0
+                return True
+            return False
+
+    # -- span API ----------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> Span | NoopSpan:
+        """Open a span nested under the current one (context manager).
+
+        Closing the span (the ``with`` exit) pops it from the ambient
+        stack; root spans additionally land in the recorder.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._local.stack
+        if not stack and not self._sample():
+            # Sampling decisions are made per root span; spans opened under
+            # a sampled-out root re-sample as roots themselves.
+            return NOOP_SPAN
+        span = _TracerSpan(self, name, **attributes)
+        if stack:
+            stack[-1].add_child(span)
+        stack.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        stack = self._local.stack
+        return stack[-1] if stack else None
+
+    def traced(self, name: str | None = None, **attributes: object) -> Callable:
+        """Decorator form: the wrapped call runs inside a span."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def wrapper(*args: object, **kwargs: object) -> object:
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def attach(self, span: Span) -> None:
+        """Add a pre-built (e.g. manual) span under the current span, or
+        record it as a root if nothing is open."""
+        if not self.enabled:
+            return
+        current = self.current()
+        if current is not None:
+            current.add_child(span)
+        else:
+            self.recorder.record(span)
+
+    def reset(self) -> None:
+        self.recorder.clear()
+        self._local = _SpanStack()
+        with self._sample_lock:
+            self._sample_error = 0.0
+
+
+class _TracerSpan(Span):
+    """A tracer-owned span: closing it maintains the ambient stack."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: Tracer, name: str, **attributes: object) -> None:
+        super().__init__(name, **attributes)
+        self._tracer = tracer
+
+    def end(self) -> None:
+        if self.end_ns is not None:
+            return
+        super().end()
+        tracer = self._tracer
+        stack = tracer._local.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # leaked children above us: pop through
+            while stack and stack[-1] is not self:
+                stack.pop()
+            if stack:
+                stack.pop()
+        if not stack:
+            tracer.recorder.record(self)
+
+    def pause(self) -> None:
+        """Pause and step out of the ambient stack (generator yielding)."""
+        super().pause()
+        stack = self._tracer._local.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+
+    def resume(self) -> None:
+        """Resume and re-enter the ambient stack (generator resumed)."""
+        super().resume()
+        stack = self._tracer._local.stack
+        if not stack or stack[-1] is not self:
+            stack.append(self)
+
+
+def traced_iter(
+    tracer: Tracer, name: str, iterable: Iterable, **attributes: object
+) -> Iterator:
+    """Iterate ``iterable`` inside a suspension-aware span.
+
+    The span is active only while the underlying iterator is computing the
+    next item; time spent by the consumer between items is not charged.
+    The item count lands in the span's ``items`` attribute.
+    """
+    if not tracer.enabled:
+        yield from iterable
+        return
+    span = tracer.span(name, **attributes)
+    count = 0
+    iterator = iter(iterable)
+    try:
+        while True:
+            span.resume()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                break
+            finally:
+                span.pause()
+            count += 1
+            yield item
+    finally:
+        span.set_attribute("items", count)
+        span.resume()
+        span.end()

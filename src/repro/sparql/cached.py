@@ -8,13 +8,22 @@ digest of the *optimized logical plan*, with explicit invalidation for when
 the store changes. Plan-keying means syntactically different but
 plan-equivalent queries (whitespace, prefix renaming, reordered constant
 filters) share one cache entry.
+
+A hit returns the cached rows under a *tagged* EXPLAIN tree: the plan's
+``cached`` flag is set so its actual cardinalities are recognizably from
+the prior (computing) run, not from a fresh execution. Hit/miss traffic is
+mirrored into the ``cache.requests`` telemetry counters (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from ..cache.result_cache import ResultCache
+from ..obs import OBS
 from ..store.base import TripleSource
 from .eval import QueryEngine
+from .results import SelectResult
 
 __all__ = ["CachedQueryEngine"]
 
@@ -35,17 +44,23 @@ class CachedQueryEngine:
         optimize: bool = True,
     ) -> None:
         self.engine = QueryEngine(store, optimize=optimize)
-        self.cache = ResultCache(capacity, policy=policy)
+        self.cache = ResultCache(capacity, policy=policy, name="sparql.result")
 
     def query(self, text: str):
         if not isinstance(text, str):
             return self.engine.query(text)
         key = self.engine.plan_digest(text)
-        return self.cache.get_or_compute(key, lambda: self.engine.query(text))
+        hit = key in self.cache  # membership check leaves stats untouched
+        result = self.cache.get_or_compute(key, lambda: self.engine.query(text))
+        if hit:
+            result = _tag_cached(result)
+        return result
 
     def invalidate(self) -> None:
         """Drop all cached results (call after mutating the store)."""
         self.cache.clear()
+        if OBS.enabled:
+            OBS.metrics.counter("cache.invalidations", cache="sparql.result").inc()
 
     @property
     def hit_rate(self) -> float:
@@ -54,3 +69,23 @@ class CachedQueryEngine:
     @property
     def stats(self):
         return self.cache.stats
+
+
+def _tag_cached(result):
+    """Mark a cache-served result's EXPLAIN tree as coming from a prior run.
+
+    Only the root node is tagged (``render`` annotates the whole tree from
+    it). The cached result object itself is left untouched — the caller of
+    the run that *computed* the entry must keep seeing an untagged plan —
+    so a hit returns a shallow re-wrap sharing rows and stats.
+    """
+    if not isinstance(result, SelectResult) or result.plan is None:
+        return result
+    if result.plan.cached:
+        return result
+    return SelectResult(
+        result.variables,
+        result.rows,
+        stats=result.stats,
+        plan=replace(result.plan, cached=True),
+    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import OBS
 from ..rdf.graph import Graph
 from ..rdf.terms import BNode, IRI, Term, Variable
 from ..store.base import TripleSource
@@ -33,7 +34,13 @@ from .nodes import (
 )
 from .optimizer import CardinalityEstimator
 from .parser import parse_query
-from .physical import EvalStats, ExplainNode, PhysicalOperator, build_plan
+from .physical import (
+    EvalStats,
+    ExplainNode,
+    PhysicalOperator,
+    build_plan,
+    operator_span,
+)
 from .plan import (
     LogicalNode,
     LogicalSlice,
@@ -72,39 +79,72 @@ class QueryEngine:
 
         SELECT → :class:`SelectResult`, ASK → bool,
         CONSTRUCT/DESCRIBE → :class:`~repro.rdf.graph.Graph`.
+
+        When global tracing (:mod:`repro.obs`) is enabled, the run is
+        wrapped in a ``sparql.query`` span with one child span per
+        physical operator, timed inclusively and suspension-aware.
         """
         parsed = parse_query(text) if isinstance(text, str) else text
         per_query = EvalStats()
-        if isinstance(parsed, SelectQuery):
-            result = self._eval_select(parsed, per_query)
-        elif isinstance(parsed, AskQuery):
-            result = self._eval_ask(parsed, per_query)
-        elif isinstance(parsed, ConstructQuery):
-            result = self._eval_construct(parsed, per_query)
-        elif isinstance(parsed, DescribeQuery):
-            result = self._eval_describe(parsed, per_query)
-        else:
-            raise TypeError(f"unsupported query type: {type(parsed).__name__}")
+        if not OBS.enabled:
+            result = self._dispatch(parsed, per_query)
+            self.stats.merge(per_query)
+            return result
+        per_query.tracer = OBS.tracer
+        self._last_root = None
+        with OBS.tracer.span(
+            "sparql.query", form=type(parsed).__name__
+        ) as span:
+            result = self._dispatch(parsed, per_query)
+            span.set_attribute("store_lookups", per_query.store_lookups)
+            span.set_attribute("solutions", per_query.solutions)
+            root = self._last_root
+            if root is not None:
+                span.add_child(operator_span(root))
         self.stats.merge(per_query)
         return result
+
+    def _dispatch(self, parsed: Query, per_query: EvalStats):
+        if isinstance(parsed, SelectQuery):
+            return self._eval_select(parsed, per_query)
+        if isinstance(parsed, AskQuery):
+            return self._eval_ask(parsed, per_query)
+        if isinstance(parsed, ConstructQuery):
+            return self._eval_construct(parsed, per_query)
+        if isinstance(parsed, DescribeQuery):
+            return self._eval_describe(parsed, per_query)
+        raise TypeError(f"unsupported query type: {type(parsed).__name__}")
 
     def explain(self, text: str | Query, analyze: bool = True) -> ExplainNode:
         """The physical plan as an :class:`ExplainNode` tree.
 
         With ``analyze=True`` (the default) the plan is executed first, so
-        every node reports its actual row count next to the planner's
-        estimate; with ``analyze=False`` only estimates are filled in and
-        the store is not touched.
+        every node reports its actual row count and inclusive wall-clock
+        time (``time=…ms``, sourced from the operator span timers) next to
+        the planner's estimate; with ``analyze=False`` only estimates are
+        filled in and the store is not touched.
         """
         parsed = parse_query(text) if isinstance(text, str) else text
         per_query = EvalStats()
+        if analyze:
+            # EXPLAIN ANALYZE always times operators — measuring is the
+            # point — independent of the global tracing switch.
+            per_query.tracer = OBS.tracer
         root = self._build_root(parsed, per_query)
         if root is None:  # DESCRIBE without a WHERE clause has no plan
             detail = ", ".join(r.n3() for r in parsed.resources)
             return ExplainNode("Describe", detail, None, None, ())
         if analyze:
-            for _ in root.execute({}):
-                pass
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    "sparql.explain", form=type(parsed).__name__
+                ) as span:
+                    for _ in root.execute({}):
+                        pass
+                    span.add_child(operator_span(root))
+            else:
+                for _ in root.execute({}):
+                    pass
             self.stats.merge(per_query)
         return root.explain()
 
@@ -149,9 +189,13 @@ class QueryEngine:
         logical = self._logical(parsed)
         if logical is None:
             return None
-        return build_plan(
+        root = build_plan(
             logical, self.store, per_query, self._estimator(), optimize=self.optimize
         )
+        # Remembered so the tracing wrapper in :meth:`query` can attach the
+        # executed operator tree's spans after dispatch returns.
+        self._last_root = root
+        return root
 
     # ------------------------------------------------------------------ #
     # Query forms

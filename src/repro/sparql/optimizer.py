@@ -55,7 +55,7 @@ class CardinalityEstimator:
     :meth:`for_store` to pick automatically.
     """
 
-    __slots__ = ("snapshot", "store")
+    __slots__ = ("snapshot", "store", "snapshot_estimates", "live_estimates")
 
     def __init__(
         self,
@@ -66,6 +66,10 @@ class CardinalityEstimator:
             raise ValueError("need a statistics snapshot or a store")
         self.snapshot = snapshot
         self.store = store
+        # Cache-effectiveness counters: estimates answered from the cached
+        # statistics snapshot vs. live store.count probes.
+        self.snapshot_estimates = 0
+        self.live_estimates = 0
 
     @classmethod
     def for_store(cls, store: TripleSource) -> "CardinalityEstimator":
@@ -82,10 +86,18 @@ class CardinalityEstimator:
             return float(self.snapshot.triple_count)
         return float(len(self.store))
 
+    @property
+    def snapshot_hit_rate(self) -> float:
+        """Fraction of estimates served from the statistics snapshot."""
+        total = self.snapshot_estimates + self.live_estimates
+        return self.snapshot_estimates / total if total else 0.0
+
     def pattern_cardinality(self, pattern: TriplePatternNode) -> float:
         """Estimated matches for one triple pattern."""
         if self.snapshot is None:
+            self.live_estimates += 1
             return float(estimate_cardinality(self.store, pattern))
+        self.snapshot_estimates += 1
         s, p, o = _to_store_pattern(pattern)
         stats = self.snapshot
         n = float(stats.triple_count)

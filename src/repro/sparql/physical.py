@@ -24,9 +24,11 @@ pushed-down filters at the earliest point their variables are covered.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..obs import Span
 from ..rdf.terms import Term, Variable, term_sort_key
 from ..store.base import TripleSource
 from .expr import (
@@ -70,7 +72,13 @@ from .plan import (
     possible_variables,
 )
 
-__all__ = ["EvalStats", "ExplainNode", "PhysicalOperator", "build_plan"]
+__all__ = [
+    "EvalStats",
+    "ExplainNode",
+    "PhysicalOperator",
+    "build_plan",
+    "operator_span",
+]
 
 
 @dataclass
@@ -84,12 +92,18 @@ class EvalStats:
     Contract of :meth:`reset`: all counters return to zero and the
     ``operator_rows`` mapping is emptied *in place* — existing references
     to the stats object (and to ``operator_rows``) stay valid.
+
+    ``tracer`` doubles as the timing switch: when it is not ``None``,
+    operators accumulate per-operator wall-clock time (suspension-aware)
+    into ``wall_ns``, which EXPLAIN surfaces as ``time=``. The fast path
+    when unset is a single attribute check in :meth:`PhysicalOperator.execute`.
     """
 
     store_lookups: int = 0
     intermediate_bindings: int = 0
     solutions: int = 0
     operator_rows: dict[str, int] = field(default_factory=dict)
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     def reset(self) -> None:
         self.store_lookups = 0
@@ -111,13 +125,21 @@ class EvalStats:
 
 @dataclass(frozen=True)
 class ExplainNode:
-    """One node of an EXPLAIN (ANALYZE) tree."""
+    """One node of an EXPLAIN (ANALYZE) tree.
+
+    ``wall_ms`` is the operator's inclusive wall-clock time (children
+    included), sourced from the span timers; ``None`` when the run was not
+    timed. ``cached`` marks a plan served from a digest-keyed cache: its
+    actual cardinalities describe the *prior* run, not fresh execution.
+    """
 
     operator: str
     detail: str
     estimated_rows: float | None
     actual_rows: int | None
     children: tuple["ExplainNode", ...] = ()
+    wall_ms: float | None = None
+    cached: bool = False
 
     def render(self, indent: int = 0) -> str:
         estimated = (
@@ -125,7 +147,12 @@ class ExplainNode:
         )
         actual = "-" if self.actual_rows is None else str(self.actual_rows)
         detail = f" {self.detail}" if self.detail else ""
-        line = f"{'  ' * indent}{self.operator}{detail}  (est={estimated} actual={actual})"
+        timing = "" if self.wall_ms is None else f" time={self.wall_ms:.3f}ms"
+        cached = "  [cached plan: actuals from prior run]" if self.cached else ""
+        line = (
+            f"{'  ' * indent}{self.operator}{detail}  "
+            f"(est={estimated} actual={actual}{timing}){cached}"
+        )
         return "\n".join([line] + [c.render(indent + 1) for c in self.children])
 
     def walk(self) -> Iterator["ExplainNode"]:
@@ -138,7 +165,14 @@ class ExplainNode:
 
 
 class PhysicalOperator:
-    """Base class: wraps ``_run`` with actual-row accounting."""
+    """Base class: wraps ``_run`` with actual-row accounting.
+
+    When the owning :class:`EvalStats` carries a tracer, execution also
+    accumulates inclusive wall-clock time into ``wall_ns``. Timing is
+    suspension-aware: a pull-based operator is only charged for the
+    segments between being resumed and yielding the next row, never for
+    the time its consumer holds the generator suspended.
+    """
 
     name = "Operator"
 
@@ -153,13 +187,27 @@ class PhysicalOperator:
         self.actual_rows = 0
         self.executions = 0
         self.children = children
+        self.wall_ns = 0
+        self.timed = False
 
     def execute(self, binding: Binding) -> Iterator[Binding]:
         self.executions += 1
+        if self.stats.tracer is None:  # the disabled-telemetry fast path
+            for row in self._run(binding):
+                self.actual_rows += 1
+                self.stats.record_rows(self.name)
+                yield row
+            return
+        self.timed = True
+        clock = time.perf_counter_ns
+        started = clock()
         for row in self._run(binding):
+            self.wall_ns += clock() - started
             self.actual_rows += 1
             self.stats.record_rows(self.name)
             yield row
+            started = clock()
+        self.wall_ns += clock() - started
 
     def _run(self, binding: Binding) -> Iterator[Binding]:  # pragma: no cover
         raise NotImplementedError
@@ -174,6 +222,7 @@ class PhysicalOperator:
             self.estimated_rows,
             self.actual_rows if self.executions else None,
             tuple(child.explain() for child in self.children),
+            wall_ms=self.wall_ns / 1e6 if self.timed else None,
         )
 
 
@@ -657,6 +706,27 @@ class AggregateOp(PhysicalOperator):
         return "group by " + ", ".join(
             _canonical_expression(e) for e in self.group_by
         )
+
+
+def operator_span(op: PhysicalOperator) -> Span:
+    """Build the span tree of one executed operator tree.
+
+    Spans are assembled post-hoc from the operators' accumulated timers
+    (one span per operator, nested like the plan), so the engine can hang
+    the whole execution under its ``sparql.query`` span without paying a
+    per-row tracing cost during execution.
+    """
+    span = Span.manual(
+        f"op.{op.name}",
+        op.wall_ns,
+        detail=op.detail(),
+        actual_rows=op.actual_rows,
+        estimated_rows=op.estimated_rows,
+        executions=op.executions,
+    )
+    for child in op.children:
+        span.add_child(operator_span(child))
+    return span
 
 
 # --------------------------------------------------------------------------- #

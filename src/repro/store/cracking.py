@@ -21,6 +21,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import OBS
+
 __all__ = ["CrackedColumn", "FullSortColumn", "ScanColumn"]
 
 
@@ -80,6 +82,12 @@ class CrackedColumn:
         if 0 < len(piece):
             self._values[start:end] = np.concatenate((piece[mask], piece[~mask]))
             self.work_counter += len(piece)
+            if OBS.enabled:
+                OBS.metrics.counter("store.crack.operations").inc()
+                OBS.metrics.histogram(
+                    "store.crack.piece_elements",
+                    buckets=(8, 64, 512, 4_096, 32_768, 262_144, 2_097_152),
+                ).record(len(piece))
         insort(self._pivots, pivot)
         self._positions.insert(bisect_left(self._pivots, pivot), split)
         return split
@@ -89,8 +97,16 @@ class CrackedColumn:
         if hi < lo:
             raise ValueError("range_query requires lo <= hi")
         self.query_counter += 1
-        start = self._crack(lo)
-        end = self._crack(hi)
+        if not OBS.enabled:
+            start = self._crack(lo)
+            end = self._crack(hi)
+            return self._values[start:end]
+        with OBS.tracer.span("store.crack.range_query", lo=lo, hi=hi) as span:
+            work_before = self.work_counter
+            start = self._crack(lo)
+            end = self._crack(hi)
+            span.set_attribute("partitioned", self.work_counter - work_before)
+            span.set_attribute("pieces", self.piece_count)
         return self._values[start:end]
 
     def range_count(self, lo: float, hi: float) -> int:

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..obs import OBS
 from ..rdf.graph import TriplePattern
 from ..rdf.terms import Triple
 from .base import StatisticsSnapshot, compute_statistics
@@ -165,12 +166,27 @@ class PagedTripleStore:
         if page_size < _TRIPLE.size:
             raise ValueError("page size smaller than one triple record")
         os.makedirs(directory, exist_ok=True)
+        with OBS.tracer.span("store.paged.build", directory=directory) as span:
+            return cls._build_files(
+                triples, directory, page_size, cache_pages, span
+            )
+
+    @classmethod
+    def _build_files(
+        cls,
+        triples: Iterable[Triple],
+        directory: str,
+        page_size: int,
+        cache_pages: int,
+        span,
+    ) -> "PagedTripleStore":
         dictionary = TermDictionary()
         id_triples: set[tuple[int, int, int]] = set()
         for triple in triples:
             id_triples.add(dictionary.encode_triple(triple))
 
         per_page = page_size // _TRIPLE.size
+        pages_written = 0
         permutations: dict[str, _Permutation] = {}
         for name in _PERMUTATIONS:
             permute = _PERMUTE[name]
@@ -184,7 +200,10 @@ class PagedTripleStore:
                     payload = b"".join(_TRIPLE.pack(*k) for k in page_keys)
                     fh.write(payload.ljust(page_size, b"\xff"))
                     perm.page_count += 1
+                    pages_written += 1
             permutations[name] = perm
+        if OBS.enabled:
+            OBS.metrics.counter("store.paged.page_writes").inc(pages_written)
 
         # Store statistics, computed once at build time and persisted in the
         # meta header so re-opened stores can plan queries without scanning.
@@ -212,6 +231,8 @@ class PagedTripleStore:
                 for fence in perm.fences:
                     fh.write(_TRIPLE.pack(*fence))
 
+        span.set_attribute("triples", len(id_triples))
+        span.set_attribute("pages", pages_written)
         return cls(
             directory,
             dictionary,
@@ -287,6 +308,14 @@ class PagedTripleStore:
             fh.seek(page_no * self.page_size)
             page = fh.read(self.page_size)
             self.pool.put(key, page)
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "store.paged.page_reads", permutation=perm_name
+                ).inc()
+        elif OBS.enabled:
+            OBS.metrics.counter(
+                "store.paged.pool_hits", permutation=perm_name
+            ).inc()
         return page
 
     def _page_keys(self, perm_name: str, page_no: int) -> Iterator[tuple[int, int, int]]:

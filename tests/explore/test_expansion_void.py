@@ -128,7 +128,11 @@ class TestCachedQueryEngine:
         engine = CachedQueryEngine(store)
         first = engine.query(self.QUERY)
         second = engine.query(self.QUERY)
-        assert first is second
+        # A hit returns a thin wrapper sharing the cached rows, with the
+        # plan tagged as served-from-cache.
+        assert second.rows is first.rows
+        assert not first.plan.cached
+        assert second.plan.cached
         assert engine.hit_rate == 0.5
 
     def test_invalidate_refetches(self, store):

@@ -1,0 +1,92 @@
+"""Exporters: JSON lines, text trees, and BENCH_*.json merging."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    render_span_tree,
+    span_to_dicts,
+    spans_to_jsonl,
+    telemetry_payload,
+)
+from repro.obs.export import merge_into_bench
+
+
+def _tree() -> Span:
+    root = Span.manual("sparql.query", 5_000_000, form="SelectQuery")
+    join = Span.manual("op.Join", 4_000_000)
+    join.add_child(Span.manual("op.Scan", 1_500_000))
+    root.add_child(join)
+    return root
+
+
+class TestSpanDicts:
+    def test_parent_links(self):
+        records = span_to_dicts(_tree())
+        by_id = {r["id"]: r for r in records}
+        assert [r["name"] for r in records] == [
+            "sparql.query", "op.Join", "op.Scan",
+        ]
+        assert records[0]["parent_id"] is None
+        assert by_id[records[1]["id"]]["parent_id"] == records[0]["id"]
+        assert by_id[records[2]["id"]]["parent_id"] == records[1]["id"]
+        assert records[0]["attributes"] == {"form": "SelectQuery"}
+
+    def test_jsonl_round_trips_and_ids_stay_unique(self):
+        text = spans_to_jsonl([_tree(), _tree()])
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == 6
+        assert len({r["id"] for r in records}) == 6
+
+    def test_error_spans_marked(self):
+        span = Span("bad")
+        try:
+            with span:
+                raise KeyError("x")
+        except KeyError:
+            pass
+        (record,) = span_to_dicts(span)
+        assert record["error"] == "KeyError"
+
+
+class TestRenderTree:
+    def test_indentation_and_durations(self):
+        text = render_span_tree(_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("sparql.query  5.000ms")
+        assert "[form=SelectQuery]" in lines[0]
+        assert lines[1].startswith("  op.Join  4.000ms")
+        assert lines[2].startswith("    op.Scan  1.500ms")
+
+
+class TestPayloadAndMerge:
+    def test_rollup_counts_by_span_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("query"):
+                with tracer.span("op.Scan"):
+                    pass
+        registry = MetricsRegistry()
+        registry.counter("cache.hits", cache="r").inc(2)
+        payload = telemetry_payload(registry, tracer)
+        assert payload["spans"]["query"]["count"] == 3
+        assert payload["spans"]["op.Scan"]["count"] == 3
+        assert payload["metrics"]["cache.hits{cache=r}"]["value"] == 2
+
+    def test_merge_into_existing_bench_file(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"experiment": "x", "seconds": 1.5}))
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        merged = merge_into_bench(path, registry)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == merged
+        assert on_disk["experiment"] == "x"  # original keys preserved
+        assert on_disk["telemetry"]["metrics"]["a"]["value"] == 1
+
+    def test_merge_creates_missing_file(self, tmp_path):
+        path = tmp_path / "BENCH_new.json"
+        merge_into_bench(path, MetricsRegistry())
+        assert "telemetry" in json.loads(path.read_text())

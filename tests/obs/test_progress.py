@@ -1,0 +1,67 @@
+"""Progress events: fan-out, history, and subscriber failure isolation."""
+
+from repro.obs import OBS, ProgressEmitter, ProgressEvent
+
+
+class TestProgressEvent:
+    def test_fraction_and_done(self):
+        event = ProgressEvent("load", completed=3, total=4)
+        assert event.fraction == 0.75
+        assert not event.done
+        assert ProgressEvent("load", 4, 4).done
+        assert ProgressEvent("load", 5).fraction is None
+        assert "3/4" in str(ProgressEvent("load", 3, 4))
+
+
+class TestEmitter:
+    def test_no_subscribers_is_a_no_op(self):
+        emitter = ProgressEmitter()
+        assert emitter.emit("op", completed=1, total=2) is None
+        assert emitter.history() == []
+        assert emitter.latest("op") is None
+
+    def test_fan_out_and_latest(self):
+        emitter = ProgressEmitter()
+        seen: list[ProgressEvent] = []
+        unsubscribe = emitter.subscribe(seen.append)
+        emitter.emit("op", completed=1, total=3, detail="x")
+        emitter.emit("op", completed=2, total=3)
+        assert [e.completed for e in seen] == [1, 2]
+        assert seen[0].attributes == {"detail": "x"}
+        assert emitter.latest("op").completed == 2
+        unsubscribe()
+        unsubscribe()  # idempotent
+        assert emitter.emit("op", completed=3, total=3) is None
+
+    def test_history_is_bounded(self):
+        emitter = ProgressEmitter(history=4)
+        emitter.subscribe(lambda e: None)
+        for i in range(10):
+            emitter.emit("op", completed=i)
+        history = emitter.history("op")
+        assert [e.completed for e in history] == [6, 7, 8, 9]
+
+    def test_subscriber_exception_is_counted_not_raised(self):
+        errors: list[tuple[str, BaseException]] = []
+        emitter = ProgressEmitter(
+            error_counter=lambda site, exc: errors.append((site, exc))
+        )
+
+        def bad(event):
+            raise RuntimeError("subscriber bug")
+
+        seen = []
+        emitter.subscribe(bad)
+        emitter.subscribe(seen.append)
+        emitter.emit("op", completed=1)  # must not raise
+        assert len(seen) == 1  # later subscribers still served
+        assert errors[0][0] == "progress.op"
+        assert isinstance(errors[0][1], RuntimeError)
+
+    def test_global_emitter_routes_errors_to_obs_counter(self):
+        OBS.progress.subscribe(lambda e: 1 / 0)
+        OBS.progress.emit("op", completed=1)
+        counter = OBS.metrics.counter(
+            "obs.errors", site="progress.op", exception="ZeroDivisionError"
+        )
+        assert counter.value == 1

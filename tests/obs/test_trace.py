@@ -1,0 +1,235 @@
+"""Span tracing: nesting, suspension, sampling, thread safety, no-op path."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    OBS,
+    Span,
+    SpanRecorder,
+    Tracer,
+    trace_query,
+    traced_iter,
+)
+
+
+class TestSpanBasics:
+    def test_duration_accumulates_only_active_time(self):
+        span = Span("work")
+        time.sleep(0.002)
+        span.pause()
+        paused_at = span.duration_ns
+        time.sleep(0.01)
+        assert span.duration_ns == paused_at  # clock stopped while paused
+        span.resume()
+        span.end()
+        assert span.finished
+        assert span.duration_ns >= paused_at
+        assert span.wall_ns > span.duration_ns  # wall includes the suspension
+
+    def test_end_is_idempotent(self):
+        span = Span("once")
+        span.end()
+        frozen = span.duration_ns
+        time.sleep(0.001)
+        span.end()
+        assert span.duration_ns == frozen
+
+    def test_manual_span_carries_given_duration(self):
+        span = Span.manual("op.Scan", 2_500_000, rows=7)
+        assert span.finished
+        assert span.duration_ns == 2_500_000
+        assert span.duration_ms == 2.5
+        assert span.attributes["rows"] == 7
+
+    def test_context_manager_records_exception_type(self):
+        span = Span("boom")
+        with pytest.raises(ValueError):
+            with span:
+                raise ValueError("nope")
+        assert span.finished
+        assert span.error == "ValueError"
+
+    def test_walk_and_find(self):
+        root = Span("root")
+        child = Span("op.Scan")
+        grandchild = Span("op.Scan")
+        child.add_child(grandchild)
+        root.add_child(child)
+        assert [s.name for s in root.walk()] == ["root", "op.Scan", "op.Scan"]
+        assert root.find("op.Scan") == [child, grandchild]
+
+
+class TestTracerNesting:
+    def test_with_blocks_nest(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        roots = tracer.recorder.spans()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+
+    def test_traced_decorator(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.traced("compute")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert [s.name for s in tracer.recorder.spans()] == ["compute"]
+
+    def test_attach_manual_span_under_current(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("query") as span:
+            tracer.attach(Span.manual("op.Join", 1000))
+        assert [c.name for c in span.children] == ["op.Join"]
+
+
+class TestGeneratorSuspension:
+    def test_traced_iter_charges_producer_not_consumer(self):
+        tracer = Tracer(enabled=True)
+
+        def produce():
+            for i in range(3):
+                time.sleep(0.002)
+                yield i
+
+        items = []
+        for item in traced_iter(tracer, "producer", produce()):
+            time.sleep(0.01)  # consumer time must not be charged
+            items.append(item)
+        assert items == [0, 1, 2]
+        (span,) = tracer.recorder.spans()
+        assert span.attributes["items"] == 3
+        assert span.duration_ns >= 3 * 2_000_000
+        # consumer slept ~30ms; active time must exclude it
+        assert span.duration_ns < 15_000_000
+
+    def test_spans_opened_between_items_do_not_nest_under_iterator(self):
+        # The iterator span steps out of the ambient stack while suspended,
+        # so work done between items nests under the *outer* span.
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            for _ in traced_iter(tracer, "producer", range(2)):
+                with tracer.span("consume"):
+                    pass
+        names = [c.name for c in outer.children]
+        assert names == ["producer", "consume", "consume"]
+        producer = outer.children[0]
+        assert producer.children == []
+
+    def test_traced_iter_abandoned_generator_closes_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            iterator = traced_iter(tracer, "producer", range(100))
+            next(iterator)
+            iterator.close()  # LIMIT-style early termination
+        producer = outer.children[0]
+        assert producer.finished
+        assert producer.attributes["items"] == 1
+
+
+class TestRecorder:
+    def test_bounded_with_drop_count(self):
+        recorder = SpanRecorder(max_spans=2)
+        for i in range(5):
+            span = Span(f"s{i}")
+            span.end()
+            recorder.record(span)
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+
+    def test_drain_empties(self):
+        recorder = SpanRecorder()
+        span = Span("a")
+        span.end()
+        recorder.record(span)
+        assert recorder.drain() == [span]
+        assert len(recorder) == 0
+
+    def test_thread_safety_of_concurrent_roots(self):
+        tracer = Tracer(enabled=True, max_spans=100_000)
+        per_thread = 200
+
+        def work():
+            for i in range(per_thread):
+                with tracer.span("root"):
+                    with tracer.span("child"):
+                        pass
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.recorder.spans()
+        assert len(roots) == 8 * per_thread
+        assert all(len(r.children) == 1 for r in roots)
+        assert tracer.recorder.dropped == 0
+
+
+class TestSampling:
+    def test_error_diffusion_keeps_exact_fraction(self):
+        tracer = Tracer(enabled=True, sample_rate=0.25)
+        for _ in range(100):
+            with tracer.span("root"):
+                pass
+        assert len(tracer.recorder.spans()) == 25
+
+    def test_zero_rate_records_nothing(self):
+        tracer = Tracer(enabled=True, sample_rate=0.0)
+        for _ in range(10):
+            with tracer.span("root"):
+                pass
+        assert tracer.recorder.spans() == []
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", detail="x")
+        second = tracer.span("b")
+        assert first is NOOP_SPAN
+        assert second is NOOP_SPAN  # zero allocation: one shared instance
+
+    def test_noop_span_absorbs_the_full_api(self):
+        with NOOP_SPAN as span:
+            span.set_attribute("k", "v")
+            span.add_child(Span("x"))
+            span.pause()
+            span.resume()
+        assert NOOP_SPAN.attributes == {}
+        assert list(NOOP_SPAN.walk()) == []
+        assert NOOP_SPAN.duration_ns == 0
+
+    def test_traced_iter_passthrough_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        assert list(traced_iter(tracer, "x", range(3))) == [0, 1, 2]
+        assert tracer.recorder.spans() == []
+
+    def test_global_handle_disabled_by_default(self):
+        assert OBS.tracer.span("anything") is NOOP_SPAN
+
+
+class TestTraceQuery:
+    def test_enables_temporarily_and_restores(self):
+        assert not OBS.enabled
+        with trace_query("session", user="t") as span:
+            assert OBS.enabled
+            with OBS.tracer.span("step"):
+                pass
+        assert not OBS.enabled
+        assert span.finished
+        assert [c.name for c in span.children] == ["step"]
+        assert span.attributes["user"] == "t"
