@@ -11,6 +11,7 @@ Table 2).
 from __future__ import annotations
 
 from ..graph.model import PropertyGraph
+from ..obs import INTERACTIVE, NAVIGATION, OBS
 from ..rdf.terms import IRI, BNode, Literal, Subject
 from ..store.base import TripleSource
 
@@ -31,10 +32,13 @@ class NeighborhoodExplorer:
 
     def start(self, resource: Subject) -> PropertyGraph:
         """Seed the view with one resource and its neighborhood."""
-        self.view = PropertyGraph()
-        self.expanded = set()
-        self.triples_fetched = 0
-        return self.expand(resource)
+        with OBS.interaction(
+            "explore.expand.start", NAVIGATION, resource=str(resource)
+        ):
+            self.view = PropertyGraph()
+            self.expanded = set()
+            self.triples_fetched = 0
+            return self.expand(resource)
 
     def expand(self, resource: Subject) -> PropertyGraph:
         """Add ``resource``'s outgoing and incoming links to the view.
@@ -43,28 +47,32 @@ class NeighborhoodExplorer:
         ``max_neighbors`` new edges are added per expansion (Lodlive's cap
         against hub explosions). Re-expanding is a no-op.
         """
-        if resource in self.expanded:
-            return self.view
-        self.expanded.add(resource)
-        self.view.add_node(resource)
-        added = 0
-        for s, p, o in self.store.triples((resource, None, None)):
-            self.triples_fetched += 1
-            if isinstance(o, Literal):
-                self.view.set_attribute(s, str(p), o.value)
-                continue
-            if added >= self.max_neighbors:
-                continue
-            self.view.add_edge(s, o, label=str(p))
-            added += 1
-        for s, p, _ in self.store.triples((None, None, resource)):
-            self.triples_fetched += 1
-            if added >= self.max_neighbors:
-                break
-            if isinstance(s, (IRI, BNode)):
-                self.view.add_edge(s, resource, label=str(p))
+        with OBS.interaction(
+            "explore.expand", INTERACTIVE, resource=str(resource)
+        ) as act:
+            if resource in self.expanded:
+                return self.view
+            self.expanded.add(resource)
+            self.view.add_node(resource)
+            added = 0
+            for s, p, o in self.store.triples((resource, None, None)):
+                self.triples_fetched += 1
+                if isinstance(o, Literal):
+                    self.view.set_attribute(s, str(p), o.value)
+                    continue
+                if added >= self.max_neighbors:
+                    continue
+                self.view.add_edge(s, o, label=str(p))
                 added += 1
-        return self.view
+            for s, p, _ in self.store.triples((None, None, resource)):
+                self.triples_fetched += 1
+                if added >= self.max_neighbors:
+                    break
+                if isinstance(s, (IRI, BNode)):
+                    self.view.add_edge(s, resource, label=str(p))
+                    added += 1
+            act.set_attribute("edges_added", added)
+            return self.view
 
     def collapse(self, resource: Subject) -> PropertyGraph:
         """Remove a previously expanded node's exclusive neighbors.
@@ -73,22 +81,25 @@ class NeighborhoodExplorer:
         expanded node) stay; leaf neighbors brought in only by ``resource``
         are dropped — the Lodlive "close bubble" behaviour.
         """
-        if resource not in self.expanded:
+        with OBS.interaction(
+            "explore.collapse", INTERACTIVE, resource=str(resource)
+        ):
+            if resource not in self.expanded:
+                return self.view
+            self.expanded.discard(resource)
+            keep: set[int] = set()
+            for anchor in self.expanded:
+                if anchor in self.view:
+                    index = self.view.index_of(anchor)
+                    keep.add(index)
+                    keep.update(self.view.neighbors(index))
+            if resource in self.view and self.expanded:
+                # the collapsed node stays if still linked from a kept anchor
+                index = self.view.index_of(resource)
+                if index not in keep:
+                    keep.discard(index)
+            self.view = self.view.subgraph(keep)
             return self.view
-        self.expanded.discard(resource)
-        keep: set[int] = set()
-        for anchor in self.expanded:
-            if anchor in self.view:
-                index = self.view.index_of(anchor)
-                keep.add(index)
-                keep.update(self.view.neighbors(index))
-        if resource in self.view and self.expanded:
-            # the collapsed node stays if still linked from a kept anchor
-            index = self.view.index_of(resource)
-            if index not in keep:
-                keep.discard(index)
-        self.view = self.view.subgraph(keep)
-        return self.view
 
     @property
     def frontier(self) -> list[Subject]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..obs import INTERACTIVE, NAVIGATION, OBS
 from ..rdf.terms import IRI, BNode, Literal, Subject, Term, Variable
 from ..rdf.vocab import RDF
 from ..sparql.eval import QueryEngine
@@ -93,26 +94,30 @@ class FacetedBrowser:
         Facet order: by number of focus resources covered (descending) —
         the usual "most useful filters on top" heuristic.
         """
-        per_predicate: dict[IRI, Counter] = {}
-        coverage: Counter = Counter()
-        for subject in self.focus:
-            seen_predicates = set()
-            for _, p, o in self.store.triples((subject, None, None)):
-                per_predicate.setdefault(p, Counter())[o] += 1
-                seen_predicates.add(p)
-            for p in seen_predicates:
-                coverage[p] += 1
-        facets = []
-        for predicate, values in per_predicate.items():
-            top = [
-                FacetValue(value, count)
-                for value, count in values.most_common(max_values)
-                if count >= min_count
-            ]
-            if top:
-                facets.append(Facet(predicate, top))
-        facets.sort(key=lambda f: (-coverage[f.predicate], str(f.predicate)))
-        return facets
+        with OBS.interaction(
+            "facets.summarize", INTERACTIVE, focus=len(self.focus)
+        ) as act:
+            per_predicate: dict[IRI, Counter] = {}
+            coverage: Counter = Counter()
+            for subject in self.focus:
+                seen_predicates = set()
+                for _, p, o in self.store.triples((subject, None, None)):
+                    per_predicate.setdefault(p, Counter())[o] += 1
+                    seen_predicates.add(p)
+                for p in seen_predicates:
+                    coverage[p] += 1
+            facets = []
+            for predicate, values in per_predicate.items():
+                top = [
+                    FacetValue(value, count)
+                    for value, count in values.most_common(max_values)
+                    if count >= min_count
+                ]
+                if top:
+                    facets.append(Facet(predicate, top))
+            facets.sort(key=lambda f: (-coverage[f.predicate], str(f.predicate)))
+            act.set_attribute("facets", len(facets))
+            return facets
 
     def facet(self, predicate: IRI, max_values: int = 25) -> Facet:
         """One facet's value counts via the store's POS index.
@@ -121,25 +126,29 @@ class FacetedBrowser:
         dataset — the reason index-backed browsers refresh facets
         interactively (benchmark C12's subject).
         """
-        counts: Counter = Counter()
-        for s, _, o in self.store.triples((None, predicate, None)):
-            if s in self.focus:
-                counts[o] += 1
-        return Facet(
-            predicate,
-            [FacetValue(v, c) for v, c in counts.most_common(max_values)],
-        )
+        with OBS.interaction(
+            "facets.facet", INTERACTIVE, predicate=str(predicate)
+        ):
+            counts: Counter = Counter()
+            for s, _, o in self.store.triples((None, predicate, None)):
+                if s in self.focus:
+                    counts[o] += 1
+            return Facet(
+                predicate,
+                [FacetValue(v, c) for v, c in counts.most_common(max_values)],
+            )
 
     def class_facet(self) -> Facet:
         """The rdf:type facet (the root of most faceted UIs)."""
-        counts: Counter = Counter()
-        for subject in self.focus:
-            for _, _, o in self.store.triples((subject, RDF.type, None)):
-                counts[o] += 1
-        return Facet(
-            RDF.type,
-            [FacetValue(v, c) for v, c in counts.most_common()],
-        )
+        with OBS.interaction("facets.class_facet", INTERACTIVE):
+            counts: Counter = Counter()
+            for subject in self.focus:
+                for _, _, o in self.store.triples((subject, RDF.type, None)):
+                    counts[o] += 1
+            return Facet(
+                RDF.type,
+                [FacetValue(v, c) for v, c in counts.most_common()],
+            )
 
     # -- refinement -----------------------------------------------------------
 
@@ -149,62 +158,73 @@ class FacetedBrowser:
         Refinements are queries: the constraint runs through the engine's
         plan pipeline as ``SELECT ?s WHERE { ?s <predicate> value }``.
         """
-        subject = Variable("s")
-        result = self.engine.query(
-            SelectQuery(
-                projections=(Projection(subject),),
-                where=GroupGraphPattern((TriplePatternNode(subject, predicate, value),)),
+        with OBS.interaction(
+            "facets.select", INTERACTIVE, predicate=str(predicate)
+        ) as act:
+            subject = Variable("s")
+            result = self.engine.query(
+                SelectQuery(
+                    projections=(Projection(subject),),
+                    where=GroupGraphPattern(
+                        (TriplePatternNode(subject, predicate, value),)
+                    ),
+                )
             )
-        )
-        self.focus &= {row[subject] for row in result.rows if subject in row}
-        self.constraints.append((predicate, value))
-        return len(self.focus)
+            self.focus &= {row[subject] for row in result.rows if subject in row}
+            self.constraints.append((predicate, value))
+            act.set_attribute("focus", len(self.focus))
+            return len(self.focus)
 
     def select_range(self, predicate: IRI, low: float, high: float) -> int:
         """Numeric range constraint ``low <= value < high`` (SynopsViz-style
         interval facets for numeric properties), evaluated as a FILTER
         query through the engine."""
-        subject, value_var = Variable("s"), Variable("v")
-        window = BinaryExpr(
-            "&&",
-            BinaryExpr(">=", VariableExpr(value_var), TermExpr(Literal(float(low)))),
-            BinaryExpr("<", VariableExpr(value_var), TermExpr(Literal(float(high)))),
-        )
-        # ISNUMERIC guard: comparisons fall back to string order for
-        # non-numeric literals, but a range facet only matches numbers.
-        condition = BinaryExpr(
-            "&&", FunctionCall("ISNUMERIC", (VariableExpr(value_var),)), window
-        )
-        result = self.engine.query(
-            SelectQuery(
-                projections=(Projection(subject),),
-                where=GroupGraphPattern(
-                    (
-                        TriplePatternNode(subject, predicate, value_var),
-                        FilterPattern(condition),
-                    )
-                ),
+        with OBS.interaction(
+            "facets.select_range", INTERACTIVE, predicate=str(predicate)
+        ) as act:
+            subject, value_var = Variable("s"), Variable("v")
+            window = BinaryExpr(
+                "&&",
+                BinaryExpr(">=", VariableExpr(value_var), TermExpr(Literal(float(low)))),
+                BinaryExpr("<", VariableExpr(value_var), TermExpr(Literal(float(high)))),
             )
-        )
-        self.focus &= {row[subject] for row in result.rows if subject in row}
-        self.constraints.append((predicate, Literal(f"[{low}, {high})")))
-        return len(self.focus)
+            # ISNUMERIC guard: comparisons fall back to string order for
+            # non-numeric literals, but a range facet only matches numbers.
+            condition = BinaryExpr(
+                "&&", FunctionCall("ISNUMERIC", (VariableExpr(value_var),)), window
+            )
+            result = self.engine.query(
+                SelectQuery(
+                    projections=(Projection(subject),),
+                    where=GroupGraphPattern(
+                        (
+                            TriplePatternNode(subject, predicate, value_var),
+                            FilterPattern(condition),
+                        )
+                    ),
+                )
+            )
+            self.focus &= {row[subject] for row in result.rows if subject in row}
+            self.constraints.append((predicate, Literal(f"[{low}, {high})")))
+            act.set_attribute("focus", len(self.focus))
+            return len(self.focus)
 
     def deselect_last(self) -> int:
         """Undo the most recent constraint (recomputes from scratch)."""
-        if not self.constraints:
+        with OBS.interaction("facets.deselect_last", NAVIGATION):
+            if not self.constraints:
+                return len(self.focus)
+            remaining = self.constraints[:-1]
+            self.reset()
+            for predicate, value in remaining:
+                if isinstance(value, Literal) and value.lexical.startswith("["):
+                    # re-apply recorded range constraints
+                    body = value.lexical.strip("[)")
+                    low_text, high_text = body.split(",")
+                    self.select_range(predicate, float(low_text), float(high_text))
+                else:
+                    self.select(predicate, value)
             return len(self.focus)
-        remaining = self.constraints[:-1]
-        self.reset()
-        for predicate, value in remaining:
-            if isinstance(value, Literal) and value.lexical.startswith("["):
-                # re-apply recorded range constraints
-                body = value.lexical.strip("[)")
-                low_text, high_text = body.split(",")
-                self.select_range(predicate, float(low_text), float(high_text))
-            else:
-                self.select(predicate, value)
-        return len(self.focus)
 
     def reset(self) -> None:
         """Clear all constraints; focus returns to the initial set."""
@@ -220,27 +240,31 @@ class FacetedBrowser:
         alive, as in Visor). The link traversal runs through the engine as
         ``SELECT ?o WHERE { VALUES ?s { <focus...> } ?s <predicate> ?o }``.
         """
-        subject, target = Variable("s"), Variable("o")
-        result = self.engine.query(
-            SelectQuery(
-                projections=(Projection(target),),
-                where=GroupGraphPattern(
-                    (
-                        ValuesPattern(
-                            (subject,),
-                            tuple((s,) for s in sorted(self.focus, key=str)),
-                        ),
-                        TriplePatternNode(subject, predicate, target),
-                    )
-                ),
+        with OBS.interaction(
+            "facets.pivot", NAVIGATION, predicate=str(predicate)
+        ) as act:
+            subject, target = Variable("s"), Variable("o")
+            result = self.engine.query(
+                SelectQuery(
+                    projections=(Projection(target),),
+                    where=GroupGraphPattern(
+                        (
+                            ValuesPattern(
+                                (subject,),
+                                tuple((s,) for s in sorted(self.focus, key=str)),
+                            ),
+                            TriplePatternNode(subject, predicate, target),
+                        )
+                    ),
+                )
             )
-        )
-        targets: set[Subject] = {
-            row[target]
-            for row in result.rows
-            if target in row and isinstance(row[target], (IRI, BNode))
-        }
-        return FacetedBrowser(self.store, focus=targets, engine=self.engine)
+            targets: set[Subject] = {
+                row[target]
+                for row in result.rows
+                if target in row and isinstance(row[target], (IRI, BNode))
+            }
+            act.set_attribute("targets", len(targets))
+            return FacetedBrowser(self.store, focus=targets, engine=self.engine)
 
     def __len__(self) -> int:
         return len(self.focus)

@@ -12,6 +12,7 @@ import math
 import re
 from collections import Counter, defaultdict
 
+from ..obs import BATCH, INTERACTIVE, OBS
 from ..rdf.terms import IRI, Literal, Subject
 from ..rdf.vocab import FOAF, RDFS, SKOS
 from ..store.base import TripleSource
@@ -61,19 +62,21 @@ class KeywordIndex:
     def index_store(self, store: TripleSource) -> int:
         """Index all label predicates plus IRI local names; returns the
         number of resources indexed."""
-        indexed: set[Subject] = set()
-        for predicate in _LABEL_PREDICATES:
-            for s, _, o in store.triples((None, predicate, None)):
-                if isinstance(o, Literal):
-                    self.add(s, o.lexical)
-                    indexed.add(s)
-        for s, _, _ in store.triples((None, None, None)):
-            if s not in indexed and isinstance(s, IRI):
-                local = s.local_name
-                if local:
-                    self.add(s, local)
-                    indexed.add(s)
-        return len(indexed)
+        with OBS.interaction("keyword.index_store", BATCH) as act:
+            indexed: set[Subject] = set()
+            for predicate in _LABEL_PREDICATES:
+                for s, _, o in store.triples((None, predicate, None)):
+                    if isinstance(o, Literal):
+                        self.add(s, o.lexical)
+                        indexed.add(s)
+            for s, _, _ in store.triples((None, None, None)):
+                if s not in indexed and isinstance(s, IRI):
+                    local = s.local_name
+                    if local:
+                        self.add(s, local)
+                        indexed.add(s)
+            act.set_attribute("resources", len(indexed))
+            return len(indexed)
 
     # -- search --------------------------------------------------------------
 
@@ -86,25 +89,27 @@ class KeywordIndex:
         matching more query terms dominates)."""
         if limit < 1:
             raise ValueError("limit must be positive")
-        tokens = tokenize_label(query)
-        if not tokens or not self._doc_lengths:
-            return []
-        n = self.document_count
-        scores: dict[Subject, float] = defaultdict(float)
-        matches: dict[Subject, int] = defaultdict(int)
-        for token in tokens:
-            postings = self._postings.get(token)
-            if not postings:
-                continue
-            idf = math.log(1.0 + n / len(postings))
-            for resource, tf in postings.items():
-                scores[resource] += (tf / self._doc_lengths[resource]) * idf
-                matches[resource] += 1
-        ranked = sorted(
-            scores.items(),
-            key=lambda item: (-matches[item[0]], -item[1], str(item[0])),
-        )
-        return [(resource, score) for resource, score in ranked[:limit]]
+        with OBS.interaction("keyword.search", INTERACTIVE, query=query) as act:
+            tokens = tokenize_label(query)
+            if not tokens or not self._doc_lengths:
+                return []
+            n = self.document_count
+            scores: dict[Subject, float] = defaultdict(float)
+            matches: dict[Subject, int] = defaultdict(int)
+            for token in tokens:
+                postings = self._postings.get(token)
+                if not postings:
+                    continue
+                idf = math.log(1.0 + n / len(postings))
+                for resource, tf in postings.items():
+                    scores[resource] += (tf / self._doc_lengths[resource]) * idf
+                    matches[resource] += 1
+            ranked = sorted(
+                scores.items(),
+                key=lambda item: (-matches[item[0]], -item[1], str(item[0])),
+            )
+            act.set_attribute("results", min(limit, len(ranked)))
+            return [(resource, score) for resource, score in ranked[:limit]]
 
     def label_of(self, resource: Subject) -> str:
         return self._labels.get(resource, str(resource))

@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..graph.model import PropertyGraph
+from ..obs import INTERACTIVE, NAVIGATION, OBS, track
 from ..rdf.terms import IRI, BNode, Literal, Subject
 from ..store.base import TripleSource
 
@@ -86,6 +87,21 @@ def find_relationships(
     (RelFinder's cycle rule). Returns at most ``max_paths`` paths of at
     most ``max_length`` hops, shortest first, deterministic order.
     """
+    with OBS.interaction(
+        "explore.relfinder", NAVIGATION, start=str(start), end=str(end)
+    ) as act:
+        paths = _find_relationships(store, start, end, max_length, max_paths)
+        act.set_attribute("paths", len(paths))
+        return paths
+
+
+def _find_relationships(
+    store: TripleSource,
+    start: Subject,
+    end: Subject,
+    max_length: int,
+    max_paths: int,
+) -> list[RelationPath]:
     if max_length < 1:
         raise ValueError("max_length must be >= 1")
     if max_paths < 1:
@@ -116,6 +132,7 @@ def find_relationships(
     return paths
 
 
+@track("explore.relfinder.graph", INTERACTIVE)
 def relationship_graph(paths: list[RelationPath]) -> PropertyGraph:
     """The union subgraph of the found paths (RelFinder's display graph)."""
     graph = PropertyGraph()

@@ -14,7 +14,15 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
-__all__ = ["OperationKind", "Operation", "MantraStage", "ExplorationSession"]
+from ..obs import INTERACTIVE, NAVIGATION, OBS
+
+__all__ = [
+    "OperationKind",
+    "Operation",
+    "MantraStage",
+    "ExplorationSession",
+    "interaction_class_of",
+]
 
 
 class OperationKind(Enum):
@@ -52,6 +60,28 @@ _STAGE_OF = {
 }
 
 
+# Latency-budget class per operation kind: direct-manipulation steps must
+# feel instantaneous; steps that load or derive new data get the looser
+# navigation budget.
+_INTERACTION_CLASS = {
+    OperationKind.OVERVIEW: INTERACTIVE,
+    OperationKind.ZOOM: INTERACTIVE,
+    OperationKind.FILTER: INTERACTIVE,
+    OperationKind.PAN: INTERACTIVE,
+    OperationKind.DETAILS: INTERACTIVE,
+    OperationKind.QUERY: NAVIGATION,
+    OperationKind.DRILL_DOWN: NAVIGATION,
+    OperationKind.ROLL_UP: NAVIGATION,
+    OperationKind.PIVOT: NAVIGATION,
+    OperationKind.SEARCH: NAVIGATION,
+}
+
+
+def interaction_class_of(kind: OperationKind) -> str:
+    """The latency-budget class a session operation is held to."""
+    return _INTERACTION_CLASS[kind]
+
+
 @dataclass(frozen=True)
 class Operation:
     """One logged step: what happened, over what, with what result size."""
@@ -76,14 +106,19 @@ class ExplorationSession:
         target: str = "",
         result_size: int | None = None,
     ) -> Operation:
-        operation = Operation(
-            kind=kind,
-            target=target,
-            result_size=result_size,
-            sequence=len(self.operations),
-        )
-        self.operations.append(operation)
-        self._undone.clear()
+        with OBS.interaction(
+            f"session.{kind.value}", interaction_class_of(kind),
+            user=self.user, target=target,
+        ) as act:
+            operation = Operation(
+                kind=kind,
+                target=target,
+                result_size=result_size,
+                sequence=len(self.operations),
+            )
+            self.operations.append(operation)
+            self._undone.clear()
+            act.set_attribute("sequence", operation.sequence)
         return operation
 
     def undo(self) -> Operation:
@@ -133,9 +168,20 @@ class ExplorationSession:
         return counts
 
     def replay(self, handler: Callable[[Operation], None]) -> int:
-        """Feed every operation to ``handler`` (bench/session-simulation)."""
+        """Feed every operation to ``handler`` (bench/session-simulation).
+
+        Each step is budget-accounted under its kind's interaction class,
+        so a replay over a workload trace yields a per-class
+        :class:`~repro.obs.BudgetReport` (``OBS.budgets.report()``).
+        """
         for operation in self.operations:
-            handler(operation)
+            with OBS.interaction(
+                f"session.replay.{operation.kind.value}",
+                interaction_class_of(operation.kind),
+                target=operation.target,
+                sequence=operation.sequence,
+            ):
+                handler(operation)
         return len(self.operations)
 
     def __len__(self) -> int:

@@ -21,6 +21,7 @@ from collections import deque
 
 import numpy as np
 
+from ..obs import INTERACTIVE, NAVIGATION, track
 from .model import PropertyGraph
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
 ]
 
 
+@track("graph.layout.fruchterman_reingold", NAVIGATION)
 def fruchterman_reingold(
     graph: PropertyGraph,
     iterations: int = 50,
@@ -81,6 +83,7 @@ def fruchterman_reingold(
     return pos
 
 
+@track("graph.layout.circular", INTERACTIVE)
 def circular_layout(graph: PropertyGraph, radius: float = 500.0) -> np.ndarray:
     """Nodes evenly spaced on a circle — O(n), layout of last resort."""
     n = graph.node_count
@@ -92,6 +95,7 @@ def circular_layout(graph: PropertyGraph, radius: float = 500.0) -> np.ndarray:
     )
 
 
+@track("graph.layout.layered", NAVIGATION)
 def layered_layout(
     graph: PropertyGraph,
     roots: list[int] | None = None,
@@ -159,6 +163,7 @@ def layered_layout(
     return pos
 
 
+@track("graph.layout.grid", INTERACTIVE)
 def grid_layout(graph: PropertyGraph, cell: float = 50.0) -> np.ndarray:
     """Row-major grid — deterministic positions for tiling/spatial tests."""
     n = graph.node_count

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import BATCH, INTERACTIVE, OBS
 from .abstraction import AbstractionPyramid
 from .layout import fruchterman_reingold
 from .model import PropertyGraph
@@ -34,20 +35,24 @@ class MultiScaleView:
     ) -> None:
         if max_elements_per_view < 1:
             raise ValueError("max_elements_per_view must be positive")
-        self.pyramid = AbstractionPyramid(graph, seed=seed)
-        self.max_elements = max_elements_per_view
-        self.world = world
-        self.layouts: list[np.ndarray] = []
-        self.views: list[ViewportGraphView] = []
-        for level_graph in self.pyramid.levels:
-            positions = fruchterman_reingold(
-                level_graph,
-                iterations=layout_iterations if level_graph.node_count <= 3000 else 5,
-                size=world,
-                seed=seed,
-            )
-            self.layouts.append(positions)
-            self.views.append(ViewportGraphView(level_graph, positions))
+        with OBS.interaction(
+            "graph.lod.build", BATCH, nodes=graph.node_count
+        ) as act:
+            self.pyramid = AbstractionPyramid(graph, seed=seed)
+            self.max_elements = max_elements_per_view
+            self.world = world
+            self.layouts: list[np.ndarray] = []
+            self.views: list[ViewportGraphView] = []
+            for level_graph in self.pyramid.levels:
+                positions = fruchterman_reingold(
+                    level_graph,
+                    iterations=layout_iterations if level_graph.node_count <= 3000 else 5,
+                    size=world,
+                    seed=seed,
+                )
+                self.layouts.append(positions)
+                self.views.append(ViewportGraphView(level_graph, positions))
+            act.set_attribute("levels", self.pyramid.height)
 
     @property
     def height(self) -> int:
@@ -60,19 +65,23 @@ class MultiScaleView:
         edge count is within ``max_elements`` wins, falling back to the
         coarsest level.
         """
-        for level in range(self.height):
-            nodes, edges = self.views[level].window_query(window)
-            if len(nodes) + len(edges) <= self.max_elements:
-                return level
-        return self.height - 1
+        with OBS.interaction("graph.lod.level_for", INTERACTIVE):
+            for level in range(self.height):
+                nodes, edges = self.views[level].window_query(window)
+                if len(nodes) + len(edges) <= self.max_elements:
+                    return level
+            return self.height - 1
 
     def window_query(
         self, window: Rect
     ) -> tuple[int, list[int], list[tuple[int, int]]]:
         """``(level, node indexes, edges)`` for one viewport interaction."""
-        level = self.level_for(window)
-        nodes, edges = self.views[level].window_query(window)
-        return level, nodes, edges
+        with OBS.interaction("graph.lod.window_query", INTERACTIVE) as act:
+            level = self.level_for(window)
+            nodes, edges = self.views[level].window_query(window)
+            act.set_attribute("level", level)
+            act.set_attribute("elements", len(nodes) + len(edges))
+            return level, nodes, edges
 
     def rendered_elements(self, window: Rect) -> int:
         _, nodes, edges = self.window_query(window)
@@ -80,4 +89,5 @@ class MultiScaleView:
 
     def members_of(self, level: int, super_id: int) -> list[int]:
         """Base-graph members of a super-node (for expand interactions)."""
-        return self.pyramid.members_at(level, super_id)
+        with OBS.interaction("graph.lod.members_of", INTERACTIVE):
+            return self.pyramid.members_at(level, super_id)

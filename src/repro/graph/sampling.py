@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import random
 
+from ..obs import NAVIGATION, track
 from .model import PropertyGraph
 
 __all__ = ["random_node_sample", "random_edge_sample", "forest_fire_sample"]
 
 
+@track("graph.sampling.random_node", NAVIGATION)
 def random_node_sample(graph: PropertyGraph, k: int, seed: int = 0) -> PropertyGraph:
     """Induced subgraph on ``k`` uniformly chosen nodes."""
     if k < 0:
@@ -32,6 +34,7 @@ def random_node_sample(graph: PropertyGraph, k: int, seed: int = 0) -> PropertyG
     return graph.subgraph(rng.sample(range(n), k))
 
 
+@track("graph.sampling.random_edge", NAVIGATION)
 def random_edge_sample(graph: PropertyGraph, k_edges: int, seed: int = 0) -> PropertyGraph:
     """Subgraph of ``k_edges`` uniformly chosen edges and their endpoints."""
     if k_edges < 0:
@@ -45,6 +48,7 @@ def random_edge_sample(graph: PropertyGraph, k_edges: int, seed: int = 0) -> Pro
     return result
 
 
+@track("graph.sampling.forest_fire", NAVIGATION)
 def forest_fire_sample(
     graph: PropertyGraph,
     k: int,

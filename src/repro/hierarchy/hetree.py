@@ -24,6 +24,7 @@ import math
 from typing import Callable, Iterator, Sequence
 
 from ..obs import OBS
+from ..obs.metrics import TIME_MS_BUCKETS
 from .stats import NodeStats
 
 __all__ = ["HETreeNode", "HETreeBase", "HETreeC", "HETreeR", "auto_parameters"]
@@ -294,7 +295,7 @@ def _record_build(span, flavour: str) -> None:
     """Mirror one construction span into the build-time histogram."""
     if OBS.enabled:
         OBS.metrics.histogram(
-            "hierarchy.hetree.build_ms", flavour=flavour
+            "hierarchy.hetree.build_ms", buckets=TIME_MS_BUCKETS, flavour=flavour
         ).record(span.duration_ms)
 
 

@@ -1,8 +1,9 @@
-"""repro.obs — unified telemetry: spans, metrics, and progress events.
+"""repro.obs — unified telemetry: spans, metrics, progress, budgets, flight.
 
 One process-wide :class:`Observability` handle (``OBS``) owns the tracer,
-the metrics registry, and the progress emitter. Hot call sites across the
-query/store/cache stack guard on a single attribute check::
+the metrics registry, the progress emitter, the latency-budget tracker, and
+the flight recorder. Hot call sites across the query/store/cache stack
+guard on a single attribute check::
 
     from repro.obs import OBS
     ...
@@ -19,17 +20,44 @@ convenience context manager::
         engine.query(text)
     print(render_span_tree(span))
 
+*Interactions* — the user-facing operations of the exploration layer — are
+accounted **always**, not only under tracing: each one is timed against its
+class's latency budget (``interactive`` 100 ms, ``navigation`` 300 ms,
+``progressive`` 1 s cadence), lands in the flight recorder's ring buffer,
+and emits a span tagged ``interaction_class`` when tracing is on. A budget
+violation or an ``obs.errors`` hit dumps the recent flight history
+(JSONL + offending span tree) so slow interactions are diagnosable after
+the fact::
+
+    with OBS.interaction("facets.pivot", "navigation") as act:
+        browser = browser.pivot(predicate)
+    print(OBS.budgets.report().render())
+
 Error accounting is always on (exceptions are rare, visibility is cheap):
 :func:`record_error` bumps the ``obs.errors`` counter labelled with the
-site and exception type, replacing silent ``except: pass`` swallowing.
+site and exception type — label cardinality capped, overflow folded into
+``other`` — replacing silent ``except: pass`` swallowing.
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
+from .budget import (
+    BATCH,
+    DEFAULT_BUDGETS_MS,
+    INTERACTIVE,
+    NAVIGATION,
+    PROGRESSIVE,
+    BudgetReport,
+    BudgetTracker,
+    ClassReport,
+    LatencyBudget,
+)
 from .export import (
     merge_into_bench,
     render_span_tree,
@@ -37,8 +65,11 @@ from .export import (
     spans_to_jsonl,
     telemetry_payload,
 )
+from .flight import FlightDump, FlightEntry, FlightRecorder
 from .metrics import (
     DEFAULT_BUCKETS,
+    TIME_MS_BUCKETS,
+    BoundedLabelSet,
     Counter,
     Gauge,
     Histogram,
@@ -57,9 +88,11 @@ from .trace import (
 __all__ = [
     "OBS",
     "Observability",
+    "Interaction",
     "configure",
     "record_error",
     "trace_query",
+    "track",
     # trace
     "Span",
     "NoopSpan",
@@ -72,10 +105,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "BoundedLabelSet",
     "DEFAULT_BUCKETS",
+    "TIME_MS_BUCKETS",
     # progress
     "ProgressEmitter",
     "ProgressEvent",
+    # budgets
+    "INTERACTIVE",
+    "NAVIGATION",
+    "PROGRESSIVE",
+    "BATCH",
+    "DEFAULT_BUDGETS_MS",
+    "LatencyBudget",
+    "ClassReport",
+    "BudgetReport",
+    "BudgetTracker",
+    # flight recorder
+    "FlightEntry",
+    "FlightDump",
+    "FlightRecorder",
     # export
     "span_to_dicts",
     "spans_to_jsonl",
@@ -84,19 +133,96 @@ __all__ = [
     "merge_into_bench",
 ]
 
+_clock = time.perf_counter_ns
+
+# Cardinality caps for the obs.errors counter labels: sites are code-chosen
+# (bounded in practice), exception types are input-driven (unbounded).
+_ERROR_SITE_CAP = 64
+_ERROR_EXCEPTION_CAP = 16
+
 
 def _env_enabled() -> bool:
     return os.environ.get("REPRO_TRACE", "").strip() not in ("", "0", "false")
 
 
-class Observability:
-    """The process-wide telemetry handle: tracer + metrics + progress.
+class Interaction:
+    """One budget-accounted interaction (context manager).
 
-    ``enabled`` is the one flag hot paths check; it mirrors
-    ``tracer.enabled`` so both spellings stay consistent.
+    Always: times the body, feeds the budget tracker, and records a flight
+    entry. When tracing is enabled: additionally opens a span tagged
+    ``interaction_class`` under the ambient stack. A budget violation
+    triggers a (throttled) flight-recorder dump carrying the offending
+    span tree.
     """
 
-    __slots__ = ("enabled", "tracer", "metrics", "progress")
+    __slots__ = ("_obs", "name", "interaction_class", "attributes",
+                 "_span", "_start_ns")
+
+    def __init__(self, obs: "Observability", name: str,
+                 interaction_class: str, attributes: dict[str, object]) -> None:
+        self._obs = obs
+        self.name = name
+        self.interaction_class = interaction_class
+        self.attributes = attributes
+        self._span: Span | NoopSpan = NOOP_SPAN
+        self._start_ns = 0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach ``key=value`` to both the flight entry and the span."""
+        self.attributes[key] = value
+        self._span.set_attribute(key, value)
+
+    def __enter__(self) -> "Interaction":
+        self._start_ns = _clock()
+        self._span = self._obs.tracer.span(
+            self.name,
+            interaction_class=self.interaction_class,
+            **self.attributes,
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.__exit__(exc_type, exc, tb)
+        duration_ms = (_clock() - self._start_ns) / 1e6
+        obs = self._obs
+        attributes = self.attributes
+        attributes["interaction_class"] = self.interaction_class
+        if exc_type is not None:
+            attributes["error"] = exc_type.__name__
+        violated = obs.budgets.observe(
+            self.interaction_class, duration_ms, operation=self.name
+        )
+        span = self._span
+        entry = obs.flight.record(
+            "interaction",
+            self.name,
+            duration_ms=duration_ms,
+            attributes=attributes,
+            violated=violated,
+            span=span if span is not NOOP_SPAN else None,
+        )
+        if violated:
+            obs.flight.dump(
+                f"budget:{self.interaction_class}:{self.name}",
+                offending=entry,
+                force=False,
+            )
+
+
+class Observability:
+    """The process-wide telemetry handle: tracer + metrics + progress +
+    budgets + flight recorder.
+
+    ``enabled`` is the one flag hot paths check; it mirrors
+    ``tracer.enabled`` so both spellings stay consistent. Budget and
+    flight accounting are *always on* — they cost a couple of clock reads
+    per interaction, and interactions are user-scale events, not row-scale
+    ones.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics", "progress", "budgets",
+                 "flight", "_error_sites", "_error_exceptions",
+                 "_progress_last_ns")
 
     def __init__(self, enabled: bool | None = None) -> None:
         if enabled is None:
@@ -105,11 +231,53 @@ class Observability:
         self.tracer = Tracer(enabled=enabled)
         self.metrics = MetricsRegistry()
         self.progress = ProgressEmitter(error_counter=self._count_error)
+        self.flight = FlightRecorder()
+        self.budgets = BudgetTracker(metrics=self.metrics)
+        self._error_sites = BoundedLabelSet(_ERROR_SITE_CAP)
+        self._error_exceptions = BoundedLabelSet(_ERROR_EXCEPTION_CAP)
+        self._progress_last_ns: dict[str, int] = {}
+        self.progress.tap(self._flight_progress)
+
+    # -- error accounting --------------------------------------------------
 
     def _count_error(self, site: str, exc: BaseException) -> None:
+        folded_site = self._error_sites.fold(site)
+        folded_exception = self._error_exceptions.fold(type(exc).__name__)
         self.metrics.counter(
-            "obs.errors", site=site, exception=type(exc).__name__
+            "obs.errors", site=folded_site, exception=folded_exception
         ).inc()
+        entry = self.flight.record(
+            "error", folded_site,
+            attributes={"exception": type(exc).__name__, "message": str(exc)},
+        )
+        self.flight.dump(f"error:{folded_site}", offending=entry, force=False)
+
+    # -- interactions ------------------------------------------------------
+
+    def interaction(self, name: str, interaction_class: str = INTERACTIVE,
+                    **attributes: object) -> Interaction:
+        """Open one budget-accounted interaction (see :class:`Interaction`)."""
+        return Interaction(self, name, interaction_class, dict(attributes))
+
+    # -- progress → flight + cadence budget --------------------------------
+
+    def _flight_progress(self, event: ProgressEvent) -> None:
+        """Always-on tap: ring-record every progress event and hold
+        progressive updates to the ``progressive`` cadence budget (the gap
+        between successive events of one operation, not their duration)."""
+        attributes: dict[str, object] = {"completed": event.completed}
+        if event.total is not None:
+            attributes["total"] = event.total
+        self.flight.record("progress", event.operation, attributes=attributes)
+        previous = self._progress_last_ns.get(event.operation)
+        self._progress_last_ns[event.operation] = event.monotonic_ns
+        if previous is not None:
+            gap_ms = (event.monotonic_ns - previous) / 1e6
+            self.budgets.observe(
+                PROGRESSIVE, gap_ms, operation=f"progress.{event.operation}"
+            )
+
+    # -- configuration -----------------------------------------------------
 
     def configure(
         self,
@@ -129,10 +297,20 @@ class Observability:
         return self
 
     def reset(self) -> None:
-        """Clear recorded spans, metrics, and progress state (tests)."""
+        """Clear recorded spans, metrics, progress, budget, and flight
+        state (tests)."""
         self.tracer.reset()
         self.metrics.reset()
         self.progress.reset()
+        # a fresh tracker also restores any budget overrides to the defaults
+        self.budgets = BudgetTracker(metrics=self.metrics)
+        self.flight.reset()
+        self._error_sites = BoundedLabelSet(_ERROR_SITE_CAP)
+        self._error_exceptions = BoundedLabelSet(_ERROR_EXCEPTION_CAP)
+        self._progress_last_ns = {}
+        # ProgressEmitter.reset dropped all subscribers and taps; re-wire
+        # the always-on flight feed.
+        self.progress.tap(self._flight_progress)
 
 
 OBS = Observability()
@@ -151,6 +329,26 @@ def configure(
 def record_error(site: str, exc: BaseException) -> None:
     """Count an exception in the ``obs.errors`` metric (always on)."""
     OBS._count_error(site, exc)
+
+
+def track(name: str, interaction_class: str = INTERACTIVE,
+          **attributes: object) -> Callable:
+    """Decorator form of :meth:`Observability.interaction`.
+
+    The wrapped call is budget-accounted and flight-recorded on the global
+    handle; under tracing it runs inside a span tagged
+    ``interaction_class``.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            with OBS.interaction(name, interaction_class, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 @contextmanager

@@ -20,13 +20,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "BoundedLabelSet",
     "DEFAULT_BUCKETS",
+    "TIME_MS_BUCKETS",
 ]
 
 # Default latency-ish buckets (unit-agnostic; callers pick ms or counts).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
     100.0, 500.0, 1_000.0, 5_000.0, 10_000.0,
+)
+
+# Millisecond-latency buckets for operator/interaction timings. The
+# unit-agnostic defaults above have a factor-of-5 gap around 0.5–2ms, where
+# most operator timings land (BENCH_obs.json), making p50/p95 interpolation
+# meaningless there; these are dense through that range and include the
+# latency-budget boundaries (100 / 300 / 1000 ms) as exact bucket edges.
+TIME_MS_BUCKETS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0,
+    5.0, 7.5, 10.0, 15.0, 25.0, 50.0, 75.0, 100.0, 150.0, 300.0,
+    500.0, 1_000.0, 2_500.0, 10_000.0,
 )
 
 LabelKey = tuple[tuple[str, str], ...]
@@ -201,6 +214,41 @@ class Histogram:
 
     def snapshot(self) -> dict[str, object]:
         return {"type": "histogram", **self.summary()}
+
+
+class BoundedLabelSet:
+    """Caps the distinct values of one label dimension.
+
+    Metric labels multiply: a counter labelled with exception type names can
+    mint a new time series per distinct exception, unboundedly. ``fold``
+    passes the first ``cap`` distinct values through verbatim and maps
+    everything after that to ``overflow_label``, so the registry stays
+    bounded while the common labels keep their identity.
+    """
+
+    __slots__ = ("cap", "overflow_label", "_lock", "_seen")
+
+    def __init__(self, cap: int, overflow_label: str = "other") -> None:
+        if cap < 1:
+            raise ValueError("cap must be positive")
+        self.cap = cap
+        self.overflow_label = overflow_label
+        self._lock = threading.Lock()
+        self._seen: set[str] = set()
+
+    def fold(self, label: object) -> str:
+        text = str(label)
+        with self._lock:
+            if text in self._seen:
+                return text
+            if len(self._seen) < self.cap:
+                self._seen.add(text)
+                return text
+        return self.overflow_label
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
 
 
 class MetricsRegistry:

@@ -70,6 +70,7 @@ class ProgressEmitter:
             raise ValueError("history must be >= 0")
         self._lock = threading.Lock()
         self._subscribers: list[Subscriber] = []
+        self._taps: list[Subscriber] = []
         self._history_size = history
         self._history: list[ProgressEvent] = []
         self._latest: dict[str, ProgressEvent] = {}
@@ -90,6 +91,26 @@ class ProgressEmitter:
                     pass  # already unsubscribed — idempotent by contract
 
         return unsubscribe
+
+    def tap(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register an *internal* observer (e.g. the flight recorder).
+
+        Taps receive every published event but do not count toward
+        :attr:`has_subscribers`, so guarded emitters keep their no-listener
+        fast path: an operator that skips :meth:`emit` when nobody is
+        watching stays silent even while taps are installed.
+        """
+        with self._lock:
+            self._taps.append(subscriber)
+
+        def untap() -> None:
+            with self._lock:
+                try:
+                    self._taps.remove(subscriber)
+                except ValueError:
+                    pass  # already removed — idempotent by contract
+
+        return untap
 
     @property
     def has_subscribers(self) -> bool:
@@ -118,7 +139,7 @@ class ProgressEmitter:
 
     def publish(self, event: ProgressEvent) -> None:
         with self._lock:
-            subscribers = list(self._subscribers)
+            subscribers = list(self._subscribers) + list(self._taps)
             if self._history_size:
                 self._history.append(event)
                 if len(self._history) > self._history_size:
@@ -147,5 +168,6 @@ class ProgressEmitter:
     def reset(self) -> None:
         with self._lock:
             self._subscribers.clear()
+            self._taps.clear()
             self._history.clear()
             self._latest.clear()

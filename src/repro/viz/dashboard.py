@@ -13,6 +13,8 @@ import re
 from dataclasses import dataclass
 from xml.sax.saxutils import escape
 
+from ..obs import NAVIGATION, OBS
+
 __all__ = ["Panel", "compose_dashboard"]
 
 _SVG_OPEN_RE = re.compile(r"<svg\b[^>]*>")
@@ -41,6 +43,20 @@ def compose_dashboard(
     """Arrange panels in a grid; returns one standalone SVG document."""
     if not panels:
         raise ValueError("a dashboard needs at least one panel")
+    with OBS.interaction(
+        "viz.dashboard.compose", NAVIGATION, panels=len(panels)
+    ):
+        return _compose(panels, columns, panel_width, panel_height, gutter, title)
+
+
+def _compose(
+    panels: list[Panel],
+    columns: int | None,
+    panel_width: float,
+    panel_height: float,
+    gutter: float,
+    title: str,
+) -> str:
     if columns is None:
         columns = max(1, math.ceil(math.sqrt(len(panels))))
     if columns < 1:

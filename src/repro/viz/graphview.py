@@ -5,12 +5,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.model import PropertyGraph
+from ..obs import NAVIGATION, track
 from .charts import PALETTE
 from .svg import SVGCanvas
 
 __all__ = ["render_node_link"]
 
 
+@track("viz.graphview.render", NAVIGATION)
 def render_node_link(
     graph: PropertyGraph,
     positions: np.ndarray,

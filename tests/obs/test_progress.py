@@ -65,3 +65,110 @@ class TestEmitter:
             "obs.errors", site="progress.op", exception="ZeroDivisionError"
         )
         assert counter.value == 1
+
+
+class TestUnsubscribeDuringFanOut:
+    def test_self_removal_mid_dispatch_skips_nobody(self):
+        """A subscriber unsubscribing itself during fan-out must not make
+        later subscribers miss the in-flight event or see it twice."""
+        emitter = ProgressEmitter()
+        first: list[int] = []
+        later: list[int] = []
+
+        def self_removing(event):
+            first.append(event.completed)
+            unsubscribe()
+
+        unsubscribe = emitter.subscribe(self_removing)
+        emitter.subscribe(lambda e: later.append(e.completed))
+
+        emitter.emit("op", completed=1)
+        emitter.emit("op", completed=2)
+        # the remover saw only the event it removed itself during
+        assert first == [1]
+        # the later subscriber saw every event exactly once
+        assert later == [1, 2]
+
+    def test_removing_another_subscriber_mid_dispatch(self):
+        """Removing a peer during fan-out still delivers the in-flight
+        event to that peer (snapshot semantics), and never double-delivers."""
+        emitter = ProgressEmitter()
+        victim_seen: list[int] = []
+        handles: dict[str, object] = {}
+
+        emitter.subscribe(lambda e: handles["victim"]())  # remover runs first
+        handles["victim"] = emitter.subscribe(
+            lambda e: victim_seen.append(e.completed)
+        )
+
+        emitter.emit("op", completed=1)
+        emitter.emit("op", completed=2)
+        assert victim_seen == [1]  # in-flight delivery, then cleanly gone
+
+    def test_concurrent_unsubscribe_never_corrupts_fan_out(self):
+        import threading
+
+        emitter = ProgressEmitter()
+        deliveries: list[int] = []
+        handles = [
+            emitter.subscribe(lambda e: deliveries.append(e.completed))
+            for _ in range(8)
+        ]
+
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                for handle in handles:
+                    handle()
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for i in range(200):
+                emitter.emit("op", completed=i)  # must never raise
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestTaps:
+    def test_taps_do_not_count_as_subscribers(self):
+        emitter = ProgressEmitter()
+        seen: list[ProgressEvent] = []
+        emitter.tap(seen.append)
+        assert not emitter.has_subscribers
+        # guarded emitters stay on the no-listener fast path
+        assert emitter.emit("op", completed=1) is None
+        assert seen == []
+
+    def test_taps_receive_published_events(self):
+        emitter = ProgressEmitter()
+        tapped: list[int] = []
+        untap = emitter.tap(lambda e: tapped.append(e.completed))
+        emitter.subscribe(lambda e: None)  # a real listener opens the gate
+        emitter.emit("op", completed=1)
+        untap()
+        untap()  # idempotent
+        emitter.emit("op", completed=2)
+        assert tapped == [1]
+
+    def test_global_flight_tap_records_published_progress(self):
+        OBS.progress.subscribe(lambda e: None)
+        OBS.progress.emit("load", completed=3, total=10)
+        entries = [e for e in OBS.flight.entries() if e.kind == "progress"]
+        assert entries and entries[-1].name == "load"
+        assert entries[-1].attributes == {"completed": 3, "total": 10}
+
+    def test_progressive_cadence_budget_measures_gaps(self):
+        OBS.progress.subscribe(lambda e: None)
+        base = 1_000_000_000
+        OBS.progress.publish(
+            ProgressEvent("agg", 1, 10, monotonic_ns=base)
+        )
+        OBS.progress.publish(  # 2.5 s after the previous update: violation
+            ProgressEvent("agg", 2, 10, monotonic_ns=base + 2_500_000_000)
+        )
+        entry = OBS.budgets.report().for_class("progressive")
+        assert entry.count == 1  # gaps, not events
+        assert entry.violations == 1
