@@ -9,7 +9,7 @@ confidence intervals (:mod:`repro.approx.progressive`).
 from .diversify import diversity_score, euclidean, maxmin_diversify
 from .binning import Bin, equi_depth_bins, equi_width_bins, grid_bins_2d
 from .m4 import m4_aggregate, pixel_error, rasterize_minmax, uniform_downsample
-from .progressive import ProgressiveAggregator, ProgressiveEstimate
+from .progressive import ProgressiveAggregator, ProgressiveEstimate, StreamingMoments
 from .streaming import StreamingExtremes, StreamingHistogram
 from .sampling import (
     reservoir_sample,
@@ -25,6 +25,7 @@ __all__ = [
     "ProgressiveEstimate",
     "StreamingExtremes",
     "StreamingHistogram",
+    "StreamingMoments",
     "diversity_score",
     "equi_depth_bins",
     "equi_width_bins",

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..obs import OBS, ProgressEmitter
 
-__all__ = ["ProgressiveEstimate", "ProgressiveAggregator"]
+__all__ = ["ProgressiveEstimate", "ProgressiveAggregator", "StreamingMoments"]
 
 # two-sided normal quantiles for common confidence levels
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -64,6 +64,74 @@ class ProgressiveEstimate:
         )
 
 
+class StreamingMoments:
+    """Welford mean/variance over a stream, with CLT confidence intervals.
+
+    The estimator behind both :class:`ProgressiveAggregator` (which knows
+    its population exactly) and the serving layer's load-shedding tier
+    (which only has the planner's *estimate* of the population): feed
+    values one at a time, then ask :meth:`estimate` for the running mean
+    with a finite-population-corrected interval against any population
+    size.
+    """
+
+    __slots__ = ("confidence", "z", "n", "_mean", "_m2")
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        if confidence not in _Z:
+            raise ValueError(f"confidence must be one of {sorted(_Z)}")
+        self.confidence = confidence
+        self.z = _Z[confidence]
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(float(value))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 below two observations)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    def estimate(self, population: int | None = None) -> ProgressiveEstimate:
+        """The running mean ± CI, scaled against ``population``.
+
+        ``population`` defaults to the observations seen (the interval then
+        collapses to zero — everything was observed). A larger population
+        widens the interval per the usual ``sqrt(variance / n)`` CLT term
+        with finite-population correction.
+        """
+        n = self.n
+        total = n if population is None else max(int(population), n)
+        halfwidth = (
+            self.z * math.sqrt(self.variance / n) if n > 1 else float("inf")
+        )
+        if total > 1:
+            fpc = math.sqrt(max(0.0, (total - n) / (total - 1)))
+            halfwidth *= fpc
+        if n == 0:
+            halfwidth = float("inf")
+        return ProgressiveEstimate(
+            seen=n,
+            population=total,
+            mean=self._mean,
+            ci_halfwidth=halfwidth,
+            confidence=self.confidence,
+        )
+
+
 class ProgressiveAggregator:
     """Chunk-at-a-time mean/sum estimation over a shuffled dataset.
 
@@ -90,38 +158,16 @@ class ProgressiveAggregator:
             rng.shuffle(order)
             self._values = self._values[order]
         self.confidence = confidence
-        self._z = _Z[confidence]
-        # Welford state
-        self._n = 0
-        self._mean = 0.0
-        self._m2 = 0.0
+        self._moments = StreamingMoments(confidence)
 
     def __len__(self) -> int:
         return len(self._values)
 
     def _consume(self, chunk: np.ndarray) -> None:
-        for value in chunk:
-            self._n += 1
-            delta = value - self._mean
-            self._mean += delta / self._n
-            self._m2 += delta * (value - self._mean)
+        self._moments.extend(chunk)
 
     def _snapshot(self) -> ProgressiveEstimate:
-        n = self._n
-        variance = self._m2 / (n - 1) if n > 1 else 0.0
-        population = len(self._values)
-        halfwidth = self._z * math.sqrt(variance / n) if n > 1 else float("inf")
-        # finite population correction: the estimate is exact once n == N
-        if population > 1:
-            fpc = math.sqrt(max(0.0, (population - n) / (population - 1)))
-            halfwidth *= fpc
-        return ProgressiveEstimate(
-            seen=n,
-            population=population,
-            mean=self._mean,
-            ci_halfwidth=halfwidth,
-            confidence=self.confidence,
-        )
+        return self._moments.estimate(len(self._values))
 
     def run(
         self, chunk_size: int = 1000, emitter: ProgressEmitter | None = None

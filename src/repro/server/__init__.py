@@ -1,0 +1,57 @@
+"""repro.server — SPARQL 1.1 Protocol serving layer.
+
+The survey's requirements only become a *system* when they are reachable
+over the wire: this package turns the query/explore stack into a concurrent
+HTTP endpoint with the degradation behaviour the survey catalogues —
+bounded admission instead of unbounded buffering, and load-shedding to
+approximate answers instead of missed latency budgets.
+
+Pieces (all stdlib — ``socket`` + ``threading``, no web framework):
+
+* :mod:`repro.server.http` — minimal HTTP/1.1 request parsing and fixed or
+  chunked response writing over raw sockets;
+* :mod:`repro.server.admission` — :class:`FairAdmissionQueue`, the bounded
+  per-tenant round-robin queue whose overflow is an explicit 503 +
+  ``Retry-After`` (backpressure, never buffering);
+* :mod:`repro.server.shedding` — :class:`LoadShedder`, the tier controller
+  watching a sliding window of interactive latencies against the
+  ``interactive`` budget (:mod:`repro.obs.budget`), with hysteresis;
+* :mod:`repro.server.approximate` — bounded-work approximate evaluation of
+  eligible aggregate queries (the shed tier's answer path), error bounds
+  via :class:`repro.approx.progressive.StreamingMoments`;
+* :mod:`repro.server.app` — :class:`ReproServer`: acceptor + worker pool,
+  routing, content negotiation, chunked streaming of SELECT results;
+* :mod:`repro.server.remote` — :class:`RemoteEndpointSource`, a
+  :class:`~repro.store.base.TripleSource` client over the same protocol,
+  federating real network endpoints through
+  :class:`~repro.store.federated.FederatedStore`.
+
+Run one with ``python -m repro.server`` (see ``--help``).
+"""
+
+from .admission import AdmissionSnapshot, FairAdmissionQueue
+from .app import ReproServer, ServerConfig
+from .approximate import ApproximateAnswer, approximate_select, eligible_aggregate
+from .http import HttpError, HttpRequest, read_request
+from .remote import EndpointError, RemoteEndpointSource
+from .shedding import AGGRESSIVE, EXACT, SAMPLED, LoadShedder, TIER_NAMES
+
+__all__ = [
+    "AGGRESSIVE",
+    "AdmissionSnapshot",
+    "ApproximateAnswer",
+    "EXACT",
+    "EndpointError",
+    "FairAdmissionQueue",
+    "HttpError",
+    "HttpRequest",
+    "LoadShedder",
+    "RemoteEndpointSource",
+    "ReproServer",
+    "SAMPLED",
+    "ServerConfig",
+    "TIER_NAMES",
+    "approximate_select",
+    "eligible_aggregate",
+    "read_request",
+]

@@ -1,0 +1,126 @@
+"""Bounded admission control with per-tenant fair scheduling.
+
+The serving layer's first rule (Hillview's, and every production
+endpoint's): never buffer without bound. :class:`FairAdmissionQueue` holds
+at most ``capacity`` pending requests across all tenants; an offer against
+a full queue is *rejected* — the caller answers 503 + ``Retry-After`` so
+backpressure is explicit and immediate rather than a growing latency tail.
+
+Within the bound, dequeue order is round-robin across tenants with pending
+work: a tenant issuing a burst of a hundred queries cannot starve one
+issuing a single facet refresh — each ``take`` serves the next tenant in
+rotation, FIFO within the tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+__all__ = ["AdmissionSnapshot", "FairAdmissionQueue"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """Queue accounting at one instant."""
+
+    capacity: int
+    depth: int
+    admitted: int
+    rejected: int
+    per_tenant_admitted: dict[str, int]
+    per_tenant_rejected: dict[str, int]
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.admitted + self.rejected
+        return self.rejected / total if total else 0.0
+
+
+class FairAdmissionQueue(Generic[T]):
+    """A bounded multi-tenant queue with round-robin dequeue.
+
+    ``offer`` never blocks: it returns ``False`` the instant the global
+    bound is hit (the explicit-backpressure contract). ``take`` blocks up
+    to ``timeout`` seconds for work, returning ``None`` on timeout or
+    after :meth:`close`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._pending: dict[str, deque[T]] = {}
+        self._rotation: deque[str] = deque()
+        self._depth = 0
+        self._closed = False
+        self._admitted = 0
+        self._rejected = 0
+        self._per_tenant_admitted: dict[str, int] = {}
+        self._per_tenant_rejected: dict[str, int] = {}
+
+    def offer(self, tenant: str, item: T) -> bool:
+        """Enqueue for ``tenant``; ``False`` when the global bound is hit."""
+        with self._ready:
+            if self._closed or self._depth >= self.capacity:
+                self._rejected += 1
+                self._per_tenant_rejected[tenant] = (
+                    self._per_tenant_rejected.get(tenant, 0) + 1
+                )
+                return False
+            queue = self._pending.get(tenant)
+            if queue is None:
+                queue = self._pending[tenant] = deque()
+            if not queue:
+                self._rotation.append(tenant)
+            queue.append(item)
+            self._depth += 1
+            self._admitted += 1
+            self._per_tenant_admitted[tenant] = (
+                self._per_tenant_admitted.get(tenant, 0) + 1
+            )
+            self._ready.notify()
+            return True
+
+    def take(self, timeout: float | None = None) -> T | None:
+        """Next item in tenant round-robin order, or ``None`` on timeout."""
+        with self._ready:
+            if not self._depth and not self._closed:
+                self._ready.wait(timeout)
+            if not self._depth:
+                return None
+            tenant = self._rotation.popleft()
+            queue = self._pending[tenant]
+            item = queue.popleft()
+            self._depth -= 1
+            if queue:
+                self._rotation.append(tenant)
+            return item
+
+    def close(self) -> None:
+        """Wake every blocked taker; subsequent offers are rejected."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def snapshot(self) -> AdmissionSnapshot:
+        with self._lock:
+            return AdmissionSnapshot(
+                capacity=self.capacity,
+                depth=self._depth,
+                admitted=self._admitted,
+                rejected=self._rejected,
+                per_tenant_admitted=dict(self._per_tenant_admitted),
+                per_tenant_rejected=dict(self._per_tenant_rejected),
+            )

@@ -1,0 +1,718 @@
+"""The SPARQL 1.1 Protocol endpoint: acceptor, worker pool, routing.
+
+:class:`ReproServer` exposes the query/explore stack over HTTP:
+
+* ``GET/POST /sparql`` — SPARQL Protocol operation (``query`` parameter,
+  urlencoded form, or an ``application/sparql-query`` body). SELECT
+  results stream as chunked W3C JSON / CSV / TSV (content-negotiated);
+  ASK answers the results-JSON boolean document; CONSTRUCT / DESCRIBE
+  answer N-Triples.
+* ``GET /facets`` — the faceted-browsing summary of the served dataset.
+* ``GET /describe`` — DESCRIBE one resource (the browser's detail view).
+* ``GET /statistics`` — the store's :class:`StatisticsSnapshot` as JSON
+  (what :class:`~repro.server.remote.RemoteEndpointSource` reads so a
+  federating client can *plan* against this endpoint without scanning it).
+* ``GET /health``, ``GET /stats`` — liveness and serving counters; these
+  bypass the admission queue so probes survive overload.
+
+Degradation order under load: first the shed tiers reroute eligible
+aggregate queries through bounded-work approximation
+(:mod:`repro.server.approximate`) with an ``X-Repro-Approximate`` header
+and error-bound metadata; only when the admission queue itself is full
+does the server answer 503 + ``Retry-After``. It never buffers without
+bound and it never silently drops a request.
+
+Every admitted request runs as an :meth:`repro.obs.Observability.
+interaction`, so the latency-budget accountant and the flight recorder
+cover the serving layer exactly as they cover the local explore surface.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..explore.facets import FacetedBrowser
+from ..obs import INTERACTIVE, NAVIGATION, OBS, record_error
+from ..rdf.ntriples import serialize_ntriples
+from ..rdf.terms import IRI
+from ..sparql.cached import CachedQueryEngine
+from ..sparql.lexer import SparqlSyntaxError
+from ..sparql.nodes import (
+    AskQuery,
+    ConstructQuery,
+    DescribeQuery,
+    SelectQuery,
+)
+from ..sparql.parser import parse_query
+from ..sparql.results import (
+    SelectResult,
+    ask_to_sparql_json,
+    iter_csv,
+    iter_sparql_json,
+    iter_tsv,
+    term_to_json,
+    to_csv,
+    to_sparql_json,
+    to_tsv,
+)
+from ..store.base import StoreStatistics, TripleSource, compute_statistics
+from .admission import FairAdmissionQueue
+from .approximate import approximate_select, eligible_aggregate
+from .http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    write_chunked,
+    write_response,
+)
+from .shedding import AGGRESSIVE, EXACT, TIER_NAMES, LoadShedder
+
+__all__ = ["ServerConfig", "ReproServer"]
+
+JSON_TYPE = "application/sparql-results+json"
+CSV_TYPE = "text/csv"
+TSV_TYPE = "text/tab-separated-values"
+NTRIPLES_TYPE = "application/n-triples"
+TABLE_TYPE = "text/plain"
+
+
+@dataclass
+class ServerConfig:
+    """Everything tunable about one endpoint instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (tests); the CLI defaults to 8890
+    workers: int = 4
+    queue_capacity: int = 32
+    retry_after_s: int = 1
+    # shedding
+    shed_budget_ms: float | None = None  # None = the `interactive` budget
+    shed_window: int = 64
+    shed_min_observations: int = 8
+    shed_recover_fraction: float = 0.8
+    shed_aggressive_factor: float = 3.0
+    approx_max_rows: int = 2_000
+    approx_confidence: float = 0.95
+    # engine
+    cache_capacity: int = 128
+    # delivery
+    chunk_rows: int = 64
+    read_timeout_s: float = 10.0
+    # test/CI hook: artificial per-query latency to force overload
+    debug_delay_ms: float = 0.0
+    default_tenant: str = "public"
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for a worker."""
+
+    connection: socket.socket
+    wfile: object
+    request: HttpRequest
+    tenant: str
+    accepted_at: float = field(default_factory=time.monotonic)
+
+
+class ReproServer:
+    """A concurrent SPARQL endpoint over any :class:`TripleSource`.
+
+    ``start()`` binds and spawns the acceptor plus worker threads;
+    ``stop()`` shuts everything down. Usable as a context manager. Each
+    worker owns its own :class:`CachedQueryEngine` over the shared store
+    (stores are read-safe under concurrent readers; the result caches are
+    per-worker so no cross-thread locking sits on the query path).
+    """
+
+    def __init__(self, store: TripleSource, config: ServerConfig | None = None) -> None:
+        self.store = store
+        self.config = config or ServerConfig()
+        self.admission: FairAdmissionQueue[_Pending] = FairAdmissionQueue(
+            self.config.queue_capacity
+        )
+        self.shedder = LoadShedder(
+            budget_ms=self.config.shed_budget_ms,
+            window=self.config.shed_window,
+            min_observations=self.config.shed_min_observations,
+            aggressive_factor=self.config.shed_aggressive_factor,
+            recover_fraction=self.config.shed_recover_fraction,
+        )
+        self._sock: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._served_by_tier: dict[int, int] = {}
+        self._aggregate_served = 0
+        self._aggregate_approximate = 0
+        self._responses_by_status: dict[int, int] = {}
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ReproServer":
+        if self._sock is not None:
+            raise RuntimeError("server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(128)
+        self._sock = sock
+        self.port = sock.getsockname()[1]
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.admission.close()
+        sock = self._sock
+        if sock is not None:
+            self._sock = None
+            try:
+                # shutdown (not just close) wakes a blocked accept()
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+        # Drain anything still queued with an explicit 503.
+        while True:
+            pending = self.admission.take(timeout=0)
+            if pending is None:
+                break
+            self._reject(pending.wfile, pending.connection)
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def base_url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("server not started")
+        return f"http://{self.config.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Acceptor
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        sock = self._sock
+        while not self._stop.is_set():
+            try:
+                connection, _address = sock.accept()
+            except OSError:
+                return  # listening socket closed by stop()
+            try:
+                self._accept_one(connection)
+            except Exception as exc:  # keep accepting no matter what
+                record_error("server.accept", exc)
+                _close_quietly(connection)
+
+    def _accept_one(self, connection: socket.socket) -> None:
+        connection.settimeout(self.config.read_timeout_s)
+        rfile = connection.makefile("rb")
+        wfile = connection.makefile("wb")
+        try:
+            request = read_request(rfile)
+        except HttpError as error:
+            self._respond_error(wfile, error.status, error.message)
+            _close_quietly(connection)
+            return
+        except OSError:
+            _close_quietly(connection)
+            return
+        finally:
+            rfile.close()
+        if request is None:
+            _close_quietly(connection)
+            return
+        # Probes bypass admission so operators can see an overloaded
+        # server's state while it is overloaded.
+        if request.path == "/health":
+            self._count_status(200)
+            write_response(wfile, 200, {"Content-Type": "application/json"},
+                           b'{"status": "ok"}')
+            _close_quietly(connection)
+            return
+        if request.path == "/stats":
+            self._count_status(200)
+            write_response(
+                wfile, 200, {"Content-Type": "application/json"},
+                json.dumps(self.stats(), sort_keys=True).encode("utf-8"),
+            )
+            _close_quietly(connection)
+            return
+        tenant = (
+            request.header("x-repro-tenant")
+            or request.query.get("tenant")
+            or self.config.default_tenant
+        )
+        pending = _Pending(connection, wfile, request, tenant)
+        if not self.admission.offer(tenant, pending):
+            self._reject(wfile, connection)
+
+    def _reject(self, wfile, connection: socket.socket) -> None:
+        """Explicit backpressure: 503 + Retry-After, never a hidden buffer."""
+        self._count_status(503)
+        try:
+            write_response(
+                wfile, 503,
+                {
+                    "Content-Type": "application/json",
+                    "Retry-After": str(self.config.retry_after_s),
+                },
+                b'{"error": "server overloaded, retry later"}',
+            )
+        except OSError:
+            pass
+        _close_quietly(connection)
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self) -> None:
+        engine = CachedQueryEngine(
+            self.store, capacity=self.config.cache_capacity
+        )
+        while not self._stop.is_set():
+            pending = self.admission.take(timeout=0.2)
+            if pending is None:
+                continue
+            try:
+                self._handle(pending, engine)
+            except Exception as exc:
+                record_error("server.handle", exc)
+                try:
+                    self._respond_error(pending.wfile, 500, str(exc))
+                except OSError:
+                    pass
+            finally:
+                _close_quietly(pending.connection)
+
+    def _handle(self, pending: _Pending, engine: CachedQueryEngine) -> None:
+        request = pending.request
+        route = request.path.rstrip("/") or "/"
+        if route == "/sparql":
+            with OBS.interaction(
+                "server.sparql", INTERACTIVE, tenant=pending.tenant
+            ) as act:
+                self._handle_sparql(pending, engine, act)
+            # The user's clock starts at accept time: queue wait counts.
+            self.shedder.observe(
+                (time.monotonic() - pending.accepted_at) * 1e3
+            )
+        elif route == "/facets":
+            with OBS.interaction("server.facets", INTERACTIVE,
+                                 tenant=pending.tenant):
+                self._handle_facets(pending, engine)
+        elif route == "/describe":
+            with OBS.interaction("server.describe", NAVIGATION,
+                                 tenant=pending.tenant):
+                self._handle_describe(pending, engine)
+        elif route == "/statistics":
+            with OBS.interaction("server.statistics", NAVIGATION,
+                                 tenant=pending.tenant):
+                self._handle_statistics(pending)
+        else:
+            self._respond_error(pending.wfile, 404,
+                                f"no such resource: {request.path}")
+
+    # ------------------------------------------------------------------ #
+    # /sparql
+    # ------------------------------------------------------------------ #
+
+    def _handle_sparql(
+        self, pending: _Pending, engine: CachedQueryEngine, act
+    ) -> None:
+        request = pending.request
+        if request.method not in ("GET", "POST"):
+            self._respond_error(pending.wfile, 405, "use GET or POST")
+            return
+        text = request.param("query")
+        if text is None and "application/sparql-query" in request.header(
+            "content-type"
+        ):
+            text = request.body.decode("utf-8", "replace")
+        if not text:
+            self._respond_error(pending.wfile, 400,
+                                "missing `query` parameter")
+            return
+        try:
+            parsed = parse_query(text)
+        except (SparqlSyntaxError, ValueError) as error:
+            self._respond_error(pending.wfile, 400, f"parse error: {error}")
+            return
+
+        accept = request.header("accept", JSON_TYPE)
+        if self.config.debug_delay_ms > 0:
+            # Test/CI hook standing in for a genuinely slow backing store.
+            time.sleep(self.config.debug_delay_ms / 1e3)
+
+        if isinstance(parsed, SelectQuery) and eligible_aggregate(parsed):
+            tier = self.shedder.decide()
+            act.set_attribute("tier", TIER_NAMES[tier])
+            self._answer_aggregate(pending, engine, parsed, tier, accept)
+            return
+        act.set_attribute("tier", "exact")
+        self._mark_served(EXACT)
+        if isinstance(parsed, SelectQuery):
+            self._answer_select_exact(pending, engine, text, parsed, accept)
+        elif isinstance(parsed, AskQuery):
+            self._count_status(200)
+            write_response(
+                pending.wfile, 200,
+                {"Content-Type": JSON_TYPE, "X-Repro-Tier": "exact"},
+                ask_to_sparql_json(engine.query(parsed)).encode("utf-8"),
+            )
+        elif isinstance(parsed, (ConstructQuery, DescribeQuery)):
+            graph = engine.query(parsed)
+            self._count_status(200)
+            write_response(
+                pending.wfile, 200,
+                {"Content-Type": NTRIPLES_TYPE, "X-Repro-Tier": "exact"},
+                serialize_ntriples(graph.triples(), sort=True).encode("utf-8"),
+            )
+        else:  # pragma: no cover - parser produces only the four forms
+            self._respond_error(pending.wfile, 400, "unsupported query form")
+
+    def _answer_aggregate(
+        self,
+        pending: _Pending,
+        engine: CachedQueryEngine,
+        parsed: SelectQuery,
+        tier: int,
+        accept: str,
+    ) -> None:
+        """Aggregate queries: the tier decides exact vs bounded-work."""
+        fmt = _negotiate_select(accept)
+        if fmt is None:
+            self._respond_error(pending.wfile, 406,
+                                f"cannot serve Accept: {accept}")
+            return
+        with self._lock:
+            self._aggregate_served += 1
+        if tier == EXACT:
+            self._mark_served(EXACT)
+            result = engine.query(parsed)
+            self._respond_select(pending, result, fmt,
+                                 {"X-Repro-Tier": "exact"})
+            return
+        max_rows = self.config.approx_max_rows
+        if tier >= AGGRESSIVE:
+            max_rows = max(1, max_rows // 4)
+        answer = approximate_select(
+            engine.engine, parsed, max_rows=max_rows,
+            confidence=self.config.approx_confidence,
+        )
+        if not answer.approximate:
+            # Small stream: the work budget covered it; answer is exact.
+            self._mark_served(EXACT)
+            self._respond_select(pending, answer.result, fmt,
+                                 {"X-Repro-Tier": "exact"})
+            return
+        with self._lock:
+            self._aggregate_approximate += 1
+        self._mark_served(tier)
+        metadata = answer.metadata()
+        headers = {
+            "X-Repro-Tier": TIER_NAMES[tier],
+            "X-Repro-Approximate": "1",
+            "X-Repro-Error-Bound": json.dumps(metadata["bounds"],
+                                              sort_keys=True),
+            "X-Repro-Confidence": str(answer.confidence),
+            "X-Repro-Rows-Consumed": str(answer.rows_consumed),
+            "X-Repro-Estimated-Total": str(answer.estimated_total),
+        }
+        self._respond_select(pending, answer.result, fmt, headers,
+                             extra=metadata)
+
+    def _answer_select_exact(
+        self,
+        pending: _Pending,
+        engine: CachedQueryEngine,
+        text: str,
+        parsed: SelectQuery,
+        accept: str,
+    ) -> None:
+        fmt = _negotiate_select(accept)
+        if fmt is None:
+            self._respond_error(pending.wfile, 406,
+                                f"cannot serve Accept: {accept}")
+            return
+        headers = {"X-Repro-Tier": "exact"}
+        cache = engine.cache
+        key = engine.engine.plan_digest(parsed)
+        cached = cache.get(key)
+        if isinstance(cached, SelectResult):
+            headers["X-Repro-Cache"] = "hit"
+            self._respond_select(pending, cached, fmt, headers)
+            return
+        if parsed.select_all or fmt == "table":
+            # SELECT * needs all rows before its header is known, and the
+            # ASCII table pads columns globally: materialize these.
+            result = engine.query(text)
+            self._respond_select(pending, result, fmt, headers)
+            return
+        # Streaming path: chunked delivery straight off the operator tree,
+        # teeing rows into the worker's result cache for the next hit.
+        stream = engine.engine.stream_select(parsed)
+        collected: list[dict] = []
+
+        def tee():
+            for row in stream.rows:
+                collected.append(row)
+                yield row
+            cache.put(key, SelectResult(stream.variables, collected))
+
+        if fmt == "csv":
+            content_type, chunks = CSV_TYPE, iter_csv(stream.variables, tee())
+        elif fmt == "tsv":
+            content_type, chunks = TSV_TYPE, iter_tsv(stream.variables, tee())
+        else:
+            content_type, chunks = JSON_TYPE, iter_sparql_json(
+                stream.variables, tee()
+            )
+        headers["Content-Type"] = content_type
+        self._count_status(200)
+        write_chunked(pending.wfile, 200, headers,
+                      _batched(chunks, self.config.chunk_rows))
+
+    def _respond_select(
+        self,
+        pending: _Pending,
+        result: SelectResult,
+        fmt: str,
+        headers: dict[str, str],
+        extra: dict[str, object] | None = None,
+    ) -> None:
+        if fmt == "csv":
+            body, content_type = to_csv(result), CSV_TYPE
+        elif fmt == "tsv":
+            body, content_type = to_tsv(result), TSV_TYPE
+        elif fmt == "table":
+            body, content_type = result.to_table(max_rows=None), TABLE_TYPE
+        else:
+            body, content_type = to_sparql_json(result, extra=extra), JSON_TYPE
+        out = dict(headers)
+        out["Content-Type"] = content_type
+        self._count_status(200)
+        write_response(pending.wfile, 200, out, body.encode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Explore surface
+    # ------------------------------------------------------------------ #
+
+    def _handle_facets(self, pending: _Pending,
+                       engine: CachedQueryEngine) -> None:
+        request = pending.request
+        max_values = _int_param(request, "max_values", 25)
+        min_count = _int_param(request, "min_count", 1)
+        browser = FacetedBrowser(self.store, engine=engine.engine)
+        facets = browser.facets(max_values=max_values, min_count=min_count)
+        payload = [
+            {
+                "predicate": str(facet.predicate),
+                "cardinality": facet.cardinality,
+                "values": [
+                    {
+                        "term": term_to_json(value.value),
+                        "label": value.label,
+                        "count": value.count,
+                    }
+                    for value in facet.values
+                ],
+            }
+            for facet in facets
+        ]
+        self._count_status(200)
+        write_response(
+            pending.wfile, 200, {"Content-Type": "application/json"},
+            json.dumps({"focus": len(browser), "facets": payload},
+                       sort_keys=True).encode("utf-8"),
+        )
+
+    def _handle_describe(self, pending: _Pending,
+                         engine: CachedQueryEngine) -> None:
+        resource = pending.request.param("resource")
+        if not resource:
+            self._respond_error(pending.wfile, 400,
+                                "missing `resource` parameter")
+            return
+        try:
+            iri = IRI(resource)
+        except ValueError as error:
+            self._respond_error(pending.wfile, 400, str(error))
+            return
+        graph = engine.query(DescribeQuery(resources=(iri,)))
+        self._count_status(200)
+        write_response(
+            pending.wfile, 200, {"Content-Type": NTRIPLES_TYPE},
+            serialize_ntriples(graph.triples(), sort=True).encode("utf-8"),
+        )
+
+    def _handle_statistics(self, pending: _Pending) -> None:
+        if isinstance(self.store, StoreStatistics):
+            snapshot = self.store.statistics()
+        else:
+            snapshot = compute_statistics(self.store)
+        payload = {
+            "triple_count": snapshot.triple_count,
+            "distinct_subjects": snapshot.distinct_subjects,
+            "distinct_predicates": snapshot.distinct_predicates,
+            "distinct_objects": snapshot.distinct_objects,
+            "predicate_cardinalities": {
+                str(predicate): count
+                for predicate, count
+                in snapshot.predicate_cardinalities.items()
+            },
+        }
+        self._count_status(200)
+        write_response(
+            pending.wfile, 200, {"Content-Type": "application/json"},
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def _mark_served(self, tier: int) -> None:
+        with self._lock:
+            self._served_by_tier[tier] = self._served_by_tier.get(tier, 0) + 1
+
+    def _count_status(self, status: int) -> None:
+        with self._lock:
+            self._responses_by_status[status] = (
+                self._responses_by_status.get(status, 0) + 1
+            )
+
+    def _respond_error(self, wfile, status: int, message: str) -> None:
+        self._count_status(status)
+        try:
+            write_response(
+                wfile, status, {"Content-Type": "application/json"},
+                json.dumps({"error": message}).encode("utf-8"),
+            )
+        except OSError:
+            pass
+
+    def stats(self) -> dict[str, object]:
+        """The /stats payload: admission, shedding, and serving counters."""
+        admission = self.admission.snapshot()
+        shed = self.shedder.snapshot()
+        with self._lock:
+            by_tier = {
+                TIER_NAMES.get(tier, str(tier)): count
+                for tier, count in sorted(self._served_by_tier.items())
+            }
+            aggregate_served = self._aggregate_served
+            aggregate_approximate = self._aggregate_approximate
+            by_status = dict(sorted(self._responses_by_status.items()))
+        return {
+            "admission": {
+                "capacity": admission.capacity,
+                "depth": admission.depth,
+                "admitted": admission.admitted,
+                "rejected": admission.rejected,
+                "per_tenant_admitted": admission.per_tenant_admitted,
+                "per_tenant_rejected": admission.per_tenant_rejected,
+            },
+            "shedding": {
+                "tier": shed.tier,
+                "tier_name": shed.tier_name,
+                "p95_ms": round(shed.p95_ms, 3),
+                "budget_ms": shed.budget_ms,
+                "window_size": shed.window_size,
+            },
+            "served_by_tier": by_tier,
+            "aggregate_served": aggregate_served,
+            "aggregate_approximate": aggregate_approximate,
+            "shed_ratio": (
+                aggregate_approximate / aggregate_served
+                if aggregate_served else 0.0
+            ),
+            "responses_by_status": {
+                str(status): count for status, count in by_status.items()
+            },
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+
+
+def _negotiate_select(accept: str) -> str | None:
+    """Pick the SELECT serialization for an Accept header.
+
+    Returns ``"json" | "csv" | "tsv" | "table"``, or ``None`` when the
+    header names only types this endpoint cannot produce.
+    """
+    if not accept or accept.strip() == "":
+        return "json"
+    lowered = accept.lower()
+    if JSON_TYPE in lowered or "application/json" in lowered:
+        return "json"
+    if CSV_TYPE in lowered:
+        return "csv"
+    if TSV_TYPE in lowered:
+        return "tsv"
+    if TABLE_TYPE in lowered:
+        return "table"
+    if "*/*" in lowered or "application/*" in lowered or "text/*" in lowered:
+        return "json"
+    return None
+
+
+def _batched(chunks, batch: int):
+    """Coalesce small serializer chunks into network-sized writes."""
+    buffer: list[str] = []
+    for chunk in chunks:
+        buffer.append(chunk)
+        if len(buffer) >= batch:
+            yield "".join(buffer)
+            buffer.clear()
+    if buffer:
+        yield "".join(buffer)
+
+
+def _int_param(request: HttpRequest, name: str, default: int) -> int:
+    value = request.query.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        return default
+
+
+def _close_quietly(connection: socket.socket) -> None:
+    try:
+        connection.close()
+    except OSError:
+        pass

@@ -1,0 +1,209 @@
+"""A :class:`TripleSource` backed by a remote SPARQL Protocol endpoint.
+
+The federation closing-the-loop piece: :class:`RemoteEndpointSource` speaks
+the same wire protocol :class:`~repro.server.app.ReproServer` serves, so a
+:class:`~repro.store.federated.FederatedStore` can treat remote endpoints
+and in-process stores uniformly — the survey's "federated exploration over
+distributed linked-data endpoints" scenario, demonstrable over loopback.
+
+Pattern mapping onto SPARQL Protocol operations:
+
+* ``triples(pattern)``  → ``CONSTRUCT`` with the pattern's fixed terms
+  inlined, answered as N-Triples and parsed back into term tuples;
+* ``count(pattern)``    → ``SELECT (COUNT(*) AS ?matches)`` over the same
+  pattern, answered as SPARQL results JSON;
+* ``statistics()``      → ``GET /statistics``, so a federating planner can
+  cost joins against this endpoint without scanning it over the wire.
+
+Transient overload (503 + ``Retry-After``) is retried with the server's
+own hint, a bounded number of times — the client half of the explicit
+backpressure contract. Anything else unexpected raises
+:class:`EndpointError`.
+
+Blank nodes are scoped to one document/endpoint, so a BNode in a pattern
+cannot be matched remotely; those lookups raise ``ValueError`` rather than
+silently returning nothing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator
+from urllib.parse import urlencode, urlsplit
+
+from ..rdf.graph import TriplePattern
+from ..rdf.ntriples import parse_ntriples
+from ..rdf.terms import BNode, IRI, Literal, Triple
+from ..sparql.results import parse_sparql_json
+from ..store.base import StatisticsSnapshot
+
+__all__ = ["EndpointError", "RemoteEndpointSource"]
+
+NTRIPLES_TYPE = "application/n-triples"
+JSON_TYPE = "application/sparql-results+json"
+
+
+class EndpointError(RuntimeError):
+    """The endpoint answered with an unexpected status or payload."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"endpoint error {status}: {message}")
+        self.status = status
+
+
+def _pattern_terms(pattern: TriplePattern) -> tuple[str, str, str]:
+    """SPARQL surface forms for a pattern: fixed terms in n3, ``None`` as
+    variables ``?s ?p ?o``."""
+    names = ("?s", "?p", "?o")
+    rendered = []
+    for term, name in zip(pattern, names):
+        if term is None:
+            rendered.append(name)
+        elif isinstance(term, BNode):
+            raise ValueError(
+                "blank nodes are document-scoped and cannot address a "
+                "remote endpoint's terms"
+            )
+        elif isinstance(term, (IRI, Literal)):
+            rendered.append(term.n3())
+        else:
+            raise TypeError(f"unsupported pattern term: {term!r}")
+    return tuple(rendered)
+
+
+class RemoteEndpointSource:
+    """Triple-pattern access to a SPARQL endpoint (``TripleSource`` shape).
+
+    >>> source = RemoteEndpointSource("http://127.0.0.1:8890")
+    >>> source.count((None, rdf_type, None))    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        max_retry_wait_s: float = 2.0,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"need an http:// base URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.max_retry_wait_s = max_retry_wait_s
+        # client-side accounting, mirrored by tests and FederatedStore demos
+        self.requests_sent = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------ #
+    # Wire
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self, method: str, target: str, accept: str, body: bytes | None = None,
+        content_type: str | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            headers = {"Accept": accept, "Connection": "close"}
+            if content_type is not None:
+                headers["Content-Type"] = content_type
+            connection.request(method, target, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            lowered = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, lowered, payload
+        finally:
+            connection.close()
+
+    def _sparql(self, query: str, accept: str) -> bytes:
+        """POST one query, honoring 503 + Retry-After up to the retry cap."""
+        body = urlencode({"query": query}).encode("utf-8")
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            self.requests_sent += 1
+            try:
+                status, headers, payload = self._request(
+                    "POST", "/sparql", accept, body=body,
+                    content_type="application/x-www-form-urlencoded",
+                )
+            except OSError as exc:
+                raise EndpointError(0, f"connection failed: {exc}") from exc
+            if status == 200:
+                return payload
+            if status == 503 and attempt < attempts - 1:
+                self.retries += 1
+                try:
+                    wait = float(headers.get("retry-after", "1"))
+                except ValueError:
+                    wait = 1.0
+                time.sleep(min(max(wait, 0.0), self.max_retry_wait_s))
+                continue
+            raise EndpointError(
+                status, payload.decode("utf-8", "replace")[:200]
+            )
+        raise EndpointError(503, "retries exhausted")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # TripleSource
+    # ------------------------------------------------------------------ #
+
+    def triples(
+        self, pattern: TriplePattern = (None, None, None)
+    ) -> Iterator[Triple]:
+        s, p, o = _pattern_terms(pattern)
+        query = f"CONSTRUCT {{ {s} {p} {o} }} WHERE {{ {s} {p} {o} }}"
+        payload = self._sparql(query, NTRIPLES_TYPE)
+        yield from parse_ntriples(payload.decode("utf-8"))
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        s, p, o = _pattern_terms(pattern)
+        query = f"SELECT (COUNT(*) AS ?matches) WHERE {{ {s} {p} {o} }}"
+        payload = self._sparql(query, JSON_TYPE)
+        result = parse_sparql_json(payload.decode("utf-8"))
+        for row in result.rows:
+            for term in row.values():
+                if isinstance(term, Literal) and isinstance(
+                    term.value, (int, float)
+                ):
+                    return int(term.value)
+        raise EndpointError(200, "count answer carried no numeric binding")
+
+    def __len__(self) -> int:
+        return self.count((None, None, None))
+
+    # ------------------------------------------------------------------ #
+    # Planner support
+    # ------------------------------------------------------------------ #
+
+    def statistics(self) -> StatisticsSnapshot:
+        """The endpoint's precomputed statistics (``GET /statistics``)."""
+        try:
+            status, _headers, payload = self._request(
+                "GET", "/statistics", "application/json"
+            )
+        except OSError as exc:
+            raise EndpointError(0, f"connection failed: {exc}") from exc
+        if status != 200:
+            raise EndpointError(status, payload.decode("utf-8", "replace")[:200])
+        data = json.loads(payload.decode("utf-8"))
+        return StatisticsSnapshot(
+            triple_count=int(data["triple_count"]),
+            distinct_subjects=int(data["distinct_subjects"]),
+            distinct_predicates=int(data["distinct_predicates"]),
+            distinct_objects=int(data["distinct_objects"]),
+            predicate_cardinalities={
+                IRI(predicate): int(count)
+                for predicate, count
+                in data.get("predicate_cardinalities", {}).items()
+            },
+        )

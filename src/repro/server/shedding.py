@@ -1,0 +1,164 @@
+"""Load-shedding tiers: from exact answers to bounded-work approximations.
+
+The survey's central systems claim (Section 2): interactive exploration of
+big data survives load by *degrading gracefully* — sampling and
+approximation with error bounds — not by queueing exact work it cannot
+finish in time. :class:`LoadShedder` is the controller that decides, per
+request, which tier the server answers from:
+
+* **EXACT** (tier 0) — normal operation, every answer exact;
+* **SAMPLED** (tier 1) — the windowed p95 of interactive request latency
+  exceeds the ``interactive`` budget (:data:`repro.obs.budget.
+  DEFAULT_BUDGETS_MS`): eligible aggregate queries are answered from a
+  bounded-work streaming estimate with a confidence interval
+  (:mod:`repro.server.approximate`);
+* **AGGRESSIVE** (tier 2) — p95 beyond ``aggressive_factor``× budget: the
+  same path with a quarter of the row budget.
+
+Decisions use a sliding window (count- and age-bounded) of recent
+latencies rather than the cumulative budget histogram, so the controller
+*recovers*: once load subsides and fast requests refill the window, the
+tier steps back down. Hysteresis (``recover_fraction``) keeps the boundary
+from flapping: escalation happens at the budget, de-escalation only below
+a fraction of it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs.budget import DEFAULT_BUDGETS_MS, INTERACTIVE
+
+__all__ = ["EXACT", "SAMPLED", "AGGRESSIVE", "TIER_NAMES", "LoadShedder"]
+
+EXACT = 0
+SAMPLED = 1
+AGGRESSIVE = 2
+
+TIER_NAMES = {EXACT: "exact", SAMPLED: "sampled", AGGRESSIVE: "aggressive"}
+
+_clock = time.monotonic
+
+
+@dataclass(frozen=True)
+class ShedSnapshot:
+    """The controller's state at one instant (the /stats view)."""
+
+    tier: int
+    p95_ms: float
+    budget_ms: float
+    window_size: int
+
+    @property
+    def tier_name(self) -> str:
+        return TIER_NAMES.get(self.tier, str(self.tier))
+
+
+class LoadShedder:
+    """Sliding-window p95 tier controller with hysteresis.
+
+    ``observe`` feeds one finished interactive request's total latency
+    (queue wait included — the user's clock does not stop while queued);
+    ``tier`` recomputes the current tier. Both are O(window) at worst and
+    thread-safe.
+    """
+
+    def __init__(
+        self,
+        budget_ms: float | None = None,
+        window: int = 64,
+        max_age_s: float = 30.0,
+        min_observations: int = 8,
+        aggressive_factor: float = 3.0,
+        recover_fraction: float = 0.8,
+    ) -> None:
+        if budget_ms is None:
+            budget_ms = DEFAULT_BUDGETS_MS[INTERACTIVE] or 100.0
+        if budget_ms <= 0:
+            raise ValueError("budget_ms must be positive")
+        if not 0.0 < recover_fraction <= 1.0:
+            raise ValueError("recover_fraction must be in (0, 1]")
+        self.budget_ms = float(budget_ms)
+        self.max_age_s = max_age_s
+        self.min_observations = max(1, min_observations)
+        self.aggressive_factor = aggressive_factor
+        self.recover_fraction = recover_fraction
+        self._lock = threading.Lock()
+        self._window: deque[tuple[float, float]] = deque(maxlen=window)
+        self._tier = EXACT
+        self.shed_decisions = 0
+        self.exact_decisions = 0
+
+    # -- accounting --------------------------------------------------------
+
+    def observe(self, duration_ms: float) -> None:
+        """Record one finished interactive request's latency."""
+        with self._lock:
+            self._window.append((_clock(), float(duration_ms)))
+
+    def _p95_locked(self, now: float) -> tuple[float, int]:
+        while self._window and now - self._window[0][0] > self.max_age_s:
+            self._window.popleft()
+        n = len(self._window)
+        if not n:
+            return 0.0, 0
+        durations = sorted(duration for _, duration in self._window)
+        index = min(n - 1, max(0, int(0.95 * n + 0.5) - 1))
+        return durations[index], n
+
+    # -- decisions ---------------------------------------------------------
+
+    def tier(self) -> int:
+        """The current shedding tier, recomputed from the window.
+
+        Escalation thresholds: budget (→ SAMPLED), ``aggressive_factor`` ×
+        budget (→ AGGRESSIVE). De-escalation needs p95 below
+        ``recover_fraction`` × the *lower* tier's threshold — the
+        hysteresis band that prevents tier flapping at the boundary.
+        """
+        with self._lock:
+            p95, n = self._p95_locked(_clock())
+            if n < self.min_observations:
+                # Too little signal to justify degrading answers.
+                self._tier = EXACT
+                return self._tier
+            thresholds = {
+                SAMPLED: self.budget_ms,
+                AGGRESSIVE: self.budget_ms * self.aggressive_factor,
+            }
+            if p95 > thresholds[AGGRESSIVE]:
+                target = AGGRESSIVE
+            elif p95 > thresholds[SAMPLED]:
+                target = SAMPLED
+            else:
+                target = EXACT
+            current = self._tier
+            if target >= current:
+                # Escalate (or hold) immediately: overload is now.
+                self._tier = target
+            elif p95 < thresholds[current] * self.recover_fraction:
+                # Recover one tier at a time, and only once p95 is clearly
+                # below the current tier's threshold (hysteresis band).
+                self._tier = current - 1
+            return self._tier
+
+    def decide(self) -> int:
+        """``tier()`` plus decision accounting (the per-request entry point)."""
+        tier = self.tier()
+        with self._lock:
+            if tier == EXACT:
+                self.exact_decisions += 1
+            else:
+                self.shed_decisions += 1
+        return tier
+
+    def snapshot(self) -> ShedSnapshot:
+        with self._lock:
+            p95, n = self._p95_locked(_clock())
+            return ShedSnapshot(
+                tier=self._tier, p95_ms=p95,
+                budget_ms=self.budget_ms, window_size=n,
+            )

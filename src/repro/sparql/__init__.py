@@ -28,7 +28,16 @@ from .nodes import (
 from .optimizer import CardinalityEstimator, estimate_cardinality, order_patterns
 from .parser import parse_query
 from .plan import optimize_plan, plan_digest, query_digest
-from .results import SelectResult
+from .results import (
+    SelectResult,
+    ask_to_sparql_json,
+    parse_sparql_json,
+    term_from_json,
+    term_to_json,
+    to_csv,
+    to_sparql_json,
+    to_tsv,
+)
 
 __all__ = [
     "AskQuery",
@@ -43,12 +52,19 @@ __all__ = [
     "SelectQuery",
     "SelectResult",
     "SparqlSyntaxError",
+    "ask_to_sparql_json",
     "estimate_cardinality",
     "optimize_plan",
     "order_patterns",
     "parse_query",
+    "parse_sparql_json",
     "plan_digest",
     "query",
     "query_digest",
+    "term_from_json",
+    "term_to_json",
+    "to_csv",
+    "to_sparql_json",
+    "to_tsv",
     "tokenize",
 ]

@@ -51,7 +51,32 @@ from .plan import (
 )
 from .results import SelectResult
 
-__all__ = ["EvalStats", "ExplainNode", "QueryEngine", "query"]
+__all__ = [
+    "EvalStats",
+    "ExplainNode",
+    "QueryEngine",
+    "StreamingSelect",
+    "query",
+]
+
+
+@dataclass
+class StreamingSelect:
+    """A lazily-evaluated SELECT: rows are produced on demand.
+
+    ``variables`` is the projection header (empty for ``SELECT *``, whose
+    variables are only known once rows exist); ``root`` is the executing
+    physical operator tree, exposing the planner's ``estimated_rows`` before
+    a single row has been pulled — the serving layer's work estimate.
+    """
+
+    variables: list[Variable]
+    rows: "object"  # Iterator[dict[Variable, Term]]
+    root: PhysicalOperator
+
+    @property
+    def estimated_rows(self) -> float | None:
+        return self.root.estimated_rows
 
 
 @dataclass
@@ -147,6 +172,35 @@ class QueryEngine:
                     pass
             self.stats.merge(per_query)
         return root.explain()
+
+    def stream_select(self, text: str | Query) -> StreamingSelect:
+        """Evaluate a SELECT without materializing its rows.
+
+        The returned iterator drives the streaming physical operators
+        directly, so the first row costs first-row work, not full-result
+        work — the property the serving layer's chunked delivery relies on.
+        Per-query stats merge into :attr:`stats` when the iterator is
+        exhausted (an abandoned iterator contributes nothing).
+        """
+        parsed = parse_query(text) if isinstance(text, str) else text
+        if not isinstance(parsed, SelectQuery):
+            raise TypeError("stream_select requires a SELECT query")
+        per_query = EvalStats()
+        if OBS.enabled:
+            per_query.tracer = OBS.tracer
+        root = self._build_root(parsed, per_query)
+        variables = (
+            [] if parsed.select_all
+            else [p.variable for p in parsed.projections]
+        )
+
+        def generate():
+            for row in root.execute({}):
+                per_query.solutions += 1
+                yield row
+            self.stats.merge(per_query)
+
+        return StreamingSelect(variables, generate(), root)
 
     def plan_digest(self, text: str | Query) -> str:
         """Stable digest of the optimized logical plan (result-cache key)."""

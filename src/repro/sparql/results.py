@@ -1,21 +1,48 @@
-"""SELECT result representation.
+"""SELECT result representation and wire serializations.
 
 A :class:`SelectResult` is an ordered table of solution rows — the object
 every downstream layer consumes: the facet browser counts over it, the
 recommendation engine profiles its columns, the LDVM pipeline binds it to
 visual channels.
+
+The module also implements the W3C interchange formats a SPARQL endpoint
+negotiates (and a client parses back):
+
+* SPARQL 1.1 Query Results JSON (``application/sparql-results+json``) —
+  :func:`to_sparql_json` / :func:`parse_sparql_json`, with term-level
+  :func:`term_to_json` / :func:`term_from_json`;
+* SPARQL 1.1 Query Results CSV and TSV (``text/csv``,
+  ``text/tab-separated-values``) — :func:`to_csv` / :func:`to_tsv`.
+
+Each format has a streaming variant (``iter_*``) yielding string chunks so
+the serving layer (:mod:`repro.server`) can deliver arbitrarily large
+results with flat first-row latency over chunked transfer encoding.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+import json
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from ..rdf.terms import Literal, Term, Variable
+from ..rdf.terms import BNode, IRI, Literal, Term, Variable, XSD_STRING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .physical import EvalStats, ExplainNode
 
-__all__ = ["SelectResult"]
+__all__ = [
+    "SelectResult",
+    "term_to_json",
+    "term_from_json",
+    "binding_to_json",
+    "to_sparql_json",
+    "ask_to_sparql_json",
+    "parse_sparql_json",
+    "to_csv",
+    "to_tsv",
+    "iter_sparql_json",
+    "iter_csv",
+    "iter_tsv",
+]
 
 
 class SelectResult:
@@ -110,3 +137,157 @@ def _render(term: Term | None) -> str:
     if isinstance(term, Literal):
         return term.lexical
     return str(term)
+
+
+# --------------------------------------------------------------------------- #
+# W3C SPARQL 1.1 Query Results JSON
+# --------------------------------------------------------------------------- #
+
+
+def term_to_json(term: Term) -> dict[str, str]:
+    """One RDF term in the W3C results-JSON encoding.
+
+    Plain ``xsd:string`` literals omit the datatype member, matching what
+    every deployed endpoint emits.
+    """
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": str(term)}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": str(term)}
+    if isinstance(term, Literal):
+        record: dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.lang is not None:
+            record["xml:lang"] = term.lang
+        elif term.datatype and term.datatype != XSD_STRING:
+            record["datatype"] = term.datatype
+        return record
+    raise TypeError(f"not an RDF term: {term!r}")
+
+
+def term_from_json(record: dict[str, str]) -> Term:
+    """Inverse of :func:`term_to_json` (accepts ``typed-literal`` legacy)."""
+    kind = record.get("type")
+    value = record.get("value", "")
+    if kind == "uri":
+        return IRI(value)
+    if kind == "bnode":
+        return BNode(value)
+    if kind in ("literal", "typed-literal"):
+        lang = record.get("xml:lang")
+        if lang is not None:
+            return Literal(value, lang=lang)
+        return Literal(value, datatype=record.get("datatype"))
+    raise ValueError(f"unknown term type in results JSON: {kind!r}")
+
+
+def binding_to_json(
+    variables: Iterable[Variable], row: dict[Variable, Term]
+) -> dict[str, dict[str, str]]:
+    """One solution row as a results-JSON binding object (unbound omitted)."""
+    record: dict[str, dict[str, str]] = {}
+    for variable in variables:
+        term = row.get(variable)
+        if term is not None:
+            record[str(variable)] = term_to_json(term)
+    return record
+
+
+def iter_sparql_json(
+    variables: list[Variable],
+    rows: Iterable[dict[Variable, Term]],
+    extra: dict[str, object] | None = None,
+) -> Iterator[str]:
+    """Stream a results-JSON document chunk by chunk.
+
+    ``extra`` lands as an ``x-repro`` top-level member (the endpoint uses it
+    for approximation metadata); the W3C grammar permits extension members.
+    """
+    head = {"vars": [str(v) for v in variables]}
+    prefix = '{"head": ' + json.dumps(head)
+    if extra:
+        prefix += ', "x-repro": ' + json.dumps(extra, sort_keys=True)
+    yield prefix + ', "results": {"bindings": ['
+    first = True
+    for row in rows:
+        chunk = json.dumps(binding_to_json(variables, row))
+        yield chunk if first else ", " + chunk
+        first = False
+    yield "]}}"
+
+
+def to_sparql_json(
+    result: SelectResult, extra: dict[str, object] | None = None
+) -> str:
+    """The whole :class:`SelectResult` as a results-JSON document."""
+    return "".join(iter_sparql_json(result.variables, result.rows, extra))
+
+
+def ask_to_sparql_json(value: bool) -> str:
+    """An ASK answer as a results-JSON boolean document."""
+    return json.dumps({"head": {}, "boolean": bool(value)})
+
+
+def parse_sparql_json(text: str) -> SelectResult | bool:
+    """Parse a results-JSON document: SELECT → :class:`SelectResult`,
+    ASK → bool. The remote-endpoint client's read path."""
+    document = json.loads(text)
+    if "boolean" in document:
+        return bool(document["boolean"])
+    variables = [Variable(name) for name in document.get("head", {}).get("vars", [])]
+    rows: list[dict[Variable, Term]] = []
+    for binding in document.get("results", {}).get("bindings", []):
+        rows.append(
+            {Variable(name): term_from_json(record)
+             for name, record in binding.items()}
+        )
+    return SelectResult(variables, rows)
+
+
+# --------------------------------------------------------------------------- #
+# W3C SPARQL 1.1 Query Results CSV and TSV
+# --------------------------------------------------------------------------- #
+
+
+def _csv_field(term: Term | None) -> str:
+    """CSV value per the W3C mapping: lexical forms only, RFC 4180 quoting."""
+    if term is None:
+        return ""
+    if isinstance(term, Literal):
+        text = term.lexical
+    elif isinstance(term, BNode):
+        text = f"_:{term}"
+    else:
+        text = str(term)
+    if any(ch in text for ch in (",", '"', "\n", "\r")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def iter_csv(
+    variables: list[Variable], rows: Iterable[dict[Variable, Term]]
+) -> Iterator[str]:
+    """Stream the W3C CSV serialization (CRLF line endings, plain values)."""
+    yield ",".join(str(v) for v in variables) + "\r\n"
+    for row in rows:
+        yield ",".join(_csv_field(row.get(v)) for v in variables) + "\r\n"
+
+
+def to_csv(result: SelectResult) -> str:
+    return "".join(iter_csv(result.variables, result.rows))
+
+
+def iter_tsv(
+    variables: list[Variable], rows: Iterable[dict[Variable, Term]]
+) -> Iterator[str]:
+    """Stream the W3C TSV serialization (terms in Turtle/N-Triples syntax)."""
+    yield "\t".join(f"?{v}" for v in variables) + "\n"
+    for row in rows:
+        fields = []
+        for variable in variables:
+            term = row.get(variable)
+            fields.append("" if term is None else term.n3())
+        yield "\t".join(fields) + "\n"
+
+
+def to_tsv(result: SelectResult) -> str:
+    return "".join(iter_tsv(result.variables, result.rows))

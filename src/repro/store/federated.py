@@ -57,6 +57,16 @@ class FederatedStore:
                     yield triple
 
     def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        if len(self._sources) == 1:
+            # Single source: no overlap to deduplicate, so delegate to the
+            # member's own count() — which may be an index lookup rather
+            # than the materializing scan the general path needs.
+            name, source = self._sources[0]
+            stats = self.stats[name]
+            stats.queries += 1
+            matched = source.count(pattern)
+            stats.triples_returned += matched
+            return matched
         return sum(1 for _ in self.triples(pattern))
 
     def __len__(self) -> int:

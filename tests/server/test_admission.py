@@ -1,0 +1,89 @@
+"""Admission control: bounded depth, explicit rejection, tenant fairness."""
+
+import threading
+
+from repro.server.admission import FairAdmissionQueue
+
+
+class TestBounds:
+    def test_offer_rejects_at_capacity(self):
+        queue = FairAdmissionQueue(2)
+        assert queue.offer("a", 1)
+        assert queue.offer("a", 2)
+        assert not queue.offer("a", 3)  # bound hit: explicit rejection
+        assert queue.depth == 2
+        snapshot = queue.snapshot()
+        assert snapshot.admitted == 2
+        assert snapshot.rejected == 1
+        assert snapshot.per_tenant_rejected == {"a": 1}
+        assert snapshot.rejection_rate == 1 / 3
+
+    def test_capacity_is_global_across_tenants(self):
+        queue = FairAdmissionQueue(2)
+        assert queue.offer("a", 1)
+        assert queue.offer("b", 2)
+        assert not queue.offer("c", 3)
+
+    def test_take_frees_capacity(self):
+        queue = FairAdmissionQueue(1)
+        assert queue.offer("a", 1)
+        assert not queue.offer("a", 2)
+        assert queue.take(timeout=0) == 1
+        assert queue.offer("a", 2)
+
+    def test_closed_queue_rejects(self):
+        queue = FairAdmissionQueue(4)
+        queue.close()
+        assert not queue.offer("a", 1)
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        queue = FairAdmissionQueue(16)
+        # tenant a bursts 4 items before b and c enqueue one each
+        for item in ("a1", "a2", "a3", "a4"):
+            queue.offer("a", item)
+        queue.offer("b", "b1")
+        queue.offer("c", "c1")
+        order = [queue.take(timeout=0) for _ in range(6)]
+        # b and c are served before a's burst drains — no starvation
+        assert order == ["a1", "b1", "c1", "a2", "a3", "a4"]
+
+    def test_fifo_within_tenant(self):
+        queue = FairAdmissionQueue(8)
+        for item in (1, 2, 3):
+            queue.offer("a", item)
+        assert [queue.take(timeout=0) for _ in range(3)] == [1, 2, 3]
+
+
+class TestBlocking:
+    def test_take_times_out_empty(self):
+        queue = FairAdmissionQueue(2)
+        assert queue.take(timeout=0.01) is None
+
+    def test_take_wakes_on_offer(self):
+        queue = FairAdmissionQueue(2)
+        results = []
+
+        def taker():
+            results.append(queue.take(timeout=2.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.offer("a", "item")
+        thread.join(timeout=2.0)
+        assert results == ["item"]
+
+    def test_close_wakes_blocked_takers(self):
+        queue = FairAdmissionQueue(2)
+        results = []
+
+        def taker():
+            results.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert results == [None]

@@ -1,0 +1,172 @@
+"""Bounded-work approximate aggregates: eligibility, bounds, exactness."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.server.approximate import (
+    approximate_select,
+    eligible_aggregate,
+)
+from repro.sparql.eval import QueryEngine
+from repro.sparql.parser import parse_query
+from repro.store.memory import MemoryStore
+
+EX = "http://example.org/"
+VALUE = IRI(EX + "value")
+LABEL = IRI(EX + "label")
+
+
+def numeric_store(n: int = 500) -> MemoryStore:
+    # Distinct, order-scrambled values: the store's POS index iterates
+    # objects in first-insertion order, so values correlated with the
+    # insertion index would make every prefix a maximally biased sample.
+    store = MemoryStore()
+    for index in range(n):
+        subject = IRI(f"{EX}item/{index}")
+        store.add(Triple(subject, VALUE, Literal(float((index * 7919) % 997))))
+        store.add(Triple(subject, LABEL, Literal(f"item {index}")))
+    return store
+
+
+class TestEligibility:
+    @pytest.mark.parametrize("text", [
+        "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+        "SELECT (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }",
+        "SELECT (SUM(?v) AS ?total) WHERE { ?s <http://example.org/value> ?v }",
+        "SELECT (AVG(?v) AS ?mean) (COUNT(*) AS ?n) "
+        "WHERE { ?s <http://example.org/value> ?v }",
+    ])
+    def test_eligible(self, text):
+        assert eligible_aggregate(parse_query(text))
+
+    @pytest.mark.parametrize("text", [
+        "SELECT ?s WHERE { ?s ?p ?o }",  # not an aggregate
+        "SELECT (MIN(?v) AS ?m) WHERE { ?s ?p ?v }",  # extremes need all rows
+        "SELECT (MAX(?v) AS ?m) WHERE { ?s ?p ?v }",
+        "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o }",
+        "SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p",
+        "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } LIMIT 1",
+        "ASK { ?s ?p ?o }",
+    ])
+    def test_ineligible(self, text):
+        assert not eligible_aggregate(parse_query(text))
+
+    def test_approximate_select_rejects_ineligible(self):
+        engine = QueryEngine(numeric_store(10))
+        with pytest.raises(ValueError):
+            approximate_select(engine, "SELECT ?s WHERE { ?s ?p ?o }")
+
+
+class TestExactWhenSmall:
+    def test_exhausted_stream_answers_exactly(self):
+        store = numeric_store(20)  # 40 triples, far below the row budget
+        engine = QueryEngine(store)
+        answer = approximate_select(
+            engine, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+            max_rows=1000,
+        )
+        assert not answer.approximate
+        assert answer.method == "exact"
+        assert answer.bounds == {"n": 0.0}
+        (row,) = answer.result.rows
+        (value,) = row.values()
+        assert value.value == 40
+
+    def test_metadata_shape(self):
+        engine = QueryEngine(numeric_store(10))
+        answer = approximate_select(
+            engine, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+        )
+        metadata = answer.metadata()
+        assert set(metadata) == {
+            "approximate", "method", "rows_consumed", "estimated_total",
+            "confidence", "bounds",
+        }
+
+
+class TestApproximation:
+    def test_bounded_work_count(self):
+        store = numeric_store(500)  # 1000 triples
+        engine = QueryEngine(store)
+        answer = approximate_select(
+            engine, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+            max_rows=100,
+        )
+        assert answer.approximate
+        assert answer.method == "prefix-sample"
+        assert answer.rows_consumed == 100  # the work bound held
+        (row,) = answer.result.rows
+        (value,) = row.values()
+        # COUNT scale-up comes from the planner's estimate; for a full
+        # wildcard scan the estimate is the store size itself.
+        assert value.value == 1000
+        assert answer.estimated_total == 1000
+
+    def test_avg_interval_covers_truth(self):
+        store = numeric_store(500)
+        engine = QueryEngine(store)
+        query = (
+            "SELECT (AVG(?v) AS ?mean) "
+            "WHERE { ?s <http://example.org/value> ?v }"
+        )
+        answer = approximate_select(engine, query, max_rows=150)
+        assert answer.approximate
+        exact = engine.query(query)
+        truth = next(iter(exact.rows[0].values())).value
+        (row,) = answer.result.rows
+        estimate = next(iter(row.values())).value
+        halfwidth = answer.bounds["mean"]
+        assert halfwidth > 0
+        # The store's values are order-scrambled, so the prefix is nearly
+        # unbiased; a 5x-widened interval must cover the exact mean.
+        assert abs(estimate - truth) <= 5 * halfwidth
+
+    def test_sum_scales_with_population(self):
+        store = numeric_store(400)
+        engine = QueryEngine(store)
+        query = (
+            "SELECT (SUM(?v) AS ?total) "
+            "WHERE { ?s <http://example.org/value> ?v }"
+        )
+        answer = approximate_select(engine, query, max_rows=100)
+        assert answer.approximate
+        exact_total = next(
+            iter(engine.query(query).rows[0].values())
+        ).value
+        (row,) = answer.result.rows
+        estimate = next(iter(row.values())).value
+        # Scale-up puts the estimate at population scale (not sample scale).
+        assert estimate == pytest.approx(exact_total, rel=0.5)
+
+    def test_count_variable_binomial_scale_up(self):
+        # Half the subjects carry ?v: COUNT(?v) must scale by the observed
+        # bound fraction, not the raw row count.
+        store = MemoryStore()
+        for index in range(300):
+            subject = IRI(f"{EX}item/{index}")
+            store.add(Triple(subject, LABEL, Literal(f"item {index}")))
+            if index % 2 == 0:
+                store.add(Triple(subject, VALUE, Literal(1.0)))
+        engine = QueryEngine(store)
+        query = (
+            "SELECT (COUNT(?v) AS ?n) WHERE { "
+            "?s <http://example.org/label> ?label . "
+            "OPTIONAL { ?s <http://example.org/value> ?v } }"
+        )
+        parsed = parse_query(query)
+        if not eligible_aggregate(parsed):
+            pytest.skip("OPTIONAL not supported by this parser")
+        answer = approximate_select(engine, parsed, max_rows=60)
+        if not answer.approximate:
+            pytest.skip("stream fit inside the budget")
+        (row,) = answer.result.rows
+        estimate = next(iter(row.values())).value
+        assert 0 < estimate < answer.estimated_total
+
+    def test_max_rows_must_be_positive(self):
+        engine = QueryEngine(numeric_store(10))
+        with pytest.raises(ValueError):
+            approximate_select(
+                engine, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+                max_rows=0,
+            )

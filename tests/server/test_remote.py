@@ -1,0 +1,122 @@
+"""RemoteEndpointSource: the TripleSource protocol spoken over HTTP."""
+
+import pytest
+
+from repro.rdf.terms import BNode, IRI, Literal, Triple
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.remote import EndpointError, RemoteEndpointSource
+from repro.store.memory import MemoryStore
+
+EX = "http://example.org/"
+KNOWS = IRI(EX + "knows")
+AGE = IRI(EX + "age")
+
+
+def build_store() -> MemoryStore:
+    store = MemoryStore()
+    alice, bob, carol = (IRI(EX + name) for name in ("alice", "bob", "carol"))
+    store.add(Triple(alice, KNOWS, bob))
+    store.add(Triple(alice, KNOWS, carol))
+    store.add(Triple(bob, KNOWS, carol))
+    store.add(Triple(alice, AGE, Literal(30)))
+    store.add(Triple(bob, AGE, Literal(25)))
+    return store
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    with ReproServer(build_store(), ServerConfig(workers=2)) as server:
+        yield server
+
+
+@pytest.fixture()
+def source(endpoint):
+    return RemoteEndpointSource(endpoint.base_url)
+
+
+class TestTripleSource:
+    def test_len(self, source):
+        assert len(source) == 5
+
+    def test_full_scan(self, source):
+        triples = list(source.triples((None, None, None)))
+        assert len(triples) == 5
+        assert all(isinstance(triple[0], IRI) for triple in triples)
+
+    def test_pattern_with_fixed_subject(self, source):
+        triples = list(source.triples((IRI(EX + "alice"), None, None)))
+        assert len(triples) == 3
+
+    def test_pattern_with_fixed_predicate_and_object(self, source):
+        triples = list(
+            source.triples((None, KNOWS, IRI(EX + "carol")))
+        )
+        assert {str(triple[0]) for triple in triples} == {
+            EX + "alice", EX + "bob",
+        }
+
+    def test_typed_literal_round_trip(self, source):
+        triples = list(source.triples((None, AGE, None)))
+        values = sorted(triple[2].value for triple in triples)
+        assert values == [25, 30]
+
+    def test_count_pattern(self, source):
+        assert source.count((None, KNOWS, None)) == 3
+        assert source.count((IRI(EX + "nobody"), None, None)) == 0
+
+    def test_bnode_pattern_rejected(self, source):
+        with pytest.raises(ValueError):
+            list(source.triples((BNode("b0"), None, None)))
+
+    def test_request_accounting(self, source):
+        source.count((None, None, None))
+        list(source.triples((None, KNOWS, None)))
+        assert source.requests_sent == 2
+
+
+class TestStatistics:
+    def test_statistics_without_wire_scan(self, source):
+        snapshot = source.statistics()
+        assert snapshot.triple_count == 5
+        assert snapshot.distinct_subjects == 2
+        assert snapshot.predicate_cardinalities[KNOWS] == 3
+        assert snapshot.predicate_cardinalities[AGE] == 2
+
+
+class TestErrors:
+    def test_connection_refused(self):
+        source = RemoteEndpointSource("http://127.0.0.1:9", timeout_s=0.5,
+                                      max_retries=0)
+        with pytest.raises(EndpointError):
+            source.count((None, None, None))
+
+    def test_bad_base_url(self):
+        with pytest.raises(ValueError):
+            RemoteEndpointSource("ftp://example.org")
+
+    def test_503_retried_with_server_hint(self, endpoint):
+        # Saturate a tiny server so some requests bounce with 503; the
+        # client must retry (honoring Retry-After) rather than fail.
+        config = ServerConfig(workers=1, queue_capacity=1,
+                              debug_delay_ms=100.0)
+        with ReproServer(build_store(), config) as busy:
+            import threading
+
+            source = RemoteEndpointSource(busy.base_url, max_retries=5,
+                                          max_retry_wait_s=0.2)
+            counts = []
+            threads = [
+                threading.Thread(
+                    target=lambda: counts.append(
+                        source.count((None, None, None)))
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            # Every count eventually succeeded despite interleaved 503s.
+            assert counts == [5, 5, 5, 5]
+            if busy.admission.snapshot().rejected:
+                assert source.retries >= 1

@@ -1,0 +1,121 @@
+"""Load-shedding controller: escalation, hysteresis, recovery."""
+
+from repro.server.shedding import (
+    AGGRESSIVE,
+    EXACT,
+    SAMPLED,
+    TIER_NAMES,
+    LoadShedder,
+)
+
+
+def _feed(shedder: LoadShedder, duration_ms: float, n: int) -> None:
+    for _ in range(n):
+        shedder.observe(duration_ms)
+
+
+class TestEscalation:
+    def test_starts_exact(self):
+        assert LoadShedder(budget_ms=100).tier() == EXACT
+
+    def test_exact_below_budget(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 50, 10)
+        assert shedder.tier() == EXACT
+
+    def test_sampled_above_budget(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 150, 10)
+        assert shedder.tier() == SAMPLED
+
+    def test_aggressive_above_factor(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4,
+                              aggressive_factor=3.0)
+        _feed(shedder, 500, 10)
+        assert shedder.tier() == AGGRESSIVE
+
+    def test_too_few_observations_stays_exact(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=8)
+        _feed(shedder, 10_000, 7)  # slow, but not enough signal
+        assert shedder.tier() == EXACT
+
+    def test_p95_ignores_minority_of_slow_requests(self):
+        shedder = LoadShedder(budget_ms=100, window=64, min_observations=4)
+        _feed(shedder, 10, 63)
+        shedder.observe(5_000)  # one outlier is not overload
+        assert shedder.tier() == EXACT
+
+
+class TestRecovery:
+    def test_recovers_when_fast_requests_refill_window(self):
+        shedder = LoadShedder(budget_ms=100, window=16, min_observations=4)
+        _feed(shedder, 150, 16)
+        assert shedder.tier() == SAMPLED
+        _feed(shedder, 20, 16)  # window now holds only fast requests
+        assert shedder.tier() == EXACT
+
+    def test_deescalates_one_tier_at_a_time(self):
+        shedder = LoadShedder(budget_ms=100, window=16, min_observations=4,
+                              aggressive_factor=3.0)
+        _feed(shedder, 500, 16)
+        assert shedder.tier() == AGGRESSIVE
+        _feed(shedder, 20, 16)
+        assert shedder.tier() == SAMPLED  # first step down
+        assert shedder.tier() == EXACT  # second decision completes recovery
+
+    def test_hysteresis_holds_tier_inside_band(self):
+        # p95 drops just below the budget but above recover_fraction x budget:
+        # the tier must hold (no flapping at the boundary).
+        shedder = LoadShedder(budget_ms=100, window=16, min_observations=4,
+                              recover_fraction=0.8)
+        _feed(shedder, 150, 16)
+        assert shedder.tier() == SAMPLED
+        _feed(shedder, 90, 16)  # inside (80, 100): hysteresis band
+        assert shedder.tier() == SAMPLED
+        _feed(shedder, 50, 16)  # clearly below 80: recover
+        assert shedder.tier() == EXACT
+
+    def test_old_observations_age_out(self):
+        clock = [0.0]
+        shedder = LoadShedder(budget_ms=100, window=64, min_observations=4,
+                              max_age_s=30.0)
+        import repro.server.shedding as shedding_module
+        original = shedding_module._clock
+        shedding_module._clock = lambda: clock[0]
+        try:
+            _feed(shedder, 500, 10)
+            assert shedder.tier() == AGGRESSIVE
+            clock[0] = 60.0  # everything in the window is now stale
+            assert shedder.tier() == EXACT  # below min_observations again
+        finally:
+            shedding_module._clock = original
+
+
+class TestAccounting:
+    def test_decide_counts_decisions(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 10, 8)
+        shedder.decide()
+        _feed(shedder, 900, 8)
+        shedder.decide()
+        assert shedder.exact_decisions == 1
+        assert shedder.shed_decisions == 1
+
+    def test_snapshot(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=2)
+        _feed(shedder, 200, 8)
+        shedder.tier()
+        snapshot = shedder.snapshot()
+        assert snapshot.tier == 1
+        assert snapshot.tier_name == TIER_NAMES[1] == "sampled"
+        assert snapshot.p95_ms == 200
+        assert snapshot.budget_ms == 100
+        assert snapshot.window_size == 8
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LoadShedder(budget_ms=0)
+        with pytest.raises(ValueError):
+            LoadShedder(budget_ms=100, recover_fraction=0.0)

@@ -1,0 +1,150 @@
+"""W3C result serializations: SPARQL results JSON, CSV, TSV."""
+
+import json
+
+import pytest
+
+from repro.rdf.terms import BNode, IRI, Literal, Variable, XSD_STRING
+from repro.sparql.results import (
+    SelectResult,
+    ask_to_sparql_json,
+    iter_sparql_json,
+    parse_sparql_json,
+    term_from_json,
+    term_to_json,
+    to_csv,
+    to_sparql_json,
+    to_tsv,
+)
+
+S, NAME, AGE = Variable("s"), Variable("name"), Variable("age")
+
+
+def sample_result() -> SelectResult:
+    return SelectResult(
+        [S, NAME, AGE],
+        [
+            {
+                S: IRI("http://example.org/alice"),
+                NAME: Literal("Alice"),
+                AGE: Literal(30),
+            },
+            {
+                S: BNode("b0"),
+                NAME: Literal("Bob", lang="en"),
+                # age unbound in this row
+            },
+        ],
+    )
+
+
+class TestTermJson:
+    def test_iri(self):
+        assert term_to_json(IRI("http://example.org/x")) == {
+            "type": "uri", "value": "http://example.org/x",
+        }
+
+    def test_plain_literal_omits_xsd_string(self):
+        encoded = term_to_json(Literal("hello"))
+        assert encoded == {"type": "literal", "value": "hello"}
+
+    def test_language_literal(self):
+        assert term_to_json(Literal("bonjour", lang="fr")) == {
+            "type": "literal", "value": "bonjour", "xml:lang": "fr",
+        }
+
+    def test_typed_literal(self):
+        encoded = term_to_json(Literal(42))
+        assert encoded["datatype"].endswith("integer")
+        assert encoded["value"] == "42"
+
+    def test_bnode(self):
+        assert term_to_json(BNode("b1")) == {"type": "bnode", "value": "b1"}
+
+    @pytest.mark.parametrize("term", [
+        IRI("http://example.org/x"),
+        Literal("plain"),
+        Literal("bonjour", lang="fr"),
+        Literal(42),
+        Literal(2.5),
+        Literal(True),
+        BNode("b1"),
+    ])
+    def test_round_trip(self, term):
+        assert term_from_json(term_to_json(term)) == term
+
+    def test_legacy_typed_literal_spelling(self):
+        term = term_from_json({
+            "type": "typed-literal", "value": "7",
+            "datatype": "http://www.w3.org/2001/XMLSchema#integer",
+        })
+        assert term == Literal(7)
+
+    def test_explicit_xsd_string_datatype(self):
+        term = term_from_json({
+            "type": "literal", "value": "x", "datatype": str(XSD_STRING),
+        })
+        assert term == Literal("x")
+
+
+class TestSparqlJson:
+    def test_document_shape(self):
+        document = json.loads(to_sparql_json(sample_result()))
+        assert document["head"]["vars"] == ["s", "name", "age"]
+        bindings = document["results"]["bindings"]
+        assert len(bindings) == 2
+        assert bindings[0]["s"]["type"] == "uri"
+        assert bindings[0]["age"]["value"] == "30"
+        assert "age" not in bindings[1]  # unbound vars are simply absent
+
+    def test_round_trip(self):
+        result = sample_result()
+        parsed = parse_sparql_json(to_sparql_json(result))
+        assert parsed.variables == result.variables
+        assert parsed.rows == result.rows
+
+    def test_extra_metadata_member(self):
+        document = json.loads(
+            to_sparql_json(sample_result(), extra={"approximate": True})
+        )
+        assert document["x-repro"] == {"approximate": True}
+
+    def test_streaming_matches_materialized(self):
+        result = sample_result()
+        streamed = "".join(iter_sparql_json(result.variables, iter(result.rows)))
+        assert json.loads(streamed) == json.loads(to_sparql_json(result))
+
+    def test_ask_documents(self):
+        assert json.loads(ask_to_sparql_json(True))["boolean"] is True
+        parsed = parse_sparql_json(ask_to_sparql_json(False))
+        assert parsed is False
+
+
+class TestCsvTsv:
+    def test_csv_values_and_quoting(self):
+        result = SelectResult(
+            [NAME],
+            [{NAME: Literal('say "hi", ok')}, {NAME: Literal("plain")}],
+        )
+        text = to_csv(result)
+        lines = text.split("\r\n")
+        assert lines[0] == "name"
+        assert lines[1] == '"say ""hi"", ok"'
+        assert lines[2] == "plain"
+
+    def test_csv_unbound_is_empty_field(self):
+        text = to_csv(sample_result())
+        rows = text.strip().split("\r\n")
+        assert rows[2].endswith(",")  # trailing empty age column
+
+    def test_tsv_uses_n3_forms(self):
+        text = to_tsv(sample_result())
+        lines = text.splitlines()
+        assert lines[0] == "?s\t?name\t?age"
+        assert "<http://example.org/alice>" in lines[1]
+        assert '"Bob"@en' in lines[2]
+
+    def test_csv_plain_values_not_n3(self):
+        text = to_csv(sample_result())
+        assert "<http://example.org/alice>" not in text
+        assert "http://example.org/alice" in text

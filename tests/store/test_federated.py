@@ -68,6 +68,41 @@ class TestFederatedStore:
             FederatedStore([("a", store), ("a", store)])
 
 
+class TestSingleSourceFastPath:
+    def test_count_delegates_to_member(self):
+        class CountingStore(MemoryStore):
+            count_calls = 0
+
+            def count(self, pattern=(None, None, None)):
+                CountingStore.count_calls += 1
+                return super().count(pattern)
+
+            def triples(self, pattern=(None, None, None)):
+                raise AssertionError(
+                    "single-source count must not scan triples"
+                )
+
+        member = CountingStore(
+            [Triple(ex("a"), ex("p"), Literal(i)) for i in range(5)]
+        )
+        federated = FederatedStore([("only", member)])
+        assert federated.count((None, ex("p"), None)) == 5
+        assert CountingStore.count_calls == 1
+
+    def test_fast_path_still_updates_stats(self):
+        member = MemoryStore(
+            [Triple(ex("a"), ex("p"), Literal(i)) for i in range(3)]
+        )
+        federated = FederatedStore([("only", member)])
+        assert federated.count() == 3
+        assert federated.stats["only"].queries == 1
+        assert federated.stats["only"].triples_returned == 3
+
+    def test_multi_source_count_still_deduplicates(self, federation):
+        # two+ sources may overlap: the scan path must stay authoritative
+        assert federation.count((None, ex("name"), None)) == 2
+
+
 class TestHeatmap:
     def test_renders_cells(self):
         counts = np.array([[0, 5], [10, 0]])
