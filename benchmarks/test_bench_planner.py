@@ -1,13 +1,21 @@
-"""Experiment C13: statistics-based planning vs live-count planning.
+"""Experiments C13 + C14: planning cost and execution-engine ablation.
 
-The plan pipeline costs BGP join orders with a :class:`CardinalityEstimator`.
-Stores that publish a :class:`StatisticsSnapshot` answer every estimate from
-a cached summary (triple count, distinct S/P/O, per-predicate histogram);
-stores that don't force the planner back to live ``store.count`` probes per
-pattern. This experiment measures the planning-time gap on a 120k-triple
-entity dataset and checks that both planners pick the same join order.
+C13: the plan pipeline costs BGP join orders with a
+:class:`CardinalityEstimator`. Stores that publish a
+:class:`StatisticsSnapshot` answer every estimate from a cached summary
+(triple count, distinct S/P/O, per-predicate histogram); stores that don't
+force the planner back to live ``store.count`` probes per pattern. This
+experiment measures the planning-time gap and checks that both planners
+pick the same join order.
 
-Results are persisted to ``BENCH_planner.json`` at the repo root.
+C14: the same star workload executed end to end under both operator
+families (``REPRO_EXEC=iterator`` vs ``vectorized``). The vectorized
+engine answers scan+join-heavy stars from dictionary-id batches with a
+worst-case-optimal center intersection and must hold a >=5x speedup over
+row-at-a-time iteration.
+
+Both experiments persist to ``BENCH_planner.json`` at the repo root (C13
+writes the document, C14 merges its keys in — keep that test order).
 """
 
 import json
@@ -95,8 +103,11 @@ def test_c13_stats_vs_live_count_planning(benchmark):
         def __len__(self):
             return len(store)
 
-    stats_engine = QueryEngine(store)
-    live_engine = QueryEngine(BareStore())
+    # Pin both engines to the iterator family: BareStore can't serve id
+    # scans, so letting `store` auto-select vectorized execution would skew
+    # the intermediate-binding accounting and hide the plan-quality signal.
+    stats_engine = QueryEngine(store, exec_mode="iterator")
+    live_engine = QueryEngine(BareStore(), exec_mode="iterator")
     for text in STAR_QUERIES:
         stats_rows = {tuple(sorted((str(k), v.n3()) for k, v in row.items()))
                       for row in stats_engine.query(text).rows}
@@ -140,7 +151,7 @@ def test_c13_stats_vs_live_count_planning(benchmark):
     explain_seconds = time.perf_counter() - start
 
     RESULTS_PATH.write_text(json.dumps({
-        "experiment": "C13 stats-based vs live-count planning",
+        "experiment": "C13+C14 planning cost and exec-engine ablation",
         "triples": len(store),
         "plans_per_planner": plans,
         "snapshot_planning_seconds": round(stats_seconds, 6),
@@ -157,3 +168,70 @@ def test_c13_stats_vs_live_count_planning(benchmark):
     print(f"  results written to {RESULTS_PATH.name}")
 
     benchmark(lambda: snapshot_estimator.order(pattern_lists[0]))
+
+
+EXEC_REPEATS = 5
+
+
+def _multiset(result):
+    from collections import Counter
+
+    return Counter(
+        tuple(sorted((str(v), t.n3()) for v, t in row.items()))
+        for row in result.rows
+    )
+
+
+def test_c14_vectorized_vs_iterator_ablation(benchmark):
+    """Execution-engine ablation on the star workload (merges into C13's file)."""
+    store = _store()
+    iterator_engine = QueryEngine(store, exec_mode="iterator")
+    vectorized_engine = QueryEngine(store, exec_mode="vectorized")
+
+    # Parity first: an ablation between engines that disagree is meaningless.
+    for text in STAR_QUERIES:
+        iterator_rows = _multiset(iterator_engine.query(text))
+        vectorized_rows = _multiset(vectorized_engine.query(text))
+        assert iterator_rows == vectorized_rows
+        assert sum(iterator_rows.values()) > 0
+    # The engines must actually differ: id batches on one side only.
+    assert vectorized_engine.stats.scan_batches > 0
+    assert iterator_engine.stats.scan_batches == 0
+
+    def workload(engine):
+        for text in STAR_QUERIES:
+            engine.query(text)
+
+    def best_of(engine):
+        workload(engine)  # warm parse/plan caches and store index paths
+        best = float("inf")
+        for _ in range(EXEC_REPEATS):
+            start = time.perf_counter()
+            workload(engine)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    iterator_seconds = best_of(iterator_engine)
+    vectorized_seconds = best_of(vectorized_engine)
+    speedup = iterator_seconds / max(vectorized_seconds, 1e-9)
+
+    print(f"\n\nC14: star workload, iterator vs vectorized engine "
+          f"({len(store)} triples, {len(STAR_QUERIES)} queries)")
+    print(f"{'engine':>12} | {'workload':>10}")
+    print(f"{'iterator':>12} | {iterator_seconds * 1e3:>8.2f}ms")
+    print(f"{'vectorized':>12} | {vectorized_seconds * 1e3:>8.2f}ms")
+    print(f"  vectorized speedup: {speedup:.1f}x")
+
+    # The headline acceptance bar for the vectorized engine.
+    assert speedup >= 5.0
+
+    results = json.loads(RESULTS_PATH.read_text())
+    results.update({
+        "iterator_exec_seconds": round(iterator_seconds, 6),
+        "vectorized_exec_seconds": round(vectorized_seconds, 6),
+        "vectorized_speedup": round(speedup, 2),
+    })
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"  results merged into {RESULTS_PATH.name}")
+
+    benchmark(lambda: workload(vectorized_engine))

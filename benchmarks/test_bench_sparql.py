@@ -39,8 +39,11 @@ def _store() -> MemoryStore:
 
 def test_c10_optimizer_on_vs_off(benchmark):
     store = _store()
-    optimized = QueryEngine(store, optimize=True)
-    naive = QueryEngine(store, optimize=False)
+    # Pin the iterator family on both sides: this experiment isolates join
+    # *ordering*, and the unoptimized baseline can't go vectorized anyway,
+    # so auto-selection would conflate engine and ordering effects.
+    optimized = QueryEngine(store, optimize=True, exec_mode="iterator")
+    naive = QueryEngine(store, optimize=False, exec_mode="iterator")
 
     start = time.perf_counter()
     fast_rows = optimized.query(STAR_QUERY)

@@ -25,9 +25,15 @@ from .nodes import (
     Query,
     SelectQuery,
 )
-from .optimizer import CardinalityEstimator, estimate_cardinality, order_patterns
+from .optimizer import (
+    CardinalityEstimator,
+    choose_bgp_strategy,
+    estimate_cardinality,
+    order_patterns,
+)
 from .parser import parse_query
 from .plan import optimize_plan, plan_digest, query_digest
+from .vectorized import VectorizedBGP, resolve_exec_mode
 from .results import (
     SelectResult,
     ask_to_sparql_json,
@@ -52,7 +58,9 @@ __all__ = [
     "SelectQuery",
     "SelectResult",
     "SparqlSyntaxError",
+    "VectorizedBGP",
     "ask_to_sparql_json",
+    "choose_bgp_strategy",
     "estimate_cardinality",
     "optimize_plan",
     "order_patterns",
@@ -61,6 +69,7 @@ __all__ = [
     "plan_digest",
     "query",
     "query_digest",
+    "resolve_exec_mode",
     "term_from_json",
     "term_to_json",
     "to_csv",

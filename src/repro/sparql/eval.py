@@ -89,11 +89,18 @@ class QueryEngine:
     ``stats`` accumulates across queries until :meth:`EvalStats.reset` is
     called on it; each :class:`SelectResult` additionally carries the
     per-query counters of the run that produced it.
+
+    ``exec_mode`` picks the BGP operator family: ``"iterator"``,
+    ``"vectorized"``, or ``"auto"`` (vectorized when the store implements
+    :class:`~repro.store.base.IdScanSource`, iterator otherwise). ``None``
+    defers to the ``REPRO_EXEC`` environment variable, read per query so
+    tests can flip engines without rebuilding the engine.
     """
 
     store: TripleSource
     optimize: bool = True
     stats: EvalStats = field(default_factory=EvalStats)
+    exec_mode: str | None = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -123,6 +130,11 @@ class QueryEngine:
             result = self._dispatch(parsed, per_query)
             span.set_attribute("store_lookups", per_query.store_lookups)
             span.set_attribute("solutions", per_query.solutions)
+            if per_query.scan_batches:
+                # Only the vectorized engine pulls id batches, so these
+                # attributes double as the engine marker on the span.
+                span.set_attribute("scan_batches", per_query.scan_batches)
+                span.set_attribute("scan_rows", per_query.scan_rows)
             root = self._last_root
             if root is not None:
                 span.add_child(operator_span(root))
@@ -244,7 +256,12 @@ class QueryEngine:
         if logical is None:
             return None
         root = build_plan(
-            logical, self.store, per_query, self._estimator(), optimize=self.optimize
+            logical,
+            self.store,
+            per_query,
+            self._estimator(),
+            optimize=self.optimize,
+            exec_mode=self.exec_mode,
         )
         # Remembered so the tracing wrapper in :meth:`query` can attach the
         # executed operator tree's spans after dispatch returns.

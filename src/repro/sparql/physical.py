@@ -30,7 +30,7 @@ from typing import Iterator
 
 from ..obs import Span
 from ..rdf.terms import Term, Variable, term_sort_key
-from ..store.base import TripleSource
+from ..store.base import TripleSource, as_id_scan_source
 from .expr import (
     Binding,
     ExprError,
@@ -52,7 +52,7 @@ from .nodes import (
     TriplePatternNode,
     ValuesPattern,
 )
-from .optimizer import CardinalityEstimator
+from .optimizer import CardinalityEstimator, choose_bgp_strategy
 from .plan import (
     LogicalAggregate,
     LogicalBGP,
@@ -102,6 +102,11 @@ class EvalStats:
     store_lookups: int = 0
     intermediate_bindings: int = 0
     solutions: int = 0
+    # Vectorized-engine counters: id batches pulled from stores and id rows
+    # they carried. Zero on pure iterator runs, so they also identify which
+    # engine actually executed a query.
+    scan_batches: int = 0
+    scan_rows: int = 0
     operator_rows: dict[str, int] = field(default_factory=dict)
     tracer: object | None = field(default=None, repr=False, compare=False)
 
@@ -109,6 +114,8 @@ class EvalStats:
         self.store_lookups = 0
         self.intermediate_bindings = 0
         self.solutions = 0
+        self.scan_batches = 0
+        self.scan_rows = 0
         self.operator_rows.clear()
 
     def record_rows(self, operator: str, count: int = 1) -> None:
@@ -119,6 +126,8 @@ class EvalStats:
         self.store_lookups += other.store_lookups
         self.intermediate_bindings += other.intermediate_bindings
         self.solutions += other.solutions
+        self.scan_batches += other.scan_batches
+        self.scan_rows += other.scan_rows
         for operator, count in other.operator_rows.items():
             self.record_rows(operator, count)
 
@@ -740,6 +749,7 @@ def build_plan(
     stats: EvalStats,
     estimator: CardinalityEstimator | None = None,
     optimize: bool = True,
+    exec_mode: str | None = None,
 ) -> PhysicalOperator:
     """Lower a logical plan into an executable operator tree.
 
@@ -749,8 +759,17 @@ def build_plan(
     ``optimize=False`` keeps BGP patterns in textual order and joins them
     with plain nested loops — the baseline the C10 benchmark compares
     against.
+
+    ``exec_mode`` selects the operator family for BGPs: ``"iterator"``
+    forces the streaming iterator operators, ``"vectorized"``/``"auto"``
+    lower BGP components onto :class:`~repro.sparql.vectorized
+    .VectorizedBGP` when the store supports id scans (and fall back to
+    iterators when it doesn't — federation, remote endpoints, plain
+    graphs). ``None`` reads ``REPRO_EXEC`` (default ``auto``). Vectorized
+    lowering additionally requires ``optimize=True``: the unoptimized
+    baseline keeps textual-order iterator semantics.
     """
-    builder = _Builder(store, stats, estimator, optimize)
+    builder = _Builder(store, stats, estimator, optimize, exec_mode)
     return builder.build(node)
 
 
@@ -761,12 +780,20 @@ class _Builder:
         stats: EvalStats,
         estimator: CardinalityEstimator | None,
         optimize: bool,
+        exec_mode: str | None = None,
     ) -> None:
+        from .vectorized import resolve_exec_mode
+
         self.store = store
         self.stats = stats
         self.estimator = estimator
         self.optimize = optimize
         self._total = estimator.total_triples() if estimator is not None else None
+        mode = resolve_exec_mode(exec_mode)
+        self._id_source = (
+            as_id_scan_source(store) if mode != "iterator" and optimize else None
+        )
+        self._vectorize = self._id_source is not None
 
     # -- estimate arithmetic (None-propagating) ----------------------------
 
@@ -835,6 +862,15 @@ class _Builder:
                 child, node.projections, node.select_all, self.stats, child.estimated_rows
             )
         if isinstance(node, LogicalPrune):
+            if self._vectorize and isinstance(node.input, LogicalBGP):
+                # Late materialization: push the projection-pruned variable
+                # set into the BGP so only observable ids get decoded. The
+                # lowering returns rows already restricted to the pruned
+                # set (plus nothing else), so no PruneOp is needed unless
+                # filters forced extra variables into the rows.
+                return self._build_bgp(
+                    node.input, needed=frozenset(node.variables)
+                )
             child = self.build(node.input)
             return PruneOp(child, node.variables, self.stats, child.estimated_rows)
         if isinstance(node, LogicalAggregate):
@@ -863,7 +899,9 @@ class _Builder:
 
     # -- BGP lowering --------------------------------------------------------
 
-    def _build_bgp(self, node: LogicalBGP) -> PhysicalOperator:
+    def _build_bgp(
+        self, node: LogicalBGP, needed: frozenset[Variable] | None = None
+    ) -> PhysicalOperator:
         if not node.patterns:
             op: PhysicalOperator = Singleton(self.stats, 1.0 if self.estimator else None)
             for expression in node.filters:
@@ -876,6 +914,9 @@ class _Builder:
             ordered = self.estimator.order(node.patterns)
         else:
             ordered = list(node.patterns)
+
+        if self._vectorize:
+            return self._build_vectorized_bgp(node, ordered, needed)
 
         remaining = list(node.filters)
 
@@ -949,6 +990,124 @@ class _Builder:
                 expression,
                 self.stats,
                 self._filter_estimate(combined.estimated_rows),
+            )
+        return combined
+
+    def _build_vectorized_bgp(
+        self,
+        node: LogicalBGP,
+        ordered: list[TriplePatternNode],
+        needed: frozenset[Variable] | None,
+    ) -> PhysicalOperator:
+        """Lower BGP components onto the batched id-scan operator family.
+
+        Each variable-disjoint component becomes one
+        :class:`~repro.sparql.vectorized.VectorizedBGP` (strategy chosen
+        per component from the statistics snapshot); components still
+        compose with :class:`HashJoin`, and filters spanning components
+        attach above the join that first covers their variables — the same
+        placement discipline as the iterator lowering. ``needed`` is the
+        late-materialization contract from an enclosing projection prune:
+        only those variables (plus what filters read) get decoded.
+        """
+        from .vectorized import VectorizedBGP
+
+        components = self._segment(ordered)
+        snapshot = self.estimator.snapshot if self.estimator is not None else None
+        filter_vars: set[Variable] = set()
+        for expression in node.filters:
+            filter_vars |= expression_variables(expression)
+
+        remaining = list(node.filters)
+        combined: PhysicalOperator | None = None
+        covered: set[Variable] = set()
+        decoded_total: set[Variable] = set()
+        for component in components:
+            component_vars: set[Variable] = set()
+            for pattern in component:
+                component_vars |= pattern.variables()
+            local = [
+                expression
+                for expression in remaining
+                if expression_variables(expression) <= component_vars
+            ]
+            remaining = [e for e in remaining if not any(e is l for l in local)]
+
+            pattern_estimates = [
+                self.estimator.pattern_cardinality(pattern)
+                if self.estimator is not None
+                else None
+                for pattern in component
+            ]
+            estimate: float | None = None
+            for index, pattern_estimate in enumerate(pattern_estimates):
+                if index == 0:
+                    estimate = pattern_estimate
+                else:
+                    estimate = self._join_estimate(estimate, pattern_estimate, True)
+            for _ in local:
+                estimate = self._filter_estimate(estimate)
+
+            if needed is None:
+                keep: frozenset[Variable] | None = None
+                decoded_total |= component_vars
+            else:
+                keep = frozenset((needed | filter_vars) & component_vars)
+                decoded_total |= keep
+            strategy, center, reason = choose_bgp_strategy(component, snapshot)
+            op: PhysicalOperator = VectorizedBGP(
+                self._id_source,
+                tuple(component),
+                tuple(local),
+                keep,
+                self.stats,
+                estimate,
+                pattern_estimates,
+                strategy,
+                center,
+                reason,
+            )
+
+            if combined is None:
+                combined = op
+            else:
+                combined = HashJoin(
+                    combined,
+                    op,
+                    frozenset(component_vars),
+                    self.stats,
+                    self._join_estimate(
+                        combined.estimated_rows, op.estimated_rows, False
+                    ),
+                )
+            covered |= component_vars
+            if len(components) > 1:
+                still = []
+                for expression in remaining:
+                    if expression_variables(expression) <= covered:
+                        combined = FilterOp(
+                            combined,
+                            expression,
+                            self.stats,
+                            self._filter_estimate(combined.estimated_rows),
+                        )
+                    else:
+                        still.append(expression)
+                remaining = still
+
+        assert combined is not None
+        for expression in remaining:  # safety net, as in the iterator path
+            combined = FilterOp(
+                combined,
+                expression,
+                self.stats,
+                self._filter_estimate(combined.estimated_rows),
+            )
+        if needed is not None and decoded_total - needed:
+            # Filters forced extra variables to be decoded; restore exact
+            # Prune(BGP) output on top.
+            combined = PruneOp(
+                combined, needed, self.stats, combined.estimated_rows
             )
         return combined
 

@@ -1,0 +1,653 @@
+"""Vectorized batch execution of BGPs over dictionary-encoded ids.
+
+The physical layer's second operator family (ROADMAP item 2; "Efficiently
+Charting RDF" is the shape: a specialized index + join strategy over
+encoded ids is what makes scan+join-heavy exploration queries interactive).
+Where the iterator family (:mod:`repro.sparql.physical`) pulls decoded
+solution rows one at a time, the operators here execute a whole basic graph
+pattern as a pipeline of **id batches** — ``(n,)`` int64 numpy columns per
+variable — against any store implementing the
+:class:`~repro.store.base.IdScanSource` capability, and decode terms only
+at batch boundaries, only for the variables the rest of the plan can
+observe (*late materialization*).
+
+Three join strategies, chosen per BGP by
+:func:`repro.sparql.optimizer.choose_bgp_strategy` and recorded in EXPLAIN:
+
+* ``binary`` — a batched index-probe pipeline in optimizer order: each
+  batch groups rows by the shared variables' ids (``np.unique``), probes
+  the store once per distinct key, and expands matches with a ragged
+  gather. Chains and acyclic shapes.
+* ``wcoj-star`` — leapfrog-style worst-case-optimal join for star BGPs:
+  every pattern contributes its *sorted* run of center-variable candidates
+  (``distinct_ids``), the runs are intersected smallest-first
+  (``np.intersect1d`` over sorted unique arrays — the leapfrog), and only
+  the surviving candidates are expanded. Intermediate results never exceed
+  the smallest constraint run.
+* ``wcoj-generic`` — generic-join recursion for cyclic BGPs (triangles):
+  variables are eliminated one at a time, each level intersecting the
+  sorted candidate runs of every pattern containing that variable.
+
+Crucially, the streaming pull interface is preserved: a
+:class:`VectorizedBGP` *is* a :class:`~repro.sparql.physical
+.PhysicalOperator` whose ``execute`` yields decoded ``Binding`` rows, so
+LIMIT pushdown, budgets, tracing, prefix sampling, and chunked HTTP
+delivery compose unchanged — a ``LIMIT k`` consumer stops pulling and the
+scan stops after a bounded number of batches.
+
+``REPRO_EXEC=iterator|vectorized|auto`` (default ``auto``) selects the
+engine; ``auto`` uses the vectorized family whenever the store supports id
+scans and falls back to iterators otherwise (federation, remote endpoints,
+plain graphs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, NamedTuple
+
+import numpy as np
+
+from ..rdf.terms import Variable
+from ..store.base import DEFAULT_BATCH_SIZE, IdScanSource
+from .expr import Binding, ExprError, ebv, evaluate
+from .nodes import Expression, TriplePatternNode
+from .physical import EvalStats, PhysicalOperator
+
+__all__ = [
+    "EXEC_ENV",
+    "EXEC_MODES",
+    "VectorScan",
+    "VectorizedBGP",
+    "resolve_exec_mode",
+]
+
+EXEC_ENV = "REPRO_EXEC"
+EXEC_MODES = ("iterator", "vectorized", "auto")
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+# Existence-probe match stubs: one row / zero rows, no free-variable columns.
+_EXISTS = np.empty((1, 0), dtype=np.int64)
+_ABSENT = np.empty((0, 0), dtype=np.int64)
+
+
+def resolve_exec_mode(explicit: str | None = None) -> str:
+    """The execution-engine selector, validated.
+
+    ``explicit`` (an engine constructor argument) wins over the
+    ``REPRO_EXEC`` environment variable; unset means ``auto``.
+    """
+    mode = explicit if explicit is not None else os.environ.get(EXEC_ENV, "")
+    mode = mode.strip().lower() or "auto"
+    if mode not in EXEC_MODES:
+        raise ValueError(
+            f"{EXEC_ENV} must be one of {EXEC_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+class _Batch(NamedTuple):
+    """One unit of columnar intermediate state: aligned id columns."""
+
+    columns: dict[Variable, np.ndarray]
+    count: int
+
+
+class _Resolved(NamedTuple):
+    """A triple pattern with the ambient binding substituted in.
+
+    ``ids`` holds a dictionary id per position (``None`` = free);
+    ``var_slots`` maps each *distinct* free variable to its first position;
+    ``dup_slots`` lists position pairs that must be equal (a variable
+    repeated inside one pattern).
+    """
+
+    ids: tuple[int | None, int | None, int | None]
+    var_slots: tuple[tuple[int, Variable], ...]
+    dup_slots: tuple[tuple[int, int], ...]
+
+
+def _resolve_pattern(
+    pattern: TriplePatternNode, binding: Binding, source: IdScanSource
+) -> _Resolved | None:
+    """Substitute binding + dictionary ids; ``None`` = provably empty."""
+    dictionary = source.dictionary
+    ids: list[int | None] = []
+    var_slots: list[tuple[int, Variable]] = []
+    dup_slots: list[tuple[int, int]] = []
+    first_seen: dict[Variable, int] = {}
+    for position, term in enumerate(
+        (pattern.subject, pattern.predicate, pattern.object)
+    ):
+        if isinstance(term, Variable):
+            bound = binding.get(term)
+            if bound is not None:
+                term_id = dictionary.lookup(bound)
+                if term_id is None:
+                    return None
+                ids.append(term_id)
+            elif term in first_seen:
+                ids.append(None)
+                dup_slots.append((first_seen[term], position))
+            else:
+                ids.append(None)
+                var_slots.append((position, term))
+                first_seen[term] = position
+        else:
+            term_id = dictionary.lookup(term)
+            if term_id is None:
+                return None
+            ids.append(term_id)
+    return _Resolved(
+        (ids[0], ids[1], ids[2]), tuple(var_slots), tuple(dup_slots)
+    )
+
+
+def _ragged_gather(
+    counts: np.ndarray, inverse: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-key match lists onto per-row output positions.
+
+    Given ``counts[k]`` matches for key ``k`` and ``inverse[i]`` = key of
+    input row ``i``, returns ``(row_index, match_index)``: for every output
+    row, which input row it extends and which slot of the concatenated
+    match arrays it takes. Pure integer arithmetic — no Python loop.
+    """
+    counts_per_row = counts[inverse]
+    total = int(counts_per_row.sum())
+    row_index = np.repeat(np.arange(len(inverse)), counts_per_row)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    starts = np.repeat(offsets[inverse], counts_per_row)
+    bases = np.cumsum(counts_per_row) - counts_per_row
+    match_index = starts + np.arange(total) - np.repeat(bases, counts_per_row)
+    return row_index, match_index
+
+
+class VectorScan(PhysicalOperator):
+    """EXPLAIN/span surface for one id-batch pattern scan.
+
+    Never executed directly: the owning :class:`VectorizedBGP` drives the
+    store and accounts rows/batches into this node so EXPLAIN ANALYZE and
+    the operator span tree keep one entry per pattern, same as the
+    iterator family's ``IndexScan``.
+    """
+
+    name = "IdScan"
+
+    def __init__(
+        self,
+        pattern: TriplePatternNode,
+        stats: EvalStats,
+        estimate: float | None,
+    ) -> None:
+        super().__init__(stats, estimate)
+        self.pattern = pattern
+        self.batches = 0
+
+    def detail(self) -> str:
+        rendered = " ".join(
+            t.n3()
+            for t in (self.pattern.subject, self.pattern.predicate, self.pattern.object)
+        )
+        if self.batches:
+            rendered += f" [{self.batches} batches]"
+        return rendered
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:  # pragma: no cover
+        raise AssertionError("VectorScan only executes inside a VectorizedBGP")
+
+
+class VectorizedBGP(PhysicalOperator):
+    """One BGP component executed as batched columnar operators over ids.
+
+    Pull-streaming from the outside (``execute`` yields decoded ``Binding``
+    rows), columnar on the inside. ``decode_variables`` (when not ``None``)
+    is the late-materialization contract: only those variables are decoded
+    and kept in output rows — the builder passes the projection-pruned set
+    plus whatever the BGP's own filters need, and the output is then
+    exactly what ``Prune(BGP)`` would have produced.
+    """
+
+    name = "VectorizedBGP"
+
+    def __init__(
+        self,
+        source: IdScanSource,
+        patterns: tuple[TriplePatternNode, ...],
+        filters: tuple[Expression, ...],
+        decode_variables: frozenset[Variable] | None,
+        stats: EvalStats,
+        estimate: float | None,
+        pattern_estimates: Iterable[float | None],
+        strategy: str,
+        center: Variable | None,
+        reason: str,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        scans = tuple(
+            VectorScan(pattern, stats, pattern_estimate)
+            for pattern, pattern_estimate in zip(patterns, pattern_estimates)
+        )
+        super().__init__(stats, estimate, scans)
+        self.source = source
+        self.patterns = patterns
+        self.filters = filters
+        self.decode_variables = decode_variables
+        self.strategy = strategy
+        self.center = center
+        self.reason = reason
+        self.batch_size = batch_size
+
+    def detail(self) -> str:
+        rendered = f"{self.strategy}[{self.reason}]"
+        if self.decode_variables is not None:
+            decoded = ",".join(sorted(f"?{v}" for v in self.decode_variables))
+            rendered += f" decode={decoded or '∅'}"
+        return rendered
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def _account_scan(self, scan: VectorScan, rows: int) -> None:
+        scan.actual_rows += rows
+        scan.batches += 1
+        self.stats.record_rows(scan.name, rows)
+        self.stats.scan_batches += 1
+        self.stats.scan_rows += rows
+        self.stats.intermediate_bindings += rows
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _run(self, binding: Binding) -> Iterator[Binding]:
+        resolved: list[_Resolved] = []
+        for pattern in self.patterns:
+            one = _resolve_pattern(pattern, binding, self.source)
+            if one is None:  # a bound term missing from the dictionary
+                return
+            resolved.append(one)
+
+        strategy = self.strategy
+        if strategy == "wcoj-star" and not self._center_free(resolved):
+            # The ambient binding ground the center variable out from under
+            # the star plan — the probe pipeline handles it naturally.
+            strategy = "binary"
+        if strategy == "wcoj-star":
+            batches = self._star_join(resolved)
+        elif strategy == "wcoj-generic":
+            batches = self._generic_join(resolved)
+        else:
+            batches = self._pipeline(resolved)
+        yield from self._emit(batches, binding)
+
+    def _center_free(self, resolved: list[_Resolved]) -> bool:
+        if self.center is None:
+            return False
+        return all(
+            any(variable == self.center for _, variable in one.var_slots)
+            for one in resolved
+        )
+
+    # -- scan + probe pipeline (binary strategy) ----------------------------
+
+    def _pipeline(self, resolved: list[_Resolved]) -> Iterator[_Batch]:
+        batches = self._scan(0, resolved[0])
+        for index in range(1, len(resolved)):
+            batches = self._probe(batches, index, resolved[index])
+        return batches
+
+    def _scan(self, scan_index: int, one: _Resolved) -> Iterator[_Batch]:
+        scan: VectorScan = self.children[scan_index]  # type: ignore[assignment]
+        scan.executions += 1
+        self.stats.store_lookups += 1
+        s, p, o = one.ids
+        for raw in self.source.match_id_batches(s, p, o, self.batch_size):
+            if one.dup_slots:
+                mask = np.ones(len(raw), dtype=bool)
+                for left, right in one.dup_slots:
+                    mask &= raw[:, left] == raw[:, right]
+                raw = raw[mask]
+            self._account_scan(scan, len(raw))
+            if not len(raw):
+                continue
+            columns = {
+                variable: raw[:, position] for position, variable in one.var_slots
+            }
+            yield _Batch(columns, len(raw))
+
+    def _probe_matches(
+        self,
+        probe: list[int | None],
+        free: tuple[tuple[int, Variable], ...],
+        dup_slots: tuple[tuple[int, int], ...],
+    ) -> np.ndarray:
+        """Match array for one concrete probe: shape (matches, len(free))."""
+        self.stats.store_lookups += 1
+        s, p, o = probe
+        if not free:
+            for raw in self.source.match_id_batches(s, p, o, batch_size=1):
+                if len(raw):
+                    return _EXISTS
+            return _ABSENT
+        if len(free) == 1 and not dup_slots:
+            run = self.source.distinct_ids(s, p, o, free[0][0])
+            return run[:, None]
+        rows = [raw for raw in self.source.match_id_batches(s, p, o, self.batch_size)]
+        if not rows:
+            return np.empty((0, len(free)), dtype=np.int64)
+        raw = np.concatenate(rows) if len(rows) > 1 else rows[0]
+        if dup_slots:
+            mask = np.ones(len(raw), dtype=bool)
+            for left, right in dup_slots:
+                mask &= raw[:, left] == raw[:, right]
+            raw = raw[mask]
+        return raw[:, [position for position, _ in free]]
+
+    def _probe(
+        self, batches: Iterator[_Batch], scan_index: int, one: _Resolved
+    ) -> Iterator[_Batch]:
+        """Index-probe join: extend each batch by one pattern's matches."""
+        scan: VectorScan = self.children[scan_index]  # type: ignore[assignment]
+        shared = tuple(
+            (position, variable)
+            for position, variable in one.var_slots
+            if variable is not None
+        )
+        for batch in batches:
+            scan.executions += 1
+            shared_here = [
+                (position, variable)
+                for position, variable in shared
+                if variable in batch.columns
+            ]
+            free = tuple(
+                (position, variable)
+                for position, variable in one.var_slots
+                if variable not in batch.columns
+            )
+            if shared_here:
+                key_columns = [batch.columns[v] for _, v in shared_here]
+                if len(key_columns) == 1:
+                    unique_keys, inverse = np.unique(
+                        key_columns[0], return_inverse=True
+                    )
+                    key_rows = unique_keys[:, None]
+                else:
+                    stacked = np.stack(key_columns, axis=1)
+                    key_rows, inverse = np.unique(
+                        stacked, axis=0, return_inverse=True
+                    )
+            else:  # no shared variable: one probe serves the whole batch
+                key_rows = np.empty((1, 0), dtype=np.int64)
+                inverse = np.zeros(batch.count, dtype=np.int64)
+
+            # Batched-probe fast path: a single shared key and single free
+            # variable (the star-expansion shape) can be answered in one
+            # store call when the source exposes ``probe_ids``, skipping
+            # the per-key Python round trips below.
+            if (
+                len(shared_here) == 1
+                and len(free) == 1
+                and not one.dup_slots
+                and hasattr(self.source, "probe_ids")
+            ):
+                s, p, o = one.ids
+                try:
+                    counts, values = self.source.probe_ids(
+                        s, p, o, shared_here[0][0], key_rows[:, 0], free[0][0]
+                    )
+                except LookupError:
+                    pass
+                else:
+                    self.stats.store_lookups += 1
+                    row_index, match_index = _ragged_gather(counts, inverse)
+                    total = len(row_index)
+                    self._account_scan(scan, total)
+                    if not total:
+                        continue
+                    columns = {
+                        variable: column[row_index]
+                        for variable, column in batch.columns.items()
+                    }
+                    columns[free[0][1]] = values[match_index]
+                    yield _Batch(columns, total)
+                    continue
+
+            match_lists: list[np.ndarray] = []
+            for key in key_rows:
+                probe = list(one.ids)
+                for (position, _), value in zip(shared_here, key):
+                    probe[position] = int(value)
+                # A repeated variable whose first occurrence just got bound
+                # pins its other positions to the same id.
+                for left, right in one.dup_slots:
+                    if probe[left] is not None and probe[right] is None:
+                        probe[right] = probe[left]
+                    elif probe[right] is not None and probe[left] is None:
+                        probe[left] = probe[right]
+                match_lists.append(
+                    self._probe_matches(probe, free, one.dup_slots)
+                )
+            counts = np.array([len(m) for m in match_lists], dtype=np.int64)
+            row_index, match_index = _ragged_gather(counts, inverse)
+            total = len(row_index)
+            self._account_scan(scan, total)
+            if not total:
+                continue
+            columns = {
+                variable: column[row_index]
+                for variable, column in batch.columns.items()
+            }
+            if free:
+                concatenated = (
+                    np.concatenate(match_lists)
+                    if len(match_lists) > 1
+                    else match_lists[0]
+                )
+                for slot, (_, variable) in enumerate(free):
+                    columns[variable] = concatenated[match_index, slot]
+            yield _Batch(columns, total)
+
+    # -- worst-case-optimal joins -------------------------------------------
+
+    def _pattern_run(
+        self, one: _Resolved, variable: Variable, bound: dict[Variable, int]
+    ) -> np.ndarray:
+        """Sorted candidate run for ``variable`` from one pattern.
+
+        The leapfrog primitive: distinct ids at the variable's position
+        given every already-eliminated variable substituted; variables not
+        yet eliminated act as wildcards.
+        """
+        probe = list(one.ids)
+        target = -1
+        for position, slot_variable in one.var_slots:
+            if slot_variable == variable:
+                target = position
+            elif slot_variable in bound:
+                probe[position] = bound[slot_variable]
+        if target < 0:  # pattern doesn't constrain this variable
+            return _EMPTY_IDS
+        self.stats.store_lookups += 1
+        if one.dup_slots:
+            rows = [
+                raw
+                for raw in self.source.match_id_batches(
+                    probe[0], probe[1], probe[2], self.batch_size
+                )
+            ]
+            if not rows:
+                return _EMPTY_IDS
+            raw = np.concatenate(rows) if len(rows) > 1 else rows[0]
+            mask = np.ones(len(raw), dtype=bool)
+            for left, right in one.dup_slots:
+                mask &= raw[:, left] == raw[:, right]
+            return np.unique(raw[mask][:, target])
+        return self.source.distinct_ids(probe[0], probe[1], probe[2], target)
+
+    def _star_join(self, resolved: list[_Resolved]) -> Iterator[_Batch]:
+        """Intersect constraint-only center runs, then expand survivors.
+
+        Only patterns whose variables are *all* the center contribute runs
+        to the intersection: their entire selectivity lives in the run, and
+        they never need expanding.  Patterns with extra free variables are
+        enforced during expansion anyway (``_probe`` drops candidates with
+        zero matches), so including their whole-predicate runs here would
+        pay a full distinct-subjects materialization for no extra pruning.
+        """
+        center = self.center
+        assert center is not None
+        constrainers = [
+            (index, one)
+            for index, one in enumerate(resolved)
+            if all(variable == center for _, variable in one.var_slots)
+        ]
+        expanders = [
+            (index, one)
+            for index, one in enumerate(resolved)
+            if any(variable != center for _, variable in one.var_slots)
+        ]
+        if not constrainers:
+            # Runtime demotion paths can strip every constraint-only
+            # pattern; the probe pipeline is always safe.
+            yield from self._pipeline(resolved)
+            return
+        runs: list[np.ndarray] = []
+        for index, one in constrainers:
+            run = self._pattern_run(one, center, {})
+            scan: VectorScan = self.children[index]  # type: ignore[assignment]
+            scan.executions += 1
+            self._account_scan(scan, len(run))
+            runs.append(run)
+        runs.sort(key=len)
+        candidates = runs[0]
+        for run in runs[1:]:
+            if not len(candidates):
+                return
+            candidates = np.intersect1d(candidates, run, assume_unique=True)
+        if not len(candidates):
+            return
+
+        def seed() -> Iterator[_Batch]:
+            for start in range(0, len(candidates), self.batch_size):
+                chunk = candidates[start : start + self.batch_size]
+                yield _Batch({center: chunk}, len(chunk))
+
+        batches: Iterator[_Batch] = seed()
+        for index, one in expanders:
+            batches = self._probe(batches, index, one)
+        return (yield from batches)
+
+    def _generic_join(self, resolved: list[_Resolved]) -> Iterator[_Batch]:
+        """Generic-join recursion: eliminate one variable per level."""
+        frequency: dict[Variable, int] = {}
+        for one in resolved:
+            for _, variable in one.var_slots:
+                frequency[variable] = frequency.get(variable, 0) + 1
+        order = sorted(frequency, key=lambda v: (-frequency[v], str(v)))
+        if not order:  # fully ground BGP: every pattern is an existence test
+            for index, one in enumerate(resolved):
+                if not len(self._probe_matches(list(one.ids), (), one.dup_slots)):
+                    return
+            yield _Batch({}, 1)
+            return
+
+        buffers: dict[Variable, list[int]] = {variable: [] for variable in order}
+        buffered = 0
+
+        def flush() -> _Batch:
+            batch = _Batch(
+                {
+                    variable: np.array(values, dtype=np.int64)
+                    for variable, values in buffers.items()
+                },
+                buffered,
+            )
+            for values in buffers.values():
+                values.clear()
+            return batch
+
+        def descend(depth: int, bound: dict[Variable, int]) -> Iterator[_Batch]:
+            nonlocal buffered
+            variable = order[depth]
+            runs = sorted(
+                (
+                    self._pattern_run(one, variable, bound)
+                    for one in resolved
+                    if any(v == variable for _, v in one.var_slots)
+                ),
+                key=len,
+            )
+            candidates = runs[0]
+            for run in runs[1:]:
+                if not len(candidates):
+                    return
+                candidates = np.intersect1d(candidates, run, assume_unique=True)
+            if depth + 1 == len(order):
+                for value in candidates.tolist():
+                    for inner, values in buffers.items():
+                        values.append(bound[inner] if inner in bound else value)
+                    buffered += 1
+                    if buffered >= self.batch_size:
+                        batch = flush()
+                        buffered = 0
+                        yield batch
+                return
+            for value in candidates.tolist():
+                bound[variable] = value
+                yield from descend(depth + 1, bound)
+            bound.pop(variable, None)
+
+        yield from descend(0, {})
+        if buffered:
+            batch = flush()
+            buffered = 0
+            self._account_generic(batch.count)
+            yield batch
+
+    def _account_generic(self, rows: int) -> None:
+        # Generic-join rows don't belong to a single scan; account them on
+        # the first child so EXPLAIN still shows produced work.
+        if self.children:
+            self._account_scan(self.children[0], rows)  # type: ignore[arg-type]
+
+    # -- decode boundary -----------------------------------------------------
+
+    def _emit(
+        self, batches: Iterator[_Batch], binding: Binding
+    ) -> Iterator[Binding]:
+        """Decode id batches into solution rows (the streaming boundary)."""
+        dictionary = self.source.dictionary
+        keep = self.decode_variables
+        for batch in batches:
+            decoded: list[tuple[Variable, list, np.ndarray]] = []
+            for variable, column in batch.columns.items():
+                if keep is not None and variable not in keep:
+                    continue
+                unique_ids, inverse = np.unique(column, return_inverse=True)
+                terms = dictionary.decode_batch(unique_ids)
+                decoded.append((variable, terms, inverse))
+            for row_no in range(batch.count):
+                row: Binding = dict(binding)
+                for variable, terms, inverse in decoded:
+                    row[variable] = terms[inverse[row_no]]
+                ok = True
+                for expression in self.filters:
+                    try:
+                        if not ebv(evaluate(expression, row)):
+                            ok = False
+                            break
+                    except ExprError:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if keep is not None:
+                    row = {
+                        variable: term
+                        for variable, term in row.items()
+                        if variable in keep
+                    }
+                yield row

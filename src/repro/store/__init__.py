@@ -9,15 +9,25 @@ Pick the store that matches the scale:
   resident memory is O(pool), the survey's Section 4 recommendation.
 * :class:`CrackedColumn` — adaptive numeric index for exploration sessions
   with no preprocessing window (Section 2's dynamic setting).
+* :class:`CrackingTripleStore` — columnar id-triple store whose per-access-
+  path sort orders are built lazily by the workload itself.
+
+Stores that can serve sorted id runs additionally implement the
+:class:`IdScanSource` capability (probe with :func:`as_id_scan_source`),
+which the vectorized SPARQL engine (:mod:`repro.sparql.vectorized`) lowers
+BGPs onto; federation and remote-endpoint views deliberately don't, and
+execution falls back to the streaming iterator operators there.
 """
 
 from .base import (
+    IdScanSource,
     StatisticsSnapshot,
     StoreStatistics,
     TripleSource,
+    as_id_scan_source,
     compute_statistics,
 )
-from .cracking import CrackedColumn, FullSortColumn, ScanColumn
+from .cracking import CrackedColumn, CrackingTripleStore, FullSortColumn, ScanColumn
 from .dictionary import TermDictionary, decode_term, encode_term
 from .federated import FederatedStore, SourceStats
 from .memory import MemoryStore
@@ -26,8 +36,10 @@ from .paged import BufferPoolStats, LRUBufferPool, PagedTripleStore
 __all__ = [
     "BufferPoolStats",
     "CrackedColumn",
+    "CrackingTripleStore",
     "FederatedStore",
     "FullSortColumn",
+    "IdScanSource",
     "LRUBufferPool",
     "MemoryStore",
     "PagedTripleStore",
@@ -37,6 +49,7 @@ __all__ = [
     "StoreStatistics",
     "TermDictionary",
     "TripleSource",
+    "as_id_scan_source",
     "compute_statistics",
     "decode_term",
     "encode_term",

@@ -12,17 +12,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Iterator, Mapping, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterator, Mapping, Protocol, runtime_checkable
 
 from ..rdf.graph import TriplePattern
 from ..rdf.terms import Predicate, Triple
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    import numpy as np
+
+    from .dictionary import TermDictionary
+
 __all__ = [
     "TripleSource",
+    "IdScanSource",
     "StoreStatistics",
     "StatisticsSnapshot",
+    "as_id_scan_source",
     "compute_statistics",
+    "DEFAULT_BATCH_SIZE",
 ]
+
+#: Default number of id triples per scan batch. Sized so one batch of three
+#: int64 columns stays comfortably inside L2 while amortizing per-batch
+#: Python overhead across thousands of rows.
+DEFAULT_BATCH_SIZE = 4096
 
 
 @runtime_checkable
@@ -38,6 +51,69 @@ class TripleSource(Protocol):
         ...
 
     def __len__(self) -> int: ...
+
+
+@runtime_checkable
+class IdScanSource(Protocol):
+    """Stores that can answer pattern queries over dictionary-encoded ids.
+
+    This is the capability the vectorized execution engine
+    (:mod:`repro.sparql.vectorized`) probes for: instead of pulling decoded
+    :class:`~repro.rdf.terms.Triple` objects one at a time, it pulls
+    ``(n, 3)`` int64 numpy arrays of id triples and decodes only at batch
+    boundaries. Sources that cannot expose id runs (federation views,
+    remote endpoints) simply don't implement it and execution falls back to
+    the streaming iterator path — use :func:`as_id_scan_source` to probe.
+
+    ``id_pattern`` follows ``TriplePattern`` shape with ids: ``None`` is a
+    wildcard, an ``int`` is a bound dictionary id.
+    """
+
+    @property
+    def dictionary(self) -> "TermDictionary": ...
+
+    def match_id_batches(
+        self,
+        s: int | None,
+        p: int | None,
+        o: int | None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator["np.ndarray"]:
+        """Yield matching id triples as ``(n, 3)`` int64 arrays.
+
+        Batches stream: producing the first batch must not require
+        materializing the full match set, so a ``LIMIT``-ed consumer
+        touches a bounded number of batches.
+        """
+        ...
+
+    def distinct_ids(
+        self, s: int | None, p: int | None, o: int | None, position: int
+    ) -> "np.ndarray":
+        """Sorted unique ids at ``position`` (0=s, 1=p, 2=o) over matches.
+
+        This is the sorted-run primitive leapfrog-style worst-case-optimal
+        joins intersect; implementations should serve the common shapes
+        (bound predicate and/or one bound endpoint) from their indexes.
+        """
+        ...
+
+
+def as_id_scan_source(store: object) -> "IdScanSource | None":
+    """Capability probe: the store itself if it can serve id scans.
+
+    Checks for the full method surface plus a term dictionary rather than
+    relying on ``isinstance`` protocol checks alone, so wrapper stores
+    (federation, remote endpoints, test doubles) fall back cleanly by
+    simply not exposing the attributes.
+    """
+    if (
+        hasattr(store, "match_id_batches")
+        and hasattr(store, "distinct_ids")
+        and getattr(store, "dictionary", None) is not None
+    ):
+        return store  # type: ignore[return-value]
+    return None
 
 
 @dataclass(frozen=True)

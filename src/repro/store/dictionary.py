@@ -82,6 +82,13 @@ def decode_term(data: bytes) -> Term:
     raise ValueError(f"unknown term kind byte: {kind}")
 
 
+#: Bound on the per-dictionary decode memo (see :meth:`TermDictionary
+#: .decode_batch`). Late materialization decodes the same hot ids (types,
+#: predicates, popular objects) over and over within a query; 64k entries
+#: cover any realistic working set while keeping worst-case memory small.
+_DECODE_MEMO_LIMIT = 65_536
+
+
 class TermDictionary:
     """Bidirectional term ↔ integer-id mapping.
 
@@ -91,6 +98,9 @@ class TermDictionary:
     def __init__(self) -> None:
         self._term_to_id: dict[Term, int] = {}
         self._id_to_term: list[Term] = []
+        # id -> term memo for decode_batch; keyed on plain ints so numpy
+        # scalars from id columns are normalized once, not per repeat.
+        self._decode_memo: dict[int, Term] = {}
 
     def __len__(self) -> int:
         return len(self._id_to_term)
@@ -111,6 +121,30 @@ class TermDictionary:
     def decode(self, term_id: int) -> Term:
         """Return the term for ``term_id``; raises IndexError if unknown."""
         return self._id_to_term[term_id]
+
+    def decode_batch(self, term_ids) -> list[Term]:
+        """Decode a sequence of ids (e.g. a numpy column) to terms.
+
+        The hot path of late materialization: id columns repeat the same
+        values heavily (types, predicates, shared objects), so decoded
+        terms are memoized in a bounded per-dictionary map. The memo is
+        dropped wholesale when it outgrows its bound — ids are stable, so
+        there is no invalidation to get wrong, only a cold restart.
+        """
+        memo = self._decode_memo
+        table = self._id_to_term
+        out: list[Term] = []
+        append = out.append
+        for term_id in term_ids:
+            key = int(term_id)
+            term = memo.get(key)
+            if term is None:
+                term = table[key]
+                memo[key] = term
+            append(term)
+        if len(memo) > _DECODE_MEMO_LIMIT:
+            memo.clear()
+        return out
 
     def encode_triple(self, triple: Triple) -> tuple[int, int, int]:
         s, p, o = triple

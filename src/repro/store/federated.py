@@ -7,6 +7,14 @@ presents several :class:`~repro.store.base.TripleSource`s as one — pattern
 queries fan out to every member, results are deduplicated, and per-source
 statistics record where answers came from (the provenance panel such tools
 show).
+
+A federation view deliberately does **not** implement the
+:class:`~repro.store.base.IdScanSource` capability: members keep private
+term dictionaries, so there is no shared id space to scan over. The
+``as_id_scan_source`` probe therefore returns ``None`` here and the SPARQL
+engine executes over the decoded-term iterator path — the fallback leg of
+the vectorized engine's capability matrix (same for
+:class:`~repro.server.remote.RemoteEndpointSource`).
 """
 
 from __future__ import annotations

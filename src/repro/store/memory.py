@@ -15,14 +15,27 @@ from typing import Iterable, Iterator
 
 from types import MappingProxyType
 
+import numpy as np
+
 from ..rdf.graph import TriplePattern
 from ..rdf.terms import Triple
-from .base import StatisticsSnapshot
+from .base import DEFAULT_BATCH_SIZE, StatisticsSnapshot
 from .dictionary import TermDictionary
 
 __all__ = ["MemoryStore"]
 
 _IdTriple = tuple[int, int, int]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _sorted_ids(ids) -> np.ndarray:
+    """A sorted int64 array from any iterable of ids (snapshots its input)."""
+    array = np.fromiter(ids, dtype=np.int64) if not isinstance(ids, np.ndarray) else ids
+    if array.size == 0:
+        return _EMPTY_IDS
+    array.sort()
+    return array
 
 
 class MemoryStore:
@@ -93,6 +106,11 @@ class MemoryStore:
     def _match_ids(
         self, s: int | None, p: int | None, o: int | None
     ) -> Iterator[_IdTriple]:
+        # Every iterated index view is snapshotted with tuple()/list() before
+        # iteration — on every path, not just the selective ones — so a
+        # concurrent add() while a server response streams never raises
+        # "dictionary changed size during iteration". Triples added
+        # mid-iteration may or may not appear, which was already true.
         if s is not None:
             by_pred = self._spo.get(s)
             if not by_pred:
@@ -106,7 +124,7 @@ class MemoryStore:
                     if o in objects:
                         yield (s, pred, o)
                 else:
-                    for obj in objects:
+                    for obj in tuple(objects):
                         yield (s, pred, obj)
             return
         if p is not None:
@@ -115,21 +133,138 @@ class MemoryStore:
                 return
             objs = (o,) if o is not None else tuple(by_obj)
             for obj in objs:
-                for subj in by_obj.get(obj, ()):
+                for subj in tuple(by_obj.get(obj, ())):
                     yield (subj, p, obj)
             return
         if o is not None:
             by_subj = self._osp.get(o)
             if not by_subj:
                 return
-            for subj, preds in by_subj.items():
-                for pred in preds:
+            for subj, preds in list(by_subj.items()):
+                for pred in tuple(preds):
                     yield (subj, pred, o)
             return
-        for subj, by_pred in self._spo.items():
-            for pred, objects in by_pred.items():
-                for obj in objects:
+        for subj, by_pred in list(self._spo.items()):
+            for pred, objects in list(by_pred.items()):
+                for obj in tuple(objects):
                     yield (subj, pred, obj)
+
+    # -- IdScanSource capability (vectorized execution substrate) ------------
+
+    def match_id_batches(
+        self,
+        s: int | None,
+        p: int | None,
+        o: int | None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[np.ndarray]:
+        """Matching id triples as streamed ``(n, 3)`` int64 batches."""
+        buffer: list[_IdTriple] = []
+        for ids in self._match_ids(s, p, o):
+            buffer.append(ids)
+            if len(buffer) >= batch_size:
+                yield np.array(buffer, dtype=np.int64)
+                buffer = []
+        if buffer:
+            yield np.array(buffer, dtype=np.int64)
+
+    def distinct_ids(
+        self, s: int | None, p: int | None, o: int | None, position: int
+    ) -> np.ndarray:
+        """Sorted unique ids at ``position`` over matches of the id pattern.
+
+        The shapes worst-case-optimal joins intersect — subjects of a
+        ``(?, p, o)`` or ``(?, p, ?)`` pattern, objects of ``(s, p, ?)`` —
+        are answered straight from the nested indexes; anything else falls
+        back to a full match and a unique pass.
+        """
+        if position == 0 and s is None:
+            if p is not None:
+                by_obj = self._pos.get(p)
+                if not by_obj:
+                    return _EMPTY_IDS
+                if o is not None:
+                    return _sorted_ids(by_obj.get(o, ()))
+                seen: set[int] = set()
+                for subjects in list(by_obj.values()):
+                    seen.update(subjects)
+                return _sorted_ids(seen)
+            if o is not None:
+                return _sorted_ids(self._osp.get(o, ()))
+        elif position == 2 and o is None:
+            if s is not None:
+                by_pred = self._spo.get(s)
+                if not by_pred:
+                    return _EMPTY_IDS
+                if p is not None:
+                    return _sorted_ids(by_pred.get(p, ()))
+                seen = set()
+                for objects in list(by_pred.values()):
+                    seen.update(objects)
+                return _sorted_ids(seen)
+            if p is not None:
+                return _sorted_ids(self._pos.get(p, ()))
+        elif position == 1 and p is None:
+            if s is not None and o is not None:
+                return _sorted_ids(self._osp.get(o, {}).get(s, ()))
+            if s is not None:
+                return _sorted_ids(self._spo.get(s, ()))
+            if o is not None:
+                by_subj = self._osp.get(o)
+                if not by_subj:
+                    return _EMPTY_IDS
+                seen = set()
+                for preds in list(by_subj.values()):
+                    seen.update(preds)
+                return _sorted_ids(seen)
+        matched = {ids[position] for ids in self._match_ids(s, p, o)}
+        return _sorted_ids(matched)
+
+    def probe_ids(
+        self,
+        s: int | None,
+        p: int | None,
+        o: int | None,
+        key_position: int,
+        keys: np.ndarray,
+        value_position: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched point probes straight off the nested dict indexes.
+
+        For each ``keys[i]`` substituted at ``key_position`` of the id
+        pattern, collect the distinct ids at ``value_position`` of its
+        matches. Returns ``(counts, values)``: ``counts[i]`` matches for
+        ``keys[i]`` and ``values`` their concatenation in key order. Only
+        the index-friendly shapes (predicate bound, key and value at the
+        endpoints) are served; anything else raises :class:`LookupError`
+        and callers fall back to per-key :meth:`distinct_ids` probes. This
+        amortizes per-probe overhead when a join expands thousands of keys.
+        """
+        counts = np.empty(len(keys), dtype=np.int64)
+        gathered: list[int] = []
+        if key_position == 0 and p is not None and o is None and value_position == 2:
+            spo = self._spo
+            for index, key in enumerate(keys.tolist()):
+                by_pred = spo.get(key)
+                objects = by_pred.get(p) if by_pred else None
+                if objects:
+                    counts[index] = len(objects)
+                    gathered.extend(objects)
+                else:
+                    counts[index] = 0
+        elif key_position == 2 and p is not None and s is None and value_position == 0:
+            by_obj = self._pos.get(p)
+            for index, key in enumerate(keys.tolist()):
+                subjects = by_obj.get(key) if by_obj else None
+                if subjects:
+                    counts[index] = len(subjects)
+                    gathered.extend(subjects)
+                else:
+                    counts[index] = 0
+        else:
+            raise LookupError("unsupported probe shape for nested indexes")
+        values = np.fromiter(gathered, dtype=np.int64, count=len(gathered))
+        return counts, values
 
     def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
         """Yield matching triples, decoding ids lazily."""

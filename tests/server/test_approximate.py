@@ -170,3 +170,40 @@ class TestApproximation:
                 engine, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
                 max_rows=0,
             )
+
+
+class TestEngineIndependence:
+    """The approximate tier rides the streaming interface, so it must
+    behave identically over the vectorized engine — bounded work included."""
+
+    @pytest.mark.parametrize("mode", ["iterator", "vectorized"])
+    def test_bounded_work_both_engines(self, mode):
+        store = numeric_store(500)  # 1000 triples
+        engine = QueryEngine(store, exec_mode=mode)
+        answer = approximate_select(
+            engine, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+            max_rows=100,
+        )
+        assert answer.approximate
+        assert answer.rows_consumed == 100
+        (row,) = answer.result.rows
+        (value,) = row.values()
+        assert value.value == 1000
+        if mode == "vectorized":
+            # Prefix sampling abandoned the stream early: at most one scan
+            # batch was pulled for 100 rows of a 1000-row result.
+            assert engine.stats.scan_batches <= 1
+
+    def test_vectorized_prefix_sample_stops_scanning(self):
+        store = numeric_store(500)
+        engine = QueryEngine(store, exec_mode="vectorized")
+        query = (
+            "SELECT (AVG(?v) AS ?mean) "
+            "WHERE { ?s <http://example.org/value> ?v }"
+        )
+        answer = approximate_select(engine, query, max_rows=50)
+        assert answer.approximate
+        root_stats = answer.result.stats if hasattr(answer.result, "stats") else None
+        # Work bound: the 500-row scan must not have been exhausted.
+        if root_stats is not None and root_stats.scan_rows:
+            assert root_stats.scan_rows < 500

@@ -1,0 +1,294 @@
+"""Vectorized engine: strategy selection, streaming bounds, fallbacks."""
+
+from collections import Counter
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Triple, Variable
+from repro.sparql import QueryEngine, choose_bgp_strategy, resolve_exec_mode
+from repro.sparql.parser import parse_query
+from repro.store import (
+    CrackingTripleStore,
+    FederatedStore,
+    MemoryStore,
+    as_id_scan_source,
+)
+from repro.workload.rdf_graphs import typed_entities
+
+EX = "http://example.org/data/"
+PREFIXES = (
+    f"PREFIX ex: <{EX}> "
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+)
+
+
+def multiset(result):
+    return Counter(
+        tuple(sorted((str(v), str(t)) for v, t in row.items()))
+        for row in result.rows
+    )
+
+
+@pytest.fixture(scope="module")
+def store():
+    built = MemoryStore()
+    for triple in typed_entities(300, n_classes=4, seed=17):
+        built.add(triple)
+    return built
+
+
+# ---------------------------------------------------------------------------
+# Mode resolution
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_exec_mode_defaults_and_explicit(monkeypatch):
+    monkeypatch.delenv("REPRO_EXEC", raising=False)
+    assert resolve_exec_mode() == "auto"
+    assert resolve_exec_mode("iterator") == "iterator"
+    monkeypatch.setenv("REPRO_EXEC", "VECTORIZED")
+    assert resolve_exec_mode() == "vectorized"
+    assert resolve_exec_mode("iterator") == "iterator"  # explicit wins
+
+
+def test_resolve_exec_mode_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC", "turbo")
+    with pytest.raises(ValueError, match="REPRO_EXEC"):
+        resolve_exec_mode()
+
+
+# ---------------------------------------------------------------------------
+# Engine selection and fallback matrix
+# ---------------------------------------------------------------------------
+
+
+def test_auto_uses_vectorized_on_id_scan_stores(store):
+    engine = QueryEngine(store, exec_mode="auto")
+    engine.query(PREFIXES + "SELECT ?s WHERE { ?s ex:numeric0 ?o }")
+    assert engine.stats.scan_batches > 0
+
+
+def test_iterator_mode_never_batches(store):
+    engine = QueryEngine(store, exec_mode="iterator")
+    engine.query(PREFIXES + "SELECT ?s WHERE { ?s ex:numeric0 ?o }")
+    assert engine.stats.scan_batches == 0
+    assert engine.stats.store_lookups > 0
+
+
+def test_plain_graph_falls_back_to_iterator():
+    graph = Graph()
+    graph.add(Triple(IRI(EX + "a"), IRI(EX + "p"), Literal("x")))
+    assert as_id_scan_source(graph) is None
+    engine = QueryEngine(graph, exec_mode="vectorized")
+    result = engine.query(f"SELECT ?s WHERE {{ ?s <{EX}p> ?o }}")
+    assert len(result.rows) == 1
+    assert engine.stats.scan_batches == 0
+
+
+def test_federation_falls_back_to_iterator(store):
+    federated = FederatedStore([("main", store)])
+    assert as_id_scan_source(federated) is None
+    engine = QueryEngine(federated, exec_mode="vectorized")
+    result = engine.query(PREFIXES + "SELECT ?s WHERE { ?s ex:numeric0 ?o }")
+    assert len(result.rows) == 300
+    assert engine.stats.scan_batches == 0
+
+
+def test_unoptimized_baseline_keeps_iterator_semantics(store):
+    engine = QueryEngine(store, optimize=False, exec_mode="vectorized")
+    engine.query(PREFIXES + "SELECT ?s WHERE { ?s ex:numeric0 ?o }")
+    assert engine.stats.scan_batches == 0
+
+
+# ---------------------------------------------------------------------------
+# Strategy chooser
+# ---------------------------------------------------------------------------
+
+
+def _patterns(query_text):
+    from repro.sparql.nodes import TriplePatternNode
+
+    parsed = parse_query(PREFIXES + query_text)
+    return [
+        element
+        for element in parsed.where.elements
+        if isinstance(element, TriplePatternNode)
+    ]
+
+
+def test_chooser_star():
+    patterns = _patterns(
+        "SELECT ?e WHERE { ?e rdf:type ex:Class0 . "
+        '?e ex:category0 "value0_1" . ?e ex:numeric0 ?v }'
+    )
+    strategy, center, reason = choose_bgp_strategy(patterns)
+    assert strategy == "wcoj-star"
+    assert center == Variable("e")
+    assert "star" in reason and "constraints=2" in reason
+
+
+def test_chooser_cyclic():
+    patterns = _patterns(
+        "SELECT ?a WHERE { ?a ex:knows ?b . ?b ex:knows ?c . ?c ex:knows ?a }"
+    )
+    strategy, center, reason = choose_bgp_strategy(patterns)
+    assert strategy == "wcoj-generic"
+    assert center is None
+    assert reason == "cyclic"
+
+
+def test_chooser_chain_and_single():
+    chain = _patterns(
+        "SELECT ?a WHERE { ?a ex:knows ?b . ?b ex:knows ?c . ?c ex:knows ?d }"
+    )
+    assert choose_bgp_strategy(chain)[0] == "binary"
+    single = _patterns("SELECT ?s WHERE { ?s ex:numeric0 ?o }")
+    assert choose_bgp_strategy(single) == ("binary", None, "single-pattern")
+
+
+def test_chooser_duplicate_pattern_is_not_a_cycle():
+    patterns = _patterns(
+        "SELECT ?a WHERE { ?a ex:knows ?b . ?a ex:knows ?b }"
+    )
+    assert choose_bgp_strategy(patterns)[0] == "binary"
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN integration
+# ---------------------------------------------------------------------------
+
+
+def test_explain_shows_strategy_and_scans(store):
+    engine = QueryEngine(store, exec_mode="vectorized")
+    plan = engine.explain(
+        PREFIXES + "SELECT ?e ?v WHERE { ?e rdf:type ex:Class0 . "
+        '?e ex:category0 "value0_1" . ?e ex:numeric0 ?v }',
+        analyze=True,
+    )
+    found = plan.find("VectorizedBGP")
+    assert len(found) == 1
+    bgp = found[0]
+    assert "wcoj-star" in bgp.detail
+    assert bgp.actual_rows is not None
+    scans = [node for node in bgp.children if node.operator == "IdScan"]
+    assert len(scans) == 3
+    assert all("batches" in scan.detail for scan in scans)
+
+
+def test_explain_analyze_matches_between_engines(store):
+    query = PREFIXES + (
+        "SELECT ?e ?v WHERE { ?e rdf:type ex:Class1 . ?e ex:numeric0 ?v }"
+    )
+    analyzed_iterator = QueryEngine(store, exec_mode="iterator").explain(query)
+    analyzed_vectorized = QueryEngine(store, exec_mode="vectorized").explain(query)
+    assert analyzed_iterator.actual_rows == analyzed_vectorized.actual_rows
+
+
+# ---------------------------------------------------------------------------
+# Streaming semantics: LIMIT pulls a bounded number of batches
+# ---------------------------------------------------------------------------
+
+
+def test_limit_stops_after_bounded_batches():
+    big = MemoryStore()
+    for triple in typed_entities(5_000, seed=11):
+        big.add(triple)
+    engine = QueryEngine(big, exec_mode="vectorized")
+    result = engine.query(
+        PREFIXES + "SELECT ?s ?o WHERE { ?s ex:numeric0 ?o } LIMIT 5"
+    )
+    assert len(result.rows) == 5
+    # 5 000 rows match, but LIMIT 5 must pull at most one batch per scan.
+    assert engine.stats.scan_batches == 1
+    assert engine.stats.scan_rows <= 4096
+
+
+def test_streaming_select_first_row_is_cheap():
+    big = MemoryStore()
+    for triple in typed_entities(5_000, seed=11):
+        big.add(triple)
+    engine = QueryEngine(big, exec_mode="vectorized")
+    stream = engine.stream_select(
+        PREFIXES + "SELECT ?s ?o WHERE { ?s ex:numeric0 ?o }"
+    )
+    next(iter(stream.rows))
+    # Pulling one row must not have scanned the full 5 000-row result.
+    # (Per-query stats merge into engine.stats only on exhaustion, so read
+    # the operator tree's own counters.)
+    per_query = stream.root.stats
+    assert per_query.scan_rows <= 4096
+    assert per_query.scan_batches == 1
+
+
+# ---------------------------------------------------------------------------
+# Correctness corners specific to the batched implementation
+# ---------------------------------------------------------------------------
+
+
+def test_repeated_variable_in_one_pattern():
+    reflexive = MemoryStore()
+    p = IRI(EX + "linked")
+    a, b = IRI(EX + "a"), IRI(EX + "b")
+    reflexive.add(Triple(a, p, a))
+    reflexive.add(Triple(a, p, b))
+    reflexive.add(Triple(b, p, b))
+    query = f"SELECT ?x WHERE {{ ?x <{EX}linked> ?x }}"
+    iterator_rows = multiset(QueryEngine(reflexive, exec_mode="iterator").query(query))
+    vectorized_rows = multiset(QueryEngine(reflexive, exec_mode="vectorized").query(query))
+    assert iterator_rows == vectorized_rows
+    assert sum(vectorized_rows.values()) == 2
+
+
+def test_filters_and_optional_parity(store):
+    query = PREFIXES + (
+        "SELECT ?e ?v ?c WHERE { ?e rdf:type ?c . ?e ex:numeric0 ?v . "
+        "FILTER(?v > 40) OPTIONAL { ?e ex:category1 ?k } }"
+    )
+    iterator_rows = multiset(QueryEngine(store, exec_mode="iterator").query(query))
+    vectorized_rows = multiset(QueryEngine(store, exec_mode="vectorized").query(query))
+    assert iterator_rows == vectorized_rows
+    assert sum(iterator_rows.values()) > 0
+
+
+def test_disjoint_components_parity(store):
+    # Two variable-disjoint components → HashJoin over two VectorizedBGPs.
+    query = PREFIXES + (
+        "SELECT ?a ?b WHERE { ?a rdf:type ex:Class1 . ?b rdf:type ex:Class2 }"
+    )
+    iterator_rows = multiset(QueryEngine(store, exec_mode="iterator").query(query))
+    vectorized_rows = multiset(QueryEngine(store, exec_mode="vectorized").query(query))
+    assert iterator_rows == vectorized_rows
+    assert sum(iterator_rows.values()) > 0
+
+
+def test_cyclic_triangle_parity():
+    knows = IRI(EX + "knows")
+    nodes = [IRI(EX + f"p{i}") for i in range(9)]
+    triangle_store = MemoryStore()
+    for i in range(0, 9, 3):
+        triangle_store.add(Triple(nodes[i], knows, nodes[i + 1]))
+        triangle_store.add(Triple(nodes[i + 1], knows, nodes[i + 2]))
+        triangle_store.add(Triple(nodes[i + 2], knows, nodes[i]))
+    triangle_store.add(Triple(nodes[0], knows, nodes[4]))  # non-triangle edge
+    query = PREFIXES + (
+        "SELECT ?a ?b ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c . ?c ex:knows ?a }"
+    )
+    iterator_rows = multiset(QueryEngine(triangle_store, exec_mode="iterator").query(query))
+    vectorized_rows = multiset(QueryEngine(triangle_store, exec_mode="vectorized").query(query))
+    assert iterator_rows == vectorized_rows
+    assert sum(vectorized_rows.values()) == 9  # 3 triangles × 3 rotations
+
+
+def test_cracking_store_end_to_end():
+    cracking = CrackingTripleStore()
+    for triple in typed_entities(200, seed=23):
+        cracking.add(triple)
+    query = PREFIXES + (
+        'SELECT ?e WHERE { ?e rdf:type ex:Class0 . ?e ex:category0 "value0_0" }'
+    )
+    iterator_rows = multiset(QueryEngine(cracking, exec_mode="iterator").query(query))
+    vectorized_rows = multiset(QueryEngine(cracking, exec_mode="vectorized").query(query))
+    assert iterator_rows == vectorized_rows
+    assert cracking.sorts_paid > 0
