@@ -176,3 +176,92 @@ def test_c14_telemetry_overhead(benchmark):
     print(f"  results written to {RESULTS_PATH.name}")
 
     benchmark(lambda: engine.query(CANARY))
+
+
+def _roundtrip_ns(fn, n: int) -> float:
+    """Median per-call cost of ``fn`` over ``n``-call batches, in ns."""
+
+    def batch() -> None:
+        for _ in range(n):
+            fn()
+
+    return _median_seconds(batch, 5) / n * 1e9
+
+
+def test_c14_propagation_and_scrape_overhead(benchmark):
+    """C14 addendum: the cross-process additions priced individually.
+
+    Three numbers join ``BENCH_obs.json``:
+
+    * ``trace_context_roundtrip_ns`` — serializing a ``TraceContext`` to
+      wire headers and parsing it back, the full per-hop propagation tax;
+    * ``propagation_disabled_check_ns`` — what a disabled-tracing process
+      pays per outbound request (one ``current_context()`` returning
+      ``None``), gated against the same <2% budget as the main test;
+    * ``metrics_scrape_ms`` / ``profiler_overhead_ratio`` — the cost of a
+      ``/metrics`` exposition render over a populated registry, and the
+      canary slowdown with the sampling profiler running.
+    """
+    from repro.obs import SamplingProfiler, TraceContext
+    from repro.obs.export import render_prometheus
+
+    store = _store()
+    engine = QueryEngine(store)
+    prior_enabled = OBS.enabled
+    OBS.reset()
+    OBS.configure(enabled=False)
+    try:
+        disabled_s = _median_seconds(lambda: engine.query(CANARY), REPEATS)
+
+        # Per-hop propagation cost: context -> headers -> context.
+        context = TraceContext(trace_id="ab" * 8, span_id="cd" * 4)
+        roundtrip_ns = _roundtrip_ns(
+            lambda: TraceContext.from_headers(context.to_headers()), 5_000)
+
+        # Disabled path of RemoteEndpointSource._request: one
+        # current_context() call that returns None.
+        check_ns = _roundtrip_ns(OBS.tracer.current_context, 20_000)
+        # Even a thousand outbound calls per canary would stay well under
+        # the 2% disabled-mode budget; gate on that framing.
+        propagation_overhead = (check_ns * 1e-9) / max(disabled_s, 1e-12)
+        assert propagation_overhead < 0.02
+
+        # /metrics scrape over a realistically populated registry.
+        for index in range(64):
+            OBS.metrics.counter("bench.requests", route=f"/r{index % 8}",
+                                status=200 + index % 4).inc()
+            OBS.metrics.gauge("bench.depth", shard=str(index % 8)).set(index)
+            OBS.metrics.histogram("bench.latency_ms",
+                                  tenant=f"t{index % 8}").record(index * 0.5)
+        scrape_s = _median_seconds(lambda: render_prometheus(OBS.metrics), 20)
+        exposition = render_prometheus(OBS.metrics)
+        assert "# TYPE bench_requests_total counter" in exposition
+
+        # Canary under the sampling profiler (10 ms default interval).
+        with SamplingProfiler(interval_ms=10.0):
+            profiled_s = _median_seconds(lambda: engine.query(CANARY),
+                                         REPEATS)
+        profiler_ratio = profiled_s / max(disabled_s, 1e-12)
+    finally:
+        OBS.reset()
+        OBS.configure(enabled=prior_enabled)
+
+    print("\n\nC14 addendum: propagation + scrape overhead")
+    print(f"  trace context roundtrip: {roundtrip_ns:8.1f} ns")
+    print(f"  disabled-path check:     {check_ns:8.1f} ns "
+          f"({propagation_overhead:.6%} of canary)")
+    print(f"  /metrics scrape:         {scrape_s * 1e3:8.3f} ms")
+    print(f"  profiler canary ratio:   {profiler_ratio:8.2f}x")
+
+    results = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() \
+        else {}
+    results.update({
+        "trace_context_roundtrip_ns": round(roundtrip_ns, 1),
+        "propagation_disabled_check_ns": round(check_ns, 1),
+        "propagation_disabled_overhead": round(propagation_overhead, 8),
+        "metrics_scrape_ms": round(scrape_s * 1e3, 4),
+        "profiler_overhead_ratio": round(profiler_ratio, 3),
+    })
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    benchmark(lambda: TraceContext.from_headers(context.to_headers()))

@@ -59,10 +59,15 @@ from .budget import (
     LatencyBudget,
 )
 from .export import (
+    StitchedSpan,
     merge_into_bench,
+    render_prometheus,
     render_span_tree,
+    render_stitched_tree,
     span_to_dicts,
     spans_to_jsonl,
+    stitch_jsonl,
+    stitch_records,
     telemetry_payload,
 )
 from .flight import FlightDump, FlightEntry, FlightRecorder
@@ -75,12 +80,15 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profile import PROFILE_ENV, SamplingProfiler, profiler_from_env
 from .progress import ProgressEmitter, ProgressEvent
+from .slo import SloTracker, TenantSlo
 from .trace import (
     NOOP_SPAN,
     NoopSpan,
     Span,
     SpanRecorder,
+    TraceContext,
     Tracer,
     traced_iter,
 )
@@ -98,8 +106,16 @@ __all__ = [
     "NoopSpan",
     "NOOP_SPAN",
     "SpanRecorder",
+    "TraceContext",
     "Tracer",
     "traced_iter",
+    # slo
+    "SloTracker",
+    "TenantSlo",
+    # profiler
+    "SamplingProfiler",
+    "profiler_from_env",
+    "PROFILE_ENV",
     # metrics
     "Counter",
     "Gauge",
@@ -129,6 +145,11 @@ __all__ = [
     "span_to_dicts",
     "spans_to_jsonl",
     "render_span_tree",
+    "StitchedSpan",
+    "stitch_records",
+    "stitch_jsonl",
+    "render_stitched_tree",
+    "render_prometheus",
     "telemetry_payload",
     "merge_into_bench",
 ]
@@ -139,6 +160,9 @@ _clock = time.perf_counter_ns
 # (bounded in practice), exception types are input-driven (unbounded).
 _ERROR_SITE_CAP = 64
 _ERROR_EXCEPTION_CAP = 16
+
+# Hottest folded stacks attached to each flight dump while profiling.
+_PROFILE_DUMP_STACKS = 40
 
 
 def _env_enabled() -> bool:
@@ -156,14 +180,16 @@ class Interaction:
     """
 
     __slots__ = ("_obs", "name", "interaction_class", "attributes",
-                 "_span", "_start_ns")
+                 "_span", "_start_ns", "remote_parent")
 
     def __init__(self, obs: "Observability", name: str,
-                 interaction_class: str, attributes: dict[str, object]) -> None:
+                 interaction_class: str, attributes: dict[str, object],
+                 remote_parent: TraceContext | None = None) -> None:
         self._obs = obs
         self.name = name
         self.interaction_class = interaction_class
         self.attributes = attributes
+        self.remote_parent = remote_parent
         self._span: Span | NoopSpan = NOOP_SPAN
         self._start_ns = 0
 
@@ -176,6 +202,7 @@ class Interaction:
         self._start_ns = _clock()
         self._span = self._obs.tracer.span(
             self.name,
+            remote_parent=self.remote_parent,
             interaction_class=self.interaction_class,
             **self.attributes,
         )
@@ -221,7 +248,7 @@ class Observability:
     """
 
     __slots__ = ("enabled", "tracer", "metrics", "progress", "budgets",
-                 "flight", "_error_sites", "_error_exceptions",
+                 "flight", "profiler", "_error_sites", "_error_exceptions",
                  "_progress_last_ns")
 
     def __init__(self, enabled: bool | None = None) -> None:
@@ -233,10 +260,20 @@ class Observability:
         self.progress = ProgressEmitter(error_counter=self._count_error)
         self.flight = FlightRecorder()
         self.budgets = BudgetTracker(metrics=self.metrics)
+        self.profiler: SamplingProfiler | None = None
         self._error_sites = BoundedLabelSet(_ERROR_SITE_CAP)
         self._error_exceptions = BoundedLabelSet(_ERROR_EXCEPTION_CAP)
         self._progress_last_ns: dict[str, int] = {}
         self.progress.tap(self._flight_progress)
+        # REPRO_PROFILE starts the sampling profiler with the process and
+        # attaches its hottest stacks to every flight dump.
+        env_profiler = profiler_from_env(os.environ.get(PROFILE_ENV))
+        if env_profiler is not None:
+            self.profiler = env_profiler
+            self.flight.profile_provider = (
+                lambda: env_profiler.folded(limit=_PROFILE_DUMP_STACKS)
+            )
+            env_profiler.start()
 
     # -- error accounting --------------------------------------------------
 
@@ -255,9 +292,41 @@ class Observability:
     # -- interactions ------------------------------------------------------
 
     def interaction(self, name: str, interaction_class: str = INTERACTIVE,
+                    remote_parent: TraceContext | None = None,
                     **attributes: object) -> Interaction:
-        """Open one budget-accounted interaction (see :class:`Interaction`)."""
-        return Interaction(self, name, interaction_class, dict(attributes))
+        """Open one budget-accounted interaction (see :class:`Interaction`).
+
+        ``remote_parent`` continues a trace begun in another process (the
+        server passes the parsed ``X-Repro-Trace``/``X-Repro-Span``
+        headers here), so the interaction's span stitches under the
+        caller's wire-call span in the cross-process tree.
+        """
+        return Interaction(self, name, interaction_class, dict(attributes),
+                           remote_parent=remote_parent)
+
+    # -- profiler ----------------------------------------------------------
+
+    def start_profiler(
+        self, interval_ms: float = 10.0
+    ) -> SamplingProfiler:
+        """Start (or return) the background sampling profiler.
+
+        Its hottest stacks attach to every flight dump until
+        :meth:`stop_profiler` is called.
+        """
+        if self.profiler is None:
+            self.profiler = SamplingProfiler(interval_ms=interval_ms)
+        profiler = self.profiler
+        self.flight.profile_provider = (
+            lambda: profiler.folded(limit=_PROFILE_DUMP_STACKS)
+        )
+        profiler.start()
+        return profiler
+
+    def stop_profiler(self) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
+        self.flight.profile_provider = None
 
     # -- progress → flight + cadence budget --------------------------------
 
@@ -311,6 +380,10 @@ class Observability:
         # ProgressEmitter.reset dropped all subscribers and taps; re-wire
         # the always-on flight feed.
         self.progress.tap(self._flight_progress)
+        # The profiler (if any) keeps running across resets — it is
+        # process-scoped, not workload-scoped — but starts counting afresh.
+        if self.profiler is not None:
+            self.profiler.reset()
 
 
 OBS = Observability()

@@ -1,11 +1,18 @@
-"""Telemetry exporters: JSON-lines, text span trees, and BENCH_*.json merge.
+"""Telemetry exporters: JSON-lines, span trees, stitching, Prometheus.
 
-Three consumers, three formats:
+Five consumers, five formats:
 
 * :func:`spans_to_jsonl` — flat one-object-per-line dump (span ids +
-  parent ids) for offline analysis;
+  parent ids, plus wire ``trace_id``/``span_id``/``parent_span_id``) for
+  offline analysis;
 * :func:`render_span_tree` — the human-readable tree the README quickstart
   shows, durations annotated per node;
+* :func:`stitch_records` / :func:`stitch_jsonl` — merge per-process JSONL
+  exports into one cross-process span tree, linking a remote process's
+  continuation spans under the caller's wire-call span by span id;
+  :func:`render_stitched_tree` renders it with wire hops marked;
+* :func:`render_prometheus` — the metrics registry in Prometheus text
+  exposition format (the ``/metrics`` server surface);
 * :func:`merge_into_bench` — folds a metrics/span summary into the
   ``BENCH_*.json`` files the benchmark suite writes, so perf PRs can diff
   telemetry alongside timings.
@@ -15,41 +22,65 @@ from __future__ import annotations
 
 import json
 import os
+import re
+from dataclasses import dataclass, field
 from typing import IO, Iterable
 
-from .metrics import MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import Span, Tracer
 
 __all__ = [
     "span_to_dicts",
     "spans_to_jsonl",
     "render_span_tree",
+    "StitchedSpan",
+    "stitch_records",
+    "stitch_jsonl",
+    "render_stitched_tree",
+    "render_prometheus",
     "telemetry_payload",
     "merge_into_bench",
 ]
 
 
 def span_to_dicts(span: Span, _parent_id: int | None = None,
-                  _counter: list[int] | None = None) -> list[dict]:
-    """Flatten one span tree into dicts with ``id``/``parent_id`` links."""
+                  _counter: list[int] | None = None,
+                  _parent_span_id: str | None = None,
+                  _trace_id: str | None = None) -> list[dict]:
+    """Flatten one span tree into dicts with ``id``/``parent_id`` links.
+
+    Each record also carries the wire identity — ``trace_id`` (inherited
+    down the tree when a child was attached post-hoc, e.g. operator
+    spans), ``span_id``, and ``parent_span_id`` (the in-tree parent's span
+    id, or for a remote-continuation root the caller's wire-call span id)
+    — which is what :func:`stitch_records` links cross-process trees by.
+    """
     counter = _counter if _counter is not None else [0]
     counter[0] += 1
-    span_id = counter[0]
+    local_id = counter[0]
+    trace_id = span.trace_id or _trace_id
+    parent_span_id = _parent_span_id or span.remote_parent_id
     record = {
-        "id": span_id,
+        "id": local_id,
         "parent_id": _parent_id,
         "name": span.name,
         "start_ns": span.start_ns,
         "duration_ns": span.duration_ns,
         "duration_ms": round(span.duration_ms, 6),
+        "span_id": span.span_id,
     }
+    if trace_id is not None:
+        record["trace_id"] = trace_id
+    if parent_span_id is not None:
+        record["parent_span_id"] = parent_span_id
     if span.attributes:
         record["attributes"] = dict(span.attributes)
     if span.error is not None:
         record["error"] = span.error
     records = [record]
     for child in span.children:
-        records.extend(span_to_dicts(child, span_id, counter))
+        records.extend(span_to_dicts(child, local_id, counter,
+                                     span.span_id, trace_id))
     return records
 
 
@@ -77,6 +108,214 @@ def render_span_tree(span: Span, indent: int = 0) -> str:
     parts = [line]
     parts.extend(render_span_tree(child, indent + 1) for child in span.children)
     return "\n".join(parts)
+
+
+@dataclass
+class StitchedSpan:
+    """One node of a cross-process span tree rebuilt from JSONL records."""
+
+    record: dict
+    children: list["StitchedSpan"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", ""))
+
+    @property
+    def trace_id(self) -> str | None:
+        value = self.record.get("trace_id")
+        return str(value) if value is not None else None
+
+    @property
+    def span_id(self) -> str:
+        return str(self.record.get("span_id", ""))
+
+    @property
+    def duration_ms(self) -> float:
+        return float(self.record.get("duration_ms", 0.0))
+
+    @property
+    def attributes(self) -> dict:
+        found = self.record.get("attributes")
+        return found if isinstance(found, dict) else {}
+
+    @property
+    def service(self) -> str | None:
+        """Which process/server produced this span (``None`` when untagged).
+
+        Server interactions tag their spans ``service=repro-server:<port>``;
+        a change of service between parent and child is a wire hop. An
+        untagged span belongs to whatever service produced its parent —
+        operator spans inside a server are not wire hops.
+        """
+        found = self.attributes.get("service")
+        return str(found) if found is not None else None
+
+    def walk(self) -> Iterable["StitchedSpan"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["StitchedSpan"]:
+        return [node for node in self.walk() if node.name == name]
+
+
+def stitch_records(records: Iterable[dict]) -> list[StitchedSpan]:
+    """Merge span records from any number of processes into linked trees.
+
+    Records are linked by ``span_id`` → ``parent_span_id``: within one
+    export that reproduces the local tree; across exports a remote
+    process's continuation span (opened with ``remote_parent``) carries
+    the caller's wire-call span id as its ``parent_span_id`` and therefore
+    lands *under* that wire-call span — one tree per trace, wire hops
+    included. Duplicate span ids (overlapping exports) keep the first
+    record seen; orphans (parent not exported) become roots. Returns the
+    roots in input order.
+    """
+    nodes: dict[str, StitchedSpan] = {}
+    ordered: list[StitchedSpan] = []
+    for record in records:
+        span_id = str(record.get("span_id", "")) or f"_anon{len(nodes)}"
+        if span_id in nodes:
+            continue
+        node = StitchedSpan(record)
+        nodes[span_id] = node
+        ordered.append(node)
+    roots: list[StitchedSpan] = []
+    for node in ordered:
+        parent_id = node.record.get("parent_span_id")
+        parent = nodes.get(str(parent_id)) if parent_id is not None else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def stitch_jsonl(*texts: str) -> list[StitchedSpan]:
+    """Stitch one or more JSONL exports (one per process) into trees."""
+    records = []
+    for text in texts:
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return stitch_records(records)
+
+
+def render_stitched_tree(node: StitchedSpan, indent: int = 0,
+                         parent_service: str | None = None) -> str:
+    """Indented rendering of a stitched tree; wire hops are annotated.
+
+    A child produced by a different service than its parent gets a
+    ``[wire -> service]`` marker, so a federated query reads as one
+    EXPLAIN-ANALYZE-style tree with remote operator time attributed to
+    the endpoint that spent it. Untagged spans inherit their parent's
+    service: operator spans inside one process never read as hops.
+    """
+    service = node.service
+    if service is None:
+        service = parent_service if parent_service is not None else "local"
+    hop = ""
+    if parent_service is not None and service != parent_service:
+        hop = f"  [wire -> {service}]"
+    attrs = ""
+    shown = {k: v for k, v in node.attributes.items() if k != "service"}
+    if shown:
+        rendered = " ".join(f"{k}={v}" for k, v in shown.items())
+        attrs = f"  [{rendered}]"
+    error = f"  !{node.record['error']}" if node.record.get("error") else ""
+    line = (f"{'  ' * indent}{node.name}  "
+            f"{node.duration_ms:.3f}ms{hop}{attrs}{error}")
+    parts = [line]
+    parts.extend(
+        render_stitched_tree(child, indent + 1, service)
+        for child in node.children
+    )
+    return "\n".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_NAME.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_labels(labels, extra: dict[str, str] | None = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(str(k))}="{_prom_label_value(str(v))}"'
+        for k, v in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format (0.0.4).
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``. Metric
+    names are sanitized (``obs.errors`` → ``obs_errors``); one ``# TYPE``
+    line per family, families sorted by name for a stable scrape diff.
+    """
+    families: dict[str, tuple[str, list[str]]] = {}
+    for metric in registry:
+        family = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            kind = "counter"
+            # the TYPE line must name the family as scraped: with _total
+            family = f"{family}_total"
+            samples = [
+                f"{family}{_prom_labels(metric.labels)}"
+                f" {metric.value}"
+            ]
+        elif isinstance(metric, Gauge):
+            kind = "gauge"
+            samples = [
+                f"{family}{_prom_labels(metric.labels)} {metric.value:g}"
+            ]
+        elif isinstance(metric, Histogram):
+            kind = "histogram"
+            samples = []
+            cumulative = 0
+            for bound, count in metric.bucket_counts():
+                cumulative += count
+                le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                samples.append(
+                    f"{family}_bucket"
+                    f"{_prom_labels(metric.labels, {'le': le})}"
+                    f" {cumulative}"
+                )
+            samples.append(
+                f"{family}_sum{_prom_labels(metric.labels)} {metric.sum:g}"
+            )
+            samples.append(
+                f"{family}_count{_prom_labels(metric.labels)} {metric.count}"
+            )
+        else:  # pragma: no cover - registry only creates the three kinds
+            continue
+        entry = families.setdefault(family, (kind, []))
+        entry[1].extend(samples)
+    lines: list[str] = []
+    for family in sorted(families):
+        kind, samples = families[family]
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def telemetry_payload(

@@ -87,12 +87,14 @@ class FlightDump:
     sequence: int
     entries: tuple[FlightEntry, ...]
     offending: FlightEntry | None = None
+    profile_folded: str | None = None
 
     def to_jsonl(self) -> str:
         """Header line, then one JSON object per recorded entry.
 
         The header carries the reason and, for the offending entry, both
-        the flattened span records and the human-readable span tree.
+        the flattened span records and the human-readable span tree; when
+        a sampling profiler was running, also its hottest folded stacks.
         """
         header: dict[str, object] = {
             "flight_dump": self.sequence,
@@ -104,6 +106,8 @@ class FlightDump:
             header["offending"] = self.offending.to_dict()
             header["offending_span_tree"] = span_to_dicts(tree)
             header["offending_span_text"] = render_span_tree(tree)
+        if self.profile_folded:
+            header["profile_folded"] = self.profile_folded
         lines = [json.dumps(header, default=str, sort_keys=True)]
         lines.extend(
             json.dumps(entry.to_dict(include_span=True), default=str,
@@ -135,6 +139,9 @@ class FlightRecorder:
         self.capacity = capacity
         self.max_dumps = max_dumps
         self.auto_dump_interval_ms = auto_dump_interval_ms
+        # When set (a zero-arg callable returning folded-stack text, e.g.
+        # SamplingProfiler.folded), every dump attaches a profile snapshot.
+        self.profile_provider = None
         self._lock = threading.Lock()
         self._ring: list[FlightEntry | None] = [None] * capacity
         self._sequence = 0
@@ -210,12 +217,21 @@ class FlightRecorder:
                     return None
             if not force:
                 self._last_auto_dump_ns = now
+            profile_folded: str | None = None
+            provider = self.profile_provider
+            if provider is not None:
+                try:
+                    profile_folded = provider() or None
+                except Exception:
+                    # A broken profiler must not take the dump down with it.
+                    profile_folded = None
             self._dump_sequence += 1
             dump = FlightDump(
                 reason=reason,
                 sequence=self._dump_sequence,
                 entries=tuple(self.entries()),
                 offending=offending,
+                profile_folded=profile_folded,
             )
             self._dumps.append(dump)
             if len(self._dumps) > self.max_dumps:

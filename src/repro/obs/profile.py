@@ -1,0 +1,206 @@
+"""Stdlib-only sampling profiler: folded stacks, flamegraph-ready.
+
+When an interaction blows its latency budget the flight recorder says
+*which* operation was slow; the profiler says *where in the code* the
+process was spending its time around then. A background daemon thread
+wakes every ``interval_ms``, snapshots every other thread's stack via
+``sys._current_frames()``, and folds each into the classic
+semicolon-joined form (``root;caller;...;leaf``), counting occurrences —
+the exact input ``flamegraph.pl`` and speedscope consume.
+
+Enabled via the :envvar:`REPRO_PROFILE` environment variable (``1`` for
+the default 10 ms interval, a number for a custom interval in ms) or
+programmatically with :meth:`repro.obs.Observability.start_profiler`.
+While running, the flight recorder attaches the hottest stacks to every
+dump, so a budget-violation dump carries both the offending span tree and
+a statistical picture of where the process was busy.
+
+Costs: one C-level frame snapshot per interval (microseconds), bounded
+memory (``max_unique_stacks`` distinct stacks, overflow folded into
+``(other)``), zero cost to instrumented code — nothing is patched and no
+per-call hooks exist, which is what keeps the disabled-mode overhead at
+literally nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Iterator
+
+__all__ = ["SamplingProfiler", "profiler_from_env", "PROFILE_ENV"]
+
+PROFILE_ENV = "REPRO_PROFILE"
+
+_OVERFLOW_STACK = "(other)"
+
+
+def _fold_frame_stack(frame, max_depth: int) -> str:
+    """One thread's stack as ``root;...;leaf`` of ``module.function``."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < max_depth:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}.{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Background wall-clock sampler over ``sys._current_frames()``.
+
+    ``start()`` spawns the daemon thread; ``stop()`` joins it. The sampler
+    skips its own thread (profiling the profiler is noise) and degrades
+    gracefully: a platform without ``sys._current_frames`` simply records
+    nothing.
+    """
+
+    def __init__(
+        self,
+        interval_ms: float = 10.0,
+        max_depth: int = 64,
+        max_unique_stacks: int = 10_000,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        if max_unique_stacks < 1:
+            raise ValueError("max_unique_stacks must be positive")
+        self.interval_ms = interval_ms
+        self.max_depth = max_depth
+        self.max_unique_stacks = max_unique_stacks
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._samples_taken = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 1.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        interval_s = self.interval_ms / 1e3
+        while not self._stop.wait(interval_s):
+            self.sample_once()
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_once(self) -> int:
+        """Take one sample of every other thread; returns stacks recorded."""
+        current_frames = getattr(sys, "_current_frames", None)
+        if current_frames is None:  # pragma: no cover - CPython always has it
+            return 0
+        me = threading.get_ident()
+        recorded = 0
+        frames = current_frames()
+        with self._lock:
+            self._samples_taken += 1
+            for thread_id, frame in frames.items():
+                if thread_id == me:
+                    continue
+                stack = _fold_frame_stack(frame, self.max_depth)
+                if not stack:
+                    continue
+                if (stack not in self._counts
+                        and len(self._counts) >= self.max_unique_stacks):
+                    stack = _OVERFLOW_STACK
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+                recorded += 1
+        return recorded
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def samples_taken(self) -> int:
+        with self._lock:
+            return self._samples_taken
+
+    def stacks(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def _sorted(self) -> Iterator[tuple[str, int]]:
+        counts = self.stacks()
+        return iter(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def folded(self, limit: int | None = None) -> str:
+        """Folded-stack text (``stack count`` per line), hottest first.
+
+        Feed it straight to ``flamegraph.pl`` or any folded-stack viewer;
+        ``limit`` keeps flight-dump attachments bounded.
+        """
+        lines = [
+            f"{stack} {count}" for stack, count in self._sorted()
+        ]
+        if limit is not None:
+            lines = lines[:limit]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_ms": self.interval_ms,
+                "samples_taken": self._samples_taken,
+                "unique_stacks": len(self._counts),
+                "total_stack_samples": sum(self._counts.values()),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._samples_taken = 0
+
+
+def profiler_from_env(value: str | None) -> SamplingProfiler | None:
+    """Build a profiler from the ``REPRO_PROFILE`` value, or ``None``.
+
+    ``"1"``/``"true"``/``"yes"`` enable the default 10 ms cadence; any
+    other number is a custom interval in milliseconds; empty/``0``/
+    ``false`` disable.
+    """
+    if value is None:
+        return None
+    text = value.strip().lower()
+    if text in ("", "0", "false", "no", "off"):
+        return None
+    if text in ("1", "true", "yes", "on"):
+        return SamplingProfiler()
+    try:
+        interval_ms = float(text)
+    except ValueError:
+        return SamplingProfiler()
+    if interval_ms <= 0:
+        return None
+    return SamplingProfiler(interval_ms=interval_ms)

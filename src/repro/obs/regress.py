@@ -29,11 +29,18 @@ for plan-shape jitter. Run it as::
 
     python -m repro.obs.regress --quick --baseline-dir .bench-baseline \\
         BENCH_planner.json BENCH_obs.json
+
+With no fresh files named, the CLI discovers every ``BENCH_*.json`` in
+the working directory (``BENCH_planner.json``, ``BENCH_obs.json``,
+``BENCH_server.json``, …). ``--json`` switches stdout to the
+machine-readable verdict document (the same shape ``--output`` writes),
+for toolchains that would otherwise have to parse the text table.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import sys
@@ -331,13 +338,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro.obs.regress",
         description="Compare fresh BENCH_*.json results against baselines.",
     )
-    parser.add_argument("fresh", nargs="+",
-                        help="fresh BENCH_*.json files to check")
+    parser.add_argument("fresh", nargs="*",
+                        help="fresh BENCH_*.json files to check (default: "
+                             "every BENCH_*.json in the working directory)")
     parser.add_argument("--baseline-dir", required=True,
                         help="directory holding the baseline copies "
                              "(matched by file name)")
     parser.add_argument("--quick", action="store_true",
                         help="CI mode: floor tolerances for cross-machine runs")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable verdict JSON "
+                             "instead of the text table")
     parser.add_argument("--timing-tolerance", type=float, default=0.20)
     parser.add_argument("--ratio-tolerance", type=float, default=0.20)
     parser.add_argument("--counter-tolerance", type=float, default=0.0)
@@ -355,8 +366,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         quick=options.quick,
         allow_missing=options.allow_missing,
     )
+    fresh_paths = list(options.fresh)
+    if not fresh_paths:
+        fresh_paths = sorted(glob.glob("BENCH_*.json"))
+        if not fresh_paths:
+            print("no BENCH_*.json files found in the working directory",
+                  file=sys.stderr)
+            return 2
     verdicts: list[FileVerdict] = []
-    for fresh_path in options.fresh:
+    for fresh_path in fresh_paths:
         baseline_path = os.path.join(
             options.baseline_dir, os.path.basename(fresh_path)
         )
@@ -369,7 +387,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         verdicts.append(compare_files(baseline_path, fresh_path, config))
     verdict = RegressionVerdict(tuple(verdicts), config)
 
-    print(verdict.render())
+    if options.json:
+        print(json.dumps(verdict.to_dict(), indent=2))
+    else:
+        print(verdict.render())
     if options.output:
         with open(options.output, "w", encoding="utf-8") as fh:
             json.dump(verdict.to_dict(), fh, indent=2)

@@ -1,0 +1,201 @@
+"""Per-tenant SLOs: rolling-window error-budget burn rate.
+
+The budget layer (:mod:`repro.obs.budget`) says whether one interaction
+met its class's latency target; an *SLO* says whether a tenant's recent
+traffic, taken together, is meeting an objective like "99% of
+interactions within budget". The gap between those two is the error
+budget: at a 99% objective, 1% of interactions may violate before the
+tenant is out of contract.
+
+:class:`SloTracker` keeps one rolling window (count- and age-bounded) of
+``(interaction_class, violated)`` outcomes per tenant and reports the
+**burn rate** — the observed violation fraction divided by the allowed
+one. Burn rate 1.0 means the tenant is consuming its error budget exactly
+as fast as it accrues; 2.0 means twice as fast; well below 1.0 means
+healthy. The serving layer feeds the burn rate into
+:meth:`repro.server.shedding.LoadShedder.decide`, so a tenant burning its
+budget is degraded to approximate answers *before* well-behaved tenants
+feel anything — SynopsViz-style per-interaction accountability applied to
+multi-tenant admission.
+
+Everything is stdlib-only and thread-safe; observation is O(1) amortized
+(append plus occasional pruning), reporting O(window).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from .budget import BudgetTracker
+
+__all__ = ["TenantSlo", "SloTracker"]
+
+_clock = time.monotonic
+
+
+@dataclass(frozen=True)
+class TenantSlo:
+    """One tenant's rolling-window SLO state at one instant."""
+
+    tenant: str
+    objective: float
+    count: int
+    violations: int
+    burn_rate: float
+    by_class: dict[str, int]
+
+    @property
+    def compliance(self) -> float:
+        if self.count == 0:
+            return 1.0
+        return 1.0 - self.violations / self.count
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "objective": self.objective,
+            "count": self.count,
+            "violations": self.violations,
+            "compliance": round(self.compliance, 6),
+            "burn_rate": round(self.burn_rate, 6),
+            "by_class": dict(sorted(self.by_class.items())),
+        }
+
+
+class _TenantWindow:
+    __slots__ = ("samples",)
+
+    def __init__(self, max_samples: int) -> None:
+        # (monotonic_s, interaction_class, violated)
+        self.samples: deque[tuple[float, str, bool]] = deque(
+            maxlen=max_samples
+        )
+
+    def prune(self, now: float, window_s: float) -> None:
+        while self.samples and now - self.samples[0][0] > window_s:
+            self.samples.popleft()
+
+
+class SloTracker:
+    """Rolling-window burn-rate accounting, one window per tenant.
+
+    ``objective`` is the target fraction of in-budget interactions
+    (0.99 → a 1% error budget). ``budgets`` (usually ``OBS.budgets``) lets
+    :meth:`observe` derive the violated flag from a duration when the
+    caller has not already decided; explicitly passed flags win.
+    """
+
+    def __init__(
+        self,
+        objective: float = 0.99,
+        window_s: float = 30.0,
+        max_samples: int = 512,
+        budgets: BudgetTracker | None = None,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.objective = objective
+        self.window_s = window_s
+        self.max_samples = max_samples
+        self.budgets = budgets
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantWindow] = {}
+
+    # -- accounting --------------------------------------------------------
+
+    def observe(
+        self,
+        tenant: str,
+        interaction_class: str,
+        duration_ms: float,
+        violated: bool | None = None,
+    ) -> bool:
+        """Account one finished interaction for ``tenant``.
+
+        Returns the violated flag actually recorded (derived from the
+        budget tracker when not passed; unbudgeted classes never violate).
+        """
+        if violated is None:
+            if self.budgets is not None:
+                violated = self.budgets.budget(
+                    interaction_class
+                ).violated_by(duration_ms)
+            else:
+                violated = False
+        now = _clock()
+        with self._lock:
+            window = self._tenants.get(tenant)
+            if window is None:
+                window = self._tenants[tenant] = _TenantWindow(
+                    self.max_samples
+                )
+            window.prune(now, self.window_s)
+            window.samples.append((now, interaction_class, bool(violated)))
+        return bool(violated)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _tenant_locked(self, tenant: str, now: float) -> TenantSlo:
+        window = self._tenants.get(tenant)
+        if window is None:
+            return TenantSlo(tenant, self.objective, 0, 0, 0.0, {})
+        window.prune(now, self.window_s)
+        count = len(window.samples)
+        violations = sum(1 for _, _, bad in window.samples if bad)
+        by_class: dict[str, int] = {}
+        for _, interaction_class, _ in window.samples:
+            by_class[interaction_class] = by_class.get(
+                interaction_class, 0
+            ) + 1
+        allowed = 1.0 - self.objective
+        burn = (violations / count) / allowed if count else 0.0
+        return TenantSlo(tenant, self.objective, count, violations,
+                         burn, by_class)
+
+    def burn_rate(self, tenant: str) -> float:
+        """The tenant's current burn rate (0.0 for unseen tenants)."""
+        with self._lock:
+            return self._tenant_locked(tenant, _clock()).burn_rate
+
+    def tenant(self, tenant: str) -> TenantSlo:
+        with self._lock:
+            return self._tenant_locked(tenant, _clock())
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def peak_burn_rate(self) -> float:
+        """The highest burn rate across all tenants (0.0 when empty).
+
+        The shedder uses this to tell *attributable* overload (spare the
+        healthy tenants, degrade the offender) from diffuse overload
+        (no offender — shed everyone).
+        """
+        now = _clock()
+        with self._lock:
+            return max(
+                (self._tenant_locked(name, now).burn_rate
+                 for name in self._tenants),
+                default=0.0,
+            )
+
+    def snapshot(self) -> dict[str, TenantSlo]:
+        """Every tenant's state, keyed by tenant name."""
+        now = _clock()
+        with self._lock:
+            return {
+                name: self._tenant_locked(name, now)
+                for name in sorted(self._tenants)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tenants.clear()

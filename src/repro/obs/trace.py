@@ -23,25 +23,80 @@ Design points:
 * **Disabled fast path** — :meth:`Tracer.span` returns one shared
   :class:`NoopSpan` singleton when tracing is off: no allocation, no
   clock read, no stack mutation.
+* **Wire identity** — every span carries a random 64-bit ``span_id`` and
+  inherits (or mints) a ``trace_id``. A :class:`TraceContext` travels on
+  HTTP requests as ``X-Repro-Trace`` / ``X-Repro-Span`` headers, so a
+  span opened in another process with ``remote_parent=ctx`` continues the
+  caller's trace and the per-process JSONL exports stitch back into one
+  cross-process tree (:func:`repro.obs.export.stitch_records`).
 """
 
 from __future__ import annotations
 
 import functools
+import random
+import re
 import threading
 import time
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
 
 __all__ = [
     "Span",
     "NoopSpan",
     "NOOP_SPAN",
     "SpanRecorder",
+    "TraceContext",
     "Tracer",
     "traced_iter",
 ]
 
 _clock = time.perf_counter_ns
+
+TRACE_HEADER = "X-Repro-Trace"
+SPAN_HEADER = "X-Repro-Span"
+
+_ID_PATTERN = re.compile(r"^[0-9a-f]{1,32}$")
+
+
+def _new_id() -> str:
+    """A random 64-bit id in lowercase hex (trace and span identity)."""
+    return f"{random.getrandbits(64):016x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The wire form of "where in whose trace am I": trace id + span id.
+
+    ``to_headers`` / ``from_headers`` carry the context across HTTP hops;
+    a span opened with ``remote_parent=ctx`` in the receiving process
+    continues the trace, and the exported record's ``parent_span_id``
+    points back at the caller's wire-call span so the per-process JSONL
+    files stitch into a single tree.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_headers(self) -> dict[str, str]:
+        return {TRACE_HEADER: self.trace_id, SPAN_HEADER: self.span_id}
+
+    @classmethod
+    def from_headers(
+        cls, headers: Mapping[str, str]
+    ) -> "TraceContext | None":
+        """Parse a context from (case-insensitive) request headers.
+
+        Returns ``None`` when the headers are absent or malformed — a
+        garbage trace id from an arbitrary client must not corrupt the
+        receiving process's telemetry.
+        """
+        lowered = {str(k).lower(): str(v) for k, v in headers.items()}
+        trace_id = lowered.get(TRACE_HEADER.lower(), "").strip().lower()
+        span_id = lowered.get(SPAN_HEADER.lower(), "").strip().lower()
+        if not _ID_PATTERN.match(trace_id) or not _ID_PATTERN.match(span_id):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 class Span:
@@ -62,6 +117,9 @@ class Span:
         "_active_ns",
         "_resumed_at",
         "error",
+        "trace_id",
+        "span_id",
+        "remote_parent_id",
     )
 
     def __init__(self, name: str, **attributes: object) -> None:
@@ -73,6 +131,12 @@ class Span:
         self._active_ns = 0
         self._resumed_at: int | None = self.start_ns
         self.error: str | None = None
+        # Wire identity: the tracer fills trace_id in (inherit from parent,
+        # continue a remote context, or mint a fresh one for new roots);
+        # bare/manual spans stitch under whatever tree attaches them.
+        self.trace_id: str | None = None
+        self.span_id: str = _new_id()
+        self.remote_parent_id: str | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -136,6 +200,12 @@ class Span:
     def set_attribute(self, key: str, value: object) -> None:
         self.attributes[key] = value
 
+    def context(self) -> TraceContext | None:
+        """This span's wire context (``None`` until a trace id is known)."""
+        if self.trace_id is None:
+            return None
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
     def add_child(self, child: "Span") -> None:
         self.children.append(child)
 
@@ -181,6 +251,9 @@ class NoopSpan:
     wall_ns = 0
     finished = True
     error = None
+    trace_id = None
+    span_id = ""
+    remote_parent_id = None
 
     def pause(self) -> None:
         pass
@@ -193,6 +266,9 @@ class NoopSpan:
 
     def set_attribute(self, key: str, value: object) -> None:
         pass
+
+    def context(self) -> None:
+        return None
 
     def add_child(self, child: object) -> None:
         pass
@@ -291,11 +367,21 @@ class Tracer:
 
     # -- span API ----------------------------------------------------------
 
-    def span(self, name: str, **attributes: object) -> Span | NoopSpan:
+    def span(
+        self,
+        name: str,
+        remote_parent: TraceContext | None = None,
+        **attributes: object,
+    ) -> Span | NoopSpan:
         """Open a span nested under the current one (context manager).
 
         Closing the span (the ``with`` exit) pops it from the ambient
         stack; root spans additionally land in the recorder.
+
+        ``remote_parent`` continues a trace started in another process:
+        the span adopts the context's trace id and remembers the caller's
+        span id, so the exported record stitches under the caller's
+        wire-call span (:func:`repro.obs.export.stitch_records`).
         """
         if not self.enabled:
             return NOOP_SPAN
@@ -306,13 +392,27 @@ class Tracer:
             return NOOP_SPAN
         span = _TracerSpan(self, name, **attributes)
         if stack:
-            stack[-1].add_child(span)
+            parent = stack[-1]
+            parent.add_child(span)
+            span.trace_id = parent.trace_id
+        elif remote_parent is not None:
+            span.trace_id = remote_parent.trace_id
+            span.remote_parent_id = remote_parent.span_id
+        else:
+            span.trace_id = _new_id()
         stack.append(span)
         return span
 
     def current(self) -> Span | None:
         stack = self._local.stack
         return stack[-1] if stack else None
+
+    def current_context(self) -> TraceContext | None:
+        """The ambient span's wire context, or ``None`` outside any trace."""
+        current = self.current()
+        if current is None:
+            return None
+        return current.context()
 
     def traced(self, name: str | None = None, **attributes: object) -> Callable:
         """Decorator form: the wrapped call runs inside a span."""

@@ -34,6 +34,7 @@ class AdmissionSnapshot:
     rejected: int
     per_tenant_admitted: dict[str, int]
     per_tenant_rejected: dict[str, int]
+    per_tenant_depth: dict[str, int]
 
     @property
     def rejection_rate(self) -> float:
@@ -123,4 +124,9 @@ class FairAdmissionQueue(Generic[T]):
                 rejected=self._rejected,
                 per_tenant_admitted=dict(self._per_tenant_admitted),
                 per_tenant_rejected=dict(self._per_tenant_rejected),
+                per_tenant_depth={
+                    tenant: len(queue)
+                    for tenant, queue in self._pending.items()
+                    if queue
+                },
             )

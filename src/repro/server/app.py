@@ -14,6 +14,24 @@
   federating client can *plan* against this endpoint without scanning it).
 * ``GET /health``, ``GET /stats`` — liveness and serving counters; these
   bypass the admission queue so probes survive overload.
+* ``GET /metrics`` — every process metric: Prometheus text exposition by
+  default, the JSON registry snapshot for ``Accept: application/json``.
+  Admission depth, shed tier, per-tenant inflight counts, and per-tenant
+  SLO burn rates are refreshed into gauges on each scrape.
+* ``GET /debug/flight`` — the flight recorder over HTTP: a JSON index of
+  captured dumps, or one dump's JSONL via ``?seq=N`` / ``?seq=latest``.
+* ``GET /debug/trace`` — this server's finished root spans as JSONL
+  (filtered to this instance's ``service`` label), ready for
+  :func:`repro.obs.export.stitch_jsonl` on the client side.
+
+The observability routes bypass admission exactly like ``/health`` — an
+overloaded server must stay diagnosable *while* overloaded.
+
+Requests carrying ``X-Repro-Trace`` / ``X-Repro-Span`` headers continue
+the caller's trace: the request interaction's span adopts the remote
+trace id and records the caller's span id as its ``parent_span_id``, so
+one federated query over several servers exports as a single stitched
+span tree.
 
 Degradation order under load: first the shed tiers reroute eligible
 aggregate queries through bounded-work approximation
@@ -36,7 +54,16 @@ import time
 from dataclasses import dataclass, field
 
 from ..explore.facets import FacetedBrowser
-from ..obs import INTERACTIVE, NAVIGATION, OBS, record_error
+from ..obs import (
+    INTERACTIVE,
+    NAVIGATION,
+    OBS,
+    SloTracker,
+    TraceContext,
+    record_error,
+)
+from ..obs.export import render_prometheus, spans_to_jsonl
+from ..obs.metrics import BoundedLabelSet
 from ..rdf.ntriples import serialize_ntriples
 from ..rdf.terms import IRI
 from ..sparql.cached import CachedQueryEngine
@@ -97,13 +124,19 @@ class ServerConfig:
     shed_aggressive_factor: float = 3.0
     approx_max_rows: int = 2_000
     approx_confidence: float = 0.95
+    # per-tenant SLOs (error-budget burn feeding the shedder)
+    slo_objective: float = 0.99
+    slo_window_s: float = 30.0
     # engine
     cache_capacity: int = 128
     # delivery
     chunk_rows: int = 64
     read_timeout_s: float = 10.0
-    # test/CI hook: artificial per-query latency to force overload
+    # test/CI hook: artificial per-query latency to force overload;
+    # scoped to one tenant when debug_delay_tenant is set (so tests can
+    # make exactly one tenant burn its error budget)
     debug_delay_ms: float = 0.0
+    debug_delay_tenant: str | None = None
     default_tenant: str = "public"
 
 
@@ -141,6 +174,11 @@ class ReproServer:
             aggressive_factor=self.config.shed_aggressive_factor,
             recover_fraction=self.config.shed_recover_fraction,
         )
+        self.slo = SloTracker(
+            objective=self.config.slo_objective,
+            window_s=self.config.slo_window_s,
+            budgets=OBS.budgets,
+        )
         self._sock: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -149,7 +187,12 @@ class ReproServer:
         self._aggregate_served = 0
         self._aggregate_approximate = 0
         self._responses_by_status: dict[int, int] = {}
+        self._inflight: dict[str, int] = {}
+        # tenant names come off the wire: cap the label cardinality so an
+        # adversarial client cannot mint unbounded metric time series
+        self._tenant_labels = BoundedLabelSet(32)
         self.port: int | None = None
+        self._service = "repro-server"
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -164,6 +207,9 @@ class ReproServer:
         sock.listen(128)
         self._sock = sock
         self.port = sock.getsockname()[1]
+        # The service label distinguishes this instance's spans when
+        # several servers share one process (tests) or one trace (federation).
+        self._service = f"repro-server:{self.port}"
         acceptor = threading.Thread(
             target=self._accept_loop, name="repro-accept", daemon=True
         )
@@ -250,20 +296,19 @@ class ReproServer:
         if request is None:
             _close_quietly(connection)
             return
-        # Probes bypass admission so operators can see an overloaded
-        # server's state while it is overloaded.
-        if request.path == "/health":
-            self._count_status(200)
-            write_response(wfile, 200, {"Content-Type": "application/json"},
-                           b'{"status": "ok"}')
-            _close_quietly(connection)
-            return
-        if request.path == "/stats":
-            self._count_status(200)
-            write_response(
-                wfile, 200, {"Content-Type": "application/json"},
-                json.dumps(self.stats(), sort_keys=True).encode("utf-8"),
-            )
+        # Probes and observability routes bypass admission so operators
+        # can see an overloaded server's state while it is overloaded.
+        probe = self._probe_routes().get(request.path.rstrip("/") or "/")
+        if probe is not None:
+            try:
+                status, headers, body = probe(request)
+            except Exception as exc:
+                record_error("server.probe", exc)
+                status = 500
+                headers = {"Content-Type": "application/json"}
+                body = json.dumps({"error": str(exc)}).encode("utf-8")
+            self._count_status(status)
+            write_response(wfile, status, headers, body)
             _close_quietly(connection)
             return
         tenant = (
@@ -292,6 +337,136 @@ class ReproServer:
         _close_quietly(connection)
 
     # ------------------------------------------------------------------ #
+    # Probes / observability surface (admission-free)
+    # ------------------------------------------------------------------ #
+
+    def _probe_routes(self):
+        return {
+            "/health": self._probe_health,
+            "/stats": self._probe_stats,
+            "/metrics": self._probe_metrics,
+            "/debug/flight": self._probe_flight,
+            "/debug/trace": self._probe_trace,
+        }
+
+    def _serving_snapshot(self) -> dict[str, object]:
+        """The shared serving-state view: /health, /stats, and the
+        /metrics gauge refresh all read this one code path."""
+        admission = self.admission.snapshot()
+        shed = self.shedder.snapshot()
+        with self._lock:
+            inflight = dict(sorted(self._inflight.items()))
+        return {
+            "shed_tier": shed.tier,
+            "shed_tier_name": shed.tier_name,
+            "queue_depth": admission.depth,
+            "per_tenant_depth": admission.per_tenant_depth,
+            "inflight": inflight,
+        }
+
+    def _probe_health(self, request: HttpRequest):
+        payload = {"status": "ok", "service": self._service,
+                   **self._serving_snapshot()}
+        return 200, {"Content-Type": "application/json"}, json.dumps(
+            payload, sort_keys=True
+        ).encode("utf-8")
+
+    def _probe_stats(self, request: HttpRequest):
+        return 200, {"Content-Type": "application/json"}, json.dumps(
+            self.stats(), sort_keys=True
+        ).encode("utf-8")
+
+    def _refresh_metrics(self) -> None:
+        """Push current serving state into the process metrics registry.
+
+        Gauges are scrape-time snapshots (Prometheus semantics): each
+        /metrics hit refreshes admission depth, shed tier, per-tenant
+        inflight, and per-tenant SLO burn rate before rendering.
+        """
+        snapshot = self._serving_snapshot()
+        metrics = OBS.metrics
+        service = self._service
+        metrics.gauge("server.admission.depth", service=service).set(
+            float(snapshot["queue_depth"])
+        )
+        metrics.gauge("server.shed.tier", service=service).set(
+            float(snapshot["shed_tier"])
+        )
+        for tenant, count in snapshot["inflight"].items():
+            metrics.gauge(
+                "server.inflight", service=service,
+                tenant=self._tenant_labels.fold(tenant),
+            ).set(float(count))
+        for tenant, state in self.slo.snapshot().items():
+            metrics.gauge(
+                "server.slo.burn_rate", service=service,
+                tenant=self._tenant_labels.fold(tenant),
+            ).set(state.burn_rate)
+
+    def _probe_metrics(self, request: HttpRequest):
+        self._refresh_metrics()
+        accept = request.header("accept", "")
+        if "application/json" in accept.lower():
+            body = json.dumps(
+                OBS.metrics.snapshot(), sort_keys=True
+            ).encode("utf-8")
+            return 200, {"Content-Type": "application/json"}, body
+        body = render_prometheus(OBS.metrics).encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+        return 200, {"Content-Type": content_type}, body
+
+    def _probe_flight(self, request: HttpRequest):
+        dumps = OBS.flight.dumps()
+        seq = request.query.get("seq")
+        if seq is None:
+            index = {
+                "recorded_total": OBS.flight.recorded_total,
+                "dump_count": OBS.flight.dump_count,
+                "dumps": [
+                    {
+                        "sequence": dump.sequence,
+                        "reason": dump.reason,
+                        "entries": len(dump.entries),
+                        "has_profile": dump.profile_folded is not None,
+                    }
+                    for dump in dumps
+                ],
+            }
+            return 200, {"Content-Type": "application/json"}, json.dumps(
+                index, sort_keys=True
+            ).encode("utf-8")
+        if seq == "latest":
+            chosen = dumps[-1] if dumps else None
+        else:
+            try:
+                wanted = int(seq)
+            except ValueError:
+                return 400, {"Content-Type": "application/json"}, \
+                    b'{"error": "seq must be an integer or `latest`"}'
+            chosen = next(
+                (dump for dump in dumps if dump.sequence == wanted), None
+            )
+        if chosen is None:
+            return 404, {"Content-Type": "application/json"}, \
+                b'{"error": "no such flight dump"}'
+        return 200, {"Content-Type": "application/x-ndjson"}, \
+            chosen.to_jsonl().encode("utf-8")
+
+    def _probe_trace(self, request: HttpRequest):
+        """This server's finished root spans as JSONL, stitch-ready.
+
+        Filtered by the ``service`` attribute: when several servers share
+        one process (in-process federation tests) each still exports only
+        its own spans, as separate processes would.
+        """
+        spans = [
+            span for span in OBS.tracer.recorder.spans()
+            if span.attributes.get("service") == self._service
+        ]
+        body = spans_to_jsonl(spans).encode("utf-8")
+        return 200, {"Content-Type": "application/x-ndjson"}, body
+
+    # ------------------------------------------------------------------ #
     # Workers
     # ------------------------------------------------------------------ #
 
@@ -314,33 +489,49 @@ class ReproServer:
             finally:
                 _close_quietly(pending.connection)
 
+    _ROUTE_CLASSES = {
+        "/sparql": ("server.sparql", INTERACTIVE),
+        "/facets": ("server.facets", INTERACTIVE),
+        "/describe": ("server.describe", NAVIGATION),
+        "/statistics": ("server.statistics", NAVIGATION),
+    }
+
     def _handle(self, pending: _Pending, engine: CachedQueryEngine) -> None:
         request = pending.request
         route = request.path.rstrip("/") or "/"
-        if route == "/sparql":
-            with OBS.interaction(
-                "server.sparql", INTERACTIVE, tenant=pending.tenant
-            ) as act:
-                self._handle_sparql(pending, engine, act)
-            # The user's clock starts at accept time: queue wait counts.
-            self.shedder.observe(
-                (time.monotonic() - pending.accepted_at) * 1e3
-            )
-        elif route == "/facets":
-            with OBS.interaction("server.facets", INTERACTIVE,
-                                 tenant=pending.tenant):
-                self._handle_facets(pending, engine)
-        elif route == "/describe":
-            with OBS.interaction("server.describe", NAVIGATION,
-                                 tenant=pending.tenant):
-                self._handle_describe(pending, engine)
-        elif route == "/statistics":
-            with OBS.interaction("server.statistics", NAVIGATION,
-                                 tenant=pending.tenant):
-                self._handle_statistics(pending)
-        else:
+        named = self._ROUTE_CLASSES.get(route)
+        if named is None:
             self._respond_error(pending.wfile, 404,
                                 f"no such resource: {request.path}")
+            return
+        name, interaction_class = named
+        tenant = pending.tenant
+        # A caller-supplied trace context makes this request's span a
+        # continuation of the remote trace (malformed headers parse to
+        # None and start a fresh local trace instead).
+        remote = TraceContext.from_headers(request.headers)
+        self._inflight_delta(tenant, +1)
+        try:
+            with OBS.interaction(
+                name, interaction_class, remote_parent=remote,
+                tenant=tenant, service=self._service,
+            ) as act:
+                if route == "/sparql":
+                    self._handle_sparql(pending, engine, act)
+                elif route == "/facets":
+                    self._handle_facets(pending, engine)
+                elif route == "/describe":
+                    self._handle_describe(pending, engine)
+                else:
+                    self._handle_statistics(pending)
+        finally:
+            # The user's clock starts at accept time: queue wait counts,
+            # for the shedder and the tenant's SLO alike.
+            total_ms = (time.monotonic() - pending.accepted_at) * 1e3
+            self.slo.observe(tenant, interaction_class, total_ms)
+            if route == "/sparql":
+                self.shedder.observe(total_ms)
+            self._inflight_delta(tenant, -1)
 
     # ------------------------------------------------------------------ #
     # /sparql
@@ -369,12 +560,19 @@ class ReproServer:
             return
 
         accept = request.header("accept", JSON_TYPE)
-        if self.config.debug_delay_ms > 0:
-            # Test/CI hook standing in for a genuinely slow backing store.
+        if self.config.debug_delay_ms > 0 and (
+            self.config.debug_delay_tenant is None
+            or pending.tenant == self.config.debug_delay_tenant
+        ):
+            # Test/CI hook standing in for a genuinely slow backing store;
+            # scoping it to one tenant makes that tenant the SLO offender.
             time.sleep(self.config.debug_delay_ms / 1e3)
 
         if isinstance(parsed, SelectQuery) and eligible_aggregate(parsed):
-            tier = self.shedder.decide()
+            tier = self.shedder.decide(
+                burn_rate=self.slo.burn_rate(pending.tenant),
+                peak_burn=self.slo.peak_burn_rate(),
+            )
             act.set_attribute("tier", TIER_NAMES[tier])
             self._answer_aggregate(pending, engine, parsed, tier, accept)
             return
@@ -605,11 +803,22 @@ class ReproServer:
         with self._lock:
             self._served_by_tier[tier] = self._served_by_tier.get(tier, 0) + 1
 
+    def _inflight_delta(self, tenant: str, delta: int) -> None:
+        with self._lock:
+            value = self._inflight.get(tenant, 0) + delta
+            if value <= 0:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = value
+
     def _count_status(self, status: int) -> None:
         with self._lock:
             self._responses_by_status[status] = (
                 self._responses_by_status.get(status, 0) + 1
             )
+        OBS.metrics.counter(
+            "server.responses", service=self._service, status=status
+        ).inc()
 
     def _respond_error(self, wfile, status: int, message: str) -> None:
         self._count_status(status)
@@ -622,9 +831,10 @@ class ReproServer:
             pass
 
     def stats(self) -> dict[str, object]:
-        """The /stats payload: admission, shedding, and serving counters."""
+        """The /stats payload: admission, shedding, SLOs, serving counters."""
         admission = self.admission.snapshot()
         shed = self.shedder.snapshot()
+        serving = self._serving_snapshot()
         with self._lock:
             by_tier = {
                 TIER_NAMES.get(tier, str(tier)): count
@@ -634,6 +844,7 @@ class ReproServer:
             aggregate_approximate = self._aggregate_approximate
             by_status = dict(sorted(self._responses_by_status.items()))
         return {
+            "service": self._service,
             "admission": {
                 "capacity": admission.capacity,
                 "depth": admission.depth,
@@ -641,6 +852,7 @@ class ReproServer:
                 "rejected": admission.rejected,
                 "per_tenant_admitted": admission.per_tenant_admitted,
                 "per_tenant_rejected": admission.per_tenant_rejected,
+                "per_tenant_depth": admission.per_tenant_depth,
             },
             "shedding": {
                 "tier": shed.tier,
@@ -648,6 +860,13 @@ class ReproServer:
                 "p95_ms": round(shed.p95_ms, 3),
                 "budget_ms": shed.budget_ms,
                 "window_size": shed.window_size,
+                "burn_escalations": shed.burn_escalations,
+                "burn_protections": shed.burn_protections,
+            },
+            "inflight": serving["inflight"],
+            "slo": {
+                tenant: state.to_dict()
+                for tenant, state in self.slo.snapshot().items()
             },
             "served_by_tier": by_tier,
             "aggregate_served": aggregate_served,

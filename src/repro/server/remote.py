@@ -20,6 +20,16 @@ own hint, a bounded number of times — the client half of the explicit
 backpressure contract. Anything else unexpected raises
 :class:`EndpointError`.
 
+Every outgoing request carries the caller's trace context
+(``X-Repro-Trace`` / ``X-Repro-Span`` headers, taken from the ambient
+:data:`repro.obs.OBS` tracer): each ``_sparql`` call runs inside one
+``remote.call`` span, so a federated query produces a single trace id
+that spans processes — the remote server continues the trace and its
+exported spans stitch back under this client's wire-call span
+(:func:`repro.obs.export.stitch_records`). All retry attempts of one
+call reuse the same span, so the trace id is stable across 503 backoff,
+and each retry bumps the always-on ``server.remote.retries`` counter.
+
 Blank nodes are scoped to one document/endpoint, so a BNode in a pattern
 cannot be matched remotely; those lookups raise ``ValueError`` rather than
 silently returning nothing.
@@ -33,6 +43,7 @@ import time
 from typing import Iterator
 from urllib.parse import urlencode, urlsplit
 
+from ..obs import OBS
 from ..rdf.graph import TriplePattern
 from ..rdf.ntriples import parse_ntriples
 from ..rdf.terms import BNode, IRI, Literal, Triple
@@ -115,6 +126,9 @@ class RemoteEndpointSource:
             headers = {"Accept": accept, "Connection": "close"}
             if content_type is not None:
                 headers["Content-Type"] = content_type
+            context = OBS.tracer.current_context()
+            if context is not None:
+                headers.update(context.to_headers())
             connection.request(method, target, body=body, headers=headers)
             response = connection.getresponse()
             payload = response.read()
@@ -126,31 +140,49 @@ class RemoteEndpointSource:
             connection.close()
 
     def _sparql(self, query: str, accept: str) -> bytes:
-        """POST one query, honoring 503 + Retry-After up to the retry cap."""
+        """POST one query, honoring 503 + Retry-After up to the retry cap.
+
+        The whole retry loop runs inside one ``remote.call`` span: every
+        attempt of one logical call carries the *same* trace and span ids
+        on the wire, so the remote server's spans stitch under a single
+        wire hop no matter how many 503 round-trips it took.
+        """
         body = urlencode({"query": query}).encode("utf-8")
         attempts = self.max_retries + 1
-        for attempt in range(attempts):
-            self.requests_sent += 1
-            try:
-                status, headers, payload = self._request(
-                    "POST", "/sparql", accept, body=body,
-                    content_type="application/x-www-form-urlencoded",
-                )
-            except OSError as exc:
-                raise EndpointError(0, f"connection failed: {exc}") from exc
-            if status == 200:
-                return payload
-            if status == 503 and attempt < attempts - 1:
-                self.retries += 1
+        with OBS.tracer.span(
+            "remote.call", endpoint=self.base_url, target="/sparql"
+        ) as span:
+            for attempt in range(attempts):
+                self.requests_sent += 1
                 try:
-                    wait = float(headers.get("retry-after", "1"))
-                except ValueError:
-                    wait = 1.0
-                time.sleep(min(max(wait, 0.0), self.max_retry_wait_s))
-                continue
-            raise EndpointError(
-                status, payload.decode("utf-8", "replace")[:200]
-            )
+                    status, headers, payload = self._request(
+                        "POST", "/sparql", accept, body=body,
+                        content_type="application/x-www-form-urlencoded",
+                    )
+                except OSError as exc:
+                    raise EndpointError(
+                        0, f"connection failed: {exc}"
+                    ) from exc
+                if status == 200:
+                    span.set_attribute("attempts", attempt + 1)
+                    span.set_attribute("status", status)
+                    return payload
+                if status == 503 and attempt < attempts - 1:
+                    self.retries += 1
+                    OBS.metrics.counter(
+                        "server.remote.retries", endpoint=self.base_url
+                    ).inc()
+                    try:
+                        wait = float(headers.get("retry-after", "1"))
+                    except ValueError:
+                        wait = 1.0
+                    time.sleep(min(max(wait, 0.0), self.max_retry_wait_s))
+                    continue
+                span.set_attribute("attempts", attempt + 1)
+                span.set_attribute("status", status)
+                raise EndpointError(
+                    status, payload.decode("utf-8", "replace")[:200]
+                )
         raise EndpointError(503, "retries exhausted")  # pragma: no cover
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,15 @@ latencies rather than the cumulative budget histogram, so the controller
 tier steps back down. Hysteresis (``recover_fraction``) keeps the boundary
 from flapping: escalation happens at the budget, de-escalation only below
 a fraction of it.
+
+:meth:`LoadShedder.decide` optionally takes the requesting tenant's SLO
+**burn rate** (:class:`repro.obs.slo.SloTracker`), making shedding
+tenant-aware: a tenant burning its error budget (burn ≥
+``burn_shed_threshold``) is escalated one tier *beyond* the global tier,
+while a well-behaved tenant (burn ≤ ``burn_protect_fraction``) riding
+out someone else's overload is protected — de-escalated from SAMPLED
+back to EXACT. The offender degrades to approximate answers before the
+well-behaved tenants ever notice.
 """
 
 from __future__ import annotations
@@ -51,6 +60,8 @@ class ShedSnapshot:
     p95_ms: float
     budget_ms: float
     window_size: int
+    burn_escalations: int = 0
+    burn_protections: int = 0
 
     @property
     def tier_name(self) -> str:
@@ -74,6 +85,8 @@ class LoadShedder:
         min_observations: int = 8,
         aggressive_factor: float = 3.0,
         recover_fraction: float = 0.8,
+        burn_shed_threshold: float = 1.0,
+        burn_protect_fraction: float = 0.25,
     ) -> None:
         if budget_ms is None:
             budget_ms = DEFAULT_BUDGETS_MS[INTERACTIVE] or 100.0
@@ -86,11 +99,15 @@ class LoadShedder:
         self.min_observations = max(1, min_observations)
         self.aggressive_factor = aggressive_factor
         self.recover_fraction = recover_fraction
+        self.burn_shed_threshold = burn_shed_threshold
+        self.burn_protect_fraction = burn_protect_fraction
         self._lock = threading.Lock()
         self._window: deque[tuple[float, float]] = deque(maxlen=window)
         self._tier = EXACT
         self.shed_decisions = 0
         self.exact_decisions = 0
+        self.burn_escalations = 0
+        self.burn_protections = 0
 
     # -- accounting --------------------------------------------------------
 
@@ -145,9 +162,37 @@ class LoadShedder:
                 self._tier = current - 1
             return self._tier
 
-    def decide(self) -> int:
-        """``tier()`` plus decision accounting (the per-request entry point)."""
+    def decide(self, burn_rate: float | None = None,
+               peak_burn: float | None = None) -> int:
+        """``tier()`` plus decision accounting (the per-request entry point).
+
+        With ``burn_rate`` (the requesting tenant's SLO burn from
+        :class:`repro.obs.slo.SloTracker`), the global tier is adjusted
+        per tenant: an offender burning its error budget (burn ≥
+        ``burn_shed_threshold``) answers one tier higher than the global
+        tier, while a clearly healthy tenant (burn ≤
+        ``burn_protect_fraction``) is never held at SAMPLED by *someone
+        else's* overload — it de-escalates back to EXACT, but only when
+        ``peak_burn`` (the highest burn across all tenants) names an
+        actual offender. Diffuse overload with no offender sheds
+        everyone, exactly as before burn awareness; AGGRESSIVE is global
+        overload and protects nobody.
+        """
         tier = self.tier()
+        if burn_rate is not None:
+            if burn_rate >= self.burn_shed_threshold:
+                adjusted = min(AGGRESSIVE, tier + 1)
+                if adjusted != tier:
+                    with self._lock:
+                        self.burn_escalations += 1
+                tier = adjusted
+            elif (burn_rate <= self.burn_protect_fraction
+                    and tier == SAMPLED
+                    and peak_burn is not None
+                    and peak_burn >= self.burn_shed_threshold):
+                with self._lock:
+                    self.burn_protections += 1
+                tier = EXACT
         with self._lock:
             if tier == EXACT:
                 self.exact_decisions += 1
@@ -161,4 +206,6 @@ class LoadShedder:
             return ShedSnapshot(
                 tier=self._tier, p95_ms=p95,
                 budget_ms=self.budget_ms, window_size=n,
+                burn_escalations=self.burn_escalations,
+                burn_protections=self.burn_protections,
             )

@@ -1,0 +1,164 @@
+"""Sampling profiler: folded stacks, lifecycle, env activation, flight glue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import OBS, SamplingProfiler, profiler_from_env
+from repro.obs.profile import _fold_frame_stack
+
+
+def _busy(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(200))
+
+
+@pytest.fixture()
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=_busy, args=(stop,), daemon=True)
+    thread.start()
+    yield thread
+    stop.set()
+    thread.join(timeout=2)
+
+
+class TestSampling:
+    def test_sample_once_records_other_threads(self, busy_thread):
+        profiler = SamplingProfiler()
+        recorded = profiler.sample_once()
+        assert recorded >= 1
+        assert profiler.samples_taken == 1
+        stacks = profiler.stacks()
+        assert any("_busy" in stack for stack in stacks)
+
+    def test_folded_output_shape(self, busy_thread):
+        profiler = SamplingProfiler()
+        for _ in range(5):
+            profiler.sample_once()
+        text = profiler.folded()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+        # hottest first
+        counts = [int(line.rpartition(" ")[2])
+                  for line in text.strip().splitlines()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_folded_limit(self, busy_thread):
+        profiler = SamplingProfiler()
+        for _ in range(3):
+            profiler.sample_once()
+        limited = profiler.folded(limit=1)
+        assert len(limited.strip().splitlines()) <= 1
+
+    def test_fold_frame_stack_is_root_first(self):
+        import sys
+
+        frame = sys._getframe()
+        folded = _fold_frame_stack(frame, max_depth=64)
+        parts = folded.split(";")
+        assert parts[-1].endswith("test_fold_frame_stack_is_root_first")
+
+    def test_max_depth_truncates(self):
+        import sys
+
+        frame = sys._getframe()
+        folded = _fold_frame_stack(frame, max_depth=2)
+        assert len(folded.split(";")) == 2
+
+    def test_unique_stack_overflow_folds_to_other(self, busy_thread):
+        profiler = SamplingProfiler(max_unique_stacks=1)
+        for _ in range(10):
+            profiler.sample_once()
+        stacks = profiler.stacks()
+        assert len(stacks) <= 2  # the one kept + "(other)"
+
+
+class TestLifecycle:
+    def test_background_thread_samples(self, busy_thread):
+        with SamplingProfiler(interval_ms=1.0) as profiler:
+            assert profiler.running
+            deadline = time.monotonic() + 2.0
+            while profiler.samples_taken < 3:
+                assert time.monotonic() < deadline, "profiler never sampled"
+                time.sleep(0.01)
+        assert not profiler.running
+
+    def test_start_is_idempotent(self):
+        profiler = SamplingProfiler(interval_ms=1.0)
+        try:
+            assert profiler.start() is profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_reset_clears_counts(self, busy_thread):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        profiler.reset()
+        assert profiler.stacks() == {}
+        assert profiler.samples_taken == 0
+
+    def test_snapshot_fields(self):
+        snapshot = SamplingProfiler(interval_ms=5.0).snapshot()
+        assert snapshot["interval_ms"] == 5.0
+        assert snapshot["running"] is False
+        assert snapshot["samples_taken"] == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"interval_ms": 0}, {"max_depth": 0}, {"max_unique_stacks": 0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SamplingProfiler(**kwargs)
+
+
+class TestEnvActivation:
+    @pytest.mark.parametrize("value", [None, "", "0", "false", "no", "off",
+                                       "-5"])
+    def test_disabled_values(self, value):
+        assert profiler_from_env(value) is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_enabled_default_interval(self, value):
+        profiler = profiler_from_env(value)
+        assert profiler is not None and profiler.interval_ms == 10.0
+
+    def test_numeric_value_is_the_interval(self):
+        assert profiler_from_env("2.5").interval_ms == 2.5
+
+    def test_garbage_value_falls_back_to_default(self):
+        assert profiler_from_env("garbage").interval_ms == 10.0
+
+
+class TestFlightIntegration:
+    def test_profile_attached_to_dumps(self, busy_thread):
+        profiler = OBS.start_profiler(interval_ms=1.0)
+        try:
+            deadline = time.monotonic() + 2.0
+            while profiler.samples_taken < 3:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            OBS.flight.record("note", "something")
+            dump = OBS.flight.dump("manual")
+            assert dump.profile_folded
+            assert "profile_folded" in dump.to_jsonl().splitlines()[0]
+        finally:
+            OBS.stop_profiler()
+
+    def test_no_profiler_no_attachment(self):
+        OBS.flight.record("note", "plain")
+        dump = OBS.flight.dump("manual")
+        assert dump.profile_folded is None
+
+    def test_obs_reset_keeps_profiler_running(self):
+        profiler = OBS.start_profiler(interval_ms=1.0)
+        try:
+            OBS.reset()
+            assert OBS.profiler is profiler
+            assert profiler.running
+            assert OBS.flight.profile_provider is not None
+        finally:
+            OBS.stop_profiler()

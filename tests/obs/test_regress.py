@@ -174,3 +174,57 @@ class TestCli:
         ])
         capsys.readouterr()
         assert code == 0
+
+    def test_json_mode_prints_verdict_document(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "base"
+        baseline_dir.mkdir()
+        self.write(baseline_dir / "BENCH_x.json", {"plan_ms": 2.0})
+        fresh = tmp_path / "BENCH_x.json"
+        self.write(fresh, {"plan_ms": 9.0})
+        code = main([
+            str(fresh), "--baseline-dir", str(baseline_dir), "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["files"][0]["name"] == "BENCH_x.json"
+        assert "verdict:" not in out  # the text table is suppressed
+
+    def test_default_discovery_globs_bench_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        baseline_dir = tmp_path / "base"
+        baseline_dir.mkdir()
+        self.write(baseline_dir / "BENCH_a.json", {"hits": 1})
+        self.write(baseline_dir / "BENCH_b.json", {"hits": 2})
+        self.write(tmp_path / "BENCH_a.json", {"hits": 1})
+        self.write(tmp_path / "BENCH_b.json", {"hits": 2})
+        monkeypatch.chdir(tmp_path)
+        assert main(["--baseline-dir", str(baseline_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["name"] for f in payload["files"]] == [
+            "BENCH_a.json", "BENCH_b.json",
+        ]
+
+    def test_default_discovery_empty_dir_errors(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--baseline-dir", str(tmp_path)]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_committed_server_bench_in_default_discovery(
+        self, capsys, monkeypatch
+    ):
+        """BENCH_server.json participates in the repo-root default sweep."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        assert (repo / "BENCH_server.json").exists()
+        monkeypatch.chdir(repo)
+        code = main(["--baseline-dir", str(repo), "--quick", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        names = [f["name"] for f in payload["files"]]
+        assert "BENCH_server.json" in names and "BENCH_obs.json" in names

@@ -1,0 +1,117 @@
+"""Per-tenant SLO tracker: burn-rate math, windows, budget derivation."""
+
+import pytest
+
+from repro.obs.budget import BudgetTracker
+from repro.obs.slo import SloTracker
+
+
+def _feed(tracker: SloTracker, tenant: str, violated: bool, n: int) -> None:
+    for _ in range(n):
+        tracker.observe(tenant, "interactive", 1.0, violated=violated)
+
+
+class TestBurnRate:
+    def test_unseen_tenant_burns_nothing(self):
+        assert SloTracker().burn_rate("nobody") == 0.0
+
+    def test_all_good_is_zero_burn(self):
+        tracker = SloTracker(objective=0.99)
+        _feed(tracker, "t", violated=False, n=50)
+        assert tracker.burn_rate("t") == 0.0
+        assert tracker.tenant("t").compliance == 1.0
+
+    def test_burn_one_means_budget_consumed_exactly(self):
+        # 1 violation in 100 at a 99% objective: burning exactly at rate 1.
+        tracker = SloTracker(objective=0.99, max_samples=200)
+        _feed(tracker, "t", violated=False, n=99)
+        _feed(tracker, "t", violated=True, n=1)
+        assert tracker.burn_rate("t") == pytest.approx(1.0)
+
+    def test_burn_scales_with_violation_fraction(self):
+        tracker = SloTracker(objective=0.99, max_samples=200)
+        _feed(tracker, "t", violated=False, n=90)
+        _feed(tracker, "t", violated=True, n=10)
+        assert tracker.burn_rate("t") == pytest.approx(10.0)
+
+    def test_tenants_are_independent(self):
+        tracker = SloTracker(objective=0.9)
+        _feed(tracker, "good", violated=False, n=20)
+        _feed(tracker, "bad", violated=True, n=20)
+        assert tracker.burn_rate("good") == 0.0
+        assert tracker.burn_rate("bad") == pytest.approx(10.0)
+        assert tracker.tenants() == ["bad", "good"]
+
+    def test_peak_burn_rate_is_the_worst_tenant(self):
+        tracker = SloTracker(objective=0.9)
+        assert tracker.peak_burn_rate() == 0.0
+        _feed(tracker, "good", violated=False, n=20)
+        _feed(tracker, "bad", violated=True, n=20)
+        assert tracker.peak_burn_rate() == pytest.approx(10.0)
+
+
+class TestWindows:
+    def test_count_bound_evicts_oldest(self):
+        tracker = SloTracker(objective=0.9, max_samples=10)
+        _feed(tracker, "t", violated=True, n=10)
+        _feed(tracker, "t", violated=False, n=10)  # pushes violations out
+        assert tracker.burn_rate("t") == 0.0
+
+    def test_age_bound_prunes(self, monkeypatch):
+        now = [0.0]
+        monkeypatch.setattr("repro.obs.slo._clock", lambda: now[0])
+        tracker = SloTracker(objective=0.9, window_s=5.0)
+        _feed(tracker, "t", violated=True, n=4)
+        assert tracker.burn_rate("t") > 0
+        now[0] = 10.0  # everything aged out
+        assert tracker.burn_rate("t") == 0.0
+        assert tracker.tenant("t").count == 0
+
+
+class TestBudgetDerivation:
+    def test_violated_derived_from_budget_tracker(self):
+        budgets = BudgetTracker({"interactive": 100.0})
+        tracker = SloTracker(objective=0.9, budgets=budgets)
+        assert tracker.observe("t", "interactive", 250.0) is True
+        assert tracker.observe("t", "interactive", 50.0) is False
+        assert tracker.tenant("t").violations == 1
+
+    def test_explicit_flag_wins(self):
+        budgets = BudgetTracker({"interactive": 100.0})
+        tracker = SloTracker(objective=0.9, budgets=budgets)
+        assert tracker.observe("t", "interactive", 250.0,
+                               violated=False) is False
+        assert tracker.burn_rate("t") == 0.0
+
+    def test_without_budgets_nothing_violates(self):
+        tracker = SloTracker(objective=0.9)
+        assert tracker.observe("t", "interactive", 10_000.0) is False
+
+
+class TestSnapshot:
+    def test_snapshot_and_to_dict(self):
+        tracker = SloTracker(objective=0.99)
+        tracker.observe("t", "interactive", 1.0, violated=False)
+        tracker.observe("t", "navigation", 1.0, violated=True)
+        state = tracker.snapshot()["t"]
+        assert state.count == 2 and state.violations == 1
+        assert state.by_class == {"interactive": 1, "navigation": 1}
+        record = state.to_dict()
+        assert record["tenant"] == "t"
+        assert record["compliance"] == pytest.approx(0.5)
+
+    def test_reset(self):
+        tracker = SloTracker()
+        tracker.observe("t", "interactive", 1.0, violated=True)
+        tracker.reset()
+        assert tracker.tenants() == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"objective": 0.0}, {"objective": 1.0},
+        {"window_s": 0.0}, {"max_samples": 0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SloTracker(**kwargs)

@@ -233,3 +233,79 @@ class TestTraceQuery:
         assert span.finished
         assert [c.name for c in span.children] == ["step"]
         assert span.attributes["user"] == "t"
+
+
+class TestTraceContext:
+    def test_header_round_trip(self):
+        from repro.obs import TraceContext
+
+        context = TraceContext(trace_id="deadbeefcafe0123",
+                               span_id="0123456789abcdef")
+        headers = context.to_headers()
+        assert headers == {
+            "X-Repro-Trace": "deadbeefcafe0123",
+            "X-Repro-Span": "0123456789abcdef",
+        }
+        assert TraceContext.from_headers(headers) == context
+
+    def test_from_headers_is_case_insensitive(self):
+        from repro.obs import TraceContext
+
+        parsed = TraceContext.from_headers({
+            "x-repro-trace": "ABC123", "X-REPRO-SPAN": "def456",
+        })
+        assert parsed == TraceContext("abc123", "def456")
+
+    @pytest.mark.parametrize("headers", [
+        {},
+        {"X-Repro-Trace": "abc"},  # span missing
+        {"X-Repro-Trace": "xyz", "X-Repro-Span": "abc"},  # non-hex
+        {"X-Repro-Trace": "a" * 33, "X-Repro-Span": "abc"},  # too long
+        {"X-Repro-Trace": "", "X-Repro-Span": ""},
+    ])
+    def test_malformed_headers_parse_to_none(self, headers):
+        from repro.obs import TraceContext
+
+        assert TraceContext.from_headers(headers) is None
+
+    def test_children_inherit_the_root_trace_id(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                assert child.trace_id == root.trace_id
+                assert child.span_id != root.span_id
+        assert root.trace_id is not None
+
+    def test_remote_parent_continues_the_trace(self):
+        from repro.obs import TraceContext
+
+        context = TraceContext(trace_id="feed0000feed0000",
+                               span_id="beef0000beef0000")
+        tracer = Tracer(enabled=True)
+        with tracer.span("continued", remote_parent=context) as span:
+            assert span.trace_id == context.trace_id
+            assert span.remote_parent_id == context.span_id
+            assert span.span_id not in (context.span_id, "")
+
+    def test_fresh_roots_get_distinct_trace_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_current_context_tracks_the_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current_context() is None
+        with tracer.span("root") as root:
+            context = tracer.current_context()
+            assert context is not None
+            assert context.trace_id == root.trace_id
+            assert context.span_id == root.span_id
+        assert tracer.current_context() is None
+
+    def test_disabled_tracer_has_no_context(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("noop"):
+            assert tracer.current_context() is None

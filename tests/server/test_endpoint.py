@@ -121,14 +121,23 @@ class TestProtocol:
         assert body["predicate_cardinalities"][str(VALUE)] == 300
 
     def test_health_and_stats(self, server):
-        assert json.loads(
-            fetch(f"{server.base_url}/health").read()
-        ) == {"status": "ok"}
+        health = json.loads(fetch(f"{server.base_url}/health").read())
+        assert health["status"] == "ok"
+        # The probe is also the operator's overload view: shed tier,
+        # queue depth, and per-tenant inflight ride along.
+        assert health["shed_tier_name"] in ("exact", "sampled", "aggressive")
+        assert health["queue_depth"] == 0
+        # A prior request's handler may still be unwinding: inflight is a
+        # live view, not a settled counter.
+        assert isinstance(health["inflight"], dict)
+        assert health["service"] == f"repro-server:{server.port}"
         stats = json.loads(fetch(f"{server.base_url}/stats").read())
         assert stats["admission"]["capacity"] == 32
+        assert stats["admission"]["per_tenant_depth"] == {}
         assert stats["shedding"]["tier_name"] in (
             "exact", "sampled", "aggressive"
         )
+        assert "slo" in stats and "inflight" in stats
 
 
 class TestContentNegotiation:
@@ -350,3 +359,124 @@ class TestLifecycle:
             connection = socket.create_connection(("127.0.0.1", port),
                                                   timeout=0.5)
             connection.close()
+
+
+class TestObservabilitySurface:
+    def test_metrics_prometheus_exposition(self, server):
+        # Generate at least one response first so counters exist.
+        fetch(f"{server.base_url}/health").read()
+        response = fetch(f"{server.base_url}/metrics")
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode()
+        assert "# TYPE server_responses_total counter" in text
+        assert "server_admission_depth" in text
+        assert "server_shed_tier" in text
+        # exposition parses: every non-comment line is `name{labels} value`
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)
+
+    def test_metrics_json_negotiation(self, server):
+        fetch(f"{server.base_url}/health").read()
+        body = json.loads(
+            fetch(f"{server.base_url}/metrics",
+                  accept="application/json").read()
+        )
+        assert any(key.startswith("server.responses") for key in body)
+
+    def test_metrics_include_slo_burn_rate_per_tenant(self, server):
+        query = "SELECT ?s WHERE { ?s ?p ?o } LIMIT 1"
+        fetch(sparql_url(server.base_url, query),
+              headers={"X-Repro-Tenant": "acme"}).read()
+        text = fetch(f"{server.base_url}/metrics").read().decode()
+        assert 'server_slo_burn_rate{' in text
+        assert 'tenant="acme"' in text
+
+    def test_debug_flight_index_and_dump(self, server):
+        from repro.obs import OBS
+
+        index = json.loads(fetch(f"{server.base_url}/debug/flight").read())
+        assert set(index) >= {"dumps", "dump_count", "recorded_total"}
+        OBS.flight.dump("test-probe")
+        index = json.loads(fetch(f"{server.base_url}/debug/flight").read())
+        assert index["dumps"]
+        sequence = index["dumps"][-1]["sequence"]
+        body = fetch(
+            f"{server.base_url}/debug/flight?seq={sequence}"
+        ).read().decode()
+        header = json.loads(body.splitlines()[0])
+        assert header["flight_dump"] == sequence
+        latest = fetch(
+            f"{server.base_url}/debug/flight?seq=latest"
+        ).read().decode()
+        assert json.loads(latest.splitlines()[0])["flight_dump"] >= sequence
+
+    def test_debug_flight_errors(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server.base_url}/debug/flight?seq=999999")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server.base_url}/debug/flight?seq=bogus")
+        assert excinfo.value.code == 400
+
+    def test_debug_trace_exports_this_servers_spans(self, server):
+        from repro.obs import OBS
+
+        OBS.configure(enabled=True)
+        try:
+            query = "SELECT ?s WHERE { ?s ?p ?o } LIMIT 1"
+            fetch(sparql_url(server.base_url, query)).read()
+            deadline = __import__("time").monotonic() + 5.0
+            while True:
+                body = fetch(
+                    f"{server.base_url}/debug/trace"
+                ).read().decode()
+                if body.strip() or __import__("time").monotonic() > deadline:
+                    break
+                __import__("time").sleep(0.02)
+            records = [json.loads(line)
+                       for line in body.strip().splitlines()]
+            assert records, "no spans exported"
+            services = {
+                record.get("attributes", {}).get("service")
+                for record in records
+                if record.get("parent_span_id") is None
+            }
+            assert services == {f"repro-server:{server.port}"}
+        finally:
+            OBS.configure(enabled=False)
+            OBS.tracer.reset()
+
+    def test_observability_routes_bypass_admission(self):
+        # A saturated server must still answer its probes immediately.
+        config = ServerConfig(workers=1, queue_capacity=1,
+                              debug_delay_ms=200.0)
+        with ReproServer(build_store(20), config) as busy:
+            query = "SELECT ?s WHERE { ?s ?p ?o } LIMIT 1"
+            threads = [
+                threading.Thread(
+                    target=lambda: _swallow(
+                        sparql_url(busy.base_url, query))
+                )
+                for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                for path in ("/health", "/stats", "/metrics",
+                             "/debug/flight", "/debug/trace"):
+                    assert fetch(busy.base_url + path).status == 200
+            finally:
+                for thread in threads:
+                    thread.join(timeout=30)
+
+
+def _swallow(url: str) -> None:
+    try:
+        fetch(url).read()
+    except urllib.error.HTTPError:
+        pass

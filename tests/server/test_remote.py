@@ -120,3 +120,111 @@ class TestErrors:
             assert counts == [5, 5, 5, 5]
             if busy.admission.snapshot().rejected:
                 assert source.retries >= 1
+
+
+class _FlakyEndpoint:
+    """A stub endpoint answering 503 twice, then a real count; it captures
+    every request's headers so tests can assert on the propagated trace."""
+
+    COUNT_JSON = (
+        b'{"head": {"vars": ["matches"]}, "results": {"bindings": ['
+        b'{"matches": {"type": "literal", "datatype": '
+        b'"http://www.w3.org/2001/XMLSchema#integer", "value": "5"}}]}}'
+    )
+
+    def __init__(self, failures: int = 2) -> None:
+        import http.server
+        import threading
+
+        self.failures = failures
+        self.seen_headers: list[dict[str, str]] = []
+        stub = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                self.rfile.read(length)
+                stub.seen_headers.append(
+                    {k.lower(): v for k, v in self.headers.items()}
+                )
+                if len(stub.seen_headers) <= stub.failures:
+                    self.send_response(503)
+                    self.send_header("Retry-After", "0")
+                    self.end_headers()
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "application/sparql-results+json")
+                self.send_header("Content-Length",
+                                 str(len(stub.COUNT_JSON)))
+                self.end_headers()
+                self.wfile.write(stub.COUNT_JSON)
+
+            def log_message(self, *args):
+                pass
+
+        self.httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                                     Handler)
+        self.thread = threading.Thread(target=self.httpd.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.base_url = f"http://127.0.0.1:{self.httpd.server_port}"
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=2)
+
+
+class TestRetryObservability:
+    def test_retries_bump_the_obs_counter(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        stub = _FlakyEndpoint(failures=2)
+        try:
+            source = RemoteEndpointSource(stub.base_url, max_retries=3,
+                                          max_retry_wait_s=0.05)
+            assert source.count((None, None, None)) == 5
+            assert source.retries == 2
+            counter = OBS.metrics.counter("server.remote.retries",
+                                          endpoint=stub.base_url)
+            assert counter.value == 2
+        finally:
+            stub.close()
+            OBS.reset()
+
+    def test_all_attempts_carry_the_same_trace_and_span(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.configure(enabled=True)
+        stub = _FlakyEndpoint(failures=2)
+        try:
+            source = RemoteEndpointSource(stub.base_url, max_retries=3,
+                                          max_retry_wait_s=0.05)
+            assert source.count((None, None, None)) == 5
+            assert len(stub.seen_headers) == 3
+            trace_ids = {h.get("x-repro-trace") for h in stub.seen_headers}
+            span_ids = {h.get("x-repro-span") for h in stub.seen_headers}
+            # One wire span wraps the whole retry loop: one trace id, one
+            # parent span id, across every attempt.
+            assert len(trace_ids) == 1 and None not in trace_ids
+            assert len(span_ids) == 1 and None not in span_ids
+        finally:
+            stub.close()
+            OBS.reset()
+            OBS.configure(enabled=False)
+
+    def test_no_trace_headers_when_tracing_disabled(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        stub = _FlakyEndpoint(failures=0)
+        try:
+            source = RemoteEndpointSource(stub.base_url)
+            assert source.count((None, None, None)) == 5
+            assert "x-repro-trace" not in stub.seen_headers[0]
+        finally:
+            stub.close()
+            OBS.reset()

@@ -119,3 +119,66 @@ class TestAccounting:
             LoadShedder(budget_ms=0)
         with pytest.raises(ValueError):
             LoadShedder(budget_ms=100, recover_fraction=0.0)
+
+
+class TestBurnRateAwareDecisions:
+    def test_offending_tenant_escalates_from_exact(self):
+        # No global overload at all: the budget-burning tenant alone sheds.
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 10, 10)
+        assert shedder.decide(burn_rate=None) == EXACT
+        assert shedder.decide(burn_rate=2.0) == SAMPLED
+        assert shedder.burn_escalations == 1
+
+    def test_offender_escalates_one_tier_above_global(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 150, 10)  # global SAMPLED
+        assert shedder.decide(burn_rate=0.5) == SAMPLED
+        assert shedder.decide(burn_rate=1.5) == AGGRESSIVE
+
+    def test_escalation_caps_at_aggressive(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 500, 10)  # global AGGRESSIVE
+        assert shedder.decide(burn_rate=9.0) == AGGRESSIVE
+
+    def test_healthy_tenant_protected_from_sampled(self):
+        # Someone else's burn put the server at SAMPLED; a tenant with
+        # near-zero burn still gets exact answers.
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 150, 10)
+        assert shedder.decide(burn_rate=0.0, peak_burn=5.0) == EXACT
+        assert shedder.burn_protections == 1
+
+    def test_diffuse_overload_protects_nobody(self):
+        # Global SAMPLED but no tenant is burning (slow-but-within-budget
+        # traffic): protection must not defeat global shedding.
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 150, 10)
+        assert shedder.decide(burn_rate=0.0, peak_burn=0.0) == SAMPLED
+        assert shedder.decide(burn_rate=0.0) == SAMPLED  # no peak known
+        assert shedder.burn_protections == 0
+
+    def test_aggressive_protects_nobody(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 500, 10)
+        assert shedder.decide(burn_rate=0.0, peak_burn=5.0) == AGGRESSIVE
+
+    def test_middling_burn_follows_the_global_tier(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 150, 10)
+        assert shedder.decide(burn_rate=0.5) == SAMPLED
+        assert shedder.burn_escalations == 0
+        assert shedder.burn_protections == 0
+
+    def test_no_burn_rate_is_the_legacy_path(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 150, 10)
+        assert shedder.decide() == SAMPLED
+
+    def test_snapshot_carries_burn_counters(self):
+        shedder = LoadShedder(budget_ms=100, min_observations=4)
+        _feed(shedder, 10, 10)
+        shedder.decide(burn_rate=2.0)
+        snapshot = shedder.snapshot()
+        assert snapshot.burn_escalations == 1
+        assert snapshot.burn_protections == 0
