@@ -265,3 +265,101 @@ def test_c14_propagation_and_scrape_overhead(benchmark):
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
     benchmark(lambda: TraceContext.from_headers(context.to_headers()))
+
+
+def test_c14_querylog_overhead(benchmark):
+    """C14 addendum: the structured query log priced on the canary.
+
+    Keys joining ``BENCH_obs.json``:
+
+    * ``querylog_disabled_check_ns`` / ``querylog_disabled_overhead`` —
+      the per-query tax with the log off is one enabled-flag read before
+      any digest or scan-walk work happens; gated against the same <2%
+      disabled-mode budget as tracing;
+    * ``querylog_enabled_ratio`` — canary slowdown with the log recording
+      (plan digest + scan-observation walk + ring write per query);
+    * ``querylog_record_us`` / ``querylog_records_per_s`` — direct cost
+      of one ``emit()`` with counters and scan observations in hand, and
+      the sustained throughput that implies;
+    * ``workload_analyze_ms`` — one analyzer pass over a full ring.
+    """
+    from repro.obs import QueryLog
+    from repro.obs.workload import analyze
+    from repro.sparql.physical import scan_observations
+
+    store = _store()
+    engine = QueryEngine(store)
+    prior_enabled = OBS.enabled
+    OBS.reset()
+    OBS.configure(enabled=False)
+    log = OBS.querylog
+    log.enabled = False
+    try:
+        disabled_s = _median_seconds(lambda: engine.query(CANARY), REPEATS)
+
+        # Disabled path: engine.query reads the enabled flag and moves on.
+        check_ns = _roundtrip_ns(lambda: OBS.querylog.enabled, 20_000)
+        querylog_overhead = (check_ns * 1e-9) / max(disabled_s, 1e-12)
+        assert querylog_overhead < 0.02
+
+        log.enabled = True
+        enabled_s = _median_seconds(lambda: engine.query(CANARY), REPEATS)
+        enabled_ratio = enabled_s / max(disabled_s, 1e-12)
+
+        # Direct emit cost with everything already in hand; the engine's
+        # extra per-query work beyond this (digest, scan walk) is what the
+        # enabled ratio prices.
+        stats = engine.query(CANARY).stats
+        scans = scan_observations(engine._last_root)
+        emit_ns = _roundtrip_ns(
+            lambda: log.emit(
+                digest="bench-digest", form="SELECT",
+                strategy="vectorized:hash", latency_ms=1.0,
+                counters=stats, scans=scans,
+            ),
+            2_000,
+        )
+        record_us = emit_ns / 1e3
+        records_per_s = 1e9 / max(emit_ns, 1e-9)
+
+        # The emit loop above wrapped the ring many times over; analyze a
+        # full ring and check the pipeline end (drift seen, digest ranked).
+        records = log.records()
+        assert len(records) == log.capacity
+        # to_dict() forces every aggregation (tenants, digests, drift,
+        # corrections, regressions); analyze() alone is lazy.
+        analyze_s = _median_seconds(lambda: analyze(records).to_dict(), 5)
+        report = analyze(records)
+        assert report.slow_digests()
+        assert report.drift(), "leading-scan drift missing from bench ring"
+    finally:
+        OBS.reset()
+        OBS.configure(enabled=prior_enabled)
+
+    print("\n\nC14 addendum: query log overhead")
+    print(f"  disabled check:   {check_ns:8.1f} ns "
+          f"({querylog_overhead:.6%} of canary)")
+    print(f"  enabled canary:   {enabled_s * 1e3:8.2f} ms "
+          f"({enabled_ratio:.2f}x)")
+    print(f"  emit():           {record_us:8.2f} us "
+          f"({records_per_s:,.0f} records/s)")
+    print(f"  workload analyze: {analyze_s * 1e3:8.2f} ms "
+          f"({len(records)} records)")
+
+    results = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() \
+        else {}
+    results.update({
+        "querylog_disabled_check_ns": round(check_ns, 1),
+        "querylog_disabled_overhead": round(querylog_overhead, 8),
+        "querylog_enabled_ratio": round(enabled_ratio, 3),
+        "querylog_record_us": round(record_us, 3),
+        "querylog_records_per_s": round(records_per_s, 1),
+        "workload_analyze_ms": round(analyze_s * 1e3, 4),
+    })
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    bench_log = QueryLog(capacity=512, enabled=True)
+    benchmark(lambda: bench_log.emit(
+        digest="bench-digest", form="SELECT", strategy="vectorized:hash",
+        latency_ms=1.0,
+    ))

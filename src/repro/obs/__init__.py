@@ -82,6 +82,13 @@ from .metrics import (
 )
 from .profile import PROFILE_ENV, SamplingProfiler, profiler_from_env
 from .progress import ProgressEmitter, ProgressEvent
+from .querylog import (
+    QUERYLOG_DIR_ENV,
+    QUERYLOG_ENV,
+    QueryLog,
+    QueryRecord,
+    ScanObservation,
+)
 from .slo import SloTracker, TenantSlo
 from .trace import (
     NOOP_SPAN,
@@ -141,6 +148,12 @@ __all__ = [
     "FlightEntry",
     "FlightDump",
     "FlightRecorder",
+    # query log
+    "QueryLog",
+    "QueryRecord",
+    "ScanObservation",
+    "QUERYLOG_ENV",
+    "QUERYLOG_DIR_ENV",
     # export
     "span_to_dicts",
     "spans_to_jsonl",
@@ -248,8 +261,8 @@ class Observability:
     """
 
     __slots__ = ("enabled", "tracer", "metrics", "progress", "budgets",
-                 "flight", "profiler", "_error_sites", "_error_exceptions",
-                 "_progress_last_ns")
+                 "flight", "querylog", "profiler", "_error_sites",
+                 "_error_exceptions", "_progress_last_ns")
 
     def __init__(self, enabled: bool | None = None) -> None:
         if enabled is None:
@@ -259,6 +272,11 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.progress = ProgressEmitter(error_counter=self._count_error)
         self.flight = FlightRecorder()
+        self.querylog = QueryLog()
+        # Records emitted without an explicit trace id inherit the ambient
+        # trace; wired here (not in querylog.py) to keep the module free of
+        # a circular trace import.
+        self.querylog.trace_provider = self.tracer.current_context
         self.budgets = BudgetTracker(metrics=self.metrics)
         self.profiler: SamplingProfiler | None = None
         self._error_sites = BoundedLabelSet(_ERROR_SITE_CAP)
@@ -374,6 +392,7 @@ class Observability:
         # a fresh tracker also restores any budget overrides to the defaults
         self.budgets = BudgetTracker(metrics=self.metrics)
         self.flight.reset()
+        self.querylog.reset()
         self._error_sites = BoundedLabelSet(_ERROR_SITE_CAP)
         self._error_exceptions = BoundedLabelSet(_ERROR_EXCEPTION_CAP)
         self._progress_last_ns = {}

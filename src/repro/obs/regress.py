@@ -101,7 +101,8 @@ def higher_is_better(key: str) -> bool:
     lowered = key.lower()
     return any(
         marker in lowered
-        for marker in ("speedup", "throughput", "_qps", "per_second", "rate")
+        for marker in ("speedup", "throughput", "_qps", "per_second",
+                       "_per_s", "rate")
     )
 
 

@@ -23,6 +23,12 @@
 * ``GET /debug/trace`` — this server's finished root spans as JSONL
   (filtered to this instance's ``service`` label), ready for
   :func:`repro.obs.export.stitch_jsonl` on the client side.
+* ``GET /debug/queries`` — the structured query log as JSONL, newest
+  window of executed queries with plan digest, strategy, tenant, tier,
+  cache outcome, trace id, latency, and resource counters; filterable
+  with ``?tenant=`` / ``?digest=`` / ``?since=<unix-ts>`` / ``?limit=``
+  (``?all=1`` lifts the this-service filter when several servers share
+  one process).
 
 The observability routes bypass admission exactly like ``/health`` — an
 overloaded server must stay diagnosable *while* overloaded.
@@ -193,6 +199,13 @@ class ReproServer:
         self._tenant_labels = BoundedLabelSet(32)
         self.port: int | None = None
         self._service = "repro-server"
+        # One engine per worker; registered here so /stats and /metrics
+        # can aggregate their execution counters across the pool.
+        self._engines: list[CachedQueryEngine] = []
+        # A serving process always records its workload: the query log is
+        # the accounting substrate /debug/queries and the workload
+        # analyzer read. (Library use stays opt-in via REPRO_QUERYLOG.)
+        OBS.querylog.enabled = True
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -347,6 +360,7 @@ class ReproServer:
             "/metrics": self._probe_metrics,
             "/debug/flight": self._probe_flight,
             "/debug/trace": self._probe_trace,
+            "/debug/queries": self._probe_queries,
         }
 
     def _serving_snapshot(self) -> dict[str, object]:
@@ -402,6 +416,30 @@ class ReproServer:
                 "server.slo.burn_rate", service=service,
                 tenant=self._tenant_labels.fold(tenant),
             ).set(state.burn_rate)
+        log = OBS.querylog
+        metrics.gauge("querylog.depth", service=service).set(float(len(log)))
+        metrics.gauge("querylog.dropped", service=service).set(
+            float(log.dropped)
+        )
+        metrics.gauge("querylog.mirror_errors", service=service).set(
+            float(log.mirror_errors)
+        )
+        for name, value in self._engine_counters().items():
+            metrics.gauge(f"engine.{name}", service=service).set(float(value))
+
+    def _engine_counters(self) -> dict[str, int]:
+        """Execution counters summed across the worker pool's engines —
+        the vectorized ``scan_batches``/``scan_rows`` included, which
+        until now existed on spans only."""
+        totals = {"store_lookups": 0, "intermediate_bindings": 0,
+                  "solutions": 0, "scan_batches": 0, "scan_rows": 0}
+        with self._lock:
+            engines = list(self._engines)
+        for engine in engines:
+            stats = engine.engine.stats
+            for name in totals:
+                totals[name] += getattr(stats, name)
+        return totals
 
     def _probe_metrics(self, request: HttpRequest):
         self._refresh_metrics()
@@ -452,6 +490,41 @@ class ReproServer:
         return 200, {"Content-Type": "application/x-ndjson"}, \
             chosen.to_jsonl().encode("utf-8")
 
+    def _probe_queries(self, request: HttpRequest):
+        """The query log as JSONL: what this server actually executed.
+
+        Admission-free like the other debug routes — workload questions
+        matter most when the server is overloaded. Filtered to this
+        instance's records by default (several servers can share one
+        process in tests); ``?all=1`` lifts that.
+        """
+        query = request.query
+        since = None
+        if query.get("since") is not None:
+            try:
+                since = float(query["since"])
+            except ValueError:
+                return 400, {"Content-Type": "application/json"}, \
+                    b'{"error": "since must be a UNIX timestamp"}'
+        limit = _int_param(request, "limit", 200)
+        service = None if query.get("all") else self._service
+        records = OBS.querylog.records(
+            tenant=query.get("tenant"),
+            digest=query.get("digest"),
+            since=since,
+            service=service,
+        )
+        if limit > 0:
+            records = records[-limit:]
+        body = "\n".join(
+            json.dumps(record.to_dict(), sort_keys=True)
+            for record in records
+        )
+        if body:
+            body += "\n"
+        return 200, {"Content-Type": "application/x-ndjson"}, \
+            body.encode("utf-8")
+
     def _probe_trace(self, request: HttpRequest):
         """This server's finished root spans as JSONL, stitch-ready.
 
@@ -474,6 +547,8 @@ class ReproServer:
         engine = CachedQueryEngine(
             self.store, capacity=self.config.cache_capacity
         )
+        with self._lock:
+            self._engines.append(engine)
         while not self._stop.is_set():
             pending = self.admission.take(timeout=0.2)
             if pending is None:
@@ -512,7 +587,13 @@ class ReproServer:
         remote = TraceContext.from_headers(request.headers)
         self._inflight_delta(tenant, +1)
         try:
-            with OBS.interaction(
+            # Every query-log record emitted while handling this request
+            # (engine calls included) carries the serving attribution; the
+            # shed tier is annotated later, once decided.
+            with OBS.querylog.serving(
+                tenant=tenant, interaction_class=interaction_class,
+                service=self._service,
+            ), OBS.interaction(
                 name, interaction_class, remote_parent=remote,
                 tenant=tenant, service=self._service,
             ) as act:
@@ -574,9 +655,11 @@ class ReproServer:
                 peak_burn=self.slo.peak_burn_rate(),
             )
             act.set_attribute("tier", TIER_NAMES[tier])
+            OBS.querylog.annotate_serving(tier=TIER_NAMES[tier])
             self._answer_aggregate(pending, engine, parsed, tier, accept)
             return
         act.set_attribute("tier", "exact")
+        OBS.querylog.annotate_serving(tier="exact")
         self._mark_served(EXACT)
         if isinstance(parsed, SelectQuery):
             self._answer_select_exact(pending, engine, text, parsed, accept)
@@ -663,11 +746,21 @@ class ReproServer:
                                 f"cannot serve Accept: {accept}")
             return
         headers = {"X-Repro-Tier": "exact"}
+        started = time.perf_counter_ns()
         cache = engine.cache
         key = engine.engine.plan_digest(parsed)
         cached = cache.get(key)
         if isinstance(cached, SelectResult):
             headers["X-Repro-Cache"] = "hit"
+            # This hit bypasses CachedQueryEngine.query, so it logs its own
+            # workload record (cache_hit=true, zeroed scan counters).
+            log = OBS.querylog
+            if log.enabled:
+                log.emit_cache_hit(
+                    digest=key, form="SELECT",
+                    latency_ms=(time.perf_counter_ns() - started) / 1e6,
+                    solutions=len(cached),
+                )
             self._respond_select(pending, cached, fmt, headers)
             return
         if parsed.select_all or fmt == "table":
@@ -678,14 +771,17 @@ class ReproServer:
             return
         # Streaming path: chunked delivery straight off the operator tree,
         # teeing rows into the worker's result cache for the next hit.
-        stream = engine.engine.stream_select(parsed)
+        stream = engine.engine.stream_select(parsed, digest=key)
         collected: list[dict] = []
 
         def tee():
             for row in stream.rows:
                 collected.append(row)
                 yield row
-            cache.put(key, SelectResult(stream.variables, collected))
+            cache.put(
+                key,
+                SelectResult(stream.variables, collected, plan_digest=key),
+            )
 
         if fmt == "csv":
             content_type, chunks = CSV_TYPE, iter_csv(stream.variables, tee())
@@ -877,6 +973,14 @@ class ReproServer:
             ),
             "responses_by_status": {
                 str(status): count for status, count in by_status.items()
+            },
+            "engine": self._engine_counters(),
+            "querylog": {
+                "depth": len(OBS.querylog),
+                "recorded_total": OBS.querylog.recorded_total,
+                "dropped": OBS.querylog.dropped,
+                "mirror_errors": OBS.querylog.mirror_errors,
+                "mirror_path": OBS.querylog.mirror_path,
             },
         }
 

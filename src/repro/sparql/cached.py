@@ -17,12 +17,15 @@ mirrored into the ``cache.requests`` telemetry counters (:mod:`repro.obs`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 from ..cache.result_cache import ResultCache
 from ..obs import OBS
+from ..rdf.graph import Graph
 from ..store.base import TripleSource
 from .eval import QueryEngine
+from .optimizer import CorrectionTable
 from .results import SelectResult
 
 __all__ = ["CachedQueryEngine"]
@@ -42,18 +45,35 @@ class CachedQueryEngine:
         capacity: int = 128,
         policy: str = "lru",
         optimize: bool = True,
+        corrections: CorrectionTable | None = None,
     ) -> None:
-        self.engine = QueryEngine(store, optimize=optimize)
+        self.engine = QueryEngine(
+            store, optimize=optimize, corrections=corrections
+        )
         self.cache = ResultCache(capacity, policy=policy, name="sparql.result")
 
     def query(self, text: str):
         if not isinstance(text, str):
             return self.engine.query(text)
+        started = time.perf_counter_ns()
         key = self.engine.plan_digest(text)
         hit = key in self.cache  # membership check leaves stats untouched
-        result = self.cache.get_or_compute(key, lambda: self.engine.query(text))
+        result = self.cache.get_or_compute(
+            key, lambda: self.engine.query(text, digest=key)
+        )
         if hit:
             result = _tag_cached(result)
+            # A cache-served query must stay visible to the workload
+            # analyzer: log it with cache_hit=true and zeroed scan
+            # counters — no store work happened on its behalf.
+            log = OBS.querylog
+            if log.enabled:
+                log.emit_cache_hit(
+                    digest=key,
+                    form=_cached_form(result),
+                    latency_ms=(time.perf_counter_ns() - started) / 1e6,
+                    solutions=_cached_solutions(result),
+                )
         return result
 
     def invalidate(self) -> None:
@@ -88,4 +108,23 @@ def _tag_cached(result):
         result.rows,
         stats=result.stats,
         plan=replace(result.plan, cached=True),
+        plan_digest=result.plan_digest,
     )
+
+
+def _cached_form(result) -> str:
+    """Query-log form label of a cache-served result (the result type is
+    all a hit has; the query text was never re-parsed)."""
+    if isinstance(result, SelectResult):
+        return "SELECT"
+    if isinstance(result, bool):
+        return "ASK"
+    if isinstance(result, Graph):
+        return "GRAPH"  # CONSTRUCT and DESCRIBE are indistinguishable here
+    return "UNKNOWN"
+
+
+def _cached_solutions(result) -> int:
+    if isinstance(result, (SelectResult, Graph)):
+        return len(result)
+    return int(bool(result)) if isinstance(result, bool) else 0

@@ -18,6 +18,7 @@ with estimated and actual cardinalities per operator.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..obs import OBS
@@ -32,14 +33,16 @@ from .nodes import (
     Query,
     SelectQuery,
 )
-from .optimizer import CardinalityEstimator
+from .optimizer import CardinalityEstimator, CorrectionTable
 from .parser import parse_query
 from .physical import (
     EvalStats,
     ExplainNode,
     PhysicalOperator,
     build_plan,
+    execution_strategy,
     operator_span,
+    scan_observations,
 )
 from .plan import (
     LogicalNode,
@@ -95,18 +98,24 @@ class QueryEngine:
     :class:`~repro.store.base.IdScanSource`, iterator otherwise). ``None``
     defers to the ``REPRO_EXEC`` environment variable, read per query so
     tests can flip engines without rebuilding the engine.
+
+    ``corrections`` optionally rescales the planner's uniformity-based
+    cardinality guesses with a :class:`CorrectionTable` learned from the
+    query log's estimate-drift observations (``repro.obs.workload``), so
+    repeated misestimates on skewed data feed back into join order.
     """
 
     store: TripleSource
     optimize: bool = True
     stats: EvalStats = field(default_factory=EvalStats)
     exec_mode: str | None = None
+    corrections: CorrectionTable | None = None
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
 
-    def query(self, text: str | Query):
+    def query(self, text: str | Query, digest: str | None = None):
         """Parse (if needed) and evaluate; the result type follows the form:
 
         SELECT → :class:`SelectResult`, ASK → bool,
@@ -114,31 +123,59 @@ class QueryEngine:
 
         When global tracing (:mod:`repro.obs`) is enabled, the run is
         wrapped in a ``sparql.query`` span with one child span per
-        physical operator, timed inclusively and suspension-aware.
+        physical operator, timed inclusively and suspension-aware. When
+        the query log (``OBS.querylog``) is enabled, the run additionally
+        emits one structured workload record.
+
+        ``digest`` is the plan digest when the caller already computed it
+        (:class:`~repro.sparql.cached.CachedQueryEngine` keys its cache on
+        it); otherwise it is derived here only when the query log needs it.
         """
         parsed = parse_query(text) if isinstance(text, str) else text
         per_query = EvalStats()
+        # _build_root refreshes this per dispatch; cleared up front so a
+        # plan-less form (DESCRIBE without WHERE) cannot report the
+        # previous query's operator tree.
+        self._last_root = None
+        log = OBS.querylog
+        logging = log.enabled
+        started = time.perf_counter_ns() if logging else 0
+        if logging and digest is None:
+            digest = query_digest(parsed, optimize=self.optimize)
+        trace_id = None
         if not OBS.enabled:
             result = self._dispatch(parsed, per_query)
-            self.stats.merge(per_query)
-            return result
-        per_query.tracer = OBS.tracer
-        self._last_root = None
-        with OBS.tracer.span(
-            "sparql.query", form=type(parsed).__name__
-        ) as span:
-            result = self._dispatch(parsed, per_query)
-            span.set_attribute("store_lookups", per_query.store_lookups)
-            span.set_attribute("solutions", per_query.solutions)
-            if per_query.scan_batches:
-                # Only the vectorized engine pulls id batches, so these
-                # attributes double as the engine marker on the span.
-                span.set_attribute("scan_batches", per_query.scan_batches)
-                span.set_attribute("scan_rows", per_query.scan_rows)
-            root = self._last_root
-            if root is not None:
-                span.add_child(operator_span(root))
+        else:
+            per_query.tracer = OBS.tracer
+            with OBS.tracer.span(
+                "sparql.query", form=type(parsed).__name__
+            ) as span:
+                result = self._dispatch(parsed, per_query)
+                span.set_attribute("store_lookups", per_query.store_lookups)
+                span.set_attribute("solutions", per_query.solutions)
+                if per_query.scan_batches:
+                    # Only the vectorized engine pulls id batches, so these
+                    # attributes double as the engine marker on the span.
+                    span.set_attribute("scan_batches", per_query.scan_batches)
+                    span.set_attribute("scan_rows", per_query.scan_rows)
+                root = self._last_root
+                if root is not None:
+                    span.add_child(operator_span(root))
+            trace_id = getattr(span, "trace_id", None)
         self.stats.merge(per_query)
+        if logging:
+            root = self._last_root
+            log.emit(
+                digest=digest,
+                form=_form_name(parsed),
+                strategy=execution_strategy(root),
+                latency_ms=(time.perf_counter_ns() - started) / 1e6,
+                counters=per_query,
+                scans=scan_observations(root),
+                trace_id=trace_id,
+            )
+        if digest is not None and isinstance(result, SelectResult):
+            result.plan_digest = digest
         return result
 
     def _dispatch(self, parsed: Query, per_query: EvalStats):
@@ -185,14 +222,20 @@ class QueryEngine:
             self.stats.merge(per_query)
         return root.explain()
 
-    def stream_select(self, text: str | Query) -> StreamingSelect:
+    def stream_select(
+        self, text: str | Query, digest: str | None = None
+    ) -> StreamingSelect:
         """Evaluate a SELECT without materializing its rows.
 
         The returned iterator drives the streaming physical operators
         directly, so the first row costs first-row work, not full-result
         work — the property the serving layer's chunked delivery relies on.
         Per-query stats merge into :attr:`stats` when the iterator is
-        exhausted (an abandoned iterator contributes nothing).
+        exhausted (an abandoned iterator contributes nothing). The query
+        log, by contrast, records *every* started stream when it closes —
+        abandoned ones (e.g. the serving layer's bounded-work approximate
+        tier) carry ``complete=false`` and whatever partial counters the
+        consumed prefix accumulated.
         """
         parsed = parse_query(text) if isinstance(text, str) else text
         if not isinstance(parsed, SelectQuery):
@@ -200,17 +243,44 @@ class QueryEngine:
         per_query = EvalStats()
         if OBS.enabled:
             per_query.tracer = OBS.tracer
+        log = OBS.querylog
+        logging = log.enabled
+        if logging and digest is None:
+            digest = query_digest(parsed, optimize=self.optimize)
         root = self._build_root(parsed, per_query)
         variables = (
             [] if parsed.select_all
             else [p.variable for p in parsed.projections]
         )
+        started = time.perf_counter_ns() if logging else 0
+        # The ambient trace is captured at stream creation: an abandoned
+        # generator is closed by GC, possibly after the serving span ended.
+        trace_id = None
+        if logging and log.trace_provider is not None:
+            trace_id = getattr(log.trace_provider(), "trace_id", None)
 
         def generate():
-            for row in root.execute({}):
-                per_query.solutions += 1
-                yield row
-            self.stats.merge(per_query)
+            finished = False
+            try:
+                for row in root.execute({}):
+                    per_query.solutions += 1
+                    yield row
+                finished = True
+                self.stats.merge(per_query)
+            finally:
+                if logging:
+                    log.emit(
+                        digest=digest,
+                        form="SELECT",
+                        strategy=execution_strategy(root),
+                        latency_ms=(
+                            time.perf_counter_ns() - started
+                        ) / 1e6,
+                        counters=per_query,
+                        scans=scan_observations(root),
+                        trace_id=trace_id,
+                        complete=finished,
+                    )
 
         return StreamingSelect(variables, generate(), root)
 
@@ -228,7 +298,9 @@ class QueryEngine:
         # nothing — zero store access beyond execution itself.
         if not self.optimize:
             return None
-        return CardinalityEstimator.for_store(self.store)
+        return CardinalityEstimator.for_store(
+            self.store, corrections=self.corrections
+        )
 
     def _logical(self, parsed: Query) -> LogicalNode | None:
         if isinstance(parsed, SelectQuery):
@@ -321,6 +393,17 @@ class QueryEngine:
             for triple in self.store.triples((None, None, resource)):
                 graph.add(triple)
         return graph
+
+
+def _form_name(parsed: Query) -> str:
+    """The query-log ``form`` label of a parsed query."""
+    if isinstance(parsed, SelectQuery):
+        return "SELECT"
+    if isinstance(parsed, AskQuery):
+        return "ASK"
+    if isinstance(parsed, ConstructQuery):
+        return "CONSTRUCT"
+    return "DESCRIBE"
 
 
 def query(store: TripleSource, text: str, optimize: bool = True):

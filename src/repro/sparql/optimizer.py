@@ -25,6 +25,7 @@ from .nodes import TriplePatternNode
 
 __all__ = [
     "CardinalityEstimator",
+    "CorrectionTable",
     "choose_bgp_strategy",
     "estimate_cardinality",
     "order_patterns",
@@ -52,35 +53,120 @@ def estimate_cardinality(store: TripleSource, pattern: TriplePatternNode) -> int
     return store.count((s, p, o))
 
 
+class CorrectionTable:
+    """Learned multipliers for the snapshot's *uniformity* estimates.
+
+    The statistics snapshot answers partially-bound patterns with
+    uniformity assumptions (``predicate_total / distinct_objects`` and
+    friends), which skewed data breaks by orders of magnitude. The
+    workload analyzer (:mod:`repro.obs.workload`) measures that drift from
+    the query log's leading-scan observations and condenses it into
+    factors keyed by ``(predicate, mask)`` — the predicate's N-Triples
+    form (or ``"*"`` for variable predicates) and the pattern's
+    bound-position signature (``"vbb"`` = variable subject, bound
+    predicate, bound object). The estimator multiplies its uniformity
+    guesses by the matching factor; exact answers (0 or 3 bound
+    positions, predicate-only) are never corrected — they are not
+    estimates.
+
+    Factors are clamped to ``[0.01, 10000]``: a correction should bend a
+    bad guess toward observed reality, not replace estimation outright.
+    """
+
+    __slots__ = ("_factors",)
+
+    MIN_FACTOR = 0.01
+    MAX_FACTOR = 10_000.0
+    ANY_PREDICATE = "*"
+
+    def __init__(
+        self, factors: dict[tuple[str, str], float] | None = None
+    ) -> None:
+        self._factors: dict[tuple[str, str], float] = {}
+        for key, factor in (factors or {}).items():
+            self.set(key[0], key[1], factor)
+
+    @classmethod
+    def from_factors(cls, mapping: dict[str, float]) -> "CorrectionTable":
+        """Build from the JSON form: ``{"<predicate>|<mask>": factor}`` —
+        the shape ``repro.obs.workload`` emits."""
+        table = cls()
+        for key, factor in mapping.items():
+            predicate, _, mask = key.rpartition("|")
+            table.set(predicate or cls.ANY_PREDICATE, mask, factor)
+        return table
+
+    def set(self, predicate: str | None, mask: str, factor: float) -> None:
+        clamped = min(self.MAX_FACTOR, max(self.MIN_FACTOR, float(factor)))
+        self._factors[(predicate or self.ANY_PREDICATE, mask)] = clamped
+
+    def factor(self, predicate: str | None, mask: str) -> float:
+        """Multiplier for an estimate of ``pattern`` (1.0 = uncorrected).
+
+        A predicate-specific entry wins over the ``"*"`` wildcard.
+        """
+        specific = self._factors.get((predicate or self.ANY_PREDICATE, mask))
+        if specific is not None:
+            return specific
+        if predicate is not None:
+            return self._factors.get((self.ANY_PREDICATE, mask), 1.0)
+        return 1.0
+
+    def to_json(self) -> dict[str, float]:
+        return {
+            f"{predicate}|{mask}": factor
+            for (predicate, mask), factor in sorted(self._factors.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._factors)
+
+    def __bool__(self) -> bool:
+        return bool(self._factors)
+
+
+def _pattern_mask_of(s: object, p: object, o: object) -> str:
+    return "".join("v" if term is None else "b" for term in (s, p, o))
+
+
 class CardinalityEstimator:
     """Plan-time cardinality estimates for triple patterns.
 
     Built from a :class:`StatisticsSnapshot` when available (zero store
     access at plan time) or from a live store handle otherwise. Use
-    :meth:`for_store` to pick automatically.
+    :meth:`for_store` to pick automatically. An optional
+    :class:`CorrectionTable` rescales the snapshot's uniformity-based
+    guesses with factors learned from observed workload drift.
     """
 
-    __slots__ = ("snapshot", "store", "snapshot_estimates", "live_estimates")
+    __slots__ = ("snapshot", "store", "corrections", "snapshot_estimates",
+                 "live_estimates")
 
     def __init__(
         self,
         snapshot: StatisticsSnapshot | None = None,
         store: TripleSource | None = None,
+        corrections: CorrectionTable | None = None,
     ) -> None:
         if snapshot is None and store is None:
             raise ValueError("need a statistics snapshot or a store")
         self.snapshot = snapshot
         self.store = store
+        self.corrections = corrections
         # Cache-effectiveness counters: estimates answered from the cached
         # statistics snapshot vs. live store.count probes.
         self.snapshot_estimates = 0
         self.live_estimates = 0
 
     @classmethod
-    def for_store(cls, store: TripleSource) -> "CardinalityEstimator":
+    def for_store(
+        cls,
+        store: TripleSource,
+        corrections: CorrectionTable | None = None,
+    ) -> "CardinalityEstimator":
         if isinstance(store, StoreStatistics):
-            return cls(snapshot=store.statistics())
-        return cls(store=store)
+            return cls(snapshot=store.statistics(), corrections=corrections)
+        return cls(store=store, corrections=corrections)
 
     @property
     def uses_statistics(self) -> bool:
@@ -115,16 +201,34 @@ class CardinalityEstimator:
             if predicate_total == 0.0:
                 return 0.0  # exact: the per-predicate histogram is complete
             if s is None and o is None:
-                return predicate_total
+                return predicate_total  # exact too: the histogram value
+            # Uniformity guesses — the branches corrections apply to.
             if s is not None:
-                return max(1.0, predicate_total / max(stats.distinct_subjects, 1))
-            return max(1.0, predicate_total / max(stats.distinct_objects, 1))
+                estimate = max(
+                    1.0, predicate_total / max(stats.distinct_subjects, 1)
+                )
+            else:
+                estimate = max(
+                    1.0, predicate_total / max(stats.distinct_objects, 1)
+                )
+            return self._corrected(estimate, p.n3(), s, p, o)
         if s is not None and o is not None:
             denominator = max(stats.distinct_subjects * stats.distinct_objects, 1)
-            return max(1.0, n / denominator)
+            return self._corrected(max(1.0, n / denominator), None, s, p, o)
         if s is not None:
-            return stats.avg_subject_degree
-        return stats.avg_object_degree
+            return self._corrected(stats.avg_subject_degree, None, s, p, o)
+        return self._corrected(stats.avg_object_degree, None, s, p, o)
+
+    def _corrected(
+        self, estimate: float, predicate: str | None,
+        s: object, p: object, o: object,
+    ) -> float:
+        if self.corrections is None:
+            return estimate
+        factor = self.corrections.factor(predicate, _pattern_mask_of(s, p, o))
+        if factor == 1.0:
+            return estimate
+        return max(1.0, estimate * factor)
 
     def order(self, patterns: Iterable[TriplePatternNode]) -> list[TriplePatternNode]:
         """Greedy selectivity ordering.

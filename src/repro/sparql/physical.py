@@ -77,7 +77,9 @@ __all__ = [
     "ExplainNode",
     "PhysicalOperator",
     "build_plan",
+    "execution_strategy",
     "operator_span",
+    "scan_observations",
 ]
 
 
@@ -1129,3 +1131,95 @@ class _Builder:
                 components[-1].append(pattern)
             seen_vars |= pattern_vars
         return components
+
+
+def _pattern_mask(pattern: TriplePatternNode) -> str:
+    """Bound-position signature of a pattern: ``b``/``v`` per S/P/O slot —
+    the key the planner estimated the pattern under."""
+    return "".join(
+        "v" if isinstance(term, Variable) else "b"
+        for term in (pattern.subject, pattern.predicate, pattern.object)
+    )
+
+
+def _pattern_predicate(pattern: TriplePatternNode) -> str | None:
+    predicate = pattern.predicate
+    return None if isinstance(predicate, Variable) else predicate.n3()
+
+
+def scan_observations(root: PhysicalOperator | None) -> list[dict]:
+    """Estimated-vs-actual cardinality per pattern scan of an executed plan.
+
+    Walks the operator tree for scan-shaped nodes (iterator ``IndexScan``
+    and vectorized ``IdScan`` — matched by name so this module need not
+    import the vectorized family) and reports each one's planner estimate
+    against the rows it actually produced, in the dict shape
+    :class:`repro.obs.querylog.ScanObservation` parses.
+
+    ``leading`` marks scans that executed exactly once against an empty
+    ambient binding — the left-most scan of a join chain (or the first
+    child of a once-executed vectorized BGP). Only those are directly
+    comparable to the planner's unconditioned estimate; inner scans run
+    conditioned on outer rows, where estimate and actual measure different
+    quantities.
+    """
+    observations: list[dict] = []
+    if root is None:
+        return observations
+
+    def visit(node: PhysicalOperator, leading: bool) -> None:
+        name = node.name
+        pattern = getattr(node, "pattern", None)
+        if isinstance(pattern, TriplePatternNode) and name in (
+            "IndexScan", "IdScan"
+        ):
+            if not node.executions:
+                return  # never pulled (e.g. short-circuited LIMIT)
+            observations.append({
+                "predicate": _pattern_predicate(pattern),
+                "mask": _pattern_mask(pattern),
+                "est": node.estimated_rows,
+                "actual": node.actual_rows,
+                "executions": node.executions,
+                "leading": leading and node.executions <= 1,
+            })
+            return
+        children = node.children
+        if not children:
+            return
+        if name == "VectorizedBGP":
+            # Children are the component's scans in join order; only the
+            # first runs unconditioned, and only when the BGP itself did.
+            first = leading and node.executions <= 1
+            for index, child in enumerate(children):
+                visit(child, first and index == 0)
+        elif name in ("NestedLoopJoin", "LeftJoin"):
+            visit(children[0], leading)
+            for child in children[1:]:
+                visit(child, False)
+        else:
+            # Unary wrappers (Filter/Project/Slice/...), HashJoin (both
+            # sides run against the ambient context), Union branches.
+            for child in children:
+                visit(child, leading)
+
+    visit(root, True)
+    return observations
+
+
+def execution_strategy(root: PhysicalOperator | None) -> str:
+    """Which engine executed a plan: ``iterator``, ``vectorized:<kinds>``
+    (sorted, ``+``-joined when a query mixes BGP strategies), or ``none``
+    for plans without a root (e.g. DESCRIBE without a pattern)."""
+    if root is None:
+        return "none"
+    strategies: set[str] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.name == "VectorizedBGP":
+            strategies.add(str(getattr(node, "strategy", "binary")))
+        stack.extend(node.children)
+    if strategies:
+        return "vectorized:" + "+".join(sorted(strategies))
+    return "iterator"

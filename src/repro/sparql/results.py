@@ -50,7 +50,10 @@ class SelectResult:
 
     ``stats`` holds the per-query execution counters and ``plan`` the
     EXPLAIN ANALYZE tree of the run that produced this result (both
-    ``None`` for results built by hand).
+    ``None`` for results built by hand). ``plan_digest`` is the stable
+    digest of the optimized logical plan — the result-cache key the
+    engine computed anyway, carried here so the serving layer and the
+    query log never re-derive it from query text.
     """
 
     def __init__(
@@ -59,11 +62,13 @@ class SelectResult:
         rows: list[dict[Variable, Term]],
         stats: "EvalStats | None" = None,
         plan: "ExplainNode | None" = None,
+        plan_digest: str | None = None,
     ) -> None:
         self.variables: list[Variable] = list(variables)
         self.rows: list[dict[Variable, Term]] = rows
         self.stats = stats
         self.plan = plan
+        self.plan_digest = plan_digest
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -131,6 +131,50 @@ class TestStitchedFederatedTrace:
             assert text.count("[wire ->") == 2
             assert f"[wire -> repro-server:{a.port}]" in text
 
+    def test_querylog_records_resolve_in_stitched_trace(self, clean_obs):
+        """Each server's /debug/queries records for a federated query carry
+        the federation's trace id — the workload log joins the stitched
+        trace tree, so a slow record is one lookup away from its spans."""
+        OBS.configure(enabled=True)
+        with ReproServer(build_store("a", 5), ServerConfig(workers=2)) as a, \
+                ReproServer(build_store("b", 7),
+                            ServerConfig(workers=2)) as b:
+            federated = FederatedStore([
+                ("a", RemoteEndpointSource(a.base_url)),
+                ("b", RemoteEndpointSource(b.base_url)),
+            ])
+            with OBS.interaction("client.federated", "interactive",
+                                 service="client") as act:
+                assert federated.count((None, NAME, None)) == 12
+            trace_id = act._span.trace_id
+
+            for server in (a, b):
+                wait_for_trace(server.base_url)
+                body = fetch(f"{server.base_url}/debug/queries")[0].decode()
+                records = [
+                    json.loads(line)
+                    for line in body.strip().splitlines()
+                ]
+                assert records, f"no query-log records on {server.port}"
+                assert all(r["trace_id"] == trace_id for r in records)
+                assert all(
+                    r["service"] == f"repro-server:{server.port}"
+                    for r in records
+                )
+
+            # ... and that id is exactly the stitched tree's trace.
+            client_spans = [
+                span for span in OBS.tracer.recorder.spans()
+                if span.attributes.get("service") == "client"
+            ]
+            roots = stitch_jsonl(
+                spans_to_jsonl(client_spans),
+                wait_for_trace(a.base_url),
+                wait_for_trace(b.base_url),
+            )
+            assert len(roots) == 1
+            assert roots[0].trace_id == trace_id
+
     def test_untraced_federation_still_works(self, clean_obs):
         # Tracing off: no headers on the wire, no spans recorded, and the
         # query path is unaffected.

@@ -35,8 +35,18 @@ class TestClassification:
     def test_direction(self):
         assert higher_is_better("planning_speedup")
         assert higher_is_better("rows_per_second")
+        assert higher_is_better("querylog_records_per_s")
         assert not higher_is_better("plan_ms_per_query")
         assert not higher_is_better("disabled_overhead_ratio")
+
+    def test_per_s_throughput_falls_only_on_drop(self):
+        # "_per_s" ends with the "_s" timing suffix, but direction must be
+        # higher-is-better: a throughput drop regresses, a rise improves.
+        baseline = {"querylog_records_per_s": 1000.0}
+        faster = compare_documents(baseline, {"querylog_records_per_s": 2000.0})
+        slower = compare_documents(baseline, {"querylog_records_per_s": 400.0})
+        assert faster.comparisons[0].status == "improved"
+        assert slower.comparisons[0].status == "regressed"
 
 
 class TestCompare:
