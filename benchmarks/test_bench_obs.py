@@ -18,11 +18,11 @@ Results are persisted to ``BENCH_obs.json`` at the repo root. Set
 """
 
 import json
-import os
 import statistics
 import time
 from pathlib import Path
 
+from repro.env import read_flag
 from repro.obs import OBS, render_span_tree, spans_to_jsonl, telemetry_payload
 from repro.obs.export import merge_into_bench
 from repro.sparql import QueryEngine
@@ -31,7 +31,7 @@ from repro.workload import typed_entities
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+QUICK = read_flag("REPRO_BENCH_QUICK")
 ENTITIES = 400 if QUICK else 2_000
 REPEATS = 5 if QUICK else 25
 
@@ -363,3 +363,43 @@ def test_c14_querylog_overhead(benchmark):
         digest="bench-digest", form="SELECT", strategy="vectorized:hash",
         latency_ms=1.0,
     ))
+
+
+def test_c15_analysis_full_run(benchmark):
+    """The invariant checker over the whole library: CI latency budget.
+
+    ``python -m repro.analysis src/`` runs in every CI build, so its
+    wall-clock is part of the feedback loop; hold it under 5 s and
+    record it alongside the telemetry numbers. The run doubles as the
+    gate's own smoke test: the tree must come back clean.
+    """
+    from repro.analysis import run_paths
+
+    repo = Path(__file__).resolve().parents[1]
+    start = time.perf_counter()
+    result = run_paths([repo / "src"], root=repo)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+
+    assert result.findings == [], [f.render() for f in result.findings]
+    assert result.parse_errors == []
+    assert result.files_scanned > 100
+
+    per_file_ms = elapsed_ms / result.files_scanned
+    print(f"\nC15 invariant checker over src/ "
+          f"({result.files_scanned} files)")
+    print(f"  full run:  {elapsed_ms:8.1f} ms "
+          f"({per_file_ms:.2f} ms/file)")
+    print(f"  suppressed: {len(result.suppressed)} inline noqa")
+    assert elapsed_ms < 5_000, f"checker took {elapsed_ms:.0f} ms"
+
+    results = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() \
+        else {}
+    results.update({
+        "analysis_full_run_ms": round(elapsed_ms, 1),
+        "analysis_files_scanned": result.files_scanned,
+        "analysis_per_file_ms": round(per_file_ms, 3),
+    })
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    analysis_pkg = repo / "src" / "repro" / "analysis"
+    benchmark(lambda: run_paths([analysis_pkg], root=repo))

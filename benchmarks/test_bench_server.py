@@ -18,7 +18,6 @@ run.
 """
 
 import json
-import os
 import statistics
 import threading
 import time
@@ -27,13 +26,14 @@ import urllib.parse
 import urllib.request
 from pathlib import Path
 
+from repro.env import read_flag
 from repro.server.app import ReproServer, ServerConfig
 from repro.store.memory import MemoryStore
 from repro.workload import typed_entities
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_server.json"
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+QUICK = read_flag("REPRO_BENCH_QUICK")
 ENTITIES = 300 if QUICK else 1_500
 REQUESTS_PER_CLIENT = 8 if QUICK else 40
 OVERLOAD_AGGREGATES = 10 if QUICK else 30

@@ -1,0 +1,52 @@
+"""repro.analysis — AST-based invariant checker for the repro codebase.
+
+Seven PRs of growth accumulated invariants that existed only as
+convention: span fast paths, lock discipline, env-var hygiene, exception
+routing, bench-baseline coverage. This package makes them mechanical —
+Hillview-style: a trillion-cell system stays correct under concurrency
+because its invariants are checked, not remembered.
+
+Run it as ``python -m repro.analysis src/`` (CI gates at zero
+unsuppressed findings). Rules:
+
+========  =============================================================
+RPA001    ``# guarded-by: _lock`` fields only touched under their lock
+RPA002    ``with <lock>`` nesting graph is acyclic (deadlock candidates)
+RPA003    instrumentation in hot loops behind the ``OBS.enabled`` check
+RPA004    no raw ``os.environ`` outside the ``repro/env.py`` registry
+RPA005    silent ``except: pass`` routes through ``obs.errors`` or is
+          marked ``# repro: swallow(<why>)``
+RPA006    every ``threading.Thread`` daemon or provably joined
+RPA007    bench-written metric keys exist in committed ``BENCH_*.json``
+========  =============================================================
+
+Escapes: inline ``# repro: noqa(RPA00N)`` with the reason in the comment,
+or a committed baseline file with stale-entry detection (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from .baseline import Baseline, BaselineResult
+from .core import (
+    AnalysisResult,
+    FileContext,
+    Finding,
+    ProjectContext,
+    Rule,
+    all_rules,
+    run_paths,
+)
+from .report import render_json, render_text
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineResult",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "run_paths",
+    "render_json",
+    "render_text",
+]

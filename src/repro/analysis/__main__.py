@@ -1,0 +1,118 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean; 1 unsuppressed findings (or unparseable files);
+2 only stale baseline entries (every finding suppressed, but the
+baseline excuses violations that no longer exist — remove them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .baseline import Baseline, BaselineResult
+from .core import all_rules, run_paths
+from .report import render_json, render_text
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker (rules RPA001-RPA007).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--root", default=None,
+                        help="project root findings are relative to "
+                             "(default: current directory)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             "next to --root when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="FILE",
+                        help="write the JSON report to FILE ('-' for "
+                             "stdout)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print baselined findings")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in all_rules().items():
+            print(f"{rule_id}  {cls.name:<16} {cls.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    rule_ids = None
+    if args.rules:
+        rule_ids = [rid.strip() for rid in args.rules.split(",")
+                    if rid.strip()]
+
+    started = time.perf_counter()
+    result = run_paths(args.paths, root=root, rule_ids=rule_ids)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        else:
+            candidate = root / DEFAULT_BASELINE
+            if candidate.is_file():
+                baseline_path = candidate
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline \
+            else root / DEFAULT_BASELINE
+        Baseline.from_findings(result.findings).save(target)
+        print(f"wrote {len(result.findings)} suppression(s) to {target}")
+        return 0
+
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        split = baseline.apply(result.findings)
+    else:
+        split = BaselineResult(new=list(result.findings))
+
+    if args.json_path:
+        report = render_json(result, split)
+        if args.json_path == "-":
+            sys.stdout.write(report)
+        else:
+            Path(args.json_path).write_text(report, encoding="utf-8")
+
+    text = render_text(result, split, verbose=args.verbose)
+    print(text)
+    print(f"analyzed in {elapsed_ms:.1f} ms")
+
+    if split.new or result.parse_errors:
+        return 1
+    if split.stale:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

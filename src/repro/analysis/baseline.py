@@ -1,0 +1,103 @@
+"""Committed baseline of grandfathered findings, with stale detection.
+
+The baseline is a reviewable JSON file mapping finding *identities*
+(rule + path + symbol + snippet — line numbers excluded so reflowing a
+file does not invalidate it) to suppression entries. Applying it splits a
+run's findings into *new* (fail the gate) and *baselined* (pass, for
+now); entries that no longer match anything are *stale* and fail CI, so
+a fixed violation must be removed from the baseline in the same change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineResult"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineResult:
+    """Findings split against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+
+class Baseline:
+    """A multiset of suppression keys (identical findings may repeat)."""
+
+    def __init__(self, entries: list[dict[str, object]] | None = None
+                 ) -> None:
+        self.entries = entries or []
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      reason: str = "grandfathered") -> "Baseline":
+        entries = [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "snippet": finding.snippet.strip(),
+                "reason": reason,
+            }
+            for finding in findings
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "suppressions" not in data:
+            raise ValueError(
+                f"{path}: not a baseline file (missing 'suppressions')"
+            )
+        return cls(list(data["suppressions"]))
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "suppressions": sorted(
+                self.entries,
+                key=lambda e: (e.get("path", ""), e.get("rule", ""),
+                               e.get("symbol", "")),
+            ),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def _entry_key(entry: dict[str, object]) -> str:
+        return "::".join((
+            str(entry.get("rule", "")), str(entry.get("path", "")),
+            str(entry.get("symbol", "")), str(entry.get("snippet", "")),
+        ))
+
+    def apply(self, findings: list[Finding]) -> BaselineResult:
+        budget: dict[str, list[dict[str, object]]] = {}
+        for entry in self.entries:
+            budget.setdefault(self._entry_key(entry), []).append(entry)
+        result = BaselineResult()
+        for finding in findings:
+            matches = budget.get(finding.key)
+            if matches:
+                matches.pop()
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        for leftovers in budget.values():
+            result.stale.extend(leftovers)
+        result.stale.sort(key=self._entry_key)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,63 @@
+"""Text and JSON reporters for checker runs."""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineResult
+from .core import AnalysisResult, Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: AnalysisResult, split: BaselineResult,
+                verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.parse_errors:
+        lines.append(finding.render())
+    for finding in split.new:
+        lines.append(finding.render())
+    if verbose and split.baselined:
+        lines.append(f"-- {len(split.baselined)} baselined finding(s) "
+                     "suppressed --")
+        lines.extend(finding.render() for finding in split.baselined)
+    for entry in split.stale:
+        lines.append(
+            "stale baseline entry (no longer fires — remove it): "
+            f"{entry.get('rule')} {entry.get('path')} "
+            f"{entry.get('symbol') or entry.get('snippet')}"
+        )
+    summary = (
+        f"{result.files_scanned} file(s) scanned: "
+        f"{len(split.new)} finding(s), "
+        f"{len(split.baselined)} baselined, "
+        f"{len(result.suppressed)} noqa-suppressed, "
+        f"{len(split.stale)} stale baseline entr(ies), "
+        f"{len(result.parse_errors)} unparseable"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _finding_dicts(findings: list[Finding]) -> list[dict[str, object]]:
+    return [finding.to_dict() for finding in findings]
+
+
+def render_json(result: AnalysisResult, split: BaselineResult) -> str:
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "findings": _finding_dicts(split.new),
+        "baselined": _finding_dicts(split.baselined),
+        "noqa_suppressed": _finding_dicts(result.suppressed),
+        "stale_baseline_entries": split.stale,
+        "parse_errors": _finding_dicts(result.parse_errors),
+        "counts": {
+            "findings": len(split.new),
+            "baselined": len(split.baselined),
+            "noqa_suppressed": len(result.suppressed),
+            "stale": len(split.stale),
+            "parse_errors": len(result.parse_errors),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

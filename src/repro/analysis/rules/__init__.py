@@ -1,0 +1,5 @@
+"""Rule modules; importing this package registers every rule."""
+
+from . import bench, env, locks, obs  # noqa: F401  (registration imports)
+
+__all__ = ["bench", "env", "locks", "obs"]

@@ -1,0 +1,87 @@
+"""RPA007: bench-key drift — metric keys written by benchmarks exist in
+the committed ``BENCH_*.json`` baselines that ``repro.obs.regress`` gates.
+
+A benchmark that writes ``{"new_metric_ms": ...}`` without the committed
+baseline carrying that key produces a number CI never gates — silent
+coverage loss. The rule statically collects the literal top-level keys a
+benchmark file writes (dict literals passed to ``json.dumps(...)`` or to
+``<results>.update(...)``) and checks each against the committed baseline
+the file names; a key missing from the baseline is drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, dotted_name, register
+
+BENCH_FILENAME_RE = re.compile(r"^BENCH_\w+\.json$")
+
+
+@register
+class BenchKeyDriftRule(Rule):
+    id = "RPA007"
+    name = "bench-key-drift"
+    description = (
+        "literal metric keys written by a benchmark (json.dumps({...}) / "
+        "results.update({...})) appear in the committed BENCH_*.json "
+        "baseline the file names"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        bench_names = sorted({
+            node.value for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and BENCH_FILENAME_RE.match(node.value)
+        })
+        if not bench_names:
+            return
+        committed: set[str] = set()
+        missing_baselines: list[str] = []
+        for name in bench_names:
+            keys = ctx.project.bench_keys(ctx.path, name)
+            if keys is None:
+                missing_baselines.append(name)
+            else:
+                committed.update(keys)
+        if missing_baselines and not committed:
+            # No committed baseline to check against at all: not drift,
+            # a brand-new benchmark. The regress gate will demand the
+            # baseline; this rule only compares against committed keys.
+            return
+        for dict_node in self._written_dicts(ctx):
+            for key_node in dict_node.keys:
+                if not isinstance(key_node, ast.Constant) \
+                        or not isinstance(key_node.value, str):
+                    continue
+                if key_node.value in committed:
+                    continue
+                yield ctx.make_finding(
+                    self.id, key_node,
+                    f"benchmark writes key '{key_node.value}' that is "
+                    f"absent from the committed "
+                    f"{'/'.join(bench_names)} baseline: run the bench "
+                    "and commit the refreshed baseline so regress.py "
+                    "gates it",
+                    symbol=f"{ctx.qualname(key_node)}:{key_node.value}",
+                )
+
+    @staticmethod
+    def _written_dicts(ctx: FileContext) -> Iterator[ast.Dict]:
+        """Dict literals that flow into the bench file: the argument of
+        ``json.dumps({...})`` or of ``<name>.update({...})``."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted == "json.dumps":
+                for arg in node.args[:1]:
+                    if isinstance(arg, ast.Dict):
+                        yield arg
+            elif dotted is not None and dotted.endswith(".update"):
+                for arg in node.args[:1]:
+                    if isinstance(arg, ast.Dict):
+                        yield arg

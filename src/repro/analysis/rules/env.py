@@ -1,0 +1,63 @@
+"""RPA004: environment hygiene — raw ``os.environ`` reads are confined to
+the typed registry in :mod:`repro.env`.
+
+Every ``REPRO_*`` variable is declared once (name, type, default,
+docstring) in ``repro/env.py``; everything else calls its typed readers.
+That keeps the README env-var table generatable, the semantics uniform
+(one definition of falsy), and new knobs discoverable instead of ad hoc.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+# Module paths (suffix match on the project-relative posix path) allowed
+# to touch os.environ: the registry itself.
+ALLOWED_SUFFIXES = ("repro/env.py",)
+
+RAW_ATTRS = frozenset({"environ", "getenv", "putenv", "unsetenv"})
+
+
+@register
+class EnvRegistryRule(Rule):
+    id = "RPA004"
+    name = "env-registry"
+    description = (
+        "no raw os.environ/os.getenv access outside the repro/env.py "
+        "typed registry"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.relpath.endswith(ALLOWED_SUFFIXES):
+            return
+        imported_raw = self._imported_raw_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            offender: str | None = None
+            if isinstance(node, ast.Attribute) and node.attr in RAW_ATTRS \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "os":
+                offender = f"os.{node.attr}"
+            elif isinstance(node, ast.Name) and node.id in imported_raw \
+                    and isinstance(node.ctx, ast.Load):
+                offender = node.id
+            if offender is None:
+                continue
+            yield ctx.make_finding(
+                self.id, node,
+                f"raw '{offender}' access: declare the variable in "
+                "repro/env.py and read it through the typed registry "
+                "(repro.env.read_flag/read_str)",
+            )
+
+    @staticmethod
+    def _imported_raw_names(tree: ast.Module) -> frozenset[str]:
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in RAW_ATTRS:
+                        names.add(alias.asname or alias.name)
+        return frozenset(names)

@@ -1,0 +1,382 @@
+"""Lock-discipline rules: guarded-by fields, lock ordering, thread lifecycle.
+
+These are the invariants the sharded execution engine (ROADMAP item 1)
+will lean on: 12+ modules already share state under ``threading.Lock``
+by convention only. The rules make the conventions mechanical:
+
+* **RPA001** — a field initialized with a ``# guarded-by: _lock`` comment
+  may only be touched inside ``with self._lock`` in that class.
+  ``__init__`` is exempt (construction happens-before sharing), as are
+  methods named ``*_locked`` — the suffix is the contract that the
+  caller already holds the lock.
+* **RPA002** — the static nesting graph of ``with <lock>`` blocks must be
+  acyclic; a cycle (including ``with self._lock`` nested in itself — a
+  guaranteed deadlock on a non-reentrant Lock) is a deadlock candidate.
+* **RPA006** — every ``threading.Thread`` must be daemon or provably
+  joined, so process exit and test teardown cannot hang on a forgotten
+  worker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from ..core import FileContext, Finding, ProjectContext, Rule, dotted_name
+from ..core import register
+
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+
+# Attribute / variable names treated as locks by RPA002's nesting graph.
+LOCK_NAME_RE = re.compile(r"lock", re.IGNORECASE)
+
+
+def _with_lock_names(node: ast.With | ast.AsyncWith) -> list[str]:
+    """Dotted names of lock-like context managers entered by ``node``."""
+    names: list[str] = []
+    for item in node.items:
+        dotted = dotted_name(item.context_expr)
+        if dotted is not None and LOCK_NAME_RE.search(dotted.split(".")[-1]):
+            names.append(dotted)
+    return names
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+@register
+class GuardedByRule(Rule):
+    id = "RPA001"
+    name = "guarded-by"
+    description = (
+        "fields declared '# guarded-by: <lock>' are only touched inside "
+        "'with self.<lock>' in their class (__init__ and '*_locked' "
+        "helper methods exempt)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _declarations(self, ctx: FileContext,
+                      cls: ast.ClassDef) -> dict[str, str]:
+        """``{field: lock}`` from ``self.X = ... # guarded-by: _lock``."""
+        guarded: dict[str, str] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                targets: Iterable[ast.AST] = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = (node.target,)
+            else:
+                continue
+            match = None
+            for line in range(node.lineno, (node.end_lineno or node.lineno)
+                              + 1):
+                comment = ctx.comments.get(line)
+                if comment:
+                    match = GUARDED_BY_RE.search(comment)
+                    if match:
+                        break
+            if match is None:
+                continue
+            for target in targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    guarded[attr] = match.group(1)
+        return guarded
+
+    def _check_class(self, ctx: FileContext,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        guarded = self._declarations(ctx, cls)
+        if not guarded:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("__init__", "__new__"):
+                continue
+            if method.name.endswith("_locked"):
+                # naming contract: the caller already holds the lock
+                continue
+            for node in ast.walk(method):
+                attr = _self_attribute(node)
+                if attr is None or attr not in guarded:
+                    continue
+                lock = guarded[attr]
+                if self._held(ctx, node, method, lock):
+                    continue
+                yield ctx.make_finding(
+                    self.id, node,
+                    f"'self.{attr}' is guarded by 'self.{lock}' but "
+                    f"accessed outside 'with self.{lock}' in "
+                    f"{cls.name}.{method.name}",
+                    symbol=f"{cls.name}.{method.name}.{attr}",
+                )
+
+    @staticmethod
+    def _held(ctx: FileContext, node: ast.AST,
+              method: ast.AST, lock: str) -> bool:
+        want = f"self.{lock}"
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if dotted_name(item.context_expr) == want:
+                        return True
+            if ancestor is method:
+                break
+        return False
+
+
+@register
+class LockOrderRule(Rule):
+    id = "RPA002"
+    name = "lock-order"
+    description = (
+        "the static nesting graph of 'with <lock>' blocks is acyclic "
+        "(cycles are deadlock candidates; self-nesting a non-reentrant "
+        "Lock is a guaranteed one)"
+    )
+
+    STATE_KEY = "rpa002.edges"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        edges = ctx.project.state.setdefault(self.STATE_KEY, {})
+        assert isinstance(edges, dict)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            inner = [self._lock_key(ctx, node, name)
+                     for name in _with_lock_names(node)]
+            if not inner:
+                continue
+            site = (ctx.relpath, node.lineno,
+                    ctx.qualname(node) or ctx.module)
+            held = self._held_locks(ctx, node)
+            for held_key in held:
+                for inner_key in inner:
+                    edges.setdefault((held_key, inner_key), site)
+            # ``with a, b:`` acquires left to right: same ordering edge.
+            for first, second in zip(inner, inner[1:]):
+                edges.setdefault((first, second), site)
+        return iter(())
+
+    def _held_locks(self, ctx: FileContext,
+                    node: ast.With | ast.AsyncWith) -> list[str]:
+        held: list[str] = []
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                held.extend(self._lock_key(ctx, ancestor, name)
+                            for name in _with_lock_names(ancestor))
+        return held
+
+    @staticmethod
+    def _lock_key(ctx: FileContext, node: ast.AST, dotted: str) -> str:
+        """Lock identity: class-qualified for ``self.*``, module-qualified
+        for globals — so the graph merges acquisition sites of one lock
+        across methods and files."""
+        if dotted.startswith("self."):
+            cls = ctx.enclosing_class(node)
+            owner = cls.name if cls is not None else ctx.module
+            return f"{owner}.{dotted[5:]}"
+        return f"{ctx.module}.{dotted}"
+
+    def finish(self, project: ProjectContext) -> Iterator[Finding]:
+        edges = project.state.get(self.STATE_KEY, {})
+        assert isinstance(edges, dict)
+        graph: dict[str, set[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        cyclic_edges = _edges_in_cycles(graph)
+        for edge in sorted(cyclic_edges):
+            src, dst = edge
+            path, line, symbol = edges[edge]
+            yield Finding(
+                rule=self.id, path=path, line=line,
+                message=(
+                    f"lock nesting '{src}' -> '{dst}' participates in a "
+                    "cycle: deadlock candidate (pick one global order or "
+                    "release before acquiring)"
+                ),
+                snippet="", symbol=f"{symbol}:{src}->{dst}",
+            )
+
+
+def _edges_in_cycles(graph: dict[str, set[str]]) -> set[tuple[str, str]]:
+    """Edges inside a strongly connected component (incl. self-loops)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: (node, iterator) pairs to survive deep graphs.
+        work = [(v, iter(graph[v]))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for vertex in graph:
+        if vertex not in index:
+            strongconnect(vertex)
+
+    bad: set[tuple[str, str]] = set()
+    for component in components:
+        multi = len(component) > 1
+        for src in component:
+            for dst in graph[src]:
+                if dst == src or (multi and dst in component):
+                    bad.add((src, dst))
+    return bad
+
+
+@register
+class ThreadLifecycleRule(Rule):
+    id = "RPA006"
+    name = "thread-lifecycle"
+    description = (
+        "every threading.Thread is daemon=True or provably joined (a "
+        ".join() on the attribute it was stored into / appended to, in "
+        "the same class or module)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        threads = [node for node in ast.walk(ctx.tree)
+                   if isinstance(node, ast.Call)
+                   and dotted_name(node.func) in ("threading.Thread",
+                                                  "Thread")]
+        for call in threads:
+            if self._daemon_kwarg(call):
+                continue
+            scope = ctx.enclosing_class(call) or ctx.tree
+            sinks = self._sinks(ctx, call)
+            if sinks and self._joined_or_daemonized(scope, sinks):
+                continue
+            yield ctx.make_finding(
+                self.id, call,
+                "threading.Thread is neither daemon=True nor joined: "
+                "store it and .join() it (or append to a joined list), "
+                "else shutdown can hang on it",
+            )
+
+    @staticmethod
+    def _daemon_kwarg(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "daemon" and isinstance(
+                    keyword.value, ast.Constant):
+                return bool(keyword.value.value)
+        return False
+
+    @staticmethod
+    def _sinks(ctx: FileContext, call: ast.Call) -> set[str]:
+        """Dotted names the thread object lands in: the assignment target
+        and, when the local is appended to a container, that container."""
+        sinks: set[str] = set()
+        parent = ctx.parent(call)
+        local: str | None = None
+        if isinstance(parent, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp)):
+            # threads = [Thread(...) for _ in range(n)] — the comprehension
+            # result is the sink, so look through to its assignment.
+            parent = ctx.parent(parent)
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                dotted = dotted_name(target)
+                if dotted is not None:
+                    sinks.add(dotted)
+                    if isinstance(target, ast.Name):
+                        local = target.id
+        elif isinstance(parent, ast.AnnAssign) and parent.value is call:
+            dotted = dotted_name(parent.target)
+            if dotted is not None:
+                sinks.add(dotted)
+                if isinstance(parent.target, ast.Name):
+                    local = parent.target.id
+        elif isinstance(parent, ast.Call):
+            # e.g. self._threads.append(threading.Thread(...))
+            dotted = dotted_name(parent.func)
+            if dotted is not None and dotted.endswith(".append"):
+                sinks.add(dotted[: -len(".append")])
+        if local is not None:
+            function = ctx.enclosing_function(call)
+            if function is not None:
+                for node in ast.walk(function):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "append"
+                            and any(isinstance(arg, ast.Name)
+                                    and arg.id == local
+                                    for arg in node.args)):
+                        container = dotted_name(node.func.value)
+                        if container is not None:
+                            sinks.add(container)
+        return sinks
+
+    @staticmethod
+    def _joined_or_daemonized(scope: ast.AST, sinks: set[str]) -> bool:
+        # Loop variables iterating a sink container count as aliases:
+        #   for t in self._threads: t.join()
+        aliases: dict[str, str] = {}
+        for node in ast.walk(scope):
+            if isinstance(node, ast.For):
+                iterated = dotted_name(node.iter)
+                if iterated in sinks and isinstance(node.target, ast.Name):
+                    aliases[node.target.id] = iterated
+        joined = set(sinks)
+        joined.update(aliases)
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"):
+                base = dotted_name(node.func.value)
+                if base in joined:
+                    return True
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and node.targets[0].attr == "daemon"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value
+                    and dotted_name(node.targets[0].value) in joined):
+                return True
+        return False

@@ -1,0 +1,140 @@
+"""Typed registry of every ``REPRO_*`` environment variable.
+
+Seven PRs of growth left ``REPRO_*`` knobs scattered as ad hoc
+``os.environ`` reads with per-site falsy conventions. This module is the
+single declaration point — name, type, default, docstring — and the
+**only** place in the tree allowed to touch ``os.environ`` (enforced by
+the RPA004 rule in :mod:`repro.analysis`). Everything else reads through
+the typed accessors::
+
+    from repro.env import read_flag, read_str
+
+    if read_flag("REPRO_TRACE"):
+        ...
+
+Reads are live (no import-time caching), so tests that monkeypatch
+``os.environ`` keep working. ``python -m repro.env`` prints the registry
+as the Markdown table embedded in the README (and a drift test holds the
+two together).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "EnvVar",
+    "REGISTRY",
+    "declared",
+    "read_raw",
+    "read_str",
+    "read_flag",
+    "markdown_table",
+]
+
+# One definition of falsy for flag-typed variables, replacing the three
+# slightly different spellings the tree grew (("", "0"), ("", "0",
+# "false"), case-sensitive vs not).
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """Declaration of one environment variable."""
+
+    name: str
+    kind: str  # "flag" | "string" | "path" | "choice"
+    default: str
+    doc: str
+    choices: tuple[str, ...] = ()
+
+
+REGISTRY: tuple[EnvVar, ...] = (
+    EnvVar(
+        "REPRO_TRACE", "flag", "0",
+        "Enable the span tracer at process start; spans land in "
+        "`OBS.tracer.recorder` and exporters (`repro.obs`).",
+    ),
+    EnvVar(
+        "REPRO_EXEC", "choice", "auto",
+        "Execution engine for BGPs: streaming `iterator`, batched "
+        "`vectorized` over dictionary ids, or statistics-driven `auto` "
+        "(`repro.sparql.vectorized.resolve_exec_mode`).",
+        choices=("iterator", "vectorized", "auto"),
+    ),
+    EnvVar(
+        "REPRO_QUERYLOG", "flag", "0",
+        "Record every query in the structured query log ring "
+        "(`repro.obs.querylog`). Implied on when REPRO_QUERYLOG_DIR is "
+        "set; always on inside `repro.server`.",
+    ),
+    EnvVar(
+        "REPRO_QUERYLOG_DIR", "path", "",
+        "Directory for the query log's JSONL mirror "
+        "(`queries-<pid>.jsonl`); setting it implies REPRO_QUERYLOG=1.",
+    ),
+    EnvVar(
+        "REPRO_FLIGHT_DIR", "path", "",
+        "Directory where flight-recorder dumps are written as "
+        "`flight-<seq>.jsonl` (CI uploads these as artifacts).",
+    ),
+    EnvVar(
+        "REPRO_PROFILE", "string", "",
+        "Start the sampling profiler with the process: `1` for the "
+        "default 10 ms cadence, a number for a custom interval in ms "
+        "(`repro.obs.profile.profiler_from_env`).",
+    ),
+    EnvVar(
+        "REPRO_BENCH_QUICK", "flag", "0",
+        "Shrink the benchmark suite to CI smoke size; regress.py widens "
+        "its tolerances accordingly (`--quick`).",
+    ),
+)
+
+_BY_NAME: dict[str, EnvVar] = {var.name: var for var in REGISTRY}
+
+
+def declared(name: str) -> EnvVar:
+    """The declaration for ``name``; raises ``KeyError`` when unknown —
+    an undeclared variable is a bug, not a default."""
+    return _BY_NAME[name]
+
+
+def read_raw(name: str) -> str:
+    """Live raw value of a *declared* variable (the single point where
+    the process environment is consulted)."""
+    declared(name)
+    return os.environ.get(name, "")
+
+
+def read_str(name: str) -> str:
+    """Stripped string value, falling back to the declared default."""
+    value = read_raw(name).strip()
+    return value if value else declared(name).default
+
+
+def read_flag(name: str) -> bool:
+    """Boolean value: unset/empty/``0``/``false``/``no``/``off`` (any
+    case) is False, everything else True."""
+    return read_raw(name).strip().lower() not in _FALSY
+
+
+def markdown_table() -> str:
+    """The registry as a GitHub-flavored Markdown table (README embeds
+    this; a drift test holds them together)."""
+    rows = [
+        "| Variable | Type | Default | Meaning |",
+        "| --- | --- | --- | --- |",
+    ]
+    for var in REGISTRY:
+        kind = var.kind
+        if var.choices:
+            kind = f"choice: {' / '.join(f'`{c}`' for c in var.choices)}"
+        default = f"`{var.default}`" if var.default else "*(unset)*"
+        rows.append(f"| `{var.name}` | {kind} | {default} | {var.doc} |")
+    return "\n".join(rows) + "\n"
+
+
+if __name__ == "__main__":
+    print(markdown_table(), end="")

@@ -42,11 +42,11 @@ site and exception type — label cardinality capped, overflow folded into
 from __future__ import annotations
 
 import functools
-import os
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from ..env import read_flag, read_str
 from .budget import (
     BATCH,
     DEFAULT_BUDGETS_MS,
@@ -179,7 +179,7 @@ _PROFILE_DUMP_STACKS = 40
 
 
 def _env_enabled() -> bool:
-    return os.environ.get("REPRO_TRACE", "").strip() not in ("", "0", "false")
+    return read_flag("REPRO_TRACE")
 
 
 class Interaction:
@@ -272,6 +272,10 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.progress = ProgressEmitter(error_counter=self._count_error)
         self.flight = FlightRecorder()
+        # The recorder's own failures (disk full, broken profiler) count
+        # into obs.errors through the non-dumping path: see
+        # _count_error_quiet for why it must not re-enter the recorder.
+        self.flight.error_counter = self._count_error_quiet
         self.querylog = QueryLog()
         # Records emitted without an explicit trace id inherit the ambient
         # trace; wired here (not in querylog.py) to keep the module free of
@@ -285,7 +289,7 @@ class Observability:
         self.progress.tap(self._flight_progress)
         # REPRO_PROFILE starts the sampling profiler with the process and
         # attaches its hottest stacks to every flight dump.
-        env_profiler = profiler_from_env(os.environ.get(PROFILE_ENV))
+        env_profiler = profiler_from_env(read_str(PROFILE_ENV))
         if env_profiler is not None:
             self.profiler = env_profiler
             self.flight.profile_provider = (
@@ -295,12 +299,22 @@ class Observability:
 
     # -- error accounting --------------------------------------------------
 
-    def _count_error(self, site: str, exc: BaseException) -> None:
+    def _count_error_quiet(self, site: str, exc: BaseException) -> str:
+        """Bump ``obs.errors`` without touching the flight recorder.
+
+        The recorder's own failure paths route here (wired as
+        ``flight.error_counter``), so counting must not re-enter the
+        recorder. Returns the folded site label.
+        """
         folded_site = self._error_sites.fold(site)
         folded_exception = self._error_exceptions.fold(type(exc).__name__)
         self.metrics.counter(
             "obs.errors", site=folded_site, exception=folded_exception
         ).inc()
+        return folded_site
+
+    def _count_error(self, site: str, exc: BaseException) -> None:
+        folded_site = self._count_error_quiet(site, exc)
         entry = self.flight.record(
             "error", folded_site,
             attributes={"exception": type(exc).__name__, "message": str(exc)},

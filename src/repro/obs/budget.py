@@ -200,7 +200,7 @@ class BudgetTracker:
         self.metrics = metrics
         self.on_violation = on_violation
         self._lock = threading.Lock()
-        self._stats: dict[str, _ClassStats] = {}
+        self._stats: dict[str, _ClassStats] = {}  # guarded-by: _lock
 
     # -- configuration -----------------------------------------------------
 

@@ -23,8 +23,9 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
+from ..env import read_str
 from .export import render_span_tree, span_to_dicts
 from .trace import Span
 
@@ -142,13 +143,20 @@ class FlightRecorder:
         # When set (a zero-arg callable returning folded-stack text, e.g.
         # SamplingProfiler.folded), every dump attaches a profile snapshot.
         self.profile_provider = None
+        # Wired by Observability to a *non-dumping* obs.errors bump: the
+        # recorder's own failures must be counted without re-entering the
+        # recorder (a failing disk would otherwise recurse through dump()).
+        self.error_counter: Callable[[str, BaseException], None] | None \
+            = None
         self._lock = threading.Lock()
-        self._ring: list[FlightEntry | None] = [None] * capacity
-        self._sequence = 0
+        self._ring: list[FlightEntry | None] \
+            = [None] * capacity  # guarded-by: _lock
+        self._sequence = 0  # guarded-by: _lock
         self._dump_lock = threading.Lock()
-        self._dumps: list[FlightDump] = []
-        self._dump_sequence = 0
-        self._last_auto_dump_ns: int | None = None
+        self._dumps: list[FlightDump] = []  # guarded-by: _dump_lock
+        self._dump_sequence = 0  # guarded-by: _dump_lock
+        self._last_auto_dump_ns: int | None \
+            = None  # guarded-by: _dump_lock
 
     # -- recording ---------------------------------------------------------
 
@@ -222,8 +230,10 @@ class FlightRecorder:
             if provider is not None:
                 try:
                     profile_folded = provider() or None
-                except Exception:
-                    # A broken profiler must not take the dump down with it.
+                except Exception as exc:
+                    # A broken profiler must not take the dump down with
+                    # it — but it must not fail invisibly either.
+                    self._count_error("obs.flight.profile", exc)
                     profile_folded = None
             self._dump_sequence += 1
             dump = FlightDump(
@@ -250,7 +260,7 @@ class FlightRecorder:
             return self._dump_sequence
 
     def _write_to_disk(self, dump: FlightDump) -> None:
-        directory = os.environ.get(FLIGHT_DIR_ENV, "").strip()
+        directory = read_str(FLIGHT_DIR_ENV)
         if not directory:
             return
         try:
@@ -258,10 +268,16 @@ class FlightRecorder:
             path = os.path.join(directory, f"flight-{dump.sequence:04d}.jsonl")
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(dump.to_jsonl())
-        except OSError:
+        except OSError as exc:
             # The recorder must never take the instrumented code down with
-            # it; a full disk loses the file, not the interaction.
-            pass
+            # it; a full disk loses the file, not the interaction — and
+            # the loss shows up on the obs.errors counter.
+            self._count_error("obs.flight.write", exc)
+
+    def _count_error(self, site: str, exc: BaseException) -> None:
+        counter = self.error_counter
+        if counter is not None:
+            counter(site, exc)
 
     def reset(self) -> None:
         with self._lock:

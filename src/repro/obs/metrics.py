@@ -58,7 +58,7 @@ class Counter:
         self.name = name
         self.labels = labels
         self._lock = threading.Lock()
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -68,9 +68,11 @@ class Counter:
 
     @property
     def value(self) -> int:
+        # repro: noqa(RPA001) — lock-free read of a GIL-atomic int
         return self._value
 
     def snapshot(self) -> dict[str, object]:
+        # repro: noqa(RPA001) — lock-free read of a GIL-atomic int
         return {"type": "counter", "value": self._value}
 
 
@@ -83,7 +85,7 @@ class Gauge:
         self.name = name
         self.labels = labels
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -99,9 +101,11 @@ class Gauge:
 
     @property
     def value(self) -> float:
+        # repro: noqa(RPA001) — lock-free read of a GIL-atomic float
         return self._value
 
     def snapshot(self) -> dict[str, object]:
+        # repro: noqa(RPA001) — lock-free read of a GIL-atomic float
         return {"type": "gauge", "value": self._value}
 
 
@@ -133,8 +137,8 @@ class Histogram:
         self.labels = labels
         self.bounds = bounds
         self._lock = threading.Lock()
-        self._counts = [0] * len(bounds)
-        self._overflow = 0
+        self._counts = [0] * len(bounds)  # guarded-by: _lock
+        self._overflow = 0  # guarded-by: _lock
         self._count = 0
         self._sum = 0.0
         self._min: float | None = None
@@ -234,7 +238,7 @@ class BoundedLabelSet:
         self.cap = cap
         self.overflow_label = overflow_label
         self._lock = threading.Lock()
-        self._seen: set[str] = set()
+        self._seen: set[str] = set()  # guarded-by: _lock
 
     def fold(self, label: object) -> str:
         text = str(label)
@@ -261,10 +265,14 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[tuple[str, LabelKey], object] = {}
+        self._metrics: dict[tuple[str, LabelKey], object] \
+            = {}  # guarded-by: _lock
 
     def _get_or_create(self, kind: type, name: str, labels: dict, **kwargs):
         key = (name, _label_key(labels))
+        # double-checked locking: the lock-free probe here is
+        # re-validated under the lock below
+        # repro: noqa(RPA001)
         metric = self._metrics.get(key)
         if metric is None:
             with self._lock:
@@ -295,6 +303,7 @@ class MetricsRegistry:
             return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
+        # repro: noqa(RPA001) — approximate size; len() is atomic
         return len(self._metrics)
 
     def snapshot(self) -> dict[str, dict]:

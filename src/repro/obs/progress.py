@@ -69,11 +69,12 @@ class ProgressEmitter:
         if history < 0:
             raise ValueError("history must be >= 0")
         self._lock = threading.Lock()
-        self._subscribers: list[Subscriber] = []
-        self._taps: list[Subscriber] = []
+        self._subscribers: list[Subscriber] = []  # guarded-by: _lock
+        self._taps: list[Subscriber] = []  # guarded-by: _lock
         self._history_size = history
-        self._history: list[ProgressEvent] = []
-        self._latest: dict[str, ProgressEvent] = {}
+        self._history: list[ProgressEvent] = []  # guarded-by: _lock
+        self._latest: dict[str, ProgressEvent] \
+            = {}  # guarded-by: _lock
         self._error_counter = error_counter
 
     # -- subscription ------------------------------------------------------
@@ -88,7 +89,9 @@ class ProgressEmitter:
                 try:
                     self._subscribers.remove(subscriber)
                 except ValueError:
-                    pass  # already unsubscribed — idempotent by contract
+                    # repro: swallow(unsubscribe is idempotent by
+                    # contract; a second call is a no-op, not an error)
+                    pass
 
         return unsubscribe
 
@@ -108,12 +111,15 @@ class ProgressEmitter:
                 try:
                     self._taps.remove(subscriber)
                 except ValueError:
-                    pass  # already removed — idempotent by contract
+                    # repro: swallow(untap is idempotent by contract;
+                    # a second call is a no-op, not an error)
+                    pass
 
         return untap
 
     @property
     def has_subscribers(self) -> bool:
+        # repro: noqa(RPA001) — lock-free truthiness probe
         return bool(self._subscribers)
 
     # -- emission ----------------------------------------------------------
@@ -131,6 +137,9 @@ class ProgressEmitter:
         check, no allocation. History and ``latest`` are therefore only
         maintained while at least one subscriber is registered.
         """
+        # the no-listener fast path is one lock-free truthiness
+        # check by design
+        # repro: noqa(RPA001)
         if not self._subscribers:
             return None
         event = ProgressEvent(operation, completed, total, attributes=attributes)

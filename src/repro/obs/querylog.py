@@ -40,6 +40,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+from ..env import read_flag, read_raw, read_str
+
 __all__ = [
     "QUERYLOG_DIR_ENV",
     "QUERYLOG_ENV",
@@ -55,11 +57,10 @@ _COUNTER_FIELDS = ("store_lookups", "scan_batches", "scan_rows", "solutions")
 
 
 def _env_enabled() -> bool:
-    flag = os.environ.get(QUERYLOG_ENV, "").strip()
-    if flag:
-        return flag not in ("0", "false")
+    if read_raw(QUERYLOG_ENV).strip():
+        return read_flag(QUERYLOG_ENV)
     # A mirror directory without recording would be inert: imply enablement.
-    return bool(os.environ.get(QUERYLOG_DIR_ENV, "").strip())
+    return bool(read_str(QUERYLOG_DIR_ENV))
 
 
 @dataclass(frozen=True)
@@ -230,11 +231,12 @@ class QueryLog:
         # records emitted without an explicit id.
         self.trace_provider: Callable[[], object] | None = None
         self._lock = threading.Lock()
-        self._ring: list[QueryRecord | None] = [None] * capacity
-        self._sequence = 0
-        self._mirror_errors = 0
-        self._mirror_path: str | None = None
-        self._mirror_handle = None
+        self._ring: list[QueryRecord | None] \
+            = [None] * capacity  # guarded-by: _lock
+        self._sequence = 0  # guarded-by: _lock
+        self._mirror_errors = 0  # guarded-by: _lock
+        self._mirror_path: str | None = None  # guarded-by: _lock
+        self._mirror_handle = None  # guarded-by: _lock
         self._local = threading.local()
 
     # -- serving context ---------------------------------------------------
@@ -340,7 +342,7 @@ class QueryLog:
                 **values,
             )
             self._ring[sequence % self.capacity] = record
-            self._mirror(record)
+            self._mirror_locked(record)
         return record
 
     def emit_cache_hit(
@@ -426,7 +428,7 @@ class QueryLog:
 
     # -- JSONL mirror ------------------------------------------------------
 
-    def _mirror(self, record: QueryRecord) -> None:
+    def _mirror_locked(self, record: QueryRecord) -> None:
         """Append one record to the JSONL mirror (caller holds the lock).
 
         The mirror must never take the query path down with it: any OSError
@@ -434,7 +436,7 @@ class QueryLog:
         flushed per record so an external analyzer (or CI) sees a complete
         prefix at any moment.
         """
-        directory = os.environ.get(QUERYLOG_DIR_ENV, "").strip()
+        directory = read_str(QUERYLOG_DIR_ENV)
         if not directory:
             return
         try:
@@ -452,11 +454,13 @@ class QueryLog:
         except OSError:
             self._mirror_errors += 1
 
-    def _close_mirror(self) -> None:
+    def _close_mirror_locked(self) -> None:
         if self._mirror_handle is not None:
             try:
                 self._mirror_handle.close()
             except OSError:
+                # repro: swallow(best-effort teardown; write failures
+                # were already counted into mirror_errors)
                 pass
             self._mirror_handle = None
             self._mirror_path = None
@@ -467,6 +471,6 @@ class QueryLog:
             self._ring = [None] * self.capacity
             self._sequence = 0
             self._mirror_errors = 0
-            self._close_mirror()
+            self._close_mirror_locked()
         self.enabled = _env_enabled()
         self._local = threading.local()

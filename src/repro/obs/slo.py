@@ -106,7 +106,8 @@ class SloTracker:
         self.max_samples = max_samples
         self.budgets = budgets
         self._lock = threading.Lock()
-        self._tenants: dict[str, _TenantWindow] = {}
+        self._tenants: dict[str, _TenantWindow] \
+            = {}  # guarded-by: _lock
 
     # -- accounting --------------------------------------------------------
 

@@ -297,8 +297,8 @@ class SpanRecorder:
             raise ValueError("max_spans must be positive")
         self.max_spans = max_spans
         self._lock = threading.Lock()
-        self._spans: list[Span] = []
-        self.dropped = 0
+        self._spans: list[Span] = []  # guarded-by: _lock
+        self.dropped = 0  # guarded-by: _lock
 
     def record(self, span: Span) -> None:
         with self._lock:
@@ -348,7 +348,7 @@ class Tracer:
         self.recorder = SpanRecorder(max_spans)
         self._local = _SpanStack()
         self._sample_lock = threading.Lock()
-        self._sample_error = 0.0
+        self._sample_error = 0.0  # guarded-by: _sample_lock
 
     # -- sampling ----------------------------------------------------------
 

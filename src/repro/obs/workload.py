@@ -84,8 +84,12 @@ def load_records(paths: Iterable[str]) -> list[QueryRecord]:
                     try:
                         records.append(QueryRecord.from_dict(json.loads(line)))
                     except (ValueError, TypeError):
+                        # repro: swallow(offline analyzer skips
+                        # malformed JSONL lines by design)
                         continue
         except OSError:
+            # repro: swallow(offline analyzer skips unreadable mirror
+            # files; a live writer may still hold them)
             continue
     records.sort(key=lambda record: (record.ts, record.sequence))
     return records

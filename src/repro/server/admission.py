@@ -57,14 +57,16 @@ class FairAdmissionQueue(Generic[T]):
         self.capacity = capacity
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
-        self._pending: dict[str, deque[T]] = {}
-        self._rotation: deque[str] = deque()
-        self._depth = 0
-        self._closed = False
-        self._admitted = 0
-        self._rejected = 0
-        self._per_tenant_admitted: dict[str, int] = {}
-        self._per_tenant_rejected: dict[str, int] = {}
+        self._pending: dict[str, deque[T]] = {}  # guarded-by: _ready
+        self._rotation: deque[str] = deque()  # guarded-by: _ready
+        self._depth = 0  # guarded-by: _ready
+        self._closed = False  # guarded-by: _ready
+        self._admitted = 0  # guarded-by: _ready
+        self._rejected = 0  # guarded-by: _ready
+        self._per_tenant_admitted: dict[str, int] \
+            = {}  # guarded-by: _ready
+        self._per_tenant_rejected: dict[str, int] \
+            = {}  # guarded-by: _ready
 
     def offer(self, tenant: str, item: T) -> bool:
         """Enqueue for ``tenant``; ``False`` when the global bound is hit."""
@@ -112,11 +114,11 @@ class FairAdmissionQueue(Generic[T]):
 
     @property
     def depth(self) -> int:
-        with self._lock:
+        with self._ready:
             return self._depth
 
     def snapshot(self) -> AdmissionSnapshot:
-        with self._lock:
+        with self._ready:
             return AdmissionSnapshot(
                 capacity=self.capacity,
                 depth=self._depth,

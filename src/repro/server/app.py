@@ -189,11 +189,12 @@ class ReproServer:
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._lock = threading.Lock()
-        self._served_by_tier: dict[int, int] = {}
-        self._aggregate_served = 0
-        self._aggregate_approximate = 0
-        self._responses_by_status: dict[int, int] = {}
-        self._inflight: dict[str, int] = {}
+        self._served_by_tier: dict[int, int] = {}  # guarded-by: _lock
+        self._aggregate_served = 0  # guarded-by: _lock
+        self._aggregate_approximate = 0  # guarded-by: _lock
+        self._responses_by_status: dict[int, int] \
+            = {}  # guarded-by: _lock
+        self._inflight: dict[str, int] = {}  # guarded-by: _lock
         # tenant names come off the wire: cap the label cardinality so an
         # adversarial client cannot mint unbounded metric time series
         self._tenant_labels = BoundedLabelSet(32)
@@ -247,10 +248,13 @@ class ReproServer:
                 # shutdown (not just close) wakes a blocked accept()
                 sock.shutdown(socket.SHUT_RDWR)
             except OSError:
+                # repro: swallow(teardown race: the socket may already
+                # be closed by the acceptor exiting)
                 pass
             try:
                 sock.close()
             except OSError:
+                # repro: swallow(idempotent close during stop())
                 pass
         for thread in self._threads:
             thread.join(timeout=2.0)
@@ -346,6 +350,8 @@ class ReproServer:
                 b'{"error": "server overloaded, retry later"}',
             )
         except OSError:
+            # repro: swallow(the rejected client already hung up;
+            # there is nobody left to tell)
             pass
         _close_quietly(connection)
 
@@ -560,6 +566,8 @@ class ReproServer:
                 try:
                     self._respond_error(pending.wfile, 500, str(exc))
                 except OSError:
+                    # repro: swallow(client gone mid-error-response;
+                    # the handler failure was counted above)
                     pass
             finally:
                 _close_quietly(pending.connection)
@@ -924,6 +932,8 @@ class ReproServer:
                 json.dumps({"error": message}).encode("utf-8"),
             )
         except OSError:
+            # repro: swallow(client gone mid-error-response; the
+            # status was already counted in _count_status)
             pass
 
     def stats(self) -> dict[str, object]:
@@ -1038,4 +1048,5 @@ def _close_quietly(connection: socket.socket) -> None:
     try:
         connection.close()
     except OSError:
+        # repro: swallow(idempotent close; the peer may have reset)
         pass

@@ -175,6 +175,8 @@ class RemoteEndpointSource:
                     try:
                         wait = float(headers.get("retry-after", "1"))
                     except ValueError:
+                        # repro: swallow(malformed Retry-After header
+                        # falls back to the 1s default)
                         wait = 1.0
                     time.sleep(min(max(wait, 0.0), self.max_retry_wait_s))
                     continue

@@ -102,8 +102,9 @@ class LoadShedder:
         self.burn_shed_threshold = burn_shed_threshold
         self.burn_protect_fraction = burn_protect_fraction
         self._lock = threading.Lock()
-        self._window: deque[tuple[float, float]] = deque(maxlen=window)
-        self._tier = EXACT
+        self._window: deque[tuple[float, float]] \
+            = deque(maxlen=window)  # guarded-by: _lock
+        self._tier = EXACT  # guarded-by: _lock
         self.shed_decisions = 0
         self.exact_decisions = 0
         self.burn_escalations = 0

@@ -108,6 +108,8 @@ def evaluate(expression: Expression, binding: Binding):
                 try:
                     return evaluate(arg, binding)
                 except ExprError:
+                    # repro: swallow(COALESCE tries the next arg on
+                    # error, per the SPARQL spec)
                     continue
             raise ExprError("COALESCE: all arguments errored")
         if expression.name == "IF":
@@ -346,6 +348,8 @@ def values_equal(a, b) -> bool:
     try:
         return numeric(a) == numeric(b)
     except ExprError:
+        # repro: swallow(non-numeric operands fall through to the
+        # term-equality rules below)
         pass
     if isinstance(a, Literal) and isinstance(b, Literal):
         return a == b

@@ -452,6 +452,8 @@ class FilterOp(PhysicalOperator):
                 if ebv(evaluate(self.expression, row)):
                     yield row
             except ExprError:
+                # repro: swallow(a FILTER error excludes the row,
+                # per the SPARQL spec)
                 continue
 
     def detail(self) -> str:
@@ -522,6 +524,8 @@ class ProjectOp(PhysicalOperator):
                     try:
                         value = to_term(evaluate(projection.expression, row))
                     except ExprError:
+                        # repro: swallow(an erroring SELECT expression
+                        # leaves the variable unbound, per the spec)
                         value = None
                 if value is not None:
                     projected[projection.variable] = value
@@ -700,6 +704,8 @@ class AggregateOp(PhysicalOperator):
                             eval_group_expr(projection.expression, members, representative)
                         )
                     except ExprError:
+                        # repro: swallow(an erroring group projection
+                        # leaves the variable unbound, per the spec)
                         value = None
                 if value is not None:
                     row[projection.variable] = value
@@ -708,6 +714,8 @@ class AggregateOp(PhysicalOperator):
                     if not ebv(eval_group_expr(self.having, members, representative)):
                         continue
                 except ExprError:
+                    # repro: swallow(a HAVING error excludes the
+                    # group, per the SPARQL spec)
                     continue
             yield row
 

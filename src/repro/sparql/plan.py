@@ -328,6 +328,8 @@ def fold_expression(expression: Expression) -> Expression:
                 if expression.operator == "||" and left_truth:
                     return TermExpr(Literal(True))
             except ExprError:
+                # repro: swallow(a non-boolean constant just means no
+                # short-circuit fold; the expr stays unfolded)
                 pass
         folded = BinaryExpr(expression.operator, left, right)
     elif isinstance(expression, FunctionCall):

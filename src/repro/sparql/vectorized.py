@@ -43,11 +43,11 @@ plain graphs).
 
 from __future__ import annotations
 
-import os
 from typing import Iterable, Iterator, NamedTuple
 
 import numpy as np
 
+from ..env import read_str
 from ..rdf.terms import Variable
 from ..store.base import DEFAULT_BATCH_SIZE, IdScanSource
 from .expr import Binding, ExprError, ebv, evaluate
@@ -77,7 +77,7 @@ def resolve_exec_mode(explicit: str | None = None) -> str:
     ``explicit`` (an engine constructor argument) wins over the
     ``REPRO_EXEC`` environment variable; unset means ``auto``.
     """
-    mode = explicit if explicit is not None else os.environ.get(EXEC_ENV, "")
+    mode = explicit if explicit is not None else read_str(EXEC_ENV)
     mode = mode.strip().lower() or "auto"
     if mode not in EXEC_MODES:
         raise ValueError(
@@ -399,6 +399,8 @@ class VectorizedBGP(PhysicalOperator):
                         s, p, o, shared_here[0][0], key_rows[:, 0], free[0][0]
                     )
                 except LookupError:
+                    # repro: swallow(source lacks probe_ids support;
+                    # the generic scan path below handles the probe)
                     pass
                 else:
                     self.stats.store_lookups += 1
@@ -640,6 +642,8 @@ class VectorizedBGP(PhysicalOperator):
                             ok = False
                             break
                     except ExprError:
+                        # repro: swallow(a FILTER error excludes the
+                        # row, per the SPARQL spec)
                         ok = False
                         break
                 if not ok:

@@ -1,0 +1,16 @@
+"""noqa fixture: same violation (RPA004) under every escape spelling."""
+
+import os
+
+# suppressed: targeted noqa on the offending line
+a = os.environ.get("A")  # repro: noqa(RPA004) — fixture
+
+# suppressed: targeted noqa on a comment-only line directly above
+# repro: noqa(RPA004)
+b = os.environ.get("B")
+
+# NOT suppressed: the noqa names a different rule
+c = os.environ.get("C")  # repro: noqa(RPA001) — wrong rule
+
+# suppressed: a bare noqa suppresses every rule on the line
+d = os.environ.get("D")  # repro: noqa

@@ -1,0 +1,38 @@
+"""RPA001 fixture: one unguarded access, several compliant shapes."""
+
+import threading
+
+
+class Leaky:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list[object] = []  # guarded-by: _lock
+
+    def add(self, item: object) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def peek(self) -> list[object]:
+        # TRUE POSITIVE: guarded field read outside the lock
+        return list(self._items)
+
+    def size(self) -> int:
+        # near-miss: same read, held lock
+        with self._lock:
+            return len(self._items)
+
+    def _drain_locked(self) -> list[object]:
+        # near-miss: the *_locked suffix is the caller-holds-lock contract
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Unannotated:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list[object] = []
+
+    def peek(self) -> list[object]:
+        # near-miss: no guarded-by declaration, nothing to enforce
+        return list(self._items)

@@ -1,0 +1,28 @@
+"""RPA002 fixture: a two-lock ordering cycle and a consistent pair."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+lock_c = threading.Lock()
+
+
+def forward() -> None:
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def backward() -> None:
+    # TRUE POSITIVE: closes the lock_a <-> lock_b cycle opened by
+    # forward() — a deadlock candidate under concurrency
+    with lock_b:
+        with lock_a:
+            pass
+
+
+def chained() -> None:
+    # near-miss: lock_a -> lock_c is the only edge between these two,
+    # so the order is globally consistent
+    with lock_a, lock_c:
+        pass

@@ -1,0 +1,42 @@
+"""RPA003 fixture: instrumentation in hot functions, guarded and not.
+
+Never imported — ``OBS`` is only a name to the AST walk.
+"""
+
+
+class UnguardedOperator:
+    def __next__(self):
+        # TRUE POSITIVE: per-row metrics call with no enabled check
+        OBS.metrics.counter("rows").inc()
+        return 1
+
+
+class GuardedOperator:
+    def __next__(self):
+        # near-miss: behind the enabled guard
+        if OBS.enabled:
+            OBS.metrics.counter("rows").inc()
+        return 1
+
+
+class EarlyExitOperator:
+    def execute(self):
+        # near-miss: everything below the early exit is the enabled path
+        if not OBS.enabled:
+            return []
+        OBS.tracer.span("scan")
+        return [1]
+
+
+class LocalFlagOperator:
+    def __next__(self):
+        # near-miss: the 'local = x.enabled; if local:' idiom
+        logging = OBS.tracer.enabled
+        if logging:
+            OBS.progress.emit("scan", 1)
+        return 1
+
+
+def setup_metrics():
+    # near-miss: not a hot function, free to record unconditionally
+    OBS.metrics.counter("setup").inc()

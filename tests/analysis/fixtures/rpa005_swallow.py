@@ -1,0 +1,43 @@
+"""RPA005 fixture: silent swallows vs routed/marked/control-flow ones."""
+
+
+def swallow(risky):
+    try:
+        risky()
+    except ValueError:
+        # TRUE POSITIVE: silent swallow, neither counted nor marked
+        pass
+
+
+def counted(risky, record_error):
+    try:
+        risky()
+    except ValueError as exc:
+        # near-miss: routed through the obs.errors counter
+        record_error("fixture.counted", exc)
+
+
+def marked(risky):
+    try:
+        risky()
+    except ValueError:
+        # repro: swallow(fixture: retry loop makes this idempotent)
+        pass
+
+
+def control_flow(iterator):
+    while True:
+        try:
+            next(iterator)
+        except StopIteration:
+            # near-miss: iteration control flow, not an error
+            break
+
+
+def constant_fallback(risky):
+    try:
+        value = risky()
+    except (ValueError, TypeError):
+        # TRUE POSITIVE: a constant fallback is still a silent swallow
+        value = None
+    return value

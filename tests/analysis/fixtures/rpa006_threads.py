@@ -1,0 +1,37 @@
+"""RPA006 fixture: an orphaned thread vs daemon/joined lifecycles."""
+
+import threading
+
+
+def orphan():
+    # TRUE POSITIVE: neither daemon nor ever joined
+    worker = threading.Thread(target=print)
+    worker.start()
+
+
+def daemonized():
+    # near-miss: daemon threads die with the process
+    threading.Thread(target=print, daemon=True).start()
+
+
+def fanout():
+    # near-miss: comprehension-built pool, joined below
+    threads = [threading.Thread(target=print) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class Pool:
+    def start(self) -> None:
+        # near-miss: appended to an attribute the class joins in stop()
+        self._threads = []
+        for _ in range(2):
+            thread = threading.Thread(target=print)
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self) -> None:
+        for thread in self._threads:
+            thread.join()

@@ -1,0 +1,20 @@
+"""RPA007 fixture: bench keys present in / absent from BENCH_demo.json."""
+
+import json
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_demo.json"
+
+
+def publish() -> None:
+    RESULTS_PATH.write_text(json.dumps({
+        # near-miss: committed in BENCH_demo.json
+        "known_metric_ms": 12.5,
+        # TRUE POSITIVE: absent from the committed baseline
+        "surprise_metric_ms": 1.0,
+    }))
+
+
+def amend(results: dict) -> None:
+    # near-miss: the update() idiom with a committed key
+    results.update({"also_known_ms": 3.0})

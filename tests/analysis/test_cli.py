@@ -1,0 +1,91 @@
+"""CLI exit codes and JSON report: the contract the CI gate runs on."""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _project(tmp_path: Path) -> Path:
+    root = tmp_path / "project"
+    root.mkdir()
+    shutil.copy(FIXTURES / "rpa004_env.py", root / "rpa004_env.py")
+    return root
+
+
+def test_findings_exit_one(tmp_path, capsys):
+    root = _project(tmp_path)
+    code = main([str(root), "--root", str(root), "--rules", "RPA004",
+                 "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RPA004" in out
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    root = _project(tmp_path)
+    argv = [str(root), "--root", str(root), "--rules", "RPA004"]
+    assert main(argv + ["--write-baseline"]) == 0
+    assert (root / "analysis-baseline.json").is_file()
+    capsys.readouterr()
+
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 baselined" in out
+
+
+def test_stale_baseline_exit_two(tmp_path, capsys):
+    root = _project(tmp_path)
+    argv = [str(root), "--root", str(root), "--rules", "RPA004"]
+    assert main(argv + ["--write-baseline"]) == 0
+
+    # fix every violation: the baseline entries all go stale
+    (root / "rpa004_env.py").write_text("joined = 'clean'\n")
+    capsys.readouterr()
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "stale" in out
+
+
+def test_json_report(tmp_path, capsys):
+    root = _project(tmp_path)
+    report_path = tmp_path / "findings.json"
+    code = main([str(root), "--root", str(root), "--rules", "RPA004",
+                 "--no-baseline", "--json", str(report_path)])
+    capsys.readouterr()
+    assert code == 1
+    report = json.loads(report_path.read_text())
+    assert report["counts"]["findings"] == 2
+    assert {f["rule"] for f in report["findings"]} == {"RPA004"}
+
+
+def test_unparseable_file_exit_one(tmp_path, capsys):
+    root = tmp_path / "project"
+    root.mkdir()
+    (root / "broken.py").write_text("def broken(:\n")
+    code = main([str(root), "--root", str(root), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "could not be analyzed" in out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPA001", "RPA002", "RPA003", "RPA004", "RPA005",
+                    "RPA006", "RPA007"):
+        assert rule_id in out
+
+
+def test_src_passes_clean(capsys):
+    """The acceptance bar, in-process: zero unsuppressed findings over
+    src/ with the committed (empty) baseline."""
+    repo = Path(__file__).resolve().parents[2]
+    code = main([str(repo / "src"), "--root", str(repo)])
+    capsys.readouterr()
+    assert code == 0

@@ -9,6 +9,15 @@ from repro.obs import OBS, Span, record_error
 from repro.obs.flight import FLIGHT_DIR_ENV, FlightEntry, FlightRecorder
 
 
+def _obs_error_count(site: str) -> int:
+    """Summed obs.errors counter value for one site label."""
+    return sum(
+        metric.value for metric in OBS.metrics
+        if getattr(metric, "name", "") == "obs.errors"
+        and dict(metric.labels).get("site") == site
+    )
+
+
 class TestRing:
     def test_records_in_order(self):
         recorder = FlightRecorder(capacity=8)
@@ -139,6 +148,38 @@ class TestDumps:
         monkeypatch.setenv(FLIGHT_DIR_ENV, str(blocker))
         recorder = FlightRecorder()
         assert recorder.dump("no-disk") is not None  # must not raise
+
+    def test_write_failure_routes_to_error_counter(self, tmp_path,
+                                                   monkeypatch):
+        """A lost dump is counted, not silent: the standalone recorder
+        reports through whatever error_counter is wired."""
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(blocker))
+        counted: list[tuple[str, str]] = []
+        recorder = FlightRecorder()
+        recorder.error_counter = \
+            lambda site, exc: counted.append((site, type(exc).__name__))
+        recorder.dump("no-disk")
+        assert counted == [("obs.flight.write", "FileExistsError")]
+
+    def test_write_failure_bumps_obs_errors_without_redumping(
+            self, tmp_path, monkeypatch):
+        """Through the global handle the count lands on obs.errors — via
+        the non-dumping path, so a failing disk cannot recurse."""
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(blocker))
+        OBS.flight.record("note", "x")
+        OBS.flight.dump("disk-broken")
+        assert _obs_error_count("obs.flight.write") == 1
+        assert OBS.flight.dump_count == 1  # no recursive second dump
+
+    def test_broken_profile_provider_bumps_obs_errors(self):
+        OBS.flight.profile_provider = lambda: 1 / 0
+        dump = OBS.flight.dump("profile-broken")
+        assert dump is not None and dump.profile_folded is None
+        assert _obs_error_count("obs.flight.profile") == 1
 
     def test_reset(self):
         recorder = FlightRecorder()
