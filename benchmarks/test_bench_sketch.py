@@ -1,0 +1,209 @@
+"""Experiment S: the mergeable-sketch subsystem under load.
+
+Three questions, answered with numbers in ``BENCH_sketch.json``:
+
+* **S1 — throughput**: adds and merges per second for each sketch family
+  (the hot-path cost of keeping a sketch next to an operator stream);
+* **S2 — speedup**: a budgeted sketched ``GROUP BY`` answer against the
+  exact aggregation it stands in for, plus the honesty check — observed
+  group error over the declared bound (must stay ≤ ~1);
+* **S3 — distinct**: full-drain ``COUNT(DISTINCT)`` through an HLL vs
+  the exact dedup set, with the same observed/declared ratio.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI-sized run; the committed baseline
+is produced in quick mode so the bench-regression job compares like with
+like (parameter-mismatched runs are skipped, not gated).
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.approx.sketch import GroupedMomentsSketch, HllSketch, KllSketch
+from repro.env import read_flag
+from repro.rdf.terms import IRI, Literal, Triple, Variable
+from repro.server.sketch import sketched_select
+from repro.sparql import QueryEngine
+from repro.store import MemoryStore
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_sketch.json"
+
+QUICK = read_flag("REPRO_BENCH_QUICK")
+STREAM = 50_000 if QUICK else 400_000
+TRIPLES = 6_000 if QUICK else 40_000
+GROUPS = 8
+BUDGET = 800 if QUICK else 2_000
+
+EX = "http://example.org/"
+GROUPED_QUERY = (
+    "SELECT ?c (COUNT(*) AS ?n) WHERE { ?s ?p ?c } GROUP BY ?c"
+)
+DISTINCT_QUERY = "SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?s ?p ?c }"
+
+
+def _merge_results(update: dict) -> None:
+    results = (
+        json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists()
+        else {}
+    )
+    results.update(update)
+    results["experiment"] = "S mergeable sketches"
+    results["quick_mode"] = QUICK
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _grouped_store(seed: int = 45):
+    rng = random.Random(seed)
+    store = MemoryStore()
+    truth: dict = {}
+    for index in range(TRIPLES):
+        group = f"{EX}cls{rng.randrange(GROUPS)}"
+        store.add(Triple(
+            IRI(f"{EX}item/{index}"), IRI(EX + "type"), IRI(group)
+        ))
+        truth[group] = truth.get(group, 0) + 1
+    return store, truth
+
+
+def test_s1_sketch_throughput(benchmark):
+    """Adds/merges per second per family (pre-hashed values excluded —
+    this is the end-to-end cost a serving operator pays)."""
+    rng = random.Random(3)
+    values = [rng.uniform(0, 1e6) for _ in range(STREAM)]
+    keys = [f"k{int(v) % 512}" for v in values]
+
+    def throughput(build, n=STREAM):
+        start = time.perf_counter()
+        build()
+        return n / (time.perf_counter() - start)
+
+    def fill_hll():
+        sketch = HllSketch(precision=12)
+        for value in values:
+            sketch.add(value)
+        return sketch
+
+    def fill_kll():
+        sketch = KllSketch(k=128)
+        for value in values:
+            sketch.add(value)
+        return sketch
+
+    def fill_grouped():
+        sketch = GroupedMomentsSketch(max_groups=256)
+        for key, value in zip(keys, values):
+            sketch.add_group(key, value)
+        return sketch
+
+    hll_per_s = throughput(fill_hll)
+    kll_per_s = throughput(fill_kll)
+    grouped_per_s = throughput(fill_grouped)
+
+    # merge throughput: pairs of filled 4 KiB HLLs per second
+    partials = []
+    for shard in range(16):
+        sketch = HllSketch(precision=12)
+        for value in values[shard::16]:
+            sketch.add(value)
+        partials.append(sketch)
+    merges = 200 if QUICK else 2_000
+    start = time.perf_counter()
+    accumulator = HllSketch(precision=12)
+    for index in range(merges):
+        accumulator.merge(partials[index % 16])
+    merge_per_s = merges / (time.perf_counter() - start)
+
+    print("\n\nS1: sketch throughput "
+          f"(stream = {STREAM:,}, merges = {merges})")
+    print(f"  hll add/s     : {hll_per_s:>12,.0f}")
+    print(f"  kll add/s     : {kll_per_s:>12,.0f}")
+    print(f"  grouped add/s : {grouped_per_s:>12,.0f}")
+    print(f"  hll merge/s   : {merge_per_s:>12,.0f}")
+    _merge_results({
+        "stream_values": STREAM,
+        "hll_add_per_s": round(hll_per_s, 1),
+        "kll_add_per_s": round(kll_per_s, 1),
+        "grouped_add_per_s": round(grouped_per_s, 1),
+        "hll_merge_per_s": round(merge_per_s, 1),
+    })
+    benchmark(lambda: HllSketch(precision=12).add("one-term"))
+
+
+def test_s2_grouped_speedup_and_honesty(benchmark):
+    """Budgeted sketched GROUP BY vs the exact aggregation, plus the
+    observed-error / declared-bound ratio that keeps the bound honest."""
+    store, truth = _grouped_store()
+    engine = QueryEngine(store)
+
+    start = time.perf_counter()
+    exact = engine.query(GROUPED_QUERY)
+    exact_s = time.perf_counter() - start
+    exact_counts = {
+        str(row[Variable("c")]): row[Variable("n")].value
+        for row in exact.rows
+    }
+    assert exact_counts == truth
+
+    start = time.perf_counter()
+    answer = sketched_select(engine, GROUPED_QUERY, max_rows=BUDGET)
+    sketch_s = time.perf_counter() - start
+    assert answer.approximate
+
+    bound = answer.bounds["n"]
+    worst = max(
+        abs(row[Variable("n")].value - truth[str(row[Variable("c")])])
+        for row in answer.result.rows
+    )
+    speedup = exact_s / sketch_s if sketch_s else float("inf")
+    error_over_bound = worst / bound if bound else float("inf")
+
+    print(f"\n\nS2: sketched GROUP BY (triples = {TRIPLES:,}, "
+          f"budget = {BUDGET:,})")
+    print(f"  exact   : {exact_s * 1e3:>8.2f} ms")
+    print(f"  sketched: {sketch_s * 1e3:>8.2f} ms  "
+          f"(speedup {speedup:.1f}x)")
+    print(f"  worst group error {worst:.0f} vs declared bound {bound:.0f} "
+          f"(ratio {error_over_bound:.2f})")
+    # the marginal 95% interval should contain the worst of 8 groups most
+    # of the time; 1.5 leaves room for the expected occasional excursion
+    assert error_over_bound <= 1.5
+    assert speedup > 1.0
+    _merge_results({
+        "triples": TRIPLES,
+        "groupby_budget_rows": BUDGET,
+        "sketch_groupby_exact_ms": round(exact_s * 1e3, 3),
+        "sketch_groupby_sketch_ms": round(sketch_s * 1e3, 3),
+        "sketch_groupby_speedup": round(speedup, 2),
+        "sketch_groupby_error_over_bound_ratio": round(
+            error_over_bound, 4
+        ),
+    })
+    benchmark(
+        lambda: sketched_select(engine, GROUPED_QUERY, max_rows=BUDGET)
+    )
+
+
+def test_s3_distinct_error_vs_declared(benchmark):
+    """Full-drain HLL distinct against the exact answer: the observed
+    relative error over the declared RSE-derived bound."""
+    store, truth = _grouped_store(seed=46)
+    engine = QueryEngine(store)
+    exact_distinct = len(truth)
+
+    answer = sketched_select(engine, DISTINCT_QUERY, max_rows=100)
+    estimate = answer.result.rows[0][Variable("n")].value
+    bound = answer.bounds["n"]
+    observed = abs(estimate - exact_distinct)
+    ratio = observed / bound if bound else float("inf")
+
+    print(f"\n\nS3: COUNT(DISTINCT) via HLL (triples = {TRIPLES:,})")
+    print(f"  exact {exact_distinct}, estimate {estimate}, "
+          f"observed error {observed:.2f}, bound {bound:.2f} "
+          f"(ratio {ratio:.2f})")
+    assert answer.rows_consumed == TRIPLES  # budget does not cap DISTINCT
+    assert ratio <= 1.0 or observed <= 1.0
+    _merge_results({
+        "distinct_error_over_bound_ratio": round(min(ratio, 1.0), 4),
+    })
+    benchmark(lambda: sketched_select(engine, DISTINCT_QUERY))

@@ -23,10 +23,54 @@ import numpy as np
 
 from ..obs import OBS, ProgressEmitter
 
-__all__ = ["ProgressiveEstimate", "ProgressiveAggregator", "StreamingMoments"]
+__all__ = [
+    "ProgressiveEstimate",
+    "ProgressiveAggregator",
+    "ProgressiveSketchAggregator",
+    "StreamingMoments",
+    "z_score",
+    "binomial_halfwidth",
+]
 
 # two-sided normal quantiles for common confidence levels
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided normal quantile for a supported confidence level.
+
+    The single source of CI math for the approximate serving tier and the
+    sketch subsystem — every ``X-Repro-Error-Bound`` header traces back to
+    one of these three constants.
+    """
+    try:
+        return _Z[confidence]
+    except KeyError:
+        raise ValueError(f"confidence must be one of {sorted(_Z)}") from None
+
+
+def binomial_halfwidth(
+    successes: int, trials: int, scale: float = 1.0, confidence: float = 0.95
+) -> float:
+    """CLT halfwidth for a scaled binomial proportion.
+
+    A COUNT estimated from a prefix sample is ``(successes / trials) *
+    population``; its interval is the halfwidth on the proportion scaled
+    by the same ``scale`` (the population, for counts). The width uses
+    the Agresti–Coull adjusted proportion ``(s + z²/2) / (n + z²)`` —
+    the plain Wald width degenerates to zero at ``p ∈ {0, 1}``, which
+    would declare certainty exactly where a skewed sample prefix is
+    least trustworthy. With no trials the interval is unbounded, by
+    construction.
+    """
+    if trials <= 0:
+        return float("inf")
+    z = z_score(confidence)
+    adjusted_n = trials + z * z
+    adjusted_p = (successes + z * z / 2.0) / adjusted_n
+    return z * math.sqrt(
+        adjusted_p * (1.0 - adjusted_p) / adjusted_n
+    ) * scale
 
 
 @dataclass(frozen=True)
@@ -96,9 +140,49 @@ class StreamingMoments:
         for value in values:
             self.add(float(value))
 
+    def merge(self, other: "StreamingMoments") -> None:
+        """Absorb another moments accumulator (Chan et al. pairwise
+        combine) — the result is exactly the accumulator a single pass
+        over both streams would have produced, so sharded and federated
+        partials compose losslessly."""
+        if not isinstance(other, StreamingMoments):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into StreamingMoments"
+            )
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            return
+        combined = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / combined
+        self._mean += delta * other.n / combined
+        self.n = combined
+
+    def as_tuple(self) -> tuple[int, float, float]:
+        """``(n, mean, m2)`` — the whole state, for wire encoding."""
+        return (self.n, self._mean, self._m2)
+
+    @classmethod
+    def from_tuple(
+        cls, state, confidence: float = 0.95
+    ) -> "StreamingMoments":
+        moments = cls(confidence)
+        n, mean, m2 = state
+        moments.n = int(n)
+        moments._mean = float(mean)
+        moments._m2 = float(m2)
+        return moments
+
     @property
     def mean(self) -> float:
         return self._mean
+
+    @property
+    def total(self) -> float:
+        """Sum of the observed values (``mean * n``)."""
+        return self._mean * self.n
 
     @property
     def variance(self) -> float:
@@ -211,3 +295,50 @@ class ProgressiveAggregator:
         if estimate is None:
             raise ValueError("empty dataset")
         return estimate
+
+
+class ProgressiveSketchAggregator:
+    """Per-pass sketch merging: the progressive path for *any* mergeable
+    summary (:mod:`repro.approx.sketch`), not just means.
+
+    Each pass builds a fresh sketch over its chunk via ``factory``,
+    merges it into the running accumulation, and yields the merged
+    estimate — the same combine step the federation coordinator runs, so
+    progressive refinement and shard merging stay one code path. The
+    factory keeps this module import-independent of the sketch package
+    (which imports :func:`z_score` from here).
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self.merged = factory()
+        self.passes = 0
+
+    def absorb(self, sketch) -> "object":
+        """Merge one pass's sketch; returns the running estimate."""
+        self.merged.merge(sketch)
+        self.passes += 1
+        return self.merged.estimate()
+
+    def run(
+        self, chunks, emitter: ProgressEmitter | None = None
+    ) -> Iterator[object]:
+        """Yield the merged :class:`SketchEstimate` after each chunk,
+        mirroring :meth:`ProgressiveAggregator.run`'s event contract."""
+        if emitter is None:
+            emitter = OBS.progress
+        for chunk in chunks:
+            sketch = self._factory()
+            for value in chunk:
+                sketch.add(value)
+            estimate = self.absorb(sketch)
+            if emitter.has_subscribers:
+                emitter.emit(
+                    "approx.progressive.sketch",
+                    completed=self.passes,
+                    total=None,
+                    value=estimate.value,
+                    error_bound=estimate.error_bound,
+                    confidence=estimate.confidence,
+                )
+            yield estimate

@@ -1,0 +1,66 @@
+"""Mergeable sketches (ROADMAP item 2): HLL distinct counting, KLL
+quantiles, SpaceSaving heavy hitters, and grouped moments behind one
+``Sketch`` protocol — the compose-anywhere summaries Hillview builds its
+entire engine on (PAPERS.md).
+
+Configuration comes from the typed env registry (``repro.env``):
+``REPRO_SKETCH_PRECISION`` (HLL registers), ``REPRO_SKETCH_GROUPS``
+(grouped-moments budget), ``REPRO_SKETCH_K`` (KLL compactors). The
+``default_*`` helpers below clamp malformed values into each family's
+legal range rather than crashing the serving path.
+"""
+
+from __future__ import annotations
+
+from ...env import read_int  # noqa: F401  (re-exported for tests)
+from .base import (
+    Sketch,
+    SketchEstimate,
+    WIRE_VERSION,
+    deserialize_sketch,
+    register_sketch,
+    registered_kinds,
+    serialize_sketch,
+    sketch_from_bytes,
+    sketch_to_bytes,
+)
+from .heavy import SpaceSavingSketch
+from .hll import HllSketch, hash_term
+from .moments import OTHER_BUCKET, GroupedMomentsSketch
+from .quantile import KllSketch
+
+__all__ = [
+    "Sketch",
+    "SketchEstimate",
+    "WIRE_VERSION",
+    "register_sketch",
+    "registered_kinds",
+    "serialize_sketch",
+    "deserialize_sketch",
+    "sketch_to_bytes",
+    "sketch_from_bytes",
+    "HllSketch",
+    "hash_term",
+    "KllSketch",
+    "SpaceSavingSketch",
+    "GroupedMomentsSketch",
+    "OTHER_BUCKET",
+    "default_precision",
+    "default_groups",
+    "default_k",
+]
+
+
+def default_precision() -> int:
+    """HLL precision from ``REPRO_SKETCH_PRECISION``, clamped to [4, 16]."""
+    return max(4, min(16, read_int("REPRO_SKETCH_PRECISION")))
+
+
+def default_groups() -> int:
+    """Grouped-moments budget from ``REPRO_SKETCH_GROUPS`` (>= 1)."""
+    return max(1, read_int("REPRO_SKETCH_GROUPS"))
+
+
+def default_k() -> int:
+    """KLL compactor budget from ``REPRO_SKETCH_K`` (>= 8)."""
+    return max(8, read_int("REPRO_SKETCH_K"))

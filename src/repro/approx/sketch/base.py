@@ -1,0 +1,149 @@
+"""The mergeable-sketch protocol: add, merge, estimate, wire format.
+
+Hillview's core trick (PAPERS.md): compute *every* aggregate as a
+**mergeable sketch** — a small commutative summary where
+``merge(sketch(A), sketch(B)) == sketch(A ∪ B)`` within a declared error
+bound. Mergeability is what makes partial results compose: across shards,
+across federation sources, and across the progressive passes of one query,
+the combine step is a cheap merge tree instead of a re-scan.
+
+Every sketch family in this package implements the same small surface:
+
+* ``add(value)``            — absorb one observation, O(1) amortized;
+* ``merge(other)``          — absorb another sketch of the same family
+  and configuration (raises ``ValueError`` on shape mismatch);
+* ``estimate()``            — the current answer as a
+  :class:`SketchEstimate` carrying an explicit error bound;
+* ``to_dict()/from_dict()`` — a JSON-safe payload, wrapped by
+  :func:`serialize_sketch` into a self-describing envelope so the wire
+  peer can reconstruct the right family without out-of-band agreement.
+
+The envelope (``{"sketch": <kind>, "v": 1, "payload": {...}}``) is the
+unit :class:`~repro.server.remote.RemoteEndpointSource` ships instead of
+result rows, and what the coordinator's merge loop consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "Sketch",
+    "SketchEstimate",
+    "WIRE_VERSION",
+    "register_sketch",
+    "serialize_sketch",
+    "deserialize_sketch",
+    "sketch_to_bytes",
+    "sketch_from_bytes",
+    "registered_kinds",
+]
+
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SketchEstimate:
+    """One sketch's current answer plus the bound that makes it honest.
+
+    ``bound_kind`` names what ``error_bound`` measures:
+
+    * ``"relative"`` — ``|estimate - truth| <= error_bound * truth`` at
+      the stated confidence (HLL's standard-error regime);
+    * ``"absolute"`` — ``|estimate - truth| <= error_bound`` outright
+      (SpaceSaving's deterministic overcount bound, CLT halfwidths);
+    * ``"rank"``     — quantile answers are within ``error_bound * n``
+      positions of the true rank (KLL's guarantee shape).
+    """
+
+    value: float
+    error_bound: float
+    bound_kind: str  # "relative" | "absolute" | "rank"
+    confidence: float = 1.0
+    n: int = 0  # observations behind the estimate
+
+    def absolute_bound(self) -> float:
+        """The bound as an absolute halfwidth around ``value``."""
+        if self.bound_kind == "relative":
+            return self.error_bound * abs(self.value)
+        if self.bound_kind == "rank":
+            return self.error_bound * self.n
+        return self.error_bound
+
+
+@runtime_checkable
+class Sketch(Protocol):
+    """What every mergeable summary implements."""
+
+    kind: str
+
+    def add(self, value: object) -> None: ...
+
+    def merge(self, other: "Sketch") -> None: ...
+
+    def estimate(self) -> SketchEstimate: ...
+
+    def to_dict(self) -> dict: ...
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint (the /metrics memory gauge)."""
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Wire envelope + registry
+# --------------------------------------------------------------------------- #
+
+_FACTORIES: dict[str, Callable[[dict], Sketch]] = {}
+
+
+def register_sketch(kind: str, factory: Callable[[dict], Sketch]) -> None:
+    """Register a family's ``from_dict`` under its wire ``kind`` tag.
+
+    Families self-register at import time; duplicate registration with a
+    different factory is a programming error, not a runtime condition.
+    """
+    existing = _FACTORIES.get(kind)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"sketch kind {kind!r} already registered")
+    _FACTORIES[kind] = factory
+
+
+def registered_kinds() -> Iterator[str]:
+    return iter(sorted(_FACTORIES))
+
+
+def serialize_sketch(sketch: Sketch) -> dict:
+    """Wrap a sketch into the self-describing wire envelope."""
+    return {
+        "sketch": sketch.kind,
+        "v": WIRE_VERSION,
+        "payload": sketch.to_dict(),
+    }
+
+
+def deserialize_sketch(envelope: dict) -> Sketch:
+    """Reconstruct a sketch from its envelope; raises ``ValueError`` on an
+    unknown kind or unsupported wire version (a peer speaking a newer
+    format must fail loudly, not decode garbage)."""
+    kind = envelope.get("sketch")
+    version = envelope.get("v")
+    if version != WIRE_VERSION:
+        raise ValueError(f"unsupported sketch wire version: {version!r}")
+    factory = _FACTORIES.get(kind)
+    if factory is None:
+        raise ValueError(f"unknown sketch kind: {kind!r}")
+    return factory(envelope.get("payload", {}))
+
+
+def sketch_to_bytes(sketch: Sketch) -> bytes:
+    """Compact wire bytes (separator-free JSON of the envelope)."""
+    return json.dumps(
+        serialize_sketch(sketch), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def sketch_from_bytes(data: bytes) -> Sketch:
+    return deserialize_sketch(json.loads(data.decode("utf-8")))

@@ -1,0 +1,167 @@
+"""SpaceSaving heavy hitters (Metwally et al.), mergeable.
+
+``capacity`` counters track the (approximately) most frequent keys seen.
+A new key with no free counter evicts the minimum counter and *inherits*
+its count — so every tracked count is an overestimate by at most the
+counter's recorded ``error``, and any key whose true frequency exceeds
+``n / capacity`` is guaranteed to be tracked.
+
+Merging follows the Agarwal et al. mergeable-summaries recipe: counts and
+errors add for keys in both sketches; a key present in only one side may
+have occurred up to the *other* side's minimum-counter value unseen, so
+that floor is added to its error. The merged table is then pruned back to
+``capacity`` by evicting the smallest counts, folding each eviction into
+the surviving floor exactly like a streaming eviction would.
+"""
+
+from __future__ import annotations
+
+from .base import SketchEstimate, register_sketch
+
+__all__ = ["SpaceSavingSketch"]
+
+
+class SpaceSavingSketch:
+    """Top-k frequency tracking with per-key deterministic error bounds."""
+
+    kind = "spacesaving"
+
+    __slots__ = ("capacity", "_counts", "_errors", "n")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._counts: dict[str, float] = {}
+        self._errors: dict[str, float] = {}
+        self.n = 0  # total stream weight
+
+    # -- protocol ----------------------------------------------------------
+
+    def add(self, value: object, weight: float = 1.0) -> None:
+        key = str(value)
+        self.n += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            self._errors[key] = 0.0
+            return
+        victim = min(counts, key=counts.__getitem__)
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def merge(self, other: "SpaceSavingSketch") -> None:
+        if not isinstance(other, SpaceSavingSketch):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into SpaceSaving"
+            )
+        mine_floor = self._min_count() if len(
+            self._counts
+        ) >= self.capacity else 0.0
+        other_floor = other._min_count() if len(
+            other._counts
+        ) >= other.capacity else 0.0
+        merged_counts: dict[str, float] = {}
+        merged_errors: dict[str, float] = {}
+        for key in self._counts.keys() | other._counts.keys():
+            count = error = 0.0
+            if key in self._counts:
+                count += self._counts[key]
+                error += self._errors[key]
+            else:
+                # Unseen here, but could have occurred up to this side's
+                # eviction floor without being tracked.
+                count += mine_floor
+                error += mine_floor
+            if key in other._counts:
+                count += other._counts[key]
+                error += other._errors[key]
+            else:
+                count += other_floor
+                error += other_floor
+            merged_counts[key] = count
+            merged_errors[key] = error
+        self.n += other.n
+        if len(merged_counts) > self.capacity:
+            survivors = sorted(
+                merged_counts, key=merged_counts.__getitem__, reverse=True
+            )[: self.capacity]
+            merged_counts = {key: merged_counts[key] for key in survivors}
+            merged_errors = {key: merged_errors[key] for key in survivors}
+        self._counts = merged_counts
+        self._errors = merged_errors
+
+    def _min_count(self) -> float:
+        return min(self._counts.values()) if self._counts else 0.0
+
+    def count(self, value: object) -> tuple[float, float]:
+        """``(estimate, error_bound)`` for one key.
+
+        The estimate never undercounts by more than 0 and never
+        overcounts by more than the bound; an untracked key's true count
+        is at most the current eviction floor.
+        """
+        key = str(value)
+        if key in self._counts:
+            return self._counts[key], self._errors[key]
+        floor = (
+            self._min_count() if len(self._counts) >= self.capacity else 0.0
+        )
+        return 0.0, floor
+
+    def top(self, k: int | None = None) -> list[tuple[str, float, float]]:
+        """``(key, count, error)`` rows, most frequent first."""
+        ranked = sorted(
+            self._counts.items(), key=lambda item: -item[1]
+        )[: (k if k is not None else self.capacity)]
+        return [
+            (key, count, self._errors[key]) for key, count in ranked
+        ]
+
+    def estimate(self) -> SketchEstimate:
+        """The top key's count with its deterministic overcount bound."""
+        if not self._counts:
+            return SketchEstimate(0.0, 0.0, "absolute", n=int(self.n))
+        key, count, error = self.top(1)[0]
+        return SketchEstimate(
+            value=count,
+            error_bound=error,
+            bound_kind="absolute",
+            confidence=1.0,  # SpaceSaving's bound is deterministic
+            n=int(self.n),
+        )
+
+    # -- wire --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "n": self.n,
+            "entries": [
+                [key, count, self._errors[key]]
+                for key, count in sorted(self._counts.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpaceSavingSketch":
+        sketch = cls(capacity=int(payload["capacity"]))
+        sketch.n = float(payload.get("n", 0))
+        for key, count, error in payload.get("entries", []):
+            sketch._counts[str(key)] = float(count)
+            sketch._errors[str(key)] = float(error)
+        return sketch
+
+    def size_bytes(self) -> int:
+        return sum(len(key) + 16 for key in self._counts) + 64
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+register_sketch(SpaceSavingSketch.kind, SpaceSavingSketch.from_dict)

@@ -1,0 +1,151 @@
+"""HyperLogLog-style distinct counting (Flajolet et al., Hillview's
+``distinct`` sketch).
+
+``m = 2**precision`` one-byte registers; each item is hashed once, the low
+``precision`` bits pick a register, and the register keeps the maximum
+leading-zero run of the remaining bits. Distinct cardinality falls out of
+the harmonic mean of the registers, with the standard small-range
+(linear-counting) correction. Registers merge by element-wise ``max`` —
+the merged sketch is *identical* to the sketch of the concatenated
+streams, so federation/shard merges lose nothing.
+
+The declared error is the classic relative standard error
+``1.04 / sqrt(m)`` scaled to the requested confidence (two-sided normal
+quantile) — precision 12 gives ~1.6% at one sigma, ~3.2% at 95%.
+"""
+
+from __future__ import annotations
+
+import base64
+import math
+from hashlib import blake2b
+
+from ..progressive import z_score
+from .base import SketchEstimate, register_sketch
+
+__all__ = ["HllSketch", "hash_term"]
+
+_HASH_BITS = 64
+_MASK = (1 << _HASH_BITS) - 1
+
+
+def hash_term(value: object) -> int:
+    """64-bit stable hash of an observation's canonical string form.
+
+    Stability across processes matters: shards and federation members
+    hash independently, and register merges are only meaningful when the
+    same value lands in the same register everywhere. Python's builtin
+    ``hash`` is salted per process, so a keyed-off blake2b digest is used
+    instead.
+    """
+    digest = blake2b(str(value).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HllSketch:
+    """Mergeable distinct counter with a declared relative error bound."""
+
+    kind = "hll"
+
+    __slots__ = ("precision", "confidence", "_m", "_registers", "items_added")
+
+    def __init__(self, precision: int = 12, confidence: float = 0.95) -> None:
+        if not 4 <= precision <= 16:
+            raise ValueError("precision must be in [4, 16]")
+        self.precision = precision
+        self.confidence = confidence
+        self._m = 1 << precision
+        self._registers = bytearray(self._m)
+        self.items_added = 0  # stream length, not distincts
+
+    # -- protocol ----------------------------------------------------------
+
+    def add(self, value: object) -> None:
+        self.add_hash(hash_term(value))
+
+    def add_hash(self, hashed: int) -> None:
+        """Absorb a pre-hashed observation (the batched hot path)."""
+        self.items_added += 1
+        index = hashed & (self._m - 1)
+        rest = (hashed >> self.precision) & _MASK
+        width = _HASH_BITS - self.precision
+        # position of the first 1-bit from the top, 1-based; an all-zero
+        # remainder caps at width + 1 per the HLL definition
+        rank = width - rest.bit_length() + 1 if rest else width + 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def merge(self, other: "HllSketch") -> None:
+        if not isinstance(other, HllSketch):
+            raise ValueError(f"cannot merge {type(other).__name__} into HLL")
+        if other.precision != self.precision:
+            raise ValueError(
+                f"precision mismatch: {self.precision} vs {other.precision}"
+            )
+        mine, theirs = self._registers, other._registers
+        for index in range(self._m):
+            if theirs[index] > mine[index]:
+                mine[index] = theirs[index]
+        self.items_added += other.items_added
+
+    @property
+    def relative_error(self) -> float:
+        """One-sigma relative standard error for this register count."""
+        return 1.04 / (self._m ** 0.5)
+
+    def cardinality(self) -> float:
+        m = self._m
+        registers = self._registers
+        zeros = registers.count(0)
+        if zeros:
+            # Linear counting is both cheaper and tighter while registers
+            # remain empty (the small-cardinality regime).
+            linear = m * math.log(m / zeros)
+            if linear <= 2.5 * m:
+                return linear
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        harmonic = sum(2.0 ** -r for r in registers)
+        return alpha * m * m / harmonic
+
+    def estimate(self) -> SketchEstimate:
+        return SketchEstimate(
+            value=self.cardinality(),
+            error_bound=z_score(self.confidence) * self.relative_error,
+            bound_kind="relative",
+            confidence=self.confidence,
+            n=self.items_added,
+        )
+
+    # -- wire --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "p": self.precision,
+            "confidence": self.confidence,
+            "added": self.items_added,
+            "registers": base64.b64encode(bytes(self._registers)).decode(
+                "ascii"
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HllSketch":
+        sketch = cls(
+            precision=int(payload["p"]),
+            confidence=float(payload.get("confidence", 0.95)),
+        )
+        registers = base64.b64decode(payload["registers"])
+        if len(registers) != sketch._m:
+            raise ValueError("register block does not match precision")
+        sketch._registers = bytearray(registers)
+        sketch.items_added = int(payload.get("added", 0))
+        return sketch
+
+    def size_bytes(self) -> int:
+        return self._m + 64  # registers + object overhead, roughly
+
+    def __len__(self) -> int:
+        return int(round(self.cardinality()))
+
+
+register_sketch(HllSketch.kind, HllSketch.from_dict)

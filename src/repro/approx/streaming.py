@@ -52,6 +52,25 @@ class StreamingHistogram:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Absorb another histogram (Ben-Haim & Tom-Tov's parallel merge):
+        pool both bin lists, then re-merge nearest centroids until back
+        under this histogram's budget. Order-insensitive up to the usual
+        centroid-approximation error, so shard partials compose."""
+        if not isinstance(other, StreamingHistogram):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into StreamingHistogram"
+            )
+        for centroid, count in other._bins:
+            index = bisect_left(self._bins, [centroid, float("-inf")])
+            if index < len(self._bins) and self._bins[index][0] == centroid:
+                self._bins[index][1] += count
+            else:
+                insort(self._bins, [centroid, count])
+        self.total += other.total
+        while len(self._bins) > self.max_bins:
+            self._merge_closest()
+
     def _merge_closest(self) -> None:
         gaps = [
             (self._bins[i + 1][0] - self._bins[i][0], i)

@@ -30,6 +30,7 @@ __all__ = [
     "read_raw",
     "read_str",
     "read_flag",
+    "read_int",
     "markdown_table",
 ]
 
@@ -90,6 +91,23 @@ REGISTRY: tuple[EnvVar, ...] = (
         "Shrink the benchmark suite to CI smoke size; regress.py widens "
         "its tolerances accordingly (`--quick`).",
     ),
+    EnvVar(
+        "REPRO_SKETCH_PRECISION", "int", "12",
+        "HLL register precision `p` (2**p one-byte registers) for distinct "
+        "counting in the approximate tier and `/statistics` "
+        "(`repro.approx.sketch`); 12 ≈ 1.6% standard error in 4 KiB.",
+    ),
+    EnvVar(
+        "REPRO_SKETCH_GROUPS", "int", "256",
+        "Group budget for the grouped-moments sketch: at most this many "
+        "GROUP BY keys are tracked exactly, the rest fold into the "
+        "`other` bucket (`repro.approx.sketch.moments`).",
+    ),
+    EnvVar(
+        "REPRO_SKETCH_K", "int", "128",
+        "Compactor budget `k` for the KLL quantile sketch — higher k, "
+        "tighter rank error, more memory (`repro.approx.sketch.quantile`).",
+    ),
 )
 
 _BY_NAME: dict[str, EnvVar] = {var.name: var for var in REGISTRY}
@@ -118,6 +136,17 @@ def read_flag(name: str) -> bool:
     """Boolean value: unset/empty/``0``/``false``/``no``/``off`` (any
     case) is False, everything else True."""
     return read_raw(name).strip().lower() not in _FALSY
+
+
+def read_int(name: str) -> int:
+    """Integer value, falling back to the declared default on unset *or*
+    unparseable input (a malformed knob should degrade to the documented
+    default, not crash the server at import time)."""
+    value = read_raw(name).strip()
+    try:
+        return int(value)
+    except ValueError:
+        return int(declared(name).default)
 
 
 def markdown_table() -> str:

@@ -175,11 +175,16 @@ class WorkloadReport:
         out: dict[str, dict[str, float]] = {}
         for record in self.records:
             row = out.setdefault(record.tenant or "-", {
-                "queries": 0, "cache_hits": 0, "latency_ms": 0.0,
+                "queries": 0, "cache_hits": 0, "approximate": 0,
+                "latency_ms": 0.0,
                 "store_lookups": 0, "scan_rows": 0, "solutions": 0,
             })
             row["queries"] += 1
             row["cache_hits"] += int(record.cache_hit)
+            # answers served from the sketch tier (bounded-work mergeable
+            # sketches), per tenant: how often each tenant's traffic rode
+            # the degraded-mode contract
+            row["approximate"] += int(record.strategy == "sketched")
             row["latency_ms"] += record.latency_ms
             row["store_lookups"] += record.store_lookups
             row["scan_rows"] += record.scan_rows
@@ -309,12 +314,13 @@ class WorkloadReport:
         lines = [f"workload: {len(self.records)} records"]
         lines.append("\nper-tenant attribution")
         lines.append(
-            f"  {'tenant':<16} {'queries':>8} {'hits':>6} "
+            f"  {'tenant':<16} {'queries':>8} {'hits':>6} {'approx':>7} "
             f"{'latency_ms':>12} {'lookups':>9} {'scan_rows':>10}"
         )
         for tenant, row in self.by_tenant().items():
             lines.append(
                 f"  {tenant:<16} {row['queries']:>8} {row['cache_hits']:>6} "
+                f"{row['approximate']:>7} "
                 f"{row['latency_ms']:>12.2f} {row['store_lookups']:>9} "
                 f"{row['scan_rows']:>10}"
             )

@@ -95,6 +95,13 @@ from ..sparql.results import (
 from ..store.base import StoreStatistics, TripleSource, compute_statistics
 from .admission import FairAdmissionQueue
 from .approximate import approximate_select, eligible_aggregate
+from .sketch import (
+    build_sketch_bundle,
+    bundle_to_answer,
+    eligible_sketch,
+    federated_sketch_bundle,
+    iter_sketch_passes,
+)
 from .http import (
     HttpError,
     HttpRequest,
@@ -657,14 +664,33 @@ class ReproServer:
             # scoping it to one tenant makes that tenant the SLO offender.
             time.sleep(self.config.debug_delay_ms / 1e3)
 
-        if isinstance(parsed, SelectQuery) and eligible_aggregate(parsed):
+        if isinstance(parsed, SelectQuery) and eligible_sketch(parsed):
+            # Wire mode: a federation coordinator asks for the serialized
+            # sketch bundle instead of result rows (cheap bounded work, so
+            # it is served regardless of the shed tier).
+            if request.header("x-repro-sketch"):
+                act.set_attribute("tier", "sketch-wire")
+                OBS.querylog.annotate_serving(tier="sketch-wire")
+                self._answer_sketch_wire(pending, engine, request, parsed)
+                return
+            # Progressive mode: chunked NDJSON of tightening estimates,
+            # one line per merged sketch pass (explicit client opt-in).
+            if request.header("x-repro-progressive"):
+                act.set_attribute("tier", "progressive")
+                OBS.querylog.annotate_serving(tier="progressive")
+                self._answer_sketch_progressive(pending, engine, parsed)
+                return
+        if isinstance(parsed, SelectQuery) and (
+            eligible_aggregate(parsed) or eligible_sketch(parsed)
+        ):
             tier = self.shedder.decide(
                 burn_rate=self.slo.burn_rate(pending.tenant),
                 peak_burn=self.slo.peak_burn_rate(),
             )
             act.set_attribute("tier", TIER_NAMES[tier])
             OBS.querylog.annotate_serving(tier=TIER_NAMES[tier])
-            self._answer_aggregate(pending, engine, parsed, tier, accept)
+            self._answer_aggregate(pending, engine, text, parsed, tier,
+                                   accept)
             return
         act.set_attribute("tier", "exact")
         OBS.querylog.annotate_serving(tier="exact")
@@ -693,6 +719,7 @@ class ReproServer:
         self,
         pending: _Pending,
         engine: CachedQueryEngine,
+        text: str,
         parsed: SelectQuery,
         tier: int,
         accept: str,
@@ -714,10 +741,13 @@ class ReproServer:
         max_rows = self.config.approx_max_rows
         if tier >= AGGRESSIVE:
             max_rows = max(1, max_rows // 4)
-        answer = approximate_select(
-            engine.engine, parsed, max_rows=max_rows,
-            confidence=self.config.approx_confidence,
-        )
+        if eligible_aggregate(parsed):
+            answer = approximate_select(
+                engine.engine, parsed, max_rows=max_rows,
+                confidence=self.config.approx_confidence,
+            )
+        else:
+            answer = self._sketched_answer(engine, text, parsed, max_rows)
         if not answer.approximate:
             # Small stream: the work budget covered it; answer is exact.
             self._mark_served(EXACT)
@@ -739,6 +769,135 @@ class ReproServer:
         }
         self._respond_select(pending, answer.result, fmt, headers,
                              extra=metadata)
+
+    def _sketched_answer(
+        self,
+        engine: CachedQueryEngine,
+        text: str,
+        parsed: SelectQuery,
+        max_rows: int,
+    ):
+        """GROUP BY / DISTINCT under overload: sketch locally, or merge
+        per-source bundles when the store is a federation."""
+        started = time.perf_counter_ns()
+        confidence = self.config.approx_confidence
+        bundle = federated_sketch_bundle(
+            self.store, text, parsed, max_rows=max_rows,
+            confidence=confidence,
+        )
+        method = "sketch-federated"
+        if bundle is None:
+            bundle = build_sketch_bundle(
+                engine.engine, parsed, max_rows=max_rows,
+                confidence=confidence,
+            )
+            method = "sketch"
+        self._note_sketch_bundle(bundle)
+        answer = bundle_to_answer(bundle, method=method)
+        if answer.approximate:
+            # The serving-level record: the engine's own stream record
+            # (complete=false, abandoned prefix) stays; this one is what
+            # the workload analyzer counts as approximate-tier usage.
+            log = OBS.querylog
+            if log.enabled:
+                log.emit(
+                    digest=engine.engine.plan_digest(parsed),
+                    form="SELECT",
+                    strategy="sketched",
+                    latency_ms=(time.perf_counter_ns() - started) / 1e6,
+                    solutions=len(answer.result),
+                )
+        return answer
+
+    def _note_sketch_bundle(self, bundle) -> None:
+        """Per-family sketch activity: counters + memory gauges for
+        /metrics (served from the coordinator level, never per-row)."""
+        metrics = OBS.metrics
+        service = self._service
+        for spec in bundle.agg_specs:
+            family = spec.sketch.kind
+            metrics.counter(
+                "server.sketch.answers", service=service, family=family
+            ).inc()
+            metrics.gauge(
+                "server.sketch.bytes", service=service, family=family
+            ).set(float(spec.sketch.size_bytes()))
+
+    def _answer_sketch_wire(
+        self,
+        pending: _Pending,
+        engine: CachedQueryEngine,
+        request: HttpRequest,
+        parsed: SelectQuery,
+    ) -> None:
+        """Answer with the serialized sketch bundle (federation wire)."""
+        max_rows = self.config.approx_max_rows
+        raw = request.param("max_rows")
+        if raw is not None:
+            try:
+                max_rows = int(raw)
+            except ValueError:
+                # repro: swallow(malformed max_rows keeps the configured
+                # default rather than failing the federated call)
+                pass
+        bundle = build_sketch_bundle(
+            engine.engine, parsed, max_rows=max(1, max_rows),
+            confidence=self.config.approx_confidence,
+        )
+        self._note_sketch_bundle(bundle)
+        self._count_status(200)
+        write_response(
+            pending.wfile, 200,
+            {"Content-Type": "application/json",
+             "X-Repro-Sketch": "1"},
+            json.dumps(bundle.to_dict(), sort_keys=True).encode("utf-8"),
+        )
+
+    def _answer_sketch_progressive(
+        self,
+        pending: _Pending,
+        engine: CachedQueryEngine,
+        parsed: SelectQuery,
+    ) -> None:
+        """Stream tightening estimates as NDJSON, one line per pass."""
+        passes = iter_sketch_passes(
+            engine.engine, parsed,
+            max_rows=self.config.approx_max_rows,
+            confidence=self.config.approx_confidence,
+        )
+
+        def lines():
+            final_bundle = None
+            for index, bundle in enumerate(passes):
+                final_bundle = bundle
+                answer = bundle_to_answer(bundle)
+                bindings = [
+                    {
+                        str(var): term_to_json(row[var])
+                        for var in answer.result.variables
+                        if row.get(var) is not None
+                    }
+                    for row in answer.result.rows
+                ]
+                yield json.dumps(
+                    {
+                        "pass": index + 1,
+                        "final": bundle.exhausted,
+                        "metadata": answer.metadata(),
+                        "bindings": bindings,
+                    },
+                    sort_keys=True,
+                ) + "\n"
+            if final_bundle is not None:
+                self._note_sketch_bundle(final_bundle)
+
+        headers = {
+            "Content-Type": "application/x-ndjson",
+            "X-Repro-Tier": "progressive",
+            "X-Repro-Approximate": "1",
+        }
+        self._count_status(200)
+        write_chunked(pending.wfile, 200, headers, lines())
 
     def _answer_select_exact(
         self,
@@ -891,6 +1050,11 @@ class ReproServer:
                 str(predicate): count
                 for predicate, count
                 in snapshot.predicate_cardinalities.items()
+            },
+            "predicate_distinct_objects": {
+                str(predicate): count
+                for predicate, count
+                in snapshot.predicate_distinct_objects.items()
             },
         }
         self._count_status(200)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..approx.progressive import StreamingMoments
+from ..approx.progressive import StreamingMoments, binomial_halfwidth
 from ..rdf.terms import Literal, Variable
 from ..sparql.eval import QueryEngine
 from ..sparql.nodes import AggregateExpr, Query, SelectQuery, VariableExpr
@@ -52,10 +52,11 @@ class ApproximateAnswer:
     confidence: float
     bounds: dict[str, float]  # projection variable -> CI halfwidth
     method: str
+    extra: dict[str, object] | None = None  # method-specific annotations
 
     def metadata(self) -> dict[str, object]:
         """The ``x-repro`` body member / ``X-Repro-*`` header payload."""
-        return {
+        payload: dict[str, object] = {
             "approximate": self.approximate,
             "method": self.method,
             "rows_consumed": self.rows_consumed,
@@ -66,6 +67,9 @@ class ApproximateAnswer:
                 for name, value in self.bounds.items()
             },
         }
+        if self.extra:
+            payload.update(self.extra)
+        return payload
 
 
 def eligible_aggregate(query: Query) -> bool:
@@ -130,7 +134,7 @@ class _AggState:
                 self.moments.add(float(value))
 
     def estimate(
-        self, rows_seen: int, estimated_total: int, z: float
+        self, rows_seen: int, estimated_total: int
     ) -> tuple[Literal, float]:
         """(value, CI halfwidth) scaled to the estimated population."""
         if self.kind == "COUNT" and self.variable is None:
@@ -141,10 +145,10 @@ class _AggState:
         if self.kind == "COUNT":
             if not rows_seen:
                 return Literal(0), 0.0
-            p = self.bound_rows / rows_seen
-            estimate = p * estimated_total
-            halfwidth = (
-                z * (p * (1.0 - p) / rows_seen) ** 0.5 * estimated_total
+            estimate = self.bound_rows / rows_seen * estimated_total
+            halfwidth = binomial_halfwidth(
+                self.bound_rows, rows_seen, estimated_total,
+                self.moments.confidence,
             )
             return Literal(int(round(estimate))), halfwidth
         # SUM / AVG over the numeric values observed so far; the numeric
@@ -222,12 +226,11 @@ def approximate_select(
         rows_seen,
         int(round(planner_estimate)) if planner_estimate is not None else 0,
     )
-    z = states[0].moments.z if states else 1.96
     variables = [projection.variable for projection in parsed.projections]
     row: dict[Variable, Literal] = {}
     bounds: dict[str, float] = {}
     for state in states:
-        value, halfwidth = state.estimate(rows_seen, estimated_total, z)
+        value, halfwidth = state.estimate(rows_seen, estimated_total)
         row[state.alias] = value
         bounds[str(state.alias)] = halfwidth
     return ApproximateAnswer(

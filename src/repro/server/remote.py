@@ -118,6 +118,7 @@ class RemoteEndpointSource:
     def _request(
         self, method: str, target: str, accept: str, body: bytes | None = None,
         content_type: str | None = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
@@ -126,6 +127,8 @@ class RemoteEndpointSource:
             headers = {"Accept": accept, "Connection": "close"}
             if content_type is not None:
                 headers["Content-Type"] = content_type
+            if extra_headers:
+                headers.update(extra_headers)
             context = OBS.tracer.current_context()
             if context is not None:
                 headers.update(context.to_headers())
@@ -139,7 +142,11 @@ class RemoteEndpointSource:
         finally:
             connection.close()
 
-    def _sparql(self, query: str, accept: str) -> bytes:
+    def _sparql(
+        self, query: str, accept: str,
+        extra_params: dict[str, str] | None = None,
+        extra_headers: dict[str, str] | None = None,
+    ) -> bytes:
         """POST one query, honoring 503 + Retry-After up to the retry cap.
 
         The whole retry loop runs inside one ``remote.call`` span: every
@@ -147,7 +154,10 @@ class RemoteEndpointSource:
         on the wire, so the remote server's spans stitch under a single
         wire hop no matter how many 503 round-trips it took.
         """
-        body = urlencode({"query": query}).encode("utf-8")
+        params = {"query": query}
+        if extra_params:
+            params.update(extra_params)
+        body = urlencode(params).encode("utf-8")
         attempts = self.max_retries + 1
         with OBS.tracer.span(
             "remote.call", endpoint=self.base_url, target="/sparql"
@@ -158,6 +168,7 @@ class RemoteEndpointSource:
                     status, headers, payload = self._request(
                         "POST", "/sparql", accept, body=body,
                         content_type="application/x-www-form-urlencoded",
+                        extra_headers=extra_headers,
                     )
                 except OSError as exc:
                     raise EndpointError(
@@ -216,6 +227,31 @@ class RemoteEndpointSource:
         return self.count((None, None, None))
 
     # ------------------------------------------------------------------ #
+    # Sketch wire (federated approximate aggregates)
+    # ------------------------------------------------------------------ #
+
+    def sketch_select(
+        self, query: str, max_rows: int = 2_000, confidence: float = 0.95
+    ) -> dict:
+        """Ask the endpoint for a serialized sketch bundle instead of rows.
+
+        ``X-Repro-Sketch: 1`` flips the server's ``/sparql`` into wire
+        mode for sketch-eligible aggregates: the response is the JSON
+        :class:`~repro.server.sketch.SketchBundle` the federation
+        coordinator merges (what ships is kilobytes of sketch state, not
+        the row stream). ``confidence`` is pinned by the *coordinator*
+        when rendering the merged answer; it is passed here only so both
+        sides build sketches with the same declared level.
+        """
+        del confidence  # the remote uses its own configured level
+        payload = self._sparql(
+            query, "application/json",
+            extra_params={"max_rows": str(max_rows)},
+            extra_headers={"X-Repro-Sketch": "1"},
+        )
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
     # Planner support
     # ------------------------------------------------------------------ #
 
@@ -239,5 +275,10 @@ class RemoteEndpointSource:
                 IRI(predicate): int(count)
                 for predicate, count
                 in data.get("predicate_cardinalities", {}).items()
+            },
+            predicate_distinct_objects={
+                IRI(predicate): int(count)
+                for predicate, count
+                in data.get("predicate_distinct_objects", {}).items()
             },
         )

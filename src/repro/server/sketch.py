@@ -1,0 +1,676 @@
+"""Sketch-backed approximate answers for GROUP BY / DISTINCT aggregates.
+
+:mod:`repro.server.approximate` covers *ungrouped* COUNT/SUM/AVG with a
+prefix sample. This module extends the shed tier to the two shapes it
+explicitly bails on, using the mergeable sketches of
+:mod:`repro.approx.sketch` (Hillview's model, PAPERS.md):
+
+* ``GROUP BY`` COUNT/SUM/AVG — operator output streams into one
+  :class:`~repro.approx.sketch.GroupedMomentsSketch` per aggregate under
+  the same bounded row budget; per-group answers scale up by the
+  planner's cardinality estimate with binomial/CLT intervals.
+* ungrouped ``COUNT(DISTINCT ?x)`` — the stream drains fully through an
+  HLL. Unlike counts, a sample's distinct count cannot be honestly
+  extrapolated, so the saving here is *memory and data-structure* work
+  (4 KiB registers and no exact dedup set), not rows; the declared bound
+  is the HLL standard error, which holds regardless of stream length.
+
+``GROUP BY`` over a ``DISTINCT`` aggregate stays ineligible: per-group
+HLLs under a group budget would make the "other"-bucket semantics of a
+spilled group undefined (you cannot un-merge a distinct set).
+
+The unit of composition is a :class:`SketchBundle` — the per-projection
+sketches plus the sampling frame (rows consumed, estimated total,
+exhausted flag). A bundle serializes to JSON for the federation wire
+(``X-Repro-Sketch: 1`` on ``/sparql``), merges with bundles from other
+sources, and renders into the same :class:`ApproximateAnswer` the rest of
+the serving layer already speaks. Merged counts are upper bounds when
+sources overlap — the same caveat :meth:`FederatedStore.statistics`
+documents — while HLL distinct merges deduplicate correctly by
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..approx.progressive import binomial_halfwidth
+from ..obs import OBS
+from ..approx.sketch import (
+    GroupedMomentsSketch,
+    HllSketch,
+    default_groups,
+    default_precision,
+    deserialize_sketch,
+    serialize_sketch,
+)
+from ..rdf.terms import Literal, Variable
+from ..sparql.eval import QueryEngine
+from ..sparql.nodes import AggregateExpr, Query, SelectQuery, VariableExpr
+from ..sparql.parser import parse_query
+from ..sparql.results import SelectResult, term_from_json, term_to_json
+from .approximate import ApproximateAnswer
+
+__all__ = [
+    "eligible_sketch",
+    "SketchBundle",
+    "build_sketch_bundle",
+    "merge_bundles",
+    "bundle_to_answer",
+    "sketched_select",
+    "federated_sketch_bundle",
+    "federated_sketch_select",
+    "iter_sketch_passes",
+]
+
+BUNDLE_VERSION = 1
+_GROUPED = ("COUNT", "SUM", "AVG")
+
+
+def eligible_sketch(query: Query) -> bool:
+    """Can the sketch path answer this query approximately?
+
+    Eligible: a grouped SELECT whose GROUP BY keys are plain variables
+    and whose projections are group keys plus non-DISTINCT
+    ``COUNT``/``SUM``/``AVG`` aggregates, or an ungrouped SELECT whose
+    every projection is ``COUNT(DISTINCT ?var)``. Solution modifiers
+    (HAVING, ORDER BY, LIMIT/OFFSET, SELECT DISTINCT) stay exact.
+    """
+    if not isinstance(query, SelectQuery):
+        return False
+    if query.having is not None or query.order_by:
+        return False
+    if query.distinct or query.limit is not None or query.offset:
+        return False
+    if not query.projections:
+        return False
+    if query.group_by:
+        if not all(isinstance(e, VariableExpr) for e in query.group_by):
+            return False
+        group_vars = {e.variable for e in query.group_by}
+        saw_aggregate = False
+        for projection in query.projections:
+            expression = projection.expression
+            if expression is None:
+                if projection.variable not in group_vars:
+                    return False
+                continue
+            if isinstance(expression, VariableExpr):
+                if expression.variable not in group_vars:
+                    return False
+                continue
+            if not isinstance(expression, AggregateExpr):
+                return False
+            if expression.distinct or expression.name not in _GROUPED:
+                return False
+            if expression.argument is None:
+                if expression.name != "COUNT":
+                    return False
+            elif not isinstance(expression.argument, VariableExpr):
+                return False
+            saw_aggregate = True
+        return saw_aggregate
+    for projection in query.projections:
+        expression = projection.expression
+        if not isinstance(expression, AggregateExpr):
+            return False
+        if expression.name != "COUNT" or not expression.distinct:
+            return False
+        if not isinstance(expression.argument, VariableExpr):
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Group-key wire encoding
+# --------------------------------------------------------------------------- #
+
+
+def _group_key(row: dict, group_vars: tuple[Variable, ...]) -> str:
+    """Canonical string key for one row's group: the W3C JSON encodings
+    of the key terms, in GROUP BY order, as compact sorted JSON — stable
+    across processes so federation members agree on group identity."""
+    parts = [
+        term_to_json(row[var]) if row.get(var) is not None else None
+        for var in group_vars
+    ]
+    return json.dumps(parts, separators=(",", ":"), sort_keys=True)
+
+
+def _decode_group_key(
+    key: str, group_vars: tuple[Variable, ...]
+) -> dict[Variable, object]:
+    bindings: dict[Variable, object] = {}
+    for var, part in zip(group_vars, json.loads(key)):
+        if part is not None:
+            bindings[var] = term_from_json(part)
+    return bindings
+
+
+def _term_key(term: object) -> str:
+    """Canonical identity of one term for distinct counting (same
+    encoding as group keys, so hashes agree across processes)."""
+    return json.dumps(
+        term_to_json(term), separators=(",", ":"), sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The bundle: per-projection sketches + the sampling frame
+# --------------------------------------------------------------------------- #
+
+
+class _Spec:
+    """One projection's role in the bundle."""
+
+    __slots__ = ("alias", "role", "kind", "arg", "distinct", "sketch")
+
+    def __init__(self, alias, role, kind=None, arg=None, distinct=False,
+                 sketch=None) -> None:
+        self.alias = alias  # Variable: the output column
+        self.role = role  # "group" | "agg"
+        self.kind = kind  # COUNT | SUM | AVG for aggregates
+        self.arg = arg  # Variable | None (COUNT(*))
+        self.distinct = distinct
+        self.sketch = sketch  # HllSketch | GroupedMomentsSketch | None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "alias": str(self.alias),
+            "role": self.role,
+        }
+        if self.role == "agg":
+            payload["kind"] = self.kind
+            payload["arg"] = str(self.arg) if self.arg is not None else None
+            payload["distinct"] = self.distinct
+            payload["sketch"] = serialize_sketch(self.sketch)
+        else:
+            payload["arg"] = str(self.arg)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_Spec":
+        role = payload["role"]
+        arg = payload.get("arg")
+        return cls(
+            alias=Variable(payload["alias"]),
+            role=role,
+            kind=payload.get("kind"),
+            arg=Variable(arg) if arg is not None else None,
+            distinct=bool(payload.get("distinct", False)),
+            sketch=(
+                deserialize_sketch(payload["sketch"])
+                if role == "agg" else None
+            ),
+        )
+
+
+class SketchBundle:
+    """The mergeable unit one source contributes to a sketched answer."""
+
+    def __init__(
+        self,
+        group_vars: tuple[Variable, ...],
+        specs: list[_Spec],
+        rows_consumed: int,
+        estimated_total: int,
+        exhausted: bool,
+        confidence: float,
+    ) -> None:
+        self.group_vars = group_vars
+        self.specs = specs
+        self.rows_consumed = rows_consumed
+        self.estimated_total = estimated_total
+        self.exhausted = exhausted
+        self.confidence = confidence
+
+    @property
+    def agg_specs(self) -> list[_Spec]:
+        return [spec for spec in self.specs if spec.role == "agg"]
+
+    def merge(self, other: "SketchBundle") -> None:
+        """Absorb another source's bundle (the coordinator's combine step).
+
+        Sources are bag-unioned: rows and totals add, sketches merge.
+        Overlapping sources therefore over-count grouped aggregates — the
+        documented upper-bound semantics federation statistics already
+        have — while HLL distinct merges stay duplicate-proof.
+        """
+        if [str(v) for v in other.group_vars] != [
+            str(v) for v in self.group_vars
+        ]:
+            raise ValueError("bundles group by different keys")
+        mine, theirs = self.agg_specs, other.agg_specs
+        if len(mine) != len(theirs) or any(
+            (a.kind, str(a.alias), a.distinct) != (b.kind, str(b.alias),
+                                                   b.distinct)
+            for a, b in zip(mine, theirs)
+        ):
+            raise ValueError("bundles carry different aggregate shapes")
+        for a, b in zip(mine, theirs):
+            a.sketch.merge(b.sketch)
+        self.rows_consumed += other.rows_consumed
+        self.estimated_total += other.estimated_total
+        self.exhausted = self.exhausted and other.exhausted
+
+    def sketch_bytes(self) -> int:
+        return sum(spec.sketch.size_bytes() for spec in self.agg_specs)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": BUNDLE_VERSION,
+            "group_vars": [str(var) for var in self.group_vars],
+            "rows_consumed": self.rows_consumed,
+            "estimated_total": self.estimated_total,
+            "exhausted": self.exhausted,
+            "confidence": self.confidence,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SketchBundle":
+        version = payload.get("v")
+        if version != BUNDLE_VERSION:
+            raise ValueError(f"unsupported bundle version: {version!r}")
+        return cls(
+            group_vars=tuple(
+                Variable(name) for name in payload.get("group_vars", [])
+            ),
+            specs=[_Spec.from_dict(s) for s in payload.get("specs", [])],
+            rows_consumed=int(payload["rows_consumed"]),
+            estimated_total=int(payload["estimated_total"]),
+            exhausted=bool(payload["exhausted"]),
+            confidence=float(payload.get("confidence", 0.95)),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Building a bundle from one engine's operator stream
+# --------------------------------------------------------------------------- #
+
+
+def _make_specs(
+    parsed: SelectQuery, confidence: float
+) -> tuple[tuple[Variable, ...], list[_Spec]]:
+    group_vars = tuple(expr.variable for expr in parsed.group_by)
+    specs: list[_Spec] = []
+    for projection in parsed.projections:
+        expression = projection.expression
+        if expression is None or isinstance(expression, VariableExpr):
+            underlying = (
+                projection.variable if expression is None
+                else expression.variable
+            )
+            specs.append(_Spec(projection.variable, "group", arg=underlying))
+            continue
+        arg = (
+            expression.argument.variable
+            if isinstance(expression.argument, VariableExpr) else None
+        )
+        if expression.distinct:
+            sketch = HllSketch(
+                precision=default_precision(), confidence=confidence
+            )
+        else:
+            sketch = GroupedMomentsSketch(
+                max_groups=default_groups(), confidence=confidence
+            )
+        specs.append(_Spec(
+            projection.variable, "agg", kind=expression.name, arg=arg,
+            distinct=expression.distinct, sketch=sketch,
+        ))
+    return group_vars, specs
+
+
+def _feed(row: dict, key: str | None, specs: list[_Spec]) -> None:
+    for spec in specs:
+        if spec.role != "agg":
+            continue
+        if spec.distinct:
+            term = row.get(spec.arg)
+            if term is not None:
+                spec.sketch.add(_term_key(term))
+        elif spec.kind == "COUNT":
+            if spec.arg is None or row.get(spec.arg) is not None:
+                spec.sketch.add_group(key, 1.0)
+        else:  # SUM / AVG: numeric literals only, like the exact engine
+            term = row.get(spec.arg)
+            if isinstance(term, Literal):
+                value = term.value
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    spec.sketch.add_group(key, float(value))
+
+
+def build_sketch_bundle(
+    engine: QueryEngine,
+    query: str | SelectQuery,
+    max_rows: int = 2_000,
+    confidence: float = 0.95,
+) -> SketchBundle:
+    """Stream one engine's pattern solutions into a fresh bundle.
+
+    Grouped aggregates stop at ``max_rows`` (the bounded-work budget);
+    a DISTINCT projection anywhere lifts the row cap, because a distinct
+    count only carries an honest bound over the *whole* stream — the
+    bounded resource is then the sketch memory, not the row count.
+
+    The grouped scale-up inherits the prefix-exchangeability assumption
+    of :mod:`repro.server.approximate`: store iteration order stands in
+    for a uniform sample. When the scan order *correlates with the group
+    key* (an object-grouped index behind ``GROUP BY`` on that object)
+    the prefix over-represents early groups and real error exceeds the
+    declared interval — the same caveat, sharper consequences. The
+    Agresti–Coull-adjusted halfwidths at least never report certainty
+    from a one-group prefix.
+    """
+    parsed = parse_query(query) if isinstance(query, str) else query
+    if not eligible_sketch(parsed):
+        raise ValueError("query is not sketch-eligible")
+    if max_rows < 1:
+        raise ValueError("max_rows must be positive")
+    group_vars, specs = _make_specs(parsed, confidence)
+    distinct_mode = any(spec.distinct for spec in specs)
+
+    pattern_query = SelectQuery(
+        projections=(), where=parsed.where, prefixes=parsed.prefixes
+    )
+    stream = engine.stream_select(pattern_query)
+    rows_seen = 0
+    exhausted = False
+    iterator = iter(stream.rows)
+    while True:
+        if not distinct_mode and rows_seen >= max_rows:
+            break
+        try:
+            row = next(iterator)
+        except StopIteration:
+            exhausted = True
+            break
+        rows_seen += 1
+        key = _group_key(row, group_vars) if group_vars else None
+        _feed(row, key, specs)
+
+    if exhausted:
+        estimated_total = rows_seen
+    else:
+        planner_estimate = stream.estimated_rows
+        estimated_total = max(
+            rows_seen,
+            int(round(planner_estimate))
+            if planner_estimate is not None else 0,
+        )
+    return SketchBundle(
+        group_vars=group_vars,
+        specs=specs,
+        rows_consumed=rows_seen,
+        estimated_total=estimated_total,
+        exhausted=exhausted,
+        confidence=confidence,
+    )
+
+
+def merge_bundles(bundles: list[SketchBundle]) -> SketchBundle:
+    if not bundles:
+        raise ValueError("nothing to merge")
+    merged = bundles[0]
+    for bundle in bundles[1:]:
+        merged.merge(bundle)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Rendering a bundle into the serving layer's answer shape
+# --------------------------------------------------------------------------- #
+
+
+def _grouped_rows(
+    bundle: SketchBundle,
+) -> tuple[list[dict], dict[str, float], bool]:
+    """Per-group result rows + per-alias worst-case halfwidths.
+
+    Rows are ordered by descending estimated size of the group (the
+    shape a top-groups visualization wants); a group tracked by one
+    aggregate's sketch but spilled from another simply leaves that
+    column unbound, mirroring SPARQL's unbound semantics.
+    """
+    rows_seen = bundle.rows_consumed
+    total = bundle.estimated_total
+    scale = (total / rows_seen) if rows_seen else 0.0
+    agg_specs = bundle.agg_specs
+    keys: dict[str, int] = {}
+    for spec in agg_specs:
+        for key, n, _total, _mean, _var in spec.sketch.group_stats():
+            if key.startswith("__"):
+                continue  # the OTHER_BUCKET pseudo-group
+            keys[key] = max(keys.get(key, 0), n)
+    ordered = sorted(keys, key=lambda key: (-keys[key], key))
+    spilled = any(spec.sketch.spilled for spec in agg_specs)
+    bounds: dict[str, float] = {str(s.alias): 0.0 for s in bundle.specs}
+    rows: list[dict] = []
+    for key in ordered:
+        row: dict = dict(_decode_group_key(key, bundle.group_vars))
+        for spec in agg_specs:
+            moments = spec.sketch.group(key)
+            if moments is None or moments.n == 0:
+                if spec.kind == "COUNT":
+                    row[spec.alias] = Literal(0)
+                continue
+            if spec.kind == "COUNT":
+                estimate = moments.n * scale
+                halfwidth = binomial_halfwidth(
+                    moments.n, rows_seen, total, bundle.confidence
+                )
+                row[spec.alias] = Literal(int(round(estimate)))
+            else:
+                scaled_n = max(moments.n, int(round(moments.n * scale)))
+                snapshot = moments.estimate(scaled_n)
+                if spec.kind == "AVG":
+                    estimate = snapshot.mean
+                    halfwidth = snapshot.ci_halfwidth
+                else:
+                    estimate = snapshot.sum_estimate
+                    halfwidth = snapshot.sum_ci_halfwidth
+                row[spec.alias] = Literal(float(estimate))
+            alias = str(spec.alias)
+            if halfwidth > bounds[alias]:
+                bounds[alias] = halfwidth
+        rows.append(row)
+    return rows, bounds, spilled
+
+
+def bundle_to_answer(
+    bundle: SketchBundle, method: str = "sketch"
+) -> ApproximateAnswer:
+    """Render a (possibly merged) bundle as an :class:`ApproximateAnswer`."""
+    variables = [spec.alias for spec in bundle.specs]
+    if bundle.group_vars:
+        rows, bounds, spilled = _grouped_rows(bundle)
+        approximate = (not bundle.exhausted) or spilled
+        extra: dict[str, object] = {"groups": len(rows)}
+        if spilled:
+            other = max(
+                spec.sketch.other_group_estimate()
+                for spec in bundle.agg_specs
+            )
+            extra["other_groups"] = int(round(other))
+        if not approximate:
+            bounds = {name: 0.0 for name in bounds}
+        return ApproximateAnswer(
+            result=SelectResult(variables, rows),
+            approximate=approximate,
+            rows_consumed=bundle.rows_consumed,
+            estimated_total=bundle.estimated_total,
+            confidence=bundle.confidence,
+            bounds=bounds,
+            method=method if approximate else "exact",
+            extra=extra,
+        )
+    row: dict = {}
+    bounds = {}
+    for spec in bundle.agg_specs:
+        estimate = spec.sketch.estimate()
+        row[spec.alias] = Literal(int(round(estimate.value)))
+        bounds[str(spec.alias)] = round(estimate.absolute_bound(), 6)
+    return ApproximateAnswer(
+        result=SelectResult(variables, [row]),
+        approximate=True,
+        rows_consumed=bundle.rows_consumed,
+        estimated_total=bundle.estimated_total,
+        confidence=bundle.confidence,
+        bounds=bounds,
+        method=method,
+        extra={"sketch": "hll"},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Entry points: local and federated
+# --------------------------------------------------------------------------- #
+
+
+def sketched_select(
+    engine: QueryEngine,
+    query: str | SelectQuery,
+    max_rows: int = 2_000,
+    confidence: float = 0.95,
+) -> ApproximateAnswer:
+    """One-engine sketched answer (the non-federated serving path)."""
+    bundle = build_sketch_bundle(engine, query, max_rows, confidence)
+    return bundle_to_answer(bundle, method="sketch")
+
+
+def federated_sketch_bundle(
+    store: object,
+    query_text: str,
+    parsed: SelectQuery,
+    max_rows: int = 2_000,
+    confidence: float = 0.95,
+) -> SketchBundle | None:
+    """Fan a sketch-eligible aggregate out across federation members.
+
+    Members exposing ``sketch_select`` (remote endpoints) answer with a
+    serialized bundle over the wire; plain local sources are sketched
+    in-process. Returns ``None`` when ``store`` is not a federation —
+    the caller falls back to :func:`build_sketch_bundle`.
+    """
+    members = getattr(store, "members", None)
+    if members is None:
+        return None
+    bundles: list[SketchBundle] = []
+    for _name, source in members():
+        sketch_call = getattr(source, "sketch_select", None)
+        if sketch_call is not None:
+            payload = sketch_call(
+                query_text, max_rows=max_rows, confidence=confidence
+            )
+            bundles.append(SketchBundle.from_dict(payload))
+        else:
+            bundles.append(build_sketch_bundle(
+                QueryEngine(source), parsed, max_rows, confidence
+            ))
+    return merge_bundles(bundles)
+
+
+def federated_sketch_select(
+    store: object,
+    query_text: str,
+    parsed: SelectQuery,
+    max_rows: int = 2_000,
+    confidence: float = 0.95,
+) -> ApproximateAnswer | None:
+    merged = federated_sketch_bundle(
+        store, query_text, parsed, max_rows, confidence
+    )
+    if merged is None:
+        return None
+    return bundle_to_answer(merged, method="sketch-federated")
+
+
+# --------------------------------------------------------------------------- #
+# Progressive refinement: per-pass sketches merged into a running answer
+# --------------------------------------------------------------------------- #
+
+
+def iter_sketch_passes(
+    engine: QueryEngine,
+    query: str | SelectQuery,
+    max_rows: int = 2_000,
+    confidence: float = 0.95,
+    passes: int = 4,
+):
+    """Yield a tightening :class:`SketchBundle` after each chunk of work.
+
+    Each pass builds *fresh* per-chunk sketches and merges them into the
+    accumulated ones — the same merge the federation coordinator runs, so
+    the progressive path continuously exercises mergeability rather than
+    special-casing incremental update. Grouped bounds tighten as
+    ``rows_consumed`` grows (binomial/CLT halfwidths shrink with the
+    sample); a DISTINCT projection lifts the row budget and the passes
+    chart coverage of the whole stream instead.
+
+    Every pass also lands on the progress-event stream
+    (``approx.sketch.pass``) so a UI can watch without consuming the
+    iterator.
+    """
+    parsed = parse_query(query) if isinstance(query, str) else query
+    if not eligible_sketch(parsed):
+        raise ValueError("query is not sketch-eligible")
+    if max_rows < 1 or passes < 1:
+        raise ValueError("max_rows and passes must be positive")
+    group_vars, accumulated = _make_specs(parsed, confidence)
+    distinct_mode = any(spec.distinct for spec in accumulated)
+    budget = None if distinct_mode else max_rows
+    chunk = max(1, max_rows // passes)
+
+    pattern_query = SelectQuery(
+        projections=(), where=parsed.where, prefixes=parsed.prefixes
+    )
+    stream = engine.stream_select(pattern_query)
+    iterator = iter(stream.rows)
+    rows_seen = 0
+    exhausted = False
+    emitter = OBS.progress
+    while not exhausted and (budget is None or rows_seen < budget):
+        _, fresh = _make_specs(parsed, confidence)
+        consumed = 0
+        while consumed < chunk and (budget is None or rows_seen < budget):
+            try:
+                row = next(iterator)
+            except StopIteration:
+                exhausted = True
+                break
+            rows_seen += 1
+            consumed += 1
+            key = _group_key(row, group_vars) if group_vars else None
+            _feed(row, key, fresh)
+        if consumed == 0 and not exhausted:
+            break  # budget landed exactly on a chunk boundary
+        for acc, new in zip(accumulated, fresh):
+            if acc.role == "agg":
+                acc.sketch.merge(new.sketch)
+        if exhausted:
+            estimated_total = rows_seen
+        else:
+            planner_estimate = stream.estimated_rows
+            estimated_total = max(
+                rows_seen,
+                int(round(planner_estimate))
+                if planner_estimate is not None else 0,
+            )
+        if emitter.has_subscribers:
+            emitter.emit(
+                "approx.sketch.pass",
+                completed=rows_seen,
+                total=estimated_total,
+                exhausted=exhausted,
+            )
+        yield SketchBundle(
+            group_vars=group_vars,
+            specs=accumulated,
+            rows_consumed=rows_seen,
+            estimated_total=estimated_total,
+            exhausted=exhausted,
+            confidence=confidence,
+        )

@@ -328,6 +328,12 @@ class CrackingTripleStore:
                 self._stats = StatisticsSnapshot(0, 0, 0, 0, {})
             else:
                 predicates, counts = np.unique(self._ids[:, 1], return_counts=True)
+                # distinct objects per predicate: unique (p, o) pairs, then
+                # a per-predicate count over the deduplicated pairs
+                pairs = np.unique(self._ids[:, 1:3], axis=0)
+                pair_preds, pair_counts = np.unique(
+                    pairs[:, 0], return_counts=True
+                )
                 decode = self.dictionary.decode
                 self._stats = StatisticsSnapshot(
                     triple_count=len(self._ids),
@@ -337,6 +343,10 @@ class CrackingTripleStore:
                     predicate_cardinalities={
                         decode(int(pid)): int(card)
                         for pid, card in zip(predicates, counts)
+                    },
+                    predicate_distinct_objects={
+                        decode(int(pid)): int(card)
+                        for pid, card in zip(pair_preds, pair_counts)
                     },
                 )
         return self._stats

@@ -95,15 +95,21 @@ class FederatedStore:
                 for _, source in self._sources
             ]
             predicate_cards: dict = {}
+            predicate_distincts: dict = {}
             for snapshot in snapshots:
                 for predicate, card in snapshot.predicate_cardinalities.items():
                     predicate_cards[predicate] = predicate_cards.get(predicate, 0) + card
+                for predicate, card in snapshot.predicate_distinct_objects.items():
+                    predicate_distincts[predicate] = (
+                        predicate_distincts.get(predicate, 0) + card
+                    )
             self._statistics = StatisticsSnapshot(
                 triple_count=sum(s.triple_count for s in snapshots),
                 distinct_subjects=sum(s.distinct_subjects for s in snapshots),
                 distinct_predicates=len(predicate_cards),
                 distinct_objects=sum(s.distinct_objects for s in snapshots),
                 predicate_cardinalities=predicate_cards,
+                predicate_distinct_objects=predicate_distincts,
             )
         return self._statistics
 
@@ -119,6 +125,12 @@ class FederatedStore:
 
     def source_names(self) -> list[str]:
         return [name for name, _ in self._sources]
+
+    def members(self) -> list[tuple[str, TripleSource]]:
+        """The named members, for capability probing — the sketch
+        coordinator (:mod:`repro.server.sketch`) fans eligible aggregates
+        out to each member and merges the returned sketch bundles."""
+        return list(self._sources)
 
     def add_source(self, name: str, source: TripleSource) -> None:
         """Attach another endpoint at runtime (the 'enhancement' step)."""

@@ -322,6 +322,15 @@ class MemoryStore:
                 for pid, by_obj in self._pos.items()
                 if (card := sum(len(subjs) for subjs in by_obj.values()))
             }
+            # Exact distinct objects per predicate: the POS index already
+            # groups by object, so it's one length per predicate — no
+            # sketch needed (the scan fallback in ``compute_statistics``
+            # estimates the same figure with HLL).
+            predicate_distincts = {
+                decode(pid): distinct
+                for pid, by_obj in self._pos.items()
+                if (distinct := sum(1 for subjs in by_obj.values() if subjs))
+            }
             self._stats = StatisticsSnapshot(
                 triple_count=self._size,
                 distinct_subjects=sum(
@@ -336,6 +345,7 @@ class MemoryStore:
                     if any(preds for preds in by_subj.values())
                 ),
                 predicate_cardinalities=MappingProxyType(predicate_cards),
+                predicate_distinct_objects=MappingProxyType(predicate_distincts),
             )
         return self._stats
 

@@ -107,3 +107,34 @@ def test_progressive_converges_to_truth_property(data, chunk, seed):
     assert final.mean == pytest.approx(float(np.mean(data)), rel=1e-9, abs=1e-6)
     if len(data) > 1:
         assert final.ci_halfwidth == pytest.approx(0.0, abs=1e-6)
+
+
+class TestProgressiveSketchAggregator:
+    def test_merged_passes_equal_single_pass_hll(self):
+        from repro.approx.progressive import ProgressiveSketchAggregator
+        from repro.approx.sketch import HllSketch
+
+        values = [f"k{i % 700}" for i in range(4_000)]
+        single = HllSketch(precision=11)
+        for value in values:
+            single.add(value)
+        aggregator = ProgressiveSketchAggregator(
+            lambda: HllSketch(precision=11)
+        )
+        chunks = [values[start:start + 1_000] for start in range(0, 4_000, 1_000)]
+        estimates = list(aggregator.run(chunks))
+        assert aggregator.passes == 4
+        assert estimates[-1].value == single.estimate().value
+
+    def test_absorb_returns_running_estimate(self):
+        from repro.approx.progressive import ProgressiveSketchAggregator
+        from repro.approx.sketch import HllSketch
+
+        aggregator = ProgressiveSketchAggregator(
+            lambda: HllSketch(precision=10)
+        )
+        part = HllSketch(precision=10)
+        for i in range(500):
+            part.add(i)
+        estimate = aggregator.absorb(part)
+        assert estimate.value == pytest.approx(500, rel=0.1)

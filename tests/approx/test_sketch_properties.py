@@ -1,0 +1,202 @@
+"""Property-based tests on the sketch contract (Hypothesis).
+
+Three laws, exercised over synthetic skewed and uniform workloads:
+
+1. *Honesty*: the measured error of ``estimate()`` against the exact
+   answer stays inside the declared bound.
+2. *Merge associativity*: merging N partials in any split equals the
+   single-pass sketch within the declared bound (bit-identical for HLL).
+3. *Wire fidelity*: serialize → deserialize → merge behaves exactly like
+   merging the in-memory original.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.progressive import StreamingMoments
+from repro.approx.sketch import (
+    GroupedMomentsSketch,
+    HllSketch,
+    KllSketch,
+    sketch_from_bytes,
+    sketch_to_bytes,
+)
+
+# A workload is (n, skew): skew 0 → uniform over n keys, skew > 0 →
+# zipf-ish with weight 1/(rank+1)^skew. Both shapes must satisfy the
+# same declared bounds.
+_workloads = st.tuples(
+    st.integers(200, 4_000), st.floats(0.0, 2.0, allow_nan=False)
+)
+
+
+def _draw_keys(n, skew, universe, seed):
+    rng = random.Random(seed)
+    ranks = range(universe)
+    weights = [1.0 / (rank + 1) ** skew for rank in ranks]
+    return rng.choices([f"k{rank}" for rank in ranks], weights=weights, k=n)
+
+
+def _split(items, pieces, seed):
+    rng = random.Random(seed)
+    parts = [[] for _ in range(pieces)]
+    for item in items:
+        parts[rng.randrange(pieces)].append(item)
+    return parts
+
+
+# --------------------------------------------------------------------------- #
+# HLL
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=_workloads, seed=st.integers(0, 2**16))
+def test_hll_error_within_bound(workload, seed):
+    n, skew = workload
+    keys = _draw_keys(n, skew, universe=500, seed=seed)
+    sketch = HllSketch(precision=11)
+    for key in keys:
+        sketch.add(key)
+    exact = len(set(keys))
+    estimate = sketch.estimate()
+    assert abs(estimate.value - exact) <= estimate.error_bound * exact + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    workload=_workloads,
+    pieces=st.integers(2, 6),
+    seed=st.integers(0, 2**16),
+)
+def test_hll_merge_is_exactly_single_pass(workload, pieces, seed):
+    n, skew = workload
+    keys = _draw_keys(n, skew, universe=500, seed=seed)
+    single = HllSketch(precision=11)
+    for key in keys:
+        single.add(key)
+    partials = []
+    for part in _split(keys, pieces, seed + 1):
+        sketch = HllSketch(precision=11)
+        for key in part:
+            sketch.add(key)
+        partials.append(sketch)
+    merged = partials[0]
+    for partial in partials[1:]:
+        # wire round-trip inside the merge: the federation shape
+        merged.merge(sketch_from_bytes(sketch_to_bytes(partial)))
+    assert merged.cardinality() == single.cardinality()
+
+
+# --------------------------------------------------------------------------- #
+# KLL
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(500, 5_000),
+    pieces=st.integers(2, 5),
+    seed=st.integers(0, 2**16),
+    q=st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9]),
+)
+def test_kll_merged_quantile_within_ledger(n, pieces, seed, q):
+    rng = random.Random(seed)
+    values = [rng.lognormvariate(0.0, 1.5) for _ in range(n)]
+    partials = []
+    for index, part in enumerate(_split(values, pieces, seed + 1)):
+        sketch = KllSketch(k=96, seed=index)
+        for value in part:
+            sketch.add(value)
+        partials.append(sketch)
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged.merge(sketch_from_bytes(sketch_to_bytes(partial)))
+    assert len(merged) == n
+    estimate = merged.quantile(q)
+    true_rank = sum(1 for v in values if v <= estimate) / n
+    # ledger bound, plus the 1/n discreteness of the empirical CDF
+    assert abs(true_rank - q) <= merged.rank_error + 1.0 / n
+
+
+# --------------------------------------------------------------------------- #
+# Grouped moments
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    workload=_workloads,
+    pieces=st.integers(2, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_grouped_merge_matches_single_pass_exactly(workload, pieces, seed):
+    """Below the group budget the sketch is exact, so merge-of-partials
+    must reproduce single-pass moments to float precision."""
+    n, skew = workload
+    keys = _draw_keys(n, skew, universe=24, seed=seed)
+    rng = random.Random(seed + 2)
+    observations = [(key, rng.uniform(-50, 50)) for key in keys]
+    single = GroupedMomentsSketch(max_groups=64)
+    for key, value in observations:
+        single.add_group(key, value)
+    partials = []
+    for part in _split(observations, pieces, seed + 3):
+        sketch = GroupedMomentsSketch(max_groups=64)
+        for key, value in part:
+            sketch.add_group(key, value)
+        partials.append(sketch)
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged.merge(sketch_from_bytes(sketch_to_bytes(partial)))
+    assert not merged.spilled
+    singles = {key: (n_, t, m, v) for key, n_, t, m, v in single.group_stats()}
+    merges = {key: (n_, t, m, v) for key, n_, t, m, v in merged.group_stats()}
+    assert singles.keys() == merges.keys()
+    for key, (count, total, mean, variance) in singles.items():
+        m_count, m_total, m_mean, m_variance = merges[key]
+        assert m_count == count
+        assert abs(m_total - total) <= 1e-6 * max(1.0, abs(total))
+        assert abs(m_mean - mean) <= 1e-9 * max(1.0, abs(mean))
+        assert abs(m_variance - variance) <= 1e-6 * max(1.0, variance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16), budget=st.integers(2, 8))
+def test_grouped_spill_conserves_count(seed, budget):
+    keys = _draw_keys(1_500, 1.0, universe=40, seed=seed)
+    sketch = GroupedMomentsSketch(max_groups=budget)
+    for key in keys:
+        sketch.add_group(key, 1.0)
+    total = sum(n for _key, n, _t, _m, _v in sketch.group_stats())
+    assert total == len(keys)
+
+
+# --------------------------------------------------------------------------- #
+# StreamingMoments (the retrofit shared with progressive/approximate)
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=400
+    ),
+    split_at=st.integers(0, 400),
+    seed=st.integers(0, 2**16),
+)
+def test_streaming_moments_merge_is_exact(values, split_at, seed):
+    split_at = min(split_at, len(values))
+    single = StreamingMoments()
+    single.extend(values)
+    left, right = StreamingMoments(), StreamingMoments()
+    left.extend(values[:split_at])
+    right.extend(values[split_at:])
+    left.merge(right)
+    assert left.n == single.n
+    scale = max(1.0, abs(single.mean))
+    assert abs(left.mean - single.mean) <= 1e-9 * scale
+    assert abs(left.variance - single.variance) <= 1e-6 * max(
+        1.0, single.variance
+    )

@@ -103,3 +103,38 @@ class TestStreamingExtremes:
     def test_validation(self):
         with pytest.raises(ValueError):
             StreamingExtremes(k=0)
+
+
+class TestHistogramMerge:
+    def test_merge_conserves_mass_and_bound(self):
+        left = StreamingHistogram(max_bins=32)
+        right = StreamingHistogram(max_bins=32)
+        left.extend(numeric_values(5_000, "normal", seed=2))
+        right.extend(numeric_values(5_000, "uniform", seed=3))
+        left.merge(right)
+        assert left.total == 10_000
+        assert len(left) <= 32
+
+    def test_merge_of_exact_histograms_stays_exact(self):
+        left = StreamingHistogram(max_bins=16)
+        right = StreamingHistogram(max_bins=16)
+        left.extend([1.0] * 5 + [2.0] * 3)
+        right.extend([2.0] * 4 + [9.0] * 2)
+        left.merge(right)
+        # shared centroid 2.0 coalesces instead of occupying two bins
+        assert left.bins == [(1.0, 5.0), (2.0, 7.0), (9.0, 2.0)]
+
+    def test_merged_quantiles_track_single_pass(self):
+        values = numeric_values(20_000, "normal", seed=5)
+        single = StreamingHistogram(max_bins=64)
+        single.extend(values)
+        parts = [StreamingHistogram(max_bins=64) for _ in range(4)]
+        for index in range(4):
+            parts[index].extend(values[index::4])
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        assert merged.total == single.total
+        for q in (0.25, 0.5, 0.75):
+            spread = float(np.std(values))
+            assert abs(merged.quantile(q) - single.quantile(q)) <= 0.2 * spread

@@ -16,10 +16,10 @@ from repro.obs.workload import (
 
 def record(seq, *, ts=None, digest="d0", latency=1.0, tenant=None,
            cache_hit=False, lookups=0, scan_rows=0, solutions=0,
-           scans=(), trace_id=None):
+           scans=(), trace_id=None, strategy="iterator"):
     return QueryRecord(
         sequence=seq, ts=float(seq if ts is None else ts), digest=digest,
-        form="SELECT", strategy="iterator", latency_ms=latency,
+        form="SELECT", strategy=strategy, latency_ms=latency,
         tenant=tenant, cache_hit=cache_hit, trace_id=trace_id,
         store_lookups=lookups, scan_rows=scan_rows, solutions=solutions,
         scans=tuple(scans),
@@ -62,6 +62,16 @@ class TestAggregations:
         assert tenants["b"]["scan_rows"] == 100
         assert tenants["-"]["queries"] == 1
         assert list(tenants)[0] == "a"  # sorted by total latency
+
+    def test_by_tenant_counts_sketched_answers(self):
+        report = analyze([
+            record(0, tenant="a", strategy="sketched"),
+            record(1, tenant="a", strategy="iterator"),
+            record(2, tenant="b", strategy="cached"),
+        ])
+        tenants = report.by_tenant()
+        assert tenants["a"]["approximate"] == 1
+        assert tenants["b"]["approximate"] == 0
 
     def test_slow_digests_ranked_by_total_latency(self):
         report = analyze(
